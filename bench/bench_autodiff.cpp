@@ -1,0 +1,95 @@
+// B2: autodiff overhead — forward pass, first-order gradient, and the
+// PDE-style second-order derivative chain on a PINN-sized MLP. Read
+// together with bench_tensor to see the framework's cost over raw kernels.
+#include <benchmark/benchmark.h>
+
+#include "autodiff/derivatives.hpp"
+#include "autodiff/grad.hpp"
+#include "autodiff/ops.hpp"
+#include "nn/mlp.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace qpinn;
+using namespace qpinn::autodiff;
+
+nn::MlpConfig mlp_config() {
+  nn::MlpConfig config;
+  config.in_dim = 2;
+  config.out_dim = 2;
+  config.hidden = {64, 64, 64};
+  config.seed = 1;
+  return config;
+}
+
+Tensor batch(std::int64_t n) {
+  Rng rng(2);
+  return Tensor::rand({n, 2}, rng, -1.0, 1.0);
+}
+
+void BM_MlpForwardNoGrad(benchmark::State& state) {
+  nn::Mlp net(mlp_config());
+  const Tensor X = batch(state.range(0));
+  for (auto _ : state) {
+    NoGradGuard guard;
+    benchmark::DoNotOptimize(net.forward(Variable::constant(X)));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MlpForwardNoGrad)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_MlpForwardWithGraph(benchmark::State& state) {
+  nn::Mlp net(mlp_config());
+  const Tensor X = batch(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.forward(Variable::constant(X)));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MlpForwardWithGraph)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_MlpParameterGradient(benchmark::State& state) {
+  nn::Mlp net(mlp_config());
+  const Tensor X = batch(state.range(0));
+  const auto params = net.parameters();
+  for (auto _ : state) {
+    const Variable loss = mse(net.forward(Variable::constant(X)));
+    benchmark::DoNotOptimize(grad(loss, params));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MlpParameterGradient)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_PdeSecondOrderResidual(benchmark::State& state) {
+  // The full PINN residual pattern: u_t and u_xx via double backward,
+  // then the parameter gradient of their MSE.
+  nn::Mlp net(mlp_config());
+  const Tensor X = batch(state.range(0));
+  const auto params = net.parameters();
+  for (auto _ : state) {
+    const Variable Xv = Variable::leaf(X, /*requires_grad=*/true);
+    const Variable out = net.forward(Xv);
+    const Variable u = slice_cols(out, 0, 1);
+    const Variable u_t = partial(u, Xv, 1);
+    const Variable u_xx = partial_n(u, Xv, 0, 2);
+    const Variable loss = mse(add(u_t, u_xx));
+    benchmark::DoNotOptimize(grad(loss, params));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PdeSecondOrderResidual)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_GraphNodeConstruction(benchmark::State& state) {
+  // Per-op framework overhead on small tensors (graph bookkeeping bound).
+  const Variable x = Variable::leaf(Tensor::ones({8, 8}));
+  for (auto _ : state) {
+    Variable y = x;
+    for (int i = 0; i < 64; ++i) y = tanh(add_scalar(y, 1e-3));
+    benchmark::DoNotOptimize(y);
+  }
+  state.SetItemsProcessed(state.iterations() * 128);  // ops per iteration
+}
+BENCHMARK(BM_GraphNodeConstruction);
+
+}  // namespace

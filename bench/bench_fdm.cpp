@@ -1,0 +1,79 @@
+// B3: reference-solver microbenchmarks — FFT, Crank-Nicolson steps,
+// split-step steps, Sturm eigensolve.
+#include <benchmark/benchmark.h>
+
+#include <complex>
+
+#include "fdm/crank_nicolson.hpp"
+#include "fdm/eigensolver.hpp"
+#include "fdm/fft.hpp"
+#include "fdm/split_step.hpp"
+#include "quantum/potentials.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace qpinn;
+using namespace qpinn::fdm;
+
+void BM_Fft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<std::complex<double>> a(n);
+  for (auto& v : a) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  for (auto _ : state) {
+    auto copy = a;
+    fft_inplace(copy);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Fft)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_CrankNicolsonStep(benchmark::State& state) {
+  const std::int64_t nx = state.range(0);
+  CrankNicolsonConfig config;
+  config.grid = Grid1d{-8.0, 8.0, nx, false};
+  config.dt = 1e-3;
+  config.steps = 1;
+  config.store_every = 1;
+  config.potential = quantum::harmonic_potential();
+  const auto psi0 = [](double x) {
+    return Complex(std::exp(-x * x), 0.0);
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_tdse_crank_nicolson(config, psi0));
+  }
+  state.SetItemsProcessed(state.iterations() * nx);
+}
+BENCHMARK(BM_CrankNicolsonStep)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_SplitStepStep(benchmark::State& state) {
+  const std::int64_t nx = state.range(0);
+  SplitStepConfig config;
+  config.grid = Grid1d{-8.0, 8.0, nx, true};
+  config.dt = 1e-3;
+  config.steps = 1;
+  config.store_every = 1;
+  config.nonlinearity = -1.0;
+  const auto psi0 = [](double x) {
+    return Complex(1.0 / std::cosh(x), 0.0);
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_split_step(config, psi0));
+  }
+  state.SetItemsProcessed(state.iterations() * nx);
+}
+BENCHMARK(BM_SplitStepStep)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_SturmEigenvalues(benchmark::State& state) {
+  const std::int64_t nx = state.range(0);
+  const Grid1d grid{-8.0, 8.0, nx, false};
+  const SymTridiag h = build_hamiltonian(grid, quantum::harmonic_potential());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(smallest_eigenvalues(h, 4));
+  }
+}
+BENCHMARK(BM_SturmEigenvalues)->Arg(201)->Arg(801)->Arg(3201);
+
+}  // namespace

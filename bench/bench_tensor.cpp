@@ -1,0 +1,80 @@
+// B1: tensor kernel microbenchmarks — elementwise, broadcast, matmul,
+// reductions. Establishes the raw-kernel baseline against which the
+// autodiff overhead (bench_autodiff) is measured.
+#include <benchmark/benchmark.h>
+
+#include "tensor/kernels.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace qpinn;
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::rand(std::move(shape), rng, -1.0, 1.0);
+}
+
+void BM_ElementwiseAdd(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const Tensor a = random_tensor({n}, 1);
+  const Tensor b = random_tensor({n}, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::add(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ElementwiseAdd)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_ElementwiseTanh(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const Tensor a = random_tensor({n}, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::tanh(a));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ElementwiseTanh)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_BroadcastBiasAdd(benchmark::State& state) {
+  const std::int64_t rows = state.range(0);
+  const Tensor a = random_tensor({rows, 64}, 4);
+  const Tensor bias = random_tensor({1, 64}, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::add(a, bias));
+  }
+  state.SetItemsProcessed(state.iterations() * rows * 64);
+}
+BENCHMARK(BM_BroadcastBiasAdd)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_Matmul(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const Tensor a = random_tensor({n, 64}, 6);
+  const Tensor b = random_tensor({64, 64}, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * 64 * 64 * 2);
+}
+BENCHMARK(BM_Matmul)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_SumAll(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const Tensor a = random_tensor({n}, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::sum_all(a));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SumAll)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_Transpose(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const Tensor a = random_tensor({n, 64}, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::transpose(a));
+  }
+}
+BENCHMARK(BM_Transpose)->Arg(256)->Arg(2048);
+
+}  // namespace

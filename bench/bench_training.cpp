@@ -1,0 +1,63 @@
+// B4: training-step cost — one full PINN optimization step (residual +
+// aux losses + parameter update) versus collocation count and versus
+// worker-thread count (shared-memory stand-in for the GPU batch).
+#include <benchmark/benchmark.h>
+
+#include "core/benchmarks.hpp"
+#include "core/trainer.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+using namespace qpinn;
+using namespace qpinn::core;
+
+void BM_TrainingStepVsPoints(benchmark::State& state) {
+  const std::int64_t side = state.range(0);
+  auto problem = make_free_packet_problem();
+  FieldModelConfig mc = default_model_config(*problem, 1);
+  mc.hidden = {48, 48, 48};
+  mc.fourier = nn::FourierConfig{32, 1.0};
+  auto model = make_field_model(mc);
+
+  TrainConfig tc = default_train_config(/*epochs=*/1, /*seed=*/1);
+  tc.sampling.n_interior_x = side;
+  tc.sampling.n_interior_t = side;
+  tc.resample_every = 0;
+  Trainer trainer(problem, model, tc);
+
+  std::int64_t epoch = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trainer.step(epoch++));
+  }
+  state.SetItemsProcessed(state.iterations() * side * side);
+}
+BENCHMARK(BM_TrainingStepVsPoints)->Arg(10)->Arg(20)->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TrainingStepVsThreads(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  set_global_threads(std::max<std::size_t>(threads, 1));
+  auto problem = make_free_packet_problem();
+  FieldModelConfig mc = default_model_config(*problem, 1);
+  mc.hidden = {48, 48, 48};
+  mc.fourier = nn::FourierConfig{32, 1.0};
+  auto model = make_field_model(mc);
+
+  TrainConfig tc = default_train_config(/*epochs=*/1, /*seed=*/1);
+  tc.sampling.n_interior_x = 32;
+  tc.sampling.n_interior_t = 32;
+  tc.resample_every = 0;
+  tc.threads = threads;
+  Trainer trainer(problem, model, tc);
+
+  std::int64_t epoch = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trainer.step(epoch++));
+  }
+  set_global_threads(default_num_threads());
+}
+BENCHMARK(BM_TrainingStepVsThreads)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

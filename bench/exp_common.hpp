@@ -1,0 +1,73 @@
+// Shared plumbing for the exp_* experiment binaries.
+//
+// Every experiment runs a fast smoke configuration by default so the whole
+// bench directory can be executed in one sweep; QPINN_FULL=1 switches to
+// the full-size runs recorded in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/benchmarks.hpp"
+#include "core/trainer.hpp"
+#include "util/env.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace qpinn::exp {
+
+inline bool full() { return qpinn::full_experiments(); }
+
+/// Training epochs for the mode.
+inline std::int64_t epochs(std::int64_t smoke, std::int64_t full_size) {
+  return full() ? full_size : smoke;
+}
+
+/// The standard experiment model: the validated recipe from DESIGN.md
+/// (hard IC + periodic embedding where applicable + RFF + normalization).
+inline std::shared_ptr<core::FieldModel> standard_model(
+    const core::SchrodingerProblem& problem, std::uint64_t seed,
+    bool hard_ic = true) {
+  core::FieldModelConfig config = core::default_model_config(problem, seed);
+  if (full()) {
+    config.hidden = {48, 48, 48};
+    config.fourier = nn::FourierConfig{32, 1.0};
+  } else {
+    config.hidden = {32, 32};
+    config.fourier = nn::FourierConfig{16, 1.0};
+  }
+  if (hard_ic) {
+    config.hard_ic =
+        core::HardIc{problem.config().initial, problem.domain().t_lo};
+  }
+  return core::make_field_model(config);
+}
+
+/// The standard training configuration for the mode.
+inline core::TrainConfig standard_train(std::int64_t run_epochs,
+                                        std::uint64_t seed) {
+  core::TrainConfig config = core::default_train_config(run_epochs, seed);
+  if (!full()) {
+    config.sampling.n_interior_x = 22;
+    config.sampling.n_interior_t = 22;
+    config.metric_nx = 48;
+    config.metric_nt = 16;
+  }
+  return config;
+}
+
+/// Prints the table and writes its CSV next to the binary.
+inline void emit(const Table& table, const std::string& title,
+                 const std::string& csv_name) {
+  std::printf("%s", table.to_string(title).c_str());
+  table.write_csv(csv_name);
+  std::printf("(CSV written to %s)\n\n", csv_name.c_str());
+}
+
+inline void print_mode_banner(const char* experiment) {
+  std::printf("== %s [%s mode] ==\n", experiment,
+              full() ? "FULL (QPINN_FULL=1)" : "smoke");
+}
+
+}  // namespace qpinn::exp

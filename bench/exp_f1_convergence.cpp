@@ -1,0 +1,41 @@
+// F1 — convergence figure: training loss and relative-L2 error versus
+// epoch for the free-packet benchmark (series printed and written as CSV,
+// ready to plot).
+//
+// Shape expected: monotone loss decay over orders of magnitude; the L2
+// error tracks it downward and keeps improving after the loss flattens.
+#include "exp_common.hpp"
+
+namespace {
+using namespace qpinn;
+using namespace qpinn::core;
+}  // namespace
+
+int main() {
+  log::set_level(log::Level::kWarn);
+  exp::print_mode_banner("F1: convergence curves (free packet)");
+  const std::int64_t run_epochs = exp::epochs(400, 4000);
+
+  auto problem = make_free_packet_problem();
+  auto model = exp::standard_model(*problem, 3);
+  TrainConfig config = exp::standard_train(run_epochs, 3);
+  config.eval_every = std::max<std::int64_t>(1, run_epochs / 20);
+  Trainer trainer(problem, model, config);
+  const TrainResult result = trainer.fit();
+
+  Table table({"epoch", "total loss", "pde loss", "rel L2", "lr",
+               "grad norm"});
+  for (const EpochRecord& record : result.history) {
+    if (std::isnan(record.l2)) continue;  // keep only evaluation epochs
+    table.add_row({std::to_string(record.epoch),
+                   Table::fmt_sci(record.total_loss, 3),
+                   Table::fmt_sci(record.pde_loss, 3),
+                   Table::fmt(record.l2, 4), Table::fmt_sci(record.lr, 2),
+                   Table::fmt_sci(record.grad_norm, 2)});
+  }
+  exp::emit(table, "F1 - loss / L2 vs epoch (free packet)",
+            "exp_f1_convergence.csv");
+  std::printf("final: loss %.3e, rel L2 %.4f in %.1fs\n", result.final_loss,
+              result.final_l2, result.seconds);
+  return 0;
+}

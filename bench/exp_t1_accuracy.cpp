@@ -1,0 +1,70 @@
+// T1 — accuracy table: PINN relative-L2 error against analytic / spectral
+// references across the quantum benchmarks, plus the trivial-solution
+// baseline (the error a collapsed, zero-late-time network would score).
+//
+// Shape expected from the paper family: trained PINNs land well below the
+// trivial baseline (relative L2 << 1) on every benchmark; the NLS Raissi
+// case is the hardest (higher-order soliton focusing).
+#include "exp_common.hpp"
+
+#include "core/metrics.hpp"
+
+namespace {
+
+using namespace qpinn;
+using namespace qpinn::core;
+
+struct Row {
+  std::shared_ptr<SchrodingerProblem> problem;
+  const char* reference_kind;
+};
+
+}  // namespace
+
+int main() {
+  log::set_level(log::Level::kWarn);
+  exp::print_mode_banner("T1: benchmark accuracy");
+  const std::int64_t run_epochs = exp::epochs(300, 4000);
+
+  const Row rows[] = {
+      {make_free_packet_problem(), "analytic"},
+      {make_ho_coherent_problem(), "analytic"},
+      {make_well_superposition_problem(), "analytic"},
+      {make_nls_soliton_problem(), "analytic"},
+      {make_nls_raissi_problem(), "split-step"},
+  };
+
+  Table table({"problem", "reference", "params", "epochs", "rel L2",
+               "trivial-baseline L2", "max |err|", "train s"});
+  for (const Row& row : rows) {
+    auto model = exp::standard_model(*row.problem, /*seed=*/3);
+    TrainConfig config = exp::standard_train(run_epochs, /*seed=*/3);
+    if (row.problem->periodic_x()) config.sampling.n_boundary = 0;
+    Trainer trainer(row.problem, model, config);
+
+    // Trivial baseline: what a zero-field prediction scores (the failure
+    // mode PINN trainings collapse to).
+    const Tensor grid = grid_points(row.problem->domain(), config.metric_nx,
+                                    config.metric_nt);
+    const Tensor reference =
+        sample_reference(row.problem->reference(), grid);
+    double ref_sq = 0.0;
+    for (std::int64_t i = 0; i < reference.numel(); ++i) {
+      ref_sq += reference[i] * reference[i];
+    }
+    const double trivial = 1.0;  // ||0 - ref|| / ||ref||
+    (void)ref_sq;
+
+    const TrainResult result = trainer.fit();
+    const double max_err =
+        max_abs_error(*model, row.problem->reference(), row.problem->domain(),
+                      config.metric_nx, config.metric_nt);
+    table.add_row({row.problem->name(), row.reference_kind,
+                   std::to_string(model->num_parameters()),
+                   std::to_string(run_epochs), Table::fmt(result.final_l2, 4),
+                   Table::fmt(trivial, 1), Table::fmt(max_err, 4),
+                   Table::fmt(result.seconds, 1)});
+  }
+  exp::emit(table, "T1 - relative L2 error per benchmark", "exp_t1_accuracy.csv");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Solving the time-INdependent Schrödinger equation as an eigenvalue
+// problem with a PINN: the particle-in-a-box spectrum is recovered state
+// by state (trainable energy + normalization + deflation against lower
+// states) and cross-checked against the analytic values and the
+// finite-difference eigensolver.
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+#include "core/eigen_pinn.hpp"
+#include "fdm/eigensolver.hpp"
+#include "quantum/potentials.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qpinn;
+  using namespace qpinn::core;
+
+  CliParser cli("infinite_well_eigen",
+                "eigen-PINN for the particle-in-a-box spectrum");
+  cli.add_int("states", 2, "number of eigenstates to recover");
+  cli.add_int("epochs", 1500, "epochs per state");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::printf("%s", cli.help_text().c_str());
+    return 0;
+  }
+  const auto k = cli.get_int("states");
+
+  EigenPinnConfig config;
+  config.x_lo = 0.0;
+  config.x_hi = 1.0;
+  config.n_collocation = 64;
+  config.hidden = {16, 16};
+  config.epochs = cli.get_int("epochs");
+  config.adam.lr = 5e-3;
+  config.seed = 3;
+  const EigenPinn solver(config);
+
+  // Energy guesses: perturbed analytic values, standing in for the WKB
+  // estimates a practitioner would use on an unknown potential.
+  std::vector<double> guesses;
+  for (long long n = 1; n <= k; ++n) {
+    guesses.push_back(1.08 * quantum::infinite_well_eigenvalue(n, 1.0));
+  }
+  std::printf("training %lld states x %lld epochs...\n", k,
+              cli.get_int("epochs"));
+  const std::vector<EigenState> states = solver.solve_spectrum(guesses);
+
+  // FD cross-check.
+  const fdm::Grid1d grid{0.0, 1.0, 801, false};
+  const auto fd = fdm::smallest_eigenvalues(
+      fdm::build_hamiltonian(grid, nullptr), k);
+
+  Table table({"n", "E analytic", "E finite-diff", "E eigen-PINN",
+               "PINN rel err", "max |psi - exact|"});
+  for (long long n = 1; n <= k; ++n) {
+    const double exact = quantum::infinite_well_eigenvalue(n, 1.0);
+    const EigenState& state = states[static_cast<std::size_t>(n - 1)];
+    double max_err = 0.0;
+    for (std::size_t i = 0; i < state.x.size(); ++i) {
+      const double phi = std::sqrt(2.0) * std::sin(static_cast<double>(n) *
+                                                   std::numbers::pi *
+                                                   state.x[i]);
+      max_err = std::max(max_err, std::abs(state.psi[i] - phi));
+    }
+    table.add_row({std::to_string(n), Table::fmt(exact, 5),
+                   Table::fmt(fd[static_cast<std::size_t>(n - 1)], 5),
+                   Table::fmt(state.energy, 5),
+                   Table::fmt_sci(std::abs(state.energy - exact) / exact, 2),
+                   Table::fmt(max_err, 4)});
+  }
+  std::printf("%s", table.to_string("particle-in-a-box spectrum").c_str());
+  return 0;
+}

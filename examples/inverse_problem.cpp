@@ -1,0 +1,65 @@
+// Inverse quantum problem: recover a trap frequency from wavefunction
+// observations.
+//
+// "Measurements" of a coherent state evolving in a harmonic trap with
+// TRUE omega = 1 (optionally noisy) are fed to a PINN whose potential
+// V = 1/2 omega^2 x^2 carries a TRAINABLE omega, initialized wrong. The
+// joint optimization fits the data, satisfies the Schrödinger residual,
+// and thereby identifies omega.
+#include <cstdio>
+
+#include "core/inverse_problem.hpp"
+#include "quantum/analytic.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qpinn;
+  using namespace qpinn::core;
+
+  CliParser cli("inverse_problem",
+                "recover the trap frequency from psi observations");
+  cli.add_int("epochs", 2500, "training epochs");
+  cli.add_double("guess", 0.6, "initial omega guess (true value is 1.0)");
+  cli.add_double("noise", 0.0, "observation noise stddev");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::printf("%s", cli.help_text().c_str());
+    return 0;
+  }
+
+  InverseHarmonicConfig config;
+  config.domain = Domain{-5.0, 5.0, 0.0, 1.0};
+  const auto truth = quantum::ho_coherent_state(0.8);  // omega = 1 dynamics
+  auto [points, values] = make_observations(
+      truth, config.domain, 24, 12, cli.get_double("noise"), /*seed=*/1);
+  config.data_points = points;
+  config.data_values = values;
+  config.omega_guess = cli.get_double("guess");
+  config.initial = coherent_state_ic(0.8);
+  config.epochs = cli.get_int("epochs");
+  config.adam.lr = 3e-3;
+  config.weight_data = 50.0;
+  config.sampling.n_interior_x = 18;
+  config.sampling.n_interior_t = 18;
+
+  std::printf("observations: %lld samples, noise %.3f, omega guess %.2f\n",
+              static_cast<long long>(points.rows()), cli.get_double("noise"),
+              config.omega_guess);
+  const InverseResult result = solve_inverse_harmonic(config);
+
+  Table table({"epoch", "omega estimate"});
+  const std::size_t n = result.omega_history.size();
+  for (std::size_t i = 0; i < n; i += std::max<std::size_t>(1, n / 10)) {
+    table.add_row({std::to_string(i),
+                   Table::fmt(result.omega_history[i], 4)});
+  }
+  table.add_row({std::to_string(n - 1), Table::fmt(result.omega, 4)});
+  std::printf("%s", table.to_string("omega trajectory").c_str());
+  std::printf(
+      "\nrecovered omega = %.4f (true 1.0); data misfit %.2e\n"
+      "The estimate dips while the network is still fitting the field,\n"
+      "then climbs to the true frequency once the data term locks in.\n",
+      result.omega, result.data_loss);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Nonlinear Schrödinger soliton: trains a PINN on the focusing NLS
+//   i psi_t + 1/2 psi_xx + |psi|^2 psi = 0
+// with a moving bright-soliton initial condition (exact periodicity of
+// the model enforced by the sin/cos input embedding — no boundary loss),
+// then prints |psi| profiles against the analytic soliton and the
+// split-step Fourier solution.
+#include <cmath>
+#include <cstdio>
+
+#include "core/benchmarks.hpp"
+#include "core/trainer.hpp"
+#include "fdm/split_step.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qpinn;
+  using namespace qpinn::core;
+
+  CliParser cli("nls_soliton", "PINN for the focusing NLS bright soliton");
+  cli.add_int("epochs", 500, "training epochs");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::printf("%s", cli.help_text().c_str());
+    return 0;
+  }
+
+  auto problem = make_nls_soliton_problem();
+  const Domain domain = problem->domain();
+  const auto analytic = problem->reference();
+
+  // Split-step Fourier reference (spectral in space).
+  fdm::SplitStepConfig ss;
+  ss.grid = fdm::Grid1d{domain.x_lo, domain.x_hi, 256, true};
+  ss.dt = 5e-4;
+  ss.steps = static_cast<std::int64_t>(domain.t_span() / ss.dt);
+  ss.store_every = ss.steps;
+  ss.nonlinearity = -1.0;
+  const fdm::WaveEvolution evolution =
+      solve_split_step(ss, [&](double x) { return analytic(x, 0.0); });
+
+  // PINN with exact x-periodicity.
+  auto model = make_model_for(*problem, /*seed=*/5);
+  TrainConfig config = default_train_config(cli.get_int("epochs"), 5);
+  config.sampling.n_boundary = 0;
+  Trainer trainer(problem, model, config);
+  const TrainResult result = trainer.fit();
+  std::printf("PINN rel L2 %.4f after %lld epochs (%.1fs)\n\n",
+              result.final_l2, static_cast<long long>(result.epochs_run),
+              result.seconds);
+
+  // |psi| profile at the final time.
+  const double t = domain.t_hi;
+  Table table({"x", "|psi| analytic", "|psi| split-step", "|psi| PINN"});
+  for (double x = -4.0; x <= 4.01; x += 1.0) {
+    const double exact = std::abs(analytic(x, t));
+    // Nearest split-step grid value.
+    const auto idx = static_cast<std::size_t>(
+        std::round((x - domain.x_lo) / ss.grid.dx()));
+    const double spectral = std::abs(evolution.psi.back()[idx]);
+    Tensor point(Shape{1, 2});
+    point[0] = x;
+    point[1] = t;
+    const Tensor out = model->evaluate(point);
+    const double pinn = std::hypot(out[0], out[1]);
+    table.add_row({Table::fmt(x, 1), Table::fmt(exact, 4),
+                   Table::fmt(spectral, 4), Table::fmt(pinn, 4)});
+  }
+  std::printf("%s", table.to_string("soliton envelope at t = t_final").c_str());
+  std::printf(
+      "\nThe soliton moves at v = 0.5 without changing shape; all three\n"
+      "columns should peak at x = v * t with height 1.\n");
+  return 0;
+}

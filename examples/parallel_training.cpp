@@ -1,0 +1,66 @@
+// Data-parallel PINN training: shards the collocation batch across the
+// thread pool (the shared-memory stand-in for the original system's GPU
+// batches), demonstrates that the decomposition is numerically exact, and
+// reports the step-time scaling on this machine.
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+#include "core/benchmarks.hpp"
+#include "core/trainer.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qpinn;
+  using namespace qpinn::core;
+
+  CliParser cli("parallel_training", "data-parallel PINN training demo");
+  cli.add_int("side", 30, "collocation points per axis (side^2 total)");
+  cli.add_int("repeats", 5, "timed steps per configuration");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::printf("%s", cli.help_text().c_str());
+    return 0;
+  }
+  const auto side = cli.get_int("side");
+  const auto repeats = static_cast<int>(cli.get_int("repeats"));
+
+  std::printf("hardware threads on this machine: %u\n\n",
+              std::thread::hardware_concurrency());
+
+  auto problem = make_free_packet_problem();
+  Table table({"worker shards", "step ms", "loss (must agree)"});
+  double serial_loss = 0.0;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    set_global_threads(threads);
+    auto model = make_model_for(*problem, /*seed=*/6);
+    TrainConfig config = default_train_config(/*epochs=*/1, /*seed=*/6);
+    config.sampling.n_interior_x = side;
+    config.sampling.n_interior_t = side;
+    config.resample_every = 0;  // identical batch across configurations
+    config.threads = threads;
+    Trainer trainer(problem, model, config);
+
+    trainer.step(0);  // warm-up
+    Stopwatch watch;
+    double loss = 0.0;
+    for (int r = 0; r < repeats; ++r) loss = trainer.step(0).total_loss;
+    const double ms = watch.millis() / repeats;
+    if (threads == 1) serial_loss = loss;
+    table.add_row({std::to_string(threads), Table::fmt(ms, 1),
+                   Table::fmt_sci(loss, 10)});
+  }
+  set_global_threads(default_num_threads());
+
+  std::printf("%s", table.to_string("one training step, same batch").c_str());
+  std::printf(
+      "\nThe loss column is identical across shard counts (up to last-digit\n"
+      "floating-point association): the parallel decomposition computes the\n"
+      "same mathematics, so speed is the only thing threads change.\n"
+      "(serial loss = %.12e)\n",
+      serial_loss);
+  return 0;
+}

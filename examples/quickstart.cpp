@@ -1,0 +1,57 @@
+// Quickstart: train a physics-informed neural network on the 1-D
+// time-dependent Schrödinger equation for a free Gaussian wave packet and
+// score it against the analytic solution.
+//
+//   ./quickstart                 # 2-minute default run
+//   ./quickstart --epochs 2000   # better accuracy
+//   ./quickstart --help
+//
+// This is the whole public-API workflow in ~40 lines: pick a benchmark
+// problem, build the standard field model, run the trainer, evaluate.
+#include <cstdio>
+
+#include "core/benchmarks.hpp"
+#include "core/trainer.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qpinn;
+  using namespace qpinn::core;
+
+  CliParser cli("quickstart", "train a PINN on the free-packet TDSE");
+  cli.add_int("epochs", 600, "training epochs");
+  cli.add_int("seed", 3, "model / sampling seed");
+  cli.add_flag("no-hard-ic", "disable the exact initial-condition transform");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::printf("%s", cli.help_text().c_str());
+    return 0;
+  }
+
+  // 1. The physics: i psi_t = -1/2 psi_xx with a Gaussian packet IC.
+  auto problem = make_free_packet_problem();
+
+  // 2. The model: MLP + input normalization + random Fourier features,
+  //    with psi(x, 0) enforced exactly unless ablated away.
+  auto model = make_model_for(*problem, cli.get_int("seed"),
+                              /*hard_ic=*/!cli.get_flag("no-hard-ic"));
+  std::printf("model: %lld trainable parameters\n",
+              static_cast<long long>(model->num_parameters()));
+
+  // 3. Train: Adam + LR decay + per-epoch Latin-hypercube resampling.
+  TrainConfig config =
+      default_train_config(cli.get_int("epochs"), cli.get_int("seed"));
+  config.eval_every = std::max<std::int64_t>(1, cli.get_int("epochs") / 10);
+  config.log_every = config.eval_every;
+  Trainer trainer(problem, model, config);
+  const TrainResult result = trainer.fit();
+
+  // 4. Score against the closed-form solution.
+  std::printf(
+      "\ntrained %lld epochs in %.1fs\n"
+      "final loss        %.3e\n"
+      "relative L2 error %.4f   (the trivial zero solution scores 1.0)\n",
+      static_cast<long long>(result.epochs_run), result.seconds,
+      result.final_loss, result.final_l2);
+  return 0;
+}

@@ -1,0 +1,33 @@
+#include "autodiff/derivatives.hpp"
+
+#include "util/error.hpp"
+
+namespace qpinn::autodiff {
+
+Variable partial(const Variable& y, const Variable& x, std::int64_t dim) {
+  QPINN_CHECK_SHAPE(y.value().rank() == 2 && y.value().cols() == 1,
+                    "partial(): y must be an (N, 1) channel");
+  QPINN_CHECK_SHAPE(x.value().rank() == 2,
+                    "partial(): x must be the (N, D) input batch");
+  QPINN_CHECK(dim >= 0 && dim < x.value().cols(),
+              "partial(): dim out of range");
+  GradOptions options;
+  options.create_graph = true;
+  const Variable full = grad_single(sum_all(y), x, /*grad_output=*/{}, options);
+  return slice_cols(full, dim, dim + 1);
+}
+
+Variable partial_n(const Variable& y, const Variable& x, std::int64_t dim,
+                   int order) {
+  QPINN_CHECK(order >= 1, "partial_n(): order must be >= 1");
+  Variable d = y;
+  for (int k = 0; k < order; ++k) d = partial(d, x, dim);
+  return d;
+}
+
+Variable partial_mixed(const Variable& y, const Variable& x, std::int64_t i,
+                       std::int64_t j) {
+  return partial(partial(y, x, i), x, j);
+}
+
+}  // namespace qpinn::autodiff

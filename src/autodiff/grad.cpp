@@ -1,0 +1,147 @@
+#include "autodiff/grad.hpp"
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "autodiff/ops.hpp"
+#include "util/error.hpp"
+
+namespace qpinn::autodiff {
+
+namespace {
+
+/// Iterative postorder DFS over the requires-grad subgraph rooted at `root`.
+/// Returns nodes in topological order (parents before children).
+std::vector<Node*> topo_order(Node* root) {
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  // Stack entries: (node, next parent index to visit).
+  std::vector<std::pair<Node*, std::size_t>> stack;
+  if (root->requires_grad) stack.emplace_back(root, 0);
+  visited.insert(root);
+  while (!stack.empty()) {
+    auto& [node, idx] = stack.back();
+    if (idx < node->parents.size()) {
+      Node* parent = node->parents[idx].node();
+      ++idx;
+      if (parent != nullptr && parent->requires_grad &&
+          visited.insert(parent).second) {
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+Variable ones_like(const Variable& v) {
+  return Variable::constant(Tensor::ones(v.shape()));
+}
+
+Variable zeros_like(const Variable& v) {
+  return Variable::constant(Tensor::zeros(v.shape()));
+}
+
+std::vector<Variable> grad(const Variable& output,
+                           const std::vector<Variable>& inputs,
+                           const Variable& grad_output,
+                           const GradOptions& options) {
+  QPINN_CHECK(output.defined(), "grad(): output is undefined");
+  QPINN_CHECK(output.requires_grad(),
+              "grad(): output does not require grad (no differentiable path)");
+  for (const Variable& input : inputs) {
+    QPINN_CHECK(input.defined(), "grad(): an input is undefined");
+  }
+
+  Variable seed = grad_output.defined() ? grad_output : ones_like(output);
+  QPINN_CHECK_SHAPE(seed.shape() == output.shape(),
+                    "grad(): grad_output shape " +
+                        shape_to_string(seed.shape()) +
+                        " must match output shape " +
+                        shape_to_string(output.shape()));
+
+  // Without create_graph, backward computations need no graphs of their own.
+  std::optional<NoGradGuard> guard;
+  if (!options.create_graph) guard.emplace();
+
+  // Accumulated gradient per node.
+  std::unordered_map<Node*, Variable> grads;
+  grads[output.node()] = seed;
+
+  const std::vector<Node*> order = topo_order(output.node());
+
+  // Backward closures receive `self` as a Variable, so we need an owning
+  // pointer for every node; parents vectors own every interior node except
+  // the output itself.
+  std::unordered_map<Node*, std::shared_ptr<Node>> owners;
+  owners[output.node()] = output.node_ptr();
+  for (Node* node : order) {
+    for (const Variable& parent : node->parents) {
+      if (parent.node() != nullptr) {
+        owners.emplace(parent.node(), parent.node_ptr());
+      }
+    }
+  }
+
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    auto found = grads.find(node);
+    if (found == grads.end()) continue;
+    if (!node->backward) continue;
+    const Variable node_grad = found->second;
+    const Variable self = wrap_node(owners.at(node));
+    std::vector<Variable> parent_grads = node->backward(node_grad, self);
+    QPINN_CHECK(parent_grads.size() == node->parents.size(),
+                std::string("op '") + node->op +
+                    "' backward returned wrong grad count");
+    for (std::size_t i = 0; i < node->parents.size(); ++i) {
+      const Variable& parent = node->parents[i];
+      if (!parent.requires_grad()) continue;
+      Variable& pg = parent_grads[i];
+      if (!pg.defined()) continue;
+      QPINN_CHECK_SHAPE(
+          pg.shape() == parent.shape(),
+          std::string("op '") + node->op + "' produced gradient of shape " +
+              shape_to_string(pg.shape()) + " for parent of shape " +
+              shape_to_string(parent.shape()));
+      auto existing = grads.find(parent.node());
+      if (existing == grads.end()) {
+        grads.emplace(parent.node(), pg);
+      } else {
+        existing->second = add(existing->second, pg);
+      }
+    }
+  }
+
+  std::vector<Variable> results;
+  results.reserve(inputs.size());
+  for (const Variable& input : inputs) {
+    auto found = grads.find(input.node());
+    if (found == grads.end() || !input.requires_grad()) {
+      if (!options.allow_unused) {
+        throw ValueError(
+            "grad(): an input is not reachable from the output "
+            "(allow_unused=false)");
+      }
+      results.push_back(zeros_like(input));
+      continue;
+    }
+    Variable g = found->second;
+    results.push_back(options.create_graph ? g : g.detach());
+  }
+  return results;
+}
+
+Variable grad_single(const Variable& output, const Variable& input,
+                     const Variable& grad_output, const GradOptions& options) {
+  return grad(output, {input}, grad_output, options)[0];
+}
+
+}  // namespace qpinn::autodiff

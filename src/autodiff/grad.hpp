@@ -1,0 +1,40 @@
+// Reverse-mode gradient computation (functional API, like torch.autograd.grad).
+#pragma once
+
+#include <vector>
+
+#include "autodiff/variable.hpp"
+
+namespace qpinn::autodiff {
+
+struct GradOptions {
+  /// When true, the returned gradients carry their own graphs and can be
+  /// differentiated again (needed for u_xx inside PINN losses and for the
+  /// parameter gradient of residual-based losses).
+  bool create_graph = false;
+  /// When false, an input unreachable from the output raises ValueError;
+  /// when true, its gradient is a zero tensor of matching shape.
+  bool allow_unused = true;
+};
+
+/// Gradients of `output` with respect to each of `inputs`.
+///
+/// `grad_output` seeds the backward pass; when undefined it defaults to
+/// ones_like(output) (so for scalar outputs it is the plain gradient).
+/// Throws ValueError if `output` does not require grad.
+std::vector<Variable> grad(const Variable& output,
+                           const std::vector<Variable>& inputs,
+                           const Variable& grad_output = {},
+                           const GradOptions& options = {});
+
+/// Convenience single-input overload.
+Variable grad_single(const Variable& output, const Variable& input,
+                     const Variable& grad_output = {},
+                     const GradOptions& options = {});
+
+/// Constant tensor of ones with `v`'s shape.
+Variable ones_like(const Variable& v);
+/// Constant tensor of zeros with `v`'s shape.
+Variable zeros_like(const Variable& v);
+
+}  // namespace qpinn::autodiff

@@ -1,0 +1,97 @@
+#include "autodiff/gradcheck.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "autodiff/grad.hpp"
+#include "autodiff/ops.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace qpinn::autodiff {
+
+namespace {
+
+std::vector<Variable> make_leaves(const std::vector<Tensor>& points) {
+  std::vector<Variable> leaves;
+  leaves.reserve(points.size());
+  for (const Tensor& p : points) leaves.push_back(Variable::leaf(p.clone()));
+  return leaves;
+}
+
+double eval_scalar(const ScalarFn& f, const std::vector<Variable>& leaves) {
+  const Variable y = f(leaves);
+  QPINN_CHECK_SHAPE(y.numel() == 1,
+                    "gradcheck: function under test must return a scalar");
+  return y.item();
+}
+
+}  // namespace
+
+GradcheckReport check_gradients(const ScalarFn& f,
+                                const std::vector<Tensor>& points, double eps,
+                                double atol, double rtol) {
+  GradcheckReport report;
+  std::vector<Variable> leaves = make_leaves(points);
+
+  const Variable y = f(leaves);
+  QPINN_CHECK_SHAPE(y.numel() == 1,
+                    "gradcheck: function under test must return a scalar");
+  const std::vector<Variable> analytic = grad(y, leaves);
+
+  for (std::size_t which = 0; which < leaves.size(); ++which) {
+    Tensor& x = leaves[which].mutable_value();
+    const Tensor& a = analytic[which].value();
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+      const double saved = x.data()[i];
+      x.data()[i] = saved + eps;
+      const double plus = eval_scalar(f, leaves);
+      x.data()[i] = saved - eps;
+      const double minus = eval_scalar(f, leaves);
+      x.data()[i] = saved;
+      const double numeric = (plus - minus) / (2.0 * eps);
+      const double analytic_value = a.data()[i];
+      const double abs_err = std::abs(analytic_value - numeric);
+      const double rel_err = abs_err / std::max(1e-12, std::abs(numeric));
+      report.max_abs_err = std::max(report.max_abs_err, abs_err);
+      report.max_rel_err = std::max(report.max_rel_err, rel_err);
+      if (abs_err > atol + rtol * std::abs(numeric) && report.ok) {
+        report.ok = false;
+        std::ostringstream os;
+        os << "input " << which << " element " << i << ": analytic "
+           << analytic_value << " vs numeric " << numeric;
+        report.detail = os.str();
+      }
+    }
+  }
+  return report;
+}
+
+GradcheckReport check_second_gradients(const ScalarFn& f,
+                                       const std::vector<Tensor>& points,
+                                       std::uint64_t seed, double eps,
+                                       double atol, double rtol) {
+  // Fixed random weights give a generic direction through the Hessian.
+  Rng rng(seed);
+  std::vector<Tensor> weights;
+  weights.reserve(points.size());
+  for (const Tensor& p : points) {
+    weights.push_back(Tensor::randn(p.shape(), rng));
+  }
+
+  const ScalarFn g = [&f, &weights](const std::vector<Variable>& leaves) {
+    const Variable y = f(leaves);
+    GradOptions options;
+    options.create_graph = true;
+    const std::vector<Variable> first = grad(y, leaves, {}, options);
+    Variable acc = Variable::constant(0.0);
+    for (std::size_t i = 0; i < first.size(); ++i) {
+      const Variable w = Variable::constant(weights[i]);
+      acc = add(acc, sum_all(mul(first[i], w)));
+    }
+    return acc;
+  };
+  return check_gradients(g, points, eps, atol, rtol);
+}
+
+}  // namespace qpinn::autodiff

@@ -1,0 +1,43 @@
+// Finite-difference verification of autodiff gradients.
+//
+// Used heavily by the test suite: every op's first AND second derivatives
+// are checked against central differences across randomized shapes.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "autodiff/variable.hpp"
+
+namespace qpinn::autodiff {
+
+struct GradcheckReport {
+  bool ok = true;
+  double max_abs_err = 0.0;
+  double max_rel_err = 0.0;
+  std::string detail;  ///< first failing location, when !ok
+};
+
+/// A differentiable scalar-valued function of several tensors.
+using ScalarFn = std::function<Variable(const std::vector<Variable>&)>;
+
+/// Compares analytic gradients of `f` at `points` against central finite
+/// differences with step `eps`. Passes when for every element
+/// |analytic - numeric| <= atol + rtol * |numeric|.
+GradcheckReport check_gradients(const ScalarFn& f,
+                                const std::vector<Tensor>& points,
+                                double eps = 1e-5, double atol = 1e-7,
+                                double rtol = 1e-4);
+
+/// Second-order check: runs check_gradients on
+///   g(x) = sum_i <grad_i f(x), w_i>
+/// for fixed random weights w, which exercises the double-backward path of
+/// every op appearing in f.
+GradcheckReport check_second_gradients(const ScalarFn& f,
+                                       const std::vector<Tensor>& points,
+                                       std::uint64_t seed = 17,
+                                       double eps = 1e-5, double atol = 1e-6,
+                                       double rtol = 1e-3);
+
+}  // namespace qpinn::autodiff

@@ -1,0 +1,408 @@
+#include "autodiff/ops.hpp"
+
+#include <algorithm>
+
+#include "tensor/kernels.hpp"
+#include "util/error.hpp"
+
+namespace qpinn::autodiff {
+
+namespace k = qpinn::kernels;
+
+namespace {
+
+thread_local bool g_grad_enabled = true;
+
+/// Parent i of a backward invocation.
+const Variable& parent(const Variable& self, std::size_t i) {
+  return self.node()->parents[i];
+}
+
+/// True when parent i needs a gradient (used to skip dead computations).
+bool needs(const Variable& self, std::size_t i) {
+  return self.node()->parents[i].requires_grad();
+}
+
+}  // namespace
+
+NoGradGuard::NoGradGuard() : previous_(g_grad_enabled) {
+  g_grad_enabled = false;
+}
+
+NoGradGuard::~NoGradGuard() { g_grad_enabled = previous_; }
+
+bool grad_mode_enabled() { return g_grad_enabled; }
+
+// make_op wrapper honoring the thread-local grad mode.
+namespace {
+Variable op(const char* name, Tensor value, std::vector<Variable> parents,
+            std::function<std::vector<Variable>(const Variable&,
+                                                const Variable&)>
+                backward) {
+  if (!g_grad_enabled) {
+    return Variable::constant(std::move(value));
+  }
+  return make_op(name, std::move(value), std::move(parents),
+                 std::move(backward));
+}
+}  // namespace
+
+// ---- binary ----------------------------------------------------------------
+
+Variable add(const Variable& a, const Variable& b) {
+  return op("add", k::add(a.value(), b.value()), {a, b},
+            [](const Variable& g, const Variable& self) {
+              std::vector<Variable> grads(2);
+              if (needs(self, 0))
+                grads[0] = sum_to(g, parent(self, 0).shape());
+              if (needs(self, 1))
+                grads[1] = sum_to(g, parent(self, 1).shape());
+              return grads;
+            });
+}
+
+Variable sub(const Variable& a, const Variable& b) {
+  return op("sub", k::sub(a.value(), b.value()), {a, b},
+            [](const Variable& g, const Variable& self) {
+              std::vector<Variable> grads(2);
+              if (needs(self, 0))
+                grads[0] = sum_to(g, parent(self, 0).shape());
+              if (needs(self, 1))
+                grads[1] = neg(sum_to(g, parent(self, 1).shape()));
+              return grads;
+            });
+}
+
+Variable mul(const Variable& a, const Variable& b) {
+  return op("mul", k::mul(a.value(), b.value()), {a, b},
+            [](const Variable& g, const Variable& self) {
+              std::vector<Variable> grads(2);
+              if (needs(self, 0))
+                grads[0] = sum_to(mul(g, parent(self, 1)),
+                                  parent(self, 0).shape());
+              if (needs(self, 1))
+                grads[1] = sum_to(mul(g, parent(self, 0)),
+                                  parent(self, 1).shape());
+              return grads;
+            });
+}
+
+Variable div(const Variable& a, const Variable& b) {
+  return op("div", k::div(a.value(), b.value()), {a, b},
+            [](const Variable& g, const Variable& self) {
+              const Variable& a_ = parent(self, 0);
+              const Variable& b_ = parent(self, 1);
+              std::vector<Variable> grads(2);
+              if (needs(self, 0)) grads[0] = sum_to(div(g, b_), a_.shape());
+              if (needs(self, 1)) {
+                grads[1] =
+                    neg(sum_to(mul(g, div(a_, square(b_))), b_.shape()));
+              }
+              return grads;
+            });
+}
+
+// ---- unary -------------------------------------------------------------------
+
+Variable neg(const Variable& a) {
+  return op("neg", k::neg(a.value()), {a},
+            [](const Variable& g, const Variable&) {
+              return std::vector<Variable>{neg(g)};
+            });
+}
+
+Variable scale(const Variable& a, double s) {
+  return op("scale", k::scale(a.value(), s), {a},
+            [s](const Variable& g, const Variable&) {
+              return std::vector<Variable>{scale(g, s)};
+            });
+}
+
+Variable add_scalar(const Variable& a, double s) {
+  return op("add_scalar", k::add_scalar(a.value(), s), {a},
+            [](const Variable& g, const Variable&) {
+              return std::vector<Variable>{g};
+            });
+}
+
+Variable exp(const Variable& a) {
+  return op("exp", k::exp(a.value()), {a},
+            [](const Variable& g, const Variable& self) {
+              return std::vector<Variable>{mul(g, self)};
+            });
+}
+
+Variable log(const Variable& a) {
+  return op("log", k::log(a.value()), {a},
+            [](const Variable& g, const Variable& self) {
+              return std::vector<Variable>{div(g, parent(self, 0))};
+            });
+}
+
+Variable tanh(const Variable& a) {
+  return op("tanh", k::tanh(a.value()), {a},
+            [](const Variable& g, const Variable& self) {
+              // d tanh = 1 - tanh^2; reuse the forward value through `self`
+              // so the second derivative flows through tanh's own graph.
+              return std::vector<Variable>{
+                  mul(g, add_scalar(neg(square(self)), 1.0))};
+            });
+}
+
+Variable sin(const Variable& a) {
+  return op("sin", k::sin(a.value()), {a},
+            [](const Variable& g, const Variable& self) {
+              return std::vector<Variable>{mul(g, cos(parent(self, 0)))};
+            });
+}
+
+Variable cos(const Variable& a) {
+  return op("cos", k::cos(a.value()), {a},
+            [](const Variable& g, const Variable& self) {
+              return std::vector<Variable>{neg(mul(g, sin(parent(self, 0))))};
+            });
+}
+
+Variable sqrt(const Variable& a) {
+  return op("sqrt", k::sqrt(a.value()), {a},
+            [](const Variable& g, const Variable& self) {
+              return std::vector<Variable>{scale(div(g, self), 0.5)};
+            });
+}
+
+Variable reciprocal(const Variable& a) {
+  return op("reciprocal", k::reciprocal(a.value()), {a},
+            [](const Variable& g, const Variable& self) {
+              return std::vector<Variable>{neg(mul(g, square(self)))};
+            });
+}
+
+Variable square(const Variable& a) {
+  return op("square", k::square(a.value()), {a},
+            [](const Variable& g, const Variable& self) {
+              return std::vector<Variable>{
+                  scale(mul(g, parent(self, 0)), 2.0)};
+            });
+}
+
+Variable sigmoid(const Variable& a) {
+  return op("sigmoid", k::sigmoid(a.value()), {a},
+            [](const Variable& g, const Variable& self) {
+              return std::vector<Variable>{
+                  mul(g, mul(self, add_scalar(neg(self), 1.0)))};
+            });
+}
+
+Variable softplus(const Variable& a) {
+  return op("softplus", k::softplus(a.value()), {a},
+            [](const Variable& g, const Variable& self) {
+              return std::vector<Variable>{mul(g, sigmoid(parent(self, 0)))};
+            });
+}
+
+Variable pow_scalar(const Variable& a, double p) {
+  return op("pow_scalar", k::pow_scalar(a.value(), p), {a},
+            [p](const Variable& g, const Variable& self) {
+              return std::vector<Variable>{
+                  scale(mul(g, pow_scalar(parent(self, 0), p - 1.0)), p)};
+            });
+}
+
+Variable relu(const Variable& a) {
+  return op("relu", k::relu(a.value()), {a},
+            [](const Variable& g, const Variable& self) {
+              // Step factor is locally constant: correct a.e., and its
+              // second derivative is identically zero.
+              const Variable mask =
+                  Variable::constant(k::step(parent(self, 0).value()));
+              return std::vector<Variable>{mul(g, mask)};
+            });
+}
+
+Variable abs(const Variable& a) {
+  return op("abs", k::abs(a.value()), {a},
+            [](const Variable& g, const Variable& self) {
+              const Variable sgn =
+                  Variable::constant(k::sign(parent(self, 0).value()));
+              return std::vector<Variable>{mul(g, sgn)};
+            });
+}
+
+// ---- linear algebra ------------------------------------------------------------
+
+Variable matmul(const Variable& a, const Variable& b) {
+  return op("matmul", k::matmul(a.value(), b.value()), {a, b},
+            [](const Variable& g, const Variable& self) {
+              std::vector<Variable> grads(2);
+              if (needs(self, 0))
+                grads[0] = matmul(g, transpose(parent(self, 1)));
+              if (needs(self, 1))
+                grads[1] = matmul(transpose(parent(self, 0)), g);
+              return grads;
+            });
+}
+
+Variable transpose(const Variable& a) {
+  return op("transpose", k::transpose(a.value()), {a},
+            [](const Variable& g, const Variable&) {
+              return std::vector<Variable>{transpose(g)};
+            });
+}
+
+// ---- reductions -------------------------------------------------------------------
+
+Variable sum_all(const Variable& a) {
+  return op("sum_all", k::sum_all(a.value()), {a},
+            [](const Variable& g, const Variable& self) {
+              return std::vector<Variable>{
+                  broadcast_to(g, parent(self, 0).shape())};
+            });
+}
+
+Variable mean_all(const Variable& a) {
+  const double inv_n = 1.0 / static_cast<double>(a.numel());
+  return scale(sum_all(a), inv_n);
+}
+
+Variable sum_to(const Variable& a, const Shape& target) {
+  if (a.shape() == target) return a;
+  return op("sum_to", k::sum_to(a.value(), target), {a},
+            [](const Variable& g, const Variable& self) {
+              return std::vector<Variable>{
+                  broadcast_to(g, parent(self, 0).shape())};
+            });
+}
+
+Variable broadcast_to(const Variable& a, const Shape& target) {
+  if (a.shape() == target) return a;
+  return op("broadcast_to", k::broadcast_to(a.value(), target), {a},
+            [](const Variable& g, const Variable& self) {
+              return std::vector<Variable>{
+                  sum_to(g, parent(self, 0).shape())};
+            });
+}
+
+// ---- structural --------------------------------------------------------------------
+
+Variable reshape(const Variable& a, const Shape& shape) {
+  if (a.shape() == shape) return a;
+  return op("reshape", a.value().reshape(shape), {a},
+            [](const Variable& g, const Variable& self) {
+              return std::vector<Variable>{
+                  reshape(g, parent(self, 0).shape())};
+            });
+}
+
+namespace {
+// Embeds `g` into a zero matrix of `cols` columns at column offset c0.
+Tensor pad_cols_tensor(const Tensor& g, std::int64_t c0, std::int64_t cols) {
+  Tensor out(Shape{g.rows(), cols});
+  const std::int64_t w = g.cols();
+  double* po = out.data();
+  const double* pg = g.data();
+  for (std::int64_t r = 0; r < g.rows(); ++r) {
+    std::copy(pg + r * w, pg + (r + 1) * w, po + r * cols + c0);
+  }
+  return out;
+}
+
+Variable pad_cols(const Variable& g, std::int64_t c0, std::int64_t cols);
+
+Tensor pad_rows_tensor(const Tensor& g, std::int64_t r0, std::int64_t rows) {
+  Tensor out(Shape{rows, g.cols()});
+  std::copy(g.data(), g.data() + g.numel(), out.data() + r0 * g.cols());
+  return out;
+}
+
+Variable pad_rows(const Variable& g, std::int64_t r0, std::int64_t rows);
+}  // namespace
+
+Variable slice_cols(const Variable& a, std::int64_t c0, std::int64_t c1) {
+  return op("slice_cols", k::slice_cols(a.value(), c0, c1), {a},
+            [c0](const Variable& g, const Variable& self) {
+              return std::vector<Variable>{
+                  pad_cols(g, c0, parent(self, 0).value().cols())};
+            });
+}
+
+namespace {
+Variable pad_cols(const Variable& g, std::int64_t c0, std::int64_t cols) {
+  return op("pad_cols", pad_cols_tensor(g.value(), c0, cols), {g},
+            [c0](const Variable& gg, const Variable& self) {
+              const std::int64_t w = parent(self, 0).value().cols();
+              return std::vector<Variable>{slice_cols(gg, c0, c0 + w)};
+            });
+}
+
+Variable pad_rows(const Variable& g, std::int64_t r0, std::int64_t rows) {
+  return op("pad_rows", pad_rows_tensor(g.value(), r0, rows), {g},
+            [r0](const Variable& gg, const Variable& self) {
+              const std::int64_t h = parent(self, 0).value().rows();
+              return std::vector<Variable>{slice_rows(gg, r0, r0 + h)};
+            });
+}
+}  // namespace
+
+Variable concat_cols(const std::vector<Variable>& parts) {
+  QPINN_CHECK(!parts.empty(), "concat_cols needs at least one Variable");
+  if (parts.size() == 1) return parts.front();
+  std::vector<Tensor> values;
+  values.reserve(parts.size());
+  for (const Variable& p : parts) values.push_back(p.value());
+  return op("concat_cols", k::concat_cols(values), parts,
+            [](const Variable& g, const Variable& self) {
+              std::vector<Variable> grads;
+              grads.reserve(self.node()->parents.size());
+              std::int64_t offset = 0;
+              for (const Variable& p : self.node()->parents) {
+                const std::int64_t w = p.value().cols();
+                grads.push_back(
+                    p.requires_grad()
+                        ? slice_cols(g, offset, offset + w)
+                        : Variable());
+                offset += w;
+              }
+              return grads;
+            });
+}
+
+Variable slice_rows(const Variable& a, std::int64_t r0, std::int64_t r1) {
+  return op("slice_rows", k::slice_rows(a.value(), r0, r1), {a},
+            [r0](const Variable& g, const Variable& self) {
+              return std::vector<Variable>{
+                  pad_rows(g, r0, parent(self, 0).value().rows())};
+            });
+}
+
+Variable concat_rows(const std::vector<Variable>& parts) {
+  QPINN_CHECK(!parts.empty(), "concat_rows needs at least one Variable");
+  if (parts.size() == 1) return parts.front();
+  std::vector<Tensor> values;
+  values.reserve(parts.size());
+  for (const Variable& p : parts) values.push_back(p.value());
+  return op("concat_rows", k::concat_rows(values), parts,
+            [](const Variable& g, const Variable& self) {
+              std::vector<Variable> grads;
+              grads.reserve(self.node()->parents.size());
+              std::int64_t offset = 0;
+              for (const Variable& p : self.node()->parents) {
+                const std::int64_t h = p.value().rows();
+                grads.push_back(
+                    p.requires_grad()
+                        ? slice_rows(g, offset, offset + h)
+                        : Variable());
+                offset += h;
+              }
+              return grads;
+            });
+}
+
+// ---- composite ------------------------------------------------------------------------
+
+Variable mse(const Variable& a) { return mean_all(square(a)); }
+
+Variable column(const Variable& a, std::int64_t c) {
+  return slice_cols(a, c, c + 1);
+}
+
+}  // namespace qpinn::autodiff

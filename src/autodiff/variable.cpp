@@ -1,0 +1,77 @@
+#include "autodiff/variable.hpp"
+
+#include <atomic>
+
+#include "util/error.hpp"
+
+namespace qpinn::autodiff {
+
+namespace {
+std::uint64_t next_node_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
+Variable Variable::leaf(Tensor value, bool requires_grad) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = requires_grad;
+  node->op = "leaf";
+  node->id = next_node_id();
+  Variable v;
+  v.node_ = std::move(node);
+  return v;
+}
+
+Variable Variable::constant(Tensor value) {
+  return leaf(std::move(value), /*requires_grad=*/false);
+}
+
+Variable Variable::constant(double value) {
+  return constant(Tensor::scalar(value));
+}
+
+const Tensor& Variable::value() const {
+  QPINN_CHECK(node_ != nullptr, "value() on an undefined Variable");
+  return node_->value;
+}
+
+Tensor& Variable::mutable_value() {
+  QPINN_CHECK(node_ != nullptr, "mutable_value() on an undefined Variable");
+  return node_->value;
+}
+
+Variable Variable::detach() const {
+  QPINN_CHECK(node_ != nullptr, "detach() on an undefined Variable");
+  return constant(node_->value);
+}
+
+Variable make_op(
+    const char* op, Tensor value, std::vector<Variable> parents,
+    std::function<std::vector<Variable>(const Variable&, const Variable&)>
+        backward) {
+  bool requires_grad = false;
+  for (const Variable& p : parents) {
+    QPINN_CHECK(p.defined(), std::string("undefined parent passed to op ") + op);
+    requires_grad = requires_grad || p.requires_grad();
+  }
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = requires_grad;
+  node->op = op;
+  node->id = next_node_id();
+  if (requires_grad) {
+    node->parents = std::move(parents);
+    node->backward = std::move(backward);
+  }
+  return wrap_node(std::move(node));
+}
+
+Variable wrap_node(std::shared_ptr<Node> node) {
+  Variable v;
+  v.node_ = std::move(node);
+  return v;
+}
+
+}  // namespace qpinn::autodiff

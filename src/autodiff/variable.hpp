@@ -1,0 +1,93 @@
+// Reverse-mode automatic differentiation with higher-order support.
+//
+// A Variable wraps a node in a dynamically built computation graph. Every
+// operation's vector-Jacobian product (backward rule) is itself expressed
+// in terms of differentiable operations, so calling grad(...) with
+// create_graph=true yields gradients that can be differentiated again —
+// exactly the double-backward recipe PINNs use for u_t, u_xx inside the
+// loss. This is the "autodiff plumbing" substrate of the reproduction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace qpinn::autodiff {
+
+class Variable;
+
+/// Graph node. Nodes own their parents (keeping subgraphs alive) and a
+/// backward function producing parent gradients from the output gradient.
+/// Backward functions receive `self` as a borrowed Variable so closures do
+/// not capture their own node (which would create a shared_ptr cycle).
+struct Node {
+  Tensor value;
+  bool requires_grad = false;
+  std::vector<Variable> parents;
+  std::function<std::vector<Variable>(const Variable& grad_out,
+                                      const Variable& self)>
+      backward;
+  const char* op = "leaf";
+  std::uint64_t id = 0;  ///< creation order; stable tie-break in traversals
+};
+
+class Variable {
+ public:
+  /// Default-constructed Variables are "undefined" (no node).
+  Variable() = default;
+
+  /// Trainable or differentiable-input leaf.
+  static Variable leaf(Tensor value, bool requires_grad = true);
+  /// Non-differentiable constant wrapping the given tensor.
+  static Variable constant(Tensor value);
+  /// Scalar constant.
+  static Variable constant(double value);
+
+  bool defined() const { return node_ != nullptr; }
+  const Tensor& value() const;
+  /// Mutable access to the underlying tensor (sanctioned only for leaves,
+  /// e.g. optimizer parameter updates).
+  Tensor& mutable_value();
+  bool requires_grad() const { return node_ != nullptr && node_->requires_grad; }
+  const char* op() const { return node_ ? node_->op : "undefined"; }
+
+  const Shape& shape() const { return value().shape(); }
+  std::int64_t numel() const { return value().numel(); }
+  /// Scalar value of a one-element Variable.
+  double item() const { return value().item(); }
+
+  /// A constant sharing this Variable's tensor (cuts the graph).
+  Variable detach() const;
+
+  Node* node() const { return node_.get(); }
+  const std::shared_ptr<Node>& node_ptr() const { return node_; }
+
+  /// Identity comparison (same graph node).
+  bool is(const Variable& other) const { return node_ == other.node_; }
+
+ private:
+  friend Variable make_op(
+      const char* op, Tensor value, std::vector<Variable> parents,
+      std::function<std::vector<Variable>(const Variable&, const Variable&)>
+          backward);
+  friend Variable wrap_node(std::shared_ptr<Node> node);
+
+  std::shared_ptr<Node> node_;
+};
+
+/// Creates an interior graph node. requires_grad is inherited from parents;
+/// when no parent requires grad the backward function is dropped and the
+/// node behaves as a constant.
+Variable make_op(
+    const char* op, Tensor value, std::vector<Variable> parents,
+    std::function<std::vector<Variable>(const Variable&, const Variable&)>
+        backward);
+
+/// Rewraps an existing node (used by the traversal machinery).
+Variable wrap_node(std::shared_ptr<Node> node);
+
+}  // namespace qpinn::autodiff

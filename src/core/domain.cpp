@@ -1,0 +1,141 @@
+#include "core/domain.hpp"
+
+#include "util/error.hpp"
+
+namespace qpinn::core {
+
+void Domain::validate() const {
+  if (!(x_hi > x_lo) || !(t_hi > t_lo)) {
+    throw ConfigError("Domain must satisfy x_hi > x_lo and t_hi > t_lo");
+  }
+}
+
+SamplerKind parse_sampler(const std::string& name) {
+  if (name == "grid") return SamplerKind::kGrid;
+  if (name == "uniform") return SamplerKind::kUniformRandom;
+  if (name == "lhs" || name == "latin") return SamplerKind::kLatinHypercube;
+  throw ValueError("unknown sampler '" + name + "'");
+}
+
+std::string to_string(SamplerKind kind) {
+  switch (kind) {
+    case SamplerKind::kGrid: return "grid";
+    case SamplerKind::kUniformRandom: return "uniform";
+    case SamplerKind::kLatinHypercube: return "lhs";
+  }
+  throw ValueError("invalid SamplerKind");
+}
+
+Tensor grid_points(const Domain& domain, std::int64_t nx, std::int64_t nt,
+                   bool skip_initial_slice) {
+  domain.validate();
+  QPINN_CHECK(nx >= 2 && nt >= 2, "grid_points needs nx, nt >= 2");
+  const Tensor xs = Tensor::linspace(domain.x_lo, domain.x_hi, nx);
+  const Tensor ts = Tensor::linspace(domain.t_lo, domain.t_hi, nt);
+  const std::int64_t t_begin = skip_initial_slice ? 1 : 0;
+  const std::int64_t rows = nx * (nt - t_begin);
+  Tensor out(Shape{rows, 2});
+  double* p = out.data();
+  std::int64_t r = 0;
+  for (std::int64_t j = t_begin; j < nt; ++j) {
+    for (std::int64_t i = 0; i < nx; ++i, ++r) {
+      p[2 * r] = xs[i];
+      p[2 * r + 1] = ts[j];
+    }
+  }
+  return out;
+}
+
+Tensor uniform_points(const Domain& domain, std::int64_t n, Rng& rng) {
+  domain.validate();
+  QPINN_CHECK(n >= 1, "uniform_points needs n >= 1");
+  Tensor out(Shape{n, 2});
+  double* p = out.data();
+  for (std::int64_t r = 0; r < n; ++r) {
+    p[2 * r] = rng.uniform(domain.x_lo, domain.x_hi);
+    p[2 * r + 1] = rng.uniform(domain.t_lo, domain.t_hi);
+  }
+  return out;
+}
+
+Tensor latin_hypercube_points(const Domain& domain, std::int64_t n, Rng& rng) {
+  domain.validate();
+  QPINN_CHECK(n >= 1, "latin_hypercube_points needs n >= 1");
+  const auto perm_x = rng.permutation(static_cast<std::size_t>(n));
+  const auto perm_t = rng.permutation(static_cast<std::size_t>(n));
+  Tensor out(Shape{n, 2});
+  double* p = out.data();
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (std::int64_t r = 0; r < n; ++r) {
+    const double ux =
+        (static_cast<double>(perm_x[static_cast<std::size_t>(r)]) +
+         rng.uniform()) *
+        inv_n;
+    const double ut =
+        (static_cast<double>(perm_t[static_cast<std::size_t>(r)]) +
+         rng.uniform()) *
+        inv_n;
+    p[2 * r] = domain.x_lo + domain.x_span() * ux;
+    p[2 * r + 1] = domain.t_lo + domain.t_span() * ut;
+  }
+  return out;
+}
+
+Tensor initial_points(const Domain& domain, std::int64_t nx) {
+  domain.validate();
+  QPINN_CHECK(nx >= 2, "initial_points needs nx >= 2");
+  const Tensor xs = Tensor::linspace(domain.x_lo, domain.x_hi, nx);
+  Tensor out(Shape{nx, 2});
+  double* p = out.data();
+  for (std::int64_t i = 0; i < nx; ++i) {
+    p[2 * i] = xs[i];
+    p[2 * i + 1] = domain.t_lo;
+  }
+  return out;
+}
+
+Tensor boundary_points(const Domain& domain, std::int64_t nt) {
+  domain.validate();
+  QPINN_CHECK(nt >= 2, "boundary_points needs nt >= 2");
+  const Tensor ts = Tensor::linspace(domain.t_lo, domain.t_hi, nt);
+  Tensor out(Shape{2 * nt, 2});
+  double* p = out.data();
+  for (std::int64_t j = 0; j < nt; ++j) {
+    p[2 * j] = domain.x_lo;
+    p[2 * j + 1] = ts[j];
+  }
+  for (std::int64_t j = 0; j < nt; ++j) {
+    const std::int64_t r = nt + j;
+    p[2 * r] = domain.x_hi;
+    p[2 * r + 1] = ts[j];
+  }
+  return out;
+}
+
+CollocationSet make_collocation(const Domain& domain,
+                                const SamplingConfig& config) {
+  CollocationSet set;
+  Rng rng(config.seed);
+  switch (config.kind) {
+    case SamplerKind::kGrid:
+      set.interior = grid_points(domain, config.n_interior_x,
+                                 config.n_interior_t,
+                                 /*skip_initial_slice=*/true);
+      break;
+    case SamplerKind::kUniformRandom:
+      set.interior = uniform_points(
+          domain, config.n_interior_x * config.n_interior_t, rng);
+      break;
+    case SamplerKind::kLatinHypercube:
+      set.interior = latin_hypercube_points(
+          domain, config.n_interior_x * config.n_interior_t, rng);
+      break;
+  }
+  set.initial = initial_points(domain, config.n_initial);
+  if (config.n_boundary > 0) {
+    set.boundary = boundary_points(domain, config.n_boundary);
+  }
+  return set;
+}
+
+}  // namespace qpinn::core

@@ -1,0 +1,70 @@
+// Space-time domain and collocation sampling for 1+1-D PINN problems.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace qpinn::core {
+
+/// Rectangular space-time domain [x_lo, x_hi] x [t_lo, t_hi].
+struct Domain {
+  double x_lo = -1.0;
+  double x_hi = 1.0;
+  double t_lo = 0.0;
+  double t_hi = 1.0;
+
+  double x_span() const { return x_hi - x_lo; }
+  double t_span() const { return t_hi - t_lo; }
+  void validate() const;  ///< throws ConfigError when degenerate
+};
+
+enum class SamplerKind {
+  kGrid,            ///< tensor-product nx x nt grid
+  kUniformRandom,   ///< i.i.d. uniform points
+  kLatinHypercube,  ///< stratified in both coordinates
+};
+
+SamplerKind parse_sampler(const std::string& name);
+std::string to_string(SamplerKind kind);
+
+/// (nx * nt, 2) tensor of (x, t) rows on a tensor-product grid. Interior
+/// excludes t = t_lo slice when `skip_initial_slice` (those points belong
+/// to the IC loss).
+Tensor grid_points(const Domain& domain, std::int64_t nx, std::int64_t nt,
+                   bool skip_initial_slice = false);
+
+/// n i.i.d. uniform points in the domain.
+Tensor uniform_points(const Domain& domain, std::int64_t n, Rng& rng);
+
+/// n Latin-hypercube points (one per stratum in each coordinate).
+Tensor latin_hypercube_points(const Domain& domain, std::int64_t n, Rng& rng);
+
+/// (nx, 2) points on the initial slice t = t_lo.
+Tensor initial_points(const Domain& domain, std::int64_t nx);
+
+/// (2 * nt, 2) points on the two spatial walls (x_lo rows first).
+Tensor boundary_points(const Domain& domain, std::int64_t nt);
+
+/// The collocation sets a training run works with.
+struct CollocationSet {
+  Tensor interior;  ///< (N, 2) PDE residual points
+  Tensor initial;   ///< (Ni, 2) initial-condition points
+  Tensor boundary;  ///< (Nb, 2) wall points (may be empty for periodic)
+};
+
+struct SamplingConfig {
+  SamplerKind kind = SamplerKind::kGrid;
+  std::int64_t n_interior_x = 32;  ///< grid: points per axis; random: total
+  std::int64_t n_interior_t = 32;
+  std::int64_t n_initial = 64;
+  std::int64_t n_boundary = 0;  ///< 0 disables wall points
+  std::uint64_t seed = 0;
+};
+
+CollocationSet make_collocation(const Domain& domain,
+                                const SamplingConfig& config);
+
+}  // namespace qpinn::core

@@ -1,0 +1,92 @@
+#include "core/field_model.hpp"
+
+#include "util/error.hpp"
+
+namespace qpinn::core {
+
+using autodiff::Variable;
+using namespace autodiff;
+
+InputNormalization InputNormalization::for_domain(double x_lo, double x_hi,
+                                                  double t_lo, double t_hi) {
+  QPINN_CHECK(x_hi > x_lo && t_hi > t_lo,
+              "normalization needs a non-degenerate domain");
+  InputNormalization norm;
+  norm.x_center = 0.5 * (x_lo + x_hi);
+  norm.x_half_span = 0.5 * (x_hi - x_lo);
+  norm.t_center = 0.5 * (t_lo + t_hi);
+  norm.t_half_span = 0.5 * (t_hi - t_lo);
+  return norm;
+}
+
+FieldModel::FieldModel(std::unique_ptr<nn::Module> backbone,
+                       std::optional<HardIc> hard_ic,
+                       std::optional<InputNormalization> normalization)
+    : backbone_(std::move(backbone)),
+      hard_ic_(std::move(hard_ic)),
+      normalization_(normalization) {
+  QPINN_CHECK(backbone_ != nullptr, "FieldModel needs a backbone");
+  QPINN_CHECK(backbone_->input_dim() == 2,
+              "FieldModel backbone must take (x, t) input");
+  QPINN_CHECK(backbone_->output_dim() == 2,
+              "FieldModel backbone must emit (u, v)");
+  if (hard_ic_) {
+    QPINN_CHECK(static_cast<bool>(hard_ic_->psi0),
+                "hard IC requires a psi0 field op");
+  }
+}
+
+Variable FieldModel::forward(const Variable& X) {
+  QPINN_CHECK_SHAPE(X.value().rank() == 2 && X.value().cols() == 2,
+                    "FieldModel expects (N, 2) input, got " +
+                        shape_to_string(X.shape()));
+  Variable net_input = X;
+  if (normalization_) {
+    const InputNormalization& n = *normalization_;
+    const Variable x_hat =
+        scale(add_scalar(slice_cols(X, 0, 1), -n.x_center),
+              1.0 / n.x_half_span);
+    const Variable t_hat =
+        scale(add_scalar(slice_cols(X, 1, 2), -n.t_center),
+              1.0 / n.t_half_span);
+    net_input = concat_cols({x_hat, t_hat});
+  }
+  const Variable raw = backbone_->forward(net_input);
+  if (!hard_ic_) return raw;
+
+  const Variable x = slice_cols(X, 0, 1);
+  const Variable t = slice_cols(X, 1, 2);
+  const Variable ramp = add_scalar(t, -hard_ic_->t0);
+  auto [u0, v0] = hard_ic_->psi0(x);
+  const Variable u = add(u0, mul(ramp, slice_cols(raw, 0, 1)));
+  const Variable v = add(v0, mul(ramp, slice_cols(raw, 1, 2)));
+  return concat_cols({u, v});
+}
+
+Tensor FieldModel::evaluate(const Tensor& X) {
+  NoGradGuard guard;
+  const Variable input = Variable::constant(X);
+  return forward(input).value();
+}
+
+std::shared_ptr<FieldModel> make_field_model(const FieldModelConfig& config) {
+  nn::MlpConfig mlp;
+  mlp.in_dim = 2;
+  mlp.out_dim = 2;
+  mlp.hidden = config.hidden;
+  mlp.activation = config.activation;
+  mlp.fourier = config.fourier;
+  if (config.x_period > 0.0) {
+    // The backbone sees normalized x, so convert the period accordingly.
+    const double period =
+        config.normalization
+            ? config.x_period / config.normalization->x_half_span
+            : config.x_period;
+    mlp.periods = {period, 0.0};
+  }
+  mlp.seed = config.seed;
+  return std::make_shared<FieldModel>(std::make_unique<nn::Mlp>(mlp),
+                                      config.hard_ic, config.normalization);
+}
+
+}  // namespace qpinn::core

@@ -1,0 +1,86 @@
+// The PINN field model: a backbone network mapping (x, t) -> (u, v) with
+// an optional hard initial-condition transform
+//
+//   psi_theta(x, t) = psi0(x) + (t - t0) * NN_theta(x, t)
+//
+// which enforces the IC exactly (the IC loss becomes unnecessary) — one of
+// the ablation dimensions in the experiments.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/field_ops.hpp"
+#include "nn/mlp.hpp"
+
+namespace qpinn::core {
+
+struct HardIc {
+  FieldOp psi0;
+  double t0 = 0.0;
+};
+
+/// Fixed affine input normalization (x, t) -> ((x - cx)/sx, (t - ct)/st)
+/// mapping the training domain onto [-1, 1]^2. Keeps tanh layers and
+/// Fourier features in their useful range regardless of domain size.
+struct InputNormalization {
+  double x_center = 0.0, x_half_span = 1.0;
+  double t_center = 0.0, t_half_span = 1.0;
+
+  static InputNormalization for_domain(double x_lo, double x_hi, double t_lo,
+                                       double t_hi);
+};
+
+class FieldModel {
+ public:
+  /// Takes ownership of the backbone; out_dim must be 2 (u, v). The
+  /// backbone sees normalized inputs when `normalization` is set.
+  FieldModel(std::unique_ptr<nn::Module> backbone,
+             std::optional<HardIc> hard_ic = std::nullopt,
+             std::optional<InputNormalization> normalization = std::nullopt);
+
+  /// Builds the forward graph for a batch X of (x, t) rows; returns (N, 2).
+  autodiff::Variable forward(const autodiff::Variable& X);
+
+  /// Evaluates without building graphs (metrics / inference).
+  Tensor evaluate(const Tensor& X);
+
+  std::vector<autodiff::Variable> parameters() const {
+    return backbone_->parameters();
+  }
+  std::vector<std::pair<std::string, autodiff::Variable>> named_parameters()
+      const {
+    return backbone_->named_parameters();
+  }
+  std::int64_t num_parameters() const { return backbone_->num_parameters(); }
+  bool has_hard_ic() const { return hard_ic_.has_value(); }
+  nn::Module& backbone() { return *backbone_; }
+
+ private:
+  std::unique_ptr<nn::Module> backbone_;
+  std::optional<HardIc> hard_ic_;
+  std::optional<InputNormalization> normalization_;
+};
+
+/// Architecture + feature configuration of the standard QPINN field model.
+struct FieldModelConfig {
+  std::vector<std::int64_t> hidden = {64, 64, 64, 64};
+  nn::Activation activation = nn::Activation::kTanh;
+  /// Random Fourier features (nullopt disables).
+  std::optional<nn::FourierConfig> fourier = nn::FourierConfig{64, 1.0};
+  /// Period of the x coordinate (0 = not periodic). Time is never embedded
+  /// periodically.
+  double x_period = 0.0;
+  /// Exact-IC transform (nullopt disables; the IC is then a loss term).
+  std::optional<HardIc> hard_ic;
+  /// Affine input normalization (strongly recommended; set from the
+  /// problem domain). With x_period set, the periodic embedding runs on
+  /// raw x and only t is normalized.
+  std::optional<InputNormalization> normalization;
+  std::uint64_t seed = 0;
+};
+
+/// Builds the standard 2-input (x, t) -> 2-output (u, v) model.
+std::shared_ptr<FieldModel> make_field_model(const FieldModelConfig& config);
+
+}  // namespace qpinn::core

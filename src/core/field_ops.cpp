@@ -1,0 +1,88 @@
+#include "core/field_ops.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace qpinn::core {
+
+using autodiff::Variable;
+using namespace autodiff;  // op vocabulary
+
+Variable sech_op(const Variable& x) {
+  return div(Variable::constant(2.0), add(exp(x), exp(neg(x))));
+}
+
+FieldOp gaussian_packet_ic(double x0, double k0, double sigma0) {
+  QPINN_CHECK(sigma0 > 0.0, "packet width must be positive");
+  const double norm =
+      std::pow(2.0 * std::numbers::pi * sigma0 * sigma0, -0.25);
+  const double a = 1.0 / (4.0 * sigma0 * sigma0);
+  return [=](const Variable& x) {
+    const Variable dx = add_scalar(x, -x0);
+    const Variable envelope = scale(exp(scale(square(dx), -a)), norm);
+    const Variable phase = scale(dx, k0);
+    return std::make_pair(mul(envelope, cos(phase)),
+                          mul(envelope, sin(phase)));
+  };
+}
+
+FieldOp coherent_state_ic(double x0) {
+  const double norm = std::pow(std::numbers::pi, -0.25);
+  return [=](const Variable& x) {
+    const Variable dx = add_scalar(x, -x0);
+    const Variable u0 = scale(exp(scale(square(dx), -0.5)), norm);
+    const Variable v0 = Variable::constant(Tensor::zeros(x.shape()));
+    return std::make_pair(u0, v0);
+  };
+}
+
+FieldOp well_superposition_ic(double width, std::vector<double> coefficients) {
+  QPINN_CHECK(width > 0.0, "well width must be positive");
+  QPINN_CHECK(!coefficients.empty(), "need at least one coefficient");
+  return [width, coefficients = std::move(coefficients)](const Variable& x) {
+    const double amplitude = std::sqrt(2.0 / width);
+    Variable u0 = Variable::constant(Tensor::zeros(x.shape()));
+    for (std::size_t m = 0; m < coefficients.size(); ++m) {
+      if (coefficients[m] == 0.0) continue;
+      const double kn =
+          static_cast<double>(m + 1) * std::numbers::pi / width;
+      u0 = add(u0, scale(sin(scale(x, kn)), amplitude * coefficients[m]));
+    }
+    const Variable v0 = Variable::constant(Tensor::zeros(x.shape()));
+    return std::make_pair(u0, v0);
+  };
+}
+
+FieldOp sech_ic(double amplitude) {
+  QPINN_CHECK(amplitude > 0.0, "sech amplitude must be positive");
+  return [amplitude](const Variable& x) {
+    return std::make_pair(scale(sech_op(x), amplitude),
+                          Variable::constant(Tensor::zeros(x.shape())));
+  };
+}
+
+FieldOp soliton_ic(double amplitude, double velocity) {
+  QPINN_CHECK(amplitude > 0.0, "soliton amplitude must be positive");
+  return [amplitude, velocity](const Variable& x) {
+    const Variable envelope = scale(sech_op(scale(x, amplitude)), amplitude);
+    const Variable phase = scale(x, velocity);
+    return std::make_pair(mul(envelope, cos(phase)),
+                          mul(envelope, sin(phase)));
+  };
+}
+
+PotentialOp zero_potential_op() {
+  return [](const Variable& x) {
+    return Variable::constant(Tensor::zeros(x.shape()));
+  };
+}
+
+PotentialOp harmonic_potential_op(double omega) {
+  QPINN_CHECK(omega > 0.0, "harmonic omega must be positive");
+  const double c = 0.5 * omega * omega;
+  return [c](const Variable& x) { return scale(square(x), c); };
+}
+
+}  // namespace qpinn::core

@@ -1,0 +1,54 @@
+// Differentiable building blocks for problem definitions.
+//
+// Initial conditions and potentials appear inside PINN losses where their
+// derivatives with respect to x matter (hard-IC transforms, PDE residuals),
+// so they must be expressed in autodiff ops, not as opaque callables.
+// This header provides the op-expressible forms of every IC / potential
+// used by the benchmark problems, alongside their plain-double twins in
+// src/quantum.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "autodiff/ops.hpp"
+
+namespace qpinn::core {
+
+/// (u0(x), v0(x)) — the real/imaginary parts of psi at t = t_lo — built
+/// from a column Variable of x values.
+using FieldOp = std::function<std::pair<autodiff::Variable, autodiff::Variable>(
+    const autodiff::Variable& x)>;
+
+/// V(x) as a differentiable op on a column Variable.
+using PotentialOp = std::function<autodiff::Variable(const autodiff::Variable& x)>;
+
+/// Gaussian packet (matches quantum::free_gaussian_packet at t = 0):
+/// u0 = N exp(-(x-x0)^2/(4 s^2)) cos(k0 (x-x0)), v0 = ... sin(...).
+FieldOp gaussian_packet_ic(double x0, double k0, double sigma0);
+
+/// HO coherent state at t = 0: real Gaussian pi^{-1/4} e^{-(x-x0)^2/2}.
+FieldOp coherent_state_ic(double x0);
+
+/// Infinite-well ground+excited superposition at t = 0 (real):
+/// sum_n c_n sqrt(2/L) sin(n pi x / L) for real coefficients.
+FieldOp well_superposition_ic(double width, std::vector<double> coefficients);
+
+/// The Raissi NLS benchmark IC: 2 sech(x) (real).
+FieldOp sech_ic(double amplitude = 2.0);
+
+/// Bright-soliton IC a sech(a x) e^{i v x}.
+FieldOp soliton_ic(double amplitude, double velocity);
+
+/// V = 0 represented as a null PotentialOp-compatible functor returning an
+/// all-zero column.
+PotentialOp zero_potential_op();
+
+/// V = 1/2 omega^2 x^2.
+PotentialOp harmonic_potential_op(double omega = 1.0);
+
+/// sech(x) built from exp (used by soliton / Pöschl-Teller forms):
+/// 2 / (e^x + e^{-x}).
+autodiff::Variable sech_op(const autodiff::Variable& x);
+
+}  // namespace qpinn::core

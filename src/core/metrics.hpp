@@ -1,0 +1,37 @@
+// Accuracy and physics-fidelity metrics for trained field models.
+#pragma once
+
+#include <vector>
+
+#include "core/domain.hpp"
+#include "core/field_model.hpp"
+#include "quantum/analytic.hpp"
+
+namespace qpinn::core {
+
+/// Samples the reference field at each (x, t) row of X; returns (N, 2)
+/// columns (Re psi, Im psi).
+Tensor sample_reference(const quantum::SpaceTimeField& reference,
+                        const Tensor& X);
+
+/// Relative L2 error over a dense nx x nt evaluation grid:
+///   sqrt( sum |psi_model - psi_ref|^2 / sum |psi_ref|^2 ).
+double relative_l2(FieldModel& model, const quantum::SpaceTimeField& reference,
+                   const Domain& domain, std::int64_t nx, std::int64_t nt);
+
+/// Maximum pointwise |psi_model - psi_ref| on the grid.
+double max_abs_error(FieldModel& model,
+                     const quantum::SpaceTimeField& reference,
+                     const Domain& domain, std::int64_t nx, std::int64_t nt);
+
+/// Total probability integral of the model at each requested time
+/// (trapezoid over nx points) — the conserved quantity whose drift the F3
+/// experiment tracks.
+std::vector<double> norm_series(FieldModel& model, const Domain& domain,
+                                std::int64_t nx,
+                                const std::vector<double>& times);
+
+/// Largest |N(t) - N(t_0)| over the series.
+double max_norm_drift(const std::vector<double>& series);
+
+}  // namespace qpinn::core

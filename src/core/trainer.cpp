@@ -1,0 +1,264 @@
+#include "core/trainer.hpp"
+
+#include <cmath>
+
+#include "autodiff/grad.hpp"
+#include "parallel/thread_pool.hpp"
+#include "tensor/kernels.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace qpinn::core {
+
+using autodiff::Variable;
+using namespace autodiff;
+
+void TrainConfig::validate() const {
+  if (epochs < 1) throw ConfigError("TrainConfig: epochs must be >= 1");
+  if (adam.lr <= 0.0) throw ConfigError("TrainConfig: lr must be positive");
+  if (lr_decay <= 0.0 || lr_decay > 1.0) {
+    throw ConfigError("TrainConfig: lr_decay must be in (0, 1]");
+  }
+  if (lr_decay_every < 1) {
+    throw ConfigError("TrainConfig: lr_decay_every must be >= 1");
+  }
+  if (grad_clip < 0.0) throw ConfigError("TrainConfig: grad_clip must be >= 0");
+  if (weight_pde < 0.0) {
+    throw ConfigError("TrainConfig: weight_pde must be >= 0");
+  }
+  if (threads < 1) throw ConfigError("TrainConfig: threads must be >= 1");
+  if (metric_nx < 2 || metric_nt < 2) {
+    throw ConfigError("TrainConfig: metric grid must be at least 2x2");
+  }
+  if (curriculum) curriculum->validate();
+}
+
+const EpochRecord& TrainResult::at_epoch(std::int64_t epoch) const {
+  QPINN_CHECK(!history.empty(), "empty training history");
+  for (const auto& record : history) {
+    if (record.epoch >= epoch) return record;
+  }
+  return history.back();
+}
+
+Trainer::Trainer(std::shared_ptr<Problem> problem,
+                 std::shared_ptr<FieldModel> model, TrainConfig config)
+    : problem_(std::move(problem)),
+      model_(std::move(model)),
+      config_(std::move(config)) {
+  QPINN_CHECK(problem_ != nullptr, "Trainer needs a problem");
+  QPINN_CHECK(model_ != nullptr, "Trainer needs a model");
+  config_.validate();
+
+  points_ = make_collocation(problem_->domain(), config_.sampling);
+  resample_rng_ = Rng(config_.sampling.seed ^ 0xA5A5A5A5ULL);
+  if (config_.resample_every > 0 &&
+      config_.sampling.kind == SamplerKind::kGrid) {
+    throw ConfigError(
+        "TrainConfig: resampling requires a random or LHS sampler");
+  }
+  params_ = model_->parameters();
+  optimizer_ = std::make_unique<optim::Adam>(params_, config_.adam);
+  if (config_.lr_decay < 1.0) {
+    schedule_ = std::make_unique<optim::ExponentialDecay>(
+        config_.lr_decay, config_.lr_decay_every);
+  } else {
+    schedule_ = std::make_unique<optim::ConstantLr>();
+  }
+}
+
+Variable Trainer::shard_loss(
+    const Tensor& shard_points, const Tensor& shard_weights,
+    std::int64_t total_rows, bool include_aux,
+    std::vector<std::pair<std::string, double>>* aux_out,
+    double* aux_weighted_sum) {
+  const Variable X = Variable::leaf(shard_points, /*requires_grad=*/true);
+  const Variable residual = problem_->residual(*model_, X);
+  QPINN_CHECK_SHAPE(residual.value().rows() == shard_points.rows(),
+                    "problem residual row count mismatch");
+
+  // sum(w * r^2) normalized by the FULL interior size so shard losses add
+  // up to the serial mean.
+  Variable weighted = square(residual);
+  if (shard_weights.rank() == 2) {
+    weighted = mul(Variable::constant(shard_weights), weighted);
+  }
+  const double denom = static_cast<double>(total_rows) *
+                       static_cast<double>(problem_->residual_dim());
+  Variable loss =
+      scale(sum_all(weighted), config_.weight_pde / denom);
+
+  if (include_aux) {
+    for (LossTerm& term : problem_->auxiliary_losses(*model_, points_)) {
+      if (term.weight == 0.0) continue;
+      const double value = term.value.item();
+      if (aux_out != nullptr) aux_out->emplace_back(term.name, value);
+      if (aux_weighted_sum != nullptr) {
+        *aux_weighted_sum += term.weight * value;
+      }
+      loss = add(loss, scale(term.value, term.weight));
+    }
+  }
+  return loss;
+}
+
+Trainer::LossAndGrads Trainer::compute_serial(std::int64_t epoch) {
+  Tensor weights;  // scalar sentinel = no per-point weights
+  if (config_.curriculum) {
+    weights = per_point_weights(*config_.curriculum, problem_->domain(),
+                                points_.interior, epoch);
+  }
+  LossAndGrads result;
+  double aux_weighted_sum = 0.0;
+  const Variable loss =
+      shard_loss(points_.interior, weights, points_.interior.rows(),
+                 /*include_aux=*/true, &result.aux, &aux_weighted_sum);
+  result.total = loss.item();
+  result.pde = result.total - aux_weighted_sum;
+
+  const std::vector<Variable> grads = grad(loss, params_);
+  result.grads.reserve(grads.size());
+  for (const Variable& g : grads) result.grads.push_back(g.value());
+  return result;
+}
+
+Trainer::LossAndGrads Trainer::compute_parallel(std::int64_t epoch) {
+  const std::int64_t total_rows = points_.interior.rows();
+  const std::size_t shards =
+      std::min<std::size_t>(config_.threads,
+                            static_cast<std::size_t>(total_rows));
+
+  Tensor weights;
+  if (config_.curriculum) {
+    weights = per_point_weights(*config_.curriculum, problem_->domain(),
+                                points_.interior, epoch);
+  }
+
+  struct ShardOutput {
+    double loss = 0.0;
+    double aux_weighted_sum = 0.0;
+    std::vector<std::pair<std::string, double>> aux;
+    std::vector<Tensor> grads;
+  };
+  std::vector<ShardOutput> outputs(shards);
+
+  const std::int64_t base = total_rows / static_cast<std::int64_t>(shards);
+  const std::int64_t extra = total_rows % static_cast<std::int64_t>(shards);
+  std::vector<std::pair<std::int64_t, std::int64_t>> ranges(shards);
+  std::int64_t begin = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::int64_t len =
+        base + (static_cast<std::int64_t>(s) < extra ? 1 : 0);
+    ranges[s] = {begin, begin + len};
+    begin += len;
+  }
+
+  global_pool().for_each_index(shards, [&](std::size_t s) {
+    const auto [r0, r1] = ranges[s];
+    const Tensor shard_points = kernels::slice_rows(points_.interior, r0, r1);
+    Tensor shard_weights;
+    if (weights.rank() == 2) {
+      shard_weights = kernels::slice_rows(weights, r0, r1);
+    }
+    ShardOutput& out = outputs[s];
+    const Variable loss = shard_loss(
+        shard_points, shard_weights, total_rows,
+        /*include_aux=*/s == 0, s == 0 ? &out.aux : nullptr,
+        s == 0 ? &out.aux_weighted_sum : nullptr);
+    out.loss = loss.item();
+    const std::vector<Variable> grads = grad(loss, params_);
+    out.grads.reserve(grads.size());
+    for (const Variable& g : grads) out.grads.push_back(g.value());
+  });
+
+  // Deterministic shard-order reduction.
+  LossAndGrads result;
+  result.aux = std::move(outputs[0].aux);
+  result.grads = std::move(outputs[0].grads);
+  result.total = outputs[0].loss;
+  for (std::size_t s = 1; s < shards; ++s) {
+    result.total += outputs[s].loss;
+    for (std::size_t p = 0; p < result.grads.size(); ++p) {
+      kernels::axpy_inplace(result.grads[p], 1.0, outputs[s].grads[p]);
+    }
+  }
+  result.pde = result.total - outputs[0].aux_weighted_sum;
+  return result;
+}
+
+Trainer::LossAndGrads Trainer::compute(std::int64_t epoch) {
+  return (config_.threads > 1) ? compute_parallel(epoch)
+                               : compute_serial(epoch);
+}
+
+EpochRecord Trainer::step(std::int64_t epoch) {
+  const double lr = schedule_->lr_at(epoch, config_.adam.lr);
+  optimizer_->set_lr(lr);
+
+  if (config_.resample_every > 0 && epoch > 0 &&
+      epoch % config_.resample_every == 0) {
+    const std::int64_t n =
+        config_.sampling.n_interior_x * config_.sampling.n_interior_t;
+    points_.interior =
+        (config_.sampling.kind == SamplerKind::kLatinHypercube)
+            ? latin_hypercube_points(problem_->domain(), n, resample_rng_)
+            : uniform_points(problem_->domain(), n, resample_rng_);
+  }
+
+  LossAndGrads lg = compute(epoch);
+  if (config_.check_finite && !std::isfinite(lg.total)) {
+    throw NumericsError("training loss became non-finite at epoch " +
+                        std::to_string(epoch));
+  }
+  double grad_norm;
+  if (config_.grad_clip > 0.0) {
+    grad_norm = optim::clip_grad_norm(lg.grads, config_.grad_clip);
+  } else {
+    double sq = 0.0;
+    for (const Tensor& g : lg.grads) sq += kernels::dot(g, g);
+    grad_norm = std::sqrt(sq);
+  }
+  optimizer_->step(lg.grads);
+
+  EpochRecord record;
+  record.epoch = epoch;
+  record.total_loss = lg.total;
+  record.pde_loss = lg.pde;
+  record.aux_losses = std::move(lg.aux);
+  record.lr = lr;
+  record.grad_norm = grad_norm;
+  return record;
+}
+
+double Trainer::evaluate_l2() {
+  return relative_l2(*model_, problem_->reference(), problem_->domain(),
+                     config_.metric_nx, config_.metric_nt);
+}
+
+TrainResult Trainer::fit() {
+  Stopwatch watch;
+  TrainResult result;
+  result.history.reserve(static_cast<std::size_t>(config_.epochs));
+  for (std::int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    EpochRecord record = step(epoch);
+    if (config_.eval_every > 0 && (epoch % config_.eval_every == 0 ||
+                                   epoch + 1 == config_.epochs)) {
+      record.l2 = evaluate_l2();
+    }
+    if (config_.log_every > 0 && epoch % config_.log_every == 0) {
+      auto line = log::info();
+      line << problem_->name() << " epoch " << epoch << " loss "
+           << record.total_loss;
+      if (!std::isnan(record.l2)) line << " L2 " << record.l2;
+    }
+    result.history.push_back(std::move(record));
+  }
+  result.epochs_run = config_.epochs;
+  result.final_loss = result.history.back().total_loss;
+  result.final_l2 = evaluate_l2();
+  result.seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace qpinn::core

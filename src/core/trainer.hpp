@@ -1,0 +1,125 @@
+// The PINN training loop.
+//
+// Serial and data-parallel paths compute the *same* loss decomposition:
+// the interior residual MSE is split into contiguous row shards, each
+// worker builds its own forward/backward graph against the shared
+// parameter leaves, and the per-shard gradients are reduced in shard order
+// (deterministic). This mirrors the batch-parallel GPU training of the
+// original system on a shared-memory thread pool.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/curriculum.hpp"
+#include "core/metrics.hpp"
+#include "core/problem.hpp"
+#include "optim/adam.hpp"
+#include "optim/scheduler.hpp"
+
+namespace qpinn::core {
+
+struct TrainConfig {
+  std::int64_t epochs = 2000;
+  optim::AdamConfig adam{};       ///< adam.lr is the base learning rate
+  double lr_decay = 1.0;          ///< multiplicative factor (1 = constant)
+  std::int64_t lr_decay_every = 2000;
+  double grad_clip = 0.0;         ///< global-norm clip; 0 disables
+  double weight_pde = 1.0;        ///< weight of the interior residual MSE
+  std::optional<CurriculumConfig> curriculum;
+  SamplingConfig sampling{};
+  /// Draw a fresh interior collocation set every `resample_every` epochs
+  /// (0 = fixed set). Only meaningful for random/LHS samplers; the key
+  /// defense against residual overfitting at fixed points.
+  std::int64_t resample_every = 0;
+  /// Evaluate relative L2 against the reference every `eval_every` epochs
+  /// (0: only at the end). Evaluation uses a metric_nx x metric_nt grid.
+  std::int64_t eval_every = 0;
+  std::int64_t metric_nx = 64;
+  std::int64_t metric_nt = 32;
+  /// Emit a log line every `log_every` epochs (0: silent).
+  std::int64_t log_every = 0;
+  /// Interior-shard count for data-parallel training (1 = serial).
+  std::size_t threads = 1;
+  /// Throw NumericsError when the loss goes non-finite.
+  bool check_finite = true;
+
+  void validate() const;
+};
+
+struct EpochRecord {
+  std::int64_t epoch = 0;
+  double total_loss = 0.0;
+  double pde_loss = 0.0;
+  std::vector<std::pair<std::string, double>> aux_losses;
+  double l2 = std::numeric_limits<double>::quiet_NaN();  ///< NaN: not evaluated
+  double lr = 0.0;
+  double grad_norm = 0.0;
+};
+
+struct TrainResult {
+  std::vector<EpochRecord> history;
+  double final_loss = 0.0;
+  double final_l2 = 0.0;
+  double seconds = 0.0;
+  std::int64_t epochs_run = 0;
+
+  /// First epoch record at-or-after `epoch` (for convergence plots).
+  const EpochRecord& at_epoch(std::int64_t epoch) const;
+};
+
+class Trainer {
+ public:
+  Trainer(std::shared_ptr<Problem> problem, std::shared_ptr<FieldModel> model,
+          TrainConfig config);
+
+  /// Runs the configured number of epochs and returns the history.
+  TrainResult fit();
+
+  /// One optimization step on the stored collocation set; returns the
+  /// epoch record (exposed for benchmarking single-step cost).
+  EpochRecord step(std::int64_t epoch);
+
+  /// Relative L2 of the current model against the problem reference.
+  double evaluate_l2();
+
+  const CollocationSet& collocation() const { return points_; }
+  FieldModel& model() { return *model_; }
+
+ private:
+  /// Loss + parameter gradients for the current epoch.
+  struct LossAndGrads {
+    double total = 0.0;
+    double pde = 0.0;
+    std::vector<std::pair<std::string, double>> aux;
+    std::vector<Tensor> grads;
+  };
+  LossAndGrads compute(std::int64_t epoch);
+  LossAndGrads compute_serial(std::int64_t epoch);
+  LossAndGrads compute_parallel(std::int64_t epoch);
+
+  /// Shard-local weighted residual sum: sum(w * r^2) / (N_total * R),
+  /// plus (on shard 0) the auxiliary losses. When aux terms are included,
+  /// `aux_out` receives their unweighted values and `aux_weighted_sum`
+  /// their weighted total (so the PDE component can be recovered without
+  /// re-evaluating the losses).
+  autodiff::Variable shard_loss(const Tensor& shard_points,
+                                const Tensor& shard_weights,
+                                std::int64_t total_rows, bool include_aux,
+                                std::vector<std::pair<std::string, double>>*
+                                    aux_out,
+                                double* aux_weighted_sum);
+
+  std::shared_ptr<Problem> problem_;
+  std::shared_ptr<FieldModel> model_;
+  TrainConfig config_;
+  CollocationSet points_;
+  Rng resample_rng_{0};
+  std::vector<autodiff::Variable> params_;
+  std::unique_ptr<optim::Adam> optimizer_;
+  std::unique_ptr<optim::LrSchedule> schedule_;
+};
+
+}  // namespace qpinn::core

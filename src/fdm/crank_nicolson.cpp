@@ -1,0 +1,109 @@
+#include "fdm/crank_nicolson.hpp"
+
+#include <cmath>
+
+#include "fdm/tridiag.hpp"
+#include "util/error.hpp"
+
+namespace qpinn::fdm {
+
+void CrankNicolsonConfig::validate() const {
+  if (grid.n < 3) throw ConfigError("CN: grid needs at least 3 points");
+  if (dt <= 0.0) throw ConfigError("CN: dt must be positive");
+  if (steps < 1) throw ConfigError("CN: steps must be >= 1");
+  if (store_every < 1) throw ConfigError("CN: store_every must be >= 1");
+  if (hbar <= 0.0 || mass <= 0.0) {
+    throw ConfigError("CN: hbar and mass must be positive");
+  }
+  if ((boundary == Boundary::kPeriodic) != grid.periodic) {
+    throw ConfigError("CN: boundary kind must match grid.periodic");
+  }
+}
+
+double WaveEvolution::norm_at(std::size_t k, const Grid1d& grid) const {
+  QPINN_CHECK(k < psi.size(), "snapshot index out of range");
+  return l2_norm(grid, psi[k]);
+}
+
+WaveEvolution solve_tdse_crank_nicolson(const CrankNicolsonConfig& config,
+                                        std::vector<Complex> psi0) {
+  config.validate();
+  const std::size_t n = static_cast<std::size_t>(config.grid.n);
+  QPINN_CHECK(psi0.size() == n, "CN: psi0 size must match grid");
+
+  const std::vector<double> x = config.grid.points();
+  const double dx = config.grid.dx();
+  const double kinetic =
+      config.hbar * config.hbar / (2.0 * config.mass * dx * dx);
+
+  // H is tridiagonal: diag_i = 2*kinetic + V_i, offdiag = -kinetic
+  // (plus corner couplings when periodic).
+  std::vector<double> v(n, 0.0);
+  if (config.potential) {
+    for (std::size_t i = 0; i < n; ++i) v[i] = config.potential(x[i]);
+  }
+
+  // CN matrices: A = I + i dt/(2 hbar) H (implicit), B = I - i dt/(2 hbar) H.
+  const Complex ifac = Complex(0.0, config.dt / (2.0 * config.hbar));
+  std::vector<Complex> a_lower(n), a_diag(n), a_upper(n);
+  std::vector<Complex> b_lower(n), b_diag(n), b_upper(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double h_diag = 2.0 * kinetic + v[i];
+    a_diag[i] = Complex(1.0, 0.0) + ifac * h_diag;
+    b_diag[i] = Complex(1.0, 0.0) - ifac * h_diag;
+    const Complex a_off = ifac * (-kinetic);
+    const Complex b_off = -ifac * (-kinetic);
+    a_lower[i] = a_upper[i] = a_off;
+    b_lower[i] = b_upper[i] = b_off;
+  }
+  const bool periodic = config.boundary == Boundary::kPeriodic;
+  const Complex a_corner = ifac * (-kinetic);
+  const Complex b_corner = -ifac * (-kinetic);
+
+  WaveEvolution out;
+  out.x = x;
+  out.t.push_back(0.0);
+  out.psi.push_back(psi0);
+
+  std::vector<Complex> psi = std::move(psi0);
+  std::vector<Complex> rhs(n);
+  for (std::int64_t step = 1; step <= config.steps; ++step) {
+    // rhs = B psi.
+    for (std::size_t i = 0; i < n; ++i) {
+      Complex acc = b_diag[i] * psi[i];
+      if (i > 0) acc += b_lower[i] * psi[i - 1];
+      if (i + 1 < n) acc += b_upper[i] * psi[i + 1];
+      rhs[i] = acc;
+    }
+    if (periodic) {
+      rhs[0] += b_corner * psi[n - 1];
+      rhs[n - 1] += b_corner * psi[0];
+      psi = solve_cyclic_tridiagonal(a_lower, a_diag, a_upper, a_corner,
+                                     a_corner, rhs);
+    } else {
+      psi = solve_tridiagonal(a_lower, a_diag, a_upper, rhs);
+    }
+
+    if (step % config.store_every == 0 || step == config.steps) {
+      out.t.push_back(config.dt * static_cast<double>(step));
+      out.psi.push_back(psi);
+    }
+  }
+  return out;
+}
+
+WaveEvolution solve_tdse_crank_nicolson(
+    const CrankNicolsonConfig& config,
+    const std::function<Complex(double)>& psi0) {
+  QPINN_CHECK(static_cast<bool>(psi0), "CN: psi0 callable must be set");
+  const std::vector<double> x = config.grid.points();
+  std::vector<Complex> samples(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) samples[i] = psi0(x[i]);
+  if (config.boundary == Boundary::kDirichlet) {
+    samples.front() = 0.0;
+    samples.back() = 0.0;
+  }
+  return solve_tdse_crank_nicolson(config, std::move(samples));
+}
+
+}  // namespace qpinn::fdm

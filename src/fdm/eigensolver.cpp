@@ -1,0 +1,168 @@
+#include "fdm/eigensolver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "fdm/tridiag.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace qpinn::fdm {
+
+std::vector<double> SymTridiag::apply(const std::vector<double>& x) const {
+  QPINN_CHECK(x.size() == diag.size(), "SymTridiag::apply size mismatch");
+  std::vector<double> y(x.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = diag[i] * x[i];
+    if (i > 0) acc += offdiag[i - 1] * x[i - 1];
+    if (i + 1 < n) acc += offdiag[i] * x[i + 1];
+    y[i] = acc;
+  }
+  return y;
+}
+
+SymTridiag build_hamiltonian(const Grid1d& grid,
+                             const std::function<double(double)>& potential) {
+  QPINN_CHECK(!grid.periodic,
+              "build_hamiltonian assumes Dirichlet (non-periodic) walls");
+  QPINN_CHECK(grid.n >= 4, "eigensolver grid needs at least 4 points");
+  const std::vector<double> x = grid.points();
+  const double dx = grid.dx();
+  const double kinetic = 1.0 / (2.0 * dx * dx);
+
+  const std::size_t interior = static_cast<std::size_t>(grid.n - 2);
+  SymTridiag m;
+  m.diag.resize(interior);
+  m.offdiag.assign(interior - 1, -kinetic);
+  for (std::size_t i = 0; i < interior; ++i) {
+    const double v = potential ? potential(x[i + 1]) : 0.0;
+    m.diag[i] = 2.0 * kinetic + v;
+  }
+  return m;
+}
+
+std::int64_t sturm_count(const SymTridiag& m, double lambda) {
+  // Count negative values in the Sturm sequence of pivots of
+  // (M - lambda I) = L D L^T; equals the number of eigenvalues < lambda.
+  // A pivot that is exactly zero (lambda hits an eigenvalue of a leading
+  // submatrix) is handled by Wilkinson's replacement: substitute
+  // |off| / eps for off^2 / d so the next pivot is driven hard negative
+  // and gets counted exactly once.
+  const std::size_t n = m.size();
+  std::int64_t count = 0;
+  double d = m.diag[0] - lambda;
+  if (d < 0.0) ++count;
+  for (std::size_t i = 1; i < n; ++i) {
+    const double off = m.offdiag[i - 1];
+    double correction;
+    if (d == 0.0) {
+      correction = std::abs(off) / std::numeric_limits<double>::epsilon();
+    } else {
+      correction = off * off / d;
+    }
+    d = (m.diag[i] - lambda) - correction;
+    if (d < 0.0) ++count;
+  }
+  return count;
+}
+
+namespace {
+/// Gershgorin bounds on the spectrum.
+std::pair<double, double> spectrum_bounds(const SymTridiag& m) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  const std::size_t n = m.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    double radius = 0.0;
+    if (i > 0) radius += std::abs(m.offdiag[i - 1]);
+    if (i + 1 < n) radius += std::abs(m.offdiag[i]);
+    lo = std::min(lo, m.diag[i] - radius);
+    hi = std::max(hi, m.diag[i] + radius);
+  }
+  return {lo, hi};
+}
+}  // namespace
+
+std::vector<double> smallest_eigenvalues(const SymTridiag& m, std::int64_t k,
+                                         double tol) {
+  QPINN_CHECK(k >= 1 && k <= static_cast<std::int64_t>(m.size()),
+              "requested eigenvalue count out of range");
+  auto [lo, hi] = spectrum_bounds(m);
+
+  std::vector<double> values(static_cast<std::size_t>(k));
+  for (std::int64_t j = 0; j < k; ++j) {
+    // Bisection for the (j+1)-th smallest eigenvalue: find lambda with
+    // sturm_count(lambda) >= j+1 minimal.
+    double a = lo, b = hi;
+    while (b - a > tol * std::max(1.0, std::abs(b))) {
+      const double mid = 0.5 * (a + b);
+      if (sturm_count(m, mid) >= j + 1) {
+        b = mid;
+      } else {
+        a = mid;
+      }
+    }
+    values[static_cast<std::size_t>(j)] = 0.5 * (a + b);
+  }
+  return values;
+}
+
+std::vector<EigenPair> smallest_eigenpairs(const SymTridiag& m, std::int64_t k,
+                                           double dx, double tol) {
+  QPINN_CHECK(dx > 0.0, "dx must be positive");
+  const std::vector<double> values = smallest_eigenvalues(m, k, tol);
+  const std::size_t n = m.size();
+
+  std::vector<double> lower(n), upper(n);
+  std::vector<EigenPair> pairs;
+  pairs.reserve(values.size());
+
+  Rng rng(12345);
+  for (double lambda : values) {
+    // Inverse iteration on (M - (lambda + delta) I); the small shift keeps
+    // the system invertible even when lambda is accurate to roundoff.
+    const double shift =
+        lambda + 10.0 * tol * std::max(1.0, std::abs(lambda));
+    std::vector<double> diag(n);
+    for (std::size_t i = 0; i < n; ++i) diag[i] = m.diag[i] - shift;
+    for (std::size_t i = 0; i < n; ++i) {
+      lower[i] = (i > 0) ? m.offdiag[i - 1] : 0.0;
+      upper[i] = (i + 1 < n) ? m.offdiag[i] : 0.0;
+    }
+
+    std::vector<double> v(n);
+    for (auto& value : v) value = rng.normal();
+    for (int iteration = 0; iteration < 4; ++iteration) {
+      v = solve_tridiagonal(lower, diag, upper, v);
+      double norm = 0.0;
+      for (double value : v) norm += value * value;
+      norm = std::sqrt(norm);
+      if (!(norm > 0.0) || !std::isfinite(norm)) {
+        throw NumericsError("inverse iteration diverged");
+      }
+      for (auto& value : v) value /= norm;
+    }
+
+    // Grid normalization: sum v^2 dx = 1.
+    double grid_norm = 0.0;
+    for (double value : v) grid_norm += value * value;
+    grid_norm = std::sqrt(grid_norm * dx);
+    for (auto& value : v) value /= grid_norm;
+
+    // Deterministic sign: first entry with significant magnitude positive.
+    for (double value : v) {
+      if (std::abs(value) > 1e-8) {
+        if (value < 0.0) {
+          for (auto& flip : v) flip = -flip;
+        }
+        break;
+      }
+    }
+    pairs.push_back(EigenPair{lambda, std::move(v)});
+  }
+  return pairs;
+}
+
+}  // namespace qpinn::fdm

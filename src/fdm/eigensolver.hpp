@@ -1,0 +1,52 @@
+// Finite-difference eigensolver for the 1-D time-independent Schrödinger
+// equation  H psi = E psi,  H = -1/2 d^2/dx^2 + V(x)  (hbar = m = 1),
+// with Dirichlet walls.
+//
+// The symmetric tridiagonal spectrum is located by Sturm-sequence
+// bisection (bit-reliable bracketing of the k lowest eigenvalues) and
+// eigenvectors are recovered by shifted inverse iteration. This is the
+// spectral reference for the eigen-PINN experiments (table T2).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "fdm/grid.hpp"
+
+namespace qpinn::fdm {
+
+/// A symmetric tridiagonal matrix (diag, offdiag with offdiag.size() ==
+/// diag.size() - 1).
+struct SymTridiag {
+  std::vector<double> diag;
+  std::vector<double> offdiag;
+
+  std::size_t size() const { return diag.size(); }
+  /// y = M x.
+  std::vector<double> apply(const std::vector<double>& x) const;
+};
+
+/// Discretizes H on the interior points of `grid` (Dirichlet: boundary
+/// values are pinned to zero and excluded from the matrix).
+SymTridiag build_hamiltonian(const Grid1d& grid,
+                             const std::function<double(double)>& potential);
+
+/// Number of eigenvalues of M strictly less than `lambda` (Sturm count).
+std::int64_t sturm_count(const SymTridiag& m, double lambda);
+
+/// The k smallest eigenvalues by bisection, to absolute tolerance `tol`.
+std::vector<double> smallest_eigenvalues(const SymTridiag& m, std::int64_t k,
+                                         double tol = 1e-10);
+
+struct EigenPair {
+  double value = 0.0;
+  std::vector<double> vector;  ///< interior values, L2-grid-normalized
+};
+
+/// Eigenpairs for the k lowest states: values via Sturm bisection, vectors
+/// via inverse iteration; vectors are normalized so sum(v^2) dx = 1 and
+/// sign-fixed (first significant entry positive).
+std::vector<EigenPair> smallest_eigenpairs(const SymTridiag& m, std::int64_t k,
+                                           double dx, double tol = 1e-10);
+
+}  // namespace qpinn::fdm

@@ -1,0 +1,74 @@
+#include "fdm/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace qpinn::fdm {
+
+bool is_power_of_two(std::int64_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+void fft_inplace(std::vector<std::complex<double>>& a, bool inverse) {
+  const std::size_t n = a.size();
+  QPINN_CHECK(is_power_of_two(static_cast<std::int64_t>(n)),
+              "fft size must be a power of two, got " + std::to_string(n));
+  if (n == 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> w_len(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const std::complex<double> u = a[i + j];
+        const std::complex<double> v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= w_len;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& v : a) v *= inv_n;
+  }
+}
+
+std::vector<std::complex<double>> fft(std::vector<std::complex<double>> a) {
+  fft_inplace(a, false);
+  return a;
+}
+
+std::vector<std::complex<double>> ifft(std::vector<std::complex<double>> a) {
+  fft_inplace(a, true);
+  return a;
+}
+
+std::vector<double> fft_wavenumbers(std::int64_t n, double dx) {
+  QPINN_CHECK(n >= 1, "fft_wavenumbers needs n >= 1");
+  QPINN_CHECK(dx > 0.0, "fft_wavenumbers needs dx > 0");
+  std::vector<double> k(static_cast<std::size_t>(n));
+  const double scale =
+      2.0 * std::numbers::pi / (static_cast<double>(n) * dx);
+  const std::int64_t half = (n - 1) / 2;
+  for (std::int64_t i = 0; i <= half; ++i) {
+    k[static_cast<std::size_t>(i)] = scale * static_cast<double>(i);
+  }
+  for (std::int64_t i = half + 1; i < n; ++i) {
+    k[static_cast<std::size_t>(i)] = scale * static_cast<double>(i - n);
+  }
+  return k;
+}
+
+}  // namespace qpinn::fdm

@@ -1,0 +1,27 @@
+// Iterative radix-2 Cooley-Tukey FFT (power-of-two sizes).
+//
+// Used by the split-step Fourier reference solvers and by the spectral
+// analysis utilities. Convention: forward transform has e^{-i k x} kernel
+// and no scaling; the inverse applies 1/n.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace qpinn::fdm {
+
+/// In-place FFT; size must be a power of two (>= 1).
+void fft_inplace(std::vector<std::complex<double>>& a, bool inverse = false);
+
+/// Out-of-place helpers.
+std::vector<std::complex<double>> fft(std::vector<std::complex<double>> a);
+std::vector<std::complex<double>> ifft(std::vector<std::complex<double>> a);
+
+/// Angular wavenumbers k_j = 2*pi*f_j matching fft() output ordering for a
+/// length-n periodic grid of spacing dx (NumPy fftfreq layout).
+std::vector<double> fft_wavenumbers(std::int64_t n, double dx);
+
+/// True when n is a power of two (n >= 1).
+bool is_power_of_two(std::int64_t n);
+
+}  // namespace qpinn::fdm

@@ -1,0 +1,82 @@
+#include "fdm/grid.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace qpinn::fdm {
+
+double Grid1d::dx() const {
+  QPINN_CHECK(n >= 2, "grid needs at least two points");
+  QPINN_CHECK(hi > lo, "grid requires hi > lo");
+  return periodic ? (hi - lo) / static_cast<double>(n)
+                  : (hi - lo) / static_cast<double>(n - 1);
+}
+
+std::vector<double> Grid1d::points() const {
+  const double step = dx();
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    x[static_cast<std::size_t>(i)] = lo + step * static_cast<double>(i);
+  }
+  if (!periodic) x.back() = hi;
+  return x;
+}
+
+double trapezoid(const Grid1d& grid, const std::vector<double>& f) {
+  QPINN_CHECK(static_cast<std::int64_t>(f.size()) == grid.n,
+              "trapezoid: sample count must match grid");
+  const double dx = grid.dx();
+  if (grid.periodic) {
+    double acc = 0.0;
+    for (double v : f) acc += v;
+    return acc * dx;
+  }
+  double acc = 0.5 * (f.front() + f.back());
+  for (std::size_t i = 1; i + 1 < f.size(); ++i) acc += f[i];
+  return acc * dx;
+}
+
+Complex trapezoid(const Grid1d& grid, const std::vector<Complex>& f) {
+  QPINN_CHECK(static_cast<std::int64_t>(f.size()) == grid.n,
+              "trapezoid: sample count must match grid");
+  const double dx = grid.dx();
+  if (grid.periodic) {
+    Complex acc = 0.0;
+    for (const Complex& v : f) acc += v;
+    return acc * dx;
+  }
+  Complex acc = 0.5 * (f.front() + f.back());
+  for (std::size_t i = 1; i + 1 < f.size(); ++i) acc += f[i];
+  return acc * dx;
+}
+
+double simpson(const Grid1d& grid, const std::vector<double>& f) {
+  QPINN_CHECK(!grid.periodic, "simpson is defined for non-periodic grids");
+  QPINN_CHECK(static_cast<std::int64_t>(f.size()) == grid.n,
+              "simpson: sample count must match grid");
+  QPINN_CHECK(grid.n >= 3 && grid.n % 2 == 1,
+              "simpson needs an odd number of points");
+  const double dx = grid.dx();
+  double acc = f.front() + f.back();
+  for (std::int64_t i = 1; i < grid.n - 1; ++i) {
+    acc += f[static_cast<std::size_t>(i)] * (i % 2 == 1 ? 4.0 : 2.0);
+  }
+  return acc * dx / 3.0;
+}
+
+double l2_norm(const Grid1d& grid, const std::vector<Complex>& psi) {
+  std::vector<double> density(psi.size());
+  for (std::size_t i = 0; i < psi.size(); ++i) density[i] = std::norm(psi[i]);
+  return std::sqrt(trapezoid(grid, density));
+}
+
+void normalize(const Grid1d& grid, std::vector<Complex>& psi) {
+  const double norm = l2_norm(grid, psi);
+  if (!(norm > 1e-300)) {
+    throw NumericsError("cannot normalize a zero wavefunction");
+  }
+  for (Complex& v : psi) v /= norm;
+}
+
+}  // namespace qpinn::fdm

@@ -1,0 +1,41 @@
+// Uniform grids and quadrature used by the reference solvers and the
+// PINN's integral loss terms (norm conservation).
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace qpinn::fdm {
+
+using Complex = std::complex<double>;
+
+/// Uniform 1-D grid. `inclusive` grids contain both endpoints (natural for
+/// Dirichlet problems); periodic grids exclude the right endpoint.
+struct Grid1d {
+  double lo = -1.0;
+  double hi = 1.0;
+  std::int64_t n = 2;
+  bool periodic = false;
+
+  double dx() const;
+  std::vector<double> points() const;
+};
+
+/// Composite trapezoid rule over samples on a Grid1d. For periodic grids
+/// the wrap-around interval is included (all points weigh dx).
+double trapezoid(const Grid1d& grid, const std::vector<double>& f);
+Complex trapezoid(const Grid1d& grid, const std::vector<Complex>& f);
+
+/// Composite Simpson rule (non-periodic grids; n must be odd so the
+/// interval count is even).
+double simpson(const Grid1d& grid, const std::vector<double>& f);
+
+/// L2 norm of a complex field: sqrt( integral |psi|^2 dx ).
+double l2_norm(const Grid1d& grid, const std::vector<Complex>& psi);
+
+/// Normalizes psi to unit L2 norm in place; throws NumericsError when the
+/// field is (numerically) zero.
+void normalize(const Grid1d& grid, std::vector<Complex>& psi);
+
+}  // namespace qpinn::fdm

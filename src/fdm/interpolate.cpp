@@ -1,0 +1,54 @@
+#include "fdm/interpolate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace qpinn::fdm {
+
+std::function<Complex(double, double)> make_interpolant(
+    std::shared_ptr<const WaveEvolution> evolution, bool periodic_x) {
+  QPINN_CHECK(evolution != nullptr, "interpolant needs an evolution");
+  QPINN_CHECK(evolution->x.size() >= 2 && evolution->t.size() >= 2,
+              "interpolant needs at least a 2x2 space-time sampling");
+  // Snapshot times must be uniform for O(1) lookup.
+  const double dt = evolution->t[1] - evolution->t[0];
+  for (std::size_t k = 1; k < evolution->t.size(); ++k) {
+    const double step = evolution->t[k] - evolution->t[k - 1];
+    QPINN_CHECK(std::abs(step - dt) < 1e-9 * std::max(1.0, std::abs(dt)),
+                "interpolant requires uniformly spaced snapshots");
+  }
+  const double dx = evolution->x[1] - evolution->x[0];
+  const double x0 = evolution->x.front();
+  const double t0 = evolution->t.front();
+  const std::size_t nx = evolution->x.size();
+  const std::size_t nt = evolution->t.size();
+
+  return [evolution = std::move(evolution), periodic_x, dx, dt, x0, t0, nx,
+          nt](double x, double t) -> Complex {
+    // Fractional indices, clamped to the stored ranges.
+    double fx = (x - x0) / dx;
+    double ft = (t - t0) / dt;
+    const double max_fx =
+        periodic_x ? static_cast<double>(nx) : static_cast<double>(nx - 1);
+    fx = std::clamp(fx, 0.0, max_fx - 1e-12);
+    ft = std::clamp(ft, 0.0, static_cast<double>(nt - 1) - 1e-12);
+
+    const std::size_t i = static_cast<std::size_t>(fx);
+    const std::size_t k = static_cast<std::size_t>(ft);
+    const double ax = fx - static_cast<double>(i);
+    const double at = ft - static_cast<double>(k);
+    const std::size_t i1 = periodic_x ? (i + 1) % nx : std::min(i + 1, nx - 1);
+    const std::size_t k1 = std::min(k + 1, nt - 1);
+
+    const Complex f00 = evolution->psi[k][i];
+    const Complex f10 = evolution->psi[k][i1];
+    const Complex f01 = evolution->psi[k1][i];
+    const Complex f11 = evolution->psi[k1][i1];
+    return (1.0 - ax) * (1.0 - at) * f00 + ax * (1.0 - at) * f10 +
+           (1.0 - ax) * at * f01 + ax * at * f11;
+  };
+}
+
+}  // namespace qpinn::fdm

@@ -1,0 +1,19 @@
+// Bilinear space-time interpolation of a stored WaveEvolution — turns an
+// FDM solve into a SpaceTimeField-compatible callable usable as a PINN
+// reference where no closed form exists (e.g. the Raissi NLS benchmark).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "fdm/crank_nicolson.hpp"
+
+namespace qpinn::fdm {
+
+/// psi(x, t) by bilinear interpolation. Requires uniformly spaced snapshot
+/// times; x and t are clamped to the stored ranges. For `periodic_x` the
+/// wrap-around cell between the last and first grid point is interpolated.
+std::function<Complex(double, double)> make_interpolant(
+    std::shared_ptr<const WaveEvolution> evolution, bool periodic_x);
+
+}  // namespace qpinn::fdm

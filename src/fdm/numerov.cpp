@@ -1,0 +1,135 @@
+#include "fdm/numerov.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace qpinn::fdm {
+
+namespace {
+
+/// Shooting integration; returns the full trajectory.
+std::vector<double> numerov_trajectory(
+    const Grid1d& grid, const std::function<double(double)>& potential,
+    double E) {
+  QPINN_CHECK(!grid.periodic, "numerov assumes Dirichlet walls");
+  QPINN_CHECK(grid.n >= 8, "numerov grid too small");
+  const std::vector<double> x = grid.points();
+  const double dx = grid.dx();
+  const double h2 = dx * dx;
+
+  auto f = [&](double xv) {
+    const double v = potential ? potential(xv) : 0.0;
+    return 2.0 * (v - E);
+  };
+
+  std::vector<double> psi(x.size(), 0.0);
+  psi[0] = 0.0;
+  psi[1] = dx;  // unit slope start; overall scale is irrelevant
+  for (std::size_t i = 1; i + 1 < x.size(); ++i) {
+    const double fi = f(x[i]);
+    const double fim = f(x[i - 1]);
+    const double fip = f(x[i + 1]);
+    const double num = 2.0 * (1.0 + 5.0 * h2 / 12.0 * fi) * psi[i] -
+                       (1.0 - h2 / 12.0 * fim) * psi[i - 1];
+    const double den = 1.0 - h2 / 12.0 * fip;
+    psi[i + 1] = num / den;
+    // Renormalize occasionally to avoid overflow in classically forbidden
+    // regions.
+    if (std::abs(psi[i + 1]) > 1e100) {
+      const double scale = 1.0 / std::abs(psi[i + 1]);
+      for (std::size_t j = 0; j <= i + 1; ++j) psi[j] *= scale;
+    }
+  }
+  return psi;
+}
+
+}  // namespace
+
+double numerov_shoot(const Grid1d& grid,
+                     const std::function<double(double)>& potential,
+                     double E) {
+  return numerov_trajectory(grid, potential, E).back();
+}
+
+std::int64_t numerov_node_count(const Grid1d& grid,
+                                const std::function<double(double)>& potential,
+                                double E) {
+  const std::vector<double> psi = numerov_trajectory(grid, potential, E);
+  std::int64_t nodes = 0;
+  for (std::size_t i = 2; i + 1 < psi.size(); ++i) {
+    if (psi[i] == 0.0) continue;
+    if (psi[i] * psi[i - 1] < 0.0) ++nodes;
+  }
+  return nodes;
+}
+
+std::vector<double> numerov_eigenvalues(
+    const Grid1d& grid, const std::function<double(double)>& potential,
+    std::int64_t k, double e_min, double e_max, double tol) {
+  QPINN_CHECK(k >= 1, "numerov_eigenvalues needs k >= 1");
+  QPINN_CHECK(e_max > e_min, "numerov_eigenvalues needs e_max > e_min");
+
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(k));
+  for (std::int64_t j = 0; j < k; ++j) {
+    // Bracket the j-th eigenvalue by node count: below E_j the shooting
+    // solution has <= j-1 interior nodes, above it >= j (well-known
+    // oscillation property).
+    double lo = e_min, hi = e_max;
+    // Ensure the bracket actually contains the target node counts.
+    QPINN_CHECK(numerov_node_count(grid, potential, hi) >= j + 1,
+                "numerov: e_max too small to contain requested state");
+    while (hi - lo > tol * std::max(1.0, std::abs(hi))) {
+      const double mid = 0.5 * (lo + hi);
+      if (numerov_node_count(grid, potential, mid) >= j + 1) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    // Node counting only registers a node once it has moved a cell or two
+    // inside the wall, so the transition sits slightly ABOVE the true
+    // eigenvalue (relative offset ~ grid cells / domain). Refine on the
+    // boundary-value sign change, which flips exactly at the discrete
+    // eigenvalue: search downward from the transition for a bracket.
+    const double transition = 0.5 * (lo + hi);
+    const double cell_fraction =
+        grid.dx() / (grid.hi - grid.lo);  // relative width of one cell
+    double width =
+        8.0 * cell_fraction * std::max(1.0, std::abs(transition));
+    double b = transition;
+    double fb = numerov_shoot(grid, potential, b);
+    bool bracketed = false;
+    double a = b;
+    double fa = fb;
+    for (int expand = 0; expand < 10; ++expand) {
+      a = b - width;
+      if (a <= e_min) break;
+      fa = numerov_shoot(grid, potential, a);
+      if (fa * fb < 0.0) {
+        bracketed = true;
+        break;
+      }
+      width *= 2.0;
+    }
+    if (bracketed) {
+      while (b - a > tol * std::max(1.0, std::abs(b))) {
+        const double mid = 0.5 * (a + b);
+        const double fm = numerov_shoot(grid, potential, mid);
+        if (fa * fm <= 0.0) {
+          b = mid;
+        } else {
+          a = mid;
+          fa = fm;
+        }
+      }
+      values.push_back(0.5 * (a + b));
+    } else {
+      values.push_back(transition);
+    }
+  }
+  return values;
+}
+
+}  // namespace qpinn::fdm

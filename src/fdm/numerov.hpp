@@ -1,0 +1,35 @@
+// Numerov shooting method for 1-D Schrödinger eigenvalues with Dirichlet
+// walls — an independent cross-check on the Sturm/FD eigensolver (the two
+// must agree to their respective discretization orders).
+//
+// Numerov integrates psi'' = f(x) psi with O(dx^6) local error:
+//   (1 - dx^2/12 f_{i+1}) psi_{i+1} =
+//     2 (1 + 5 dx^2/12 f_i) psi_i - (1 - dx^2/12 f_{i-1}) psi_{i-1}
+// where f = 2 (V - E) for H = -1/2 d2/dx2 + V.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "fdm/grid.hpp"
+
+namespace qpinn::fdm {
+
+/// Value of psi at the right wall when shooting from psi(lo)=0 with unit
+/// initial slope; an eigenvalue is a zero of this function in E.
+double numerov_shoot(const Grid1d& grid,
+                     const std::function<double(double)>& potential, double E);
+
+/// Number of sign changes (nodes) of the shooting solution in the interior;
+/// equals the number of eigenvalues below E (Sturm oscillation theorem).
+std::int64_t numerov_node_count(const Grid1d& grid,
+                                const std::function<double(double)>& potential,
+                                double E);
+
+/// The k smallest Dirichlet eigenvalues by node-count bracketing followed
+/// by bisection on the boundary mismatch.
+std::vector<double> numerov_eigenvalues(
+    const Grid1d& grid, const std::function<double(double)>& potential,
+    std::int64_t k, double e_min, double e_max, double tol = 1e-10);
+
+}  // namespace qpinn::fdm

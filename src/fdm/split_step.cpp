@@ -1,0 +1,82 @@
+#include "fdm/split_step.hpp"
+
+#include <cmath>
+
+#include "fdm/fft.hpp"
+#include "util/error.hpp"
+
+namespace qpinn::fdm {
+
+void SplitStepConfig::validate() const {
+  if (!grid.periodic) {
+    throw ConfigError("split-step requires a periodic grid");
+  }
+  if (!is_power_of_two(grid.n)) {
+    throw ConfigError("split-step grid size must be a power of two");
+  }
+  if (dt <= 0.0) throw ConfigError("split-step: dt must be positive");
+  if (steps < 1) throw ConfigError("split-step: steps must be >= 1");
+  if (store_every < 1) throw ConfigError("split-step: store_every must be >= 1");
+}
+
+WaveEvolution solve_split_step(const SplitStepConfig& config,
+                               std::vector<Complex> psi0) {
+  config.validate();
+  const std::size_t n = static_cast<std::size_t>(config.grid.n);
+  QPINN_CHECK(psi0.size() == n, "split-step: psi0 size must match grid");
+
+  const std::vector<double> x = config.grid.points();
+  const std::vector<double> k = fft_wavenumbers(config.grid.n, config.grid.dx());
+
+  std::vector<double> v(n, 0.0);
+  if (config.potential) {
+    for (std::size_t i = 0; i < n; ++i) v[i] = config.potential(x[i]);
+  }
+
+  // Kinetic full-step phases exp(-i k^2/2 dt).
+  std::vector<Complex> kinetic_phase(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phase = -0.5 * k[i] * k[i] * config.dt;
+    kinetic_phase[i] = Complex(std::cos(phase), std::sin(phase));
+  }
+
+  WaveEvolution out;
+  out.x = x;
+  out.t.push_back(0.0);
+  out.psi.push_back(psi0);
+
+  std::vector<Complex> psi = std::move(psi0);
+  const double g = config.nonlinearity;
+  auto apply_half_potential = [&](std::vector<Complex>& field) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double phase =
+          -(v[i] + g * std::norm(field[i])) * (config.dt / 2.0);
+      field[i] *= Complex(std::cos(phase), std::sin(phase));
+    }
+  };
+
+  for (std::int64_t step = 1; step <= config.steps; ++step) {
+    apply_half_potential(psi);
+    fft_inplace(psi, /*inverse=*/false);
+    for (std::size_t i = 0; i < n; ++i) psi[i] *= kinetic_phase[i];
+    fft_inplace(psi, /*inverse=*/true);
+    apply_half_potential(psi);
+
+    if (step % config.store_every == 0 || step == config.steps) {
+      out.t.push_back(config.dt * static_cast<double>(step));
+      out.psi.push_back(psi);
+    }
+  }
+  return out;
+}
+
+WaveEvolution solve_split_step(const SplitStepConfig& config,
+                               const std::function<Complex(double)>& psi0) {
+  QPINN_CHECK(static_cast<bool>(psi0), "split-step: psi0 callable must be set");
+  const std::vector<double> x = config.grid.points();
+  std::vector<Complex> samples(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) samples[i] = psi0(x[i]);
+  return solve_split_step(config, std::move(samples));
+}
+
+}  // namespace qpinn::fdm

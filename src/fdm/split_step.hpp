@@ -1,0 +1,36 @@
+// Strang split-step Fourier integrator for the (nonlinear) Schrödinger
+// equation on a periodic domain:
+//
+//   i psi_t = -1/2 psi_xx + V(x) psi + g |psi|^2 psi
+//
+// (hbar = m = 1; g = -1 gives the focusing NLS benchmark
+//  i psi_t + 1/2 psi_xx + |psi|^2 psi = 0 from Raissi et al. 2019).
+// Spectral in space, 2nd order in time; the reference solver for the NLS
+// experiments.
+#pragma once
+
+#include <functional>
+
+#include "fdm/crank_nicolson.hpp"  // WaveEvolution
+#include "fdm/grid.hpp"
+
+namespace qpinn::fdm {
+
+struct SplitStepConfig {
+  Grid1d grid;              ///< must be periodic with power-of-two n
+  double dt = 1e-4;
+  std::int64_t steps = 100;
+  std::function<double(double)> potential;  ///< V(x); null = 0
+  double nonlinearity = 0.0;                ///< g
+  std::int64_t store_every = 1;
+
+  void validate() const;
+};
+
+WaveEvolution solve_split_step(const SplitStepConfig& config,
+                               std::vector<Complex> psi0);
+
+WaveEvolution solve_split_step(const SplitStepConfig& config,
+                               const std::function<Complex(double)>& psi0);
+
+}  // namespace qpinn::fdm

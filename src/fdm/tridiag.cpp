@@ -1,0 +1,106 @@
+#include "fdm/tridiag.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace qpinn::fdm {
+
+namespace {
+double magnitude(double v) { return std::abs(v); }
+double magnitude(const std::complex<double>& v) { return std::abs(v); }
+}  // namespace
+
+template <typename T>
+std::vector<T> solve_tridiagonal(const std::vector<T>& lower,
+                                 const std::vector<T>& diag,
+                                 const std::vector<T>& upper,
+                                 const std::vector<T>& rhs) {
+  const std::size_t n = diag.size();
+  QPINN_CHECK(n >= 1, "tridiagonal system must be non-empty");
+  QPINN_CHECK(lower.size() == n && upper.size() == n && rhs.size() == n,
+              "tridiagonal bands and rhs must all have length n");
+
+  std::vector<T> c_prime(n);
+  std::vector<T> d_prime(n);
+  if (magnitude(diag[0]) < 1e-300) {
+    throw NumericsError("tridiagonal solve: zero pivot at row 0");
+  }
+  c_prime[0] = upper[0] / diag[0];
+  d_prime[0] = rhs[0] / diag[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    const T denom = diag[i] - lower[i] * c_prime[i - 1];
+    if (magnitude(denom) < 1e-300) {
+      throw NumericsError("tridiagonal solve: zero pivot at row " +
+                          std::to_string(i));
+    }
+    c_prime[i] = upper[i] / denom;
+    d_prime[i] = (rhs[i] - lower[i] * d_prime[i - 1]) / denom;
+  }
+  std::vector<T> x(n);
+  x[n - 1] = d_prime[n - 1];
+  for (std::size_t i = n - 1; i-- > 0;) {
+    x[i] = d_prime[i] - c_prime[i] * x[i + 1];
+  }
+  return x;
+}
+
+template <typename T>
+std::vector<T> solve_cyclic_tridiagonal(const std::vector<T>& lower,
+                                        const std::vector<T>& diag,
+                                        const std::vector<T>& upper,
+                                        T corner_lower, T corner_upper,
+                                        const std::vector<T>& rhs) {
+  const std::size_t n = diag.size();
+  QPINN_CHECK(n >= 3, "cyclic tridiagonal system needs n >= 3");
+  QPINN_CHECK(lower.size() == n && upper.size() == n && rhs.size() == n,
+              "cyclic tridiagonal bands and rhs must all have length n");
+
+  // Sherman-Morrison: A = B + u v^T with
+  //   u = (gamma, 0, ..., 0, corner_lower)^T,
+  //   v = (1, 0, ..., 0, corner_upper / gamma)^T,
+  // where B is A with modified corners folded into the diagonal.
+  const T gamma = -diag[0];
+  std::vector<T> mod_diag = diag;
+  mod_diag[0] -= gamma;
+  mod_diag[n - 1] -= corner_lower * corner_upper / gamma;
+
+  std::vector<T> u(n, T{});
+  u[0] = gamma;
+  u[n - 1] = corner_lower;
+
+  const std::vector<T> y = solve_tridiagonal(lower, mod_diag, upper, rhs);
+  const std::vector<T> z = solve_tridiagonal(lower, mod_diag, upper, u);
+
+  const T v_dot_y = y[0] + (corner_upper / gamma) * y[n - 1];
+  const T v_dot_z = z[0] + (corner_upper / gamma) * z[n - 1];
+  const T denom = T{1} + v_dot_z;
+  if (magnitude(denom) < 1e-300) {
+    throw NumericsError("cyclic tridiagonal solve: singular correction");
+  }
+  const T factor = v_dot_y / denom;
+
+  std::vector<T> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = y[i] - factor * z[i];
+  return x;
+}
+
+template std::vector<double> solve_tridiagonal(const std::vector<double>&,
+                                               const std::vector<double>&,
+                                               const std::vector<double>&,
+                                               const std::vector<double>&);
+template std::vector<std::complex<double>> solve_tridiagonal(
+    const std::vector<std::complex<double>>&,
+    const std::vector<std::complex<double>>&,
+    const std::vector<std::complex<double>>&,
+    const std::vector<std::complex<double>>&);
+template std::vector<double> solve_cyclic_tridiagonal(
+    const std::vector<double>&, const std::vector<double>&,
+    const std::vector<double>&, double, double, const std::vector<double>&);
+template std::vector<std::complex<double>> solve_cyclic_tridiagonal(
+    const std::vector<std::complex<double>>&,
+    const std::vector<std::complex<double>>&,
+    const std::vector<std::complex<double>>&, std::complex<double>,
+    std::complex<double>, const std::vector<std::complex<double>>&);
+
+}  // namespace qpinn::fdm

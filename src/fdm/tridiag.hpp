@@ -1,0 +1,49 @@
+// Tridiagonal and cyclic-tridiagonal linear solvers (Thomas algorithm and
+// Sherman-Morrison), real and complex — the kernels behind Crank-Nicolson
+// and inverse iteration.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace qpinn::fdm {
+
+/// Solves a tridiagonal system:
+///   lower[i] x[i-1] + diag[i] x[i] + upper[i] x[i+1] = rhs[i]
+/// with lower[0] and upper[n-1] ignored. Throws NumericsError on a
+/// (numerically) singular pivot. T is double or std::complex<double>.
+template <typename T>
+std::vector<T> solve_tridiagonal(const std::vector<T>& lower,
+                                 const std::vector<T>& diag,
+                                 const std::vector<T>& upper,
+                                 const std::vector<T>& rhs);
+
+/// Solves the cyclic variant where additionally
+///   corner_lower couples x[0] into row n-1, and
+///   corner_upper couples x[n-1] into row 0
+/// (the periodic-boundary Crank-Nicolson matrix). n must be >= 3.
+template <typename T>
+std::vector<T> solve_cyclic_tridiagonal(const std::vector<T>& lower,
+                                        const std::vector<T>& diag,
+                                        const std::vector<T>& upper,
+                                        T corner_lower, T corner_upper,
+                                        const std::vector<T>& rhs);
+
+extern template std::vector<double> solve_tridiagonal(
+    const std::vector<double>&, const std::vector<double>&,
+    const std::vector<double>&, const std::vector<double>&);
+extern template std::vector<std::complex<double>> solve_tridiagonal(
+    const std::vector<std::complex<double>>&,
+    const std::vector<std::complex<double>>&,
+    const std::vector<std::complex<double>>&,
+    const std::vector<std::complex<double>>&);
+extern template std::vector<double> solve_cyclic_tridiagonal(
+    const std::vector<double>&, const std::vector<double>&,
+    const std::vector<double>&, double, double, const std::vector<double>&);
+extern template std::vector<std::complex<double>> solve_cyclic_tridiagonal(
+    const std::vector<std::complex<double>>&,
+    const std::vector<std::complex<double>>&,
+    const std::vector<std::complex<double>>&, std::complex<double>,
+    std::complex<double>, const std::vector<std::complex<double>>&);
+
+}  // namespace qpinn::fdm

@@ -1,0 +1,56 @@
+#include "nn/activation.hpp"
+
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace qpinn::nn {
+
+using autodiff::Variable;
+
+Activation parse_activation(const std::string& name) {
+  if (name == "tanh") return Activation::kTanh;
+  if (name == "sin") return Activation::kSin;
+  if (name == "sigmoid") return Activation::kSigmoid;
+  if (name == "softplus") return Activation::kSoftplus;
+  if (name == "relu") return Activation::kRelu;
+  if (name == "gelu") return Activation::kGelu;
+  if (name == "identity" || name == "none") return Activation::kIdentity;
+  throw ValueError("unknown activation '" + name + "'");
+}
+
+std::string to_string(Activation activation) {
+  switch (activation) {
+    case Activation::kTanh: return "tanh";
+    case Activation::kSin: return "sin";
+    case Activation::kSigmoid: return "sigmoid";
+    case Activation::kSoftplus: return "softplus";
+    case Activation::kRelu: return "relu";
+    case Activation::kGelu: return "gelu";
+    case Activation::kIdentity: return "identity";
+  }
+  throw ValueError("invalid Activation enum value");
+}
+
+Variable apply_activation(Activation activation, const Variable& x) {
+  using namespace autodiff;
+  switch (activation) {
+    case Activation::kTanh: return tanh(x);
+    case Activation::kSin: return sin(x);
+    case Activation::kSigmoid: return sigmoid(x);
+    case Activation::kSoftplus: return softplus(x);
+    case Activation::kRelu: return relu(x);
+    case Activation::kGelu: {
+      // 0.5 x (1 + tanh(sqrt(2/pi) (x + 0.044715 x^3)))
+      const double c =
+          std::numbers::sqrt2 * std::numbers::inv_sqrtpi;  // sqrt(2/pi)
+      const Variable inner =
+          scale(add(x, scale(mul(square(x), x), 0.044715)), c);
+      return scale(mul(x, add_scalar(tanh(inner), 1.0)), 0.5);
+    }
+    case Activation::kIdentity: return x;
+  }
+  throw ValueError("invalid Activation enum value");
+}
+
+}  // namespace qpinn::nn

@@ -1,0 +1,29 @@
+// Activation functions assembled from differentiable ops.
+#pragma once
+
+#include <string>
+
+#include "autodiff/ops.hpp"
+
+namespace qpinn::nn {
+
+enum class Activation {
+  kTanh,      ///< classical PINN default
+  kSin,       ///< SIREN-style; pairs well with wave solutions
+  kSigmoid,
+  kSoftplus,
+  kRelu,      ///< second derivative is zero a.e.: unsuitable for 2nd-order
+              ///< PDE residuals, provided for baselines
+  kGelu,      ///< tanh approximation
+  kIdentity,
+};
+
+Activation parse_activation(const std::string& name);
+std::string to_string(Activation activation);
+
+/// Applies the activation elementwise (fully differentiable to any order,
+/// except relu whose higher derivatives vanish a.e.).
+autodiff::Variable apply_activation(Activation activation,
+                                    const autodiff::Variable& x);
+
+}  // namespace qpinn::nn

@@ -1,0 +1,31 @@
+#include "nn/fourier.hpp"
+
+#include <numbers>
+
+#include "autodiff/ops.hpp"
+#include "util/error.hpp"
+
+namespace qpinn::nn {
+
+using autodiff::Variable;
+
+RandomFourierFeatures::RandomFourierFeatures(std::int64_t in,
+                                             std::int64_t num_features,
+                                             double sigma, Rng& rng)
+    : in_(in), num_features_(num_features) {
+  QPINN_CHECK(in > 0 && num_features > 0, "RFF dims must be positive");
+  QPINN_CHECK(sigma > 0.0, "RFF sigma must be positive");
+  projection_ = Variable::constant(
+      Tensor::randn(Shape{in, num_features}, rng, 0.0, sigma));
+}
+
+Variable RandomFourierFeatures::forward(const Variable& x) {
+  QPINN_CHECK_SHAPE(x.value().rank() == 2 && x.value().cols() == in_,
+                    "RFF expects (N, " + std::to_string(in_) + ") input");
+  using namespace autodiff;
+  const Variable projected =
+      scale(matmul(x, projection_), 2.0 * std::numbers::pi);
+  return concat_cols({sin(projected), cos(projected)});
+}
+
+}  // namespace qpinn::nn

@@ -1,0 +1,48 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace qpinn::nn {
+
+Init parse_init(const std::string& name) {
+  if (name == "xavier_uniform") return Init::kXavierUniform;
+  if (name == "xavier_normal") return Init::kXavierNormal;
+  if (name == "he_normal") return Init::kHeNormal;
+  if (name == "lecun_normal") return Init::kLeCunNormal;
+  throw ValueError("unknown init scheme '" + name + "'");
+}
+
+std::string to_string(Init init) {
+  switch (init) {
+    case Init::kXavierUniform: return "xavier_uniform";
+    case Init::kXavierNormal: return "xavier_normal";
+    case Init::kHeNormal: return "he_normal";
+    case Init::kLeCunNormal: return "lecun_normal";
+  }
+  throw ValueError("invalid Init enum value");
+}
+
+Tensor make_weight(std::int64_t fan_in, std::int64_t fan_out, Init init,
+                   Rng& rng) {
+  QPINN_CHECK(fan_in > 0 && fan_out > 0, "weight fans must be positive");
+  const Shape shape{fan_in, fan_out};
+  const double fi = static_cast<double>(fan_in);
+  const double fo = static_cast<double>(fan_out);
+  switch (init) {
+    case Init::kXavierUniform: {
+      const double bound = std::sqrt(6.0 / (fi + fo));
+      return Tensor::rand(shape, rng, -bound, bound);
+    }
+    case Init::kXavierNormal:
+      return Tensor::randn(shape, rng, 0.0, std::sqrt(2.0 / (fi + fo)));
+    case Init::kHeNormal:
+      return Tensor::randn(shape, rng, 0.0, std::sqrt(2.0 / fi));
+    case Init::kLeCunNormal:
+      return Tensor::randn(shape, rng, 0.0, std::sqrt(1.0 / fi));
+  }
+  throw ValueError("invalid Init enum value");
+}
+
+}  // namespace qpinn::nn

@@ -1,0 +1,26 @@
+// Weight initialization schemes.
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace qpinn::nn {
+
+enum class Init {
+  kXavierUniform,  ///< U(-sqrt(6/(fan_in+fan_out)), +...)  — tanh default
+  kXavierNormal,   ///< N(0, 2/(fan_in+fan_out))
+  kHeNormal,       ///< N(0, 2/fan_in) — relu-family
+  kLeCunNormal,    ///< N(0, 1/fan_in) — selu/sin-family
+};
+
+/// Parses "xavier_uniform" / "xavier_normal" / "he_normal" / "lecun_normal".
+Init parse_init(const std::string& name);
+std::string to_string(Init init);
+
+/// A (fan_in, fan_out) weight matrix drawn from the scheme.
+Tensor make_weight(std::int64_t fan_in, std::int64_t fan_out, Init init,
+                   Rng& rng);
+
+}  // namespace qpinn::nn

@@ -1,0 +1,112 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace qpinn::nn {
+
+namespace {
+constexpr char kMagic[4] = {'Q', 'P', 'N', 'N'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw IoError("checkpoint truncated");
+  return value;
+}
+}  // namespace
+
+void save_parameters(
+    const std::string& path,
+    const std::vector<std::pair<std::string, autodiff::Variable>>& params) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot open '" + path + "' for writing");
+
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint64_t>(params.size()));
+  for (const auto& [name, variable] : params) {
+    const Tensor& tensor = variable.value();
+    write_pod(out, static_cast<std::uint64_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_pod(out, static_cast<std::uint64_t>(tensor.rank()));
+    for (std::int64_t d = 0; d < tensor.rank(); ++d) {
+      write_pod(out, static_cast<std::uint64_t>(tensor.dim(d)));
+    }
+    out.write(reinterpret_cast<const char*>(tensor.data()),
+              static_cast<std::streamsize>(tensor.numel() *
+                                           static_cast<std::int64_t>(
+                                               sizeof(double))));
+  }
+  if (!out) throw IoError("failed while writing checkpoint '" + path + "'");
+}
+
+void load_parameters(
+    const std::string& path,
+    const std::vector<std::pair<std::string, autodiff::Variable>>& params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open checkpoint '" + path + "'");
+
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::string(magic, 4) != std::string(kMagic, 4)) {
+    throw IoError("'" + path + "' is not a qpinn checkpoint");
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kVersion) {
+    throw IoError("unsupported checkpoint version " + std::to_string(version));
+  }
+  const auto count = read_pod<std::uint64_t>(in);
+
+  std::map<std::string, autodiff::Variable> by_name;
+  for (const auto& [name, variable] : params) by_name.emplace(name, variable);
+
+  std::uint64_t matched = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto name_len = read_pod<std::uint64_t>(in);
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    if (!in) throw IoError("checkpoint truncated");
+    const auto rank = read_pod<std::uint64_t>(in);
+    Shape shape(rank);
+    for (auto& d : shape) {
+      d = static_cast<std::int64_t>(read_pod<std::uint64_t>(in));
+    }
+    const std::int64_t n = numel(shape);
+    std::vector<double> data(static_cast<std::size_t>(n));
+    in.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(n * static_cast<std::int64_t>(
+                                                 sizeof(double))));
+    if (!in) throw IoError("checkpoint truncated");
+
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      throw ValueError("checkpoint parameter '" + name +
+                       "' has no match in the target module");
+    }
+    Tensor& target = it->second.mutable_value();
+    QPINN_CHECK_SHAPE(target.shape() == shape,
+                      "checkpoint parameter '" + name + "' has shape " +
+                          shape_to_string(shape) + " but target expects " +
+                          shape_to_string(target.shape()));
+    std::copy(data.begin(), data.end(), target.data());
+    ++matched;
+  }
+  if (matched != params.size()) {
+    throw ValueError("checkpoint holds " + std::to_string(matched) +
+                     " of the module's " + std::to_string(params.size()) +
+                     " parameters");
+  }
+}
+
+}  // namespace qpinn::nn

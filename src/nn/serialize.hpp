@@ -1,0 +1,26 @@
+// Binary checkpointing of module parameters.
+//
+// Format: magic "QPNN", u32 version, u64 count, then per parameter:
+// u64 name length, name bytes, u64 rank, u64 extents..., f64 data...
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autodiff/variable.hpp"
+
+namespace qpinn::nn {
+
+/// Writes named parameters to `path`; throws IoError on failure.
+void save_parameters(
+    const std::string& path,
+    const std::vector<std::pair<std::string, autodiff::Variable>>& params);
+
+/// Loads a checkpoint into existing parameters (matched by name; shapes
+/// must agree). Throws IoError / ShapeError / ValueError on mismatch.
+void load_parameters(
+    const std::string& path,
+    const std::vector<std::pair<std::string, autodiff::Variable>>& params);
+
+}  // namespace qpinn::nn

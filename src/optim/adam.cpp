@@ -1,0 +1,63 @@
+#include "optim/adam.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace qpinn::optim {
+
+Adam::Adam(std::vector<autodiff::Variable> params, const AdamConfig& config)
+    : Optimizer(std::move(params), config.lr), config_(config) {
+  QPINN_CHECK(config.beta1 >= 0.0 && config.beta1 < 1.0,
+              "beta1 must be in [0, 1)");
+  QPINN_CHECK(config.beta2 >= 0.0 && config.beta2 < 1.0,
+              "beta2 must be in [0, 1)");
+  QPINN_CHECK(config.eps > 0.0, "eps must be positive");
+  QPINN_CHECK(config.weight_decay >= 0.0, "weight_decay must be >= 0");
+}
+
+void Adam::reset() {
+  m_.clear();
+  v_.clear();
+  step_count_ = 0;
+}
+
+void Adam::apply(const std::vector<Tensor>& grads) {
+  if (m_.empty()) {
+    m_.reserve(params_.size());
+    v_.reserve(params_.size());
+    for (const auto& p : params_) {
+      m_.push_back(Tensor::zeros(p.value().shape()));
+      v_.push_back(Tensor::zeros(p.value().shape()));
+    }
+  }
+  ++step_count_;
+  const double bc1 = 1.0 - std::pow(config_.beta1, step_count_);
+  const double bc2 = 1.0 - std::pow(config_.beta2, step_count_);
+
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Tensor& param = params_[i].mutable_value();
+    const double* g = grads[i].data();
+    double* p = param.data();
+    double* m = m_[i].data();
+    double* v = v_[i].data();
+    const std::int64_t n = param.numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      double gj = g[j];
+      if (config_.weight_decay > 0.0 && !config_.decoupled) {
+        gj += config_.weight_decay * p[j];
+      }
+      m[j] = config_.beta1 * m[j] + (1.0 - config_.beta1) * gj;
+      v[j] = config_.beta2 * v[j] + (1.0 - config_.beta2) * gj * gj;
+      const double m_hat = m[j] / bc1;
+      const double v_hat = v[j] / bc2;
+      double update = m_hat / (std::sqrt(v_hat) + config_.eps);
+      if (config_.weight_decay > 0.0 && config_.decoupled) {
+        update += config_.weight_decay * p[j];
+      }
+      p[j] -= lr_ * update;
+    }
+  }
+}
+
+}  // namespace qpinn::optim

@@ -1,0 +1,39 @@
+// Adam / AdamW (Kingma & Ba 2014; Loshchilov & Hutter 2019).
+//
+// Adam is the optimizer used for all PINN trainings in this reproduction
+// (lr 1e-3 with exponential decay, as is standard for PINNs).
+#pragma once
+
+#include "optim/optimizer.hpp"
+
+namespace qpinn::optim {
+
+struct AdamConfig {
+  double lr = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  /// L2 penalty added to gradients (classic Adam) when decoupled=false, or
+  /// decoupled weight decay (AdamW) when true.
+  double weight_decay = 0.0;
+  bool decoupled = false;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<autodiff::Variable> params, const AdamConfig& config);
+
+  void reset() override;
+  std::int64_t step_count() const { return step_count_; }
+
+ protected:
+  void apply(const std::vector<Tensor>& grads) override;
+
+ private:
+  AdamConfig config_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  std::int64_t step_count_ = 0;
+};
+
+}  // namespace qpinn::optim

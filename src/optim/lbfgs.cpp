@@ -1,0 +1,205 @@
+#include "optim/lbfgs.hpp"
+
+#include <cmath>
+#include <deque>
+
+#include "tensor/kernels.hpp"
+#include "util/error.hpp"
+
+namespace qpinn::optim {
+
+namespace {
+
+/// Flat-vector helpers over parameter-shaped tensor lists.
+double dot_list(const std::vector<Tensor>& a, const std::vector<Tensor>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += kernels::dot(a[i], b[i]);
+  return acc;
+}
+
+std::vector<Tensor> clone_list(const std::vector<Tensor>& a) {
+  std::vector<Tensor> out;
+  out.reserve(a.size());
+  for (const Tensor& t : a) out.push_back(t.clone());
+  return out;
+}
+
+void axpy_list(std::vector<Tensor>& dst, double s,
+               const std::vector<Tensor>& src) {
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    kernels::axpy_inplace(dst[i], s, src[i]);
+  }
+}
+
+void scale_list(std::vector<Tensor>& dst, double s) {
+  for (Tensor& t : dst) kernels::scale_inplace(t, s);
+}
+
+double inf_norm(const std::vector<Tensor>& a) {
+  double norm = 0.0;
+  for (const Tensor& t : a) norm = std::max(norm, t.abs_max());
+  return norm;
+}
+
+struct CurvaturePair {
+  std::vector<Tensor> s;  // parameter step
+  std::vector<Tensor> y;  // gradient change
+  double rho = 0.0;       // 1 / <y, s>
+};
+
+}  // namespace
+
+LbfgsResult lbfgs_minimize(std::vector<autodiff::Variable> params,
+                           const LossClosure& closure,
+                           const LbfgsConfig& config) {
+  QPINN_CHECK(!params.empty(), "lbfgs: needs at least one parameter");
+  QPINN_CHECK(config.history >= 1, "lbfgs: history must be >= 1");
+  QPINN_CHECK(config.max_iterations >= 1, "lbfgs: max_iterations must be >= 1");
+  QPINN_CHECK(0.0 < config.wolfe_c1 && config.wolfe_c1 < config.wolfe_c2 &&
+                  config.wolfe_c2 < 1.0,
+              "lbfgs: need 0 < c1 < c2 < 1");
+
+  auto set_params = [&](const std::vector<Tensor>& values) {
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      kernels::copy_into(params[i].mutable_value(), values[i]);
+    }
+  };
+  auto get_params = [&] {
+    std::vector<Tensor> values;
+    values.reserve(params.size());
+    for (const auto& p : params) values.push_back(p.value().clone());
+    return values;
+  };
+
+  LbfgsResult result;
+  auto [loss, grad] = closure();
+  if (!std::isfinite(loss)) {
+    throw NumericsError("lbfgs: initial loss is non-finite");
+  }
+  std::deque<CurvaturePair> history;
+
+  for (std::int64_t iteration = 0; iteration < config.max_iterations;
+       ++iteration) {
+    result.iterations = iteration + 1;
+    if (inf_norm(grad) < config.grad_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Two-loop recursion: direction = -H grad.
+    std::vector<Tensor> direction = clone_list(grad);
+    std::vector<double> alpha(history.size());
+    for (std::size_t i = history.size(); i-- > 0;) {
+      const CurvaturePair& pair = history[i];
+      alpha[i] = pair.rho * dot_list(pair.s, direction);
+      axpy_list(direction, -alpha[i], pair.y);
+    }
+    if (!history.empty()) {
+      // Initial Hessian scaling gamma = <s, y> / <y, y>.
+      const CurvaturePair& last = history.back();
+      const double gamma =
+          dot_list(last.s, last.y) / dot_list(last.y, last.y);
+      scale_list(direction, gamma);
+    }
+    for (std::size_t i = 0; i < history.size(); ++i) {
+      const CurvaturePair& pair = history[i];
+      const double beta = pair.rho * dot_list(pair.y, direction);
+      axpy_list(direction, alpha[i] - beta, pair.s);
+    }
+    scale_list(direction, -1.0);
+
+    double derivative0 = dot_list(grad, direction);
+    if (derivative0 >= 0.0) {
+      // Not a descent direction (stale curvature); restart from steepest
+      // descent.
+      history.clear();
+      direction = clone_list(grad);
+      scale_list(direction, -1.0);
+      derivative0 = -dot_list(grad, grad);
+    }
+
+    // Strong-Wolfe backtracking/extension line search.
+    const std::vector<Tensor> x0 = get_params();
+    const double loss0 = loss;
+    double step = 1.0, lo = 0.0, hi = 0.0;
+    bool have_hi = false, accepted = false;
+    std::vector<Tensor> new_grad;
+    double new_loss = 0.0;
+    for (std::int64_t ls = 0; ls < config.max_line_search; ++ls) {
+      std::vector<Tensor> x = clone_list(x0);
+      axpy_list(x, step, direction);
+      set_params(x);
+      auto [trial_loss, trial_grad] = closure();
+      if (!std::isfinite(trial_loss)) {
+        // Treat as "too far": shrink.
+        hi = step;
+        have_hi = true;
+        step = 0.5 * (lo + hi);
+        continue;
+      }
+      const double derivative = dot_list(trial_grad, direction);
+      if (trial_loss > loss0 + config.wolfe_c1 * step * derivative0) {
+        hi = step;  // sufficient decrease violated: shrink
+        have_hi = true;
+      } else if (std::abs(derivative) >
+                 config.wolfe_c2 * std::abs(derivative0)) {
+        if (derivative > 0.0) {
+          hi = step;  // overshot the minimum along the ray
+          have_hi = true;
+        } else {
+          lo = step;  // still descending: extend
+          if (!have_hi) {
+            step *= 2.0;
+            continue;
+          }
+        }
+      } else {
+        new_loss = trial_loss;
+        new_grad = std::move(trial_grad);
+        accepted = true;
+        break;
+      }
+      step = have_hi ? 0.5 * (lo + hi) : step;
+    }
+    if (!accepted) {
+      // Accept the best sufficient-decrease point if any progress was
+      // made; otherwise stop.
+      std::vector<Tensor> x = clone_list(x0);
+      axpy_list(x, lo, direction);
+      set_params(x);
+      auto [fallback_loss, fallback_grad] = closure();
+      if (lo > 0.0 && fallback_loss < loss0) {
+        new_loss = fallback_loss;
+        new_grad = std::move(fallback_grad);
+        step = lo;
+      } else {
+        set_params(x0);
+        result.line_search_failed = true;
+        break;
+      }
+    }
+
+    // Curvature update.
+    CurvaturePair pair;
+    pair.s = clone_list(direction);
+    scale_list(pair.s, step);
+    pair.y = clone_list(new_grad);
+    axpy_list(pair.y, -1.0, grad);
+    const double sy = dot_list(pair.s, pair.y);
+    if (sy > 1e-12) {
+      pair.rho = 1.0 / sy;
+      history.push_back(std::move(pair));
+      if (static_cast<std::int64_t>(history.size()) > config.history) {
+        history.pop_front();
+      }
+    }
+    loss = new_loss;
+    grad = std::move(new_grad);
+  }
+
+  result.final_loss = loss;
+  result.final_grad_norm = inf_norm(grad);
+  return result;
+}
+
+}  // namespace qpinn::optim

@@ -1,0 +1,43 @@
+// Limited-memory BFGS with strong-Wolfe line search.
+//
+// Classical PINN practice trains with Adam first and refines with L-BFGS;
+// this implementation uses the standard two-loop recursion over the last
+// m curvature pairs. Unlike the first-order optimizers it drives the
+// loss/gradient evaluations itself, so it takes a closure.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "autodiff/variable.hpp"
+
+namespace qpinn::optim {
+
+struct LbfgsConfig {
+  std::int64_t max_iterations = 100;
+  std::int64_t history = 10;       ///< stored curvature pairs (m)
+  double grad_tolerance = 1e-8;    ///< stop when ||g||_inf below this
+  double wolfe_c1 = 1e-4;          ///< sufficient-decrease constant
+  double wolfe_c2 = 0.9;           ///< curvature constant
+  std::int64_t max_line_search = 25;
+};
+
+struct LbfgsResult {
+  double final_loss = 0.0;
+  double final_grad_norm = 0.0;
+  std::int64_t iterations = 0;
+  bool converged = false;          ///< grad tolerance reached
+  bool line_search_failed = false;
+};
+
+/// Evaluates the objective at the CURRENT parameter values and returns
+/// (loss, gradients). The optimizer mutates the parameters in place
+/// between calls.
+using LossClosure = std::function<std::pair<double, std::vector<Tensor>>()>;
+
+/// Minimizes the closure over the given parameter leaves.
+LbfgsResult lbfgs_minimize(std::vector<autodiff::Variable> params,
+                           const LossClosure& closure,
+                           const LbfgsConfig& config = {});
+
+}  // namespace qpinn::optim

@@ -1,0 +1,52 @@
+#include "optim/optimizer.hpp"
+
+#include <cmath>
+
+#include "tensor/kernels.hpp"
+#include "util/error.hpp"
+
+namespace qpinn::optim {
+
+Optimizer::Optimizer(std::vector<autodiff::Variable> params, double lr)
+    : params_(std::move(params)), lr_(lr) {
+  QPINN_CHECK(!params_.empty(), "optimizer needs at least one parameter");
+  QPINN_CHECK(lr > 0.0, "learning rate must be positive");
+  for (const auto& p : params_) {
+    QPINN_CHECK(p.defined() && p.requires_grad(),
+                "optimizer parameters must be trainable leaves");
+  }
+}
+
+void Optimizer::set_lr(double lr) {
+  QPINN_CHECK(lr > 0.0, "learning rate must be positive");
+  lr_ = lr;
+}
+
+void Optimizer::step(const std::vector<Tensor>& grads) {
+  QPINN_CHECK(grads.size() == params_.size(),
+              "step(): gradient count mismatch");
+  for (std::size_t i = 0; i < grads.size(); ++i) {
+    QPINN_CHECK_SHAPE(grads[i].same_shape(params_[i].value()),
+                      "step(): gradient " + std::to_string(i) +
+                          " shape mismatch");
+    if (!grads[i].all_finite()) {
+      throw NumericsError("non-finite gradient in optimizer step (parameter " +
+                          std::to_string(i) + ")");
+    }
+  }
+  apply(grads);
+}
+
+double clip_grad_norm(std::vector<Tensor>& grads, double max_norm) {
+  QPINN_CHECK(max_norm > 0.0, "clip_grad_norm: max_norm must be positive");
+  double sq = 0.0;
+  for (const Tensor& g : grads) sq += kernels::dot(g, g);
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm) {
+    const double factor = max_norm / norm;
+    for (Tensor& g : grads) kernels::scale_inplace(g, factor);
+  }
+  return norm;
+}
+
+}  // namespace qpinn::optim

@@ -1,0 +1,43 @@
+// Optimizer interface.
+//
+// qpinn uses a functional gradient API: the trainer computes gradients via
+// autodiff::grad and hands plain tensors to the optimizer, which updates
+// the parameter leaves in place.
+#pragma once
+
+#include <vector>
+
+#include "autodiff/variable.hpp"
+
+namespace qpinn::optim {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<autodiff::Variable> params, double lr);
+  virtual ~Optimizer() = default;
+
+  /// Applies one update; grads[i] must match params[i] in shape. Throws
+  /// NumericsError if any gradient is non-finite.
+  void step(const std::vector<Tensor>& grads);
+
+  /// Clears internal state (moments, step counters).
+  virtual void reset() = 0;
+
+  double lr() const { return lr_; }
+  void set_lr(double lr);
+
+  const std::vector<autodiff::Variable>& params() const { return params_; }
+
+ protected:
+  /// Backend update after validation.
+  virtual void apply(const std::vector<Tensor>& grads) = 0;
+
+  std::vector<autodiff::Variable> params_;
+  double lr_;
+};
+
+/// Scales `grads` in place so their global L2 norm is at most `max_norm`;
+/// returns the pre-clip norm.
+double clip_grad_norm(std::vector<Tensor>& grads, double max_norm);
+
+}  // namespace qpinn::optim

@@ -1,0 +1,54 @@
+#include "optim/rmsprop.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace qpinn::optim {
+
+Rmsprop::Rmsprop(std::vector<autodiff::Variable> params,
+                 const RmspropConfig& config)
+    : Optimizer(std::move(params), config.lr), config_(config) {
+  QPINN_CHECK(config.alpha >= 0.0 && config.alpha < 1.0,
+              "alpha must be in [0, 1)");
+  QPINN_CHECK(config.eps > 0.0, "eps must be positive");
+  QPINN_CHECK(config.momentum >= 0.0 && config.momentum < 1.0,
+              "momentum must be in [0, 1)");
+}
+
+void Rmsprop::reset() {
+  sq_avg_.clear();
+  momentum_buf_.clear();
+}
+
+void Rmsprop::apply(const std::vector<Tensor>& grads) {
+  if (sq_avg_.empty()) {
+    for (const auto& p : params_) {
+      sq_avg_.push_back(Tensor::zeros(p.value().shape()));
+      if (config_.momentum > 0.0) {
+        momentum_buf_.push_back(Tensor::zeros(p.value().shape()));
+      }
+    }
+  }
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Tensor& param = params_[i].mutable_value();
+    const double* g = grads[i].data();
+    double* p = param.data();
+    double* s = sq_avg_[i].data();
+    double* buf =
+        config_.momentum > 0.0 ? momentum_buf_[i].data() : nullptr;
+    const std::int64_t n = param.numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      s[j] = config_.alpha * s[j] + (1.0 - config_.alpha) * g[j] * g[j];
+      const double update = g[j] / (std::sqrt(s[j]) + config_.eps);
+      if (buf != nullptr) {
+        buf[j] = config_.momentum * buf[j] + update;
+        p[j] -= lr_ * buf[j];
+      } else {
+        p[j] -= lr_ * update;
+      }
+    }
+  }
+}
+
+}  // namespace qpinn::optim

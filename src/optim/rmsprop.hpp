@@ -1,0 +1,30 @@
+// RMSprop (Tieleman & Hinton), kept as an optimizer baseline.
+#pragma once
+
+#include "optim/optimizer.hpp"
+
+namespace qpinn::optim {
+
+struct RmspropConfig {
+  double lr = 1e-3;
+  double alpha = 0.99;  ///< squared-gradient smoothing
+  double eps = 1e-8;
+  double momentum = 0.0;
+};
+
+class Rmsprop : public Optimizer {
+ public:
+  Rmsprop(std::vector<autodiff::Variable> params, const RmspropConfig& config);
+
+  void reset() override;
+
+ protected:
+  void apply(const std::vector<Tensor>& grads) override;
+
+ private:
+  RmspropConfig config_;
+  std::vector<Tensor> sq_avg_;
+  std::vector<Tensor> momentum_buf_;
+};
+
+}  // namespace qpinn::optim

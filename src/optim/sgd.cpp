@@ -1,0 +1,47 @@
+#include "optim/sgd.hpp"
+
+#include "tensor/kernels.hpp"
+#include "util/error.hpp"
+
+namespace qpinn::optim {
+
+Sgd::Sgd(std::vector<autodiff::Variable> params, const SgdConfig& config)
+    : Optimizer(std::move(params), config.lr), config_(config) {
+  QPINN_CHECK(config.momentum >= 0.0 && config.momentum < 1.0,
+              "momentum must be in [0, 1)");
+  QPINN_CHECK(!config.nesterov || config.momentum > 0.0,
+              "nesterov requires momentum > 0");
+  QPINN_CHECK(config.weight_decay >= 0.0, "weight_decay must be >= 0");
+}
+
+void Sgd::reset() { velocity_.clear(); }
+
+void Sgd::apply(const std::vector<Tensor>& grads) {
+  if (config_.momentum > 0.0 && velocity_.empty()) {
+    velocity_.reserve(params_.size());
+    for (const auto& p : params_) {
+      velocity_.push_back(Tensor::zeros(p.value().shape()));
+    }
+  }
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Tensor& param = params_[i].mutable_value();
+    Tensor effective = grads[i].clone();
+    if (config_.weight_decay > 0.0) {
+      kernels::axpy_inplace(effective, config_.weight_decay, param);
+    }
+    if (config_.momentum > 0.0) {
+      Tensor& v = velocity_[i];
+      kernels::scale_inplace(v, config_.momentum);
+      kernels::axpy_inplace(v, 1.0, effective);
+      if (config_.nesterov) {
+        // g + mu * v
+        kernels::axpy_inplace(effective, config_.momentum, v);
+      } else {
+        effective = v.clone();
+      }
+    }
+    kernels::axpy_inplace(param, -lr_, effective);
+  }
+}
+
+}  // namespace qpinn::optim

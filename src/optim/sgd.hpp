@@ -1,0 +1,30 @@
+// Stochastic gradient descent with optional momentum / Nesterov /
+// weight decay.
+#pragma once
+
+#include "optim/optimizer.hpp"
+
+namespace qpinn::optim {
+
+struct SgdConfig {
+  double lr = 1e-2;
+  double momentum = 0.0;
+  bool nesterov = false;
+  double weight_decay = 0.0;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<autodiff::Variable> params, const SgdConfig& config);
+
+  void reset() override;
+
+ protected:
+  void apply(const std::vector<Tensor>& grads) override;
+
+ private:
+  SgdConfig config_;
+  std::vector<Tensor> velocity_;  // lazily sized on first step
+};
+
+}  // namespace qpinn::optim

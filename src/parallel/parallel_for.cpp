@@ -1,0 +1,24 @@
+#include "parallel/parallel_for.hpp"
+
+namespace qpinn {
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t grain) {
+  if (n == 0) return;
+  if (n < grain) {
+    body(0, n);
+    return;
+  }
+  ThreadPool& pool = global_pool();
+  if (pool.size() == 1) {
+    body(0, n);
+    return;
+  }
+  pool.for_each_chunk(
+      n, [&body](std::size_t, std::size_t begin, std::size_t end) {
+        body(begin, end);
+      });
+}
+
+}  // namespace qpinn

@@ -1,0 +1,48 @@
+// Convenience wrappers over the global ThreadPool.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace qpinn {
+
+/// Runs body(begin, end) over a static partition of [0, n). For small `n`
+/// (below `grain`) the body runs inline on the calling thread, avoiding
+/// pool overhead for tiny kernels.
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t grain = 2048);
+
+/// Deterministic parallel reduction: partial results are produced per
+/// chunk and combined in chunk order, so the result does not depend on
+/// thread scheduling.
+///
+///   double s = parallel_reduce<double>(n, 0.0,
+///       [&](size_t b, size_t e, double acc){ ... return acc; },
+///       [](double a, double b){ return a + b; });
+template <typename T, typename ChunkFn, typename CombineFn>
+T parallel_reduce(std::size_t n, T init, ChunkFn chunk_fn,
+                  CombineFn combine_fn, std::size_t grain = 2048) {
+  if (n == 0) return init;
+  if (n < grain || global_pool().size() == 1) {
+    return chunk_fn(std::size_t{0}, n, std::move(init));
+  }
+  ThreadPool& pool = global_pool();
+  const std::size_t chunks = std::min(pool.size(), n);
+  std::vector<T> partials(chunks, init);
+  pool.for_each_chunk(n, [&](std::size_t c, std::size_t begin,
+                             std::size_t end) {
+    partials[c] = chunk_fn(begin, end, partials[c]);
+  });
+  // Combine in fixed chunk order for determinism.
+  T result = partials[0];
+  for (std::size_t c = 1; c < chunks; ++c) {
+    result = combine_fn(std::move(result), std::move(partials[c]));
+  }
+  return result;
+}
+
+}  // namespace qpinn

@@ -1,0 +1,131 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "util/env.hpp"
+#include "util/error.hpp"
+
+namespace qpinn {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  QPINN_CHECK(num_threads >= 1, "thread pool needs at least one worker");
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // exceptions land in the associated future
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    QPINN_CHECK(!stopping_, "submit() on a stopping thread pool");
+    queue_.push_back(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::for_each_chunk(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t chunks = std::min(size(), n);
+  if (chunks == 1) {
+    fn(0, 0, n);
+    return;
+  }
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks - 1);
+  std::size_t begin = 0;
+  std::size_t first_begin = 0, first_end = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t len = base + (c < extra ? 1 : 0);
+    const std::size_t end = begin + len;
+    if (c == 0) {
+      // Chunk 0 runs on the calling thread so the pool never deadlocks when
+      // invoked from inside a pool task.
+      first_begin = begin;
+      first_end = end;
+    } else {
+      futures.push_back(
+          submit([&fn, c, begin, end] { fn(c, begin, end); }));
+    }
+    begin = end;
+  }
+  std::exception_ptr error;
+  try {
+    fn(0, first_begin, first_end);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!error) error = std::current_exception();
+    }
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::for_each_index(
+    std::size_t n, const std::function<void(std::size_t)>& fn) {
+  for_each_chunk(n, [&fn](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+namespace {
+std::unique_ptr<ThreadPool> g_pool;
+std::mutex g_pool_mutex;
+}  // namespace
+
+std::size_t default_num_threads() {
+  const long long from_env = env_int("QPINN_THREADS", 0);
+  if (from_env > 0) return static_cast<std::size_t>(from_env);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool& global_pool() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(default_num_threads());
+  return *g_pool;
+}
+
+void set_global_threads(std::size_t num_threads) {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  g_pool = std::make_unique<ThreadPool>(num_threads);
+}
+
+}  // namespace qpinn

@@ -1,0 +1,69 @@
+// Persistent worker pool (Core Guidelines CP.41: minimize thread
+// creation/destruction; CP.42: never wait without a condition).
+//
+// The pool is the shared-memory stand-in for the GPU in the original
+// system: collocation batches are sharded across workers and gradients are
+// reduced deterministically (see data-parallel trainer in core/).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qpinn {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; the future resolves when it completes (exceptions are
+  /// transported through the future).
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs fn(i) for i in [0, n), blocking until all complete. Work is
+  /// divided into contiguous chunks, at most `size()` of them. Exceptions
+  /// from any chunk are rethrown (first one wins).
+  void for_each_index(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Runs fn(chunk_index, begin, end) over a static partition of [0, n)
+  /// into exactly min(size(), n) chunks. Useful when per-chunk scratch
+  /// state is needed (e.g. per-shard gradients).
+  void for_each_chunk(
+      std::size_t n,
+      const std::function<void(std::size_t chunk, std::size_t begin,
+                               std::size_t end)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Process-wide pool used by tensor kernels and the trainer.
+/// The first call creates it with `default_num_threads()` workers.
+ThreadPool& global_pool();
+
+/// Resizes the global pool (joins old workers, spawns new ones).
+/// Not safe to call concurrently with in-flight pool work.
+void set_global_threads(std::size_t num_threads);
+
+/// QPINN_THREADS env override, otherwise hardware_concurrency (>= 1).
+std::size_t default_num_threads();
+
+}  // namespace qpinn

@@ -1,0 +1,95 @@
+#include "quantum/analytic.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "quantum/hermite.hpp"
+#include "quantum/potentials.hpp"
+#include "util/error.hpp"
+
+namespace qpinn::quantum {
+
+namespace {
+constexpr Complex kI{0.0, 1.0};
+}
+
+SpaceTimeField free_gaussian_packet(double x0, double k0, double sigma0) {
+  QPINN_CHECK(sigma0 > 0.0, "packet width must be positive");
+  const double a = 1.0 / (4.0 * sigma0 * sigma0);
+  const double norm =
+      std::pow(2.0 * std::numbers::pi * sigma0 * sigma0, -0.25);
+
+  return [=](double x, double t) -> Complex {
+    const double X = x - x0;
+    if (std::abs(t) < 1e-12) {
+      return norm * std::exp(-a * X * X) * std::exp(kI * (k0 * X));
+    }
+    // psi(x,t) = N / sqrt(2 pi i t) * e^{i X^2/(2t)} * sqrt(pi/A)
+    //            * exp(B^2 / (4A)),
+    // A = a - i/(2t), B = i (k0 - X/t)  (free propagator Gaussian integral).
+    const Complex A = Complex(a, -1.0 / (2.0 * t));
+    const Complex B = kI * (k0 - X / t);
+    const Complex prefactor =
+        norm / std::sqrt(Complex(0.0, 2.0 * std::numbers::pi * t)) *
+        std::sqrt(std::numbers::pi / A);
+    const Complex phase = kI * (X * X / (2.0 * t)) + B * B / (4.0 * A);
+    return prefactor * std::exp(phase);
+  };
+}
+
+SpaceTimeField ho_coherent_state(double x0) {
+  const double norm = std::pow(std::numbers::pi, -0.25);
+  return [=](double x, double t) -> Complex {
+    const double xc = x0 * std::cos(t);
+    const double gauss = std::exp(-0.5 * (x - xc) * (x - xc));
+    const double phase =
+        -(0.5 * t + x * x0 * std::sin(t) - 0.25 * x0 * x0 * std::sin(2.0 * t));
+    return norm * gauss * std::exp(kI * phase);
+  };
+}
+
+SpaceTimeField well_superposition(double width,
+                                  std::vector<Complex> coefficients) {
+  QPINN_CHECK(width > 0.0, "well width must be positive");
+  QPINN_CHECK(!coefficients.empty(), "need at least one coefficient");
+  const double L = width;
+  return [L, coefficients = std::move(coefficients)](double x,
+                                                     double t) -> Complex {
+    if (x <= 0.0 || x >= L) return Complex(0.0, 0.0);
+    Complex acc(0.0, 0.0);
+    const double amplitude = std::sqrt(2.0 / L);
+    for (std::size_t m = 0; m < coefficients.size(); ++m) {
+      const auto n = static_cast<std::int64_t>(m + 1);
+      const double kn = static_cast<double>(n) * std::numbers::pi / L;
+      const double energy = infinite_well_eigenvalue(n, L);
+      acc += coefficients[m] * amplitude * std::sin(kn * x) *
+             std::exp(-kI * (energy * t));
+    }
+    return acc;
+  };
+}
+
+SpaceTimeField ho_stationary_state(std::int64_t n) {
+  QPINN_CHECK(n >= 0, "eigenstate index must be >= 0");
+  const double energy = ho_eigenvalue(n);
+  return [n, energy](double x, double t) -> Complex {
+    return ho_eigenfunction(n, x) * std::exp(-kI * (energy * t));
+  };
+}
+
+SpaceTimeField nls_bright_soliton(double amplitude, double velocity) {
+  QPINN_CHECK(amplitude > 0.0, "soliton amplitude must be positive");
+  const double a = amplitude;
+  const double v = velocity;
+  return [a, v](double x, double t) -> Complex {
+    const double envelope = a / std::cosh(a * (x - v * t));
+    const double phase = v * x + 0.5 * (a * a - v * v) * t;
+    return envelope * std::exp(kI * phase);
+  };
+}
+
+Complex nls_raissi_initial(double x) {
+  return Complex(2.0 / std::cosh(x), 0.0);
+}
+
+}  // namespace qpinn::quantum

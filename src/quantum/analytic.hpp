@@ -1,0 +1,45 @@
+// Closed-form solutions of quantum benchmark problems (hbar = m = 1).
+//
+// Every solution here is property-tested: it must satisfy its own PDE to
+// finite-difference accuracy and match the corresponding FDM solver.
+#pragma once
+
+#include <complex>
+#include <functional>
+#include <vector>
+
+namespace qpinn::quantum {
+
+using Complex = std::complex<double>;
+/// psi(x, t).
+using SpaceTimeField = std::function<Complex(double, double)>;
+
+/// Free Gaussian wave packet: at t = 0,
+///   psi = (2 pi sigma0^2)^{-1/4} exp(-(x-x0)^2/(4 sigma0^2) + i k0 (x-x0)),
+/// evolving under i psi_t = -1/2 psi_xx (exact Gaussian-integral form).
+SpaceTimeField free_gaussian_packet(double x0, double k0, double sigma0);
+
+/// Harmonic-oscillator (omega = 1) coherent state displaced to x0 with
+/// zero initial momentum:
+///   psi(x, t) = pi^{-1/4} exp(-(x - x0 cos t)^2 / 2
+///               - i (t/2 + x x0 sin t - x0^2 sin(2t)/4)).
+SpaceTimeField ho_coherent_state(double x0);
+
+/// Superposition of infinite-well eigenstates on a box [0, L]:
+///   psi = sum_n c_n sqrt(2/L) sin(n pi x / L) e^{-i E_n t},
+/// with coefficients[n-1] = c_n (not necessarily normalized).
+SpaceTimeField well_superposition(double width,
+                                  std::vector<Complex> coefficients);
+
+/// Stationary HO eigenstate n with its phase: phi_n(x) e^{-i E_n t}.
+SpaceTimeField ho_stationary_state(std::int64_t n);
+
+/// Bright one-soliton of the focusing NLS
+///   i psi_t + 1/2 psi_xx + |psi|^2 psi = 0:
+///   psi = a sech(a (x - v t)) exp(i (v x + (a^2 - v^2) t / 2)).
+SpaceTimeField nls_bright_soliton(double amplitude, double velocity);
+
+/// The Raissi et al. (2019) NLS benchmark initial condition 2 sech(x).
+Complex nls_raissi_initial(double x);
+
+}  // namespace qpinn::quantum

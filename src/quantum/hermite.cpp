@@ -1,0 +1,61 @@
+#include "quantum/hermite.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace qpinn::quantum {
+
+double hermite(std::int64_t n, double x) {
+  QPINN_CHECK(n >= 0, "hermite order must be >= 0");
+  if (n == 0) return 1.0;
+  double h_prev = 1.0;
+  double h = 2.0 * x;
+  for (std::int64_t k = 1; k < n; ++k) {
+    const double h_next = 2.0 * x * h - 2.0 * static_cast<double>(k) * h_prev;
+    h_prev = h;
+    h = h_next;
+  }
+  return h;
+}
+
+std::vector<double> hermite_all(std::int64_t n, double x) {
+  QPINN_CHECK(n >= 0, "hermite order must be >= 0");
+  std::vector<double> values(static_cast<std::size_t>(n + 1));
+  values[0] = 1.0;
+  if (n >= 1) values[1] = 2.0 * x;
+  for (std::int64_t k = 1; k < n; ++k) {
+    values[static_cast<std::size_t>(k + 1)] =
+        2.0 * x * values[static_cast<std::size_t>(k)] -
+        2.0 * static_cast<double>(k) * values[static_cast<std::size_t>(k - 1)];
+  }
+  return values;
+}
+
+double ho_eigenfunction(std::int64_t n, double x) {
+  QPINN_CHECK(n >= 0, "eigenfunction index must be >= 0");
+  // Normalized recurrence: with u_n = phi_n(x),
+  //   u_{n+1} = x sqrt(2/(n+1)) u_n - sqrt(n/(n+1)) u_{n-1},
+  // starting from u_0 = pi^{-1/4} e^{-x^2/2}.
+  const double u0 =
+      std::pow(std::numbers::pi, -0.25) * std::exp(-0.5 * x * x);
+  if (n == 0) return u0;
+  double prev = u0;
+  double curr = std::numbers::sqrt2 * x * u0;  // u_1 = sqrt(2) x u_0
+  for (std::int64_t k = 1; k < n; ++k) {
+    const double dk = static_cast<double>(k);
+    const double next = x * std::sqrt(2.0 / (dk + 1.0)) * curr -
+                        std::sqrt(dk / (dk + 1.0)) * prev;
+    prev = curr;
+    curr = next;
+  }
+  return curr;
+}
+
+double ho_eigenvalue(std::int64_t n) {
+  QPINN_CHECK(n >= 0, "eigenvalue index must be >= 0");
+  return static_cast<double>(n) + 0.5;
+}
+
+}  // namespace qpinn::quantum

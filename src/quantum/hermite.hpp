@@ -1,0 +1,24 @@
+// Physicists' Hermite polynomials and harmonic-oscillator eigenfunctions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace qpinn::quantum {
+
+/// H_n(x) via the stable three-term recurrence
+/// H_{n+1} = 2x H_n - 2n H_{n-1}.
+double hermite(std::int64_t n, double x);
+
+/// Values H_0..H_n at x (one recurrence pass).
+std::vector<double> hermite_all(std::int64_t n, double x);
+
+/// Normalized harmonic-oscillator eigenfunction (hbar = m = omega = 1):
+/// phi_n(x) = (2^n n! sqrt(pi))^{-1/2} H_n(x) e^{-x^2/2}.
+/// Computed with a normalized recurrence so it stays finite for large n.
+double ho_eigenfunction(std::int64_t n, double x);
+
+/// Eigenvalue E_n = n + 1/2.
+double ho_eigenvalue(std::int64_t n);
+
+}  // namespace qpinn::quantum

@@ -1,0 +1,114 @@
+#include "quantum/observables.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace qpinn::quantum {
+
+using fdm::Complex;
+using fdm::Grid1d;
+
+namespace {
+
+/// Central-difference first derivative with boundary handling.
+std::vector<Complex> derivative(const Grid1d& grid,
+                                const std::vector<Complex>& psi) {
+  const std::size_t n = psi.size();
+  const double dx = grid.dx();
+  std::vector<Complex> d(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (grid.periodic) {
+      const Complex right = psi[(i + 1) % n];
+      const Complex left = psi[(i + n - 1) % n];
+      d[i] = (right - left) / (2.0 * dx);
+    } else if (i == 0) {
+      d[i] = (psi[1] - psi[0]) / dx;
+    } else if (i + 1 == n) {
+      d[i] = (psi[n - 1] - psi[n - 2]) / dx;
+    } else {
+      d[i] = (psi[i + 1] - psi[i - 1]) / (2.0 * dx);
+    }
+  }
+  return d;
+}
+
+/// Central-difference second derivative.
+std::vector<Complex> second_derivative(const Grid1d& grid,
+                                       const std::vector<Complex>& psi) {
+  const std::size_t n = psi.size();
+  const double dx2 = grid.dx() * grid.dx();
+  std::vector<Complex> d(n, Complex(0.0, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    Complex left, right;
+    if (grid.periodic) {
+      right = psi[(i + 1) % n];
+      left = psi[(i + n - 1) % n];
+    } else if (i == 0 || i + 1 == n) {
+      // Walls: Dirichlet reference problems have psi ~ 0 here; a one-sided
+      // stencil adds noise without value, so keep the second derivative 0.
+      continue;
+    } else {
+      right = psi[i + 1];
+      left = psi[i - 1];
+    }
+    d[i] = (right - 2.0 * psi[i] + left) / dx2;
+  }
+  return d;
+}
+
+}  // namespace
+
+double total_probability(const Grid1d& grid, const std::vector<Complex>& psi) {
+  QPINN_CHECK(static_cast<std::int64_t>(psi.size()) == grid.n,
+              "observable: psi size must match grid");
+  std::vector<double> density(psi.size());
+  for (std::size_t i = 0; i < psi.size(); ++i) density[i] = std::norm(psi[i]);
+  return trapezoid(grid, density);
+}
+
+double position_mean(const Grid1d& grid, const std::vector<Complex>& psi) {
+  QPINN_CHECK(static_cast<std::int64_t>(psi.size()) == grid.n,
+              "observable: psi size must match grid");
+  const std::vector<double> x = grid.points();
+  std::vector<double> integrand(psi.size());
+  for (std::size_t i = 0; i < psi.size(); ++i) {
+    integrand[i] = x[i] * std::norm(psi[i]);
+  }
+  return trapezoid(grid, integrand) / total_probability(grid, psi);
+}
+
+double momentum_mean(const Grid1d& grid, const std::vector<Complex>& psi) {
+  QPINN_CHECK(static_cast<std::int64_t>(psi.size()) == grid.n,
+              "observable: psi size must match grid");
+  const std::vector<Complex> dpsi = derivative(grid, psi);
+  std::vector<double> integrand(psi.size());
+  for (std::size_t i = 0; i < psi.size(); ++i) {
+    // Re( psi* (-i) psi' ) = Im( psi* psi' ).
+    integrand[i] = std::imag(std::conj(psi[i]) * dpsi[i]);
+  }
+  return trapezoid(grid, integrand) / total_probability(grid, psi);
+}
+
+double energy_mean(const Grid1d& grid, const std::vector<Complex>& psi,
+                   const std::function<double(double)>& potential) {
+  QPINN_CHECK(static_cast<std::int64_t>(psi.size()) == grid.n,
+              "observable: psi size must match grid");
+  const std::vector<Complex> d2 = second_derivative(grid, psi);
+  const std::vector<double> x = grid.points();
+  std::vector<double> integrand(psi.size());
+  for (std::size_t i = 0; i < psi.size(); ++i) {
+    const double v = potential ? potential(x[i]) : 0.0;
+    const Complex h_psi = -0.5 * d2[i] + v * psi[i];
+    integrand[i] = std::real(std::conj(psi[i]) * h_psi);
+  }
+  return trapezoid(grid, integrand) / total_probability(grid, psi);
+}
+
+std::vector<double> probability_density(const std::vector<Complex>& psi) {
+  std::vector<double> density(psi.size());
+  for (std::size_t i = 0; i < psi.size(); ++i) density[i] = std::norm(psi[i]);
+  return density;
+}
+
+}  // namespace qpinn::quantum

@@ -1,0 +1,35 @@
+// Physical observables of a wavefunction sampled on a grid.
+//
+// These back both the physics-fidelity metrics (norm / energy drift of a
+// trained PINN) and the conservation property tests of the FDM solvers.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "fdm/grid.hpp"
+
+namespace qpinn::quantum {
+
+/// Total probability integral |psi|^2 dx.
+double total_probability(const fdm::Grid1d& grid,
+                         const std::vector<fdm::Complex>& psi);
+
+/// Position expectation <x>.
+double position_mean(const fdm::Grid1d& grid,
+                     const std::vector<fdm::Complex>& psi);
+
+/// Momentum expectation <p> = Re integral psi* (-i d/dx) psi dx (central
+/// differences; one-sided at walls, wrapped when periodic).
+double momentum_mean(const fdm::Grid1d& grid,
+                     const std::vector<fdm::Complex>& psi);
+
+/// Energy expectation <H> with H = -1/2 d2/dx2 + V (central differences).
+double energy_mean(const fdm::Grid1d& grid,
+                   const std::vector<fdm::Complex>& psi,
+                   const std::function<double(double)>& potential);
+
+/// Probability density |psi|^2 at every grid point.
+std::vector<double> probability_density(const std::vector<fdm::Complex>& psi);
+
+}  // namespace qpinn::quantum

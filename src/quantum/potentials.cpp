@@ -1,0 +1,51 @@
+#include "quantum/potentials.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace qpinn::quantum {
+
+PotentialFn free_potential() {
+  return [](double) { return 0.0; };
+}
+
+PotentialFn harmonic_potential(double omega) {
+  QPINN_CHECK(omega > 0.0, "harmonic omega must be positive");
+  return [omega](double x) { return 0.5 * omega * omega * x * x; };
+}
+
+PotentialFn barrier_potential(double height, double center, double width) {
+  QPINN_CHECK(width > 0.0, "barrier width must be positive");
+  const double lo = center - 0.5 * width;
+  const double hi = center + 0.5 * width;
+  return [height, lo, hi](double x) {
+    return (x >= lo && x <= hi) ? height : 0.0;
+  };
+}
+
+PotentialFn double_well_potential(double a, double b) {
+  QPINN_CHECK(a > 0.0 && b > 0.0, "double-well parameters must be positive");
+  return [a, b](double x) {
+    const double u = x * x - b * b;
+    return a * u * u;
+  };
+}
+
+PotentialFn poschl_teller_potential(double lambda) {
+  QPINN_CHECK(lambda > 0.0, "Poschl-Teller lambda must be positive");
+  return [lambda](double x) {
+    const double sech = 1.0 / std::cosh(x);
+    return -0.5 * lambda * (lambda + 1.0) * sech * sech;
+  };
+}
+
+double infinite_well_eigenvalue(std::int64_t n, double width) {
+  QPINN_CHECK(n >= 1, "well quantum number starts at 1");
+  QPINN_CHECK(width > 0.0, "well width must be positive");
+  const double k = static_cast<double>(n) * std::numbers::pi / width;
+  return 0.5 * k * k;
+}
+
+}  // namespace qpinn::quantum

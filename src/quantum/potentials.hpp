@@ -1,0 +1,32 @@
+// Standard potentials (hbar = m = 1 units throughout).
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace qpinn::quantum {
+
+using PotentialFn = std::function<double(double)>;
+
+/// V = 0.
+PotentialFn free_potential();
+
+/// V = 1/2 omega^2 x^2.
+PotentialFn harmonic_potential(double omega = 1.0);
+
+/// Rectangular barrier of the given height on [center - width/2,
+/// center + width/2], zero elsewhere.
+PotentialFn barrier_potential(double height, double center, double width);
+
+/// Symmetric quartic double well V = a (x^2 - b^2)^2.
+PotentialFn double_well_potential(double a, double b);
+
+/// Pöschl-Teller well V = -lambda(lambda+1)/2 sech^2(x) — has known bound
+/// states, useful for eigen-solver validation.
+PotentialFn poschl_teller_potential(double lambda);
+
+/// Infinite-well eigenvalue for a box of width L: E_n = n^2 pi^2 / (2 L^2),
+/// n = 1, 2, ... (the box itself is modeled by Dirichlet walls, V = 0).
+double infinite_well_eigenvalue(std::int64_t n, double width);
+
+}  // namespace qpinn::quantum

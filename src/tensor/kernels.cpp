@@ -1,0 +1,463 @@
+#include "tensor/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "parallel/parallel_for.hpp"
+#include "util/error.hpp"
+
+namespace qpinn::kernels {
+
+namespace {
+
+// Elementwise unary application, parallelized for large tensors.
+template <typename F>
+Tensor unary_apply(const Tensor& a, F f) {
+  Tensor out(a.shape());
+  const double* in = a.data();
+  double* o = out.data();
+  const std::size_t n = static_cast<std::size_t>(a.numel());
+  parallel_for(n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) o[i] = f(in[i]);
+  });
+  return out;
+}
+
+// Strides padded to `rank` with 0 for broadcast dimensions.
+std::vector<std::int64_t> broadcast_strides(const Shape& shape,
+                                            std::size_t rank) {
+  const auto natural = row_major_strides(shape);
+  std::vector<std::int64_t> out(rank, 0);
+  const std::size_t offset = rank - shape.size();
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    out[offset + i] = (shape[i] == 1) ? 0 : natural[i];
+  }
+  return out;
+}
+
+template <typename F>
+Tensor binary_apply(const Tensor& a, const Tensor& b, F f) {
+  // Fast path: identical shapes.
+  if (a.same_shape(b)) {
+    Tensor out(a.shape());
+    const double* pa = a.data();
+    const double* pb = b.data();
+    double* o = out.data();
+    const std::size_t n = static_cast<std::size_t>(a.numel());
+    parallel_for(n, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) o[i] = f(pa[i], pb[i]);
+    });
+    return out;
+  }
+  const Shape out_shape = broadcast_shapes(a.shape(), b.shape());
+  // Fast path: one side is a one-element tensor AND the result keeps the
+  // other side's exact shape (a rank-0 scalar against {1,1} must still
+  // produce {1,1}, so the shape condition matters).
+  if (b.numel() == 1 && out_shape == a.shape()) {
+    const double s = b.data()[0];
+    return unary_apply(a, [f, s](double x) { return f(x, s); });
+  }
+  if (a.numel() == 1 && out_shape == b.shape()) {
+    const double s = a.data()[0];
+    return unary_apply(b, [f, s](double x) { return f(s, x); });
+  }
+  Tensor out(out_shape);
+  const std::size_t rank = out_shape.size();
+  const auto sa = broadcast_strides(a.shape(), rank);
+  const auto sb = broadcast_strides(b.shape(), rank);
+  const auto so = row_major_strides(out_shape);
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* o = out.data();
+  const std::size_t n = static_cast<std::size_t>(out.numel());
+
+  // Fast path: rank-2 row-broadcast (matrix op row-vector), the common
+  // bias-add pattern.
+  if (rank == 2 && sa[0] != 0 && sb[0] == 0 && sa[1] == 1 && sb[1] == 1) {
+    const std::size_t rows = static_cast<std::size_t>(out_shape[0]);
+    const std::size_t cols = static_cast<std::size_t>(out_shape[1]);
+    parallel_for(rows, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t r = begin; r < end; ++r) {
+        const double* row_a = pa + r * cols;
+        double* row_o = o + r * cols;
+        for (std::size_t c = 0; c < cols; ++c) {
+          row_o[c] = f(row_a[c], pb[c]);
+        }
+      }
+    }, /*grain=*/64);
+    return out;
+  }
+
+  parallel_for(n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      std::int64_t rem = static_cast<std::int64_t>(i);
+      std::int64_t ia = 0, ib = 0;
+      for (std::size_t d = 0; d < rank; ++d) {
+        const std::int64_t coord = rem / so[d];
+        rem -= coord * so[d];
+        ia += coord * sa[d];
+        ib += coord * sb[d];
+      }
+      o[i] = f(pa[ia], pb[ib]);
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return binary_apply(a, b, [](double x, double y) { return x + y; });
+}
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return binary_apply(a, b, [](double x, double y) { return x - y; });
+}
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binary_apply(a, b, [](double x, double y) { return x * y; });
+}
+Tensor div(const Tensor& a, const Tensor& b) {
+  return binary_apply(a, b, [](double x, double y) { return x / y; });
+}
+
+Tensor neg(const Tensor& a) {
+  return unary_apply(a, [](double x) { return -x; });
+}
+Tensor scale(const Tensor& a, double s) {
+  return unary_apply(a, [s](double x) { return s * x; });
+}
+Tensor add_scalar(const Tensor& a, double s) {
+  return unary_apply(a, [s](double x) { return x + s; });
+}
+Tensor exp(const Tensor& a) {
+  return unary_apply(a, [](double x) { return std::exp(x); });
+}
+Tensor log(const Tensor& a) {
+  return unary_apply(a, [](double x) { return std::log(x); });
+}
+Tensor tanh(const Tensor& a) {
+  return unary_apply(a, [](double x) { return std::tanh(x); });
+}
+Tensor sin(const Tensor& a) {
+  return unary_apply(a, [](double x) { return std::sin(x); });
+}
+Tensor cos(const Tensor& a) {
+  return unary_apply(a, [](double x) { return std::cos(x); });
+}
+Tensor sqrt(const Tensor& a) {
+  return unary_apply(a, [](double x) { return std::sqrt(x); });
+}
+Tensor reciprocal(const Tensor& a) {
+  return unary_apply(a, [](double x) { return 1.0 / x; });
+}
+Tensor square(const Tensor& a) {
+  return unary_apply(a, [](double x) { return x * x; });
+}
+Tensor sigmoid(const Tensor& a) {
+  return unary_apply(a, [](double x) { return 1.0 / (1.0 + std::exp(-x)); });
+}
+Tensor softplus(const Tensor& a) {
+  // Numerically stable log(1 + e^x).
+  return unary_apply(a, [](double x) {
+    return x > 0.0 ? x + std::log1p(std::exp(-x)) : std::log1p(std::exp(x));
+  });
+}
+Tensor pow_scalar(const Tensor& a, double p) {
+  return unary_apply(a, [p](double x) { return std::pow(x, p); });
+}
+Tensor step(const Tensor& a) {
+  return unary_apply(a, [](double x) { return x > 0.0 ? 1.0 : 0.0; });
+}
+Tensor relu(const Tensor& a) {
+  return unary_apply(a, [](double x) { return x > 0.0 ? x : 0.0; });
+}
+Tensor abs(const Tensor& a) {
+  return unary_apply(a, [](double x) { return std::abs(x); });
+}
+Tensor sign(const Tensor& a) {
+  return unary_apply(a, [](double x) {
+    return (x > 0.0) ? 1.0 : (x < 0.0 ? -1.0 : 0.0);
+  });
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  QPINN_CHECK_SHAPE(a.rank() == 2 && b.rank() == 2,
+                    "matmul requires rank-2 operands, got " +
+                        shape_to_string(a.shape()) + " x " +
+                        shape_to_string(b.shape()));
+  QPINN_CHECK_SHAPE(a.cols() == b.rows(),
+                    "matmul inner dimensions mismatch: " +
+                        shape_to_string(a.shape()) + " x " +
+                        shape_to_string(b.shape()));
+  const std::int64_t n = a.rows(), k = a.cols(), m = b.cols();
+  Tensor out(Shape{n, m});
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* po = out.data();
+  // i-k-j loop order: streams through b and out rows; rows parallelized.
+  parallel_for(
+      static_cast<std::size_t>(n),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          double* out_row = po + i * static_cast<std::size_t>(m);
+          const double* a_row = pa + i * static_cast<std::size_t>(k);
+          for (std::int64_t kk = 0; kk < k; ++kk) {
+            const double aik = a_row[kk];
+            if (aik == 0.0) continue;
+            const double* b_row = pb + kk * m;
+            for (std::int64_t j = 0; j < m; ++j) out_row[j] += aik * b_row[j];
+          }
+        }
+      },
+      /*grain=*/static_cast<std::size_t>(
+          std::max<std::int64_t>(1, 16384 / std::max<std::int64_t>(1, k * m))));
+  return out;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  QPINN_CHECK_SHAPE(a.rank() == 2 && b.rank() == 2,
+                    "matmul_tn requires rank-2 operands");
+  QPINN_CHECK_SHAPE(a.rows() == b.rows(),
+                    "matmul_tn dimension mismatch: " +
+                        shape_to_string(a.shape()) + "^T x " +
+                        shape_to_string(b.shape()));
+  const std::int64_t k = a.rows(), n = a.cols(), m = b.cols();
+  Tensor out(Shape{n, m});
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* po = out.data();
+  // out[i][j] = sum_kk a[kk][i] * b[kk][j]; accumulate row blocks serially
+  // (k outer) and parallelize over output rows i.
+  parallel_for(
+      static_cast<std::size_t>(n),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          double* out_row = po + i * static_cast<std::size_t>(m);
+          for (std::int64_t kk = 0; kk < k; ++kk) {
+            const double aki = pa[kk * n + static_cast<std::int64_t>(i)];
+            if (aki == 0.0) continue;
+            const double* b_row = pb + kk * m;
+            for (std::int64_t j = 0; j < m; ++j) out_row[j] += aki * b_row[j];
+          }
+        }
+      },
+      /*grain=*/static_cast<std::size_t>(
+          std::max<std::int64_t>(1, 16384 / std::max<std::int64_t>(1, k * m))));
+  return out;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  QPINN_CHECK_SHAPE(a.rank() == 2 && b.rank() == 2,
+                    "matmul_nt requires rank-2 operands");
+  QPINN_CHECK_SHAPE(a.cols() == b.cols(),
+                    "matmul_nt dimension mismatch: " +
+                        shape_to_string(a.shape()) + " x " +
+                        shape_to_string(b.shape()) + "^T");
+  const std::int64_t n = a.rows(), k = a.cols(), m = b.rows();
+  Tensor out(Shape{n, m});
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* po = out.data();
+  parallel_for(
+      static_cast<std::size_t>(n),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const double* a_row = pa + i * static_cast<std::size_t>(k);
+          double* out_row = po + i * static_cast<std::size_t>(m);
+          for (std::int64_t j = 0; j < m; ++j) {
+            const double* b_row = pb + j * k;
+            double acc = 0.0;
+            for (std::int64_t kk = 0; kk < k; ++kk) acc += a_row[kk] * b_row[kk];
+            out_row[j] = acc;
+          }
+        }
+      },
+      /*grain=*/static_cast<std::size_t>(
+          std::max<std::int64_t>(1, 16384 / std::max<std::int64_t>(1, k * m))));
+  return out;
+}
+
+Tensor transpose(const Tensor& a) {
+  QPINN_CHECK_SHAPE(a.rank() == 2, "transpose requires a rank-2 tensor");
+  const std::int64_t n = a.rows(), m = a.cols();
+  Tensor out(Shape{m, n});
+  const double* pa = a.data();
+  double* po = out.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < m; ++j) po[j * n + i] = pa[i * m + j];
+  }
+  return out;
+}
+
+Tensor sum_all(const Tensor& a) {
+  const double* p = a.data();
+  const std::size_t n = static_cast<std::size_t>(a.numel());
+  const double total = parallel_reduce<double>(
+      n, 0.0,
+      [&](std::size_t begin, std::size_t end, double acc) {
+        for (std::size_t i = begin; i < end; ++i) acc += p[i];
+        return acc;
+      },
+      [](double x, double y) { return x + y; });
+  return Tensor::scalar(total);
+}
+
+Tensor mean_all(const Tensor& a) {
+  return scale(sum_all(a), 1.0 / static_cast<double>(a.numel()));
+}
+
+Tensor sum_to(const Tensor& a, const Shape& target) {
+  if (a.shape() == target) return a;
+  QPINN_CHECK_SHAPE(broadcastable_to(target, a.shape()),
+                    "sum_to target " + shape_to_string(target) +
+                        " is not broadcast-compatible with " +
+                        shape_to_string(a.shape()));
+  Tensor out(target);
+  const std::size_t rank = a.shape().size();
+  const auto sa = row_major_strides(a.shape());
+  const auto st = broadcast_strides(target, rank);
+  const double* pa = a.data();
+  double* po = out.data();
+  const std::int64_t n = a.numel();
+  // Serial accumulation: outputs may collide across input elements.
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::int64_t rem = i;
+    std::int64_t it = 0;
+    for (std::size_t d = 0; d < rank; ++d) {
+      const std::int64_t coord = rem / sa[d];
+      rem -= coord * sa[d];
+      it += coord * st[d];
+    }
+    po[it] += pa[i];
+  }
+  return out;
+}
+
+Tensor broadcast_to(const Tensor& a, const Shape& target) {
+  if (a.shape() == target) return a;
+  QPINN_CHECK_SHAPE(broadcastable_to(a.shape(), target),
+                    "cannot broadcast " + shape_to_string(a.shape()) + " to " +
+                        shape_to_string(target));
+  Tensor out(target);
+  const std::size_t rank = target.size();
+  const auto sa = broadcast_strides(a.shape(), rank);
+  const auto so = row_major_strides(target);
+  const double* pa = a.data();
+  double* po = out.data();
+  const std::size_t n = static_cast<std::size_t>(out.numel());
+  parallel_for(n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      std::int64_t rem = static_cast<std::int64_t>(i);
+      std::int64_t ia = 0;
+      for (std::size_t d = 0; d < rank; ++d) {
+        const std::int64_t coord = rem / so[d];
+        rem -= coord * so[d];
+        ia += coord * sa[d];
+      }
+      po[i] = pa[ia];
+    }
+  });
+  return out;
+}
+
+Tensor concat_cols(const std::vector<Tensor>& parts) {
+  QPINN_CHECK(!parts.empty(), "concat_cols needs at least one tensor");
+  const std::int64_t rows = parts.front().rows();
+  std::int64_t total_cols = 0;
+  for (const Tensor& p : parts) {
+    QPINN_CHECK_SHAPE(p.rank() == 2 && p.rows() == rows,
+                      "concat_cols requires rank-2 tensors with equal rows");
+    total_cols += p.cols();
+  }
+  Tensor out(Shape{rows, total_cols});
+  double* po = out.data();
+  std::int64_t col_offset = 0;
+  for (const Tensor& p : parts) {
+    const double* pp = p.data();
+    const std::int64_t pc = p.cols();
+    for (std::int64_t r = 0; r < rows; ++r) {
+      std::copy(pp + r * pc, pp + (r + 1) * pc,
+                po + r * total_cols + col_offset);
+    }
+    col_offset += pc;
+  }
+  return out;
+}
+
+Tensor slice_cols(const Tensor& a, std::int64_t c0, std::int64_t c1) {
+  QPINN_CHECK_SHAPE(a.rank() == 2, "slice_cols requires a rank-2 tensor");
+  QPINN_CHECK_SHAPE(0 <= c0 && c0 < c1 && c1 <= a.cols(),
+                    "slice_cols range [" + std::to_string(c0) + ", " +
+                        std::to_string(c1) + ") invalid for " +
+                        shape_to_string(a.shape()));
+  const std::int64_t rows = a.rows(), cols = a.cols(), width = c1 - c0;
+  Tensor out(Shape{rows, width});
+  const double* pa = a.data();
+  double* po = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    std::copy(pa + r * cols + c0, pa + r * cols + c1, po + r * width);
+  }
+  return out;
+}
+
+Tensor slice_rows(const Tensor& a, std::int64_t r0, std::int64_t r1) {
+  QPINN_CHECK_SHAPE(a.rank() == 2, "slice_rows requires a rank-2 tensor");
+  QPINN_CHECK_SHAPE(0 <= r0 && r0 < r1 && r1 <= a.rows(),
+                    "slice_rows range [" + std::to_string(r0) + ", " +
+                        std::to_string(r1) + ") invalid for " +
+                        shape_to_string(a.shape()));
+  const std::int64_t cols = a.cols();
+  Tensor out(Shape{r1 - r0, cols});
+  std::copy(a.data() + r0 * cols, a.data() + r1 * cols, out.data());
+  return out;
+}
+
+Tensor concat_rows(const std::vector<Tensor>& parts) {
+  QPINN_CHECK(!parts.empty(), "concat_rows needs at least one tensor");
+  const std::int64_t cols = parts.front().cols();
+  std::int64_t total_rows = 0;
+  for (const Tensor& p : parts) {
+    QPINN_CHECK_SHAPE(p.rank() == 2 && p.cols() == cols,
+                      "concat_rows requires rank-2 tensors with equal cols");
+    total_rows += p.rows();
+  }
+  Tensor out(Shape{total_rows, cols});
+  double* po = out.data();
+  for (const Tensor& p : parts) {
+    std::copy(p.data(), p.data() + p.numel(), po);
+    po += p.numel();
+  }
+  return out;
+}
+
+void axpy_inplace(Tensor& dst, double s, const Tensor& src) {
+  QPINN_CHECK_SHAPE(dst.same_shape(src), "axpy_inplace shape mismatch");
+  double* pd = dst.data();
+  const double* ps = src.data();
+  const std::int64_t n = dst.numel();
+  for (std::int64_t i = 0; i < n; ++i) pd[i] += s * ps[i];
+}
+
+void scale_inplace(Tensor& dst, double s) {
+  double* pd = dst.data();
+  const std::int64_t n = dst.numel();
+  for (std::int64_t i = 0; i < n; ++i) pd[i] *= s;
+}
+
+void copy_into(Tensor& dst, const Tensor& src) {
+  QPINN_CHECK_SHAPE(dst.same_shape(src), "copy_into shape mismatch");
+  std::copy(src.data(), src.data() + src.numel(), dst.data());
+}
+
+double dot(const Tensor& a, const Tensor& b) {
+  QPINN_CHECK_SHAPE(a.same_shape(b), "dot shape mismatch");
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double acc = 0.0;
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) acc += pa[i] * pb[i];
+  return acc;
+}
+
+double norm2(const Tensor& a) { return std::sqrt(dot(a, a)); }
+
+}  // namespace qpinn::kernels

@@ -1,0 +1,87 @@
+// Compute kernels on raw tensors.
+//
+// These are the only routines that touch tensor memory directly; the
+// autodiff layer composes them. Large elementwise loops and the matmul are
+// parallelized over the global thread pool.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace qpinn::kernels {
+
+// ---- elementwise binary (NumPy broadcasting) ----------------------------
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor div(const Tensor& a, const Tensor& b);
+
+// ---- elementwise unary ---------------------------------------------------
+Tensor neg(const Tensor& a);
+Tensor scale(const Tensor& a, double s);
+Tensor add_scalar(const Tensor& a, double s);
+Tensor exp(const Tensor& a);
+Tensor log(const Tensor& a);
+Tensor tanh(const Tensor& a);
+Tensor sin(const Tensor& a);
+Tensor cos(const Tensor& a);
+Tensor sqrt(const Tensor& a);
+Tensor reciprocal(const Tensor& a);
+Tensor square(const Tensor& a);
+Tensor sigmoid(const Tensor& a);
+Tensor softplus(const Tensor& a);
+/// x^p for real p (x must be positive unless p is a non-negative integer).
+Tensor pow_scalar(const Tensor& a, double p);
+/// Heaviside step: 1 where a > 0, else 0 (used for relu's zero-a.e.
+/// derivative; treated as locally constant by autodiff).
+Tensor step(const Tensor& a);
+Tensor relu(const Tensor& a);
+Tensor abs(const Tensor& a);
+/// -1 / 0 / +1 elementwise.
+Tensor sign(const Tensor& a);
+
+// ---- linear algebra ------------------------------------------------------
+/// (N,K) x (K,M) -> (N,M); rank-2 only.
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// a^T b without materializing the transpose: (K,N)^T (K,M) -> (N,M).
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+/// a b^T: (N,K) (M,K)^T -> (N,M).
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+Tensor transpose(const Tensor& a);
+
+// ---- reductions / broadcast management -----------------------------------
+/// Sum of all elements as a scalar tensor.
+Tensor sum_all(const Tensor& a);
+/// Mean of all elements as a scalar tensor.
+Tensor mean_all(const Tensor& a);
+/// Reverse of broadcasting: sums `a` down to `target` (which must be
+/// broadcastable to a.shape()).
+Tensor sum_to(const Tensor& a, const Shape& target);
+/// Materialized broadcast of `a` to `target`.
+Tensor broadcast_to(const Tensor& a, const Shape& target);
+
+// ---- structural ----------------------------------------------------------
+/// Horizontal concatenation of rank-2 tensors with equal row counts.
+Tensor concat_cols(const std::vector<Tensor>& parts);
+/// Columns [c0, c1) of a rank-2 tensor.
+Tensor slice_cols(const Tensor& a, std::int64_t c0, std::int64_t c1);
+/// Rows [r0, r1) of a rank-2 tensor.
+Tensor slice_rows(const Tensor& a, std::int64_t r0, std::int64_t r1);
+/// Vertical concatenation of rank-2 tensors with equal column counts.
+Tensor concat_rows(const std::vector<Tensor>& parts);
+
+// ---- in-place helpers (used by optimizers; bypass autodiff) ---------------
+/// dst += s * src (same shape required).
+void axpy_inplace(Tensor& dst, double s, const Tensor& src);
+/// dst *= s.
+void scale_inplace(Tensor& dst, double s);
+/// Copies src into dst (same shape required).
+void copy_into(Tensor& dst, const Tensor& src);
+
+/// Euclidean dot product of two same-shape tensors (returns a double).
+double dot(const Tensor& a, const Tensor& b);
+/// Euclidean norm.
+double norm2(const Tensor& a);
+
+}  // namespace qpinn::kernels

@@ -1,0 +1,145 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace qpinn {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+  QPINN_CHECK(options_.find(name) == options_.end(),
+              "duplicate option '" + name + "'");
+  options_[name] = Option{Kind::kFlag, help, "0", "0"};
+  order_.push_back(name);
+}
+
+void CliParser::add_int(const std::string& name, long long default_value,
+                        const std::string& help) {
+  QPINN_CHECK(options_.find(name) == options_.end(),
+              "duplicate option '" + name + "'");
+  const std::string v = std::to_string(default_value);
+  options_[name] = Option{Kind::kInt, help, v, v};
+  order_.push_back(name);
+}
+
+void CliParser::add_double(const std::string& name, double default_value,
+                           const std::string& help) {
+  QPINN_CHECK(options_.find(name) == options_.end(),
+              "duplicate option '" + name + "'");
+  std::ostringstream os;
+  os << default_value;
+  options_[name] = Option{Kind::kDouble, help, os.str(), os.str()};
+  order_.push_back(name);
+}
+
+void CliParser::add_string(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  QPINN_CHECK(options_.find(name) == options_.end(),
+              "duplicate option '" + name + "'");
+  options_[name] = Option{Kind::kString, help, default_value, default_value};
+  order_.push_back(name);
+}
+
+void CliParser::parse(int argc, const char* const argv[]) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw ValueError("unexpected positional argument '" + arg + "'");
+    }
+    std::string name = arg.substr(2);
+    std::string inline_value;
+    bool has_inline = false;
+    const auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_inline = true;
+    }
+    auto it = options_.find(name);
+    if (it == options_.end()) {
+      throw ValueError("unknown option '--" + name + "'");
+    }
+    Option& opt = it->second;
+    if (opt.kind == Kind::kFlag) {
+      if (has_inline) {
+        throw ValueError("flag '--" + name + "' does not take a value");
+      }
+      opt.value = "1";
+      continue;
+    }
+    if (!has_inline) {
+      if (i + 1 >= argc) {
+        throw ValueError("option '--" + name + "' requires a value");
+      }
+      inline_value = argv[++i];
+    }
+    // Validate numeric options eagerly so errors point at the culprit.
+    if (opt.kind == Kind::kInt) {
+      char* end = nullptr;
+      (void)std::strtoll(inline_value.c_str(), &end, 10);
+      if (end == inline_value.c_str() || *end != '\0') {
+        throw ValueError("option '--" + name + "' expects an integer, got '" +
+                         inline_value + "'");
+      }
+    } else if (opt.kind == Kind::kDouble) {
+      char* end = nullptr;
+      (void)std::strtod(inline_value.c_str(), &end);
+      if (end == inline_value.c_str() || *end != '\0') {
+        throw ValueError("option '--" + name + "' expects a number, got '" +
+                         inline_value + "'");
+      }
+    }
+    opt.value = inline_value;
+  }
+}
+
+std::string CliParser::help_text() const {
+  std::ostringstream os;
+  os << program_ << " - " << description_ << "\n\noptions:\n";
+  for (const auto& name : order_) {
+    const Option& opt = options_.at(name);
+    os << "  --" << name;
+    if (opt.kind != Kind::kFlag) os << " <value>";
+    os << "\n      " << opt.help;
+    if (opt.kind != Kind::kFlag) os << " (default: " << opt.default_value << ")";
+    os << "\n";
+  }
+  os << "  --help\n      show this message\n";
+  return os.str();
+}
+
+const CliParser::Option& CliParser::find(const std::string& name,
+                                         Kind kind) const {
+  auto it = options_.find(name);
+  QPINN_CHECK(it != options_.end(), "option '" + name + "' was never declared");
+  QPINN_CHECK(it->second.kind == kind,
+              "option '" + name + "' accessed with the wrong type");
+  return it->second;
+}
+
+bool CliParser::get_flag(const std::string& name) const {
+  return find(name, Kind::kFlag).value == "1";
+}
+
+long long CliParser::get_int(const std::string& name) const {
+  return std::strtoll(find(name, Kind::kInt).value.c_str(), nullptr, 10);
+}
+
+double CliParser::get_double(const std::string& name) const {
+  return std::strtod(find(name, Kind::kDouble).value.c_str(), nullptr);
+}
+
+const std::string& CliParser::get_string(const std::string& name) const {
+  return find(name, Kind::kString).value;
+}
+
+}  // namespace qpinn

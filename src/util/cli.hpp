@@ -1,0 +1,59 @@
+// A tiny command-line option parser for examples and experiment binaries.
+//
+//   CliParser cli("quickstart", "Train a small PINN");
+//   cli.add_int("epochs", 500, "training epochs");
+//   cli.add_flag("full", "run the full-size configuration");
+//   cli.parse(argc, argv);          // throws ValueError on bad input
+//   int epochs = cli.get_int("epochs");
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qpinn {
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description);
+
+  void add_flag(const std::string& name, const std::string& help);
+  void add_int(const std::string& name, long long default_value,
+               const std::string& help);
+  void add_double(const std::string& name, double default_value,
+                  const std::string& help);
+  void add_string(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  /// Parses `--name value` and `--flag` style arguments. Recognizes
+  /// `--help` and sets help_requested(). Throws ValueError on unknown
+  /// options or malformed values.
+  void parse(int argc, const char* const argv[]);
+
+  bool help_requested() const { return help_requested_; }
+  std::string help_text() const;
+
+  bool get_flag(const std::string& name) const;
+  long long get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+
+ private:
+  enum class Kind { kFlag, kInt, kDouble, kString };
+  struct Option {
+    Kind kind;
+    std::string help;
+    std::string value;   // textual current value
+    std::string default_value;
+  };
+
+  const Option& find(const std::string& name, Kind kind) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;
+  bool help_requested_ = false;
+};
+
+}  // namespace qpinn

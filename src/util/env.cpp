@@ -1,0 +1,28 @@
+#include "util/env.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace qpinn {
+
+bool env_flag(const std::string& name) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr) return false;
+  std::string value;
+  for (const char* p = raw; *p != '\0'; ++p) {
+    value.push_back(static_cast<char>(std::tolower(*p)));
+  }
+  return !(value.empty() || value == "0" || value == "false" ||
+           value == "no" || value == "off");
+}
+
+long long env_int(const std::string& name, long long fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return v;
+}
+
+}  // namespace qpinn

@@ -1,0 +1,20 @@
+// Environment-variable helpers shared by tests / benches / experiments.
+#pragma once
+
+#include <string>
+
+namespace qpinn {
+
+/// True when the variable is set to a non-empty value other than "0",
+/// "false", "no" or "off" (case-insensitive).
+bool env_flag(const std::string& name);
+
+/// Integer value of an environment variable, or `fallback` when unset/bad.
+long long env_int(const std::string& name, long long fallback);
+
+/// Experiment binaries run a fast smoke configuration by default; setting
+/// QPINN_FULL=1 switches them to the full-size runs recorded in
+/// EXPERIMENTS.md.
+inline bool full_experiments() { return env_flag("QPINN_FULL"); }
+
+}  // namespace qpinn

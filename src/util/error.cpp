@@ -1,0 +1,24 @@
+#include "util/error.hpp"
+
+#include <cstring>
+#include <sstream>
+
+namespace qpinn::detail {
+
+[[noreturn]] void throw_check_failure(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& msg) {
+  // Strip leading directories from the file path for readable messages.
+  const char* base = std::strrchr(file, '/');
+  base = (base != nullptr) ? base + 1 : file;
+
+  std::ostringstream os;
+  os << msg << " [check `" << expr << "` failed at " << base << ":" << line
+     << "]";
+  if (std::strcmp(kind, "ShapeError") == 0) {
+    throw ShapeError(os.str());
+  }
+  throw ValueError(os.str());
+}
+
+}  // namespace qpinn::detail

@@ -1,0 +1,73 @@
+// Typed error hierarchy used throughout qpinn.
+//
+// All recoverable failures are reported via exceptions derived from
+// qpinn::Error (itself a std::runtime_error), so callers can catch either
+// the precise category or the whole family.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace qpinn {
+
+/// Root of the qpinn exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Invalid argument value (domain errors, bad enum strings, ...).
+class ValueError : public Error {
+ public:
+  explicit ValueError(const std::string& what) : Error("ValueError: " + what) {}
+};
+
+/// Tensor shape mismatch or illegal shape.
+class ShapeError : public Error {
+ public:
+  explicit ShapeError(const std::string& what) : Error("ShapeError: " + what) {}
+};
+
+/// Invalid configuration of a model / trainer / solver.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error("ConfigError: " + what) {}
+};
+
+/// Numerical failure: NaN/Inf encountered, solver divergence, singular system.
+class NumericsError : public Error {
+ public:
+  explicit NumericsError(const std::string& what) : Error("NumericsError: " + what) {}
+};
+
+/// I/O failure (checkpoint files, CSV output).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error("IoError: " + what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& msg);
+}  // namespace detail
+
+}  // namespace qpinn
+
+/// Precondition check that throws qpinn::ValueError with location info.
+#define QPINN_CHECK(cond, msg)                                                \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::qpinn::detail::throw_check_failure("ValueError", #cond, __FILE__,     \
+                                           __LINE__, (msg));                  \
+    }                                                                         \
+  } while (false)
+
+/// Shape-specific check that throws qpinn::ShapeError.
+#define QPINN_CHECK_SHAPE(cond, msg)                                          \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::qpinn::detail::throw_check_failure("ShapeError", #cond, __FILE__,     \
+                                           __LINE__, (msg));                  \
+    }                                                                         \
+  } while (false)

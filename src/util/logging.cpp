@@ -1,0 +1,61 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+#include "util/error.hpp"
+
+namespace qpinn::log {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(Level::kInfo)};
+std::mutex g_emit_mutex;
+
+const char* level_tag(Level level) {
+  switch (level) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO ";
+    case Level::kWarn: return "WARN ";
+    case Level::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+}  // namespace
+
+void set_level(Level level) { g_level.store(static_cast<int>(level)); }
+
+Level level() { return static_cast<Level>(g_level.load()); }
+
+Level parse_level(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) lower.push_back(static_cast<char>(std::tolower(c)));
+  if (lower == "debug") return Level::kDebug;
+  if (lower == "info") return Level::kInfo;
+  if (lower == "warn" || lower == "warning") return Level::kWarn;
+  if (lower == "error") return Level::kError;
+  if (lower == "off" || lower == "none") return Level::kOff;
+  throw ValueError("unknown log level '" + name + "'");
+}
+
+namespace detail {
+
+void emit(Level level, const std::string& message) {
+  if (static_cast<int>(level) < g_level.load()) return;
+
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  const double elapsed =
+      std::chrono::duration<double>(clock::now() - start).count();
+
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[%9.3fs %s] %s\n", elapsed, level_tag(level),
+               message.c_str());
+}
+
+}  // namespace detail
+
+}  // namespace qpinn::log

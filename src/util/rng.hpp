@@ -1,0 +1,48 @@
+// Deterministic random number generation.
+//
+// qpinn uses its own xoshiro256++ engine plus hand-rolled distributions so
+// that results are bit-reproducible across platforms and standard libraries
+// (std::normal_distribution is not portable across implementations).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace qpinn {
+
+/// xoshiro256++ engine seeded via SplitMix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (deterministic, platform independent).
+  double normal();
+
+  /// Normal with the given mean / stddev.
+  double normal(double mean, double stddev);
+
+  /// Uniform integer in [0, n) for n > 0.
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Fisher-Yates shuffle of indices [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Derives an independent child stream (for per-thread RNGs).
+  Rng split();
+
+ private:
+  std::uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace qpinn

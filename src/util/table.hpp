@@ -1,0 +1,42 @@
+// Aligned console tables and CSV output for experiment harnesses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qpinn {
+
+/// Collects rows of strings and renders them as an aligned ASCII table
+/// and/or a CSV file. Used by every `exp_*` experiment binary so that all
+/// tables in EXPERIMENTS.md share one format.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double value, int precision = 4);
+  /// Scientific notation, e.g. for error norms.
+  static std::string fmt_sci(double value, int precision = 3);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  /// Renders the aligned ASCII table.
+  std::string to_string(const std::string& title = "") const;
+
+  /// Renders RFC-4180-ish CSV (fields containing commas/quotes are quoted).
+  std::string to_csv() const;
+
+  /// Writes the CSV rendering to a file; throws IoError on failure.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qpinn

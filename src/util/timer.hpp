@@ -1,0 +1,27 @@
+// Wall-clock stopwatch used by the trainer and experiment harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace qpinn {
+
+class Stopwatch {
+ public:
+  Stopwatch() { reset(); }
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace qpinn

@@ -1,0 +1,165 @@
+// Tests of the grad() engine itself: accumulation, seeds, higher-order
+// chains, and the PDE derivative helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autodiff/derivatives.hpp"
+#include "autodiff/grad.hpp"
+#include "autodiff/ops.hpp"
+#include "util/error.hpp"
+
+namespace qpinn::autodiff {
+namespace {
+
+TEST(Grad, SimpleChainRule) {
+  const Variable x = Variable::leaf(Tensor::scalar(2.0));
+  const Variable y = square(square(x));  // x^4
+  const Variable g = grad_single(y, x);
+  EXPECT_DOUBLE_EQ(g.item(), 4.0 * 8.0);  // 4 x^3 = 32
+}
+
+TEST(Grad, FanOutAccumulates) {
+  const Variable x = Variable::leaf(Tensor::scalar(3.0));
+  // y = x^2 + sin(x) + x * x  -> dy/dx = 2x + cos(x) + 2x.
+  const Variable y = add(add(square(x), sin(x)), mul(x, x));
+  const Variable g = grad_single(y, x);
+  EXPECT_NEAR(g.item(), 4.0 * 3.0 + std::cos(3.0), 1e-12);
+}
+
+TEST(Grad, SharedSubexpression) {
+  const Variable x = Variable::leaf(Tensor::scalar(0.7));
+  const Variable s = sin(x);
+  const Variable y = mul(s, s);  // sin(x)^2, s used twice
+  const Variable g = grad_single(y, x);
+  EXPECT_NEAR(g.item(), 2.0 * std::sin(0.7) * std::cos(0.7), 1e-12);
+}
+
+TEST(Grad, UnusedInputGetsZeros) {
+  const Variable x = Variable::leaf(Tensor::scalar(1.0));
+  const Variable unused = Variable::leaf(Tensor::zeros({2, 2}));
+  const auto grads = grad(square(x), {x, unused});
+  EXPECT_DOUBLE_EQ(grads[0].item(), 2.0);
+  EXPECT_EQ(grads[1].shape(), (Shape{2, 2}));
+  EXPECT_DOUBLE_EQ(grads[1].value().abs_max(), 0.0);
+}
+
+TEST(Grad, AllowUnusedFalseThrows) {
+  const Variable x = Variable::leaf(Tensor::scalar(1.0));
+  const Variable unused = Variable::leaf(Tensor::scalar(0.0));
+  GradOptions options;
+  options.allow_unused = false;
+  EXPECT_THROW(grad(square(x), {unused}, {}, options), ValueError);
+}
+
+TEST(Grad, OutputMustRequireGrad) {
+  const Variable c = Variable::constant(5.0);
+  const Variable x = Variable::leaf(Tensor::scalar(1.0));
+  EXPECT_THROW(grad(square(c), {x}), ValueError);
+}
+
+TEST(Grad, GradOutputSeedsBackward) {
+  const Variable x = Variable::leaf(Tensor::from_vector({1.0, 2.0}, {2}));
+  const Variable y = square(x);
+  const Variable seed = Variable::constant(
+      Tensor::from_vector({10.0, 100.0}, {2}));
+  const Variable g = grad_single(y, x, seed);
+  EXPECT_DOUBLE_EQ(g.value()[0], 10.0 * 2.0);
+  EXPECT_DOUBLE_EQ(g.value()[1], 100.0 * 4.0);
+}
+
+TEST(Grad, SeedShapeMismatchThrows) {
+  const Variable x = Variable::leaf(Tensor::from_vector({1.0, 2.0}, {2}));
+  const Variable bad_seed = Variable::constant(Tensor::ones({3}));
+  EXPECT_THROW(grad(square(x), {x}, bad_seed), ShapeError);
+}
+
+TEST(Grad, WithoutCreateGraphResultIsConstant) {
+  const Variable x = Variable::leaf(Tensor::scalar(1.5));
+  const Variable g = grad_single(sin(x), x);
+  EXPECT_FALSE(g.requires_grad());
+}
+
+TEST(Grad, ThirdDerivativeOfSine) {
+  const Variable x = Variable::leaf(Tensor::scalar(0.9));
+  GradOptions keep;
+  keep.create_graph = true;
+  const Variable d1 = grad_single(sin(x), x, {}, keep);   //  cos
+  const Variable d2 = grad_single(d1, x, {}, keep);       // -sin
+  const Variable d3 = grad_single(d2, x);                 // -cos
+  EXPECT_NEAR(d1.item(), std::cos(0.9), 1e-12);
+  EXPECT_NEAR(d2.item(), -std::sin(0.9), 1e-12);
+  EXPECT_NEAR(d3.item(), -std::cos(0.9), 1e-12);
+}
+
+TEST(Grad, FourthDerivativeOfExp) {
+  const Variable x = Variable::leaf(Tensor::scalar(0.3));
+  GradOptions keep;
+  keep.create_graph = true;
+  Variable d = exp(x);
+  for (int order = 0; order < 4; ++order) d = grad_single(d, x, {}, keep);
+  EXPECT_NEAR(d.item(), std::exp(0.3), 1e-10);
+}
+
+// ---- PDE derivative helpers -----------------------------------------------------
+
+TEST(Partial, GaussianDerivativesExact) {
+  // y = exp(-x^2) * t: y_x = -2x y, y_xx = (4x^2 - 2) y, y_t = exp(-x^2).
+  const std::int64_t n = 9;
+  Tensor points(Shape{n, 2});
+  for (std::int64_t i = 0; i < n; ++i) {
+    points.at(i, 0) = -1.0 + 0.25 * static_cast<double>(i);
+    points.at(i, 1) = 0.5 + 0.1 * static_cast<double>(i);
+  }
+  const Variable X = Variable::leaf(points.clone());
+  const Variable x = slice_cols(X, 0, 1);
+  const Variable t = slice_cols(X, 1, 2);
+  const Variable y = mul(exp(neg(square(x))), t);
+
+  const Tensor yx = partial(y, X, 0).value();
+  const Tensor yxx = partial_n(y, X, 0, 2).value();
+  const Tensor yt = partial(y, X, 1).value();
+  const Tensor yxt = partial_mixed(y, X, 0, 1).value();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double xv = points.at(i, 0);
+    const double tv = points.at(i, 1);
+    const double gauss = std::exp(-xv * xv);
+    EXPECT_NEAR(yx[i], -2.0 * xv * gauss * tv, 1e-11);
+    EXPECT_NEAR(yxx[i], (4.0 * xv * xv - 2.0) * gauss * tv, 1e-10);
+    EXPECT_NEAR(yt[i], gauss, 1e-12);
+    EXPECT_NEAR(yxt[i], -2.0 * xv * gauss, 1e-11);
+  }
+}
+
+TEST(Partial, RowsAreIndependent) {
+  // Each row's derivative must involve only that row (the PINN batching
+  // assumption): perturbing row 0 must not change row 1's derivative.
+  Tensor points = Tensor::from_vector({0.5, 0.1, -0.4, 0.9}, {2, 2});
+  const Variable X1 = Variable::leaf(points.clone());
+  const Variable y1 = square(slice_cols(X1, 0, 1));
+  const double d_row1_before = partial(y1, X1, 0).value()[1];
+
+  points.at(0, 0) = 2.0;  // change row 0 only
+  const Variable X2 = Variable::leaf(points.clone());
+  const Variable y2 = square(slice_cols(X2, 0, 1));
+  const double d_row1_after = partial(y2, X2, 0).value()[1];
+  EXPECT_DOUBLE_EQ(d_row1_before, d_row1_after);
+}
+
+TEST(Partial, ValidatesArguments) {
+  const Variable X = Variable::leaf(Tensor::zeros({3, 2}));
+  const Variable y = slice_cols(X, 0, 1);
+  EXPECT_THROW(partial(y, X, 2), ValueError);
+  EXPECT_THROW(partial(X, X, 0), ShapeError);  // y must be one channel
+  EXPECT_THROW(partial_n(y, X, 0, 0), ValueError);
+}
+
+TEST(Helpers, OnesZerosLike) {
+  const Variable x = Variable::leaf(Tensor::zeros({2, 3}));
+  EXPECT_EQ(ones_like(x).shape(), (Shape{2, 3}));
+  EXPECT_DOUBLE_EQ(ones_like(x).value().min(), 1.0);
+  EXPECT_DOUBLE_EQ(zeros_like(x).value().abs_max(), 0.0);
+}
+
+}  // namespace
+}  // namespace qpinn::autodiff

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "core/curriculum.hpp"
+#include "util/error.hpp"
+
+namespace qpinn::core {
+namespace {
+
+const CurriculumConfig kConfig{/*bins=*/5, /*warmup_epochs=*/1000,
+                               /*min_weight=*/0.01};
+const Domain kDomain{-1.0, 1.0, 0.0, 1.0};
+
+TEST(Curriculum, FirstBinAlwaysFull) {
+  for (std::int64_t epoch : {0, 1, 500, 2000}) {
+    EXPECT_DOUBLE_EQ(curriculum_weights(kConfig, epoch)[0], 1.0);
+  }
+}
+
+TEST(Curriculum, LaterBinsStartSmall) {
+  const auto weights = curriculum_weights(kConfig, 0);
+  for (std::size_t m = 2; m < weights.size(); ++m) {
+    EXPECT_NEAR(weights[m], kConfig.min_weight, 1e-12);
+  }
+}
+
+TEST(Curriculum, WeightsMonotoneInEpoch) {
+  for (std::size_t m = 0; m < 5; ++m) {
+    double previous = 0.0;
+    for (std::int64_t epoch = 0; epoch <= 1200; epoch += 100) {
+      const double w = curriculum_weights(kConfig, epoch)[m];
+      EXPECT_GE(w, previous - 1e-12);
+      previous = w;
+    }
+  }
+}
+
+TEST(Curriculum, WeightsMonotoneAcrossBins) {
+  // At any epoch, earlier bins weigh at least as much as later ones.
+  for (std::int64_t epoch : {0, 250, 600, 999}) {
+    const auto weights = curriculum_weights(kConfig, epoch);
+    for (std::size_t m = 1; m < weights.size(); ++m) {
+      EXPECT_GE(weights[m - 1], weights[m] - 1e-12);
+    }
+  }
+}
+
+TEST(Curriculum, AllBinsFullAfterWarmup) {
+  const auto weights = curriculum_weights(kConfig, kConfig.warmup_epochs);
+  for (double w : weights) EXPECT_DOUBLE_EQ(w, 1.0);
+}
+
+TEST(Curriculum, PerPointWeightsFollowBins) {
+  Tensor points(Shape{5, 2});
+  for (std::int64_t i = 0; i < 5; ++i) {
+    points.at(i, 0) = 0.0;
+    points.at(i, 1) = 0.1 + 0.2 * static_cast<double>(i);  // bins 0..4
+  }
+  const Tensor weights = per_point_weights(kConfig, kDomain, points, 0);
+  ASSERT_EQ(weights.shape(), (Shape{5, 1}));
+  EXPECT_DOUBLE_EQ(weights[0], 1.0);
+  for (std::int64_t i = 2; i < 5; ++i) {
+    EXPECT_NEAR(weights[i], kConfig.min_weight, 1e-12);
+  }
+}
+
+TEST(Curriculum, FinalTimeMapsToLastBin) {
+  Tensor points(Shape{1, 2});
+  points.at(0, 0) = 0.0;
+  points.at(0, 1) = kDomain.t_hi;  // exactly t_hi must clamp to bin 4
+  const Tensor weights = per_point_weights(kConfig, kDomain, points, 0);
+  EXPECT_NEAR(weights[0], kConfig.min_weight, 1e-12);
+}
+
+TEST(Curriculum, SingleBinDegeneratesToUniform) {
+  const CurriculumConfig single{1, 100, 0.5};
+  const auto weights = curriculum_weights(single, 0);
+  ASSERT_EQ(weights.size(), 1u);
+  EXPECT_DOUBLE_EQ(weights[0], 1.0);
+}
+
+TEST(Curriculum, Validation) {
+  EXPECT_THROW(curriculum_weights({0, 100, 0.1}, 0), ConfigError);
+  EXPECT_THROW(curriculum_weights({5, 0, 0.1}, 0), ConfigError);
+  EXPECT_THROW(curriculum_weights({5, 100, 0.0}, 0), ConfigError);
+  EXPECT_THROW(curriculum_weights({5, 100, 1.5}, 0), ConfigError);
+}
+
+}  // namespace
+}  // namespace qpinn::core

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "core/eigen_pinn.hpp"
+#include "quantum/potentials.hpp"
+#include "util/error.hpp"
+
+namespace qpinn::core {
+namespace {
+
+EigenPinnConfig box_config() {
+  EigenPinnConfig config;
+  config.x_lo = 0.0;
+  config.x_hi = 1.0;
+  config.n_collocation = 64;
+  config.hidden = {16, 16};
+  config.epochs = 1200;
+  config.adam.lr = 5e-3;
+  config.seed = 3;
+  return config;
+}
+
+TEST(EigenPinn, BoxGroundStateEnergy) {
+  const EigenPinn solver(box_config());
+  const double e1 = quantum::infinite_well_eigenvalue(1, 1.0);
+  const EigenState state = solver.solve_state(e1 * 1.1, {});
+  EXPECT_NEAR(state.energy, e1, 0.05 * e1);
+  // Wavefunction close to sqrt(2) sin(pi x) up to sign (sign is fixed
+  // positive by construction).
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < state.x.size(); ++i) {
+    const double exact =
+        std::sqrt(2.0) * std::sin(std::numbers::pi * state.x[i]);
+    max_err = std::max(max_err, std::abs(state.psi[i] - exact));
+  }
+  EXPECT_LT(max_err, 0.1);
+}
+
+TEST(EigenPinn, WavefunctionNormalizedAndZeroAtWalls) {
+  const EigenPinn solver(box_config());
+  const EigenState state = solver.solve_state(
+      quantum::infinite_well_eigenvalue(1, 1.0), {});
+  EXPECT_NEAR(state.psi.front(), 0.0, 1e-12);
+  EXPECT_NEAR(state.psi.back(), 0.0, 1e-12);
+  const double dx = state.x[1] - state.x[0];
+  double norm = 0.0;
+  for (std::size_t i = 0; i < state.psi.size(); ++i) {
+    const double w = (i == 0 || i + 1 == state.psi.size()) ? 0.5 : 1.0;
+    norm += w * state.psi[i] * state.psi[i] * dx;
+  }
+  EXPECT_NEAR(norm, 1.0, 1e-6);  // normalized in extraction
+}
+
+TEST(EigenPinn, DeflationFindsFirstExcitedState) {
+  EigenPinnConfig config = box_config();
+  config.epochs = 1500;
+  const EigenPinn solver(config);
+  const double e1 = quantum::infinite_well_eigenvalue(1, 1.0);
+  const double e2 = quantum::infinite_well_eigenvalue(2, 1.0);
+  const auto states = solver.solve_spectrum({e1 * 1.05, e2 * 0.95});
+  ASSERT_EQ(states.size(), 2u);
+  EXPECT_NEAR(states[0].energy, e1, 0.05 * e1);
+  EXPECT_NEAR(states[1].energy, e2, 0.08 * e2);
+  // Orthogonality of the recovered states.
+  const double dx = states[0].x[1] - states[0].x[0];
+  double overlap = 0.0;
+  for (std::size_t i = 0; i < states[0].psi.size(); ++i) {
+    overlap += states[0].psi[i] * states[1].psi[i] * dx;
+  }
+  EXPECT_LT(std::abs(overlap), 0.1);
+}
+
+TEST(EigenPinn, ConfigValidation) {
+  EigenPinnConfig config = box_config();
+  config.x_hi = config.x_lo;
+  EXPECT_THROW(EigenPinn{config}, ConfigError);
+  config = box_config();
+  config.n_collocation = 4;
+  EXPECT_THROW(EigenPinn{config}, ConfigError);
+  config = box_config();
+  config.weight_residual = 0.0;
+  EXPECT_THROW(EigenPinn{config}, ConfigError);
+  config = box_config();
+  config.weight_ortho = -1.0;
+  EXPECT_THROW(EigenPinn{config}, ConfigError);
+}
+
+TEST(EigenPinn, SpectrumNeedsGuesses) {
+  const EigenPinn solver(box_config());
+  EXPECT_THROW(solver.solve_spectrum({}), ValueError);
+}
+
+}  // namespace
+}  // namespace qpinn::core

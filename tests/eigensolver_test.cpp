@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "fdm/eigensolver.hpp"
+#include "fdm/numerov.hpp"
+#include "quantum/hermite.hpp"
+#include "quantum/potentials.hpp"
+#include "util/error.hpp"
+
+namespace qpinn::fdm {
+namespace {
+
+// ---- Sturm bisection eigenvalues ----------------------------------------------
+
+TEST(Eigensolver, ParticleInABoxSpectrum) {
+  const Grid1d grid{0.0, 1.0, 801, false};
+  const SymTridiag h = build_hamiltonian(grid, nullptr);
+  const std::vector<double> values = smallest_eigenvalues(h, 4);
+  for (int n = 1; n <= 4; ++n) {
+    const double exact = quantum::infinite_well_eigenvalue(n, 1.0);
+    EXPECT_NEAR(values[n - 1], exact, 1e-3 * exact)
+        << "state " << n;
+  }
+}
+
+TEST(Eigensolver, HarmonicOscillatorSpectrum) {
+  const Grid1d grid{-10.0, 10.0, 1201, false};
+  const SymTridiag h = build_hamiltonian(grid, quantum::harmonic_potential());
+  const std::vector<double> values = smallest_eigenvalues(h, 5);
+  for (int n = 0; n < 5; ++n) {
+    EXPECT_NEAR(values[n], n + 0.5, 2e-3) << "state " << n;
+  }
+}
+
+TEST(Eigensolver, PoschlTellerBoundState) {
+  // V = -sech^2(x) (lambda = 1) has exactly one bound state at E = -1/2.
+  const Grid1d grid{-15.0, 15.0, 1501, false};
+  const SymTridiag h =
+      build_hamiltonian(grid, quantum::poschl_teller_potential(1.0));
+  const std::vector<double> values = smallest_eigenvalues(h, 1);
+  EXPECT_NEAR(values[0], -0.5, 2e-3);
+}
+
+TEST(Eigensolver, SturmCountMonotone) {
+  const Grid1d grid{0.0, 1.0, 201, false};
+  const SymTridiag h = build_hamiltonian(grid, nullptr);
+  const std::vector<double> values = smallest_eigenvalues(h, 3);
+  // Counting strictly below each eigenvalue +- epsilon brackets its index.
+  for (std::size_t j = 0; j < values.size(); ++j) {
+    EXPECT_EQ(sturm_count(h, values[j] - 1e-6),
+              static_cast<std::int64_t>(j));
+    EXPECT_EQ(sturm_count(h, values[j] + 1e-6),
+              static_cast<std::int64_t>(j + 1));
+  }
+}
+
+// ---- eigenvectors ---------------------------------------------------------------
+
+TEST(Eigensolver, EigenpairResidualsSmall) {
+  const Grid1d grid{-8.0, 8.0, 601, false};
+  const SymTridiag h = build_hamiltonian(grid, quantum::harmonic_potential());
+  const auto pairs = smallest_eigenpairs(h, 3, grid.dx());
+  for (const auto& pair : pairs) {
+    const auto hv = h.apply(pair.vector);
+    double res = 0.0, norm = 0.0;
+    for (std::size_t i = 0; i < hv.size(); ++i) {
+      const double r = hv[i] - pair.value * pair.vector[i];
+      res += r * r;
+      norm += pair.vector[i] * pair.vector[i];
+    }
+    EXPECT_LT(std::sqrt(res / norm), 1e-7);
+  }
+}
+
+TEST(Eigensolver, EigenvectorsOrthonormal) {
+  const Grid1d grid{-8.0, 8.0, 401, false};
+  const SymTridiag h = build_hamiltonian(grid, quantum::harmonic_potential());
+  const auto pairs = smallest_eigenpairs(h, 3, grid.dx());
+  for (std::size_t a = 0; a < pairs.size(); ++a) {
+    for (std::size_t b = 0; b <= a; ++b) {
+      double overlap = 0.0;
+      for (std::size_t i = 0; i < pairs[a].vector.size(); ++i) {
+        overlap += pairs[a].vector[i] * pairs[b].vector[i];
+      }
+      overlap *= grid.dx();
+      EXPECT_NEAR(overlap, a == b ? 1.0 : 0.0, 1e-6);
+    }
+  }
+}
+
+TEST(Eigensolver, GroundStateMatchesHermiteForm) {
+  const Grid1d grid{-8.0, 8.0, 801, false};
+  const SymTridiag h = build_hamiltonian(grid, quantum::harmonic_potential());
+  const auto pairs = smallest_eigenpairs(h, 1, grid.dx());
+  const auto x = grid.points();
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < pairs[0].vector.size(); ++i) {
+    const double exact = quantum::ho_eigenfunction(0, x[i + 1]);
+    max_err = std::max(max_err, std::abs(pairs[0].vector[i] - exact));
+  }
+  EXPECT_LT(max_err, 1e-3);
+}
+
+TEST(Eigensolver, Validation) {
+  const Grid1d grid{0.0, 1.0, 51, false};
+  const SymTridiag h = build_hamiltonian(grid, nullptr);
+  EXPECT_THROW(smallest_eigenvalues(h, 0), ValueError);
+  EXPECT_THROW(smallest_eigenvalues(
+                   h, static_cast<std::int64_t>(h.size()) + 1),
+               ValueError);
+  Grid1d periodic{0.0, 1.0, 51, true};
+  EXPECT_THROW(build_hamiltonian(periodic, nullptr), ValueError);
+}
+
+// ---- Numerov cross-validation -------------------------------------------------------
+
+class NumerovAgreementP : public ::testing::TestWithParam<int> {};
+
+TEST_P(NumerovAgreementP, MatchesSturmForBoxState) {
+  const int n = GetParam();
+  const Grid1d grid{0.0, 1.0, 2001, false};
+  const double exact = quantum::infinite_well_eigenvalue(n, 1.0);
+  const auto numerov =
+      numerov_eigenvalues(grid, nullptr, n, 0.0, exact * 1.6 + 10.0);
+  EXPECT_NEAR(numerov[n - 1], exact, 1e-3 * exact);
+}
+
+INSTANTIATE_TEST_SUITE_P(States, NumerovAgreementP, ::testing::Values(1, 2, 3, 4));
+
+TEST(Numerov, HarmonicEigenvaluesAgreeWithSturm) {
+  const Grid1d grid{-8.0, 8.0, 1601, false};
+  const auto numerov = numerov_eigenvalues(
+      grid, quantum::harmonic_potential(), 3, 0.0, 5.0);
+  const SymTridiag h = build_hamiltonian(grid, quantum::harmonic_potential());
+  const auto sturm = smallest_eigenvalues(h, 3);
+  for (int n = 0; n < 3; ++n) {
+    EXPECT_NEAR(numerov[n], sturm[n], 5e-3);
+    EXPECT_NEAR(numerov[n], n + 0.5, 5e-3);
+  }
+}
+
+TEST(Numerov, NodeCountMatchesQuantumNumber) {
+  const Grid1d grid{0.0, 1.0, 1001, false};
+  // Between E_n and E_{n+1} the shooting solution has exactly n+1 nodes...
+  for (int n = 1; n <= 3; ++n) {
+    const double below = quantum::infinite_well_eigenvalue(n, 1.0) * 0.9;
+    EXPECT_EQ(numerov_node_count(grid, nullptr, below), n - 1);
+  }
+}
+
+TEST(Numerov, Validation) {
+  const Grid1d grid{0.0, 1.0, 101, false};
+  EXPECT_THROW(numerov_eigenvalues(grid, nullptr, 0, 0.0, 10.0), ValueError);
+  EXPECT_THROW(numerov_eigenvalues(grid, nullptr, 1, 10.0, 0.0), ValueError);
+  // e_max below the first eigenvalue cannot bracket it.
+  EXPECT_THROW(numerov_eigenvalues(grid, nullptr, 1, 0.0, 1.0), ValueError);
+}
+
+}  // namespace
+}  // namespace qpinn::fdm

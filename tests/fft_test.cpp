@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "fdm/fft.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace qpinn::fdm {
+namespace {
+
+using C = std::complex<double>;
+
+std::vector<C> random_signal(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<C> a(n);
+  for (auto& v : a) v = C(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  return a;
+}
+
+class FftSizeP : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(FftSizeP, RoundTripIsIdentity) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  const std::vector<C> original = random_signal(n, 1);
+  const std::vector<C> restored = ifft(fft(original));
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(restored[i] - original[i]), 0.0, 1e-12);
+  }
+}
+
+TEST_P(FftSizeP, ParsevalHolds) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  const std::vector<C> a = random_signal(n, 2);
+  const std::vector<C> f = fft(a);
+  double time_energy = 0.0, freq_energy = 0.0;
+  for (const C& v : a) time_energy += std::norm(v);
+  for (const C& v : f) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy, time_energy * static_cast<double>(n),
+              1e-9 * time_energy * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, FftSizeP,
+                         ::testing::Values(1, 2, 4, 8, 32, 128, 1024));
+
+TEST(Fft, DeltaTransformsToConstant) {
+  std::vector<C> a(8, C(0, 0));
+  a[0] = C(1, 0);
+  const std::vector<C> f = fft(a);
+  for (const C& v : f) EXPECT_NEAR(std::abs(v - C(1, 0)), 0.0, 1e-14);
+}
+
+TEST(Fft, PureToneLandsInSingleBin) {
+  const std::size_t n = 64;
+  const std::size_t bin = 5;
+  std::vector<C> a(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phase = 2.0 * std::numbers::pi * static_cast<double>(bin) *
+                         static_cast<double>(i) / static_cast<double>(n);
+    a[i] = C(std::cos(phase), std::sin(phase));
+  }
+  const std::vector<C> f = fft(a);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double expected = (k == bin) ? static_cast<double>(n) : 0.0;
+    EXPECT_NEAR(std::abs(f[k]), expected, 1e-9);
+  }
+}
+
+TEST(Fft, Linearity) {
+  const std::size_t n = 32;
+  const std::vector<C> a = random_signal(n, 3);
+  const std::vector<C> b = random_signal(n, 4);
+  std::vector<C> sum(n);
+  for (std::size_t i = 0; i < n; ++i) sum[i] = 2.0 * a[i] + 3.0 * b[i];
+  const std::vector<C> fa = fft(a), fb = fft(b), fsum = fft(sum);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(fsum[i] - (2.0 * fa[i] + 3.0 * fb[i])), 0.0, 1e-10);
+  }
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<C> a(6);
+  EXPECT_THROW(fft_inplace(a), ValueError);
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(256));
+}
+
+TEST(FftWavenumbers, MatchesFftfreqLayout) {
+  // n = 8, dx = 0.5: k = 2 pi [0, 1, 2, 3, -4, -3, -2, -1] / (8 * 0.5).
+  const std::vector<double> k = fft_wavenumbers(8, 0.5);
+  const double unit = 2.0 * std::numbers::pi / 4.0;
+  const double expected[] = {0, 1, 2, 3, -4, -3, -2, -1};
+  for (int i = 0; i < 8; ++i) EXPECT_NEAR(k[i], expected[i] * unit, 1e-12);
+}
+
+TEST(FftWavenumbers, OddLength) {
+  const std::vector<double> k = fft_wavenumbers(5, 1.0);
+  const double unit = 2.0 * std::numbers::pi / 5.0;
+  const double expected[] = {0, 1, 2, -2, -1};
+  for (int i = 0; i < 5; ++i) EXPECT_NEAR(k[i], expected[i] * unit, 1e-12);
+  EXPECT_THROW(fft_wavenumbers(0, 1.0), ValueError);
+  EXPECT_THROW(fft_wavenumbers(4, 0.0), ValueError);
+}
+
+TEST(Fft, DerivativeBySpectralMultiplication) {
+  // d/dx sin(3x) on [0, 2 pi) must equal 3 cos(3x) to spectral accuracy.
+  const std::size_t n = 64;
+  const double dx = 2.0 * std::numbers::pi / static_cast<double>(n);
+  std::vector<C> a(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = C(std::sin(3.0 * static_cast<double>(i) * dx), 0.0);
+  }
+  std::vector<C> f = fft(a);
+  const std::vector<double> k = fft_wavenumbers(n, dx);
+  for (std::size_t i = 0; i < n; ++i) f[i] *= C(0.0, k[i]);
+  const std::vector<C> da = ifft(f);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(da[i].real(), 3.0 * std::cos(3.0 * static_cast<double>(i) * dx),
+                1e-10);
+    EXPECT_NEAR(da[i].imag(), 0.0, 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace qpinn::fdm

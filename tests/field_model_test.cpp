@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autodiff/grad.hpp"
+#include "core/field_model.hpp"
+#include "core/field_ops.hpp"
+#include "quantum/analytic.hpp"
+#include "util/error.hpp"
+
+namespace qpinn::core {
+namespace {
+
+using autodiff::Variable;
+
+FieldModelConfig small_config() {
+  FieldModelConfig config;
+  config.hidden = {8, 8};
+  config.fourier = nn::FourierConfig{4, 1.0};
+  config.seed = 5;
+  return config;
+}
+
+TEST(FieldModel, ForwardShape) {
+  auto model = make_field_model(small_config());
+  const Tensor X = Tensor::zeros({7, 2});
+  EXPECT_EQ(model->evaluate(X).shape(), (Shape{7, 2}));
+  EXPECT_GT(model->num_parameters(), 0);
+}
+
+TEST(FieldModel, RejectsWrongInputWidth) {
+  auto model = make_field_model(small_config());
+  const Variable bad = Variable::constant(Tensor::zeros({3, 3}));
+  EXPECT_THROW(model->forward(bad), ShapeError);
+}
+
+TEST(FieldModel, HardIcExactAtInitialTime) {
+  FieldModelConfig config = small_config();
+  config.hard_ic = HardIc{gaussian_packet_ic(-1.0, 1.0, 0.6), 0.25};
+  auto model = make_field_model(config);
+
+  const auto reference = quantum::free_gaussian_packet(-1.0, 1.0, 0.6);
+  Tensor X(Shape{5, 2});
+  for (std::int64_t i = 0; i < 5; ++i) {
+    X.at(i, 0) = -2.0 + static_cast<double>(i);
+    X.at(i, 1) = 0.25;  // = t0
+  }
+  const Tensor out = model->evaluate(X);
+  for (std::int64_t i = 0; i < 5; ++i) {
+    const auto exact = reference(X.at(i, 0), 0.0);
+    EXPECT_NEAR(out.at(i, 0), exact.real(), 1e-12);
+    EXPECT_NEAR(out.at(i, 1), exact.imag(), 1e-12);
+  }
+}
+
+TEST(FieldModel, HardIcDeviatesAwayFromT0) {
+  FieldModelConfig config = small_config();
+  config.hard_ic = HardIc{gaussian_packet_ic(0.0, 0.0, 0.5), 0.0};
+  auto model = make_field_model(config);
+  Tensor X(Shape{1, 2});
+  X.at(0, 0) = 0.3;
+  X.at(0, 1) = 0.8;
+  const Tensor out = model->evaluate(X);
+  const auto reference = quantum::free_gaussian_packet(0.0, 0.0, 0.5);
+  const auto ic_value = reference(0.3, 0.0);
+  // With an untrained network the ramp term is generically nonzero.
+  const double deviation = std::abs(out.at(0, 0) - ic_value.real()) +
+                           std::abs(out.at(0, 1) - ic_value.imag());
+  EXPECT_GT(deviation, 1e-8);
+}
+
+TEST(FieldModel, NormalizationPreservesDifferentiability) {
+  FieldModelConfig config = small_config();
+  config.normalization = InputNormalization::for_domain(-4.0, 4.0, 0.0, 2.0);
+  auto model = make_field_model(config);
+  const Variable X = Variable::leaf(Tensor::full({3, 2}, 0.5));
+  const Variable out = model->forward(X);
+  EXPECT_TRUE(out.requires_grad());
+  const auto grads = autodiff::grad(autodiff::sum_all(out), {X});
+  EXPECT_TRUE(grads[0].value().all_finite());
+  EXPECT_GT(grads[0].value().abs_max(), 0.0);
+}
+
+TEST(FieldModel, NormalizationCentersInputs) {
+  const auto norm = InputNormalization::for_domain(-4.0, 4.0, 1.0, 3.0);
+  EXPECT_DOUBLE_EQ(norm.x_center, 0.0);
+  EXPECT_DOUBLE_EQ(norm.x_half_span, 4.0);
+  EXPECT_DOUBLE_EQ(norm.t_center, 2.0);
+  EXPECT_DOUBLE_EQ(norm.t_half_span, 1.0);
+  EXPECT_THROW(InputNormalization::for_domain(1.0, 1.0, 0.0, 1.0),
+               ValueError);
+}
+
+TEST(FieldModel, PeriodicThroughNormalization) {
+  // With x_period == domain span and normalization on, the model must be
+  // exactly periodic in raw x.
+  FieldModelConfig config = small_config();
+  config.x_period = 8.0;
+  config.normalization = InputNormalization::for_domain(-4.0, 4.0, 0.0, 1.0);
+  auto model = make_field_model(config);
+  Tensor a(Shape{1, 2});
+  a.at(0, 0) = -3.1;
+  a.at(0, 1) = 0.4;
+  Tensor b = a.clone();
+  b.at(0, 0) = -3.1 + 8.0;
+  const Tensor ya = model->evaluate(a);
+  const Tensor yb = model->evaluate(b);
+  EXPECT_NEAR(ya.at(0, 0), yb.at(0, 0), 1e-12);
+  EXPECT_NEAR(ya.at(0, 1), yb.at(0, 1), 1e-12);
+}
+
+// ---- field ops match their plain-double twins ------------------------------------
+
+TEST(FieldOps, GaussianIcMatchesAnalytic) {
+  const auto op = gaussian_packet_ic(-1.0, 2.0, 0.5);
+  const auto reference = quantum::free_gaussian_packet(-1.0, 2.0, 0.5);
+  const Tensor xs = Tensor::linspace(-3.0, 3.0, 13).reshape({13, 1});
+  const auto [u0, v0] = op(Variable::constant(xs));
+  for (std::int64_t i = 0; i < 13; ++i) {
+    const auto exact = reference(xs[i], 0.0);
+    EXPECT_NEAR(u0.value()[i], exact.real(), 1e-12);
+    EXPECT_NEAR(v0.value()[i], exact.imag(), 1e-12);
+  }
+}
+
+TEST(FieldOps, CoherentIcMatchesAnalytic) {
+  const auto op = coherent_state_ic(0.8);
+  const auto reference = quantum::ho_coherent_state(0.8);
+  const Tensor xs = Tensor::linspace(-3.0, 3.0, 9).reshape({9, 1});
+  const auto [u0, v0] = op(Variable::constant(xs));
+  for (std::int64_t i = 0; i < 9; ++i) {
+    const auto exact = reference(xs[i], 0.0);
+    EXPECT_NEAR(u0.value()[i], exact.real(), 1e-12);
+    EXPECT_NEAR(v0.value()[i], exact.imag(), 1e-12);
+  }
+}
+
+TEST(FieldOps, SechIcMatchesRaissi) {
+  const auto op = sech_ic(2.0);
+  const Tensor xs = Tensor::linspace(-4.0, 4.0, 9).reshape({9, 1});
+  const auto [u0, v0] = op(Variable::constant(xs));
+  for (std::int64_t i = 0; i < 9; ++i) {
+    EXPECT_NEAR(u0.value()[i], quantum::nls_raissi_initial(xs[i]).real(),
+                1e-12);
+    EXPECT_NEAR(v0.value()[i], 0.0, 1e-12);
+  }
+}
+
+TEST(FieldOps, SolitonIcMatchesAnalytic) {
+  const auto op = soliton_ic(1.0, 0.5);
+  const auto reference = quantum::nls_bright_soliton(1.0, 0.5);
+  const Tensor xs = Tensor::linspace(-3.0, 3.0, 9).reshape({9, 1});
+  const auto [u0, v0] = op(Variable::constant(xs));
+  for (std::int64_t i = 0; i < 9; ++i) {
+    const auto exact = reference(xs[i], 0.0);
+    EXPECT_NEAR(u0.value()[i], exact.real(), 1e-12);
+    EXPECT_NEAR(v0.value()[i], exact.imag(), 1e-12);
+  }
+}
+
+TEST(FieldOps, WellSuperpositionIcMatchesAnalytic) {
+  const double c = 1.0 / std::sqrt(2.0);
+  const auto op = well_superposition_ic(1.0, {c, c});
+  const auto reference = quantum::well_superposition(
+      1.0, {quantum::Complex(c, 0), quantum::Complex(c, 0)});
+  const Tensor xs = Tensor::linspace(0.05, 0.95, 10).reshape({10, 1});
+  const auto [u0, v0] = op(Variable::constant(xs));
+  for (std::int64_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(u0.value()[i], reference(xs[i], 0.0).real(), 1e-12);
+    EXPECT_NEAR(v0.value()[i], 0.0, 1e-12);
+  }
+}
+
+TEST(FieldOps, PotentialOpsMatchFns) {
+  const auto harmonic = harmonic_potential_op(2.0);
+  const auto zero = zero_potential_op();
+  const Tensor xs = Tensor::linspace(-2.0, 2.0, 7).reshape({7, 1});
+  const Variable x = Variable::constant(xs);
+  const Tensor vh = harmonic(x).value();
+  const Tensor vz = zero(x).value();
+  for (std::int64_t i = 0; i < 7; ++i) {
+    EXPECT_NEAR(vh[i], 0.5 * 4.0 * xs[i] * xs[i], 1e-12);
+    EXPECT_DOUBLE_EQ(vz[i], 0.0);
+  }
+}
+
+TEST(FieldOps, SechOpIsDifferentiable) {
+  const Variable x = Variable::leaf(Tensor::linspace(-2, 2, 5).reshape({5, 1}));
+  const Variable y = sech_op(x);
+  const auto grads = autodiff::grad(autodiff::sum_all(y), {x});
+  // d sech / dx = -sech tanh.
+  for (std::int64_t i = 0; i < 5; ++i) {
+    const double xv = x.value()[i];
+    EXPECT_NEAR(grads[0].value()[i],
+                -std::tanh(xv) / std::cosh(xv), 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace qpinn::core

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "fdm/crank_nicolson.hpp"
+#include "fdm/interpolate.hpp"
+#include "util/error.hpp"
+
+namespace qpinn::fdm {
+namespace {
+
+/// A synthetic evolution with a known bilinear field psi = (x + 2t) + i t.
+std::shared_ptr<WaveEvolution> linear_field_evolution(bool periodic) {
+  auto evolution = std::make_shared<WaveEvolution>();
+  const int nx = 11, nt = 6;
+  for (int i = 0; i < nx; ++i) evolution->x.push_back(-1.0 + 0.2 * i);
+  for (int k = 0; k < nt; ++k) {
+    evolution->t.push_back(0.1 * k);
+    std::vector<Complex> slice(nx);
+    for (int i = 0; i < nx; ++i) {
+      slice[static_cast<std::size_t>(i)] =
+          Complex(evolution->x[static_cast<std::size_t>(i)] +
+                      2.0 * evolution->t.back(),
+                  evolution->t.back());
+    }
+    evolution->psi.push_back(std::move(slice));
+  }
+  (void)periodic;
+  return evolution;
+}
+
+TEST(Interpolate, ExactOnGridNodes) {
+  auto evolution = linear_field_evolution(false);
+  const auto field = make_interpolant(evolution, /*periodic_x=*/false);
+  for (std::size_t k = 0; k < evolution->t.size(); ++k) {
+    for (std::size_t i = 0; i < evolution->x.size(); ++i) {
+      const Complex value = field(evolution->x[i], evolution->t[k]);
+      EXPECT_NEAR(std::abs(value - evolution->psi[k][i]), 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Interpolate, ExactForBilinearFieldsBetweenNodes) {
+  auto evolution = linear_field_evolution(false);
+  const auto field = make_interpolant(evolution, false);
+  // Bilinear interpolation reproduces affine fields exactly anywhere.
+  for (double x : {-0.93, -0.11, 0.47, 0.99}) {
+    for (double t : {0.03, 0.27, 0.49}) {
+      const Complex expected(x + 2.0 * t, t);
+      EXPECT_NEAR(std::abs(field(x, t) - expected), 0.0, 1e-12)
+          << "x=" << x << " t=" << t;
+    }
+  }
+}
+
+TEST(Interpolate, ClampsOutsideStoredRanges) {
+  auto evolution = linear_field_evolution(false);
+  const auto field = make_interpolant(evolution, false);
+  // Beyond the final time: clamped to the last snapshot.
+  const Complex late = field(0.0, 99.0);
+  EXPECT_NEAR(late.imag(), evolution->t.back(), 1e-9);
+  // Beyond the spatial range: clamped to the wall value.
+  const Complex outside = field(50.0, 0.0);
+  EXPECT_NEAR(outside.real(), evolution->x.back(), 1e-9);
+}
+
+TEST(Interpolate, PeriodicWrapUsesFirstPoint) {
+  // Periodic grid: x in {0, 0.25, 0.5, 0.75}, field = sin(2 pi x).
+  auto evolution = std::make_shared<WaveEvolution>();
+  for (int i = 0; i < 4; ++i) evolution->x.push_back(0.25 * i);
+  for (int k = 0; k < 2; ++k) {
+    evolution->t.push_back(0.1 * k);
+    std::vector<Complex> slice(4);
+    for (int i = 0; i < 4; ++i) {
+      slice[static_cast<std::size_t>(i)] =
+          Complex(std::sin(2.0 * std::acos(-1.0) * 0.25 * i), 0.0);
+    }
+    evolution->psi.push_back(std::move(slice));
+  }
+  const auto field = make_interpolant(evolution, /*periodic_x=*/true);
+  // Halfway through the wrap cell [0.75, 1.0): average of f(0.75), f(0).
+  const double expected = 0.5 * (std::sin(2.0 * std::acos(-1.0) * 0.75) + 0.0);
+  EXPECT_NEAR(field(0.875, 0.0).real(), expected, 1e-12);
+}
+
+TEST(Interpolate, RejectsNonUniformSnapshots) {
+  auto evolution = linear_field_evolution(false);
+  evolution->t.back() += 0.05;  // break uniformity
+  EXPECT_THROW(make_interpolant(evolution, false), ValueError);
+  EXPECT_THROW(make_interpolant(nullptr, false), ValueError);
+}
+
+TEST(Interpolate, AgreesWithCrankNicolsonOnNodes) {
+  CrankNicolsonConfig config;
+  config.grid = Grid1d{-4.0, 4.0, 128, false};
+  config.dt = 1e-2;
+  config.steps = 20;
+  config.store_every = 5;
+  auto evolution = std::make_shared<WaveEvolution>(solve_tdse_crank_nicolson(
+      config, [](double x) { return Complex(std::exp(-x * x), 0.0); }));
+  const auto field = make_interpolant(evolution, false);
+  const Complex sample = field(evolution->x[40], evolution->t[2]);
+  EXPECT_NEAR(std::abs(sample - evolution->psi[2][40]), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace qpinn::fdm

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/inverse_problem.hpp"
+#include "quantum/analytic.hpp"
+#include "util/error.hpp"
+
+namespace qpinn::core {
+namespace {
+
+InverseHarmonicConfig base_config() {
+  InverseHarmonicConfig config;
+  config.domain = Domain{-5.0, 5.0, 0.0, 1.0};
+  const auto field = quantum::ho_coherent_state(0.8);
+  auto [points, values] =
+      make_observations(field, config.domain, 20, 10, 0.0, 1);
+  config.data_points = points;
+  config.data_values = values;
+  config.omega_guess = 0.6;
+  config.initial = coherent_state_ic(0.8);
+  config.epochs = 50;
+  config.adam.lr = 3e-3;
+  config.sampling.n_interior_x = 14;
+  config.sampling.n_interior_t = 14;
+  return config;
+}
+
+TEST(MakeObservations, SamplesFieldExactly) {
+  const auto field = quantum::ho_coherent_state(0.5);
+  const Domain domain{-3.0, 3.0, 0.0, 0.5};
+  auto [points, values] = make_observations(field, domain, 5, 4, 0.0, 7);
+  ASSERT_EQ(points.shape(), (Shape{20, 2}));
+  ASSERT_EQ(values.shape(), (Shape{20, 2}));
+  for (std::int64_t r = 0; r < points.rows(); ++r) {
+    const auto exact = field(points.at(r, 0), points.at(r, 1));
+    EXPECT_NEAR(values.at(r, 0), exact.real(), 1e-12);
+    EXPECT_NEAR(values.at(r, 1), exact.imag(), 1e-12);
+  }
+}
+
+TEST(MakeObservations, NoiseHasRequestedScale) {
+  const auto field = quantum::ho_coherent_state(0.5);
+  const Domain domain{-3.0, 3.0, 0.0, 0.5};
+  auto [points, clean] = make_observations(field, domain, 20, 20, 0.0, 7);
+  auto [points2, noisy] = make_observations(field, domain, 20, 20, 0.1, 7);
+  double sq = 0.0;
+  for (std::int64_t i = 0; i < clean.numel(); ++i) {
+    const double d = noisy[i] - clean[i];
+    sq += d * d;
+  }
+  const double stddev = std::sqrt(sq / static_cast<double>(clean.numel()));
+  EXPECT_NEAR(stddev, 0.1, 0.02);
+}
+
+TEST(InverseHarmonic, ShortRunReducesLossAndTracksOmega) {
+  InverseHarmonicConfig config = base_config();
+  const InverseResult result = solve_inverse_harmonic(config);
+  ASSERT_EQ(result.omega_history.size(), 50u);
+  EXPECT_DOUBLE_EQ(result.omega_history.front(), 0.6);  // starts at guess
+  EXPECT_TRUE(std::isfinite(result.final_loss));
+  EXPECT_GT(result.omega, 0.0);
+  EXPECT_NE(result.model, nullptr);
+}
+
+TEST(InverseHarmonic, RecoveryTrendTowardTrueOmega) {
+  // Medium-length run: omega must end closer to the true value (1.0) than
+  // ~40% and the data misfit must be small. (Full convergence is shown by
+  // the inverse_problem example / EXPERIMENTS.md.)
+  InverseHarmonicConfig config = base_config();
+  config.epochs = 1200;
+  config.weight_data = 50.0;
+  const InverseResult result = solve_inverse_harmonic(config);
+  EXPECT_LT(result.data_loss, 5e-3);
+  EXPECT_GT(result.omega, 0.45);   // moved off spurious small values
+  // Omega should be rising toward 1.0 in the final quarter of training.
+  const std::size_t n = result.omega_history.size();
+  EXPECT_GT(result.omega_history[n - 1], result.omega_history[3 * n / 4] - 0.05);
+}
+
+TEST(InverseHarmonic, ConfigValidation) {
+  InverseHarmonicConfig config = base_config();
+  config.data_points = Tensor::zeros({5});
+  EXPECT_THROW(solve_inverse_harmonic(config), ConfigError);
+  config = base_config();
+  config.data_values = Tensor::zeros({3, 2});  // row mismatch
+  EXPECT_THROW(solve_inverse_harmonic(config), ConfigError);
+  config = base_config();
+  config.omega_guess = -1.0;
+  EXPECT_THROW(solve_inverse_harmonic(config), ConfigError);
+  config = base_config();
+  config.initial = nullptr;
+  EXPECT_THROW(solve_inverse_harmonic(config), ConfigError);
+}
+
+TEST(MakeObservations, Validation) {
+  const auto field = quantum::ho_coherent_state(0.5);
+  const Domain domain{-3.0, 3.0, 0.0, 0.5};
+  EXPECT_THROW(make_observations(nullptr, domain, 5, 5, 0.0, 1), ValueError);
+  EXPECT_THROW(make_observations(field, domain, 1, 5, 0.0, 1), ValueError);
+  EXPECT_THROW(make_observations(field, domain, 5, 5, -0.1, 1), ValueError);
+}
+
+}  // namespace
+}  // namespace qpinn::core

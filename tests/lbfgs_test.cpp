@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autodiff/grad.hpp"
+#include "autodiff/ops.hpp"
+#include "optim/lbfgs.hpp"
+#include "util/error.hpp"
+
+namespace qpinn::optim {
+namespace {
+
+using autodiff::Variable;
+using namespace autodiff;
+
+LossClosure quadratic_closure(const Variable& p, const Tensor& target) {
+  return [&p, target] {
+    const Variable diff = sub(p, Variable::constant(target));
+    const Variable loss = sum_all(square(diff));
+    const auto grads = grad(loss, {p});
+    return std::make_pair(loss.item(), std::vector<Tensor>{grads[0].value()});
+  };
+}
+
+TEST(Lbfgs, SolvesQuadraticInFewIterations) {
+  const Variable p = Variable::leaf(Tensor::zeros({4}));
+  const Tensor target = Tensor::from_vector({1.0, -2.0, 0.5, 3.0}, {4});
+  LbfgsConfig config;
+  config.max_iterations = 20;
+  const LbfgsResult result =
+      lbfgs_minimize({p}, quadratic_closure(p, target), config);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.iterations, 10);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(p.value()[i], target[i], 1e-6);
+  }
+}
+
+TEST(Lbfgs, SolvesRosenbrock) {
+  // f(a, b) = (1 - a)^2 + 100 (b - a^2)^2, minimum at (1, 1) — the
+  // classic curved-valley stress test for quasi-Newton methods.
+  const Variable a = Variable::leaf(Tensor::scalar(-1.2));
+  const Variable b = Variable::leaf(Tensor::scalar(1.0));
+  const LossClosure closure = [&] {
+    const Variable one_minus_a = add_scalar(neg(a), 1.0);
+    const Variable valley = sub(b, square(a));
+    const Variable loss =
+        add(square(one_minus_a), scale(square(valley), 100.0));
+    const auto grads = grad(loss, {a, b});
+    return std::make_pair(
+        loss.item(),
+        std::vector<Tensor>{grads[0].value(), grads[1].value()});
+  };
+  LbfgsConfig config;
+  config.max_iterations = 200;
+  config.grad_tolerance = 1e-9;
+  const LbfgsResult result = lbfgs_minimize({a, b}, closure, config);
+  EXPECT_NEAR(a.item(), 1.0, 1e-5);
+  EXPECT_NEAR(b.item(), 1.0, 1e-5);
+  EXPECT_LT(result.final_loss, 1e-10);
+}
+
+TEST(Lbfgs, IllConditionedQuadratic) {
+  // Condition number 1e4: gradient descent would crawl; L-BFGS must not.
+  const Variable p = Variable::leaf(Tensor::from_vector({5.0, 5.0}, {2}));
+  const LossClosure closure = [&] {
+    const Variable x = slice_cols(reshape(p, {1, 2}), 0, 1);
+    const Variable y = slice_cols(reshape(p, {1, 2}), 1, 2);
+    const Variable loss =
+        add(sum_all(square(x)), scale(sum_all(square(y)), 1e4));
+    const auto grads = grad(loss, {p});
+    return std::make_pair(loss.item(), std::vector<Tensor>{grads[0].value()});
+  };
+  LbfgsConfig config;
+  config.max_iterations = 100;
+  const LbfgsResult result = lbfgs_minimize({p}, closure, config);
+  EXPECT_LT(result.final_loss, 1e-10);
+  EXPECT_LT(result.iterations, 60);
+}
+
+TEST(Lbfgs, HonorsIterationBudget) {
+  const Variable p = Variable::leaf(Tensor::zeros({4}));
+  const Tensor target = Tensor::ones({4});
+  LbfgsConfig config;
+  config.max_iterations = 2;
+  const LbfgsResult result =
+      lbfgs_minimize({p}, quadratic_closure(p, target), config);
+  EXPECT_LE(result.iterations, 2);
+}
+
+TEST(Lbfgs, AlreadyConvergedStopsImmediately) {
+  const Variable p = Variable::leaf(Tensor::ones({3}));
+  const Tensor target = Tensor::ones({3});
+  const LbfgsResult result =
+      lbfgs_minimize({p}, quadratic_closure(p, target));
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, 1);
+}
+
+TEST(Lbfgs, Validation) {
+  const Variable p = Variable::leaf(Tensor::zeros({1}));
+  const Tensor target = Tensor::ones({1});
+  LbfgsConfig bad;
+  bad.history = 0;
+  EXPECT_THROW(lbfgs_minimize({p}, quadratic_closure(p, target), bad),
+               ValueError);
+  bad = LbfgsConfig{};
+  bad.wolfe_c1 = 0.95;  // violates c1 < c2
+  EXPECT_THROW(lbfgs_minimize({p}, quadratic_closure(p, target), bad),
+               ValueError);
+  EXPECT_THROW(lbfgs_minimize({}, quadratic_closure(p, target)), ValueError);
+}
+
+TEST(Lbfgs, NonFiniteInitialLossThrows) {
+  const Variable p = Variable::leaf(Tensor::zeros({1}));
+  const LossClosure closure = [&] {
+    return std::make_pair(std::nan(""), std::vector<Tensor>{Tensor::zeros({1})});
+  };
+  EXPECT_THROW(lbfgs_minimize({p}, closure), NumericsError);
+}
+
+}  // namespace
+}  // namespace qpinn::optim

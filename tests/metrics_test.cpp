@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/metrics.hpp"
+#include "nn/module.hpp"
+#include "util/error.hpp"
+
+namespace qpinn::core {
+namespace {
+
+using autodiff::Variable;
+using namespace autodiff;
+
+/// Backbone emitting exactly the reference field psi = e^{i(kx - k^2/2 t)}.
+class ExactBackbone : public nn::Module {
+ public:
+  explicit ExactBackbone(double k) : k_(k) {
+    anchor_ = Variable::leaf(Tensor::ones({1, 1}));
+  }
+  Variable forward(const Variable& x) override {
+    const Variable phase = sub(scale(slice_cols(x, 0, 1), k_),
+                               scale(slice_cols(x, 1, 2), 0.5 * k_ * k_));
+    const Variable gain = broadcast_to(anchor_, phase.shape());
+    return concat_cols({mul(gain, cos(phase)), mul(gain, sin(phase))});
+  }
+  std::vector<Variable> parameters() const override { return {anchor_}; }
+  std::vector<std::pair<std::string, Variable>> named_parameters()
+      const override {
+    return {{"anchor", anchor_}};
+  }
+  std::int64_t input_dim() const override { return 2; }
+  std::int64_t output_dim() const override { return 2; }
+
+ private:
+  double k_;
+  Variable anchor_;
+};
+
+quantum::SpaceTimeField plane_wave(double k) {
+  return [k](double x, double t) {
+    const double phase = k * x - 0.5 * k * k * t;
+    return quantum::Complex(std::cos(phase), std::sin(phase));
+  };
+}
+
+const Domain kDomain{-1.0, 1.0, 0.0, 1.0};
+
+TEST(Metrics, SampleReferenceLayout) {
+  Tensor X(Shape{2, 2});
+  X.at(0, 0) = 0.5;
+  X.at(0, 1) = 0.0;
+  X.at(1, 0) = -0.5;
+  X.at(1, 1) = 1.0;
+  const Tensor samples = sample_reference(plane_wave(2.0), X);
+  ASSERT_EQ(samples.shape(), (Shape{2, 2}));
+  EXPECT_NEAR(samples.at(0, 0), std::cos(1.0), 1e-12);
+  EXPECT_NEAR(samples.at(0, 1), std::sin(1.0), 1e-12);
+}
+
+TEST(Metrics, PerfectModelHasZeroError) {
+  FieldModel model(std::make_unique<ExactBackbone>(2.0));
+  EXPECT_LT(relative_l2(model, plane_wave(2.0), kDomain, 16, 8), 1e-12);
+  EXPECT_LT(max_abs_error(model, plane_wave(2.0), kDomain, 16, 8), 1e-12);
+}
+
+TEST(Metrics, WrongModelHasOrderOneError) {
+  FieldModel model(std::make_unique<ExactBackbone>(2.0));
+  // Score against a different wavenumber.
+  const double l2 = relative_l2(model, plane_wave(3.0), kDomain, 16, 8);
+  EXPECT_GT(l2, 0.3);
+}
+
+TEST(Metrics, RelativeL2ScalesWithPerturbation) {
+  FieldModel model(std::make_unique<ExactBackbone>(2.0));
+  // Reference = (1 + eps) * model => relative error ~ eps / (1 + eps).
+  const double eps = 0.01;
+  const auto scaled = [eps](double x, double t) {
+    const double phase = 2.0 * x - 2.0 * t;
+    return quantum::Complex((1.0 + eps) * std::cos(phase),
+                            (1.0 + eps) * std::sin(phase));
+  };
+  const double l2 = relative_l2(model, scaled, kDomain, 16, 8);
+  EXPECT_NEAR(l2, eps / (1.0 + eps), 1e-6);
+}
+
+TEST(Metrics, NormSeriesOfUnitWave) {
+  FieldModel model(std::make_unique<ExactBackbone>(1.0));
+  // |psi| = 1 everywhere => integral over [-1, 1] is 2 at every t.
+  const auto series = norm_series(model, kDomain, 101, {0.0, 0.4, 0.9});
+  ASSERT_EQ(series.size(), 3u);
+  for (double value : series) EXPECT_NEAR(value, 2.0, 1e-10);
+  EXPECT_NEAR(max_norm_drift(series), 0.0, 1e-10);
+}
+
+TEST(Metrics, NormDriftDetectsDecay) {
+  const std::vector<double> series{1.0, 0.9, 0.5, 0.2};
+  EXPECT_DOUBLE_EQ(max_norm_drift(series), 0.8);
+  EXPECT_THROW(max_norm_drift({}), ValueError);
+}
+
+TEST(Metrics, Validation) {
+  FieldModel model(std::make_unique<ExactBackbone>(1.0));
+  EXPECT_THROW(sample_reference(nullptr, Tensor::zeros({2, 2})), ValueError);
+  EXPECT_THROW(sample_reference(plane_wave(1.0), Tensor::zeros({4})),
+               ShapeError);
+  EXPECT_THROW(norm_series(model, kDomain, 1, {0.0}), ValueError);
+  EXPECT_THROW(norm_series(model, kDomain, 8, {}), ValueError);
+}
+
+}  // namespace
+}  // namespace qpinn::core

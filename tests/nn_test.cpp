@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "autodiff/gradcheck.hpp"
+#include "nn/activation.hpp"
+#include "nn/fourier.hpp"
+#include "nn/init.hpp"
+#include "nn/linear.hpp"
+#include "nn/mlp.hpp"
+#include "nn/periodic.hpp"
+#include "nn/serialize.hpp"
+#include "util/error.hpp"
+
+namespace qpinn::nn {
+namespace {
+
+using autodiff::Variable;
+
+// ---- init --------------------------------------------------------------------
+
+TEST(Init, ParseRoundTrip) {
+  for (const char* name :
+       {"xavier_uniform", "xavier_normal", "he_normal", "lecun_normal"}) {
+    EXPECT_EQ(to_string(parse_init(name)), name);
+  }
+  EXPECT_THROW(parse_init("glorot"), ValueError);
+}
+
+TEST(Init, XavierUniformBounds) {
+  Rng rng(1);
+  const Tensor w = make_weight(64, 64, Init::kXavierUniform, rng);
+  const double bound = std::sqrt(6.0 / 128.0);
+  EXPECT_LE(w.abs_max(), bound);
+  EXPECT_GT(w.abs_max(), 0.5 * bound);  // actually fills the range
+}
+
+TEST(Init, VarianceScalesWithFans) {
+  Rng rng(2);
+  const Tensor w = make_weight(200, 100, Init::kHeNormal, rng);
+  double sq = 0.0;
+  for (std::int64_t i = 0; i < w.numel(); ++i) sq += w[i] * w[i];
+  const double var = sq / static_cast<double>(w.numel());
+  EXPECT_NEAR(var, 2.0 / 200.0, 0.002);
+  EXPECT_THROW(make_weight(0, 4, Init::kHeNormal, rng), ValueError);
+}
+
+// ---- activations -----------------------------------------------------------------
+
+TEST(Activation, ParseRoundTrip) {
+  for (const char* name :
+       {"tanh", "sin", "sigmoid", "softplus", "relu", "gelu", "identity"}) {
+    EXPECT_EQ(to_string(parse_activation(name)), name);
+  }
+  EXPECT_THROW(parse_activation("swish"), ValueError);
+}
+
+TEST(Activation, ValuesMatchClosedForms) {
+  const Tensor x = Tensor::from_vector({-1.0, 0.0, 0.5}, {3});
+  const Variable v = Variable::constant(x);
+  const Tensor t = apply_activation(Activation::kTanh, v).value();
+  const Tensor s = apply_activation(Activation::kSin, v).value();
+  const Tensor i = apply_activation(Activation::kIdentity, v).value();
+  for (std::int64_t k = 0; k < 3; ++k) {
+    EXPECT_DOUBLE_EQ(t[k], std::tanh(x[k]));
+    EXPECT_DOUBLE_EQ(s[k], std::sin(x[k]));
+    EXPECT_DOUBLE_EQ(i[k], x[k]);
+  }
+}
+
+TEST(Activation, GeluApproximation) {
+  const Variable v = Variable::constant(
+      Tensor::from_vector({0.0, 5.0, -5.0, 1.0}, {4}));
+  const Tensor g = apply_activation(Activation::kGelu, v).value();
+  EXPECT_NEAR(g[0], 0.0, 1e-12);
+  EXPECT_NEAR(g[1], 5.0, 1e-3);
+  EXPECT_NEAR(g[2], 0.0, 1e-3);
+  EXPECT_NEAR(g[3], 0.8412, 5e-4);  // known gelu(1)
+}
+
+class SmoothActivationGradP : public ::testing::TestWithParam<Activation> {};
+
+TEST_P(SmoothActivationGradP, FirstAndSecondOrderGradcheck) {
+  const Activation activation = GetParam();
+  const autodiff::ScalarFn f = [&](const std::vector<Variable>& in) {
+    return autodiff::mse(apply_activation(activation, in[0]));
+  };
+  Rng rng(33);
+  const Tensor x = Tensor::rand({3, 4}, rng, -1.2, 1.2);
+  EXPECT_TRUE(autodiff::check_gradients(f, {x}).ok);
+  EXPECT_TRUE(autodiff::check_second_gradients(f, {x}).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Smooth, SmoothActivationGradP,
+                         ::testing::Values(Activation::kTanh, Activation::kSin,
+                                           Activation::kSigmoid,
+                                           Activation::kSoftplus,
+                                           Activation::kGelu),
+                         [](const auto& info) {
+                           return to_string(info.param);
+                         });
+
+// ---- linear -----------------------------------------------------------------------
+
+TEST(Linear, ForwardShapeAndBias) {
+  Rng rng(4);
+  Linear layer(3, 5, rng);
+  const Variable x = Variable::constant(Tensor::ones({7, 3}));
+  const Variable y = layer.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{7, 5}));
+  EXPECT_EQ(layer.parameters().size(), 2u);
+  EXPECT_EQ(layer.num_parameters(), 3 * 5 + 5);
+  EXPECT_THROW(layer.forward(Variable::constant(Tensor::ones({7, 4}))),
+               ShapeError);
+}
+
+TEST(Linear, NoBiasVariant) {
+  Rng rng(5);
+  Linear layer(3, 2, rng, Init::kXavierUniform, /*with_bias=*/false);
+  EXPECT_FALSE(layer.has_bias());
+  EXPECT_EQ(layer.parameters().size(), 1u);
+}
+
+TEST(Linear, NamedParameters) {
+  Rng rng(6);
+  Linear layer(2, 2, rng);
+  const auto named = layer.named_parameters();
+  ASSERT_EQ(named.size(), 2u);
+  EXPECT_EQ(named[0].first, "weight");
+  EXPECT_EQ(named[1].first, "bias");
+}
+
+// ---- fourier features --------------------------------------------------------------
+
+TEST(Fourier, OutputLayoutSinThenCos) {
+  Rng rng(7);
+  RandomFourierFeatures rff(2, 8, 1.0, rng);
+  EXPECT_EQ(rff.output_dim(), 16);
+  const Variable x = Variable::constant(Tensor::zeros({3, 2}));
+  const Tensor y = rff.forward(x).value();
+  // At x = 0: sin block = 0, cos block = 1.
+  for (std::int64_t c = 0; c < 8; ++c) EXPECT_DOUBLE_EQ(y.at(0, c), 0.0);
+  for (std::int64_t c = 8; c < 16; ++c) EXPECT_DOUBLE_EQ(y.at(0, c), 1.0);
+}
+
+TEST(Fourier, ValuesBoundedAndNotTrainable) {
+  Rng rng(8);
+  RandomFourierFeatures rff(3, 16, 2.0, rng);
+  Rng data_rng(9);
+  const Variable x =
+      Variable::constant(Tensor::rand({20, 3}, data_rng, -5.0, 5.0));
+  const Tensor y = rff.forward(x).value();
+  EXPECT_LE(y.abs_max(), 1.0 + 1e-12);
+  EXPECT_TRUE(rff.parameters().empty());
+}
+
+TEST(Fourier, ConfigValidation) {
+  Rng rng(10);
+  EXPECT_THROW(RandomFourierFeatures(0, 4, 1.0, rng), ValueError);
+  EXPECT_THROW(RandomFourierFeatures(2, 4, -1.0, rng), ValueError);
+}
+
+// ---- periodic embedding ---------------------------------------------------------------
+
+TEST(Periodic, ExactPeriodicityThroughNetwork) {
+  MlpConfig config;
+  config.in_dim = 2;
+  config.out_dim = 2;
+  config.hidden = {8, 8};
+  config.periods = {2.0, 0.0};
+  config.seed = 11;
+  Mlp net(config);
+
+  Tensor a(Shape{1, 2});
+  a.at(0, 0) = 0.3;
+  a.at(0, 1) = 0.9;
+  Tensor b = a.clone();
+  b.at(0, 0) = 0.3 + 2.0;
+  const Tensor ya = net.forward(Variable::constant(a)).value();
+  const Tensor yb = net.forward(Variable::constant(b)).value();
+  EXPECT_NEAR(ya.at(0, 0), yb.at(0, 0), 1e-12);
+  EXPECT_NEAR(ya.at(0, 1), yb.at(0, 1), 1e-12);
+}
+
+TEST(Periodic, PassThroughColumnsPreserved) {
+  PeriodicEmbedding embed({0.0, 1.0});
+  EXPECT_EQ(embed.output_dim(), 3);  // x passthrough + (sin, cos) of t
+  Tensor x(Shape{1, 2});
+  x.at(0, 0) = 0.25;
+  x.at(0, 1) = 0.5;  // half period -> sin = 0, cos = -1
+  const Tensor y = embed.forward(Variable::constant(x)).value();
+  EXPECT_DOUBLE_EQ(y.at(0, 0), 0.25);
+  EXPECT_NEAR(y.at(0, 1), 0.0, 1e-12);
+  EXPECT_NEAR(y.at(0, 2), -1.0, 1e-12);
+}
+
+TEST(Periodic, Validation) {
+  EXPECT_THROW(PeriodicEmbedding({-1.0}), ValueError);
+  EXPECT_THROW(PeriodicEmbedding(std::vector<double>{}), ValueError);
+}
+
+// ---- mlp ----------------------------------------------------------------------------------
+
+TEST(Mlp, ForwardShapesAndParameterCount) {
+  MlpConfig config;
+  config.in_dim = 2;
+  config.out_dim = 3;
+  config.hidden = {16, 8};
+  config.seed = 12;
+  Mlp net(config);
+  const Variable x = Variable::constant(Tensor::ones({5, 2}));
+  EXPECT_EQ(net.forward(x).shape(), (Shape{5, 3}));
+  EXPECT_EQ(net.num_parameters(), (2 * 16 + 16) + (16 * 8 + 8) + (8 * 3 + 3));
+  EXPECT_EQ(net.num_layers(), 3u);
+}
+
+TEST(Mlp, FourierChangesFirstLayerWidth) {
+  MlpConfig config;
+  config.in_dim = 2;
+  config.out_dim = 1;
+  config.hidden = {4};
+  config.fourier = FourierConfig{8, 1.0};
+  config.seed = 13;
+  Mlp net(config);
+  // first linear: 16 -> 4 (RFF emits 2*8 features).
+  EXPECT_EQ(net.num_parameters(), (16 * 4 + 4) + (4 * 1 + 1));
+}
+
+TEST(Mlp, ConfigValidation) {
+  MlpConfig config;
+  config.in_dim = 0;
+  EXPECT_THROW(Mlp{config}, ConfigError);
+  config.in_dim = 2;
+  config.hidden = {};
+  EXPECT_THROW(Mlp{config}, ConfigError);
+  config.hidden = {4};
+  config.periods = {1.0};  // wrong arity for in_dim = 2
+  EXPECT_THROW(Mlp{config}, ConfigError);
+  config.periods = {};
+  config.fourier = FourierConfig{0, 1.0};
+  EXPECT_THROW(Mlp{config}, ConfigError);
+}
+
+TEST(Mlp, DeterministicForSeed) {
+  MlpConfig config;
+  config.in_dim = 2;
+  config.out_dim = 2;
+  config.hidden = {8};
+  config.seed = 99;
+  Mlp a(config), b(config);
+  const Variable x = Variable::constant(Tensor::ones({2, 2}));
+  const Tensor ya = a.forward(x).value();
+  const Tensor yb = b.forward(x).value();
+  for (std::int64_t i = 0; i < ya.numel(); ++i) {
+    EXPECT_DOUBLE_EQ(ya[i], yb[i]);
+  }
+}
+
+// ---- serialization -----------------------------------------------------------------------
+
+TEST(Serialize, RoundTripRestoresPredictions) {
+  MlpConfig config;
+  config.in_dim = 2;
+  config.out_dim = 2;
+  config.hidden = {8, 8};
+  config.seed = 21;
+  Mlp original(config);
+  const std::string path = ::testing::TempDir() + "qpinn_ckpt.bin";
+  save_parameters(path, original.named_parameters());
+
+  config.seed = 22;  // different init
+  Mlp restored(config);
+  load_parameters(path, restored.named_parameters());
+
+  const Variable x = Variable::constant(
+      Tensor::from_vector({0.3, -0.7, 1.1, 0.2}, {2, 2}));
+  const Tensor ya = original.forward(x).value();
+  const Tensor yb = restored.forward(x).value();
+  for (std::int64_t i = 0; i < ya.numel(); ++i) {
+    EXPECT_DOUBLE_EQ(ya[i], yb[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsWrongTargets) {
+  MlpConfig config;
+  config.in_dim = 2;
+  config.out_dim = 2;
+  config.hidden = {8};
+  Mlp net(config);
+  const std::string path = ::testing::TempDir() + "qpinn_ckpt2.bin";
+  save_parameters(path, net.named_parameters());
+
+  config.hidden = {4};  // shape mismatch
+  Mlp smaller(config);
+  EXPECT_THROW(load_parameters(path, smaller.named_parameters()), Error);
+
+  EXPECT_THROW(load_parameters("/nonexistent/q.bin", net.named_parameters()),
+               IoError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace qpinn::nn

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace qpinn {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, TransportsExceptions) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { throw ValueError("boom"); });
+  EXPECT_THROW(future.get(), ValueError);
+}
+
+TEST(ThreadPool, ForEachChunkCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.for_each_chunk(1000, [&](std::size_t, std::size_t begin,
+                                std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ForEachChunkPropagatesWorkerException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.for_each_chunk(
+                   100,
+                   [](std::size_t chunk, std::size_t, std::size_t) {
+                     if (chunk == 1) throw NumericsError("chunk failed");
+                   }),
+               NumericsError);
+}
+
+TEST(ThreadPool, ForEachIndexVisitsAll) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.for_each_index(257, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedInvocationDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.for_each_chunk(2, [&](std::size_t, std::size_t, std::size_t) {
+    // Chunk 0 runs on the caller, so a nested call must not exhaust the
+    // pool.
+    pool.for_each_chunk(4, [&](std::size_t, std::size_t begin,
+                               std::size_t end) {
+      total += static_cast<int>(end - begin);
+    });
+  });
+  EXPECT_EQ(total.load(), 8);
+}
+
+TEST(ThreadPool, RejectsZeroWorkers) {
+  EXPECT_THROW(ThreadPool(0), ValueError);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.for_each_chunk(0, [&](std::size_t, std::size_t, std::size_t) {
+    called = true;
+  });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, MatchesSerialSum) {
+  std::vector<double> data(10000);
+  std::iota(data.begin(), data.end(), 0.0);
+  std::vector<double> out(data.size(), 0.0);
+  parallel_for(data.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) out[i] = 2.0 * data[i];
+  }, /*grain=*/128);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_DOUBLE_EQ(out[i], 2.0 * data[i]);
+  }
+}
+
+TEST(ParallelReduce, DeterministicAcrossCalls) {
+  std::vector<double> data(100000);
+  Rng rng(5);
+  for (auto& v : data) v = rng.uniform(-1.0, 1.0);
+  auto run = [&] {
+    return parallel_reduce<double>(
+        data.size(), 0.0,
+        [&](std::size_t begin, std::size_t end, double acc) {
+          for (std::size_t i = begin; i < end; ++i) acc += data[i];
+          return acc;
+        },
+        [](double a, double b) { return a + b; }, /*grain=*/64);
+  };
+  const double first = run();
+  for (int repeat = 0; repeat < 5; ++repeat) EXPECT_EQ(run(), first);
+  // And close to the serial result.
+  const double serial = std::accumulate(data.begin(), data.end(), 0.0);
+  EXPECT_NEAR(first, serial, 1e-9 * std::abs(serial) + 1e-12);
+}
+
+TEST(GlobalPool, DefaultThreadsPositive) {
+  EXPECT_GE(default_num_threads(), 1u);
+  EXPECT_GE(global_pool().size(), 1u);
+}
+
+TEST(GlobalPool, Resizable) {
+  set_global_threads(3);
+  EXPECT_EQ(global_pool().size(), 3u);
+  set_global_threads(default_num_threads());
+}
+
+}  // namespace
+}  // namespace qpinn

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "fdm/grid.hpp"
+#include "quantum/analytic.hpp"
+#include "quantum/hermite.hpp"
+#include "quantum/observables.hpp"
+#include "quantum/potentials.hpp"
+#include "util/error.hpp"
+
+namespace qpinn::quantum {
+namespace {
+
+// ---- Hermite polynomials ------------------------------------------------------
+
+TEST(Hermite, KnownValues) {
+  EXPECT_DOUBLE_EQ(hermite(0, 0.7), 1.0);
+  EXPECT_DOUBLE_EQ(hermite(1, 0.7), 1.4);
+  EXPECT_NEAR(hermite(2, 0.7), 4 * 0.49 - 2, 1e-12);         // 4x^2 - 2
+  EXPECT_NEAR(hermite(3, 0.5), 8 * 0.125 - 12 * 0.5, 1e-12);  // 8x^3 - 12x
+}
+
+TEST(Hermite, ParityProperty) {
+  for (int n = 0; n < 8; ++n) {
+    const double sign = (n % 2 == 0) ? 1.0 : -1.0;
+    EXPECT_NEAR(hermite(n, -1.3), sign * hermite(n, 1.3), 1e-9);
+  }
+}
+
+TEST(Hermite, AllMatchesSingle) {
+  const auto values = hermite_all(6, 0.9);
+  for (int n = 0; n <= 6; ++n) {
+    EXPECT_DOUBLE_EQ(values[n], hermite(n, 0.9));
+  }
+  EXPECT_THROW(hermite(-1, 0.0), ValueError);
+}
+
+// ---- HO eigenfunctions ----------------------------------------------------------
+
+class HoEigenP : public ::testing::TestWithParam<int> {};
+
+TEST_P(HoEigenP, NormalizedOnFineGrid) {
+  const int n = GetParam();
+  const fdm::Grid1d grid{-12.0, 12.0, 4001, false};
+  const auto x = grid.points();
+  std::vector<double> density(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double phi = ho_eigenfunction(n, x[i]);
+    density[i] = phi * phi;
+  }
+  EXPECT_NEAR(trapezoid(grid, density), 1.0, 1e-8);
+}
+
+TEST_P(HoEigenP, SatisfiesEigenEquation) {
+  // -1/2 phi'' + x^2/2 phi = (n + 1/2) phi via central differences.
+  const int n = GetParam();
+  const double h = 1e-4;
+  for (double x : {-1.7, -0.3, 0.0, 0.9, 2.1}) {
+    const double phi = ho_eigenfunction(n, x);
+    const double d2 = (ho_eigenfunction(n, x + h) - 2.0 * phi +
+                       ho_eigenfunction(n, x - h)) /
+                      (h * h);
+    const double lhs = -0.5 * d2 + 0.5 * x * x * phi;
+    EXPECT_NEAR(lhs, ho_eigenvalue(n) * phi, 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(States, HoEigenP, ::testing::Values(0, 1, 2, 5, 10));
+
+TEST(HoEigen, OrthogonalStates) {
+  const fdm::Grid1d grid{-12.0, 12.0, 4001, false};
+  const auto x = grid.points();
+  std::vector<double> product(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    product[i] = ho_eigenfunction(0, x[i]) * ho_eigenfunction(2, x[i]);
+  }
+  EXPECT_NEAR(trapezoid(grid, product), 0.0, 1e-8);
+}
+
+// ---- analytic fields satisfy their PDEs (finite-difference residuals) -------------
+
+/// Finite-difference TDSE residual |i psi_t + 1/2 psi_xx - V psi| at (x, t).
+double tdse_residual(const SpaceTimeField& psi, double x, double t,
+                     double v_of_x) {
+  const double h = 1e-4;
+  const Complex i_unit(0.0, 1.0);
+  const Complex psi_t = (psi(x, t + h) - psi(x, t - h)) / (2.0 * h);
+  const Complex psi_xx =
+      (psi(x + h, t) - 2.0 * psi(x, t) + psi(x - h, t)) / (h * h);
+  return std::abs(i_unit * psi_t + 0.5 * psi_xx - v_of_x * psi(x, t));
+}
+
+TEST(Analytic, FreePacketSatisfiesTdse) {
+  const auto psi = free_gaussian_packet(-1.0, 1.0, 0.6);
+  for (double x : {-2.0, -0.5, 0.5, 1.5}) {
+    for (double t : {0.1, 0.3, 0.6}) {
+      EXPECT_LT(tdse_residual(psi, x, t, 0.0), 1e-4)
+          << "x=" << x << " t=" << t;
+    }
+  }
+}
+
+TEST(Analytic, FreePacketContinuousAtTimeZero) {
+  const auto psi = free_gaussian_packet(0.5, 2.0, 0.5);
+  for (double x : {-1.0, 0.0, 0.5, 2.0}) {
+    EXPECT_LT(std::abs(psi(x, 1e-9) - psi(x, 0.0)), 1e-5);
+  }
+}
+
+TEST(Analytic, CoherentStateSatisfiesTdse) {
+  const auto psi = ho_coherent_state(1.0);
+  for (double x : {-1.5, 0.0, 0.8}) {
+    for (double t : {0.2, 0.7, 1.4}) {
+      EXPECT_LT(tdse_residual(psi, x, t, 0.5 * x * x), 1e-4)
+          << "x=" << x << " t=" << t;
+    }
+  }
+}
+
+TEST(Analytic, CoherentStateNormalized) {
+  const auto psi = ho_coherent_state(1.0);
+  const fdm::Grid1d grid{-12.0, 12.0, 2001, false};
+  const auto x = grid.points();
+  for (double t : {0.0, 0.9}) {
+    std::vector<fdm::Complex> field(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) field[i] = psi(x[i], t);
+    EXPECT_NEAR(total_probability(grid, field), 1.0, 1e-8);
+  }
+}
+
+TEST(Analytic, WellSuperpositionProperties) {
+  const double c = 1.0 / std::numbers::sqrt2;
+  const auto psi = well_superposition(1.0, {Complex(c, 0), Complex(c, 0)});
+  // Vanishes at the walls.
+  EXPECT_EQ(std::abs(psi(0.0, 0.3)), 0.0);
+  EXPECT_EQ(std::abs(psi(1.0, 0.3)), 0.0);
+  // Satisfies the free TDSE inside the box.
+  for (double x : {0.25, 0.5, 0.7}) {
+    EXPECT_LT(tdse_residual(psi, x, 0.2, 0.0), 1e-4);
+  }
+  // Periodic in time with the beat period 2 pi / (E2 - E1).
+  const double period =
+      2.0 * std::numbers::pi /
+      (infinite_well_eigenvalue(2, 1.0) - infinite_well_eigenvalue(1, 1.0));
+  EXPECT_LT(std::abs(std::abs(psi(0.3, 0.1)) - std::abs(psi(0.3, 0.1 + period))),
+            1e-9);
+}
+
+TEST(Analytic, StationaryStatePhaseOnly) {
+  const auto psi = ho_stationary_state(2);
+  EXPECT_NEAR(std::abs(psi(0.7, 1.3)), std::abs(psi(0.7, 0.0)), 1e-12);
+  EXPECT_LT(tdse_residual(psi, 0.7, 0.5, 0.5 * 0.49), 2e-4);
+}
+
+TEST(Analytic, SolitonSatisfiesNls) {
+  // i psi_t + 1/2 psi_xx + |psi|^2 psi = 0.
+  const auto psi = nls_bright_soliton(1.0, 0.5);
+  const double h = 1e-4;
+  const Complex i_unit(0.0, 1.0);
+  for (double x : {-1.0, 0.0, 0.7}) {
+    for (double t : {0.2, 0.5}) {
+      const Complex value = psi(x, t);
+      const Complex psi_t = (psi(x, t + h) - psi(x, t - h)) / (2.0 * h);
+      const Complex psi_xx =
+          (psi(x + h, t) - 2.0 * value + psi(x - h, t)) / (h * h);
+      const Complex residual =
+          i_unit * psi_t + 0.5 * psi_xx + std::norm(value) * value;
+      EXPECT_LT(std::abs(residual), 1e-4) << "x=" << x << " t=" << t;
+    }
+  }
+}
+
+TEST(Analytic, RaissiInitialCondition) {
+  EXPECT_NEAR(nls_raissi_initial(0.0).real(), 2.0, 1e-12);
+  EXPECT_NEAR(nls_raissi_initial(0.0).imag(), 0.0, 1e-12);
+  EXPECT_NEAR(nls_raissi_initial(5.0).real(), 2.0 / std::cosh(5.0), 1e-12);
+}
+
+// ---- potentials ------------------------------------------------------------------
+
+TEST(Potentials, Values) {
+  EXPECT_DOUBLE_EQ(free_potential()(3.0), 0.0);
+  EXPECT_DOUBLE_EQ(harmonic_potential(2.0)(1.5), 0.5 * 4.0 * 2.25);
+  const auto barrier = barrier_potential(5.0, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(barrier(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(barrier(0.49), 5.0);
+  EXPECT_DOUBLE_EQ(barrier(0.6), 0.0);
+  const auto well = double_well_potential(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(well(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(well(0.0), 1.0);
+  EXPECT_NEAR(poschl_teller_potential(1.0)(0.0), -1.0, 1e-12);
+}
+
+TEST(Potentials, WellEigenvalueFormula) {
+  EXPECT_NEAR(infinite_well_eigenvalue(1, 1.0),
+              std::numbers::pi * std::numbers::pi / 2.0, 1e-12);
+  EXPECT_NEAR(infinite_well_eigenvalue(2, 2.0),
+              infinite_well_eigenvalue(1, 1.0), 1e-12);
+  EXPECT_THROW(infinite_well_eigenvalue(0, 1.0), ValueError);
+}
+
+// ---- observables -------------------------------------------------------------------
+
+TEST(Observables, GroundStateValues) {
+  const fdm::Grid1d grid{-10.0, 10.0, 2001, false};
+  const auto x = grid.points();
+  std::vector<fdm::Complex> psi(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    psi[i] = fdm::Complex(ho_eigenfunction(0, x[i]), 0.0);
+  }
+  EXPECT_NEAR(total_probability(grid, psi), 1.0, 1e-8);
+  EXPECT_NEAR(position_mean(grid, psi), 0.0, 1e-10);
+  EXPECT_NEAR(momentum_mean(grid, psi), 0.0, 1e-10);
+  EXPECT_NEAR(energy_mean(grid, psi, harmonic_potential()), 0.5, 1e-4);
+}
+
+TEST(Observables, BoostedPacketMomentum) {
+  // e^{i k x} times a Gaussian has <p> = k.
+  const double k = 1.7;
+  const auto field = free_gaussian_packet(0.0, k, 0.7);
+  const fdm::Grid1d grid{-10.0, 10.0, 2001, false};
+  const auto x = grid.points();
+  std::vector<fdm::Complex> psi(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) psi[i] = field(x[i], 0.0);
+  EXPECT_NEAR(momentum_mean(grid, psi), k, 1e-3);
+  EXPECT_NEAR(position_mean(grid, psi), 0.0, 1e-8);
+}
+
+TEST(Observables, DisplacedStatePosition) {
+  const auto field = ho_coherent_state(1.2);
+  const fdm::Grid1d grid{-10.0, 10.0, 2001, false};
+  const auto x = grid.points();
+  std::vector<fdm::Complex> psi(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) psi[i] = field(x[i], 0.0);
+  EXPECT_NEAR(position_mean(grid, psi), 1.2, 1e-8);
+}
+
+TEST(Observables, SizeValidation) {
+  const fdm::Grid1d grid{-1.0, 1.0, 16, false};
+  std::vector<fdm::Complex> wrong(8);
+  EXPECT_THROW(total_probability(grid, wrong), ValueError);
+}
+
+// ---- grid quadrature -------------------------------------------------------------------
+
+TEST(GridQuadrature, TrapezoidExactForLinear) {
+  const fdm::Grid1d grid{0.0, 2.0, 11, false};
+  const auto x = grid.points();
+  std::vector<double> f(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) f[i] = 3.0 * x[i] + 1.0;
+  EXPECT_NEAR(fdm::trapezoid(grid, f), 8.0, 1e-12);  // integral = 6 + 2
+}
+
+TEST(GridQuadrature, SimpsonExactForCubic) {
+  const fdm::Grid1d grid{0.0, 1.0, 11, false};
+  const auto x = grid.points();
+  std::vector<double> f(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) f[i] = x[i] * x[i] * x[i];
+  EXPECT_NEAR(fdm::simpson(grid, f), 0.25, 1e-12);
+  const fdm::Grid1d even{0.0, 1.0, 10, false};
+  std::vector<double> g(10, 1.0);
+  EXPECT_THROW(fdm::simpson(even, g), ValueError);
+}
+
+TEST(GridQuadrature, PeriodicGridExcludesEndpoint) {
+  const fdm::Grid1d grid{0.0, 1.0, 10, true};
+  EXPECT_DOUBLE_EQ(grid.dx(), 0.1);
+  EXPECT_DOUBLE_EQ(grid.points().back(), 0.9);
+  // Integral of a constant over the full period.
+  std::vector<double> f(10, 2.0);
+  EXPECT_NEAR(fdm::trapezoid(grid, f), 2.0, 1e-12);
+}
+
+TEST(GridQuadrature, NormalizeRejectsZeroField) {
+  const fdm::Grid1d grid{0.0, 1.0, 8, false};
+  std::vector<fdm::Complex> zero(8, fdm::Complex(0, 0));
+  EXPECT_THROW(fdm::normalize(grid, zero), NumericsError);
+}
+
+}  // namespace
+}  // namespace qpinn::quantum

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/shape.hpp"
+#include "tensor/tensor.hpp"
+#include "util/error.hpp"
+
+namespace qpinn {
+namespace {
+
+// ---- shape utilities --------------------------------------------------------
+
+TEST(Shape, NumelAndScalar) {
+  EXPECT_EQ(numel({}), 1);
+  EXPECT_EQ(numel({4}), 4);
+  EXPECT_EQ(numel({3, 5}), 15);
+}
+
+TEST(Shape, RowMajorStrides) {
+  EXPECT_EQ(row_major_strides({3, 4}), (std::vector<std::int64_t>{4, 1}));
+  EXPECT_EQ(row_major_strides({2, 3, 4}),
+            (std::vector<std::int64_t>{12, 4, 1}));
+  EXPECT_TRUE(row_major_strides({}).empty());
+}
+
+TEST(Shape, BroadcastRules) {
+  EXPECT_EQ(broadcast_shapes({3, 1}, {1, 4}), (Shape{3, 4}));
+  EXPECT_EQ(broadcast_shapes({4}, {2, 4}), (Shape{2, 4}));
+  EXPECT_EQ(broadcast_shapes({}, {5, 2}), (Shape{5, 2}));
+  EXPECT_EQ(broadcast_shapes({2, 3}, {2, 3}), (Shape{2, 3}));
+  EXPECT_THROW(broadcast_shapes({2, 3}, {2, 4}), ShapeError);
+  EXPECT_THROW(broadcast_shapes({3}, {2}), ShapeError);
+}
+
+TEST(Shape, BroadcastableTo) {
+  EXPECT_TRUE(broadcastable_to({1, 4}, {3, 4}));
+  EXPECT_TRUE(broadcastable_to({}, {3, 4}));
+  EXPECT_TRUE(broadcastable_to({4}, {3, 4}));
+  EXPECT_FALSE(broadcastable_to({3, 4}, {4}));
+  EXPECT_FALSE(broadcastable_to({2, 4}, {3, 4}));
+}
+
+TEST(Shape, ValidityCheck) {
+  EXPECT_NO_THROW(check_shape_valid({2, 3}));
+  EXPECT_THROW(check_shape_valid({0}), ShapeError);
+  EXPECT_THROW(check_shape_valid({2, -1}), ShapeError);
+}
+
+// ---- tensor construction ------------------------------------------------------
+
+TEST(Tensor, DefaultIsScalarZero) {
+  Tensor t;
+  EXPECT_EQ(t.rank(), 0);
+  EXPECT_EQ(t.numel(), 1);
+  EXPECT_DOUBLE_EQ(t.item(), 0.0);
+}
+
+TEST(Tensor, Factories) {
+  EXPECT_DOUBLE_EQ(Tensor::ones({2, 2}).at(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(Tensor::full({3}, 2.5)[2], 2.5);
+  EXPECT_DOUBLE_EQ(Tensor::scalar(-7.0).item(), -7.0);
+  const Tensor ar = Tensor::arange(4);
+  EXPECT_DOUBLE_EQ(ar[3], 3.0);
+}
+
+TEST(Tensor, LinspaceEndpointsExact) {
+  const Tensor t = Tensor::linspace(-1.0, 2.0, 7);
+  EXPECT_DOUBLE_EQ(t[0], -1.0);
+  EXPECT_DOUBLE_EQ(t[6], 2.0);
+  EXPECT_NEAR(t[1] - t[0], 0.5, 1e-15);
+  EXPECT_THROW(Tensor::linspace(0, 1, 1), ValueError);
+}
+
+TEST(Tensor, FromVectorValidatesCount) {
+  EXPECT_NO_THROW(Tensor::from_vector({1, 2, 3, 4}, {2, 2}));
+  EXPECT_THROW(Tensor::from_vector({1, 2, 3}, {2, 2}), ShapeError);
+}
+
+TEST(Tensor, RandomFactoriesInRange) {
+  Rng rng(3);
+  const Tensor u = Tensor::rand({100}, rng, -2.0, 3.0);
+  EXPECT_GE(u.min(), -2.0);
+  EXPECT_LT(u.max(), 3.0);
+  const Tensor g = Tensor::randn({1000}, rng, 1.0, 0.1);
+  EXPECT_NEAR(g.min(), 1.0, 1.0);  // loose sanity
+}
+
+// ---- views and copies ------------------------------------------------------------
+
+TEST(Tensor, ReshapeSharesStorage) {
+  Tensor a = Tensor::arange(6);
+  Tensor b = a.reshape({2, 3});
+  EXPECT_TRUE(a.shares_storage(b));
+  b.at(0, 1) = 99.0;
+  EXPECT_DOUBLE_EQ(a[1], 99.0);
+  EXPECT_THROW(a.reshape({4}), ShapeError);
+}
+
+TEST(Tensor, CloneIsIndependent) {
+  Tensor a = Tensor::arange(4);
+  Tensor b = a.clone();
+  EXPECT_FALSE(a.shares_storage(b));
+  b[0] = -1.0;
+  EXPECT_DOUBLE_EQ(a[0], 0.0);
+}
+
+TEST(Tensor, CopyIsShallow) {
+  Tensor a = Tensor::arange(4);
+  Tensor b = a;  // NOLINT: intentional shallow copy semantics
+  EXPECT_TRUE(a.shares_storage(b));
+}
+
+// ---- access and bounds --------------------------------------------------------------
+
+TEST(Tensor, BoundsChecked) {
+  Tensor t = Tensor::zeros({2, 3});
+  EXPECT_THROW(t.at(2, 0), ShapeError);
+  EXPECT_THROW(t.at(0, 3), ShapeError);
+  EXPECT_THROW(t[6], ShapeError);
+  EXPECT_THROW(t.item(), ShapeError);
+  EXPECT_THROW(Tensor::zeros({3}).rows(), ShapeError);
+}
+
+TEST(Tensor, Diagnostics) {
+  Tensor t = Tensor::from_vector({-3.0, 2.0, 0.5}, {3});
+  EXPECT_DOUBLE_EQ(t.min(), -3.0);
+  EXPECT_DOUBLE_EQ(t.max(), 2.0);
+  EXPECT_DOUBLE_EQ(t.abs_max(), 3.0);
+  EXPECT_TRUE(t.all_finite());
+  t[1] = std::nan("");
+  EXPECT_FALSE(t.all_finite());
+  EXPECT_NE(t.to_string().find("Tensor[3]"), std::string::npos);
+}
+
+TEST(Tensor, InvalidShapesRejected) {
+  EXPECT_THROW(Tensor::zeros({0}), ShapeError);
+  EXPECT_THROW(Tensor::zeros({2, -3}), ShapeError);
+}
+
+}  // namespace
+}  // namespace qpinn

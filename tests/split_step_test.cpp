@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fdm/split_step.hpp"
+#include "quantum/analytic.hpp"
+#include "quantum/hermite.hpp"
+#include "util/error.hpp"
+
+namespace qpinn::fdm {
+namespace {
+
+TEST(SplitStep, SolitonPropagatesExactly) {
+  const auto soliton = quantum::nls_bright_soliton(1.0, 1.0);
+  SplitStepConfig config;
+  config.grid = Grid1d{-12.0, 12.0, 512, true};
+  config.dt = 1e-3;
+  config.steps = 1000;  // t = 1
+  config.store_every = 1000;
+  config.nonlinearity = -1.0;
+  const WaveEvolution evolution =
+      solve_split_step(config, [&](double x) { return soliton(x, 0.0); });
+
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < evolution.x.size(); ++i) {
+    const Complex exact = soliton(evolution.x[i], 1.0);
+    num += std::norm(evolution.psi.back()[i] - exact);
+    den += std::norm(exact);
+  }
+  EXPECT_LT(std::sqrt(num / den), 1e-3);
+}
+
+TEST(SplitStep, MassConservedForNls) {
+  SplitStepConfig config;
+  config.grid = Grid1d{-10.0, 10.0, 256, true};
+  config.dt = 2e-3;
+  config.steps = 500;
+  config.store_every = 100;
+  config.nonlinearity = -1.0;
+  const WaveEvolution evolution = solve_split_step(
+      config, [](double x) { return quantum::nls_raissi_initial(x); });
+
+  const double initial = evolution.norm_at(0, config.grid);
+  for (std::size_t k = 1; k < evolution.psi.size(); ++k) {
+    EXPECT_NEAR(evolution.norm_at(k, config.grid), initial, 1e-10);
+  }
+}
+
+TEST(SplitStep, LinearCaseMatchesAnalyticPacket) {
+  const auto reference = quantum::free_gaussian_packet(0.0, 1.0, 0.5);
+  SplitStepConfig config;
+  config.grid = Grid1d{-16.0, 16.0, 1024, true};
+  config.dt = 1e-3;
+  config.steps = 500;  // t = 0.5
+  config.store_every = 500;
+  config.nonlinearity = 0.0;
+  const WaveEvolution evolution =
+      solve_split_step(config, [&](double x) { return reference(x, 0.0); });
+
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < evolution.x.size(); ++i) {
+    const Complex exact = reference(evolution.x[i], 0.5);
+    num += std::norm(evolution.psi.back()[i] - exact);
+    den += std::norm(exact);
+  }
+  EXPECT_LT(std::sqrt(num / den), 1e-6);  // spectral accuracy in space
+}
+
+TEST(SplitStep, HarmonicPotentialPhaseEvolution) {
+  // HO ground state under split-step with V = x^2/2 acquires only phase.
+  SplitStepConfig config;
+  config.grid = Grid1d{-10.0, 10.0, 256, true};
+  config.dt = 1e-3;
+  config.steps = 400;
+  config.store_every = 400;
+  config.potential = [](double x) { return 0.5 * x * x; };
+  const WaveEvolution evolution = solve_split_step(config, [](double x) {
+    return Complex(quantum::ho_eigenfunction(0, x), 0.0);
+  });
+  for (std::size_t i = 0; i < evolution.x.size(); ++i) {
+    EXPECT_NEAR(std::abs(evolution.psi.back()[i]),
+                std::abs(evolution.psi.front()[i]), 1e-6);
+  }
+}
+
+TEST(SplitStep, ConfigValidation) {
+  SplitStepConfig config;
+  config.grid = Grid1d{-1.0, 1.0, 100, true};  // not a power of two
+  EXPECT_THROW(config.validate(), ConfigError);
+  config.grid.n = 128;
+  config.grid.periodic = false;
+  EXPECT_THROW(config.validate(), ConfigError);
+  config.grid.periodic = true;
+  config.dt = 0.0;
+  EXPECT_THROW(config.validate(), ConfigError);
+  config.dt = 1e-3;
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(SplitStep, RejectsMismatchedInitialState) {
+  SplitStepConfig config;
+  config.grid = Grid1d{-1.0, 1.0, 64, true};
+  std::vector<Complex> wrong(32);
+  EXPECT_THROW(solve_split_step(config, std::move(wrong)), ValueError);
+}
+
+}  // namespace
+}  // namespace qpinn::fdm

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <set>
+
+#include "core/tdse2d.hpp"
+#include "util/error.hpp"
+
+namespace qpinn::core {
+namespace {
+
+Tdse2dConfig base_config() {
+  Tdse2dConfig config;
+  config.domain = Domain2d{-3.0, 3.0, -3.0, 3.0, 0.0, 0.4};
+  config.reference = free_gaussian_packet_2d(-0.5, 0.5, 0.6, 0.0, 0.0, 0.7);
+  config.initial = gaussian_packet_2d_ic(-0.5, 0.5, 0.6, 0.0, 0.0, 0.7);
+  config.hidden = {16, 16};
+  config.fourier = nn::FourierConfig{8, 1.0};
+  config.epochs = 10;
+  config.n_interior = 128;
+  config.seed = 3;
+  return config;
+}
+
+TEST(Tdse2d, SeparableReferenceSatisfiesPde) {
+  // Finite-difference residual of the product solution must vanish.
+  const auto psi = free_gaussian_packet_2d(0.0, 1.0, 0.5, 0.3, -0.5, 0.6);
+  const double h = 1e-4;
+  const quantum::Complex i_unit(0.0, 1.0);
+  for (double x : {-0.8, 0.4}) {
+    for (double y : {-0.2, 0.6}) {
+      for (double t : {0.1, 0.3}) {
+        const quantum::Complex psi_t =
+            (psi(x, y, t + h) - psi(x, y, t - h)) / (2.0 * h);
+        const quantum::Complex lap =
+            (psi(x + h, y, t) - 2.0 * psi(x, y, t) + psi(x - h, y, t) +
+             psi(x, y + h, t) - 2.0 * psi(x, y, t) + psi(x, y - h, t)) /
+            (h * h);
+        EXPECT_LT(std::abs(i_unit * psi_t + 0.5 * lap), 1e-3)
+            << x << " " << y << " " << t;
+      }
+    }
+  }
+}
+
+TEST(Tdse2d, IcOpMatchesReferenceAtT0) {
+  const auto reference = free_gaussian_packet_2d(0.2, 1.0, 0.5, -0.1, 0.3, 0.6);
+  const auto ic = gaussian_packet_2d_ic(0.2, 1.0, 0.5, -0.1, 0.3, 0.6);
+  const Tensor xs = Tensor::linspace(-1.0, 1.0, 5).reshape({5, 1});
+  const Tensor ys = Tensor::linspace(-0.6, 0.8, 5).reshape({5, 1});
+  auto [u0, v0] = ic(autodiff::Variable::constant(xs),
+                     autodiff::Variable::constant(ys));
+  for (std::int64_t i = 0; i < 5; ++i) {
+    const auto exact = reference(xs[i], ys[i], 0.0);
+    EXPECT_NEAR(u0.value()[i], exact.real(), 1e-12);
+    EXPECT_NEAR(v0.value()[i], exact.imag(), 1e-12);
+  }
+}
+
+TEST(Tdse2d, HardIcExactAtInitialTime) {
+  Tdse2dSolver solver(base_config());
+  const auto reference = base_config().reference;
+  Tensor points(Shape{4, 3});
+  for (std::int64_t r = 0; r < 4; ++r) {
+    points.at(r, 0) = -1.0 + 0.7 * static_cast<double>(r);
+    points.at(r, 1) = 0.3 * static_cast<double>(r) - 0.5;
+    points.at(r, 2) = 0.0;
+  }
+  const Tensor out = solver.evaluate(points);
+  for (std::int64_t r = 0; r < 4; ++r) {
+    const auto exact = reference(points.at(r, 0), points.at(r, 1), 0.0);
+    EXPECT_NEAR(out.at(r, 0), exact.real(), 1e-12);
+    EXPECT_NEAR(out.at(r, 1), exact.imag(), 1e-12);
+  }
+}
+
+TEST(Tdse2d, Sampler2dLatinProperty) {
+  Rng rng(5);
+  const Domain2d domain{0.0, 1.0, 2.0, 3.0, 0.0, 0.5};
+  const std::int64_t n = 32;
+  const Tensor points = latin_hypercube_points_2d(domain, n, rng);
+  ASSERT_EQ(points.shape(), (Shape{n, 3}));
+  std::set<std::int64_t> sx, sy, st;
+  for (std::int64_t r = 0; r < n; ++r) {
+    EXPECT_GE(points.at(r, 0), 0.0);
+    EXPECT_LT(points.at(r, 0), 1.0);
+    EXPECT_GE(points.at(r, 1), 2.0);
+    EXPECT_LT(points.at(r, 1), 3.0);
+    sx.insert(static_cast<std::int64_t>(points.at(r, 0) * n));
+    sy.insert(static_cast<std::int64_t>((points.at(r, 1) - 2.0) * n));
+    st.insert(static_cast<std::int64_t>(points.at(r, 2) / 0.5 * n));
+  }
+  EXPECT_EQ(sx.size(), static_cast<std::size_t>(n));
+  EXPECT_EQ(sy.size(), static_cast<std::size_t>(n));
+  EXPECT_EQ(st.size(), static_cast<std::size_t>(n));
+}
+
+TEST(Tdse2d, ShortTrainingReducesLossAndL2) {
+  Tdse2dConfig config = base_config();
+  config.epochs = 60;
+  config.n_interior = 256;
+  Tdse2dSolver solver(config);
+  const double initial_l2 = solver.relative_l2(16, 16, 5);
+  const Tdse2dResult result = solver.fit();
+  EXPECT_LT(result.final_loss, result.loss_history.front());
+  EXPECT_LT(result.final_l2, initial_l2);
+  EXPECT_TRUE(std::isfinite(result.final_l2));
+}
+
+TEST(Tdse2d, ResidualShapeAndValidation) {
+  Tdse2dSolver solver(base_config());
+  Rng rng(1);
+  const Domain2d domain = base_config().domain;
+  const Tensor points = latin_hypercube_points_2d(domain, 16, rng);
+  const Tensor res = solver.residual_at(points);
+  EXPECT_EQ(res.shape(), (Shape{16, 2}));
+  EXPECT_TRUE(res.all_finite());
+  EXPECT_THROW(solver.residual_at(Tensor::zeros({4, 2})), ShapeError);
+  EXPECT_THROW(solver.evaluate(Tensor::zeros({4, 2})), ShapeError);
+}
+
+TEST(Tdse2d, PotentialEntersResidual) {
+  Tdse2dConfig with_pot = base_config();
+  with_pot.potential = [](double x, double y) {
+    return 0.5 * (x * x + y * y);
+  };
+  Tdse2dSolver a(base_config());
+  Tdse2dSolver b(with_pot);
+  Rng rng(2);
+  const Tensor points = latin_hypercube_points_2d(base_config().domain, 8, rng);
+  const Tensor ra = a.residual_at(points);
+  const Tensor rb = b.residual_at(points);
+  double diff = 0.0;
+  for (std::int64_t i = 0; i < ra.numel(); ++i) {
+    diff += std::abs(ra[i] - rb[i]);
+  }
+  EXPECT_GT(diff, 1e-6);  // same seed, so only the potential differs
+}
+
+TEST(Tdse2d, ConfigValidation) {
+  Tdse2dConfig config = base_config();
+  config.reference = nullptr;
+  EXPECT_THROW(Tdse2dSolver{config}, ConfigError);
+  config = base_config();
+  config.initial = nullptr;
+  EXPECT_THROW(Tdse2dSolver{config}, ConfigError);
+  config = base_config();
+  config.domain.x_hi = config.domain.x_lo;
+  EXPECT_THROW(Tdse2dSolver{config}, ConfigError);
+  config = base_config();
+  config.n_interior = 2;
+  EXPECT_THROW(Tdse2dSolver{config}, ConfigError);
+}
+
+}  // namespace
+}  // namespace qpinn::core

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "fdm/tridiag.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace qpinn::fdm {
+namespace {
+
+using C = std::complex<double>;
+
+/// Dense residual check: returns max |A x - rhs| for the (cyclic)
+/// tridiagonal A described by the bands.
+template <typename T>
+double residual(const std::vector<T>& lower, const std::vector<T>& diag,
+                const std::vector<T>& upper, T corner_lower, T corner_upper,
+                bool cyclic, const std::vector<T>& x,
+                const std::vector<T>& rhs) {
+  const std::size_t n = diag.size();
+  double max_res = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    T acc = diag[i] * x[i];
+    if (i > 0) acc += lower[i] * x[i - 1];
+    if (i + 1 < n) acc += upper[i] * x[i + 1];
+    if (cyclic && i == 0) acc += corner_upper * x[n - 1];
+    if (cyclic && i + 1 == n) acc += corner_lower * x[0];
+    max_res = std::max(max_res, std::abs(acc - rhs[i]));
+  }
+  return max_res;
+}
+
+class TridiagSizeP : public ::testing::TestWithParam<int> {};
+
+TEST_P(TridiagSizeP, RealSystemSolvedToRoundoff) {
+  const int n = GetParam();
+  Rng rng(100 + n);
+  std::vector<double> lower(n), diag(n), upper(n), rhs(n);
+  for (int i = 0; i < n; ++i) {
+    lower[i] = rng.uniform(-1, 1);
+    upper[i] = rng.uniform(-1, 1);
+    diag[i] = 4.0 + rng.uniform(0, 1);  // diagonally dominant
+    rhs[i] = rng.uniform(-2, 2);
+  }
+  const auto x = solve_tridiagonal(lower, diag, upper, rhs);
+  EXPECT_LT(residual<double>(lower, diag, upper, 0, 0, false, x, rhs), 1e-11);
+}
+
+TEST_P(TridiagSizeP, ComplexSystemSolvedToRoundoff) {
+  const int n = GetParam();
+  Rng rng(200 + n);
+  std::vector<C> lower(n), diag(n), upper(n), rhs(n);
+  for (int i = 0; i < n; ++i) {
+    lower[i] = C(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    upper[i] = C(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    diag[i] = C(5.0, rng.uniform(-1, 1));
+    rhs[i] = C(rng.uniform(-2, 2), rng.uniform(-2, 2));
+  }
+  const auto x = solve_tridiagonal(lower, diag, upper, rhs);
+  EXPECT_LT(residual<C>(lower, diag, upper, C(0), C(0), false, x, rhs), 1e-11);
+}
+
+TEST_P(TridiagSizeP, CyclicSystemSolvedToRoundoff) {
+  const int n = GetParam();
+  if (n < 3) GTEST_SKIP() << "cyclic solver needs n >= 3";
+  Rng rng(300 + n);
+  std::vector<double> lower(n), diag(n), upper(n), rhs(n);
+  for (int i = 0; i < n; ++i) {
+    lower[i] = rng.uniform(-1, 1);
+    upper[i] = rng.uniform(-1, 1);
+    diag[i] = 5.0 + rng.uniform(0, 1);
+    rhs[i] = rng.uniform(-2, 2);
+  }
+  const double cl = rng.uniform(-1, 1), cu = rng.uniform(-1, 1);
+  const auto x = solve_cyclic_tridiagonal(lower, diag, upper, cl, cu, rhs);
+  EXPECT_LT(residual<double>(lower, diag, upper, cl, cu, true, x, rhs), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TridiagSizeP,
+                         ::testing::Values(1, 2, 3, 4, 7, 16, 101));
+
+TEST(Tridiag, CyclicComplexSystem) {
+  const int n = 32;
+  Rng rng(7);
+  std::vector<C> lower(n), diag(n), upper(n), rhs(n);
+  for (int i = 0; i < n; ++i) {
+    lower[i] = C(0.3, -0.2);
+    upper[i] = C(0.3, 0.2);
+    diag[i] = C(3.0, 1.0);
+    rhs[i] = C(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  }
+  const C corner(0.3, 0.1);
+  const auto x =
+      solve_cyclic_tridiagonal(lower, diag, upper, corner, corner, rhs);
+  EXPECT_LT(residual<C>(lower, diag, upper, corner, corner, true, x, rhs),
+            1e-11);
+}
+
+TEST(Tridiag, KnownSmallSystem) {
+  // [2 1 0; 1 2 1; 0 1 2] x = [4; 8; 8] -> x = [1; 2; 3].
+  const std::vector<double> lower{0, 1, 1}, diag{2, 2, 2}, upper{1, 1, 0},
+      rhs{4, 8, 8};
+  const auto x = solve_tridiagonal(lower, diag, upper, rhs);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+  EXPECT_NEAR(x[2], 3.0, 1e-12);
+}
+
+TEST(Tridiag, SingularPivotThrows) {
+  const std::vector<double> lower{0, 0}, diag{0, 1}, upper{0, 0}, rhs{1, 1};
+  EXPECT_THROW(solve_tridiagonal(lower, diag, upper, rhs), NumericsError);
+}
+
+TEST(Tridiag, SizeValidation) {
+  const std::vector<double> diag{1, 2};
+  const std::vector<double> wrong{1};
+  EXPECT_THROW(solve_tridiagonal(wrong, diag, diag, diag), ValueError);
+  EXPECT_THROW(
+      solve_cyclic_tridiagonal<double>({0, 0}, {1, 1}, {0, 0}, 0, 0, {1, 1}),
+      ValueError);  // cyclic needs n >= 3
+}
+
+}  // namespace
+}  // namespace qpinn::fdm

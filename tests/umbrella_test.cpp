@@ -1,0 +1,25 @@
+// Compile-level test: the umbrella header must pull in the entire public
+// API without conflicts, and its pieces must interoperate.
+#include "qpinn.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, ApiInteroperates) {
+  using namespace qpinn;
+  // One object from each layer, touched end to end.
+  Rng rng(1);
+  const Tensor t = Tensor::randn({2, 2}, rng);
+  const autodiff::Variable v = autodiff::Variable::leaf(t);
+  const autodiff::Variable loss = autodiff::mse(autodiff::tanh(v));
+  const auto grads = autodiff::grad(loss, {v});
+  EXPECT_TRUE(grads[0].value().all_finite());
+
+  const fdm::Grid1d grid{-1.0, 1.0, 16, false};
+  EXPECT_GT(grid.dx(), 0.0);
+  EXPECT_GT(quantum::ho_eigenvalue(0), 0.0);
+  EXPECT_EQ(core::parse_sampler("lhs"), core::SamplerKind::kLatinHypercube);
+}
+
+}  // namespace
