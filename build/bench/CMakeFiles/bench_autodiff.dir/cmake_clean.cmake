@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_autodiff.dir/bench_autodiff.cpp.o"
+  "CMakeFiles/bench_autodiff.dir/bench_autodiff.cpp.o.d"
+  "bench_autodiff"
+  "bench_autodiff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_autodiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fdm.dir/bench_fdm.cpp.o"
+  "CMakeFiles/bench_fdm.dir/bench_fdm.cpp.o.d"
+  "bench_fdm"
+  "bench_fdm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tensor.dir/bench_tensor.cpp.o"
+  "CMakeFiles/bench_tensor.dir/bench_tensor.cpp.o.d"
+  "bench_tensor"
+  "bench_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

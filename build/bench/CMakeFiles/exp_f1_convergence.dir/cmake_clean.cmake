@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_f1_convergence.dir/exp_f1_convergence.cpp.o"
+  "CMakeFiles/exp_f1_convergence.dir/exp_f1_convergence.cpp.o.d"
+  "exp_f1_convergence"
+  "exp_f1_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_f1_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

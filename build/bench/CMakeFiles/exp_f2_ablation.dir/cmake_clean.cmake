@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_f2_ablation.dir/exp_f2_ablation.cpp.o"
+  "CMakeFiles/exp_f2_ablation.dir/exp_f2_ablation.cpp.o.d"
+  "exp_f2_ablation"
+  "exp_f2_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_f2_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_f3_norm_drift.dir/exp_f3_norm_drift.cpp.o"
+  "CMakeFiles/exp_f3_norm_drift.dir/exp_f3_norm_drift.cpp.o.d"
+  "exp_f3_norm_drift"
+  "exp_f3_norm_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_f3_norm_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

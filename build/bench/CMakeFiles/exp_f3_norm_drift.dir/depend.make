@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_f3_norm_drift.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_f4_solver_orders.dir/exp_f4_solver_orders.cpp.o"
+  "CMakeFiles/exp_f4_solver_orders.dir/exp_f4_solver_orders.cpp.o.d"
+  "exp_f4_solver_orders"
+  "exp_f4_solver_orders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_f4_solver_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

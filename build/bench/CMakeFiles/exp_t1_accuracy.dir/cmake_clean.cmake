@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_t1_accuracy.dir/exp_t1_accuracy.cpp.o"
+  "CMakeFiles/exp_t1_accuracy.dir/exp_t1_accuracy.cpp.o.d"
+  "exp_t1_accuracy"
+  "exp_t1_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_t1_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_t2_eigenvalues.dir/exp_t2_eigenvalues.cpp.o"
+  "CMakeFiles/exp_t2_eigenvalues.dir/exp_t2_eigenvalues.cpp.o.d"
+  "exp_t2_eigenvalues"
+  "exp_t2_eigenvalues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_t2_eigenvalues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_t4_autodiff_cost.dir/exp_t4_autodiff_cost.cpp.o"
+  "CMakeFiles/exp_t4_autodiff_cost.dir/exp_t4_autodiff_cost.cpp.o.d"
+  "exp_t4_autodiff_cost"
+  "exp_t4_autodiff_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_t4_autodiff_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_free_packet_2d.dir/free_packet_2d.cpp.o"
+  "CMakeFiles/example_free_packet_2d.dir/free_packet_2d.cpp.o.d"
+  "free_packet_2d"
+  "free_packet_2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_free_packet_2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_free_packet_2d.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_harmonic_oscillator.dir/harmonic_oscillator.cpp.o"
+  "CMakeFiles/example_harmonic_oscillator.dir/harmonic_oscillator.cpp.o.d"
+  "harmonic_oscillator"
+  "harmonic_oscillator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_harmonic_oscillator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_infinite_well_eigen.dir/infinite_well_eigen.cpp.o"
+  "CMakeFiles/example_infinite_well_eigen.dir/infinite_well_eigen.cpp.o.d"
+  "infinite_well_eigen"
+  "infinite_well_eigen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_infinite_well_eigen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

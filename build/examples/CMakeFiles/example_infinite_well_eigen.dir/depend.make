@@ -1,0 +1,2 @@
+# Empty dependencies file for example_infinite_well_eigen.
+# This may be replaced when dependencies are built.

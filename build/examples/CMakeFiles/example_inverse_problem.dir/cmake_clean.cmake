@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_inverse_problem.dir/inverse_problem.cpp.o"
+  "CMakeFiles/example_inverse_problem.dir/inverse_problem.cpp.o.d"
+  "inverse_problem"
+  "inverse_problem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_inverse_problem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

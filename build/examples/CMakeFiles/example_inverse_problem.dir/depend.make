@@ -1,0 +1,2 @@
+# Empty dependencies file for example_inverse_problem.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_nls_soliton.dir/nls_soliton.cpp.o"
+  "CMakeFiles/example_nls_soliton.dir/nls_soliton.cpp.o.d"
+  "nls_soliton"
+  "nls_soliton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_nls_soliton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_nls_soliton.
+# This may be replaced when dependencies are built.

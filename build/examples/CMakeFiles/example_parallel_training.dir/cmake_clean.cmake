@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_parallel_training.dir/parallel_training.cpp.o"
+  "CMakeFiles/example_parallel_training.dir/parallel_training.cpp.o.d"
+  "parallel_training"
+  "parallel_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_parallel_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

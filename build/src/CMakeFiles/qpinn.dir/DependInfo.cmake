@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autodiff/derivatives.cpp" "src/CMakeFiles/qpinn.dir/autodiff/derivatives.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/autodiff/derivatives.cpp.o.d"
+  "/root/repo/src/autodiff/grad.cpp" "src/CMakeFiles/qpinn.dir/autodiff/grad.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/autodiff/grad.cpp.o.d"
+  "/root/repo/src/autodiff/gradcheck.cpp" "src/CMakeFiles/qpinn.dir/autodiff/gradcheck.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/autodiff/gradcheck.cpp.o.d"
+  "/root/repo/src/autodiff/ops.cpp" "src/CMakeFiles/qpinn.dir/autodiff/ops.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/autodiff/ops.cpp.o.d"
+  "/root/repo/src/autodiff/variable.cpp" "src/CMakeFiles/qpinn.dir/autodiff/variable.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/autodiff/variable.cpp.o.d"
+  "/root/repo/src/core/benchmarks.cpp" "src/CMakeFiles/qpinn.dir/core/benchmarks.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/core/benchmarks.cpp.o.d"
+  "/root/repo/src/core/curriculum.cpp" "src/CMakeFiles/qpinn.dir/core/curriculum.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/core/curriculum.cpp.o.d"
+  "/root/repo/src/core/domain.cpp" "src/CMakeFiles/qpinn.dir/core/domain.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/core/domain.cpp.o.d"
+  "/root/repo/src/core/eigen_pinn.cpp" "src/CMakeFiles/qpinn.dir/core/eigen_pinn.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/core/eigen_pinn.cpp.o.d"
+  "/root/repo/src/core/field_model.cpp" "src/CMakeFiles/qpinn.dir/core/field_model.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/core/field_model.cpp.o.d"
+  "/root/repo/src/core/field_ops.cpp" "src/CMakeFiles/qpinn.dir/core/field_ops.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/core/field_ops.cpp.o.d"
+  "/root/repo/src/core/inverse_problem.cpp" "src/CMakeFiles/qpinn.dir/core/inverse_problem.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/core/inverse_problem.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/qpinn.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/schrodinger_problem.cpp" "src/CMakeFiles/qpinn.dir/core/schrodinger_problem.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/core/schrodinger_problem.cpp.o.d"
+  "/root/repo/src/core/tdse2d.cpp" "src/CMakeFiles/qpinn.dir/core/tdse2d.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/core/tdse2d.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/CMakeFiles/qpinn.dir/core/trainer.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/core/trainer.cpp.o.d"
+  "/root/repo/src/fdm/crank_nicolson.cpp" "src/CMakeFiles/qpinn.dir/fdm/crank_nicolson.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/fdm/crank_nicolson.cpp.o.d"
+  "/root/repo/src/fdm/eigensolver.cpp" "src/CMakeFiles/qpinn.dir/fdm/eigensolver.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/fdm/eigensolver.cpp.o.d"
+  "/root/repo/src/fdm/fft.cpp" "src/CMakeFiles/qpinn.dir/fdm/fft.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/fdm/fft.cpp.o.d"
+  "/root/repo/src/fdm/grid.cpp" "src/CMakeFiles/qpinn.dir/fdm/grid.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/fdm/grid.cpp.o.d"
+  "/root/repo/src/fdm/interpolate.cpp" "src/CMakeFiles/qpinn.dir/fdm/interpolate.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/fdm/interpolate.cpp.o.d"
+  "/root/repo/src/fdm/numerov.cpp" "src/CMakeFiles/qpinn.dir/fdm/numerov.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/fdm/numerov.cpp.o.d"
+  "/root/repo/src/fdm/split_step.cpp" "src/CMakeFiles/qpinn.dir/fdm/split_step.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/fdm/split_step.cpp.o.d"
+  "/root/repo/src/fdm/tridiag.cpp" "src/CMakeFiles/qpinn.dir/fdm/tridiag.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/fdm/tridiag.cpp.o.d"
+  "/root/repo/src/nn/activation.cpp" "src/CMakeFiles/qpinn.dir/nn/activation.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/nn/activation.cpp.o.d"
+  "/root/repo/src/nn/fourier.cpp" "src/CMakeFiles/qpinn.dir/nn/fourier.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/nn/fourier.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "src/CMakeFiles/qpinn.dir/nn/init.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/nn/init.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/CMakeFiles/qpinn.dir/nn/linear.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/nn/linear.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/CMakeFiles/qpinn.dir/nn/mlp.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/nn/mlp.cpp.o.d"
+  "/root/repo/src/nn/periodic.cpp" "src/CMakeFiles/qpinn.dir/nn/periodic.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/nn/periodic.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/CMakeFiles/qpinn.dir/nn/serialize.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/nn/serialize.cpp.o.d"
+  "/root/repo/src/optim/adam.cpp" "src/CMakeFiles/qpinn.dir/optim/adam.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/optim/adam.cpp.o.d"
+  "/root/repo/src/optim/lbfgs.cpp" "src/CMakeFiles/qpinn.dir/optim/lbfgs.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/optim/lbfgs.cpp.o.d"
+  "/root/repo/src/optim/optimizer.cpp" "src/CMakeFiles/qpinn.dir/optim/optimizer.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/optim/optimizer.cpp.o.d"
+  "/root/repo/src/optim/rmsprop.cpp" "src/CMakeFiles/qpinn.dir/optim/rmsprop.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/optim/rmsprop.cpp.o.d"
+  "/root/repo/src/optim/scheduler.cpp" "src/CMakeFiles/qpinn.dir/optim/scheduler.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/optim/scheduler.cpp.o.d"
+  "/root/repo/src/optim/sgd.cpp" "src/CMakeFiles/qpinn.dir/optim/sgd.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/optim/sgd.cpp.o.d"
+  "/root/repo/src/parallel/parallel_for.cpp" "src/CMakeFiles/qpinn.dir/parallel/parallel_for.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/parallel/parallel_for.cpp.o.d"
+  "/root/repo/src/parallel/thread_pool.cpp" "src/CMakeFiles/qpinn.dir/parallel/thread_pool.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/parallel/thread_pool.cpp.o.d"
+  "/root/repo/src/quantum/analytic.cpp" "src/CMakeFiles/qpinn.dir/quantum/analytic.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/quantum/analytic.cpp.o.d"
+  "/root/repo/src/quantum/hermite.cpp" "src/CMakeFiles/qpinn.dir/quantum/hermite.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/quantum/hermite.cpp.o.d"
+  "/root/repo/src/quantum/observables.cpp" "src/CMakeFiles/qpinn.dir/quantum/observables.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/quantum/observables.cpp.o.d"
+  "/root/repo/src/quantum/potentials.cpp" "src/CMakeFiles/qpinn.dir/quantum/potentials.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/quantum/potentials.cpp.o.d"
+  "/root/repo/src/tensor/kernels.cpp" "src/CMakeFiles/qpinn.dir/tensor/kernels.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/tensor/kernels.cpp.o.d"
+  "/root/repo/src/tensor/shape.cpp" "src/CMakeFiles/qpinn.dir/tensor/shape.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/tensor/shape.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/qpinn.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/tensor/tensor.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/qpinn.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/env.cpp" "src/CMakeFiles/qpinn.dir/util/env.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/util/env.cpp.o.d"
+  "/root/repo/src/util/error.cpp" "src/CMakeFiles/qpinn.dir/util/error.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/util/error.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/qpinn.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/qpinn.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/qpinn.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/qpinn.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for qpinn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autodiff_grad_test.dir/autodiff_grad_test.cpp.o"
+  "CMakeFiles/autodiff_grad_test.dir/autodiff_grad_test.cpp.o.d"
+  "autodiff_grad_test"
+  "autodiff_grad_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autodiff_grad_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

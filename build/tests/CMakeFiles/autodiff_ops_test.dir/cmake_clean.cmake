@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autodiff_ops_test.dir/autodiff_ops_test.cpp.o"
+  "CMakeFiles/autodiff_ops_test.dir/autodiff_ops_test.cpp.o.d"
+  "autodiff_ops_test"
+  "autodiff_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autodiff_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

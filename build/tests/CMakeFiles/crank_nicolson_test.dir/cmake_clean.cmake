@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crank_nicolson_test.dir/crank_nicolson_test.cpp.o"
+  "CMakeFiles/crank_nicolson_test.dir/crank_nicolson_test.cpp.o.d"
+  "crank_nicolson_test"
+  "crank_nicolson_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crank_nicolson_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

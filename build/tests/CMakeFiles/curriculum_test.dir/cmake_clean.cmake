@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curriculum_test.dir/curriculum_test.cpp.o"
+  "CMakeFiles/curriculum_test.dir/curriculum_test.cpp.o.d"
+  "curriculum_test"
+  "curriculum_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curriculum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

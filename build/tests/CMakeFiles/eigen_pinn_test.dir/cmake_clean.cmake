@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eigen_pinn_test.dir/eigen_pinn_test.cpp.o"
+  "CMakeFiles/eigen_pinn_test.dir/eigen_pinn_test.cpp.o.d"
+  "eigen_pinn_test"
+  "eigen_pinn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eigen_pinn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eigensolver_test.dir/eigensolver_test.cpp.o"
+  "CMakeFiles/eigensolver_test.dir/eigensolver_test.cpp.o.d"
+  "eigensolver_test"
+  "eigensolver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eigensolver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/field_model_test.dir/field_model_test.cpp.o"
+  "CMakeFiles/field_model_test.dir/field_model_test.cpp.o.d"
+  "field_model_test"
+  "field_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/field_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

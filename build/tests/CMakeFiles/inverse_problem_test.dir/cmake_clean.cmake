@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inverse_problem_test.dir/inverse_problem_test.cpp.o"
+  "CMakeFiles/inverse_problem_test.dir/inverse_problem_test.cpp.o.d"
+  "inverse_problem_test"
+  "inverse_problem_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inverse_problem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

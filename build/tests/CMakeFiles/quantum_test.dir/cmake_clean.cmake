@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantum_test.dir/quantum_test.cpp.o"
+  "CMakeFiles/quantum_test.dir/quantum_test.cpp.o.d"
+  "quantum_test"
+  "quantum_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/split_step_test.dir/split_step_test.cpp.o"
+  "CMakeFiles/split_step_test.dir/split_step_test.cpp.o.d"
+  "split_step_test"
+  "split_step_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/split_step_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

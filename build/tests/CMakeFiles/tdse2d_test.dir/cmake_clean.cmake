@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdse2d_test.dir/tdse2d_test.cpp.o"
+  "CMakeFiles/tdse2d_test.dir/tdse2d_test.cpp.o.d"
+  "tdse2d_test"
+  "tdse2d_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdse2d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tridiag_test.dir/tridiag_test.cpp.o"
+  "CMakeFiles/tridiag_test.dir/tridiag_test.cpp.o.d"
+  "tridiag_test"
+  "tridiag_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tridiag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
