@@ -1,0 +1,225 @@
+#include "core/checkpoint.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <vector>
+
+#include "util/atomic_io.hpp"
+#include "util/binary_io.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace qpinn::core {
+
+namespace {
+
+// Section tags of the v2 training checkpoint. Unknown tags are skipped on
+// load, so new sections can be added without breaking old readers.
+constexpr char kSectionEpoch[] = "epoch";
+constexpr char kSectionOptim[] = "optim";
+constexpr char kSectionRng[] = "rng";
+constexpr char kSectionRecovery[] = "recovery";
+constexpr char kSectionColloc[] = "colloc";
+
+void write_section(std::ostream& out, const std::string& tag,
+                   const std::string& payload) {
+  write_string(out, tag);
+  write_string(out, payload);
+}
+
+std::string payload_of(const std::function<void(std::ostream&)>& writer) {
+  std::ostringstream out(std::ios::binary);
+  writer(out);
+  return out.str();
+}
+
+std::uint64_t file_size(std::ifstream& in) {
+  const auto pos = in.tellg();
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  in.seekg(pos);
+  return end < 0 ? 0 : static_cast<std::uint64_t>(end);
+}
+
+}  // namespace
+
+void CheckpointConfig::validate() const {
+  if (dir.empty()) throw ConfigError("CheckpointConfig: dir must be set");
+  if (every < 0) throw ConfigError("CheckpointConfig: every must be >= 0");
+  if (max_write_retries < 0) {
+    throw ConfigError("CheckpointConfig: max_write_retries must be >= 0");
+  }
+}
+
+Checkpointer::Checkpointer(CheckpointConfig config)
+    : config_(std::move(config)) {
+  config_.validate();
+  std::error_code ec;
+  std::filesystem::create_directories(config_.dir, ec);
+  if (ec) {
+    throw IoError("cannot create checkpoint directory '" + config_.dir +
+                  "': " + ec.message());
+  }
+}
+
+std::string Checkpointer::last_path() const {
+  return config_.dir + "/last.qckpt";
+}
+
+std::string Checkpointer::best_path() const {
+  return config_.dir + "/best.qckpt";
+}
+
+bool Checkpointer::save_last(const nn::NamedParams& params,
+                             const TrainingState& state) {
+  return save_with_retry(last_path(), params, state);
+}
+
+bool Checkpointer::save_best(const nn::NamedParams& params,
+                             const TrainingState& state) {
+  if (!config_.keep_best) return false;
+  return save_with_retry(best_path(), params, state);
+}
+
+bool Checkpointer::save_with_retry(const std::string& path,
+                                   const nn::NamedParams& params,
+                                   const TrainingState& state) {
+  for (int attempt = 0; attempt <= config_.max_write_retries; ++attempt) {
+    try {
+      save_state(path, params, state);
+      return true;
+    } catch (const IoError& e) {
+      ++failed_writes_;
+      log::warn() << "checkpoint write to '" << path << "' failed (attempt "
+                  << (attempt + 1) << "): " << e.what();
+    }
+  }
+  log::warn() << "giving up on checkpoint '" << path
+              << "' after retries; training continues";
+  return false;
+}
+
+void Checkpointer::save_state(const std::string& path,
+                              const nn::NamedParams& params,
+                              const TrainingState& state) {
+  write_file_atomic(path, [&](std::ostream& out) {
+    nn::write_header(out);
+    nn::write_param_block(out, params);
+
+    std::vector<std::pair<std::string, std::string>> sections;
+    sections.emplace_back(kSectionEpoch, payload_of([&](std::ostream& s) {
+                            write_pod(s, state.epoch);
+                          }));
+    sections.emplace_back(
+        kSectionOptim, payload_of([&](std::ostream& s) {
+          write_pod(s, state.optimizer.step_count);
+          write_pod(s,
+                    static_cast<std::uint64_t>(state.optimizer.scalars.size()));
+          for (double v : state.optimizer.scalars) write_pod(s, v);
+          write_pod(s,
+                    static_cast<std::uint64_t>(state.optimizer.slots.size()));
+          for (const Tensor& t : state.optimizer.slots) nn::write_tensor(s, t);
+        }));
+    sections.emplace_back(kSectionRng, payload_of([&](std::ostream& s) {
+                            for (int i = 0; i < 4; ++i) {
+                              write_pod(s, state.resample_rng.s[i]);
+                            }
+                            write_pod(s, std::uint8_t{
+                                             state.resample_rng
+                                                 .has_cached_normal});
+                            write_pod(s, state.resample_rng.cached_normal);
+                          }));
+    sections.emplace_back(kSectionRecovery, payload_of([&](std::ostream& s) {
+                            write_pod(s, state.lr_scale);
+                            write_pod(s, state.recoveries);
+                            write_pod(s, state.best_loss);
+                          }));
+    if (state.has_interior) {
+      sections.emplace_back(kSectionColloc, payload_of([&](std::ostream& s) {
+                              nn::write_tensor(s, state.interior);
+                            }));
+    }
+
+    write_pod(out, static_cast<std::uint32_t>(sections.size()));
+    for (const auto& [tag, payload] : sections) {
+      write_section(out, tag, payload);
+    }
+    if (!out) throw IoError("failed while writing checkpoint '" + path + "'");
+  });
+}
+
+TrainingState Checkpointer::load_state(const std::string& path,
+                                       const nn::NamedParams& params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open checkpoint '" + path + "'");
+  const std::uint64_t size = file_size(in);
+
+  const std::uint32_t version = nn::read_header(in, path);
+  if (version < nn::kCheckpointVersion) {
+    throw IoError("'" + path +
+                  "' is a parameter-only (v1) checkpoint and holds no "
+                  "training state to resume from");
+  }
+  nn::read_param_block(in, params, size);
+
+  const auto n_sections = read_pod<std::uint32_t>(in, "section count");
+  if (n_sections > nn::kMaxSectionCount) {
+    throw IoError("section count " + std::to_string(n_sections) +
+                  " exceeds limit " + std::to_string(nn::kMaxSectionCount));
+  }
+
+  TrainingState state;
+  for (std::uint32_t i = 0; i < n_sections; ++i) {
+    const std::string tag =
+        read_string(in, nn::kMaxSectionTagLen, "section tag");
+    const std::string payload = read_string(in, size, "section '" + tag + "'");
+    std::istringstream s(payload, std::ios::binary);
+    if (tag == kSectionEpoch) {
+      state.epoch = read_pod<std::int64_t>(s, "epoch");
+    } else if (tag == kSectionOptim) {
+      state.optimizer.step_count =
+          read_pod<std::int64_t>(s, "optimizer step count");
+      const auto n_scalars =
+          read_pod<std::uint64_t>(s, "optimizer scalar count");
+      if (n_scalars > payload.size() / sizeof(double)) {
+        throw IoError("optimizer scalar count " + std::to_string(n_scalars) +
+                      " exceeds the section payload");
+      }
+      state.optimizer.scalars.reserve(n_scalars);
+      for (std::uint64_t k = 0; k < n_scalars; ++k) {
+        state.optimizer.scalars.push_back(
+            read_pod<double>(s, "optimizer scalar"));
+      }
+      const auto n_slots = read_pod<std::uint64_t>(s, "optimizer slot count");
+      if (n_slots > payload.size() / sizeof(double)) {
+        throw IoError("optimizer slot count " + std::to_string(n_slots) +
+                      " exceeds the section payload");
+      }
+      state.optimizer.slots.reserve(n_slots);
+      for (std::uint64_t k = 0; k < n_slots; ++k) {
+        state.optimizer.slots.push_back(
+            nn::read_tensor(s, payload.size(), "optimizer slot"));
+      }
+    } else if (tag == kSectionRng) {
+      for (int k = 0; k < 4; ++k) {
+        state.resample_rng.s[k] = read_pod<std::uint64_t>(s, "rng state");
+      }
+      state.resample_rng.has_cached_normal =
+          read_pod<std::uint8_t>(s, "rng cache flag") != 0;
+      state.resample_rng.cached_normal = read_pod<double>(s, "rng cache");
+    } else if (tag == kSectionRecovery) {
+      state.lr_scale = read_pod<double>(s, "lr scale");
+      state.recoveries = read_pod<std::int64_t>(s, "recovery count");
+      state.best_loss = read_pod<double>(s, "best loss");
+    } else if (tag == kSectionColloc) {
+      state.interior = nn::read_tensor(s, payload.size(), "collocation");
+      state.has_interior = true;
+    }
+    // Unknown tags: payload already consumed, simply skipped.
+  }
+  return state;
+}
+
+}  // namespace qpinn::core

@@ -1,0 +1,84 @@
+// Full-training-state checkpointing (format v2).
+//
+// A v2 training checkpoint extends the nn parameter block with tagged
+// sections holding the optimizer moments + step count, the resampling RNG,
+// the LR recovery scale, the epoch counter, and the live interior
+// collocation set — everything Trainer needs to resume a killed run
+// bit-for-bit. Writes are crash-consistent (tmp + flush + fsync + rename)
+// and rotate a `last.qckpt` / `best.qckpt` pair; a failed write is retried
+// and then *skipped* with a warning, because losing one snapshot must not
+// kill a multi-hour training run.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "nn/serialize.hpp"
+#include "optim/optimizer.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace qpinn::core {
+
+/// Everything beyond the model parameters that a resumed run needs.
+struct TrainingState {
+  std::int64_t epoch = -1;  ///< last completed epoch (-1: nothing run)
+  double lr_scale = 1.0;    ///< LR multiplier from divergence backoff
+  std::int64_t recoveries = 0;
+  double best_loss = std::numeric_limits<double>::infinity();
+  optim::OptimizerState optimizer;
+  RngState resample_rng;
+  /// Interior collocation snapshot (rank 2 when present), so a resumed run
+  /// trains on the exact points of the interrupted one until the next
+  /// resample.
+  Tensor interior;
+  bool has_interior = false;
+};
+
+struct CheckpointConfig {
+  std::string dir = "checkpoints";
+  /// Save cadence in epochs (0: only the final checkpoint of fit()).
+  std::int64_t every = 0;
+  /// Also rotate best.qckpt whenever the total loss improves.
+  bool keep_best = true;
+  /// Additional attempts after a failed write before giving up on that
+  /// snapshot (training continues either way).
+  int max_write_retries = 1;
+
+  void validate() const;
+};
+
+class Checkpointer {
+ public:
+  explicit Checkpointer(CheckpointConfig config);
+
+  std::string last_path() const;
+  std::string best_path() const;
+
+  /// Rotating saves with retry; return false when the write failed even
+  /// after retries (the failure is logged, never thrown).
+  bool save_last(const nn::NamedParams& params, const TrainingState& state);
+  bool save_best(const nn::NamedParams& params, const TrainingState& state);
+
+  /// Failed write attempts so far (each retry counts).
+  std::int64_t failed_writes() const { return failed_writes_; }
+
+  /// Atomic single-file write of a full training state; throws IoError.
+  static void save_state(const std::string& path, const nn::NamedParams& params,
+                         const TrainingState& state);
+
+  /// Loads parameters in place and returns the training state. Rejects v1
+  /// (parameter-only) files — they carry no state to resume from.
+  static TrainingState load_state(const std::string& path,
+                                  const nn::NamedParams& params);
+
+ private:
+  bool save_with_retry(const std::string& path, const nn::NamedParams& params,
+                       const TrainingState& state);
+
+  CheckpointConfig config_;
+  std::int64_t failed_writes_ = 0;
+};
+
+}  // namespace qpinn::core

@@ -1,11 +1,14 @@
 #include "core/trainer.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <deque>
 
 #include "autodiff/grad.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tensor/kernels.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
 
@@ -13,6 +16,25 @@ namespace qpinn::core {
 
 using autodiff::Variable;
 using namespace autodiff;
+
+void RecoveryConfig::validate() const {
+  if (max_recoveries < 0) {
+    throw ConfigError("RecoveryConfig: max_recoveries must be >= 0");
+  }
+  if (lr_backoff <= 0.0 || lr_backoff > 1.0) {
+    throw ConfigError("RecoveryConfig: lr_backoff must be in (0, 1]");
+  }
+  if (explosion_factor != 0.0 && explosion_factor <= 1.0) {
+    throw ConfigError(
+        "RecoveryConfig: explosion_factor must be > 1 (or 0 to disable)");
+  }
+  if (explosion_window < 1) {
+    throw ConfigError("RecoveryConfig: explosion_window must be >= 1");
+  }
+  if (snapshot_every < 1) {
+    throw ConfigError("RecoveryConfig: snapshot_every must be >= 1");
+  }
+}
 
 void TrainConfig::validate() const {
   if (epochs < 1) throw ConfigError("TrainConfig: epochs must be >= 1");
@@ -32,6 +54,8 @@ void TrainConfig::validate() const {
     throw ConfigError("TrainConfig: metric grid must be at least 2x2");
   }
   if (curriculum) curriculum->validate();
+  if (recovery) recovery->validate();
+  if (checkpoint) checkpoint->validate();
 }
 
 const EpochRecord& TrainResult::at_epoch(std::int64_t epoch) const {
@@ -193,7 +217,7 @@ Trainer::LossAndGrads Trainer::compute(std::int64_t epoch) {
 }
 
 EpochRecord Trainer::step(std::int64_t epoch) {
-  const double lr = schedule_->lr_at(epoch, config_.adam.lr);
+  const double lr = lr_scale_ * schedule_->lr_at(epoch, config_.adam.lr);
   optimizer_->set_lr(lr);
 
   if (config_.resample_every > 0 && epoch > 0 &&
@@ -207,7 +231,13 @@ EpochRecord Trainer::step(std::int64_t epoch) {
   }
 
   LossAndGrads lg = compute(epoch);
-  if (config_.check_finite && !std::isfinite(lg.total)) {
+  if (fault_fires(kFaultTrainerNanLoss)) {
+    lg.total = std::numeric_limits<double>::quiet_NaN();
+  }
+  if (fault_fires(kFaultTrainerExplodeLoss)) {
+    lg.total *= 1e9;
+  }
+  if ((config_.check_finite || config_.recovery) && !std::isfinite(lg.total)) {
     throw NumericsError("training loss became non-finite at epoch " +
                         std::to_string(epoch));
   }
@@ -218,6 +248,10 @@ EpochRecord Trainer::step(std::int64_t epoch) {
     double sq = 0.0;
     for (const Tensor& g : lg.grads) sq += kernels::dot(g, g);
     grad_norm = std::sqrt(sq);
+  }
+  if ((config_.check_finite || config_.recovery) && !std::isfinite(grad_norm)) {
+    throw NumericsError("gradient norm became non-finite at epoch " +
+                        std::to_string(epoch));
   }
   optimizer_->step(lg.grads);
 
@@ -236,12 +270,147 @@ double Trainer::evaluate_l2() {
                      config_.metric_nx, config_.metric_nt);
 }
 
+bool Trainer::stop_requested() const {
+  if (stop_requested_.load(std::memory_order_relaxed)) return true;
+  return config_.stop_flag != nullptr &&
+         config_.stop_flag->load(std::memory_order_relaxed);
+}
+
+Trainer::Snapshot Trainer::take_snapshot(std::int64_t epoch) const {
+  Snapshot snapshot;
+  snapshot.epoch = epoch;
+  snapshot.params.reserve(params_.size());
+  for (const auto& p : params_) snapshot.params.push_back(p.value().clone());
+  snapshot.optimizer = optimizer_->export_state();
+  snapshot.rng = resample_rng_.state();
+  snapshot.interior = points_.interior.clone();
+  return snapshot;
+}
+
+void Trainer::restore_snapshot(const Snapshot& snapshot) {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Tensor& target = params_[i].mutable_value();
+    const Tensor& source = snapshot.params[i];
+    std::copy(source.data(), source.data() + source.numel(), target.data());
+  }
+  optimizer_->import_state(snapshot.optimizer);
+  resample_rng_.set_state(snapshot.rng);
+  points_.interior = snapshot.interior.clone();
+}
+
+TrainingState Trainer::make_state(std::int64_t epoch) const {
+  TrainingState state;
+  state.epoch = epoch;
+  state.lr_scale = lr_scale_;
+  state.recoveries = recoveries_;
+  state.best_loss = best_loss_;
+  state.optimizer = optimizer_->export_state();
+  state.resample_rng = resample_rng_.state();
+  state.interior = points_.interior.clone();
+  state.has_interior = true;
+  return state;
+}
+
+void Trainer::restore_state(const TrainingState& state) {
+  // Model parameters were already loaded in place by load_state.
+  optimizer_->import_state(state.optimizer);
+  resample_rng_.set_state(state.resample_rng);
+  lr_scale_ = state.lr_scale;
+  recoveries_ = state.recoveries;
+  best_loss_ = state.best_loss;
+  if (state.has_interior) {
+    QPINN_CHECK_SHAPE(state.interior.rank() == 2 &&
+                          state.interior.cols() == points_.interior.cols(),
+                      "resumed collocation set has the wrong shape");
+    points_.interior = state.interior.clone();
+  }
+}
+
 TrainResult Trainer::fit() {
   Stopwatch watch;
   TrainResult result;
-  result.history.reserve(static_cast<std::size_t>(config_.epochs));
-  for (std::int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
-    EpochRecord record = step(epoch);
+
+  std::int64_t start_epoch = 0;
+  if (!config_.resume_from.empty()) {
+    const TrainingState state = Checkpointer::load_state(
+        config_.resume_from, model_->named_parameters());
+    restore_state(state);
+    start_epoch = state.epoch + 1;
+    log::info() << problem_->name() << " resuming from '"
+                << config_.resume_from << "' at epoch " << start_epoch;
+  }
+  result.start_epoch = start_epoch;
+
+  std::unique_ptr<Checkpointer> checkpointer;
+  if (config_.checkpoint) {
+    checkpointer = std::make_unique<Checkpointer>(*config_.checkpoint);
+  }
+  const auto last_completed = [&]() {
+    return result.history.empty() ? start_epoch - 1
+                                  : result.history.back().epoch;
+  };
+
+  const RecoveryConfig* recovery =
+      config_.recovery ? &*config_.recovery : nullptr;
+  Snapshot snapshot;
+  if (recovery) snapshot = take_snapshot(start_epoch - 1);
+  std::deque<double> window;  // trailing losses for explosion detection
+
+  result.history.reserve(
+      static_cast<std::size_t>(std::max<std::int64_t>(
+          0, config_.epochs - start_epoch)));
+  std::int64_t epoch = start_epoch;
+  while (epoch < config_.epochs) {
+    EpochRecord record;
+    std::string failure;
+    try {
+      record = step(epoch);
+    } catch (const NumericsError& e) {
+      if (!recovery) throw;
+      failure = e.what();
+    }
+    if (failure.empty() && recovery && recovery->explosion_factor > 0.0 &&
+        !window.empty()) {
+      const double floor = *std::min_element(window.begin(), window.end());
+      if (record.total_loss > recovery->explosion_factor * floor) {
+        failure = "loss " + std::to_string(record.total_loss) + " exploded " +
+                  std::to_string(recovery->explosion_factor) +
+                  "x past the trailing minimum " + std::to_string(floor) +
+                  " at epoch " + std::to_string(epoch);
+      }
+    }
+
+    if (!failure.empty()) {
+      restore_snapshot(snapshot);
+      // Epochs past the rollback point either rerun or never happened;
+      // drop their records so history matches the restored state.
+      while (!result.history.empty() &&
+             result.history.back().epoch > snapshot.epoch) {
+        result.history.pop_back();
+      }
+      window.clear();
+      if (recoveries_ >= recovery->max_recoveries) {
+        // Graceful degradation: keep the last good state, report, stop.
+        result.diverged = true;
+        log::warn() << problem_->name() << " giving up after "
+                    << recoveries_ << " recoveries: " << failure;
+        break;
+      }
+      lr_scale_ *= recovery->lr_backoff;
+      ++recoveries_;
+      RecoveryEvent event;
+      event.detected_epoch = epoch;
+      event.rollback_epoch = snapshot.epoch;
+      event.lr_scale = lr_scale_;
+      event.reason = failure;
+      log::warn() << problem_->name() << " recovery " << recoveries_
+                  << ": rolling back to epoch " << snapshot.epoch
+                  << " with lr scale " << lr_scale_ << " (" << failure << ")";
+      result.recovery_events.push_back(std::move(event));
+      epoch = snapshot.epoch + 1;
+      continue;
+    }
+
     if (config_.eval_every > 0 && (epoch % config_.eval_every == 0 ||
                                    epoch + 1 == config_.epochs)) {
       record.l2 = evaluate_l2();
@@ -252,10 +421,50 @@ TrainResult Trainer::fit() {
            << record.total_loss;
       if (!std::isnan(record.l2)) line << " L2 " << record.l2;
     }
+    const double loss = record.total_loss;
     result.history.push_back(std::move(record));
+
+    if (recovery) {
+      window.push_back(loss);
+      while (static_cast<std::int64_t>(window.size()) >
+             recovery->explosion_window) {
+        window.pop_front();
+      }
+      if ((epoch + 1) % recovery->snapshot_every == 0) {
+        snapshot = take_snapshot(epoch);
+      }
+    }
+
+    const bool improved = loss < best_loss_;
+    if (improved) best_loss_ = loss;
+    // `best` tracks every improving epoch (the best model cannot be
+    // reconstructed later); `last` rotates on the configured cadence.
+    if (checkpointer && improved && config_.checkpoint->keep_best) {
+      checkpointer->save_best(model_->named_parameters(), make_state(epoch));
+    }
+    if (checkpointer && config_.checkpoint->every > 0 &&
+        (epoch + 1) % config_.checkpoint->every == 0) {
+      checkpointer->save_last(model_->named_parameters(), make_state(epoch));
+    }
+
+    ++epoch;
+    if (stop_requested()) {
+      result.interrupted = epoch < config_.epochs;
+      break;
+    }
   }
-  result.epochs_run = config_.epochs;
-  result.final_loss = result.history.back().total_loss;
+
+  if (checkpointer && last_completed() >= 0) {
+    // Final checkpoint — also the graceful-shutdown write.
+    checkpointer->save_last(model_->named_parameters(),
+                            make_state(last_completed()));
+  }
+
+  result.recoveries = static_cast<std::int64_t>(result.recovery_events.size());
+  result.epochs_run = static_cast<std::int64_t>(result.history.size());
+  if (!result.history.empty()) {
+    result.final_loss = result.history.back().total_loss;
+  }
   result.final_l2 = evaluate_l2();
   result.seconds = watch.seconds();
   return result;

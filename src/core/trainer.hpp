@@ -6,13 +6,22 @@
 // parameter leaves, and the per-shard gradients are reduced in shard order
 // (deterministic). This mirrors the batch-parallel GPU training of the
 // original system on a shared-memory thread pool.
+//
+// The loop is fault-tolerant: optional crash-consistent checkpoints with
+// resume (TrainConfig::checkpoint / resume_from), automatic rollback + LR
+// backoff on divergence (TrainConfig::recovery), and cooperative shutdown
+// (Trainer::request_stop / TrainConfig::stop_flag) that finishes the
+// current epoch and writes a final checkpoint.
 #pragma once
 
+#include <atomic>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "core/checkpoint.hpp"
 #include "core/curriculum.hpp"
 #include "core/metrics.hpp"
 #include "core/problem.hpp"
@@ -20,6 +29,33 @@
 #include "optim/scheduler.hpp"
 
 namespace qpinn::core {
+
+/// Divergence-recovery policy. When a step's loss or gradients go
+/// non-finite — or the loss exceeds `explosion_factor` times the minimum of
+/// the trailing window — the trainer rolls model, optimizer, and RNG back
+/// to the last good in-memory snapshot, decays the LR by `lr_backoff`, and
+/// retries from there; after `max_recoveries` rollbacks it gives up
+/// gracefully (TrainResult.diverged) instead of throwing.
+struct RecoveryConfig {
+  std::int64_t max_recoveries = 3;
+  double lr_backoff = 0.5;  ///< multiplied into the LR on each recovery
+  /// Diverged when loss > factor * min(trailing window); 0 disables the
+  /// explosion check (non-finite values still trigger recovery).
+  double explosion_factor = 0.0;
+  std::int64_t explosion_window = 20;
+  /// In-memory snapshot cadence in epochs (rollback granularity).
+  std::int64_t snapshot_every = 25;
+
+  void validate() const;
+};
+
+/// One rollback performed by the divergence-recovery policy.
+struct RecoveryEvent {
+  std::int64_t detected_epoch = 0;  ///< epoch whose step diverged
+  std::int64_t rollback_epoch = 0;  ///< last good epoch restored
+  double lr_scale = 1.0;            ///< LR multiplier in effect afterwards
+  std::string reason;
+};
 
 struct TrainConfig {
   std::int64_t epochs = 2000;
@@ -43,8 +79,18 @@ struct TrainConfig {
   std::int64_t log_every = 0;
   /// Interior-shard count for data-parallel training (1 = serial).
   std::size_t threads = 1;
-  /// Throw NumericsError when the loss goes non-finite.
+  /// Throw NumericsError when the loss goes non-finite. (With `recovery`
+  /// set, non-finite steps are rolled back instead of thrown regardless.)
   bool check_finite = true;
+  /// Roll back + LR-backoff on divergence instead of throwing.
+  std::optional<RecoveryConfig> recovery;
+  /// Periodic crash-consistent checkpoints (last/best rotation).
+  std::optional<CheckpointConfig> checkpoint;
+  /// Path of a v2 training checkpoint to resume from (empty: fresh start).
+  std::string resume_from;
+  /// Optional external stop flag (e.g. set from a SIGINT handler); polled
+  /// after every epoch, same semantics as Trainer::request_stop().
+  const std::atomic<bool>* stop_flag = nullptr;
 
   void validate() const;
 };
@@ -65,6 +111,15 @@ struct TrainResult {
   double final_l2 = 0.0;
   double seconds = 0.0;
   std::int64_t epochs_run = 0;
+  /// First epoch of this fit() call (nonzero when resumed).
+  std::int64_t start_epoch = 0;
+  /// Every rollback performed; recoveries == recovery_events.size().
+  std::vector<RecoveryEvent> recovery_events;
+  std::int64_t recoveries = 0;
+  /// Gave up after max_recoveries (model restored to the last good state).
+  bool diverged = false;
+  /// Stopped cooperatively before the configured epoch count.
+  bool interrupted = false;
 
   /// First epoch record at-or-after `epoch` (for convergence plots).
   const EpochRecord& at_epoch(std::int64_t epoch) const;
@@ -84,6 +139,14 @@ class Trainer {
 
   /// Relative L2 of the current model against the problem reference.
   double evaluate_l2();
+
+  /// Cooperative stop: the current epoch finishes, a final checkpoint is
+  /// written (when checkpointing is configured), and fit() returns a
+  /// partial TrainResult with interrupted = true. Async-signal-safe.
+  void request_stop() {
+    stop_requested_.store(true, std::memory_order_relaxed);
+  }
+  bool stop_requested() const;
 
   const CollocationSet& collocation() const { return points_; }
   FieldModel& model() { return *model_; }
@@ -112,6 +175,21 @@ class Trainer {
                                     aux_out,
                                 double* aux_weighted_sum);
 
+  /// In-memory rollback point for divergence recovery.
+  struct Snapshot {
+    std::int64_t epoch = -1;  ///< last completed epoch at snapshot time
+    std::vector<Tensor> params;
+    optim::OptimizerState optimizer;
+    RngState rng;
+    Tensor interior;
+  };
+  Snapshot take_snapshot(std::int64_t epoch) const;
+  void restore_snapshot(const Snapshot& snapshot);
+
+  /// Checkpoint assembly / restore (epoch = last completed epoch).
+  TrainingState make_state(std::int64_t epoch) const;
+  void restore_state(const TrainingState& state);
+
   std::shared_ptr<Problem> problem_;
   std::shared_ptr<FieldModel> model_;
   TrainConfig config_;
@@ -120,6 +198,10 @@ class Trainer {
   std::vector<autodiff::Variable> params_;
   std::unique_ptr<optim::Adam> optimizer_;
   std::unique_ptr<optim::LrSchedule> schedule_;
+  double lr_scale_ = 1.0;  ///< divergence-recovery LR backoff multiplier
+  std::int64_t recoveries_ = 0;
+  double best_loss_ = std::numeric_limits<double>::infinity();
+  std::atomic<bool> stop_requested_{false};
 };
 
 }  // namespace qpinn::core

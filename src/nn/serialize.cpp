@@ -1,93 +1,108 @@
 #include "nn/serialize.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <map>
 
+#include "util/atomic_io.hpp"
+#include "util/binary_io.hpp"
 #include "util/error.hpp"
 
 namespace qpinn::nn {
 
 namespace {
 constexpr char kMagic[4] = {'Q', 'P', 'N', 'N'};
-constexpr std::uint32_t kVersion = 1;
 
-template <typename T>
-void write_pod(std::ofstream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <typename T>
-T read_pod(std::ifstream& in) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  if (!in) throw IoError("checkpoint truncated");
-  return value;
+/// Size of the stream in bytes (restores the read position).
+std::uint64_t stream_size(std::istream& in) {
+  const auto pos = in.tellg();
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  in.seekg(pos);
+  return end < 0 ? 0 : static_cast<std::uint64_t>(end);
 }
 }  // namespace
 
-void save_parameters(
-    const std::string& path,
-    const std::vector<std::pair<std::string, autodiff::Variable>>& params) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw IoError("cannot open '" + path + "' for writing");
-
+void write_header(std::ostream& out, std::uint32_t version) {
   out.write(kMagic, sizeof(kMagic));
-  write_pod(out, kVersion);
-  write_pod(out, static_cast<std::uint64_t>(params.size()));
-  for (const auto& [name, variable] : params) {
-    const Tensor& tensor = variable.value();
-    write_pod(out, static_cast<std::uint64_t>(name.size()));
-    out.write(name.data(), static_cast<std::streamsize>(name.size()));
-    write_pod(out, static_cast<std::uint64_t>(tensor.rank()));
-    for (std::int64_t d = 0; d < tensor.rank(); ++d) {
-      write_pod(out, static_cast<std::uint64_t>(tensor.dim(d)));
-    }
-    out.write(reinterpret_cast<const char*>(tensor.data()),
-              static_cast<std::streamsize>(tensor.numel() *
-                                           static_cast<std::int64_t>(
-                                               sizeof(double))));
-  }
-  if (!out) throw IoError("failed while writing checkpoint '" + path + "'");
+  write_pod(out, version);
 }
 
-void load_parameters(
-    const std::string& path,
-    const std::vector<std::pair<std::string, autodiff::Variable>>& params) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw IoError("cannot open checkpoint '" + path + "'");
-
+std::uint32_t read_header(std::istream& in, const std::string& path) {
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in || std::string(magic, 4) != std::string(kMagic, 4)) {
     throw IoError("'" + path + "' is not a qpinn checkpoint");
   }
-  const auto version = read_pod<std::uint32_t>(in);
-  if (version != kVersion) {
+  const auto version = read_pod<std::uint32_t>(in, "checkpoint version");
+  if (version != kCheckpointVersionV1 && version != kCheckpointVersion) {
     throw IoError("unsupported checkpoint version " + std::to_string(version));
   }
-  const auto count = read_pod<std::uint64_t>(in);
+  return version;
+}
+
+void write_tensor(std::ostream& out, const Tensor& tensor) {
+  write_pod(out, static_cast<std::uint64_t>(tensor.rank()));
+  for (std::int64_t d = 0; d < tensor.rank(); ++d) {
+    write_pod(out, static_cast<std::uint64_t>(tensor.dim(d)));
+  }
+  out.write(reinterpret_cast<const char*>(tensor.data()),
+            static_cast<std::streamsize>(
+                tensor.numel() * static_cast<std::int64_t>(sizeof(double))));
+}
+
+Tensor read_tensor(std::istream& in, std::uint64_t max_bytes,
+                   const std::string& field) {
+  const auto rank = read_pod<std::uint64_t>(in, field + " rank");
+  if (rank > kMaxTensorRank) {
+    throw IoError(field + " rank " + std::to_string(rank) +
+                  " exceeds limit " + std::to_string(kMaxTensorRank));
+  }
+  const std::uint64_t max_elems = max_bytes / sizeof(double);
+  Shape shape(rank);
+  std::uint64_t count = 1;
+  for (auto& d : shape) {
+    const auto extent = read_pod<std::uint64_t>(in, field + " extent");
+    if (extent == 0 || extent > max_elems || count > max_elems / extent) {
+      throw IoError(field + " extent " + std::to_string(extent) +
+                    " implies a payload larger than the file");
+    }
+    count *= extent;
+    d = static_cast<std::int64_t>(extent);
+  }
+  Tensor tensor = Tensor::zeros(std::move(shape));
+  in.read(reinterpret_cast<char*>(tensor.data()),
+          static_cast<std::streamsize>(count * sizeof(double)));
+  if (!in) throw IoError("truncated while reading " + field + " data");
+  return tensor;
+}
+
+void write_param_block(std::ostream& out, const NamedParams& params) {
+  write_pod(out, static_cast<std::uint64_t>(params.size()));
+  for (const auto& [name, variable] : params) {
+    write_string(out, name);
+    write_tensor(out, variable.value());
+  }
+}
+
+void read_param_block(std::istream& in, const NamedParams& params,
+                      std::uint64_t max_bytes) {
+  const auto count = read_pod<std::uint64_t>(in, "parameter count");
+  if (count > kMaxParamCount) {
+    throw IoError("parameter count " + std::to_string(count) +
+                  " exceeds limit " + std::to_string(kMaxParamCount));
+  }
 
   std::map<std::string, autodiff::Variable> by_name;
   for (const auto& [name, variable] : params) by_name.emplace(name, variable);
 
   std::uint64_t matched = 0;
   for (std::uint64_t i = 0; i < count; ++i) {
-    const auto name_len = read_pod<std::uint64_t>(in);
-    std::string name(name_len, '\0');
-    in.read(name.data(), static_cast<std::streamsize>(name_len));
-    if (!in) throw IoError("checkpoint truncated");
-    const auto rank = read_pod<std::uint64_t>(in);
-    Shape shape(rank);
-    for (auto& d : shape) {
-      d = static_cast<std::int64_t>(read_pod<std::uint64_t>(in));
-    }
-    const std::int64_t n = numel(shape);
-    std::vector<double> data(static_cast<std::size_t>(n));
-    in.read(reinterpret_cast<char*>(data.data()),
-            static_cast<std::streamsize>(n * static_cast<std::int64_t>(
-                                                 sizeof(double))));
-    if (!in) throw IoError("checkpoint truncated");
+    const std::string name =
+        read_string(in, kMaxParamNameLen, "parameter name");
+    const Tensor loaded =
+        read_tensor(in, max_bytes, "parameter '" + name + "'");
 
     auto it = by_name.find(name);
     if (it == by_name.end()) {
@@ -95,11 +110,12 @@ void load_parameters(
                        "' has no match in the target module");
     }
     Tensor& target = it->second.mutable_value();
-    QPINN_CHECK_SHAPE(target.shape() == shape,
+    QPINN_CHECK_SHAPE(target.shape() == loaded.shape(),
                       "checkpoint parameter '" + name + "' has shape " +
-                          shape_to_string(shape) + " but target expects " +
+                          shape_to_string(loaded.shape()) +
+                          " but target expects " +
                           shape_to_string(target.shape()));
-    std::copy(data.begin(), data.end(), target.data());
+    std::copy(loaded.data(), loaded.data() + loaded.numel(), target.data());
     ++matched;
   }
   if (matched != params.size()) {
@@ -107,6 +123,24 @@ void load_parameters(
                      " of the module's " + std::to_string(params.size()) +
                      " parameters");
   }
+}
+
+void save_parameters(const std::string& path, const NamedParams& params) {
+  write_file_atomic(path, [&](std::ostream& out) {
+    write_header(out);
+    write_param_block(out, params);
+    write_pod(out, std::uint32_t{0});  // empty section table
+    if (!out) throw IoError("failed while writing checkpoint '" + path + "'");
+  });
+}
+
+void load_parameters(const std::string& path, const NamedParams& params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open checkpoint '" + path + "'");
+  const std::uint64_t size = stream_size(in);
+  read_header(in, path);
+  // v2 sections (if any) carry training state, not parameters — ignored.
+  read_param_block(in, params, size);
 }
 
 }  // namespace qpinn::nn

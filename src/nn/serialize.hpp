@@ -1,9 +1,24 @@
 // Binary checkpointing of module parameters.
 //
-// Format: magic "QPNN", u32 version, u64 count, then per parameter:
-// u64 name length, name bytes, u64 rank, u64 extents..., f64 data...
+// Format v2: magic "QPNN", u32 version, then a parameter block
+// (u64 count; per parameter: u64 name length, name bytes, u64 rank,
+// u64 extents..., f64 data...) followed by a section table
+// (u32 section count; per section: u64 tag length, tag bytes, u64 payload
+// bytes, payload). save_parameters writes v2 with an empty section table;
+// core::Checkpointer reuses the same param block and stores full training
+// state (optimizer moments, RNG, epoch, collocation) in tagged sections.
+// Version 1 files — parameter block only, no section table — remain
+// readable. Unknown sections are skipped, so the format is forward-open.
+//
+// Writes are crash-consistent (tmp file + flush + fsync + rename) and
+// loading is hardened against corrupt or adversarial files: every length,
+// rank, and extent is bounded (by fixed limits and by the file size) before
+// any allocation, so a flipped byte produces an IoError naming the bad
+// field instead of a multi-gigabyte allocation.
 #pragma once
 
+#include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <utility>
 #include <vector>
@@ -12,15 +27,48 @@
 
 namespace qpinn::nn {
 
-/// Writes named parameters to `path`; throws IoError on failure.
-void save_parameters(
-    const std::string& path,
-    const std::vector<std::pair<std::string, autodiff::Variable>>& params);
+using NamedParams = std::vector<std::pair<std::string, autodiff::Variable>>;
 
-/// Loads a checkpoint into existing parameters (matched by name; shapes
-/// must agree). Throws IoError / ShapeError / ValueError on mismatch.
-void load_parameters(
-    const std::string& path,
-    const std::vector<std::pair<std::string, autodiff::Variable>>& params);
+/// Current file-format version (parameter block + section table).
+constexpr std::uint32_t kCheckpointVersion = 2;
+/// Legacy parameter-only version still accepted by load_parameters.
+constexpr std::uint32_t kCheckpointVersionV1 = 1;
+
+// Hardening bounds applied while reading untrusted files.
+constexpr std::uint64_t kMaxParamCount = 1ULL << 20;
+constexpr std::uint64_t kMaxParamNameLen = 4096;
+constexpr std::uint64_t kMaxTensorRank = 8;
+constexpr std::uint32_t kMaxSectionCount = 256;
+constexpr std::uint64_t kMaxSectionTagLen = 256;
+
+/// Writes named parameters to `path` atomically; throws IoError on failure.
+void save_parameters(const std::string& path, const NamedParams& params);
+
+/// Loads a v1 or v2 checkpoint into existing parameters (matched by name;
+/// shapes must agree). Throws IoError / ShapeError / ValueError on
+/// corruption or mismatch. Sections of v2 files are ignored.
+void load_parameters(const std::string& path, const NamedParams& params);
+
+// ---- stream-level building blocks (shared with core::Checkpointer) ------
+
+/// Writes the "QPNN" magic and a version word.
+void write_header(std::ostream& out,
+                  std::uint32_t version = kCheckpointVersion);
+/// Reads and validates the magic; returns the version (1 or 2). `path`
+/// labels errors.
+std::uint32_t read_header(std::istream& in, const std::string& path);
+
+/// Writes one tensor as u64 rank, u64 extents..., f64 data...
+void write_tensor(std::ostream& out, const Tensor& tensor);
+/// Bounded tensor read: rejects rank/extents whose payload would exceed
+/// `max_bytes` (pass the file size) before allocating.
+Tensor read_tensor(std::istream& in, std::uint64_t max_bytes,
+                   const std::string& field);
+
+void write_param_block(std::ostream& out, const NamedParams& params);
+/// Reads a param block into existing parameters; `max_bytes` as in
+/// read_tensor.
+void read_param_block(std::istream& in, const NamedParams& params,
+                      std::uint64_t max_bytes);
 
 }  // namespace qpinn::nn

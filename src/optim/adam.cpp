@@ -22,6 +22,27 @@ void Adam::reset() {
   step_count_ = 0;
 }
 
+OptimizerState Adam::export_state() const {
+  OptimizerState state;
+  state.step_count = step_count_;
+  detail::clone_into_slots(state.slots, m_);
+  detail::clone_into_slots(state.slots, v_);
+  return state;
+}
+
+void Adam::import_state(const OptimizerState& state) {
+  if (state.slots.empty()) {
+    m_.clear();
+    v_.clear();
+  } else {
+    QPINN_CHECK(state.slots.size() == 2 * params_.size(),
+                "Adam::import_state expects 2 slots per parameter");
+    m_ = detail::clone_slot_group(state, 0, params_, "Adam m");
+    v_ = detail::clone_slot_group(state, params_.size(), params_, "Adam v");
+  }
+  step_count_ = state.step_count;
+}
+
 void Adam::apply(const std::vector<Tensor>& grads) {
   if (m_.empty()) {
     m_.reserve(params_.size());

@@ -26,6 +26,10 @@ class Adam : public Optimizer {
   void reset() override;
   std::int64_t step_count() const { return step_count_; }
 
+  /// Slots layout: [m_0..m_{n-1}, v_0..v_{n-1}] (empty before first step).
+  OptimizerState export_state() const override;
+  void import_state(const OptimizerState& state) override;
+
  protected:
   void apply(const std::vector<Tensor>& grads) override;
 

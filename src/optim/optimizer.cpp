@@ -37,6 +37,33 @@ void Optimizer::step(const std::vector<Tensor>& grads) {
   apply(grads);
 }
 
+namespace detail {
+
+void clone_into_slots(std::vector<Tensor>& slots,
+                      const std::vector<Tensor>& buffers) {
+  slots.reserve(slots.size() + buffers.size());
+  for (const Tensor& t : buffers) slots.push_back(t.clone());
+}
+
+std::vector<Tensor> clone_slot_group(
+    const OptimizerState& state, std::size_t offset,
+    const std::vector<autodiff::Variable>& params, const char* what) {
+  QPINN_CHECK(offset + params.size() <= state.slots.size(),
+              std::string(what) + ": optimizer state is missing slots");
+  std::vector<Tensor> group;
+  group.reserve(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const Tensor& slot = state.slots[offset + i];
+    QPINN_CHECK_SHAPE(slot.same_shape(params[i].value()),
+                      std::string(what) + ": slot " + std::to_string(i) +
+                          " shape mismatch");
+    group.push_back(slot.clone());
+  }
+  return group;
+}
+
+}  // namespace detail
+
 double clip_grad_norm(std::vector<Tensor>& grads, double max_norm) {
   QPINN_CHECK(max_norm > 0.0, "clip_grad_norm: max_norm must be positive");
   double sq = 0.0;

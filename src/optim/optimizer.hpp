@@ -11,6 +11,19 @@
 
 namespace qpinn::optim {
 
+/// Snapshot of an optimizer's mutable state in a backend-agnostic layout:
+/// per-parameter buffers (moments, velocities, ...) in `slots`, ordered
+/// buffer-major (all of buffer 0 across parameters, then all of buffer 1),
+/// plus a step counter and optimizer-specific scalars. Produced by
+/// export_state(), consumed by import_state(), serialized verbatim by
+/// core::Checkpointer — so checkpoint/rollback code never needs to know
+/// which optimizer it is saving.
+struct OptimizerState {
+  std::int64_t step_count = 0;
+  std::vector<double> scalars;
+  std::vector<Tensor> slots;  ///< deep copies, detached from the optimizer
+};
+
 class Optimizer {
  public:
   explicit Optimizer(std::vector<autodiff::Variable> params, double lr);
@@ -22,6 +35,14 @@ class Optimizer {
 
   /// Clears internal state (moments, step counters).
   virtual void reset() = 0;
+
+  /// Deep-copies the mutable state (for in-memory rollback snapshots and
+  /// on-disk checkpoints). Empty slots mean "no state accumulated yet".
+  virtual OptimizerState export_state() const = 0;
+
+  /// Restores a state produced by export_state() on an optimizer with the
+  /// same parameter shapes; throws ValueError/ShapeError on mismatch.
+  virtual void import_state(const OptimizerState& state) = 0;
 
   double lr() const { return lr_; }
   void set_lr(double lr);
@@ -39,5 +60,18 @@ class Optimizer {
 /// Scales `grads` in place so their global L2 norm is at most `max_norm`;
 /// returns the pre-clip norm.
 double clip_grad_norm(std::vector<Tensor>& grads, double max_norm);
+
+namespace detail {
+/// Clones every tensor of `buffers` onto the end of `slots`.
+void clone_into_slots(std::vector<Tensor>& slots,
+                      const std::vector<Tensor>& buffers);
+/// Extracts one per-parameter buffer group from `state.slots[offset ...]`,
+/// shape-checked against `params`; `what` labels errors.
+std::vector<Tensor> clone_slot_group(const OptimizerState& state,
+                                     std::size_t offset,
+                                     const std::vector<autodiff::Variable>&
+                                         params,
+                                     const char* what);
+}  // namespace detail
 
 }  // namespace qpinn::optim

@@ -21,6 +21,29 @@ void Rmsprop::reset() {
   momentum_buf_.clear();
 }
 
+OptimizerState Rmsprop::export_state() const {
+  OptimizerState state;
+  detail::clone_into_slots(state.slots, sq_avg_);
+  detail::clone_into_slots(state.slots, momentum_buf_);
+  return state;
+}
+
+void Rmsprop::import_state(const OptimizerState& state) {
+  if (state.slots.empty()) {
+    sq_avg_.clear();
+    momentum_buf_.clear();
+    return;
+  }
+  const std::size_t n = params_.size();
+  QPINN_CHECK(state.slots.size() == n || state.slots.size() == 2 * n,
+              "Rmsprop::import_state expects 1 or 2 slots per parameter");
+  sq_avg_ = detail::clone_slot_group(state, 0, params_, "Rmsprop sq_avg");
+  momentum_buf_ =
+      state.slots.size() == 2 * n
+          ? detail::clone_slot_group(state, n, params_, "Rmsprop momentum")
+          : std::vector<Tensor>{};
+}
+
 void Rmsprop::apply(const std::vector<Tensor>& grads) {
   if (sq_avg_.empty()) {
     for (const auto& p : params_) {

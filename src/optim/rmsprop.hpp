@@ -18,6 +18,10 @@ class Rmsprop : public Optimizer {
 
   void reset() override;
 
+  /// Slots layout: [sq_avg...] or [sq_avg..., momentum_buf...].
+  OptimizerState export_state() const override;
+  void import_state(const OptimizerState& state) override;
+
  protected:
   void apply(const std::vector<Tensor>& grads) override;
 

@@ -16,6 +16,22 @@ Sgd::Sgd(std::vector<autodiff::Variable> params, const SgdConfig& config)
 
 void Sgd::reset() { velocity_.clear(); }
 
+OptimizerState Sgd::export_state() const {
+  OptimizerState state;
+  detail::clone_into_slots(state.slots, velocity_);
+  return state;
+}
+
+void Sgd::import_state(const OptimizerState& state) {
+  if (state.slots.empty()) {
+    velocity_.clear();
+    return;
+  }
+  QPINN_CHECK(state.slots.size() == params_.size(),
+              "Sgd::import_state expects 1 slot per parameter");
+  velocity_ = detail::clone_slot_group(state, 0, params_, "Sgd velocity");
+}
+
 void Sgd::apply(const std::vector<Tensor>& grads) {
   if (config_.momentum > 0.0 && velocity_.empty()) {
     velocity_.reserve(params_.size());

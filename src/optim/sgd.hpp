@@ -19,6 +19,10 @@ class Sgd : public Optimizer {
 
   void reset() override;
 
+  /// Slots layout: [velocity_0..velocity_{n-1}] (empty without momentum).
+  OptimizerState export_state() const override;
+  void import_state(const OptimizerState& state) override;
+
  protected:
   void apply(const std::vector<Tensor>& grads) override;
 

@@ -1,0 +1,71 @@
+#include "util/atomic_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/error.hpp"
+#include "util/fault.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace qpinn {
+
+namespace {
+
+/// Best-effort fsync so the rename cannot be reordered before the data
+/// reaches disk (rename-over-unsynced-file is the classic torn-checkpoint
+/// bug). Non-POSIX platforms fall back to the stream flush alone.
+bool sync_to_disk(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+#else
+  (void)path;
+  return true;
+#endif
+}
+
+}  // namespace
+
+void write_file_atomic(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw IoError("cannot open '" + tmp + "' for writing");
+    try {
+      writer(out);
+    } catch (...) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw;
+    }
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw IoError("failed while writing '" + tmp + "'");
+    }
+  }
+  if (!sync_to_disk(tmp)) {
+    std::remove(tmp.c_str());
+    throw IoError("fsync failed for '" + tmp + "'");
+  }
+  if (fault_fires(kFaultAtomicWriteCommit)) {
+    std::remove(tmp.c_str());
+    throw IoError("injected fault at '" + std::string(kFaultAtomicWriteCommit) +
+                  "' while committing '" + path + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw IoError("cannot rename '" + tmp + "' over '" + path + "'");
+  }
+}
+
+}  // namespace qpinn

@@ -1,0 +1,24 @@
+// Crash-consistent file writes.
+//
+// A process killed mid-write must never leave a torn file where a reader
+// (or a resumed training run) expects a checkpoint: write_file_atomic
+// streams into `path + ".tmp"`, flushes and fsyncs the temporary, then
+// renames it over `path` — POSIX rename is atomic, so readers observe
+// either the complete old content or the complete new content.
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace qpinn {
+
+/// Writes a file atomically: `writer` streams the content into a hidden
+/// temporary which is flushed, fsynced, and renamed over `path`. Throws
+/// IoError on any failure (the temporary is removed first). The fault site
+/// "atomic_write.commit" fires between the flush and the rename, modelling
+/// a crash or full disk at the worst possible moment.
+void write_file_atomic(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer);
+
+}  // namespace qpinn

@@ -1,0 +1,56 @@
+// POD-level binary stream helpers shared by the nn serializer and the
+// training checkpointer.
+//
+// Integers are written in native byte order (little-endian on every
+// supported platform), matching the original v1 parameter format. All
+// readers take a `field` label so a corrupt file reports *which* field was
+// implausible, and length-prefixed reads are bounded so a flipped byte
+// fails fast instead of triggering a multi-gigabyte allocation.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace qpinn {
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in, const std::string& field) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw IoError("truncated while reading " + field);
+  return value;
+}
+
+/// u64 length prefix + raw bytes.
+inline void write_string(std::ostream& out, const std::string& s) {
+  write_pod(out, static_cast<std::uint64_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+/// Bounded counterpart of write_string: rejects lengths above `max_len`
+/// before allocating.
+inline std::string read_string(std::istream& in, std::uint64_t max_len,
+                               const std::string& field) {
+  const auto len = read_pod<std::uint64_t>(in, field + " length");
+  if (len > max_len) {
+    throw IoError(field + " length " + std::to_string(len) +
+                  " exceeds limit " + std::to_string(max_len));
+  }
+  std::string s(static_cast<std::size_t>(len), '\0');
+  in.read(s.data(), static_cast<std::streamsize>(len));
+  if (!in) throw IoError("truncated while reading " + field);
+  return s;
+}
+
+}  // namespace qpinn

@@ -1,0 +1,55 @@
+#include "util/fault.hpp"
+
+#include <cstdlib>
+
+#include "util/env.hpp"
+
+namespace qpinn {
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(const std::string& site, std::int64_t at,
+                        std::int64_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_[site] = Window{at, count};
+}
+
+void FaultInjector::disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_.erase(site);
+}
+
+void FaultInjector::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_.clear();
+  hits_.clear();
+}
+
+bool FaultInjector::should_fire(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::int64_t hit = hits_[site]++;
+  const auto it = armed_.find(site);
+  if (it == armed_.end()) return false;
+  return hit >= it->second.at && hit < it->second.at + it->second.count;
+}
+
+std::int64_t FaultInjector::hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = hits_.find(site);
+  return it == hits_.end() ? 0 : it->second;
+}
+
+void FaultInjector::arm_from_env() {
+  const char* site = std::getenv("QPINN_FAULT_SITE");
+  if (site == nullptr || site[0] == '\0') return;
+  arm(site, env_int("QPINN_FAULT_AT", 0), env_int("QPINN_FAULT_COUNT", 1));
+}
+
+bool fault_fires(const std::string& site) {
+  return FaultInjector::instance().should_fire(site);
+}
+
+}  // namespace qpinn

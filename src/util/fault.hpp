@@ -1,0 +1,68 @@
+// Deterministic fault-injection harness.
+//
+// Production code marks named *sites* (e.g. "trainer.nan_loss",
+// "atomic_write.commit") by calling fault_fires(site) on the path to be
+// hardened; the call counts hits and returns true only while the site is
+// armed for the current hit window, so every recovery path can be
+// exercised by tests instead of hoped-for. Sites are disarmed by default —
+// the cost of an unarmed site is one locked map lookup, well off any hot
+// loop. Tests arm sites programmatically; QPINN_FAULT_SITE /
+// QPINN_FAULT_AT / QPINN_FAULT_COUNT arm one site from the environment so
+// whole-process runs (examples, CI) can be faulted without recompiling.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace qpinn {
+
+/// Canonical fault-site names (kept here so tests and call sites agree).
+inline constexpr char kFaultTrainerNanLoss[] = "trainer.nan_loss";
+inline constexpr char kFaultTrainerExplodeLoss[] = "trainer.explode_loss";
+inline constexpr char kFaultAtomicWriteCommit[] = "atomic_write.commit";
+
+class FaultInjector {
+ public:
+  /// Process-wide instance (reads the QPINN_FAULT_* environment once).
+  static FaultInjector& instance();
+
+  /// Arms `site` to fire on hits [at, at + count): the hit counter is
+  /// 0-based, so arm(site, 3) fires on exactly the 4th call to
+  /// should_fire(site). Re-arming replaces the previous window but keeps
+  /// the hit counter (use clear() between tests).
+  void arm(const std::string& site, std::int64_t at, std::int64_t count = 1);
+  void disarm(const std::string& site);
+
+  /// Disarms every site and resets all hit counters.
+  void clear();
+
+  /// Called at a fault site: increments the site's hit counter and
+  /// returns true when the armed window covers this hit.
+  bool should_fire(const std::string& site);
+
+  /// Total should_fire calls seen for `site` (for test assertions).
+  std::int64_t hits(const std::string& site) const;
+
+  /// Arms one site from QPINN_FAULT_SITE / QPINN_FAULT_AT /
+  /// QPINN_FAULT_COUNT (no-op when QPINN_FAULT_SITE is unset). Called by
+  /// the constructor; exposed for tests.
+  void arm_from_env();
+
+ private:
+  FaultInjector() { arm_from_env(); }
+
+  struct Window {
+    std::int64_t at = 0;
+    std::int64_t count = 1;
+  };
+  mutable std::mutex mutex_;
+  std::map<std::string, Window> armed_;
+  std::map<std::string, std::int64_t> hits_;
+};
+
+/// Shorthand for FaultInjector::instance().should_fire(site).
+bool fault_fires(const std::string& site);
+
+}  // namespace qpinn

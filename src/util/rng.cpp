@@ -91,6 +91,20 @@ std::vector<std::size_t> Rng::permutation(std::size_t n) {
   return idx;
 }
 
+RngState Rng::state() const {
+  RngState state;
+  for (int i = 0; i < 4; ++i) state.s[i] = state_[i];
+  state.has_cached_normal = has_cached_normal_;
+  state.cached_normal = cached_normal_;
+  return state;
+}
+
+void Rng::set_state(const RngState& state) {
+  for (int i = 0; i < 4; ++i) state_[i] = state.s[i];
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 Rng Rng::split() {
   // A fresh stream derived from two draws of this one.
   const std::uint64_t a = next_u64();

@@ -10,6 +10,14 @@
 
 namespace qpinn {
 
+/// Full engine state (including the Box-Muller cache) — exported and
+/// restored for checkpointing so a resumed run replays the exact stream.
+struct RngState {
+  std::uint64_t s[4] = {0, 0, 0, 0};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+};
+
 /// xoshiro256++ engine seeded via SplitMix64.
 class Rng {
  public:
@@ -38,6 +46,10 @@ class Rng {
 
   /// Derives an independent child stream (for per-thread RNGs).
   Rng split();
+
+  /// Snapshot / restore of the complete engine state.
+  RngState state() const;
+  void set_state(const RngState& state);
 
  private:
   std::uint64_t state_[4];

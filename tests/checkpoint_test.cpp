@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "core/checkpoint.hpp"
+#include "nn/mlp.hpp"
+#include "optim/adam.hpp"
+#include "util/atomic_io.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+
+namespace qpinn::core {
+namespace {
+
+/// Every test starts and ends with a disarmed injector.
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::instance().clear(); }
+  void TearDown() override { FaultInjector::instance().clear(); }
+
+  std::string temp_path(const std::string& name) const {
+    return ::testing::TempDir() + name;
+  }
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+}
+
+nn::Mlp small_net(std::uint64_t seed) {
+  nn::MlpConfig config;
+  config.in_dim = 2;
+  config.out_dim = 2;
+  config.hidden = {6, 6};
+  config.seed = seed;
+  return nn::Mlp(config);
+}
+
+// ---- fault injector ----------------------------------------------------
+
+TEST_F(CheckpointTest, FaultInjectorCountsAndFiresWindow) {
+  auto& injector = FaultInjector::instance();
+  injector.arm("test.site", /*at=*/2, /*count=*/2);
+  EXPECT_FALSE(fault_fires("test.site"));  // hit 0
+  EXPECT_FALSE(fault_fires("test.site"));  // hit 1
+  EXPECT_TRUE(fault_fires("test.site"));   // hit 2 — armed
+  EXPECT_TRUE(fault_fires("test.site"));   // hit 3 — armed
+  EXPECT_FALSE(fault_fires("test.site"));  // hit 4 — past the window
+  EXPECT_EQ(injector.hits("test.site"), 5);
+  EXPECT_FALSE(fault_fires("unrelated.site"));
+}
+
+TEST_F(CheckpointTest, FaultInjectorArmsFromEnvironment) {
+  ::setenv("QPINN_FAULT_SITE", "env.site", 1);
+  ::setenv("QPINN_FAULT_AT", "1", 1);
+  FaultInjector::instance().arm_from_env();
+  EXPECT_FALSE(fault_fires("env.site"));
+  EXPECT_TRUE(fault_fires("env.site"));
+  EXPECT_FALSE(fault_fires("env.site"));
+  ::unsetenv("QPINN_FAULT_SITE");
+  ::unsetenv("QPINN_FAULT_AT");
+}
+
+// ---- atomic writes -----------------------------------------------------
+
+TEST_F(CheckpointTest, AtomicWritePreservesOldContentOnInjectedCrash) {
+  const std::string path = temp_path("atomic_victim.bin");
+  write_file_atomic(path, [](std::ostream& out) { out << "generation one"; });
+  ASSERT_EQ(read_file(path), "generation one");
+
+  // The first write above already consumed a hit at this site; reset the
+  // counter so the armed window covers the very next commit.
+  FaultInjector::instance().clear();
+  FaultInjector::instance().arm(kFaultAtomicWriteCommit, 0);
+  EXPECT_THROW(write_file_atomic(
+                   path, [](std::ostream& out) { out << "generation two"; }),
+               IoError);
+  // The destination still holds the previous generation and no temp file
+  // was left behind.
+  EXPECT_EQ(read_file(path), "generation one");
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+// ---- full-state round trip ---------------------------------------------
+
+TEST_F(CheckpointTest, FullStateRoundTripRestoresEverything) {
+  nn::Mlp net = small_net(31);
+  auto params = net.parameters();
+  optim::Adam adam(params, optim::AdamConfig{});
+  // Accumulate some real moments.
+  std::vector<Tensor> grads;
+  for (const auto& p : params) grads.push_back(Tensor::ones(p.value().shape()));
+  adam.step(grads);
+  adam.step(grads);
+
+  TrainingState state;
+  state.epoch = 41;
+  state.lr_scale = 0.25;
+  state.recoveries = 2;
+  state.best_loss = 1.5e-3;
+  state.optimizer = adam.export_state();
+  Rng rng(99);
+  rng.normal();  // populate the Box-Muller cache
+  state.resample_rng = rng.state();
+  state.interior = Tensor::from_vector({1, 2, 3, 4, 5, 6}, {3, 2});
+  state.has_interior = true;
+
+  const std::string path = temp_path("full_state.qckpt");
+  Checkpointer::save_state(path, net.named_parameters(), state);
+
+  nn::Mlp restored_net = small_net(32);  // different init
+  const TrainingState loaded =
+      Checkpointer::load_state(path, restored_net.named_parameters());
+
+  EXPECT_EQ(loaded.epoch, 41);
+  EXPECT_DOUBLE_EQ(loaded.lr_scale, 0.25);
+  EXPECT_EQ(loaded.recoveries, 2);
+  EXPECT_DOUBLE_EQ(loaded.best_loss, 1.5e-3);
+  EXPECT_EQ(loaded.optimizer.step_count, 2);
+  ASSERT_EQ(loaded.optimizer.slots.size(), state.optimizer.slots.size());
+  for (std::size_t i = 0; i < loaded.optimizer.slots.size(); ++i) {
+    const Tensor& a = state.optimizer.slots[i];
+    const Tensor& b = loaded.optimizer.slots[i];
+    ASSERT_TRUE(a.same_shape(b));
+    for (std::int64_t j = 0; j < a.numel(); ++j) EXPECT_EQ(a[j], b[j]);
+  }
+  // RNG streams must continue identically.
+  Rng replay(1);
+  replay.set_state(loaded.resample_rng);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(replay.next_u64(), rng.next_u64());
+  ASSERT_TRUE(loaded.has_interior);
+  for (std::int64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(loaded.interior[i], state.interior[i]);
+  }
+  // Parameters were loaded in place.
+  const auto pa = net.parameters();
+  const auto pb = restored_net.parameters();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    for (std::int64_t j = 0; j < pa[i].value().numel(); ++j) {
+      EXPECT_EQ(pa[i].value()[j], pb[i].value()[j]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// ---- format versioning -------------------------------------------------
+
+TEST_F(CheckpointTest, V1ParameterOnlyFileStillLoads) {
+  nn::Mlp net = small_net(33);
+  const std::string path = temp_path("legacy_v1.bin");
+  {
+    // A v1 file is the param block with no section table.
+    std::ofstream out(path, std::ios::binary);
+    nn::write_header(out, nn::kCheckpointVersionV1);
+    nn::write_param_block(out, net.named_parameters());
+  }
+  nn::Mlp restored = small_net(34);
+  nn::load_parameters(path, restored.named_parameters());
+  const auto pa = net.parameters();
+  const auto pb = restored.parameters();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    for (std::int64_t j = 0; j < pa[i].value().numel(); ++j) {
+      EXPECT_EQ(pa[i].value()[j], pb[i].value()[j]);
+    }
+  }
+  // ... but a v1 file cannot seed a resumed run.
+  EXPECT_THROW(Checkpointer::load_state(path, restored.named_parameters()),
+               IoError);
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, V2ParamOnlyFileLoadsThroughLoadParameters) {
+  nn::Mlp net = small_net(35);
+  const std::string path = temp_path("v2_params.bin");
+  nn::save_parameters(path, net.named_parameters());  // writes v2
+  nn::Mlp restored = small_net(36);
+  nn::load_parameters(path, restored.named_parameters());
+  const auto pa = net.parameters();
+  const auto pb = restored.parameters();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    for (std::int64_t j = 0; j < pa[i].value().numel(); ++j) {
+      EXPECT_EQ(pa[i].value()[j], pb[i].value()[j]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// ---- corrupt / adversarial files ---------------------------------------
+
+TEST_F(CheckpointTest, CorruptFieldsRejectedWithoutHugeAllocations) {
+  nn::Mlp net = small_net(37);
+  const std::string path = temp_path("corrupt.bin");
+  nn::save_parameters(path, net.named_parameters());
+  const std::string good = read_file(path);
+  // Layout: magic(4) version(4) count(8) name_len(8) name(...) rank(8) ...
+  const std::uint64_t name_len = net.named_parameters().front().first.size();
+
+  auto corrupt_u64 = [&](std::size_t offset) {
+    std::string bad = good;
+    for (int i = 0; i < 8; ++i) bad[offset + i] = static_cast<char>(0xFF);
+    write_file(path, bad);
+  };
+
+  corrupt_u64(8);  // parameter count
+  EXPECT_THROW(nn::load_parameters(path, net.named_parameters()), IoError);
+
+  corrupt_u64(16);  // name length
+  EXPECT_THROW(nn::load_parameters(path, net.named_parameters()), IoError);
+
+  corrupt_u64(24 + name_len);  // rank
+  EXPECT_THROW(nn::load_parameters(path, net.named_parameters()), IoError);
+
+  corrupt_u64(32 + name_len);  // first extent
+  EXPECT_THROW(nn::load_parameters(path, net.named_parameters()), IoError);
+
+  // Truncation anywhere must be an IoError, not a crash.
+  write_file(path, good.substr(0, good.size() / 2));
+  EXPECT_THROW(nn::load_parameters(path, net.named_parameters()), IoError);
+  write_file(path, good.substr(0, 10));
+  EXPECT_THROW(nn::load_parameters(path, net.named_parameters()), IoError);
+  std::remove(path.c_str());
+}
+
+// ---- rotating saves with write faults ----------------------------------
+
+TEST_F(CheckpointTest, WriteFailureIsRetriedThenSucceeds) {
+  nn::Mlp net = small_net(38);
+  CheckpointConfig config;
+  config.dir = temp_path("ckpt_retry");
+  config.max_write_retries = 1;
+  Checkpointer checkpointer(config);
+
+  TrainingState state;
+  state.epoch = 7;
+  // First attempt fails, the retry lands.
+  FaultInjector::instance().arm(kFaultAtomicWriteCommit, 0, 1);
+  EXPECT_TRUE(checkpointer.save_last(net.named_parameters(), state));
+  EXPECT_EQ(checkpointer.failed_writes(), 1);
+  EXPECT_TRUE(std::filesystem::exists(checkpointer.last_path()));
+
+  const TrainingState loaded =
+      Checkpointer::load_state(checkpointer.last_path(),
+                               net.named_parameters());
+  EXPECT_EQ(loaded.epoch, 7);
+  std::filesystem::remove_all(config.dir);
+}
+
+TEST_F(CheckpointTest, WriteFailureGivesUpGracefullyAfterRetries) {
+  nn::Mlp net = small_net(39);
+  CheckpointConfig config;
+  config.dir = temp_path("ckpt_giveup");
+  config.max_write_retries = 1;
+  Checkpointer checkpointer(config);
+
+  TrainingState state;
+  FaultInjector::instance().arm(kFaultAtomicWriteCommit, 0, 2);
+  EXPECT_FALSE(checkpointer.save_last(net.named_parameters(), state));
+  EXPECT_EQ(checkpointer.failed_writes(), 2);
+  EXPECT_FALSE(std::filesystem::exists(checkpointer.last_path()));
+  std::filesystem::remove_all(config.dir);
+}
+
+TEST_F(CheckpointTest, ConfigValidation) {
+  CheckpointConfig config;
+  config.dir = "";
+  EXPECT_THROW(config.validate(), ConfigError);
+  config = CheckpointConfig{};
+  config.every = -1;
+  EXPECT_THROW(config.validate(), ConfigError);
+  config = CheckpointConfig{};
+  config.max_write_retries = -1;
+  EXPECT_THROW(config.validate(), ConfigError);
+}
+
+}  // namespace
+}  // namespace qpinn::core
