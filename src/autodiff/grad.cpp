@@ -8,6 +8,7 @@
 
 #include "autodiff/ops.hpp"
 #include "util/error.hpp"
+#include "util/invariant.hpp"
 
 namespace qpinn::autodiff {
 
@@ -77,6 +78,18 @@ std::vector<Variable> grad(const Variable& output,
 
   const std::vector<Node*> order = topo_order(output.node());
 
+#ifdef QPINN_CHECKED
+  // Tape discipline: a non-retaining backward released these nodes; a
+  // second pass would differentiate a graph the caller declared dead.
+  for (Node* node : order) {
+    QPINN_INVARIANT(!node->released, "autodiff.tape", "backward-twice",
+                    std::string("backward through released node of op '") +
+                        node->op +
+                        "' (a previous grad() ran with retain_graph=false; "
+                        "pass retain_graph/create_graph to reuse a graph)");
+  }
+#endif
+
   // Backward closures receive `self` as a Variable, so we need an owning
   // pointer for every node; parents vectors own every interior node except
   // the output itself.
@@ -106,6 +119,13 @@ std::vector<Variable> grad(const Variable& output,
       if (!parent.requires_grad()) continue;
       Variable& pg = parent_grads[i];
       if (!pg.defined()) continue;
+      QPINN_INVARIANT(
+          pg.value().all_finite(), "autodiff.grad", "non-finite",
+          std::string("op '") + node->op +
+              "' produced a non-finite gradient for parent " +
+              std::to_string(i) + " (op '" + parent.op() +
+              "'); this is the origin of the NaN/Inf, not a downstream "
+              "accumulation");
       QPINN_CHECK_SHAPE(
           pg.shape() == parent.shape(),
           std::string("op '") + node->op + "' produced gradient of shape " +
@@ -119,6 +139,17 @@ std::vector<Variable> grad(const Variable& output,
       }
     }
   }
+
+#ifdef QPINN_CHECKED
+  // A non-retaining backward consumes the graph: mark the interior nodes
+  // released so checked builds catch any later use. Leaves stay live —
+  // parameters are reused across steps by design.
+  if (!options.retain_graph && !options.create_graph) {
+    for (Node* node : order) {
+      if (node->backward) node->released = true;
+    }
+  }
+#endif
 
   std::vector<Variable> results;
   results.reserve(inputs.size());

@@ -15,6 +15,12 @@ struct GradOptions {
   /// When false, an input unreachable from the output raises ValueError;
   /// when true, its gradient is a zero tensor of matching shape.
   bool allow_unused = true;
+  /// When false (and create_graph is false), the backward pass releases
+  /// the interior nodes it consumed: checked builds (QPINN_CHECKED) then
+  /// flag a second backward through the same graph — or new ops built on
+  /// released nodes — as tape-discipline violations (InvariantError).
+  /// Defaults to true, under which graphs stay reusable.
+  bool retain_graph = true;
 };
 
 /// Gradients of `output` with respect to each of `inputs`.

@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "util/error.hpp"
+#include "util/invariant.hpp"
 
 namespace qpinn::autodiff {
 
@@ -54,6 +55,12 @@ Variable make_op(
   bool requires_grad = false;
   for (const Variable& p : parents) {
     QPINN_CHECK(p.defined(), std::string("undefined parent passed to op ") + op);
+    QPINN_INVARIANT(
+        !p.node()->released, "autodiff.make_op", "use-after-backward",
+        std::string("op '") + op + "' built on released node of op '" +
+            p.op() +
+            "' (its graph was consumed by a grad() call with "
+            "retain_graph=false)");
     requires_grad = requires_grad || p.requires_grad();
   }
   auto node = std::make_shared<Node>();

@@ -33,6 +33,13 @@ struct Node {
       backward;
   const char* op = "leaf";
   std::uint64_t id = 0;  ///< creation order; stable tie-break in traversals
+  /// Checked-build tape state (QPINN_CHECKED; see util/invariant.hpp): a
+  /// non-retaining backward pass marks every interior node it consumed as
+  /// released. Running backward through — or building new ops on top of —
+  /// a released node is a tape-discipline violation (use-after-backward /
+  /// backward-twice) and raises InvariantError in checked builds. Leaves
+  /// are never released (parameters survive across training steps).
+  bool released = false;
 };
 
 class Variable {

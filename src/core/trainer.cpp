@@ -9,6 +9,7 @@
 #include "tensor/kernels.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
+#include "util/invariant.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
 
@@ -84,6 +85,13 @@ Trainer::Trainer(std::shared_ptr<Problem> problem,
   }
   params_ = model_->parameters();
   optimizer_ = std::make_unique<optim::Adam>(params_, config_.adam);
+  QPINN_INVARIANT(
+      optimizer_->params().size() == model_->parameters().size(),
+      "core.trainer", "param-agreement",
+      "optimizer parameter count " +
+          std::to_string(optimizer_->params().size()) +
+          " disagrees with model parameter count " +
+          std::to_string(model_->parameters().size()));
   if (config_.lr_decay < 1.0) {
     schedule_ = std::make_unique<optim::ExponentialDecay>(
         config_.lr_decay, config_.lr_decay_every);

@@ -31,6 +31,7 @@ OptimizerState Adam::export_state() const {
 }
 
 void Adam::import_state(const OptimizerState& state) {
+  detail::validate_state_agreement(state, params_, "Adam::import_state");
   if (state.slots.empty()) {
     m_.clear();
     v_.clear();

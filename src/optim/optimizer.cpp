@@ -4,6 +4,7 @@
 
 #include "tensor/kernels.hpp"
 #include "util/error.hpp"
+#include "util/invariant.hpp"
 
 namespace qpinn::optim {
 
@@ -38,6 +39,32 @@ void Optimizer::step(const std::vector<Tensor>& grads) {
 }
 
 namespace detail {
+
+void validate_state_agreement(const OptimizerState& state,
+                              const std::vector<autodiff::Variable>& params,
+                              const char* what) {
+#ifdef QPINN_CHECKED
+  QPINN_INVARIANT(state.step_count >= 0, "optim.import_state",
+                  "param-agreement",
+                  std::string(what) + ": negative step count " +
+                      std::to_string(state.step_count) +
+                      " (corrupted state would skew bias correction)");
+  QPINN_INVARIANT(
+      state.slots.empty() || params.empty() ||
+          state.slots.size() % params.size() == 0,
+      "optim.import_state", "param-agreement",
+      std::string(what) + ": " + std::to_string(state.slots.size()) +
+          " slots is not a whole number of per-parameter buffers for " +
+          std::to_string(params.size()) + " parameters");
+  for (const Tensor& slot : state.slots) {
+    slot.validate("optim.import_state");
+  }
+#else
+  (void)state;
+  (void)params;
+  (void)what;
+#endif
+}
 
 void clone_into_slots(std::vector<Tensor>& slots,
                       const std::vector<Tensor>& buffers) {

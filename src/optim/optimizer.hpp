@@ -62,6 +62,16 @@ class Optimizer {
 double clip_grad_norm(std::vector<Tensor>& grads, double max_norm);
 
 namespace detail {
+/// Checked-build (QPINN_CHECKED) agreement validation between an imported
+/// OptimizerState and the optimizer's parameters: step count non-negative,
+/// slot count an exact per-parameter multiple, every slot tensor internally
+/// consistent (Tensor::validate). Violations raise InvariantError at site
+/// "optim.import_state" — a corrupted checkpoint is caught here rather
+/// than silently skewing bias correction or moment shapes. No-op in
+/// release builds.
+void validate_state_agreement(const OptimizerState& state,
+                              const std::vector<autodiff::Variable>& params,
+                              const char* what);
 /// Clones every tensor of `buffers` onto the end of `slots`.
 void clone_into_slots(std::vector<Tensor>& slots,
                       const std::vector<Tensor>& buffers);

@@ -29,6 +29,7 @@ OptimizerState Rmsprop::export_state() const {
 }
 
 void Rmsprop::import_state(const OptimizerState& state) {
+  detail::validate_state_agreement(state, params_, "Rmsprop::import_state");
   if (state.slots.empty()) {
     sq_avg_.clear();
     momentum_buf_.clear();

@@ -23,6 +23,7 @@ OptimizerState Sgd::export_state() const {
 }
 
 void Sgd::import_state(const OptimizerState& state) {
+  detail::validate_state_agreement(state, params_, "Sgd::import_state");
   if (state.slots.empty()) {
     velocity_.clear();
     return;

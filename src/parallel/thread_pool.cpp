@@ -1,8 +1,8 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <memory>
+#include <utility>
 
 #include "util/env.hpp"
 #include "util/error.hpp"
@@ -19,7 +19,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -28,28 +28,50 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::packaged_task<void()> task;
+    Entry entry;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) cv_.wait(mutex_);
       if (stopping_ && queue_.empty()) return;
-      task = std::move(queue_.front());
+      entry = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();  // exceptions land in the associated future
+    std::exception_ptr error;
+    try {
+      entry.fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      // Decrement before fulfilling the future: once a waiter unblocks,
+      // idle() already reflects this task as finished.
+      MutexLock lock(mutex_);
+      --inflight_;
+    }
+    if (error) {
+      entry.done->set_exception(error);
+    } else {
+      entry.done->set_value();
+    }
   }
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
-  std::packaged_task<void()> packaged(std::move(task));
-  std::future<void> future = packaged.get_future();
+  Entry entry{std::move(task), std::make_shared<std::promise<void>>()};
+  std::future<void> future = entry.done->get_future();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     QPINN_CHECK(!stopping_, "submit() on a stopping thread pool");
-    queue_.push_back(std::move(packaged));
+    queue_.push_back(std::move(entry));
+    ++inflight_;
   }
   cv_.notify_one();
   return future;
+}
+
+bool ThreadPool::idle() const {
+  MutexLock lock(mutex_);
+  return inflight_ == 0;
 }
 
 void ThreadPool::for_each_chunk(
@@ -106,8 +128,8 @@ void ThreadPool::for_each_index(
 }
 
 namespace {
-std::unique_ptr<ThreadPool> g_pool;
-std::mutex g_pool_mutex;
+Mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool QPINN_GUARDED_BY(g_pool_mutex);
 }  // namespace
 
 std::size_t default_num_threads() {
@@ -118,14 +140,30 @@ std::size_t default_num_threads() {
 }
 
 ThreadPool& global_pool() {
-  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  MutexLock lock(g_pool_mutex);
   if (!g_pool) g_pool = std::make_unique<ThreadPool>(default_num_threads());
   return *g_pool;
 }
 
 void set_global_threads(std::size_t num_threads) {
-  std::lock_guard<std::mutex> lock(g_pool_mutex);
-  g_pool = std::make_unique<ThreadPool>(num_threads);
+  QPINN_CHECK(num_threads >= 1, "set_global_threads needs >= 1 worker");
+  // Build the replacement before taking the lock so a throwing constructor
+  // leaves the old pool in place.
+  auto next = std::make_unique<ThreadPool>(num_threads);
+  std::unique_ptr<ThreadPool> retired;
+  {
+    MutexLock lock(g_pool_mutex);
+    if (g_pool && !g_pool->idle()) {
+      throw ConfigError(
+          "set_global_threads() while the global pool has in-flight work; "
+          "resize the pool only from the single-threaded configuration "
+          "phase (see thread_pool.hpp contract)");
+    }
+    retired = std::exchange(g_pool, std::move(next));
+  }
+  // Old workers join outside the lock (they cannot be running pool work:
+  // the idle() check above saw an empty queue and stopping_ drains it).
+  retired.reset();
 }
 
 }  // namespace qpinn

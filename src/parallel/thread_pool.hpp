@@ -4,16 +4,21 @@
 // The pool is the shared-memory stand-in for the GPU in the original
 // system: collocation batches are sharded across workers and gradients are
 // reduced deterministically (see data-parallel trainer in core/).
+//
+// All queue and lifecycle state is guarded by a single annotated mutex
+// (clang -Wthread-safety proves the locking discipline; TSan checks the
+// dynamic behavior in CI). Task bodies themselves run unlocked.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
+#include <memory>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
 
 namespace qpinn {
 
@@ -21,6 +26,9 @@ class ThreadPool {
  public:
   /// Spawns `num_threads` workers (>= 1).
   explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains the queue: already-submitted tasks still run; workers exit
+  /// once the queue is empty.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -45,22 +53,47 @@ class ThreadPool {
       const std::function<void(std::size_t chunk, std::size_t begin,
                                std::size_t end)>& fn);
 
+  /// True when no submitted task is queued or executing. Point-in-time
+  /// answer: another thread may submit immediately afterwards.
+  bool idle() const;
+
  private:
+  /// Task plus its completion channel. A plain promise (not packaged_task)
+  /// so the worker can decrement inflight_ BEFORE fulfilling the future:
+  /// a caller that saw future.get() return is then guaranteed to observe
+  /// idle() == true, which the set_global_threads() contract relies on.
+  struct Entry {
+    std::function<void()> fn;
+    std::shared_ptr<std::promise<void>> done;
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::packaged_task<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::deque<Entry> queue_ QPINN_GUARDED_BY(mutex_);
+  bool stopping_ QPINN_GUARDED_BY(mutex_) = false;
+  /// Tasks submitted but not yet finished (queued + executing).
+  std::size_t inflight_ QPINN_GUARDED_BY(mutex_) = 0;
 };
 
 /// Process-wide pool used by tensor kernels and the trainer.
 /// The first call creates it with `default_num_threads()` workers.
+///
+/// Lifecycle contract: the returned reference stays valid until the next
+/// set_global_threads() call. Callers must not hold it across a resize.
 ThreadPool& global_pool();
 
 /// Resizes the global pool (joins old workers, spawns new ones).
-/// Not safe to call concurrently with in-flight pool work.
+///
+/// Contract (enforced): the current pool must be idle — no submitted task
+/// queued or executing — when the resize happens; a busy pool raises
+/// ConfigError instead of destroying workers under in-flight work. Callers
+/// must additionally guarantee that no other thread calls into the pool
+/// concurrently with the resize (the check cannot see a reference another
+/// thread is *about to* use), which is the documented single-threaded
+/// configuration phase of a training run.
 void set_global_threads(std::size_t num_threads);
 
 /// QPINN_THREADS env override, otherwise hardware_concurrency (>= 1).

@@ -5,6 +5,19 @@
 
 #include "parallel/parallel_for.hpp"
 #include "util/error.hpp"
+#include "util/invariant.hpp"
+
+// Checked builds validate every kernel operand's storage/shape agreement
+// on entry (catches use-after-move and metadata corruption at the first
+// kernel that would otherwise read through a dangling buffer). Release
+// builds compile the calls out.
+#ifdef QPINN_CHECKED
+#define QPINN_KERNEL_VALIDATE(t, site) (t).validate(site)
+#else
+#define QPINN_KERNEL_VALIDATE(t, site) \
+  do {                                 \
+  } while (false)
+#endif
 
 namespace qpinn::kernels {
 
@@ -13,6 +26,7 @@ namespace {
 // Elementwise unary application, parallelized for large tensors.
 template <typename F>
 Tensor unary_apply(const Tensor& a, F f) {
+  QPINN_KERNEL_VALIDATE(a, "kernels.unary");
   Tensor out(a.shape());
   const double* in = a.data();
   double* o = out.data();
@@ -37,6 +51,8 @@ std::vector<std::int64_t> broadcast_strides(const Shape& shape,
 
 template <typename F>
 Tensor binary_apply(const Tensor& a, const Tensor& b, F f) {
+  QPINN_KERNEL_VALIDATE(a, "kernels.binary");
+  QPINN_KERNEL_VALIDATE(b, "kernels.binary");
   // Fast path: identical shapes.
   if (a.same_shape(b)) {
     Tensor out(a.shape());
@@ -180,6 +196,8 @@ Tensor sign(const Tensor& a) {
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
+  QPINN_KERNEL_VALIDATE(a, "kernels.matmul");
+  QPINN_KERNEL_VALIDATE(b, "kernels.matmul");
   QPINN_CHECK_SHAPE(a.rank() == 2 && b.rank() == 2,
                     "matmul requires rank-2 operands, got " +
                         shape_to_string(a.shape()) + " x " +
@@ -214,6 +232,8 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  QPINN_KERNEL_VALIDATE(a, "kernels.matmul_tn");
+  QPINN_KERNEL_VALIDATE(b, "kernels.matmul_tn");
   QPINN_CHECK_SHAPE(a.rank() == 2 && b.rank() == 2,
                     "matmul_tn requires rank-2 operands");
   QPINN_CHECK_SHAPE(a.rows() == b.rows(),
@@ -246,6 +266,8 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
 }
 
 Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  QPINN_KERNEL_VALIDATE(a, "kernels.matmul_nt");
+  QPINN_KERNEL_VALIDATE(b, "kernels.matmul_nt");
   QPINN_CHECK_SHAPE(a.rank() == 2 && b.rank() == 2,
                     "matmul_nt requires rank-2 operands");
   QPINN_CHECK_SHAPE(a.cols() == b.cols(),
@@ -277,6 +299,7 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
 }
 
 Tensor transpose(const Tensor& a) {
+  QPINN_KERNEL_VALIDATE(a, "kernels.transpose");
   QPINN_CHECK_SHAPE(a.rank() == 2, "transpose requires a rank-2 tensor");
   const std::int64_t n = a.rows(), m = a.cols();
   Tensor out(Shape{m, n});
@@ -289,6 +312,7 @@ Tensor transpose(const Tensor& a) {
 }
 
 Tensor sum_all(const Tensor& a) {
+  QPINN_KERNEL_VALIDATE(a, "kernels.sum_all");
   const double* p = a.data();
   const std::size_t n = static_cast<std::size_t>(a.numel());
   const double total = parallel_reduce<double>(
@@ -306,6 +330,7 @@ Tensor mean_all(const Tensor& a) {
 }
 
 Tensor sum_to(const Tensor& a, const Shape& target) {
+  QPINN_KERNEL_VALIDATE(a, "kernels.sum_to");
   if (a.shape() == target) return a;
   QPINN_CHECK_SHAPE(broadcastable_to(target, a.shape()),
                     "sum_to target " + shape_to_string(target) +
@@ -333,6 +358,7 @@ Tensor sum_to(const Tensor& a, const Shape& target) {
 }
 
 Tensor broadcast_to(const Tensor& a, const Shape& target) {
+  QPINN_KERNEL_VALIDATE(a, "kernels.broadcast_to");
   if (a.shape() == target) return a;
   QPINN_CHECK_SHAPE(broadcastable_to(a.shape(), target),
                     "cannot broadcast " + shape_to_string(a.shape()) + " to " +
@@ -384,6 +410,7 @@ Tensor concat_cols(const std::vector<Tensor>& parts) {
 }
 
 Tensor slice_cols(const Tensor& a, std::int64_t c0, std::int64_t c1) {
+  QPINN_KERNEL_VALIDATE(a, "kernels.slice_cols");
   QPINN_CHECK_SHAPE(a.rank() == 2, "slice_cols requires a rank-2 tensor");
   QPINN_CHECK_SHAPE(0 <= c0 && c0 < c1 && c1 <= a.cols(),
                     "slice_cols range [" + std::to_string(c0) + ", " +
@@ -400,6 +427,7 @@ Tensor slice_cols(const Tensor& a, std::int64_t c0, std::int64_t c1) {
 }
 
 Tensor slice_rows(const Tensor& a, std::int64_t r0, std::int64_t r1) {
+  QPINN_KERNEL_VALIDATE(a, "kernels.slice_rows");
   QPINN_CHECK_SHAPE(a.rank() == 2, "slice_rows requires a rank-2 tensor");
   QPINN_CHECK_SHAPE(0 <= r0 && r0 < r1 && r1 <= a.rows(),
                     "slice_rows range [" + std::to_string(r0) + ", " +
@@ -430,6 +458,8 @@ Tensor concat_rows(const std::vector<Tensor>& parts) {
 }
 
 void axpy_inplace(Tensor& dst, double s, const Tensor& src) {
+  QPINN_KERNEL_VALIDATE(dst, "kernels.axpy_inplace");
+  QPINN_KERNEL_VALIDATE(src, "kernels.axpy_inplace");
   QPINN_CHECK_SHAPE(dst.same_shape(src), "axpy_inplace shape mismatch");
   double* pd = dst.data();
   const double* ps = src.data();
@@ -438,17 +468,22 @@ void axpy_inplace(Tensor& dst, double s, const Tensor& src) {
 }
 
 void scale_inplace(Tensor& dst, double s) {
+  QPINN_KERNEL_VALIDATE(dst, "kernels.scale_inplace");
   double* pd = dst.data();
   const std::int64_t n = dst.numel();
   for (std::int64_t i = 0; i < n; ++i) pd[i] *= s;
 }
 
 void copy_into(Tensor& dst, const Tensor& src) {
+  QPINN_KERNEL_VALIDATE(dst, "kernels.copy_into");
+  QPINN_KERNEL_VALIDATE(src, "kernels.copy_into");
   QPINN_CHECK_SHAPE(dst.same_shape(src), "copy_into shape mismatch");
   std::copy(src.data(), src.data() + src.numel(), dst.data());
 }
 
 double dot(const Tensor& a, const Tensor& b) {
+  QPINN_KERNEL_VALIDATE(a, "kernels.dot");
+  QPINN_KERNEL_VALIDATE(b, "kernels.dot");
   QPINN_CHECK_SHAPE(a.same_shape(b), "dot shape mismatch");
   const double* pa = a.data();
   const double* pb = b.data();

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/invariant.hpp"
 
 namespace qpinn {
 
@@ -140,6 +141,30 @@ Tensor Tensor::clone() const {
   t.numel_ = numel_;
   t.storage_ = std::make_shared<std::vector<double>>(*storage_);
   return t;
+}
+
+void Tensor::validate(const char* site) const {
+  const char* violation = nullptr;
+  if (!storage_) {
+    violation = "no storage (moved-from or corrupted tensor)";
+  } else if (numel_ != qpinn::numel(shape_)) {
+    violation = "cached numel disagrees with the shape product";
+  } else if (static_cast<std::size_t>(numel_) != storage_->size()) {
+    violation = "storage size disagrees with the shape";
+  } else {
+    for (const std::int64_t extent : shape_) {
+      if (extent <= 0) {
+        violation = "non-positive extent";
+        break;
+      }
+    }
+  }
+  if (violation != nullptr) {
+    throw InvariantError(site, "storage",
+                         std::string(violation) + " in tensor of shape " +
+                             shape_to_string(shape_) + " (numel " +
+                             std::to_string(numel_) + ")");
+  }
 }
 
 bool Tensor::all_finite() const {

@@ -72,6 +72,13 @@ class Tensor {
   }
 
   // ---- diagnostics ------------------------------------------------------
+  /// Storage/shape/stride agreement: storage present, every extent
+  /// positive, cached numel == product of extents == buffer size. Always
+  /// callable; kernels invoke it on their operands in checked builds
+  /// (QPINN_CHECKED), where a violation — e.g. a moved-from tensor, or
+  /// metadata scribbled over through data() — raises InvariantError naming
+  /// `site`. See util/invariant.hpp.
+  void validate(const char* site) const;
   bool all_finite() const;
   double min() const;
   double max() const;

@@ -13,23 +13,23 @@ FaultInjector& FaultInjector::instance() {
 
 void FaultInjector::arm(const std::string& site, std::int64_t at,
                         std::int64_t count) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   armed_[site] = Window{at, count};
 }
 
 void FaultInjector::disarm(const std::string& site) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   armed_.erase(site);
 }
 
 void FaultInjector::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   armed_.clear();
   hits_.clear();
 }
 
 bool FaultInjector::should_fire(const std::string& site) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const std::int64_t hit = hits_[site]++;
   const auto it = armed_.find(site);
   if (it == armed_.end()) return false;
@@ -37,7 +37,7 @@ bool FaultInjector::should_fire(const std::string& site) {
 }
 
 std::int64_t FaultInjector::hits(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = hits_.find(site);
   return it == hits_.end() ? 0 : it->second;
 }

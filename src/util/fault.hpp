@@ -13,8 +13,9 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
+
+#include "util/mutex.hpp"
 
 namespace qpinn {
 
@@ -57,9 +58,9 @@ class FaultInjector {
     std::int64_t at = 0;
     std::int64_t count = 1;
   };
-  mutable std::mutex mutex_;
-  std::map<std::string, Window> armed_;
-  std::map<std::string, std::int64_t> hits_;
+  mutable Mutex mutex_;
+  std::map<std::string, Window> armed_ QPINN_GUARDED_BY(mutex_);
+  std::map<std::string, std::int64_t> hits_ QPINN_GUARDED_BY(mutex_);
 };
 
 /// Shorthand for FaultInjector::instance().should_fire(site).

@@ -1,0 +1,20 @@
+#include "util/invariant.hpp"
+
+namespace qpinn {
+
+InvariantError::InvariantError(std::string site, std::string category,
+                               const std::string& what)
+    : Error("InvariantError[" + site + "/" + category + "]: " + what),
+      site_(std::move(site)),
+      category_(std::move(category)) {}
+
+namespace detail {
+
+void throw_invariant_failure(const char* site, const char* category,
+                             const std::string& msg) {
+  throw InvariantError(site, category, msg);
+}
+
+}  // namespace detail
+
+}  // namespace qpinn

@@ -1,0 +1,68 @@
+// Checked-build invariant layer (-DQPINN_CHECKED=ON).
+//
+// A checked build compiles semantic invariants into the hot layers that
+// ordinary tests cannot see failing: tensor storage consistency, autodiff
+// tape discipline (use-after-backward, backward-twice), and optimizer/model
+// parameter agreement. Violations raise InvariantError, a structured error
+// naming the *site* (a stable dotted identifier such as "autodiff.tape")
+// and the *category* of the broken invariant, so CI logs point at the
+// responsible subsystem rather than a downstream symptom.
+//
+// Release builds compile every check out; the only permanent cost is a few
+// bytes of per-node bookkeeping state that is never touched. Use
+// `qpinn::checked_build()` to ask at runtime whether the layer is active
+// (tests skip their trigger cases in unchecked builds).
+#pragma once
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace qpinn {
+
+/// True when the library was compiled with QPINN_CHECKED.
+constexpr bool checked_build() {
+#ifdef QPINN_CHECKED
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Violation of a checked-build invariant. `site()` is the stable dotted
+/// identifier of the check location; `category()` is the invariant class
+/// (e.g. "tape", "storage", "param-agreement").
+class InvariantError : public Error {
+ public:
+  InvariantError(std::string site, std::string category,
+                 const std::string& what);
+
+  const std::string& site() const { return site_; }
+  const std::string& category() const { return category_; }
+
+ private:
+  std::string site_;
+  std::string category_;
+};
+
+namespace detail {
+[[noreturn]] void throw_invariant_failure(const char* site,
+                                          const char* category,
+                                          const std::string& msg);
+}  // namespace detail
+
+}  // namespace qpinn
+
+/// Checked-build-only invariant. Compiles to nothing in release builds.
+#ifdef QPINN_CHECKED
+#define QPINN_INVARIANT(cond, site, category, msg)                         \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::qpinn::detail::throw_invariant_failure((site), (category), (msg)); \
+    }                                                                      \
+  } while (false)
+#else
+#define QPINN_INVARIANT(cond, site, category, msg) \
+  do {                                             \
+  } while (false)
+#endif

@@ -4,15 +4,15 @@
 #include <cctype>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
 
 #include "util/error.hpp"
+#include "util/mutex.hpp"
 
 namespace qpinn::log {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(Level::kInfo)};
-std::mutex g_emit_mutex;
+Mutex g_emit_mutex;
 
 const char* level_tag(Level level) {
   switch (level) {
@@ -51,7 +51,7 @@ void emit(Level level, const std::string& message) {
   const double elapsed =
       std::chrono::duration<double>(clock::now() - start).count();
 
-  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  MutexLock lock(g_emit_mutex);
   std::fprintf(stderr, "[%9.3fs %s] %s\n", elapsed, level_tag(level),
                message.c_str());
 }

@@ -1,0 +1,53 @@
+// Annotated mutex primitives for clang thread-safety analysis.
+//
+// std::mutex and std::lock_guard carry no capability attributes, so
+// -Wthread-safety cannot see them acquire anything. Mutex/MutexLock are
+// thin, zero-overhead wrappers that do carry the attributes; guarded state
+// declares QPINN_GUARDED_BY(mu) and the analysis then proves every access
+// is under the lock. Use qpinn::CondVar (a std::condition_variable_any)
+// to wait directly on a Mutex.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace qpinn {
+
+/// std::mutex with clang capability attributes.
+class QPINN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() QPINN_ACQUIRE() { mutex_.lock(); }
+  void unlock() QPINN_RELEASE() { mutex_.unlock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Waits on a Mutex directly (BasicLockable), keeping the capability
+/// attributes intact; wait() releases and reacquires invisibly to the
+/// analysis, which matches the condition-variable contract (the guarded
+/// predicate must be re-checked in a loop after every wake-up).
+using CondVar = std::condition_variable_any;
+
+/// std::lock_guard equivalent understood by the analysis.
+class QPINN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) QPINN_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() QPINN_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+}  // namespace qpinn

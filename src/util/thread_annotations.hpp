@@ -1,0 +1,41 @@
+// Clang thread-safety analysis annotations.
+//
+// These macros attach lock requirements to data members and functions so
+// `clang -Wthread-safety` can prove, at compile time, that every access to
+// guarded state happens under the right mutex. Under compilers without the
+// attribute (gcc) they expand to nothing, so the annotations are free
+// documentation everywhere and enforced wherever clang builds the tree
+// (the clang CI job compiles with -Wthread-safety -Werror).
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define QPINN_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef QPINN_THREAD_ANNOTATION
+#define QPINN_THREAD_ANNOTATION(x)
+#endif
+
+/// Class that acts as a lockable capability (see qpinn::Mutex).
+#define QPINN_CAPABILITY(name) QPINN_THREAD_ANNOTATION(capability(name))
+/// RAII class that acquires a capability for its lifetime.
+#define QPINN_SCOPED_CAPABILITY QPINN_THREAD_ANNOTATION(scoped_lockable)
+/// Data member that may only be read or written while holding `mu`.
+#define QPINN_GUARDED_BY(mu) QPINN_THREAD_ANNOTATION(guarded_by(mu))
+/// Pointer member whose *pointee* is protected by `mu`.
+#define QPINN_PT_GUARDED_BY(mu) QPINN_THREAD_ANNOTATION(pt_guarded_by(mu))
+/// Function that must be called with the listed capabilities held.
+#define QPINN_REQUIRES(...) \
+  QPINN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function that must be called with the capabilities NOT held.
+#define QPINN_EXCLUDES(...) QPINN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Function that acquires the capabilities and returns with them held.
+#define QPINN_ACQUIRE(...) \
+  QPINN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function that releases the capabilities.
+#define QPINN_RELEASE(...) \
+  QPINN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Escape hatch for code the analysis cannot follow (e.g. init order).
+#define QPINN_NO_THREAD_SAFETY_ANALYSIS \
+  QPINN_THREAD_ANNOTATION(no_thread_safety_analysis)

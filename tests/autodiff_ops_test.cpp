@@ -8,6 +8,7 @@
 #include "autodiff/gradcheck.hpp"
 #include "autodiff/grad.hpp"
 #include "autodiff/ops.hpp"
+#include "autodiff/variable.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 

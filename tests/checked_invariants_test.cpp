@@ -1,0 +1,211 @@
+// Deliberately violates every invariant class of the checked-build layer
+// (-DQPINN_CHECKED=ON) and asserts the structured error that results.
+//
+// Catalogue (see DESIGN.md "Correctness-analysis layer"):
+//   always-on  shape / bounds violations            -> ShapeError
+//   always-on  dangling (undefined) Variable use    -> ValueError
+//   checked    tensor storage agreement             -> InvariantError storage
+//   checked    tape backward-twice                  -> InvariantError tape
+//   checked    tape use-after-backward              -> InvariantError tape
+//   checked    non-finite gradient origin           -> InvariantError grad
+//   checked    optimizer state/parameter agreement  -> InvariantError optim
+//
+// Checked-only cases skip themselves in release builds (the checks compile
+// out there); the CI checked job builds with QPINN_CHECKED=ON and runs all.
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "autodiff/grad.hpp"
+#include "autodiff/ops.hpp"
+#include "optim/adam.hpp"
+#include "tensor/kernels.hpp"
+#include "tensor/tensor.hpp"
+#include "util/invariant.hpp"
+
+namespace qpinn {
+namespace {
+
+using autodiff::GradOptions;
+using autodiff::Variable;
+using autodiff::grad;
+using autodiff::grad_single;
+
+#define SKIP_UNLESS_CHECKED()                                       \
+  do {                                                              \
+    if (!checked_build()) {                                         \
+      GTEST_SKIP() << "library built without QPINN_CHECKED";        \
+    }                                                               \
+  } while (false)
+
+// ---- always-on tier (present in every build) -----------------------------
+
+TEST(AlwaysOnInvariants, ShapeViolationRaisesShapeError) {
+  const Tensor a = Tensor::zeros({2, 3});
+  const Tensor b = Tensor::zeros({4, 5});
+  EXPECT_THROW(kernels::add(a, b), ShapeError);
+  EXPECT_THROW(kernels::matmul(a, b), ShapeError);
+  EXPECT_THROW(a.reshape({7}), ShapeError);
+}
+
+TEST(AlwaysOnInvariants, BoundsViolationRaisesShapeError) {
+  Tensor a = Tensor::zeros({2, 2});
+  EXPECT_THROW(a[4], ShapeError);
+  EXPECT_THROW(a.at(2, 0), ShapeError);
+  EXPECT_THROW(kernels::slice_rows(a, 0, 3), ShapeError);
+}
+
+TEST(AlwaysOnInvariants, DanglingVariableRaisesValueError) {
+  const Variable undefined;  // no node: the dangling-handle case
+  EXPECT_THROW(undefined.value(), ValueError);
+  const Variable x = Variable::leaf(Tensor::ones({2}));
+  EXPECT_THROW(autodiff::add(x, undefined), ValueError);
+  EXPECT_THROW(grad(undefined, {x}), ValueError);
+}
+
+TEST(AlwaysOnInvariants, DetachedOutputRaisesValueError) {
+  const Variable x = Variable::leaf(Tensor::ones({2}));
+  // detach() cuts the graph: the result no longer requires grad.
+  EXPECT_THROW(grad(autodiff::square(x).detach(), {x}), ValueError);
+}
+
+// ---- checked tier: tensor storage ----------------------------------------
+
+TEST(CheckedInvariants, MovedFromTensorCaughtAtKernelEntry) {
+  SKIP_UNLESS_CHECKED();
+  Tensor a = Tensor::ones({4});
+  const Tensor b = std::move(a);  // `a` keeps stale numel, loses storage
+  try {
+    kernels::sum_all(a);  // NOLINT(bugprone-use-after-move): deliberate
+    FAIL() << "expected InvariantError";
+  } catch (const InvariantError& e) {
+    EXPECT_EQ(e.site(), "kernels.sum_all");
+    EXPECT_EQ(e.category(), "storage");
+  }
+  EXPECT_EQ(kernels::sum_all(b).item(), 4.0);  // the moved-to side is fine
+}
+
+TEST(CheckedInvariants, ValidateNamesTheCallSite) {
+  SKIP_UNLESS_CHECKED();
+  Tensor a = Tensor::ones({2, 2});
+  const Tensor gone = std::move(a);
+  (void)gone;
+  try {
+    kernels::axpy_inplace(a, 1.0, gone);  // NOLINT(bugprone-use-after-move)
+    FAIL() << "expected InvariantError";
+  } catch (const InvariantError& e) {
+    EXPECT_EQ(e.site(), "kernels.axpy_inplace");
+  }
+}
+
+// ---- checked tier: autodiff tape ------------------------------------------
+
+TEST(CheckedInvariants, BackwardTwiceWithoutRetainIsCaught) {
+  SKIP_UNLESS_CHECKED();
+  const Variable x = Variable::leaf(Tensor::full({3}, 2.0));
+  const Variable y = autodiff::sum_all(autodiff::square(x));
+  GradOptions once;
+  once.retain_graph = false;
+  EXPECT_NO_THROW(grad(y, {x}, {}, once));
+  try {
+    grad(y, {x}, {}, once);
+    FAIL() << "expected InvariantError";
+  } catch (const InvariantError& e) {
+    EXPECT_EQ(e.site(), "autodiff.tape");
+    EXPECT_EQ(e.category(), "backward-twice");
+  }
+}
+
+TEST(CheckedInvariants, RetainGraphKeepsGraphReusable) {
+  SKIP_UNLESS_CHECKED();
+  const Variable x = Variable::leaf(Tensor::full({3}, 2.0));
+  const Variable y = autodiff::sum_all(autodiff::square(x));
+  // Default options retain; the second backward must be identical.
+  const double g1 = grad_single(y, x).value()[0];
+  const double g2 = grad_single(y, x).value()[0];
+  EXPECT_EQ(g1, g2);
+  EXPECT_EQ(g1, 4.0);
+}
+
+TEST(CheckedInvariants, UseAfterBackwardIsCaught) {
+  SKIP_UNLESS_CHECKED();
+  const Variable x = Variable::leaf(Tensor::full({3}, 2.0));
+  const Variable hidden = autodiff::square(x);
+  const Variable y = autodiff::sum_all(hidden);
+  GradOptions once;
+  once.retain_graph = false;
+  grad(y, {x}, {}, once);
+  try {
+    autodiff::scale(hidden, 2.0);  // builds on a released interior node
+    FAIL() << "expected InvariantError";
+  } catch (const InvariantError& e) {
+    EXPECT_EQ(e.site(), "autodiff.make_op");
+    EXPECT_EQ(e.category(), "use-after-backward");
+  }
+  // Leaves survive a non-retained backward: parameters are reusable.
+  EXPECT_NO_THROW(autodiff::scale(x, 2.0));
+}
+
+TEST(CheckedInvariants, NonFiniteGradientReportsOriginOp) {
+  SKIP_UNLESS_CHECKED();
+  // d/dx log(x) = 1/x -> inf at x = 0; the origin is the log node.
+  const Variable x = Variable::leaf(Tensor::zeros({1}));
+  const Variable y = autodiff::sum_all(autodiff::log(x));
+  try {
+    grad(y, {x});
+    FAIL() << "expected InvariantError";
+  } catch (const InvariantError& e) {
+    EXPECT_EQ(e.site(), "autodiff.grad");
+    EXPECT_EQ(e.category(), "non-finite");
+    EXPECT_NE(std::string(e.what()).find("'log'"), std::string::npos)
+        << e.what();
+  }
+}
+
+// ---- checked tier: optimizer/model agreement ------------------------------
+
+TEST(CheckedInvariants, NegativeOptimizerStepCountIsCaught) {
+  SKIP_UNLESS_CHECKED();
+  const Variable p = Variable::leaf(Tensor::zeros({2}));
+  optim::Adam adam({p}, optim::AdamConfig{});
+  optim::OptimizerState corrupt = adam.export_state();
+  corrupt.step_count = -7;
+  try {
+    adam.import_state(corrupt);
+    FAIL() << "expected InvariantError";
+  } catch (const InvariantError& e) {
+    EXPECT_EQ(e.site(), "optim.import_state");
+    EXPECT_EQ(e.category(), "param-agreement");
+  }
+}
+
+TEST(CheckedInvariants, CorruptStateSlotTensorIsCaught) {
+  SKIP_UNLESS_CHECKED();
+  const Variable p = Variable::leaf(Tensor::zeros({2}));
+  optim::Adam adam({p}, optim::AdamConfig{});
+  adam.step({Tensor::ones({2})});  // materialize moments
+  optim::OptimizerState corrupt = adam.export_state();
+  ASSERT_EQ(corrupt.slots.size(), 2u);
+  Tensor stolen = std::move(corrupt.slots[0]);  // leaves a husk behind
+  (void)stolen;
+  EXPECT_THROW(adam.import_state(corrupt), InvariantError);
+}
+
+TEST(CheckedInvariants, ErrorMessageCarriesSiteAndCategory) {
+  SKIP_UNLESS_CHECKED();
+  const InvariantError e("some.site", "some-category", "details");
+  EXPECT_NE(std::string(e.what()).find("some.site"), std::string::npos);
+  EXPECT_NE(std::string(e.what()).find("some-category"), std::string::npos);
+}
+
+TEST(CheckedBuildFlag, MatchesCompileTimeMacro) {
+#ifdef QPINN_CHECKED
+  EXPECT_TRUE(checked_build());
+#else
+  EXPECT_FALSE(checked_build());
+#endif
+}
+
+}  // namespace
+}  // namespace qpinn

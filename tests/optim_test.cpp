@@ -6,6 +6,7 @@
 #include "autodiff/grad.hpp"
 #include "autodiff/ops.hpp"
 #include "optim/adam.hpp"
+#include "optim/optimizer.hpp"
 #include "optim/rmsprop.hpp"
 #include "optim/scheduler.hpp"
 #include "optim/sgd.hpp"

@@ -48,6 +48,68 @@ TEST(ThreadPool, ForEachChunkPropagatesWorkerException) {
                NumericsError);
 }
 
+TEST(ThreadPool, ForEachChunkPropagatesCallerChunkException) {
+  // Chunk 0 runs on the calling thread, so its exception takes a different
+  // path (direct catch) than worker exceptions (future transport).
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.for_each_chunk(
+                   100,
+                   [](std::size_t chunk, std::size_t, std::size_t) {
+                     if (chunk == 0) throw ValueError("caller chunk failed");
+                   }),
+               ValueError);
+}
+
+TEST(ThreadPool, ForEachChunkAllChunksThrowingReportsOneAndRecovers) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.for_each_chunk(
+                   100,
+                   [](std::size_t, std::size_t, std::size_t) {
+                     throw NumericsError("every chunk fails");
+                   }),
+               NumericsError);
+  // Every future was still drained: the pool is reusable and idle.
+  EXPECT_TRUE(pool.idle());
+  std::atomic<int> counter{0};
+  pool.for_each_index(50, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, TeardownDrainsQueuedWork) {
+  std::atomic<int> completed{0};
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  {
+    ThreadPool pool(1);
+    // First task blocks the single worker; the rest pile up in the queue.
+    auto blocker = pool.submit([opened] { opened.wait(); });
+    for (int i = 0; i < 32; ++i) {
+      pool.submit([&completed] { ++completed; });
+    }
+    EXPECT_EQ(completed.load(), 0);
+    gate.set_value();
+    blocker.get();
+    // Destructor must drain all 32 queued tasks, not drop them.
+  }
+  EXPECT_EQ(completed.load(), 32);
+}
+
+TEST(ThreadPool, IdleTracksInflightWork) {
+  ThreadPool pool(2);
+  EXPECT_TRUE(pool.idle());
+  std::promise<void> gate;
+  std::promise<void> started;
+  auto future = pool.submit([&] {
+    started.set_value();
+    gate.get_future().wait();
+  });
+  started.get_future().wait();  // the task is definitely executing now
+  EXPECT_FALSE(pool.idle());
+  gate.set_value();
+  future.get();
+  EXPECT_TRUE(pool.idle());
+}
+
 TEST(ThreadPool, ForEachIndexVisitsAll) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(257);
@@ -122,6 +184,26 @@ TEST(GlobalPool, DefaultThreadsPositive) {
 TEST(GlobalPool, Resizable) {
   set_global_threads(3);
   EXPECT_EQ(global_pool().size(), 3u);
+  set_global_threads(default_num_threads());
+}
+
+TEST(GlobalPool, ResizeWhileBusyRaisesConfigError) {
+  // The documented set_global_threads() contract: the pool must be idle.
+  set_global_threads(2);
+  std::promise<void> gate;
+  std::promise<void> started;
+  auto future = global_pool().submit([&] {
+    started.set_value();
+    gate.get_future().wait();
+  });
+  started.get_future().wait();
+  EXPECT_THROW(set_global_threads(4), ConfigError);
+  EXPECT_EQ(global_pool().size(), 2u);  // the busy pool was left in place
+  gate.set_value();
+  future.get();
+  // Once idle again, the resize succeeds.
+  set_global_threads(4);
+  EXPECT_EQ(global_pool().size(), 4u);
   set_global_threads(default_num_threads());
 }
 

@@ -7,6 +7,7 @@
 #include "core/trainer.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/error.hpp"
+#include "util/invariant.hpp"
 
 namespace qpinn::core {
 namespace {
@@ -174,7 +175,13 @@ TEST(Trainer, NonFiniteLossThrows) {
   // Failure injection: corrupt a parameter; the next step's loss is NaN.
   model->parameters().front().mutable_value().data()[0] =
       std::numeric_limits<double>::quiet_NaN();
-  EXPECT_THROW(trainer.fit(), NumericsError);
+  if (checked_build()) {
+    // The checked build intercepts the NaN earlier, at the first backward
+    // op that produces it, and names that op as the origin.
+    EXPECT_THROW(trainer.fit(), InvariantError);
+  } else {
+    EXPECT_THROW(trainer.fit(), NumericsError);
+  }
 }
 
 TEST(Trainer, GradClipBoundsGradNorm) {

@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Repo lint: mechanical rules the compiler does not enforce.
+
+Rules (each finding prints ``path:line: [rule] message``; exit 1 if any):
+
+  banned-random   no C ``rand()`` / ``srand()`` in src/ — use util/rng.hpp,
+                  which is seeded, splittable, and deterministic across runs.
+  banned-stdout   no ``std::cout`` in src/ — use util/logging.hpp so output
+                  honors the configured level and is serialized across
+                  threads.
+  pragma-once     every header under src/ starts its include guard with
+                  ``#pragma once``.
+  naked-new       no ``new`` expressions — ownership goes through
+                  make_unique/make_shared/containers. Suppress a deliberate
+                  use with a trailing ``// lint-allow: naked-new``.
+  test-coverage   every src/<mod>/<name>.cpp with a sibling header is
+                  directly included by at least one tests/*_test.cpp, so no
+                  module silently drops out of the suite.
+
+Comments and string literals are stripped before token rules run, so prose
+mentioning ``new`` or ``rand()`` never trips the gate.
+
+Usage: tools/qpinn_lint.py [--root REPO_ROOT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+HEADER_EXT = ".hpp"
+SOURCE_EXTS = (".hpp", ".cpp")
+
+ALLOW_TAG = "lint-allow:"
+
+
+def strip_code(text: str) -> str:
+    """Blank out comments and string/char literals, preserving newlines and
+    column positions so findings keep real line numbers."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line-comment | block-comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line-comment"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block-comment"
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+            elif c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line-comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block-comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        else:  # string or char literal
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+class Finding:
+    def __init__(self, path: pathlib.Path, line: int, rule: str, message: str):
+        self.path, self.line, self.rule, self.message = path, line, rule, message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def allowed(raw_line: str, rule: str) -> bool:
+    tag = raw_line.rsplit(ALLOW_TAG, 1)
+    return len(tag) == 2 and rule in tag[1]
+
+
+def token_rules(path: pathlib.Path, findings: list[Finding]) -> None:
+    raw = path.read_text(encoding="utf-8")
+    raw_lines = raw.splitlines()
+    code_lines = strip_code(raw).splitlines()
+
+    rules = [
+        # C rand() takes no arguments; qpinn's Tensor::rand(shape, rng, ...)
+        # never matches the empty-parens form.
+        ("banned-random", re.compile(r"\b(?:std::)?rand\s*\(\s*\)"),
+         "C rand() is banned; use util/rng.hpp (seeded, deterministic)"),
+        ("banned-random", re.compile(r"\bsrand\s*\("),
+         "srand() is banned; use util/rng.hpp (seeded, deterministic)"),
+        ("banned-stdout", re.compile(r"\bstd::cout\b"),
+         "std::cout is banned in src/; use util/logging.hpp"),
+        ("naked-new", re.compile(r"\bnew\b"),
+         "naked new is banned; use make_unique/make_shared or a container"),
+    ]
+    for lineno, code in enumerate(code_lines, start=1):
+        for rule, pattern, message in rules:
+            if pattern.search(code) and not allowed(raw_lines[lineno - 1], rule):
+                findings.append(Finding(path, lineno, rule, message))
+
+
+def pragma_once_rule(path: pathlib.Path, findings: list[Finding]) -> None:
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(),
+                                  start=1):
+        stripped = line.strip()
+        if stripped == "#pragma once":
+            return
+        if stripped and not stripped.startswith("//"):
+            break  # first non-comment line reached without the pragma
+    findings.append(Finding(path, 1, "pragma-once",
+                            "header must start with #pragma once"))
+
+
+def test_coverage_rule(src: pathlib.Path, tests: pathlib.Path,
+                       findings: list[Finding]) -> None:
+    included: set[str] = set()
+    include_re = re.compile(r'#include\s+"([^"]+)"')
+    for test in sorted(tests.glob("*_test.cpp")):
+        for match in include_re.finditer(test.read_text(encoding="utf-8")):
+            included.add(match.group(1))
+    for cpp in sorted(src.rglob("*.cpp")):
+        header = cpp.with_suffix(HEADER_EXT)
+        if not header.is_file():
+            continue
+        rel = header.relative_to(src).as_posix()
+        if rel not in included:
+            findings.append(Finding(
+                cpp, 1, "test-coverage",
+                f'no tests/*_test.cpp includes "{rel}"; add a test or an '
+                f"include to an existing suite"))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: this script's ../)")
+    args = parser.parse_args()
+
+    root = (pathlib.Path(args.root).resolve() if args.root
+            else pathlib.Path(__file__).resolve().parent.parent)
+    src, tests = root / "src", root / "tests"
+    if not src.is_dir() or not tests.is_dir():
+        print(f"qpinn_lint: {root} has no src/ and tests/", file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in SOURCE_EXTS or not path.is_file():
+            continue
+        token_rules(path, findings)
+        if path.suffix == HEADER_EXT:
+            pragma_once_rule(path, findings)
+    test_coverage_rule(src, tests, findings)
+
+    for finding in findings:
+        print(finding)
+    checked = sum(1 for p in src.rglob("*") if p.suffix in SOURCE_EXTS)
+    status = "FAIL" if findings else "OK"
+    print(f"qpinn_lint: {checked} files, {len(findings)} finding(s) [{status}]")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
