@@ -1,0 +1,243 @@
+// bench_report — machine-readable performance report for the hot path.
+//
+// Times the tensor / autodiff / training-step suites and writes a JSON
+// report (default BENCH_qpinn.json) with ns/op plus allocations/op and
+// pool-reuses/op taken from the storage pool's own counters. The summary
+// block measures the pool's allocation win directly: the same training
+// step is run with the pool enabled and disabled and the per-step heap
+// allocation counts are compared (alloc_reduction_x).
+//
+// CI runs `bench_report --quick` and diffs the report against the
+// committed baseline with tools/bench_compare.py (warn-only — timing on
+// shared runners is noisy; the allocation counts are exact and stable).
+//
+// Usage:
+//   bench_report [--quick] [--out BENCH_qpinn.json] [--threads N]
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "autodiff/grad.hpp"
+#include "autodiff/ops.hpp"
+#include "optim/adam.hpp"
+#include "parallel/thread_pool.hpp"
+#include "tensor/kernels.hpp"
+#include "tensor/storage_pool.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using qpinn::Rng;
+using qpinn::Shape;
+using qpinn::StoragePool;
+using qpinn::Stopwatch;
+using qpinn::Tensor;
+namespace ad = qpinn::autodiff;
+namespace k = qpinn::kernels;
+
+struct Result {
+  std::string suite;
+  std::string op;
+  std::string shape;
+  double ns_per_op = 0.0;
+  double allocs_per_op = 0.0;
+  double reuses_per_op = 0.0;
+};
+
+template <typename F>
+Result time_op(const std::string& suite, const std::string& op,
+               const std::string& shape, int reps, F body) {
+  body();  // warmup: fills the pool's free lists and touches the caches
+  StoragePool& pool = StoragePool::instance();
+  const auto s0 = pool.stats();
+  Stopwatch sw;
+  for (int r = 0; r < reps; ++r) body();
+  const double ns = sw.seconds() * 1e9 / reps;
+  const auto s1 = pool.stats();
+  Result res;
+  res.suite = suite;
+  res.op = op;
+  res.shape = shape;
+  res.ns_per_op = ns;
+  res.allocs_per_op =
+      static_cast<double>(s1.heap_allocations - s0.heap_allocations) / reps;
+  res.reuses_per_op =
+      static_cast<double>(s1.pool_reuses - s0.pool_reuses) / reps;
+  return res;
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << v;
+  return os.str();
+}
+
+/// Six-parameter tanh MLP (2 -> 64 -> 64 -> 1) on a 256-point batch — the
+/// same network scale the PINN examples train.
+struct BenchModel {
+  ad::Variable w1, b1, w2, b2, w3, b3;
+  ad::Variable x;
+  std::vector<ad::Variable> params;
+
+  explicit BenchModel(Rng& rng)
+      : w1(ad::Variable::leaf(Tensor::randn({2, 64}, rng, 0.0, 0.3))),
+        b1(ad::Variable::leaf(Tensor::zeros({1, 64}))),
+        w2(ad::Variable::leaf(Tensor::randn({64, 64}, rng, 0.0, 0.3))),
+        b2(ad::Variable::leaf(Tensor::zeros({1, 64}))),
+        w3(ad::Variable::leaf(Tensor::randn({64, 1}, rng, 0.0, 0.3))),
+        b3(ad::Variable::leaf(Tensor::zeros({1, 1}))),
+        x(ad::Variable::constant(Tensor::rand({256, 2}, rng, -1.0, 1.0))),
+        params{w1, b1, w2, b2, w3, b3} {}
+
+  ad::Variable loss() const {
+    ad::Variable h = ad::tanh(ad::add(ad::matmul(x, w1), b1));
+    h = ad::tanh(ad::add(ad::matmul(h, w2), b2));
+    return ad::mean_all(ad::square(ad::add(ad::matmul(h, w3), b3)));
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  qpinn::CliParser cli("bench_report",
+                       "Timed perf suites with pool allocation counters");
+  cli.add_flag("quick", "fewer repetitions (CI configuration)");
+  cli.add_string("out", "BENCH_qpinn.json", "output JSON path");
+  cli.add_int("threads", 0, "worker threads (0 = default)");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::cout << cli.help_text();
+    return 0;
+  }
+  if (cli.get_int("threads") > 0) {
+    qpinn::set_global_threads(static_cast<std::size_t>(cli.get_int("threads")));
+  }
+  const bool quick = cli.get_flag("quick");
+  const int r_small = quick ? 200 : 2000;   // cheap ops
+  const int r_mid = quick ? 50 : 500;       // mid-size matmuls
+  const int r_big = quick ? 10 : 100;       // 256x256 matmuls, train step
+
+  Rng rng(7);
+  StoragePool& pool = StoragePool::instance();
+  std::vector<Result> results;
+
+  // ---- tensor suite ------------------------------------------------------
+  {
+    const Tensor a = Tensor::rand({256, 256}, rng, -1.0, 1.0);
+    const Tensor b = Tensor::rand({256, 256}, rng, -1.0, 1.0);
+    const Tensor a64 = Tensor::rand({64, 64}, rng, -1.0, 1.0);
+    const Tensor b64 = Tensor::rand({64, 64}, rng, -1.0, 1.0);
+    const Tensor v1 = Tensor::rand({1 << 16}, rng, -1.0, 1.0);
+    const Tensor v2 = Tensor::rand({1 << 16}, rng, -1.0, 1.0);
+    Tensor acc = v1.clone();
+    results.push_back(time_op("tensor", "add", "256x256", r_mid,
+                              [&] { k::add(a, b); }));
+    results.push_back(time_op("tensor", "mul", "256x256", r_mid,
+                              [&] { k::mul(a, b); }));
+    results.push_back(time_op("tensor", "matmul", "64x64x64", r_mid,
+                              [&] { k::matmul(a64, b64); }));
+    results.push_back(time_op("tensor", "matmul", "256x256x256", r_big,
+                              [&] { k::matmul(a, b); }));
+    results.push_back(time_op("tensor", "matmul_tn", "256x256x256", r_big,
+                              [&] { k::matmul_tn(a, b); }));
+    results.push_back(time_op("tensor", "matmul_nt", "256x256x256", r_big,
+                              [&] { k::matmul_nt(a, b); }));
+    results.push_back(
+        time_op("tensor", "dot", "65536", r_small, [&] { k::dot(v1, v2); }));
+    results.push_back(time_op("tensor", "axpy_inplace", "65536", r_small,
+                              [&] { k::axpy_inplace(acc, 0.5, v2); }));
+    results.push_back(time_op("tensor", "sum_to", "256x256->1x256", r_small,
+                              [&] { k::sum_to(a, Shape{1, 256}); }));
+  }
+
+  // ---- autodiff suite ----------------------------------------------------
+  BenchModel model(rng);
+  results.push_back(time_op("autodiff", "mlp_forward", "256x2->1", r_mid,
+                            [&] { model.loss(); }));
+  results.push_back(time_op("autodiff", "mlp_grad", "256x2->1", r_mid, [&] {
+    ad::grad(model.loss(), model.params);
+  }));
+
+  // ---- training-step suite ----------------------------------------------
+  qpinn::optim::Adam adam(model.params, {});
+  auto train_step = [&] {
+    auto grads = ad::grad(model.loss(), model.params);
+    std::vector<Tensor> g;
+    g.reserve(grads.size());
+    for (auto& gv : grads) g.push_back(gv.value());
+    adam.step(g);
+  };
+  results.push_back(
+      time_op("training", "train_step", "mlp-2-64-64-1", r_big, train_step));
+
+  // Allocation win: identical steps, pool on vs off, counted by the pool
+  // itself. Exact and machine-independent (same tape -> same tensor count).
+  const int alloc_reps = quick ? 10 : 50;
+  const bool was_enabled = pool.enabled();
+  pool.set_enabled(true);
+  train_step();  // steady state: free lists primed
+  auto s0 = pool.stats();
+  for (int r = 0; r < alloc_reps; ++r) train_step();
+  auto s1 = pool.stats();
+  const double allocs_on =
+      static_cast<double>(s1.heap_allocations - s0.heap_allocations) /
+      alloc_reps;
+  pool.set_enabled(false);
+  train_step();
+  s0 = pool.stats();
+  for (int r = 0; r < alloc_reps; ++r) train_step();
+  s1 = pool.stats();
+  const double allocs_off =
+      static_cast<double>(s1.heap_allocations - s0.heap_allocations) /
+      alloc_reps;
+  pool.set_enabled(was_enabled);
+  const double reduction = allocs_off / std::max(allocs_on, 1.0);
+
+  // ---- report ------------------------------------------------------------
+  std::ostringstream json;
+  json << "{\n";
+  json << "  \"schema\": 1,\n";
+  json << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+  json << "  \"threads\": " << qpinn::global_pool().size() << ",\n";
+  json << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    json << "    {\"suite\": \"" << r.suite << "\", \"op\": \"" << r.op
+         << "\", \"shape\": \"" << r.shape << "\", \"ns_per_op\": "
+         << fmt(r.ns_per_op) << ", \"allocs_per_op\": " << fmt(r.allocs_per_op)
+         << ", \"reuses_per_op\": " << fmt(r.reuses_per_op) << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n";
+  json << "  \"summary\": {\n";
+  json << "    \"train_step_allocs_pool_on\": " << fmt(allocs_on) << ",\n";
+  json << "    \"train_step_allocs_pool_off\": " << fmt(allocs_off) << ",\n";
+  json << "    \"alloc_reduction_x\": " << fmt(reduction) << "\n";
+  json << "  }\n";
+  json << "}\n";
+
+  const std::string out_path = cli.get_string("out");
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "bench_report: cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << json.str();
+  out.close();
+
+  std::cout << json.str();
+  std::cout << "wrote " << out_path << "\n";
+  if (reduction < 5.0) {
+    std::cout << "WARNING: alloc_reduction_x " << fmt(reduction)
+              << " is below the 5x budget (see ISSUE 3 acceptance)\n";
+  }
+  return 0;
+}

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "autodiff/ops.hpp"
+#include "tensor/kernels.hpp"
 #include "util/error.hpp"
 #include "util/invariant.hpp"
 
@@ -72,8 +73,12 @@ std::vector<Variable> grad(const Variable& output,
   std::optional<NoGradGuard> guard;
   if (!options.create_graph) guard.emplace();
 
-  // Accumulated gradient per node.
+  // Accumulated gradient per node. Nodes in `owned_accum` hold a private
+  // accumulation buffer this pass created, so further contributions may
+  // axpy into it in place; everything else (the seed, gradients produced
+  // by backward closures) is treated as immutable.
   std::unordered_map<Node*, Variable> grads;
+  std::unordered_set<Node*> owned_accum;
   grads[output.node()] = seed;
 
   const std::vector<Node*> order = topo_order(output.node());
@@ -134,8 +139,22 @@ std::vector<Variable> grad(const Variable& output,
       auto existing = grads.find(parent.node());
       if (existing == grads.end()) {
         grads.emplace(parent.node(), pg);
-      } else {
+      } else if (options.create_graph) {
+        // Higher-order path: the accumulation itself must be on the tape.
         existing->second = add(existing->second, pg);
+      } else if (owned_accum.contains(parent.node())) {
+        // Private accumulator: fold the new contribution in without
+        // allocating another tensor per accumulation edge.
+        kernels::axpy_inplace(existing->second.mutable_value(), 1.0,
+                              pg.value());
+      } else {
+        // First collision for this node: materialize a private buffer
+        // (the stored gradient may alias the seed or a tape value, which
+        // must stay untouched) and accumulate into it from now on.
+        Tensor acc = existing->second.value().clone();
+        kernels::axpy_inplace(acc, 1.0, pg.value());
+        existing->second = Variable::constant(std::move(acc));
+        owned_accum.insert(parent.node());
       }
     }
   }

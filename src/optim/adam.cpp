@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "parallel/parallel_for.hpp"
 #include "util/error.hpp"
 
 namespace qpinn::optim {
@@ -63,22 +64,26 @@ void Adam::apply(const std::vector<Tensor>& grads) {
     double* p = param.data();
     double* m = m_[i].data();
     double* v = v_[i].data();
-    const std::int64_t n = param.numel();
-    for (std::int64_t j = 0; j < n; ++j) {
-      double gj = g[j];
-      if (config_.weight_decay > 0.0 && !config_.decoupled) {
-        gj += config_.weight_decay * p[j];
+    const std::size_t n = static_cast<std::size_t>(param.numel());
+    // Elementwise and collision-free, so chunking over the pool is exact
+    // (no reduction — determinism is untouched by thread count).
+    parallel_for(n, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t j = begin; j < end; ++j) {
+        double gj = g[j];
+        if (config_.weight_decay > 0.0 && !config_.decoupled) {
+          gj += config_.weight_decay * p[j];
+        }
+        m[j] = config_.beta1 * m[j] + (1.0 - config_.beta1) * gj;
+        v[j] = config_.beta2 * v[j] + (1.0 - config_.beta2) * gj * gj;
+        const double m_hat = m[j] / bc1;
+        const double v_hat = v[j] / bc2;
+        double update = m_hat / (std::sqrt(v_hat) + config_.eps);
+        if (config_.weight_decay > 0.0 && config_.decoupled) {
+          update += config_.weight_decay * p[j];
+        }
+        p[j] -= lr_ * update;
       }
-      m[j] = config_.beta1 * m[j] + (1.0 - config_.beta1) * gj;
-      v[j] = config_.beta2 * v[j] + (1.0 - config_.beta2) * gj * gj;
-      const double m_hat = m[j] / bc1;
-      const double v_hat = v[j] / bc2;
-      double update = m_hat / (std::sqrt(v_hat) + config_.eps);
-      if (config_.weight_decay > 0.0 && config_.decoupled) {
-        update += config_.weight_decay * p[j];
-      }
-      p[j] -= lr_ * update;
-    }
+    });
   }
 }
 

@@ -65,6 +65,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
     queue_.push_back(std::move(entry));
     ++inflight_;
   }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
   cv_.notify_one();
   return future;
 }

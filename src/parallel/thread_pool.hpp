@@ -10,7 +10,9 @@
 // dynamic behavior in CI). Task bodies themselves run unlocked.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -57,6 +59,15 @@ class ThreadPool {
   /// answer: another thread may submit immediately afterwards.
   bool idle() const;
 
+  /// Lifetime count of tasks handed to workers via submit(). Work run
+  /// inline on the calling thread (small-n parallel_for, chunk 0 of
+  /// for_each_chunk) is NOT counted — the counter measures dispatch, which
+  /// is what grain heuristics are tuned against (see the serial-dispatch
+  /// tests in tests/kernels_test.cpp).
+  std::uint64_t tasks_submitted() const {
+    return submitted_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// Task plus its completion channel. A plain promise (not packaged_task)
   /// so the worker can decrement inflight_ BEFORE fulfilling the future:
@@ -76,6 +87,8 @@ class ThreadPool {
   bool stopping_ QPINN_GUARDED_BY(mutex_) = false;
   /// Tasks submitted but not yet finished (queued + executing).
   std::size_t inflight_ QPINN_GUARDED_BY(mutex_) = 0;
+  /// Lifetime dispatch counter; see tasks_submitted().
+  std::atomic<std::uint64_t> submitted_{0};
 };
 
 /// Process-wide pool used by tensor kernels and the trainer.

@@ -195,6 +195,162 @@ Tensor sign(const Tensor& a) {
   });
 }
 
+namespace {
+
+// ---- matmul micro-kernels -------------------------------------------------
+//
+// All three variants use register-tiled blocks: kRowTile output rows by
+// kColTile output columns accumulate in a local array the compiler keeps in
+// registers, so each loaded element of a and b feeds several FMAs instead
+// of one. Remainder fringes fall back to plain loops. No operand value is
+// ever skipped — an earlier `aik == 0.0` shortcut silently dropped IEEE
+// NaN/Inf propagation from the right operand (0 * NaN must be NaN).
+constexpr std::int64_t kRowTile = 4;
+constexpr std::int64_t kColTile = 8;
+
+// Serial-dispatch heuristic: run on the calling thread unless a chunk of at
+// least kMinRowsPerChunk rows carries ~kSerialFlops of multiply-adds.
+// The floor keeps tiny matmuls (few output rows) off the pool entirely —
+// per-task dispatch costs more than the work itself.
+constexpr std::int64_t kMinRowsPerChunk = 4;
+constexpr std::int64_t kSerialFlops = 16384;
+
+std::size_t matmul_grain(std::int64_t flops_per_row) {
+  return static_cast<std::size_t>(std::max<std::int64_t>(
+      kMinRowsPerChunk,
+      kSerialFlops / std::max<std::int64_t>(1, flops_per_row)));
+}
+
+// Rows [i0, i1) of out[n,m] = a[n,k] * b[k,m]; out rows pre-zeroed.
+void matmul_rows(const double* pa, const double* pb, double* po,
+                 std::int64_t i0, std::int64_t i1, std::int64_t k,
+                 std::int64_t m) {
+  for (std::int64_t i = i0; i < i1; i += kRowTile) {
+    const std::int64_t ib = std::min(kRowTile, i1 - i);
+    for (std::int64_t j = 0; j < m; j += kColTile) {
+      const std::int64_t jb = std::min(kColTile, m - j);
+      if (ib == kRowTile && jb == kColTile) {
+        double acc[kRowTile][kColTile] = {};
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          const double* b_row = pb + kk * m + j;
+          for (std::int64_t r = 0; r < kRowTile; ++r) {
+            const double a_rk = pa[(i + r) * k + kk];
+            for (std::int64_t c = 0; c < kColTile; ++c) {
+              acc[r][c] += a_rk * b_row[c];
+            }
+          }
+        }
+        for (std::int64_t r = 0; r < kRowTile; ++r) {
+          double* out_row = po + (i + r) * m + j;
+          for (std::int64_t c = 0; c < kColTile; ++c) out_row[c] = acc[r][c];
+        }
+      } else {
+        for (std::int64_t r = 0; r < ib; ++r) {
+          double* out_row = po + (i + r) * m + j;
+          const double* a_row = pa + (i + r) * k;
+          for (std::int64_t kk = 0; kk < k; ++kk) {
+            const double a_rk = a_row[kk];
+            const double* b_row = pb + kk * m + j;
+            for (std::int64_t c = 0; c < jb; ++c) {
+              out_row[c] += a_rk * b_row[c];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// Rows [i0, i1) of out[n,m] = a[k,n]^T * b[k,m]; out rows pre-zeroed.
+// a columns i..i+3 are adjacent in memory, so the tile loads stay unit
+// stride in both operands.
+void matmul_tn_rows(const double* pa, const double* pb, double* po,
+                    std::int64_t i0, std::int64_t i1, std::int64_t k,
+                    std::int64_t n, std::int64_t m) {
+  for (std::int64_t i = i0; i < i1; i += kRowTile) {
+    const std::int64_t ib = std::min(kRowTile, i1 - i);
+    for (std::int64_t j = 0; j < m; j += kColTile) {
+      const std::int64_t jb = std::min(kColTile, m - j);
+      if (ib == kRowTile && jb == kColTile) {
+        double acc[kRowTile][kColTile] = {};
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          const double* a_col = pa + kk * n + i;
+          const double* b_row = pb + kk * m + j;
+          for (std::int64_t r = 0; r < kRowTile; ++r) {
+            const double a_rk = a_col[r];
+            for (std::int64_t c = 0; c < kColTile; ++c) {
+              acc[r][c] += a_rk * b_row[c];
+            }
+          }
+        }
+        for (std::int64_t r = 0; r < kRowTile; ++r) {
+          double* out_row = po + (i + r) * m + j;
+          for (std::int64_t c = 0; c < kColTile; ++c) out_row[c] = acc[r][c];
+        }
+      } else {
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          const double* a_col = pa + kk * n + i;
+          const double* b_row = pb + kk * m + j;
+          for (std::int64_t r = 0; r < ib; ++r) {
+            double* out_row = po + (i + r) * m + j;
+            const double a_rk = a_col[r];
+            for (std::int64_t c = 0; c < jb; ++c) {
+              out_row[c] += a_rk * b_row[c];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// Rows [i0, i1) of out[n,m] = a[n,k] * b[m,k]^T. Both operands stream
+// along k, so the tile is kRowTile x kRowTile dot products.
+void matmul_nt_rows(const double* pa, const double* pb, double* po,
+                    std::int64_t i0, std::int64_t i1, std::int64_t k,
+                    std::int64_t m) {
+  for (std::int64_t i = i0; i < i1; i += kRowTile) {
+    const std::int64_t ib = std::min(kRowTile, i1 - i);
+    for (std::int64_t j = 0; j < m; j += kRowTile) {
+      const std::int64_t jb = std::min(kRowTile, m - j);
+      if (ib == kRowTile && jb == kRowTile) {
+        double acc[kRowTile][kRowTile] = {};
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          double av[kRowTile], bv[kRowTile];
+          for (std::int64_t r = 0; r < kRowTile; ++r) {
+            av[r] = pa[(i + r) * k + kk];
+            bv[r] = pb[(j + r) * k + kk];
+          }
+          for (std::int64_t r = 0; r < kRowTile; ++r) {
+            for (std::int64_t c = 0; c < kRowTile; ++c) {
+              acc[r][c] += av[r] * bv[c];
+            }
+          }
+        }
+        for (std::int64_t r = 0; r < kRowTile; ++r) {
+          double* out_row = po + (i + r) * m + j;
+          for (std::int64_t c = 0; c < kRowTile; ++c) out_row[c] = acc[r][c];
+        }
+      } else {
+        for (std::int64_t r = 0; r < ib; ++r) {
+          const double* a_row = pa + (i + r) * k;
+          double* out_row = po + (i + r) * m + j;
+          for (std::int64_t c = 0; c < jb; ++c) {
+            const double* b_row = pb + (j + c) * k;
+            double acc = 0.0;
+            for (std::int64_t kk = 0; kk < k; ++kk) {
+              acc += a_row[kk] * b_row[kk];
+            }
+            out_row[c] = acc;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
 Tensor matmul(const Tensor& a, const Tensor& b) {
   QPINN_KERNEL_VALIDATE(a, "kernels.matmul");
   QPINN_KERNEL_VALIDATE(b, "kernels.matmul");
@@ -211,23 +367,13 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const double* pa = a.data();
   const double* pb = b.data();
   double* po = out.data();
-  // i-k-j loop order: streams through b and out rows; rows parallelized.
   parallel_for(
       static_cast<std::size_t>(n),
       [&](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-          double* out_row = po + i * static_cast<std::size_t>(m);
-          const double* a_row = pa + i * static_cast<std::size_t>(k);
-          for (std::int64_t kk = 0; kk < k; ++kk) {
-            const double aik = a_row[kk];
-            if (aik == 0.0) continue;
-            const double* b_row = pb + kk * m;
-            for (std::int64_t j = 0; j < m; ++j) out_row[j] += aik * b_row[j];
-          }
-        }
+        matmul_rows(pa, pb, po, static_cast<std::int64_t>(begin),
+                    static_cast<std::int64_t>(end), k, m);
       },
-      /*grain=*/static_cast<std::size_t>(
-          std::max<std::int64_t>(1, 16384 / std::max<std::int64_t>(1, k * m))));
+      matmul_grain(k * m));
   return out;
 }
 
@@ -245,23 +391,14 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   const double* pa = a.data();
   const double* pb = b.data();
   double* po = out.data();
-  // out[i][j] = sum_kk a[kk][i] * b[kk][j]; accumulate row blocks serially
-  // (k outer) and parallelize over output rows i.
+  // out[i][j] = sum_kk a[kk][i] * b[kk][j]; parallelized over output rows i.
   parallel_for(
       static_cast<std::size_t>(n),
       [&](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-          double* out_row = po + i * static_cast<std::size_t>(m);
-          for (std::int64_t kk = 0; kk < k; ++kk) {
-            const double aki = pa[kk * n + static_cast<std::int64_t>(i)];
-            if (aki == 0.0) continue;
-            const double* b_row = pb + kk * m;
-            for (std::int64_t j = 0; j < m; ++j) out_row[j] += aki * b_row[j];
-          }
-        }
+        matmul_tn_rows(pa, pb, po, static_cast<std::int64_t>(begin),
+                       static_cast<std::int64_t>(end), k, n, m);
       },
-      /*grain=*/static_cast<std::size_t>(
-          std::max<std::int64_t>(1, 16384 / std::max<std::int64_t>(1, k * m))));
+      matmul_grain(k * m));
   return out;
 }
 
@@ -282,19 +419,10 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   parallel_for(
       static_cast<std::size_t>(n),
       [&](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-          const double* a_row = pa + i * static_cast<std::size_t>(k);
-          double* out_row = po + i * static_cast<std::size_t>(m);
-          for (std::int64_t j = 0; j < m; ++j) {
-            const double* b_row = pb + j * k;
-            double acc = 0.0;
-            for (std::int64_t kk = 0; kk < k; ++kk) acc += a_row[kk] * b_row[kk];
-            out_row[j] = acc;
-          }
-        }
+        matmul_nt_rows(pa, pb, po, static_cast<std::int64_t>(begin),
+                       static_cast<std::int64_t>(end), k, m);
       },
-      /*grain=*/static_cast<std::size_t>(
-          std::max<std::int64_t>(1, 16384 / std::max<std::int64_t>(1, k * m))));
+      matmul_grain(k * m));
   return out;
 }
 
@@ -331,7 +459,12 @@ Tensor mean_all(const Tensor& a) {
 
 Tensor sum_to(const Tensor& a, const Shape& target) {
   QPINN_KERNEL_VALIDATE(a, "kernels.sum_to");
-  if (a.shape() == target) return a;
+  // Shapes equal: still a fresh buffer. Returning `a` itself would alias
+  // the caller's storage on exactly one path while every other path
+  // allocates — and an in-place mutation through the "result" (e.g. the
+  // backward pass accumulating gradients) would silently corrupt the
+  // source tensor.
+  if (a.shape() == target) return a.clone();
   QPINN_CHECK_SHAPE(broadcastable_to(target, a.shape()),
                     "sum_to target " + shape_to_string(target) +
                         " is not broadcast-compatible with " +
@@ -343,7 +476,38 @@ Tensor sum_to(const Tensor& a, const Shape& target) {
   const double* pa = a.data();
   double* po = out.data();
   const std::int64_t n = a.numel();
-  // Serial accumulation: outputs may collide across input elements.
+
+  // Fast path: rank-2 input collapsing rows into a row vector ({1, m} or
+  // {m}) — the bias-gradient pattern, dominant in backward passes. Chunked
+  // partial rows combine in fixed chunk order, so the result is
+  // deterministic regardless of thread count.
+  const bool row_target =
+      a.rank() == 2 &&
+      ((target.size() == 1 && target[0] == a.cols()) ||
+       (target.size() == 2 && target[0] == 1 && target[1] == a.cols()));
+  if (row_target) {
+    const std::size_t rows = static_cast<std::size_t>(a.rows());
+    const std::size_t cols = static_cast<std::size_t>(a.cols());
+    std::vector<double> total = parallel_reduce<std::vector<double>>(
+        rows, std::vector<double>(cols, 0.0),
+        [&](std::size_t begin, std::size_t end, std::vector<double> acc) {
+          for (std::size_t r = begin; r < end; ++r) {
+            const double* row = pa + r * cols;
+            for (std::size_t c = 0; c < cols; ++c) acc[c] += row[c];
+          }
+          return acc;
+        },
+        [](std::vector<double> x, const std::vector<double>& y) {
+          for (std::size_t c = 0; c < x.size(); ++c) x[c] += y[c];
+          return x;
+        },
+        /*grain=*/64);
+    std::copy(total.begin(), total.end(), po);
+    return out;
+  }
+
+  // General case: serial accumulation — outputs may collide across input
+  // elements.
   for (std::int64_t i = 0; i < n; ++i) {
     std::int64_t rem = i;
     std::int64_t it = 0;
@@ -359,7 +523,8 @@ Tensor sum_to(const Tensor& a, const Shape& target) {
 
 Tensor broadcast_to(const Tensor& a, const Shape& target) {
   QPINN_KERNEL_VALIDATE(a, "kernels.broadcast_to");
-  if (a.shape() == target) return a;
+  // Fresh storage on the shapes-equal path too; see sum_to.
+  if (a.shape() == target) return a.clone();
   QPINN_CHECK_SHAPE(broadcastable_to(a.shape(), target),
                     "cannot broadcast " + shape_to_string(a.shape()) + " to " +
                         shape_to_string(target));
@@ -463,15 +628,19 @@ void axpy_inplace(Tensor& dst, double s, const Tensor& src) {
   QPINN_CHECK_SHAPE(dst.same_shape(src), "axpy_inplace shape mismatch");
   double* pd = dst.data();
   const double* ps = src.data();
-  const std::int64_t n = dst.numel();
-  for (std::int64_t i = 0; i < n; ++i) pd[i] += s * ps[i];
+  const std::size_t n = static_cast<std::size_t>(dst.numel());
+  parallel_for(n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) pd[i] += s * ps[i];
+  });
 }
 
 void scale_inplace(Tensor& dst, double s) {
   QPINN_KERNEL_VALIDATE(dst, "kernels.scale_inplace");
   double* pd = dst.data();
-  const std::int64_t n = dst.numel();
-  for (std::int64_t i = 0; i < n; ++i) pd[i] *= s;
+  const std::size_t n = static_cast<std::size_t>(dst.numel());
+  parallel_for(n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) pd[i] *= s;
+  });
 }
 
 void copy_into(Tensor& dst, const Tensor& src) {
@@ -487,10 +656,16 @@ double dot(const Tensor& a, const Tensor& b) {
   QPINN_CHECK_SHAPE(a.same_shape(b), "dot shape mismatch");
   const double* pa = a.data();
   const double* pb = b.data();
-  double acc = 0.0;
-  const std::int64_t n = a.numel();
-  for (std::int64_t i = 0; i < n; ++i) acc += pa[i] * pb[i];
-  return acc;
+  const std::size_t n = static_cast<std::size_t>(a.numel());
+  // parallel_reduce combines per-chunk partials in fixed chunk order, so
+  // the rounding is deterministic across runs for a given thread count.
+  return parallel_reduce<double>(
+      n, 0.0,
+      [&](std::size_t begin, std::size_t end, double acc) {
+        for (std::size_t i = begin; i < end; ++i) acc += pa[i] * pb[i];
+        return acc;
+      },
+      [](double x, double y) { return x + y; });
 }
 
 double norm2(const Tensor& a) { return std::sqrt(dot(a, a)); }

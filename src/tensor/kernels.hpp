@@ -1,8 +1,14 @@
 // Compute kernels on raw tensors.
 //
 // These are the only routines that touch tensor memory directly; the
-// autodiff layer composes them. Large elementwise loops and the matmul are
-// parallelized over the global thread pool.
+// autodiff layer composes them. Large elementwise loops, reductions, and
+// the matmul family are parallelized over the global thread pool.
+//
+// Storage contract: every value-returning kernel returns FRESH storage the
+// caller may mutate freely — no path aliases an operand's buffer, including
+// the shapes-equal paths of sum_to/broadcast_to. IEEE semantics are
+// preserved end to end: no kernel skips operand values (0 * NaN stays NaN),
+// so a poisoned activation propagates to the loss instead of vanishing.
 #pragma once
 
 #include <vector>
@@ -42,6 +48,9 @@ Tensor abs(const Tensor& a);
 Tensor sign(const Tensor& a);
 
 // ---- linear algebra ------------------------------------------------------
+// The matmul trio shares a register-tiled micro-kernel (4x8 accumulator
+// blocks, remainder fringes handled scalar) and a serial-dispatch floor:
+// below ~4 output rows per chunk the work runs inline on the caller.
 /// (N,K) x (K,M) -> (N,M); rank-2 only.
 Tensor matmul(const Tensor& a, const Tensor& b);
 /// a^T b without materializing the transpose: (K,N)^T (K,M) -> (N,M).

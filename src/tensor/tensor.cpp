@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "tensor/storage_pool.hpp"
 #include "util/error.hpp"
 #include "util/invariant.hpp"
 
@@ -15,8 +16,7 @@ Tensor::Tensor(Shape shape) {
   check_shape_valid(shape);
   shape_ = std::move(shape);
   numel_ = qpinn::numel(shape_);
-  storage_ = std::make_shared<std::vector<double>>(
-      static_cast<std::size_t>(numel_), 0.0);
+  storage_ = StoragePool::instance().acquire(static_cast<std::size_t>(numel_));
 }
 
 Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
@@ -41,12 +41,14 @@ Tensor Tensor::from_vector(std::vector<double> values, Shape shape) {
       qpinn::numel(shape) == static_cast<std::int64_t>(values.size()),
       "from_vector: " + std::to_string(values.size()) +
           " values cannot fill shape " + shape_to_string(shape));
-  Tensor t;
-  t.shape_ = std::move(shape);
-  t.numel_ = qpinn::numel(t.shape_);
-  t.storage_ = std::make_shared<std::vector<double>>(std::move(values));
-  return t;
+  return Tensor(StoragePool::instance().adopt(std::move(values)),
+                std::move(shape));
 }
+
+Tensor::Tensor(std::shared_ptr<std::vector<double>> storage, Shape shape)
+    : storage_(std::move(storage)),
+      shape_(std::move(shape)),
+      numel_(qpinn::numel(shape_)) {}
 
 Tensor Tensor::rand(Shape shape, Rng& rng, double lo, double hi) {
   Tensor t(std::move(shape));
@@ -136,10 +138,10 @@ Tensor Tensor::reshape(Shape new_shape) const {
 }
 
 Tensor Tensor::clone() const {
-  Tensor t;
-  t.shape_ = shape_;
-  t.numel_ = numel_;
-  t.storage_ = std::make_shared<std::vector<double>>(*storage_);
+  Tensor t(StoragePool::instance().acquire(static_cast<std::size_t>(numel_),
+                                           /*zero=*/false),
+           shape_);
+  std::copy(storage_->begin(), storage_->end(), t.storage_->begin());
   return t;
 }
 

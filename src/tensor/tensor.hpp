@@ -4,6 +4,11 @@
 // (copy-on-explicit-clone). All qpinn kernels allocate fresh outputs; the
 // only sanctioned in-place mutation is through data() by code that owns the
 // tensor (e.g. optimizers updating parameters).
+//
+// Storage comes from tensor/storage_pool.hpp: released buffers recycle
+// through size-bucketed free lists instead of the global allocator (set
+// QPINN_NO_POOL=1 to disable). Pooling is invisible to Tensor semantics —
+// a live buffer is always exclusively owned until shared by copies.
 #pragma once
 
 #include <memory>
@@ -86,6 +91,10 @@ class Tensor {
   std::string to_string(std::int64_t max_elements = 24) const;
 
  private:
+  /// Wraps already-acquired storage without touching the pool (used by
+  /// from_vector so adoption is the only allocation event).
+  Tensor(std::shared_ptr<std::vector<double>> storage, Shape shape);
+
   std::int64_t check_index(std::int64_t i) const;
 
   std::shared_ptr<std::vector<double>> storage_;

@@ -68,6 +68,43 @@ TEST(Grad, GradOutputSeedsBackward) {
   EXPECT_DOUBLE_EQ(g.value()[1], 100.0 * 4.0);
 }
 
+// Regression for the in-place accumulation fast path: the first gradient
+// reaching a node may be the caller's seed tensor (or a tape value), which
+// the accumulator must clone before any axpy — never mutate in place.
+TEST(Grad, AccumulationDoesNotMutateSeed) {
+  const Variable x = Variable::leaf(Tensor::from_vector({1.0, 2.0}, {2}));
+  const Variable y = add(x, x);  // two edges into x: forced accumulation
+  const Variable seed =
+      Variable::constant(Tensor::from_vector({3.0, 5.0}, {2}));
+  const Variable g = grad_single(y, x, seed);
+  // add() passes the upstream gradient (the seed tensor itself) along both
+  // edges, so the collision must land in a private buffer.
+  EXPECT_DOUBLE_EQ(g.value()[0], 6.0);
+  EXPECT_DOUBLE_EQ(g.value()[1], 10.0);
+  EXPECT_DOUBLE_EQ(seed.value()[0], 3.0);
+  EXPECT_DOUBLE_EQ(seed.value()[1], 5.0);
+  EXPECT_FALSE(g.value().shares_storage(seed.value()));
+}
+
+TEST(Grad, DiamondAccumulationMatchesAnalytic) {
+  // x fans out into two branches that re-merge, producing several
+  // accumulation collisions on vector-shaped gradients (the clone-then-
+  // axpy path, not the create_graph add() path).
+  const Variable x =
+      Variable::leaf(Tensor::from_vector({0.5, -1.25, 2.0}, {3}));
+  const Variable a = mul(x, x);
+  const Variable b = sin(x);
+  const Variable y = sum_all(add(add(mul(a, b), a), b));
+  // dy/dx = 2x sin x + x^2 cos x + 2x + cos x
+  const Variable g = grad_single(y, x);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    const double xi = x.value()[i];
+    const double expected = 2.0 * xi * std::sin(xi) +
+                            xi * xi * std::cos(xi) + 2.0 * xi + std::cos(xi);
+    EXPECT_NEAR(g.value()[i], expected, 1e-12) << "component " << i;
+  }
+}
+
 TEST(Grad, SeedShapeMismatchThrows) {
   const Variable x = Variable::leaf(Tensor::from_vector({1.0, 2.0}, {2}));
   const Variable bad_seed = Variable::constant(Tensor::ones({3}));

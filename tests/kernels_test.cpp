@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
+#include "parallel/thread_pool.hpp"
 #include "tensor/kernels.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -154,6 +157,131 @@ TEST(Kernels, MatmulNtAgainstTranspose) {
   }
 }
 
+// The tiled kernels change summation order vs the naive triple loop, so
+// equality is up to rounding: scale the tolerance by the accumulated
+// magnitude rather than using a fixed epsilon.
+void expect_matmul_matches_naive(const Tensor& a, const Tensor& b) {
+  const Tensor c = matmul(a, b);
+  ASSERT_EQ(c.shape(), (Shape{a.rows(), b.cols()}));
+  for (std::int64_t i = 0; i < a.rows(); ++i) {
+    for (std::int64_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0, mag = 0.0;
+      for (std::int64_t k = 0; k < a.cols(); ++k) {
+        acc += a.at(i, k) * b.at(k, j);
+        mag += std::abs(a.at(i, k) * b.at(k, j));
+      }
+      ASSERT_NEAR(c.at(i, j), acc, 1e-12 * std::max(1.0, mag))
+          << "(" << i << ", " << j << ") for " << a.rows() << "x" << a.cols()
+          << " * " << b.rows() << "x" << b.cols();
+    }
+  }
+}
+
+TEST(Kernels, TiledMatmulMatchesNaiveOnAwkwardShapes) {
+  // Shapes chosen to exercise every fringe of the 4x8 register tiling:
+  // single elements, sub-tile rows/cols, prime extents, and sizes just
+  // past tile boundaries.
+  struct Dims {
+    std::int64_t n, k, m;
+  };
+  const Dims cases[] = {{1, 1, 1},    {2, 7, 2},   {5, 2, 9},
+                        {4, 8, 8},    {7, 13, 5},  {17, 31, 29},
+                        {33, 17, 9},  {3, 64, 65}, {16, 1, 8}};
+  std::uint64_t seed = 100;
+  for (const auto& d : cases) {
+    const Tensor a = random({d.n, d.k}, seed++);
+    const Tensor b = random({d.k, d.m}, seed++);
+    expect_matmul_matches_naive(a, b);
+  }
+}
+
+TEST(Kernels, TiledMatmulVariantsMatchOnAwkwardShapes) {
+  const Tensor a = random({13, 7}, 201);
+  const Tensor b = random({13, 5}, 202);
+  const Tensor tn = matmul_tn(a, b);
+  const Tensor tn_ref = matmul(transpose(a), b);
+  for (std::int64_t i = 0; i < tn.numel(); ++i) {
+    ASSERT_NEAR(tn[i], tn_ref[i], 1e-11);
+  }
+  const Tensor c = random({11, 17}, 203);
+  const Tensor d = random({9, 17}, 204);
+  const Tensor nt = matmul_nt(c, d);
+  const Tensor nt_ref = matmul(c, transpose(d));
+  for (std::int64_t i = 0; i < nt.numel(); ++i) {
+    ASSERT_NEAR(nt[i], nt_ref[i], 1e-11);
+  }
+}
+
+// Regression for the IEEE zero-skip bug: the old inner loops skipped
+// `a_ik == 0.0` terms, so a zero row silently swallowed NaN/Inf coming
+// from the other operand (0 * NaN must be NaN, and the sum must stay NaN).
+TEST(Kernels, MatmulPropagatesNanThroughZeroOperand) {
+  const Tensor zero = Tensor::zeros({3, 4});
+  Tensor b = random({4, 2}, 301);
+  b.at(2, 1) = std::numeric_limits<double>::quiet_NaN();
+  const Tensor c = matmul(zero, b);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    EXPECT_FALSE(std::isnan(c.at(i, 0))) << "clean column poisoned, row " << i;
+    EXPECT_TRUE(std::isnan(c.at(i, 1))) << "NaN dropped in row " << i;
+  }
+}
+
+TEST(Kernels, MatmulPropagatesInfThroughZeroOperand) {
+  Tensor a = random({5, 3}, 302);
+  a.at(1, 2) = std::numeric_limits<double>::infinity();
+  const Tensor zero = Tensor::zeros({3, 6});
+  const Tensor c = matmul(a, zero);
+  for (std::int64_t j = 0; j < 6; ++j) {
+    EXPECT_TRUE(std::isnan(c.at(1, j))) << "Inf * 0 dropped in col " << j;
+    EXPECT_FALSE(std::isnan(c.at(0, j)));
+  }
+}
+
+TEST(Kernels, MatmulTnAndNtPropagateNan) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  Tensor a = Tensor::zeros({4, 3});
+  Tensor b = random({4, 2}, 303);
+  b.at(3, 0) = nan;
+  const Tensor tn = matmul_tn(a, b);  // (3, 2)
+  for (std::int64_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(std::isnan(tn.at(i, 0)));
+    EXPECT_FALSE(std::isnan(tn.at(i, 1)));
+  }
+  Tensor c = Tensor::zeros({2, 5});
+  Tensor d = random({3, 5}, 304);
+  d.at(1, 4) = nan;
+  const Tensor nt = matmul_nt(c, d);  // (2, 3)
+  for (std::int64_t i = 0; i < 2; ++i) {
+    EXPECT_TRUE(std::isnan(nt.at(i, 1)));
+    EXPECT_FALSE(std::isnan(nt.at(i, 0)));
+  }
+}
+
+// Regression for the grain heuristic collapsing to 1: a matmul with only
+// a couple of rows but a large k*m used to dispatch one pool task per row.
+// The rows-per-chunk floor keeps it on the calling thread; the pool's
+// dispatch counter must not move.
+TEST(Kernels, TinyMatmulRunsSerial) {
+  const Tensor a = random({2, 200}, 401);
+  const Tensor b = random({200, 100}, 402);  // k*m = 20000 > serial budget
+  const std::uint64_t before = global_pool().tasks_submitted();
+  const Tensor c = matmul(a, b);
+  EXPECT_EQ(global_pool().tasks_submitted(), before);
+  ASSERT_EQ(c.shape(), (Shape{2, 100}));
+}
+
+TEST(Kernels, LargeMatmulDispatchesWhenWorkersAvailable) {
+  // for_each_chunk always runs chunk 0 inline, so dispatch only happens
+  // with >= 2 workers; on a single-core pool this degenerates (correctly)
+  // to fully serial execution.
+  if (global_pool().size() < 2) GTEST_SKIP() << "single-worker pool";
+  const Tensor a = random({512, 16}, 403);
+  const Tensor b = random({16, 16}, 404);
+  const std::uint64_t before = global_pool().tasks_submitted();
+  matmul(a, b);
+  EXPECT_GT(global_pool().tasks_submitted(), before);
+}
+
 TEST(Kernels, MatmulShapeErrors) {
   EXPECT_THROW(matmul(Tensor::zeros({2, 3}), Tensor::zeros({4, 2})),
                ShapeError);
@@ -194,6 +322,28 @@ TEST(Kernels, BroadcastToMaterializes) {
     EXPECT_DOUBLE_EQ(big.at(r, 1), 2.0);
   }
   EXPECT_THROW(broadcast_to(Tensor::zeros({2, 3}), Shape{2, 4}), ShapeError);
+}
+
+// Regression for the shapes-equal aliasing bug: sum_to/broadcast_to used
+// to return the input tensor itself when no reduction/expansion was
+// needed, so "fresh output" callers (autodiff accumulation, in-place
+// optimizer updates) silently mutated the source through the alias.
+TEST(Kernels, SumToSameShapeReturnsFreshStorage) {
+  const Tensor a = Tensor::from_vector({1, 2, 3, 4}, {2, 2});
+  Tensor s = sum_to(a, {2, 2});
+  ASSERT_FALSE(s.shares_storage(a));
+  s.data()[0] = 99.0;
+  EXPECT_DOUBLE_EQ(a[0], 1.0) << "mutating the result corrupted the source";
+  EXPECT_DOUBLE_EQ(s[1], 2.0);
+}
+
+TEST(Kernels, BroadcastToSameShapeReturnsFreshStorage) {
+  const Tensor a = Tensor::from_vector({5, 6}, {2});
+  Tensor b = broadcast_to(a, {2});
+  ASSERT_FALSE(b.shares_storage(a));
+  b.data()[1] = -1.0;
+  EXPECT_DOUBLE_EQ(a[1], 6.0);
+  EXPECT_DOUBLE_EQ(b[0], 5.0);
 }
 
 TEST(Kernels, SumToBroadcastToAreAdjoint) {

@@ -1,0 +1,175 @@
+// Storage pool semantics: recycling, zero-fill, exclusivity, the
+// QPINN_NO_POOL-style disable path, and concurrent alloc/free (the latter
+// is what the TSan CI job exercises — see .github/workflows/ci.yml).
+//
+// These tests talk to the process-global pool, so each one snapshots the
+// stats before acting and asserts on deltas rather than absolute values.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "tensor/storage_pool.hpp"
+#include "tensor/tensor.hpp"
+
+namespace qpinn {
+namespace {
+
+/// Restores the pool's enabled flag on scope exit so a failing test cannot
+/// leave the rest of the binary running pool-off.
+class EnabledGuard {
+ public:
+  EnabledGuard() : saved_(StoragePool::instance().enabled()) {}
+  ~EnabledGuard() { StoragePool::instance().set_enabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+TEST(StoragePool, ReleasedBufferIsReused) {
+  StoragePool& pool = StoragePool::instance();
+  EnabledGuard guard;
+  pool.set_enabled(true);
+  // Drop a tensor, then allocate the same size: the second allocation must
+  // come from the free list, not the heap.
+  { Tensor t = Tensor::zeros({64}); }
+  const auto before = pool.stats();
+  Tensor t2 = Tensor::zeros({64});
+  const auto after = pool.stats();
+  EXPECT_EQ(after.pool_reuses, before.pool_reuses + 1);
+  EXPECT_EQ(after.heap_allocations, before.heap_allocations);
+}
+
+TEST(StoragePool, ReusedBufferIsZeroFilled) {
+  StoragePool& pool = StoragePool::instance();
+  EnabledGuard guard;
+  pool.set_enabled(true);
+  {
+    Tensor garbage = Tensor::full({33}, 123.456);
+    ASSERT_EQ(garbage[0], 123.456);
+  }
+  // Same size class; zeros() must not see the stale 123.456 payload.
+  Tensor fresh = Tensor::zeros({33});
+  for (std::int64_t i = 0; i < fresh.numel(); ++i) {
+    ASSERT_EQ(fresh[i], 0.0) << "stale pool data leaked at index " << i;
+  }
+}
+
+TEST(StoragePool, LiveTensorsNeverShareRecycledStorage) {
+  StoragePool& pool = StoragePool::instance();
+  EnabledGuard guard;
+  pool.set_enabled(true);
+  // A recycled buffer must be handed to exactly one live tensor. Allocate
+  // a batch, free them, allocate twice the count, and check pairwise
+  // pointer distinctness of the live set.
+  std::vector<Tensor> first;
+  for (int i = 0; i < 8; ++i) first.push_back(Tensor::zeros({48}));
+  first.clear();
+  std::vector<Tensor> live;
+  for (int i = 0; i < 16; ++i) live.push_back(Tensor::zeros({48}));
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    for (std::size_t j = i + 1; j < live.size(); ++j) {
+      ASSERT_FALSE(live[i].shares_storage(live[j]))
+          << "tensors " << i << " and " << j << " alias one pool buffer";
+      ASSERT_NE(live[i].data(), live[j].data());
+    }
+  }
+}
+
+TEST(StoragePool, AdoptedVectorRecyclesOnRelease) {
+  StoragePool& pool = StoragePool::instance();
+  EnabledGuard guard;
+  pool.set_enabled(true);
+  const auto before = pool.stats();
+  {
+    // from_vector adopts caller storage; on death that buffer must enter
+    // the free lists like any pool-born one.
+    Tensor t = Tensor::from_vector(std::vector<double>(96, 1.5), {96});
+  }
+  const auto mid = pool.stats();
+  EXPECT_EQ(mid.adopted, before.adopted + 1);
+  EXPECT_EQ(mid.returns, before.returns + 1);
+}
+
+TEST(StoragePool, DisabledPathBypassesFreeLists) {
+  StoragePool& pool = StoragePool::instance();
+  EnabledGuard guard;
+  pool.set_enabled(true);
+  { Tensor warm = Tensor::zeros({64}); }  // prime the 64-double free list
+  pool.set_enabled(false);
+  const auto before = pool.stats();
+  { Tensor t = Tensor::zeros({64}); }
+  Tensor t2 = Tensor::zeros({64});
+  const auto after = pool.stats();
+  // Disabled: every allocation hits the heap, nothing recycles.
+  EXPECT_EQ(after.pool_reuses, before.pool_reuses);
+  EXPECT_EQ(after.heap_allocations, before.heap_allocations + 2);
+  EXPECT_EQ(after.returns, before.returns);
+}
+
+TEST(StoragePool, TrimEmptiesFreeLists) {
+  StoragePool& pool = StoragePool::instance();
+  EnabledGuard guard;
+  pool.set_enabled(true);
+  { Tensor t = Tensor::zeros({128}); }
+  ASSERT_GT(pool.stats().free_buffers, 0u);
+  pool.trim();
+  EXPECT_EQ(pool.stats().free_buffers, 0u);
+  EXPECT_EQ(pool.stats().free_bytes, 0u);
+  // And the pool still works afterwards.
+  const auto before = pool.stats();
+  Tensor t2 = Tensor::zeros({128});
+  EXPECT_EQ(pool.stats().heap_allocations, before.heap_allocations + 1);
+}
+
+TEST(StoragePool, AcquireSizesAndZeroContract) {
+  StoragePool& pool = StoragePool::instance();
+  EnabledGuard guard;
+  pool.set_enabled(true);
+  auto buf = pool.acquire(100);
+  ASSERT_EQ(buf->size(), 100u);
+  for (double v : *buf) ASSERT_EQ(v, 0.0);
+  // Zero-element acquire still yields a usable (empty) vector.
+  auto empty = pool.acquire(0);
+  EXPECT_EQ(empty->size(), 0u);
+}
+
+TEST(StoragePool, ConcurrentAllocFreeIsRaceFree) {
+  StoragePool& pool = StoragePool::instance();
+  EnabledGuard guard;
+  pool.set_enabled(true);
+  // Hammer the same size classes from every worker so free lists are
+  // contended: alloc, write, drop, re-alloc. TSan (CI job `tsan`) turns
+  // any unsynchronized pool access into a hard failure; the assertions
+  // below catch cross-thread buffer sharing even in uninstrumented runs.
+  const std::size_t kIters = 64;
+  global_pool().for_each_index(kIters, [](std::size_t i) {
+    const std::int64_t n = 16 + static_cast<std::int64_t>(i % 4) * 16;
+    for (int round = 0; round < 8; ++round) {
+      Tensor a = Tensor::full({n}, static_cast<double>(i));
+      Tensor b = Tensor::zeros({n});
+      ASSERT_FALSE(a.shares_storage(b));
+      for (std::int64_t j = 0; j < n; ++j) {
+        ASSERT_EQ(a[j], static_cast<double>(i));
+        ASSERT_EQ(b[j], 0.0);
+      }
+    }
+  });
+}
+
+TEST(StoragePool, StatsResetKeepsFreeListGauges) {
+  StoragePool& pool = StoragePool::instance();
+  EnabledGuard guard;
+  pool.set_enabled(true);
+  { Tensor t = Tensor::zeros({64}); }
+  pool.reset_stats();
+  const auto s = pool.stats();
+  EXPECT_EQ(s.heap_allocations, 0u);
+  EXPECT_EQ(s.pool_reuses, 0u);
+  EXPECT_EQ(s.returns, 0u);
+  // Gauges describe current state, not history — they survive the reset.
+  EXPECT_GT(s.free_buffers, 0u);
+}
+
+}  // namespace
+}  // namespace qpinn

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Warn-only comparison of two bench_report JSON files.
+
+CI runs ``bench_report --quick`` and diffs the fresh report against the
+committed baseline (BENCH_qpinn.json). Timing on shared runners is noisy,
+so ns/op regressions only WARN by default; allocation counts are exact
+(the pool counts them deterministically from the tape), so an allocs/op
+increase is the signal to look at first.
+
+Exit code is 0 unless --strict is passed AND a finding exists, so the CI
+job stays warn-only until the trajectory stabilizes enough to gate on.
+
+Usage: tools/bench_compare.py --baseline BENCH_qpinn.json --current new.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+TIME_WARN_RATIO = 1.30   # ns/op regression threshold (noisy metric)
+ALLOC_WARN_DELTA = 0.5   # allocs/op increase threshold (exact metric)
+
+
+def load(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def index(report: dict) -> dict:
+    return {
+        (r["suite"], r["op"], r["shape"]): r
+        for r in report.get("results", [])
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on any finding (default: warn only)")
+    args = parser.parse_args()
+
+    baseline, current = load(args.baseline), load(args.current)
+    base_idx, cur_idx = index(baseline), index(current)
+
+    findings: list[str] = []
+    for key, cur in sorted(cur_idx.items()):
+        base = base_idx.get(key)
+        name = "/".join(key)
+        if base is None:
+            print(f"bench_compare: NEW {name} "
+                  f"(ns/op {cur['ns_per_op']:.0f}, no baseline entry)")
+            continue
+        if base["ns_per_op"] > 0:
+            ratio = cur["ns_per_op"] / base["ns_per_op"]
+            if ratio > TIME_WARN_RATIO:
+                findings.append(
+                    f"{name}: ns/op {base['ns_per_op']:.0f} -> "
+                    f"{cur['ns_per_op']:.0f} ({ratio:.2f}x)")
+        if cur["allocs_per_op"] > base["allocs_per_op"] + ALLOC_WARN_DELTA:
+            findings.append(
+                f"{name}: allocs/op {base['allocs_per_op']:.1f} -> "
+                f"{cur['allocs_per_op']:.1f} (exact metric; real regression)")
+    for key in sorted(base_idx.keys() - cur_idx.keys()):
+        findings.append(f"{'/'.join(key)}: present in baseline, missing now")
+
+    base_red = baseline.get("summary", {}).get("alloc_reduction_x")
+    cur_red = current.get("summary", {}).get("alloc_reduction_x")
+    if cur_red is not None:
+        print(f"bench_compare: alloc_reduction_x baseline={base_red} "
+              f"current={cur_red}")
+        if cur_red < 5.0:
+            findings.append(
+                f"alloc_reduction_x {cur_red:.1f} below the 5x budget")
+
+    for finding in findings:
+        print(f"bench_compare: WARN {finding}")
+    status = "FAIL" if (findings and args.strict) else "OK"
+    print(f"bench_compare: {len(cur_idx)} entries, {len(findings)} "
+          f"warning(s) [{status}]")
+    return 1 if (findings and args.strict) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

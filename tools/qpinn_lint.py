@@ -16,6 +16,11 @@ Rules (each finding prints ``path:line: [rule] message``; exit 1 if any):
   test-coverage   every src/<mod>/<name>.cpp with a sibling header is
                   directly included by at least one tests/*_test.cpp, so no
                   module silently drops out of the suite.
+  banned-raw-storage
+                  no ``make_shared<std::vector<double>>`` outside
+                  src/tensor/storage_pool.cpp — tensor buffers must come
+                  from the pool so recycling and the allocation counters
+                  stay accurate (QPINN_NO_POOL flows through the pool too).
 
 Comments and string literals are stripped before token rules run, so prose
 mentioning ``new`` or ``rand()`` never trips the gate.
@@ -125,6 +130,14 @@ def token_rules(path: pathlib.Path, findings: list[Finding]) -> None:
         ("naked-new", re.compile(r"\bnew\b"),
          "naked new is banned; use make_unique/make_shared or a container"),
     ]
+    # The pool implementation is the one place allowed to talk to the heap
+    # for tensor buffers; everything else must go through StoragePool.
+    if path.as_posix().rsplit("src/", 1)[-1] != "tensor/storage_pool.cpp":
+        rules.append((
+            "banned-raw-storage",
+            re.compile(r"make_shared\s*<\s*std::vector\s*<\s*double\b"),
+            "raw tensor-buffer allocation is banned; acquire storage via "
+            "tensor/storage_pool.hpp so pooling and counters stay accurate"))
     for lineno, code in enumerate(code_lines, start=1):
         for rule, pattern, message in rules:
             if pattern.search(code) and not allowed(raw_lines[lineno - 1], rule):
