@@ -282,6 +282,59 @@ Variable broadcast_to(const Variable& a, const Shape& target) {
             });
 }
 
+// ---- fused ----------------------------------------------------------------------
+
+Variable bias_tanh(const Variable& a, const Variable& bias) {
+  return op("bias_tanh", k::bias_tanh(a.value(), bias.value()), {a, bias},
+            [](const Variable& g, const Variable& self) {
+              // d tanh(x + b) = 1 - tanh^2(x + b); reuse the forward value
+              // through `self` like tanh does.
+              const Variable dx =
+                  mul(g, add_scalar(neg(square(self)), 1.0));
+              std::vector<Variable> grads(2);
+              if (needs(self, 0)) grads[0] = dx;
+              if (needs(self, 1))
+                grads[1] = sum_to(dx, parent(self, 1).shape());
+              return grads;
+            });
+}
+
+Variable bias_sin(const Variable& a, const Variable& bias) {
+  return op("bias_sin", k::bias_sin(a.value(), bias.value()), {a, bias},
+            [](const Variable& g, const Variable& self) {
+              const Variable dx =
+                  mul(g, cos(add(parent(self, 0), parent(self, 1))));
+              std::vector<Variable> grads(2);
+              if (needs(self, 0)) grads[0] = dx;
+              if (needs(self, 1))
+                grads[1] = sum_to(dx, parent(self, 1).shape());
+              return grads;
+            });
+}
+
+Variable square_sum(const Variable& a) {
+  return op("square_sum", k::square_sum_all(a.value()), {a},
+            [](const Variable& g, const Variable& self) {
+              return std::vector<Variable>{
+                  scale(mul(g, parent(self, 0)), 2.0)};
+            });
+}
+
+Variable weighted_square_sum(const Variable& w, const Variable& a) {
+  return op("weighted_square_sum",
+            k::weighted_square_sum_all(w.value(), a.value()), {w, a},
+            [](const Variable& g, const Variable& self) {
+              const Variable& w_ = parent(self, 0);
+              const Variable& a_ = parent(self, 1);
+              std::vector<Variable> grads(2);
+              if (needs(self, 0))
+                grads[0] = mul(g, sum_to(square(a_), w_.shape()));
+              if (needs(self, 1))
+                grads[1] = scale(mul(g, mul(w_, a_)), 2.0);
+              return grads;
+            });
+}
+
 // ---- structural --------------------------------------------------------------------
 
 Variable reshape(const Variable& a, const Shape& shape) {
@@ -399,7 +452,11 @@ Variable concat_rows(const std::vector<Variable>& parts) {
 
 // ---- composite ------------------------------------------------------------------------
 
-Variable mse(const Variable& a) { return mean_all(square(a)); }
+Variable mse(const Variable& a) {
+  // Fused sum-of-squares reduction; same math as mean_all(square(a)) with
+  // one pass and no squared intermediate.
+  return scale(square_sum(a), 1.0 / static_cast<double>(a.numel()));
+}
 
 Variable column(const Variable& a, std::int64_t c) {
   return slice_cols(a, c, c + 1);

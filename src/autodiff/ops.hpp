@@ -66,6 +66,19 @@ Variable mean_all(const Variable& a);
 Variable sum_to(const Variable& a, const Shape& target);
 Variable broadcast_to(const Variable& a, const Shape& target);
 
+// ---- fused ops ----------------------------------------------------------------
+// Single-sweep versions of common multi-node sequences: one kernel pass and
+// one tape node instead of two or three of each (see tensor/simd.hpp).
+/// tanh(a + bias); a rank-2, bias a row vector ({M} or {1,M}).
+Variable bias_tanh(const Variable& a, const Variable& bias);
+/// sin(a + bias); same contract as bias_tanh.
+Variable bias_sin(const Variable& a, const Variable& bias);
+/// sum(a^2) as a scalar Variable without materializing square(a).
+Variable square_sum(const Variable& a);
+/// sum(w * a^2); w is same-shape as `a` or a per-row column vector ({N} or
+/// {N,1}) against rank-2 `a`. Argument order matches the kernel.
+Variable weighted_square_sum(const Variable& w, const Variable& a);
+
 // ---- structural --------------------------------------------------------------
 Variable reshape(const Variable& a, const Shape& shape);
 Variable slice_cols(const Variable& a, std::int64_t c0, std::int64_t c1);

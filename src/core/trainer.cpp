@@ -111,15 +111,15 @@ Variable Trainer::shard_loss(
                     "problem residual row count mismatch");
 
   // sum(w * r^2) normalized by the FULL interior size so shard losses add
-  // up to the serial mean.
-  Variable weighted = square(residual);
-  if (shard_weights.rank() == 2) {
-    weighted = mul(Variable::constant(shard_weights), weighted);
-  }
+  // up to the serial mean. The square/multiply/reduce composition is fused
+  // into one kernel sweep (and one tape node).
+  Variable reduced =
+      (shard_weights.rank() == 2)
+          ? weighted_square_sum(Variable::constant(shard_weights), residual)
+          : square_sum(residual);
   const double denom = static_cast<double>(total_rows) *
                        static_cast<double>(problem_->residual_dim());
-  Variable loss =
-      scale(sum_all(weighted), config_.weight_pde / denom);
+  Variable loss = scale(reduced, config_.weight_pde / denom);
 
   if (include_aux) {
     for (LossTerm& term : problem_->auxiliary_losses(*model_, points_)) {

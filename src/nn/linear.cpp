@@ -26,6 +26,19 @@ Variable Linear::forward(const Variable& x) {
   return y;
 }
 
+Variable Linear::forward_act(const Variable& x, Activation act) {
+  QPINN_CHECK_SHAPE(x.value().rank() == 2 && x.value().cols() == in_,
+                    "Linear expects (N, " + std::to_string(in_) +
+                        ") input, got " + shape_to_string(x.shape()));
+  const Variable y = autodiff::matmul(x, weight_);
+  if (bias_.defined()) {
+    if (act == Activation::kTanh) return autodiff::bias_tanh(y, bias_);
+    if (act == Activation::kSin) return autodiff::bias_sin(y, bias_);
+    return apply_activation(act, autodiff::add(y, bias_));
+  }
+  return apply_activation(act, y);
+}
+
 std::vector<Variable> Linear::parameters() const {
   std::vector<Variable> params{weight_};
   if (bias_.defined()) params.push_back(bias_);

@@ -3,6 +3,7 @@
 
 #include <memory>
 
+#include "nn/activation.hpp"
 #include "nn/init.hpp"
 #include "nn/module.hpp"
 
@@ -16,6 +17,12 @@ class Linear : public Module {
          Init init = Init::kXavierUniform, bool with_bias = true);
 
   autodiff::Variable forward(const autodiff::Variable& x) override;
+  /// forward followed by `act`, fusing the bias-add with the activation
+  /// into one kernel sweep (and one tape node) for tanh and sin — the
+  /// PINN-default activations. Other activations and bias-less layers
+  /// fall back to the unfused composition; results are identical either
+  /// way.
+  autodiff::Variable forward_act(const autodiff::Variable& x, Activation act);
   std::vector<autodiff::Variable> parameters() const override;
   std::vector<std::pair<std::string, autodiff::Variable>> named_parameters()
       const override;

@@ -57,7 +57,7 @@ Variable Mlp::forward(const Variable& x) {
   if (periodic_) h = periodic_->forward(h);
   if (fourier_) h = fourier_->forward(h);
   for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {
-    h = apply_activation(config_.activation, layers_[i]->forward(h));
+    h = layers_[i]->forward_act(h, config_.activation);
   }
   return layers_.back()->forward(h);  // linear output head
 }

@@ -26,7 +26,9 @@ class Adam : public Optimizer {
   void reset() override;
   std::int64_t step_count() const { return step_count_; }
 
-  /// Slots layout: [m_0..m_{n-1}, v_0..v_{n-1}] (empty before first step).
+  /// Slots layout: [m_0..m_{n-1}, v_0..v_{n-1}]. Moment buffers are
+  /// allocated (zeroed) at construction, so the export is never empty and
+  /// the first step allocates nothing.
   OptimizerState export_state() const override;
   void import_state(const OptimizerState& state) override;
 
@@ -34,6 +36,9 @@ class Adam : public Optimizer {
   void apply(const std::vector<Tensor>& grads) override;
 
  private:
+  /// Allocates zeroed moment buffers when absent.
+  void ensure_state();
+
   AdamConfig config_;
   std::vector<Tensor> m_;
   std::vector<Tensor> v_;

@@ -48,8 +48,8 @@ void Sgd::apply(const std::vector<Tensor>& grads) {
     }
     if (config_.momentum > 0.0) {
       Tensor& v = velocity_[i];
-      kernels::scale_inplace(v, config_.momentum);
-      kernels::axpy_inplace(v, 1.0, effective);
+      // v = mu * v + g, one sweep instead of scale + axpy.
+      kernels::axpby_inplace(v, config_.momentum, 1.0, effective);
       if (config_.nesterov) {
         // g + mu * v
         kernels::axpy_inplace(effective, config_.momentum, v);

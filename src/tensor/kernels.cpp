@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "parallel/parallel_for.hpp"
+#include "tensor/simd.hpp"
 #include "util/error.hpp"
 #include "util/invariant.hpp"
 
@@ -27,12 +28,41 @@ namespace {
 template <typename F>
 Tensor unary_apply(const Tensor& a, F f) {
   QPINN_KERNEL_VALIDATE(a, "kernels.unary");
-  Tensor out(a.shape());
+  Tensor out = Tensor::uninitialized(a.shape());
   const double* in = a.data();
   double* o = out.data();
   const std::size_t n = static_cast<std::size_t>(a.numel());
   parallel_for(n, [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) o[i] = f(in[i]);
+  });
+  return out;
+}
+
+// Unary application through a SIMD-table kernel (one contiguous sweep per
+// parallel chunk).
+Tensor unary_simd(const Tensor& a,
+                  void (*fn)(const double*, double*, std::size_t)) {
+  QPINN_KERNEL_VALIDATE(a, "kernels.unary");
+  Tensor out = Tensor::uninitialized(a.shape());
+  const double* in = a.data();
+  double* o = out.data();
+  const std::size_t n = static_cast<std::size_t>(a.numel());
+  parallel_for(n, [&](std::size_t begin, std::size_t end) {
+    fn(in + begin, o + begin, end - begin);
+  });
+  return out;
+}
+
+// Same, for kernels parameterized by one scalar.
+Tensor unary_simd_s(const Tensor& a, double s,
+                    void (*fn)(const double*, double, double*, std::size_t)) {
+  QPINN_KERNEL_VALIDATE(a, "kernels.unary");
+  Tensor out = Tensor::uninitialized(a.shape());
+  const double* in = a.data();
+  double* o = out.data();
+  const std::size_t n = static_cast<std::size_t>(a.numel());
+  parallel_for(n, [&](std::size_t begin, std::size_t end) {
+    fn(in + begin, s, o + begin, end - begin);
   });
   return out;
 }
@@ -49,19 +79,23 @@ std::vector<std::int64_t> broadcast_strides(const Shape& shape,
   return out;
 }
 
+// The four arithmetic binaries take a simd::BinOp selecting the vectorized
+// contiguous kernels; the scalar functor `f` stays authoritative for the
+// broadcast paths the table does not cover.
 template <typename F>
-Tensor binary_apply(const Tensor& a, const Tensor& b, F f) {
+Tensor binary_apply(const Tensor& a, const Tensor& b, simd::BinOp bop, F f) {
   QPINN_KERNEL_VALIDATE(a, "kernels.binary");
   QPINN_KERNEL_VALIDATE(b, "kernels.binary");
-  // Fast path: identical shapes.
+  // Fast path: identical shapes — one contiguous SIMD sweep per chunk.
   if (a.same_shape(b)) {
-    Tensor out(a.shape());
+    Tensor out = Tensor::uninitialized(a.shape());
     const double* pa = a.data();
     const double* pb = b.data();
     double* o = out.data();
     const std::size_t n = static_cast<std::size_t>(a.numel());
+    auto* fn = simd::active().bin_same[bop];
     parallel_for(n, [&](std::size_t begin, std::size_t end) {
-      for (std::size_t i = begin; i < end; ++i) o[i] = f(pa[i], pb[i]);
+      fn(pa + begin, pb + begin, o + begin, end - begin);
     });
     return out;
   }
@@ -77,7 +111,7 @@ Tensor binary_apply(const Tensor& a, const Tensor& b, F f) {
     const double s = a.data()[0];
     return unary_apply(b, [f, s](double x) { return f(s, x); });
   }
-  Tensor out(out_shape);
+  Tensor out = Tensor::uninitialized(out_shape);
   const std::size_t rank = out_shape.size();
   const auto sa = broadcast_strides(a.shape(), rank);
   const auto sb = broadcast_strides(b.shape(), rank);
@@ -92,14 +126,9 @@ Tensor binary_apply(const Tensor& a, const Tensor& b, F f) {
   if (rank == 2 && sa[0] != 0 && sb[0] == 0 && sa[1] == 1 && sb[1] == 1) {
     const std::size_t rows = static_cast<std::size_t>(out_shape[0]);
     const std::size_t cols = static_cast<std::size_t>(out_shape[1]);
+    auto* fn = simd::active().bin_row[bop];
     parallel_for(rows, [&](std::size_t begin, std::size_t end) {
-      for (std::size_t r = begin; r < end; ++r) {
-        const double* row_a = pa + r * cols;
-        double* row_o = o + r * cols;
-        for (std::size_t c = 0; c < cols; ++c) {
-          row_o[c] = f(row_a[c], pb[c]);
-        }
-      }
+      fn(pa + begin * cols, pb, o + begin * cols, end - begin, cols);
     }, /*grain=*/64);
     return out;
   }
@@ -123,26 +152,28 @@ Tensor binary_apply(const Tensor& a, const Tensor& b, F f) {
 }  // namespace
 
 Tensor add(const Tensor& a, const Tensor& b) {
-  return binary_apply(a, b, [](double x, double y) { return x + y; });
+  return binary_apply(a, b, simd::kAdd,
+                      [](double x, double y) { return x + y; });
 }
 Tensor sub(const Tensor& a, const Tensor& b) {
-  return binary_apply(a, b, [](double x, double y) { return x - y; });
+  return binary_apply(a, b, simd::kSub,
+                      [](double x, double y) { return x - y; });
 }
 Tensor mul(const Tensor& a, const Tensor& b) {
-  return binary_apply(a, b, [](double x, double y) { return x * y; });
+  return binary_apply(a, b, simd::kMul,
+                      [](double x, double y) { return x * y; });
 }
 Tensor div(const Tensor& a, const Tensor& b) {
-  return binary_apply(a, b, [](double x, double y) { return x / y; });
+  return binary_apply(a, b, simd::kDiv,
+                      [](double x, double y) { return x / y; });
 }
 
-Tensor neg(const Tensor& a) {
-  return unary_apply(a, [](double x) { return -x; });
-}
+Tensor neg(const Tensor& a) { return unary_simd(a, simd::active().neg); }
 Tensor scale(const Tensor& a, double s) {
-  return unary_apply(a, [s](double x) { return s * x; });
+  return unary_simd_s(a, s, simd::active().scale);
 }
 Tensor add_scalar(const Tensor& a, double s) {
-  return unary_apply(a, [s](double x) { return x + s; });
+  return unary_simd_s(a, s, simd::active().add_scalar);
 }
 Tensor exp(const Tensor& a) {
   return unary_apply(a, [](double x) { return std::exp(x); });
@@ -159,14 +190,12 @@ Tensor sin(const Tensor& a) {
 Tensor cos(const Tensor& a) {
   return unary_apply(a, [](double x) { return std::cos(x); });
 }
-Tensor sqrt(const Tensor& a) {
-  return unary_apply(a, [](double x) { return std::sqrt(x); });
-}
+Tensor sqrt(const Tensor& a) { return unary_simd(a, simd::active().sqrt); }
 Tensor reciprocal(const Tensor& a) {
-  return unary_apply(a, [](double x) { return 1.0 / x; });
+  return unary_simd(a, simd::active().reciprocal);
 }
 Tensor square(const Tensor& a) {
-  return unary_apply(a, [](double x) { return x * x; });
+  return unary_simd(a, simd::active().square);
 }
 Tensor sigmoid(const Tensor& a) {
   return unary_apply(a, [](double x) { return 1.0 / (1.0 + std::exp(-x)); });
@@ -180,33 +209,128 @@ Tensor softplus(const Tensor& a) {
 Tensor pow_scalar(const Tensor& a, double p) {
   return unary_apply(a, [p](double x) { return std::pow(x, p); });
 }
-Tensor step(const Tensor& a) {
-  return unary_apply(a, [](double x) { return x > 0.0 ? 1.0 : 0.0; });
+Tensor step(const Tensor& a) { return unary_simd(a, simd::active().step); }
+Tensor relu(const Tensor& a) { return unary_simd(a, simd::active().relu); }
+Tensor abs(const Tensor& a) { return unary_simd(a, simd::active().abs); }
+Tensor sign(const Tensor& a) { return unary_simd(a, simd::active().sign); }
+
+namespace {
+
+// Shared shape check + sweep for the fused bias+activation kernels. The
+// transcendental dominates, so the sweep itself is scalar; the win is one
+// pass (and one tape node) instead of broadcast-add followed by a unary.
+template <typename F>
+Tensor bias_activation(const Tensor& a, const Tensor& bias, const char* name,
+                       F f) {
+  QPINN_KERNEL_VALIDATE(a, "kernels.bias_activation");
+  QPINN_KERNEL_VALIDATE(bias, "kernels.bias_activation");
+  QPINN_CHECK_SHAPE(a.rank() == 2, std::string(name) +
+                                       " requires a rank-2 input, got " +
+                                       shape_to_string(a.shape()));
+  const bool row_vector =
+      (bias.rank() == 1 && bias.numel() == a.cols()) ||
+      (bias.rank() == 2 && bias.rows() == 1 && bias.cols() == a.cols());
+  QPINN_CHECK_SHAPE(row_vector, std::string(name) + " bias " +
+                                    shape_to_string(bias.shape()) +
+                                    " does not match columns of " +
+                                    shape_to_string(a.shape()));
+  Tensor out(a.shape());
+  const double* pa = a.data();
+  const double* pb = bias.data();
+  double* po = out.data();
+  const std::size_t rows = static_cast<std::size_t>(a.rows());
+  const std::size_t cols = static_cast<std::size_t>(a.cols());
+  parallel_for(
+      rows,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          const double* row_a = pa + r * cols;
+          double* row_o = po + r * cols;
+          for (std::size_t c = 0; c < cols; ++c) {
+            row_o[c] = f(row_a[c] + pb[c]);
+          }
+        }
+      },
+      /*grain=*/16);
+  return out;
 }
-Tensor relu(const Tensor& a) {
-  return unary_apply(a, [](double x) { return x > 0.0 ? x : 0.0; });
+
+}  // namespace
+
+Tensor bias_tanh(const Tensor& a, const Tensor& bias) {
+  return bias_activation(a, bias, "bias_tanh",
+                         [](double x) { return std::tanh(x); });
 }
-Tensor abs(const Tensor& a) {
-  return unary_apply(a, [](double x) { return std::abs(x); });
+
+Tensor bias_sin(const Tensor& a, const Tensor& bias) {
+  return bias_activation(a, bias, "bias_sin",
+                         [](double x) { return std::sin(x); });
 }
-Tensor sign(const Tensor& a) {
-  return unary_apply(a, [](double x) {
-    return (x > 0.0) ? 1.0 : (x < 0.0 ? -1.0 : 0.0);
-  });
+
+Tensor square_sum_all(const Tensor& a) {
+  QPINN_KERNEL_VALIDATE(a, "kernels.square_sum_all");
+  const double* p = a.data();
+  const std::size_t n = static_cast<std::size_t>(a.numel());
+  auto* fn = simd::active().square_sum;
+  const double total = parallel_reduce<double>(
+      n, 0.0,
+      [&](std::size_t begin, std::size_t end, double acc) {
+        return acc + fn(p + begin, end - begin);
+      },
+      [](double x, double y) { return x + y; });
+  return Tensor::scalar(total);
+}
+
+Tensor weighted_square_sum_all(const Tensor& w, const Tensor& a) {
+  QPINN_KERNEL_VALIDATE(w, "kernels.weighted_square_sum_all");
+  QPINN_KERNEL_VALIDATE(a, "kernels.weighted_square_sum_all");
+  const double* pw = w.data();
+  const double* pa = a.data();
+  if (w.same_shape(a)) {
+    const std::size_t n = static_cast<std::size_t>(a.numel());
+    auto* fn = simd::active().weighted_square_sum;
+    const double total = parallel_reduce<double>(
+        n, 0.0,
+        [&](std::size_t begin, std::size_t end, double acc) {
+          return acc + fn(pw + begin, pa + begin, end - begin);
+        },
+        [](double x, double y) { return x + y; });
+    return Tensor::scalar(total);
+  }
+  // Per-row weights against a rank-2 residual: w broadcast along columns.
+  const bool col_vector =
+      a.rank() == 2 &&
+      ((w.rank() == 1 && w.numel() == a.rows()) ||
+       (w.rank() == 2 && w.rows() == a.rows() && w.cols() == 1));
+  QPINN_CHECK_SHAPE(col_vector, "weighted_square_sum_all weights " +
+                                    shape_to_string(w.shape()) +
+                                    " do not match " +
+                                    shape_to_string(a.shape()));
+  const std::size_t rows = static_cast<std::size_t>(a.rows());
+  const std::size_t cols = static_cast<std::size_t>(a.cols());
+  auto* fn = simd::active().square_sum;
+  const double total = parallel_reduce<double>(
+      rows, 0.0,
+      [&](std::size_t begin, std::size_t end, double acc) {
+        for (std::size_t r = begin; r < end; ++r) {
+          acc += pw[r] * fn(pa + r * cols, cols);
+        }
+        return acc;
+      },
+      [](double x, double y) { return x + y; },
+      /*grain=*/16);
+  return Tensor::scalar(total);
 }
 
 namespace {
 
-// ---- matmul micro-kernels -------------------------------------------------
+// ---- matmul dispatch ------------------------------------------------------
 //
-// All three variants use register-tiled blocks: kRowTile output rows by
-// kColTile output columns accumulate in a local array the compiler keeps in
-// registers, so each loaded element of a and b feeds several FMAs instead
-// of one. Remainder fringes fall back to plain loops. No operand value is
-// ever skipped — an earlier `aik == 0.0` shortcut silently dropped IEEE
-// NaN/Inf propagation from the right operand (0 * NaN must be NaN).
-constexpr std::int64_t kRowTile = 4;
-constexpr std::int64_t kColTile = 8;
+// The register-tiled micro-kernels (kMmRowTile x 8 accumulator blocks,
+// FMA-accumulated on targets that have it, remainder fringes scalar) live
+// in tensor/simd.hpp and are selected per-ISA through the kernel table.
+// No operand value is ever skipped — an earlier `aik == 0.0` shortcut
+// silently dropped IEEE NaN/Inf propagation (0 * NaN must be NaN).
 
 // Serial-dispatch heuristic: run on the calling thread unless a chunk of at
 // least kMinRowsPerChunk rows carries ~kSerialFlops of multiply-adds.
@@ -219,134 +343,6 @@ std::size_t matmul_grain(std::int64_t flops_per_row) {
   return static_cast<std::size_t>(std::max<std::int64_t>(
       kMinRowsPerChunk,
       kSerialFlops / std::max<std::int64_t>(1, flops_per_row)));
-}
-
-// Rows [i0, i1) of out[n,m] = a[n,k] * b[k,m]; out rows pre-zeroed.
-void matmul_rows(const double* pa, const double* pb, double* po,
-                 std::int64_t i0, std::int64_t i1, std::int64_t k,
-                 std::int64_t m) {
-  for (std::int64_t i = i0; i < i1; i += kRowTile) {
-    const std::int64_t ib = std::min(kRowTile, i1 - i);
-    for (std::int64_t j = 0; j < m; j += kColTile) {
-      const std::int64_t jb = std::min(kColTile, m - j);
-      if (ib == kRowTile && jb == kColTile) {
-        double acc[kRowTile][kColTile] = {};
-        for (std::int64_t kk = 0; kk < k; ++kk) {
-          const double* b_row = pb + kk * m + j;
-          for (std::int64_t r = 0; r < kRowTile; ++r) {
-            const double a_rk = pa[(i + r) * k + kk];
-            for (std::int64_t c = 0; c < kColTile; ++c) {
-              acc[r][c] += a_rk * b_row[c];
-            }
-          }
-        }
-        for (std::int64_t r = 0; r < kRowTile; ++r) {
-          double* out_row = po + (i + r) * m + j;
-          for (std::int64_t c = 0; c < kColTile; ++c) out_row[c] = acc[r][c];
-        }
-      } else {
-        for (std::int64_t r = 0; r < ib; ++r) {
-          double* out_row = po + (i + r) * m + j;
-          const double* a_row = pa + (i + r) * k;
-          for (std::int64_t kk = 0; kk < k; ++kk) {
-            const double a_rk = a_row[kk];
-            const double* b_row = pb + kk * m + j;
-            for (std::int64_t c = 0; c < jb; ++c) {
-              out_row[c] += a_rk * b_row[c];
-            }
-          }
-        }
-      }
-    }
-  }
-}
-
-// Rows [i0, i1) of out[n,m] = a[k,n]^T * b[k,m]; out rows pre-zeroed.
-// a columns i..i+3 are adjacent in memory, so the tile loads stay unit
-// stride in both operands.
-void matmul_tn_rows(const double* pa, const double* pb, double* po,
-                    std::int64_t i0, std::int64_t i1, std::int64_t k,
-                    std::int64_t n, std::int64_t m) {
-  for (std::int64_t i = i0; i < i1; i += kRowTile) {
-    const std::int64_t ib = std::min(kRowTile, i1 - i);
-    for (std::int64_t j = 0; j < m; j += kColTile) {
-      const std::int64_t jb = std::min(kColTile, m - j);
-      if (ib == kRowTile && jb == kColTile) {
-        double acc[kRowTile][kColTile] = {};
-        for (std::int64_t kk = 0; kk < k; ++kk) {
-          const double* a_col = pa + kk * n + i;
-          const double* b_row = pb + kk * m + j;
-          for (std::int64_t r = 0; r < kRowTile; ++r) {
-            const double a_rk = a_col[r];
-            for (std::int64_t c = 0; c < kColTile; ++c) {
-              acc[r][c] += a_rk * b_row[c];
-            }
-          }
-        }
-        for (std::int64_t r = 0; r < kRowTile; ++r) {
-          double* out_row = po + (i + r) * m + j;
-          for (std::int64_t c = 0; c < kColTile; ++c) out_row[c] = acc[r][c];
-        }
-      } else {
-        for (std::int64_t kk = 0; kk < k; ++kk) {
-          const double* a_col = pa + kk * n + i;
-          const double* b_row = pb + kk * m + j;
-          for (std::int64_t r = 0; r < ib; ++r) {
-            double* out_row = po + (i + r) * m + j;
-            const double a_rk = a_col[r];
-            for (std::int64_t c = 0; c < jb; ++c) {
-              out_row[c] += a_rk * b_row[c];
-            }
-          }
-        }
-      }
-    }
-  }
-}
-
-// Rows [i0, i1) of out[n,m] = a[n,k] * b[m,k]^T. Both operands stream
-// along k, so the tile is kRowTile x kRowTile dot products.
-void matmul_nt_rows(const double* pa, const double* pb, double* po,
-                    std::int64_t i0, std::int64_t i1, std::int64_t k,
-                    std::int64_t m) {
-  for (std::int64_t i = i0; i < i1; i += kRowTile) {
-    const std::int64_t ib = std::min(kRowTile, i1 - i);
-    for (std::int64_t j = 0; j < m; j += kRowTile) {
-      const std::int64_t jb = std::min(kRowTile, m - j);
-      if (ib == kRowTile && jb == kRowTile) {
-        double acc[kRowTile][kRowTile] = {};
-        for (std::int64_t kk = 0; kk < k; ++kk) {
-          double av[kRowTile], bv[kRowTile];
-          for (std::int64_t r = 0; r < kRowTile; ++r) {
-            av[r] = pa[(i + r) * k + kk];
-            bv[r] = pb[(j + r) * k + kk];
-          }
-          for (std::int64_t r = 0; r < kRowTile; ++r) {
-            for (std::int64_t c = 0; c < kRowTile; ++c) {
-              acc[r][c] += av[r] * bv[c];
-            }
-          }
-        }
-        for (std::int64_t r = 0; r < kRowTile; ++r) {
-          double* out_row = po + (i + r) * m + j;
-          for (std::int64_t c = 0; c < kRowTile; ++c) out_row[c] = acc[r][c];
-        }
-      } else {
-        for (std::int64_t r = 0; r < ib; ++r) {
-          const double* a_row = pa + (i + r) * k;
-          double* out_row = po + (i + r) * m + j;
-          for (std::int64_t c = 0; c < jb; ++c) {
-            const double* b_row = pb + (j + c) * k;
-            double acc = 0.0;
-            for (std::int64_t kk = 0; kk < k; ++kk) {
-              acc += a_row[kk] * b_row[kk];
-            }
-            out_row[c] = acc;
-          }
-        }
-      }
-    }
-  }
 }
 
 }  // namespace
@@ -367,11 +363,12 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const double* pa = a.data();
   const double* pb = b.data();
   double* po = out.data();
+  auto* fn = simd::active().matmul_rows;
   parallel_for(
       static_cast<std::size_t>(n),
       [&](std::size_t begin, std::size_t end) {
-        matmul_rows(pa, pb, po, static_cast<std::int64_t>(begin),
-                    static_cast<std::int64_t>(end), k, m);
+        fn(pa, pb, po, static_cast<std::int64_t>(begin),
+           static_cast<std::int64_t>(end), k, m);
       },
       matmul_grain(k * m));
   return out;
@@ -392,11 +389,12 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   const double* pb = b.data();
   double* po = out.data();
   // out[i][j] = sum_kk a[kk][i] * b[kk][j]; parallelized over output rows i.
+  auto* fn = simd::active().matmul_tn_rows;
   parallel_for(
       static_cast<std::size_t>(n),
       [&](std::size_t begin, std::size_t end) {
-        matmul_tn_rows(pa, pb, po, static_cast<std::int64_t>(begin),
-                       static_cast<std::int64_t>(end), k, n, m);
+        fn(pa, pb, po, static_cast<std::int64_t>(begin),
+           static_cast<std::int64_t>(end), k, n, m);
       },
       matmul_grain(k * m));
   return out;
@@ -416,11 +414,12 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   const double* pa = a.data();
   const double* pb = b.data();
   double* po = out.data();
+  auto* fn = simd::active().matmul_nt_rows;
   parallel_for(
       static_cast<std::size_t>(n),
       [&](std::size_t begin, std::size_t end) {
-        matmul_nt_rows(pa, pb, po, static_cast<std::int64_t>(begin),
-                       static_cast<std::int64_t>(end), k, m);
+        fn(pa, pb, po, static_cast<std::int64_t>(begin),
+           static_cast<std::int64_t>(end), k, m);
       },
       matmul_grain(k * m));
   return out;
@@ -443,11 +442,11 @@ Tensor sum_all(const Tensor& a) {
   QPINN_KERNEL_VALIDATE(a, "kernels.sum_all");
   const double* p = a.data();
   const std::size_t n = static_cast<std::size_t>(a.numel());
+  auto* fn = simd::active().sum;
   const double total = parallel_reduce<double>(
       n, 0.0,
       [&](std::size_t begin, std::size_t end, double acc) {
-        for (std::size_t i = begin; i < end; ++i) acc += p[i];
-        return acc;
+        return acc + fn(p + begin, end - begin);
       },
       [](double x, double y) { return x + y; });
   return Tensor::scalar(total);
@@ -488,12 +487,12 @@ Tensor sum_to(const Tensor& a, const Shape& target) {
   if (row_target) {
     const std::size_t rows = static_cast<std::size_t>(a.rows());
     const std::size_t cols = static_cast<std::size_t>(a.cols());
+    auto* fn = simd::active().acc_add;
     std::vector<double> total = parallel_reduce<std::vector<double>>(
         rows, std::vector<double>(cols, 0.0),
         [&](std::size_t begin, std::size_t end, std::vector<double> acc) {
           for (std::size_t r = begin; r < end; ++r) {
-            const double* row = pa + r * cols;
-            for (std::size_t c = 0; c < cols; ++c) acc[c] += row[c];
+            fn(acc.data(), pa + r * cols, cols);
           }
           return acc;
         },
@@ -629,8 +628,9 @@ void axpy_inplace(Tensor& dst, double s, const Tensor& src) {
   double* pd = dst.data();
   const double* ps = src.data();
   const std::size_t n = static_cast<std::size_t>(dst.numel());
+  auto* fn = simd::active().axpy;
   parallel_for(n, [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) pd[i] += s * ps[i];
+    fn(pd + begin, s, ps + begin, end - begin);
   });
 }
 
@@ -638,8 +638,22 @@ void scale_inplace(Tensor& dst, double s) {
   QPINN_KERNEL_VALIDATE(dst, "kernels.scale_inplace");
   double* pd = dst.data();
   const std::size_t n = static_cast<std::size_t>(dst.numel());
+  auto* fn = simd::active().scale_inplace;
   parallel_for(n, [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) pd[i] *= s;
+    fn(pd + begin, s, end - begin);
+  });
+}
+
+void axpby_inplace(Tensor& dst, double a, double b, const Tensor& src) {
+  QPINN_KERNEL_VALIDATE(dst, "kernels.axpby_inplace");
+  QPINN_KERNEL_VALIDATE(src, "kernels.axpby_inplace");
+  QPINN_CHECK_SHAPE(dst.same_shape(src), "axpby_inplace shape mismatch");
+  double* pd = dst.data();
+  const double* ps = src.data();
+  const std::size_t n = static_cast<std::size_t>(dst.numel());
+  auto* fn = simd::active().axpby;
+  parallel_for(n, [&](std::size_t begin, std::size_t end) {
+    fn(pd + begin, a, b, ps + begin, end - begin);
   });
 }
 
@@ -650,6 +664,35 @@ void copy_into(Tensor& dst, const Tensor& src) {
   std::copy(src.data(), src.data() + src.numel(), dst.data());
 }
 
+void adam_step_inplace(Tensor& param, const Tensor& grad, Tensor& m,
+                       Tensor& v, const AdamStepConfig& cfg) {
+  QPINN_KERNEL_VALIDATE(param, "kernels.adam_step_inplace");
+  QPINN_KERNEL_VALIDATE(grad, "kernels.adam_step_inplace");
+  QPINN_KERNEL_VALIDATE(m, "kernels.adam_step_inplace");
+  QPINN_KERNEL_VALIDATE(v, "kernels.adam_step_inplace");
+  QPINN_CHECK_SHAPE(param.same_shape(grad) && param.same_shape(m) &&
+                        param.same_shape(v),
+                    "adam_step_inplace shape mismatch");
+  simd::AdamParams sp;
+  sp.lr = cfg.lr;
+  sp.beta1 = cfg.beta1;
+  sp.beta2 = cfg.beta2;
+  sp.eps = cfg.eps;
+  sp.weight_decay = cfg.weight_decay;
+  sp.bias_corr1 = cfg.bias_corr1;
+  sp.bias_corr2 = cfg.bias_corr2;
+  sp.decoupled = cfg.decoupled;
+  double* pp = param.data();
+  const double* pg = grad.data();
+  double* pm = m.data();
+  double* pv = v.data();
+  const std::size_t n = static_cast<std::size_t>(param.numel());
+  auto* fn = simd::active().adam;
+  parallel_for(n, [&](std::size_t begin, std::size_t end) {
+    fn(pp + begin, pg + begin, pm + begin, pv + begin, end - begin, sp);
+  });
+}
+
 double dot(const Tensor& a, const Tensor& b) {
   QPINN_KERNEL_VALIDATE(a, "kernels.dot");
   QPINN_KERNEL_VALIDATE(b, "kernels.dot");
@@ -657,13 +700,13 @@ double dot(const Tensor& a, const Tensor& b) {
   const double* pa = a.data();
   const double* pb = b.data();
   const std::size_t n = static_cast<std::size_t>(a.numel());
+  auto* fn = simd::active().dot;
   // parallel_reduce combines per-chunk partials in fixed chunk order, so
   // the rounding is deterministic across runs for a given thread count.
   return parallel_reduce<double>(
       n, 0.0,
       [&](std::size_t begin, std::size_t end, double acc) {
-        for (std::size_t i = begin; i < end; ++i) acc += pa[i] * pb[i];
-        return acc;
+        return acc + fn(pa + begin, pb + begin, end - begin);
       },
       [](double x, double y) { return x + y; });
 }

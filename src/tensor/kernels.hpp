@@ -2,7 +2,9 @@
 //
 // These are the only routines that touch tensor memory directly; the
 // autodiff layer composes them. Large elementwise loops, reductions, and
-// the matmul family are parallelized over the global thread pool.
+// the matmul family are parallelized over the global thread pool, and the
+// arithmetic hot loops dispatch through the runtime-selected SIMD kernel
+// table (tensor/simd.hpp; QPINN_SIMD overrides the choice).
 //
 // Storage contract: every value-returning kernel returns FRESH storage the
 // caller may mutate freely — no path aliases an operand's buffer, including
@@ -80,13 +82,48 @@ Tensor slice_rows(const Tensor& a, std::int64_t r0, std::int64_t r1);
 /// Vertical concatenation of rank-2 tensors with equal column counts.
 Tensor concat_rows(const std::vector<Tensor>& parts);
 
+// ---- fused kernels (single-sweep versions of multi-pass sequences) --------
+// All of these dispatch through the SIMD layer (tensor/simd.hpp) like the
+// plain elementwise kernels and obey the same storage/IEEE contract.
+/// tanh(a + bias) in one pass; a rank-2, bias a row vector ({M} or {1,M}).
+Tensor bias_tanh(const Tensor& a, const Tensor& bias);
+/// sin(a + bias); same contract as bias_tanh.
+Tensor bias_sin(const Tensor& a, const Tensor& bias);
+/// sum_i a_i^2 as a scalar tensor, without materializing square(a).
+Tensor square_sum_all(const Tensor& a);
+/// sum_i w_i * a_i^2 as a scalar tensor; w is same-shape as `a` or a
+/// per-row column vector ({N} or {N,1}) against rank-2 `a`.
+Tensor weighted_square_sum_all(const Tensor& w, const Tensor& a);
+
 // ---- in-place helpers (used by optimizers; bypass autodiff) ---------------
 /// dst += s * src (same shape required).
 void axpy_inplace(Tensor& dst, double s, const Tensor& src);
 /// dst *= s.
 void scale_inplace(Tensor& dst, double s);
+/// dst = a*dst + b*src in one sweep (same shape required); bit-identical
+/// to scale_inplace(dst, a) followed by axpy_inplace(dst, b, src).
+void axpby_inplace(Tensor& dst, double a, double b, const Tensor& src);
 /// Copies src into dst (same shape required).
 void copy_into(Tensor& dst, const Tensor& src);
+
+/// Per-step constants of the fused Adam update; bias corrections are
+/// precomputed by the caller (bias_corr1 = 1 - beta1^t, etc.).
+struct AdamStepConfig {
+  double lr = 0.0;
+  double beta1 = 0.0;
+  double beta2 = 0.0;
+  double eps = 0.0;
+  double weight_decay = 0.0;
+  double bias_corr1 = 1.0;
+  double bias_corr2 = 1.0;
+  bool decoupled = false;  ///< AdamW-style decoupled weight decay
+};
+/// One fused sweep of the Adam update: weight decay, both moment updates,
+/// bias correction, and the parameter write in a single pass per buffer
+/// (replaces ~6 kernel calls per parameter). Bit-identical across SIMD
+/// dispatch variants, so checkpoints resume exactly under any of them.
+void adam_step_inplace(Tensor& param, const Tensor& grad, Tensor& m,
+                       Tensor& v, const AdamStepConfig& cfg);
 
 /// Euclidean dot product of two same-shape tensors (returns a double).
 double dot(const Tensor& a, const Tensor& b);

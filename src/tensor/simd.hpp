@@ -1,0 +1,872 @@
+// SIMD layer: width-agnostic vector-of-double kernels with one-time
+// runtime dispatch.
+//
+// This header is the ONLY place in the repository allowed to touch raw
+// SIMD intrinsics (enforced by tools/qpinn_lint.py banned-intrinsics).
+// Everything above it programs against two things:
+//
+//   1. A `KernelTable` of C-style function pointers (one table per
+//      instruction-set variant) covering the hot kernels: contiguous
+//      elementwise arithmetic, row-broadcast binaries, reductions,
+//      in-place BLAS-1 style updates, the fused Adam sweep, and the
+//      matmul micro-kernels.
+//   2. `active()`, which returns the table selected once at first use by
+//      runtime CPU detection (cpuid-backed __builtin_cpu_supports on
+//      x86, compile-target NEON on aarch64), overridable with the
+//      QPINN_SIMD environment variable (off|scalar|sse2|avx2|neon) and,
+//      for tests, switchable at runtime with force_isa().
+//
+// Kernel implementations are written once as width-agnostic templates
+// over a small vector wrapper (VecScalar / VecSse2 / VecAvx2 / VecNeon);
+// per-ISA translation units (simd_scalar.cpp, simd_sse2.cpp, ...)
+// instantiate them with the matching target flags, so no TU ever executes
+// instructions its compile target does not guarantee without a prior
+// runtime check.
+//
+// Bit-identity contract: for the elementwise arithmetic kernels
+// (bin_same/bin_row, neg, scale, add_scalar, square, reciprocal, sqrt,
+// abs, relu, step, sign, axpy, scale_inplace, axpby, acc_add, adam) the
+// vector body performs exactly the lane-wise IEEE operation sequence of
+// the scalar code and fringe elements run the identical scalar
+// expressions, so results are bit-identical across every dispatch
+// variant (the per-ISA TUs are compiled with -ffp-contract=off so the
+// compiler cannot fuse a*b+c differently per target). Reductions (dot,
+// sum, square_sum, weighted_square_sum) and the matmul micro-kernels
+// reassociate and may use FMA, so they agree across variants only to
+// rounding; they stay deterministic for a fixed variant. IEEE semantics
+// are preserved everywhere: no operand value is skipped (0 * NaN stays
+// NaN) and comparisons are ordered/non-signaling, so NaN takes the
+// "else" branch exactly like the scalar ternaries.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+#define QPINN_SIMD_X86 1
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__) && defined(__ARM_NEON)
+#define QPINN_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace qpinn::simd {
+
+// ---- dispatch surface ----------------------------------------------------
+
+enum class Isa : int { kScalar = 0, kSse2 = 1, kAvx2 = 2, kNeon = 3 };
+
+/// Index into KernelTable::bin_same / bin_row.
+enum BinOp : int { kAdd = 0, kSub = 1, kMul = 2, kDiv = 3, kNumBinOps = 4 };
+
+/// Per-step constants of the fused Adam update (bias corrections are
+/// precomputed by the caller: bias_corr1 = 1 - beta1^t, etc.).
+struct AdamParams {
+  double lr = 0.0;
+  double beta1 = 0.0;
+  double beta2 = 0.0;
+  double eps = 0.0;
+  double weight_decay = 0.0;
+  double bias_corr1 = 1.0;
+  double bias_corr2 = 1.0;
+  bool decoupled = false;
+};
+
+/// One fully-populated kernel variant. All pointers are non-null.
+struct KernelTable {
+  Isa isa = Isa::kScalar;
+  const char* name = "scalar";
+  std::size_t width = 1;  ///< doubles per vector register
+
+  // Contiguous same-length elementwise: o[i] = a[i] op b[i].
+  void (*bin_same[kNumBinOps])(const double* a, const double* b, double* o,
+                               std::size_t n);
+  // Row broadcast: o[r][c] = a[r][c] op b[c] (the bias-add pattern).
+  void (*bin_row[kNumBinOps])(const double* a, const double* b, double* o,
+                              std::size_t rows, std::size_t cols);
+
+  void (*neg)(const double* a, double* o, std::size_t n);
+  void (*scale)(const double* a, double s, double* o, std::size_t n);
+  void (*add_scalar)(const double* a, double s, double* o, std::size_t n);
+  void (*square)(const double* a, double* o, std::size_t n);
+  void (*reciprocal)(const double* a, double* o, std::size_t n);
+  void (*sqrt)(const double* a, double* o, std::size_t n);
+  void (*abs)(const double* a, double* o, std::size_t n);
+  void (*relu)(const double* a, double* o, std::size_t n);
+  void (*step)(const double* a, double* o, std::size_t n);
+  void (*sign)(const double* a, double* o, std::size_t n);
+
+  double (*dot)(const double* a, const double* b, std::size_t n);
+  double (*sum)(const double* a, std::size_t n);
+  double (*square_sum)(const double* a, std::size_t n);
+  /// sum_i w[i] * a[i]^2 — the fused PINN loss reduction.
+  double (*weighted_square_sum)(const double* w, const double* a,
+                                std::size_t n);
+
+  void (*axpy)(double* dst, double s, const double* src, std::size_t n);
+  void (*scale_inplace)(double* dst, double s, std::size_t n);
+  /// dst = a*dst + b*src in one sweep.
+  void (*axpby)(double* dst, double a, double b, const double* src,
+                std::size_t n);
+  /// dst += src (the sum_to row-collapse inner loop).
+  void (*acc_add)(double* dst, const double* src, std::size_t n);
+
+  /// Fused Adam: moments + bias correction + parameter write, one sweep.
+  void (*adam)(double* p, const double* g, double* m, double* v,
+               std::size_t n, const AdamParams& cfg);
+
+  // Matmul micro-kernels over output rows [i0, i1); out rows pre-zeroed.
+  // matmul_rows:    out[n,m] = a[n,k] * b[k,m]
+  // matmul_tn_rows: out[n,m] = a[k,n]^T * b[k,m]
+  // matmul_nt_rows: out[n,m] = a[n,k] * b[m,k]^T
+  void (*matmul_rows)(const double* a, const double* b, double* o,
+                      std::int64_t i0, std::int64_t i1, std::int64_t k,
+                      std::int64_t m);
+  void (*matmul_tn_rows)(const double* a, const double* b, double* o,
+                         std::int64_t i0, std::int64_t i1, std::int64_t k,
+                         std::int64_t n, std::int64_t m);
+  void (*matmul_nt_rows)(const double* a, const double* b, double* o,
+                         std::int64_t i0, std::int64_t i1, std::int64_t k,
+                         std::int64_t m);
+};
+
+/// The active kernel table. First call resolves it from the CPU and the
+/// QPINN_SIMD override; later calls are one atomic load.
+const KernelTable& active();
+
+/// Shorthand for active().isa.
+Isa active_isa();
+
+/// Switches the active table at runtime (tests, benchmarks). Returns
+/// false — leaving the current table in place — when the variant is not
+/// available on this build/CPU.
+bool force_isa(Isa isa);
+
+/// Every variant selectable on this build + CPU, best first.
+std::vector<Isa> available_isas();
+
+/// "scalar" / "sse2" / "avx2" / "neon".
+const char* isa_name(Isa isa);
+
+/// Parses an ISA name as accepted by QPINN_SIMD ("off" maps to kScalar,
+/// case-insensitive). Throws qpinn::ConfigError on anything else.
+Isa parse_isa(const std::string& name);
+
+// ---- vector wrappers -----------------------------------------------------
+//
+// Each wrapper exposes the same static interface:
+//   reg, kWidth, kMmRowTile, load/store/set1/zero,
+//   add/sub/mul/div/sqrt/fma/neg/abs, gt_and(a,b,c) = (a>b) ? c : 0.0
+//   (lane-wise, NaN -> 0 like the scalar ternary), hsum (deterministic
+//   low-to-high lane order).
+
+struct VecScalar {
+  using reg = double;
+  static constexpr std::size_t kWidth = 1;
+  static constexpr std::int64_t kMmRowTile = 4;
+  static reg load(const double* p) { return *p; }
+  static void store(double* p, reg v) { *p = v; }
+  static reg set1(double s) { return s; }
+  static reg zero() { return 0.0; }
+  static reg add(reg a, reg b) { return a + b; }
+  static reg sub(reg a, reg b) { return a - b; }
+  static reg mul(reg a, reg b) { return a * b; }
+  static reg div(reg a, reg b) { return a / b; }
+  static reg sqrt(reg a) { return std::sqrt(a); }
+  static reg fma(reg a, reg b, reg c) { return a * b + c; }
+  static reg neg(reg a) { return -a; }
+  static reg abs(reg a) { return std::abs(a); }
+  static reg gt_and(reg a, reg b, reg c) { return a > b ? c : 0.0; }
+  static double hsum(reg a) { return a; }
+};
+
+#if defined(QPINN_SIMD_X86) && defined(__SSE2__)
+struct VecSse2 {
+  using reg = __m128d;
+  static constexpr std::size_t kWidth = 2;
+  static constexpr std::int64_t kMmRowTile = 2;
+  static reg load(const double* p) { return _mm_loadu_pd(p); }
+  static void store(double* p, reg v) { _mm_storeu_pd(p, v); }
+  static reg set1(double s) { return _mm_set1_pd(s); }
+  static reg zero() { return _mm_setzero_pd(); }
+  static reg add(reg a, reg b) { return _mm_add_pd(a, b); }
+  static reg sub(reg a, reg b) { return _mm_sub_pd(a, b); }
+  static reg mul(reg a, reg b) { return _mm_mul_pd(a, b); }
+  static reg div(reg a, reg b) { return _mm_div_pd(a, b); }
+  static reg sqrt(reg a) { return _mm_sqrt_pd(a); }
+  static reg fma(reg a, reg b, reg c) {
+    return _mm_add_pd(_mm_mul_pd(a, b), c);
+  }
+  static reg neg(reg a) { return _mm_xor_pd(a, _mm_set1_pd(-0.0)); }
+  static reg abs(reg a) { return _mm_andnot_pd(_mm_set1_pd(-0.0), a); }
+  static reg gt_and(reg a, reg b, reg c) {
+    return _mm_and_pd(_mm_cmpgt_pd(a, b), c);
+  }
+  static double hsum(reg a) {
+    return _mm_cvtsd_f64(a) + _mm_cvtsd_f64(_mm_unpackhi_pd(a, a));
+  }
+};
+#endif  // QPINN_SIMD_X86 && __SSE2__
+
+#if defined(QPINN_SIMD_X86) && defined(__AVX2__) && defined(__FMA__)
+struct VecAvx2 {
+  using reg = __m256d;
+  static constexpr std::size_t kWidth = 4;
+  static constexpr std::int64_t kMmRowTile = 4;
+  static reg load(const double* p) { return _mm256_loadu_pd(p); }
+  static void store(double* p, reg v) { _mm256_storeu_pd(p, v); }
+  static reg set1(double s) { return _mm256_set1_pd(s); }
+  static reg zero() { return _mm256_setzero_pd(); }
+  static reg add(reg a, reg b) { return _mm256_add_pd(a, b); }
+  static reg sub(reg a, reg b) { return _mm256_sub_pd(a, b); }
+  static reg mul(reg a, reg b) { return _mm256_mul_pd(a, b); }
+  static reg div(reg a, reg b) { return _mm256_div_pd(a, b); }
+  static reg sqrt(reg a) { return _mm256_sqrt_pd(a); }
+  static reg fma(reg a, reg b, reg c) { return _mm256_fmadd_pd(a, b, c); }
+  static reg neg(reg a) { return _mm256_xor_pd(a, _mm256_set1_pd(-0.0)); }
+  static reg abs(reg a) {
+    return _mm256_andnot_pd(_mm256_set1_pd(-0.0), a);
+  }
+  static reg gt_and(reg a, reg b, reg c) {
+    return _mm256_and_pd(_mm256_cmp_pd(a, b, _CMP_GT_OQ), c);
+  }
+  static double hsum(reg a) {
+    const __m128d lo = _mm256_castpd256_pd128(a);
+    const __m128d hi = _mm256_extractf128_pd(a, 1);
+    const __m128d s = _mm_add_pd(lo, hi);
+    return _mm_cvtsd_f64(s) + _mm_cvtsd_f64(_mm_unpackhi_pd(s, s));
+  }
+};
+#endif  // QPINN_SIMD_X86 && __AVX2__ && __FMA__
+
+#if defined(QPINN_SIMD_NEON)
+struct VecNeon {
+  using reg = float64x2_t;
+  static constexpr std::size_t kWidth = 2;
+  static constexpr std::int64_t kMmRowTile = 2;
+  static reg load(const double* p) { return vld1q_f64(p); }
+  static void store(double* p, reg v) { vst1q_f64(p, v); }
+  static reg set1(double s) { return vdupq_n_f64(s); }
+  static reg zero() { return vdupq_n_f64(0.0); }
+  static reg add(reg a, reg b) { return vaddq_f64(a, b); }
+  static reg sub(reg a, reg b) { return vsubq_f64(a, b); }
+  static reg mul(reg a, reg b) { return vmulq_f64(a, b); }
+  static reg div(reg a, reg b) { return vdivq_f64(a, b); }
+  static reg sqrt(reg a) { return vsqrtq_f64(a); }
+  static reg fma(reg a, reg b, reg c) { return vfmaq_f64(c, a, b); }
+  static reg neg(reg a) { return vnegq_f64(a); }
+  static reg abs(reg a) { return vabsq_f64(a); }
+  static reg gt_and(reg a, reg b, reg c) {
+    return vreinterpretq_f64_u64(
+        vandq_u64(vcgtq_f64(a, b), vreinterpretq_u64_f64(c)));
+  }
+  static double hsum(reg a) {
+    return vgetq_lane_f64(a, 0) + vgetq_lane_f64(a, 1);
+  }
+};
+#endif  // QPINN_SIMD_NEON
+
+// ---- width-agnostic kernel templates -------------------------------------
+
+namespace detail {
+
+// Binary op tags: `s` is the scalar expression (also used verbatim for
+// fringes), `v` the lane-wise vector equivalent.
+struct OpAdd {
+  static double s(double a, double b) { return a + b; }
+  template <class V>
+  static typename V::reg v(typename V::reg a, typename V::reg b) {
+    return V::add(a, b);
+  }
+};
+struct OpSub {
+  static double s(double a, double b) { return a - b; }
+  template <class V>
+  static typename V::reg v(typename V::reg a, typename V::reg b) {
+    return V::sub(a, b);
+  }
+};
+struct OpMul {
+  static double s(double a, double b) { return a * b; }
+  template <class V>
+  static typename V::reg v(typename V::reg a, typename V::reg b) {
+    return V::mul(a, b);
+  }
+};
+struct OpDiv {
+  static double s(double a, double b) { return a / b; }
+  template <class V>
+  static typename V::reg v(typename V::reg a, typename V::reg b) {
+    return V::div(a, b);
+  }
+};
+
+template <class V, class Op>
+void ew_bin(const double* a, const double* b, double* o, std::size_t n) {
+  constexpr std::size_t w = V::kWidth;
+  std::size_t i = 0;
+  if constexpr (w > 1) {
+    for (; i + w <= n; i += w) {
+      V::store(o + i, Op::template v<V>(V::load(a + i), V::load(b + i)));
+    }
+  }
+  for (; i < n; ++i) o[i] = Op::s(a[i], b[i]);
+}
+
+template <class V, class Op>
+void ew_bin_row(const double* a, const double* b, double* o,
+                std::size_t rows, std::size_t cols) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    ew_bin<V, Op>(a + r * cols, b, o + r * cols, cols);
+  }
+}
+
+template <class V>
+void ew_neg(const double* a, double* o, std::size_t n) {
+  constexpr std::size_t w = V::kWidth;
+  std::size_t i = 0;
+  if constexpr (w > 1) {
+    for (; i + w <= n; i += w) V::store(o + i, V::neg(V::load(a + i)));
+  }
+  for (; i < n; ++i) o[i] = -a[i];
+}
+
+template <class V>
+void ew_scale(const double* a, double s, double* o, std::size_t n) {
+  constexpr std::size_t w = V::kWidth;
+  std::size_t i = 0;
+  if constexpr (w > 1) {
+    const typename V::reg vs = V::set1(s);
+    for (; i + w <= n; i += w) V::store(o + i, V::mul(vs, V::load(a + i)));
+  }
+  for (; i < n; ++i) o[i] = s * a[i];
+}
+
+template <class V>
+void ew_add_scalar(const double* a, double s, double* o, std::size_t n) {
+  constexpr std::size_t w = V::kWidth;
+  std::size_t i = 0;
+  if constexpr (w > 1) {
+    const typename V::reg vs = V::set1(s);
+    for (; i + w <= n; i += w) V::store(o + i, V::add(V::load(a + i), vs));
+  }
+  for (; i < n; ++i) o[i] = a[i] + s;
+}
+
+template <class V>
+void ew_square(const double* a, double* o, std::size_t n) {
+  constexpr std::size_t w = V::kWidth;
+  std::size_t i = 0;
+  if constexpr (w > 1) {
+    for (; i + w <= n; i += w) {
+      const typename V::reg x = V::load(a + i);
+      V::store(o + i, V::mul(x, x));
+    }
+  }
+  for (; i < n; ++i) o[i] = a[i] * a[i];
+}
+
+template <class V>
+void ew_reciprocal(const double* a, double* o, std::size_t n) {
+  constexpr std::size_t w = V::kWidth;
+  std::size_t i = 0;
+  if constexpr (w > 1) {
+    const typename V::reg one = V::set1(1.0);
+    for (; i + w <= n; i += w) V::store(o + i, V::div(one, V::load(a + i)));
+  }
+  for (; i < n; ++i) o[i] = 1.0 / a[i];
+}
+
+template <class V>
+void ew_sqrt(const double* a, double* o, std::size_t n) {
+  constexpr std::size_t w = V::kWidth;
+  std::size_t i = 0;
+  if constexpr (w > 1) {
+    for (; i + w <= n; i += w) V::store(o + i, V::sqrt(V::load(a + i)));
+  }
+  for (; i < n; ++i) o[i] = std::sqrt(a[i]);
+}
+
+template <class V>
+void ew_abs(const double* a, double* o, std::size_t n) {
+  constexpr std::size_t w = V::kWidth;
+  std::size_t i = 0;
+  if constexpr (w > 1) {
+    for (; i + w <= n; i += w) V::store(o + i, V::abs(V::load(a + i)));
+  }
+  for (; i < n; ++i) o[i] = std::abs(a[i]);
+}
+
+template <class V>
+void ew_relu(const double* a, double* o, std::size_t n) {
+  constexpr std::size_t w = V::kWidth;
+  std::size_t i = 0;
+  if constexpr (w > 1) {
+    const typename V::reg z = V::zero();
+    for (; i + w <= n; i += w) {
+      const typename V::reg x = V::load(a + i);
+      V::store(o + i, V::gt_and(x, z, x));
+    }
+  }
+  for (; i < n; ++i) o[i] = a[i] > 0.0 ? a[i] : 0.0;
+}
+
+template <class V>
+void ew_step(const double* a, double* o, std::size_t n) {
+  constexpr std::size_t w = V::kWidth;
+  std::size_t i = 0;
+  if constexpr (w > 1) {
+    const typename V::reg z = V::zero();
+    const typename V::reg one = V::set1(1.0);
+    for (; i + w <= n; i += w) {
+      V::store(o + i, V::gt_and(V::load(a + i), z, one));
+    }
+  }
+  for (; i < n; ++i) o[i] = a[i] > 0.0 ? 1.0 : 0.0;
+}
+
+template <class V>
+void ew_sign(const double* a, double* o, std::size_t n) {
+  constexpr std::size_t w = V::kWidth;
+  std::size_t i = 0;
+  if constexpr (w > 1) {
+    const typename V::reg z = V::zero();
+    const typename V::reg one = V::set1(1.0);
+    const typename V::reg mone = V::set1(-1.0);
+    for (; i + w <= n; i += w) {
+      const typename V::reg x = V::load(a + i);
+      // The masks are disjoint, so add == or.
+      V::store(o + i, V::add(V::gt_and(x, z, one), V::gt_and(z, x, mone)));
+    }
+  }
+  for (; i < n; ++i) {
+    o[i] = (a[i] > 0.0) ? 1.0 : (a[i] < 0.0 ? -1.0 : 0.0);
+  }
+}
+
+// Reductions use 4 independent accumulators to hide FMA/add latency; the
+// partials combine low-to-high, so results are deterministic per variant.
+
+template <class V>
+double red_dot(const double* a, const double* b, std::size_t n) {
+  constexpr std::size_t w = V::kWidth;
+  std::size_t i = 0;
+  double total = 0.0;
+  if constexpr (w > 1) {
+    typename V::reg acc0 = V::zero(), acc1 = V::zero();
+    typename V::reg acc2 = V::zero(), acc3 = V::zero();
+    for (; i + 4 * w <= n; i += 4 * w) {
+      acc0 = V::fma(V::load(a + i), V::load(b + i), acc0);
+      acc1 = V::fma(V::load(a + i + w), V::load(b + i + w), acc1);
+      acc2 = V::fma(V::load(a + i + 2 * w), V::load(b + i + 2 * w), acc2);
+      acc3 = V::fma(V::load(a + i + 3 * w), V::load(b + i + 3 * w), acc3);
+    }
+    for (; i + w <= n; i += w) {
+      acc0 = V::fma(V::load(a + i), V::load(b + i), acc0);
+    }
+    total = V::hsum(V::add(V::add(acc0, acc1), V::add(acc2, acc3)));
+  }
+  for (; i < n; ++i) total += a[i] * b[i];
+  return total;
+}
+
+template <class V>
+double red_sum(const double* a, std::size_t n) {
+  constexpr std::size_t w = V::kWidth;
+  std::size_t i = 0;
+  double total = 0.0;
+  if constexpr (w > 1) {
+    typename V::reg acc0 = V::zero(), acc1 = V::zero();
+    typename V::reg acc2 = V::zero(), acc3 = V::zero();
+    for (; i + 4 * w <= n; i += 4 * w) {
+      acc0 = V::add(acc0, V::load(a + i));
+      acc1 = V::add(acc1, V::load(a + i + w));
+      acc2 = V::add(acc2, V::load(a + i + 2 * w));
+      acc3 = V::add(acc3, V::load(a + i + 3 * w));
+    }
+    for (; i + w <= n; i += w) acc0 = V::add(acc0, V::load(a + i));
+    total = V::hsum(V::add(V::add(acc0, acc1), V::add(acc2, acc3)));
+  }
+  for (; i < n; ++i) total += a[i];
+  return total;
+}
+
+template <class V>
+double red_square_sum(const double* a, std::size_t n) {
+  constexpr std::size_t w = V::kWidth;
+  std::size_t i = 0;
+  double total = 0.0;
+  if constexpr (w > 1) {
+    typename V::reg acc0 = V::zero(), acc1 = V::zero();
+    for (; i + 2 * w <= n; i += 2 * w) {
+      const typename V::reg x0 = V::load(a + i);
+      const typename V::reg x1 = V::load(a + i + w);
+      acc0 = V::fma(x0, x0, acc0);
+      acc1 = V::fma(x1, x1, acc1);
+    }
+    for (; i + w <= n; i += w) {
+      const typename V::reg x = V::load(a + i);
+      acc0 = V::fma(x, x, acc0);
+    }
+    total = V::hsum(V::add(acc0, acc1));
+  }
+  for (; i < n; ++i) total += a[i] * a[i];
+  return total;
+}
+
+template <class V>
+double red_weighted_square_sum(const double* wgt, const double* a,
+                               std::size_t n) {
+  constexpr std::size_t w = V::kWidth;
+  std::size_t i = 0;
+  double total = 0.0;
+  if constexpr (w > 1) {
+    typename V::reg acc0 = V::zero(), acc1 = V::zero();
+    for (; i + 2 * w <= n; i += 2 * w) {
+      const typename V::reg x0 = V::load(a + i);
+      const typename V::reg x1 = V::load(a + i + w);
+      acc0 = V::fma(V::mul(V::load(wgt + i), x0), x0, acc0);
+      acc1 = V::fma(V::mul(V::load(wgt + i + w), x1), x1, acc1);
+    }
+    for (; i + w <= n; i += w) {
+      const typename V::reg x = V::load(a + i);
+      acc0 = V::fma(V::mul(V::load(wgt + i), x), x, acc0);
+    }
+    total = V::hsum(V::add(acc0, acc1));
+  }
+  for (; i < n; ++i) total += wgt[i] * a[i] * a[i];
+  return total;
+}
+
+template <class V>
+void ip_axpy(double* dst, double s, const double* src, std::size_t n) {
+  constexpr std::size_t w = V::kWidth;
+  std::size_t i = 0;
+  if constexpr (w > 1) {
+    const typename V::reg vs = V::set1(s);
+    for (; i + w <= n; i += w) {
+      V::store(dst + i,
+               V::add(V::load(dst + i), V::mul(vs, V::load(src + i))));
+    }
+  }
+  for (; i < n; ++i) dst[i] += s * src[i];
+}
+
+template <class V>
+void ip_scale(double* dst, double s, std::size_t n) {
+  constexpr std::size_t w = V::kWidth;
+  std::size_t i = 0;
+  if constexpr (w > 1) {
+    const typename V::reg vs = V::set1(s);
+    for (; i + w <= n; i += w) {
+      V::store(dst + i, V::mul(V::load(dst + i), vs));
+    }
+  }
+  for (; i < n; ++i) dst[i] *= s;
+}
+
+template <class V>
+void ip_axpby(double* dst, double a, double b, const double* src,
+              std::size_t n) {
+  constexpr std::size_t w = V::kWidth;
+  std::size_t i = 0;
+  if constexpr (w > 1) {
+    const typename V::reg va = V::set1(a);
+    const typename V::reg vb = V::set1(b);
+    for (; i + w <= n; i += w) {
+      V::store(dst + i, V::add(V::mul(va, V::load(dst + i)),
+                               V::mul(vb, V::load(src + i))));
+    }
+  }
+  for (; i < n; ++i) dst[i] = a * dst[i] + b * src[i];
+}
+
+template <class V>
+void ip_acc_add(double* dst, const double* src, std::size_t n) {
+  constexpr std::size_t w = V::kWidth;
+  std::size_t i = 0;
+  if constexpr (w > 1) {
+    for (; i + w <= n; i += w) {
+      V::store(dst + i, V::add(V::load(dst + i), V::load(src + i)));
+    }
+  }
+  for (; i < n; ++i) dst[i] += src[i];
+}
+
+// Fused Adam sweep. The vector body performs the exact lane-wise IEEE
+// operation sequence of the scalar fringe (mul/add/div/sqrt, never FMA),
+// so the update is bit-identical across dispatch variants — checkpoints
+// written under one variant resume bit-for-bit under another.
+template <class V>
+void adam_sweep(double* p, const double* g, double* m, double* v,
+                std::size_t n, const AdamParams& cfg) {
+  const bool coupled_wd = cfg.weight_decay > 0.0 && !cfg.decoupled;
+  const bool decoupled_wd = cfg.weight_decay > 0.0 && cfg.decoupled;
+  constexpr std::size_t w = V::kWidth;
+  std::size_t i = 0;
+  if constexpr (w > 1) {
+    const typename V::reg b1 = V::set1(cfg.beta1);
+    const typename V::reg ob1 = V::set1(1.0 - cfg.beta1);
+    const typename V::reg b2 = V::set1(cfg.beta2);
+    const typename V::reg ob2 = V::set1(1.0 - cfg.beta2);
+    const typename V::reg bc1 = V::set1(cfg.bias_corr1);
+    const typename V::reg bc2 = V::set1(cfg.bias_corr2);
+    const typename V::reg eps = V::set1(cfg.eps);
+    const typename V::reg lr = V::set1(cfg.lr);
+    const typename V::reg wd = V::set1(cfg.weight_decay);
+    for (; i + w <= n; i += w) {
+      const typename V::reg pv = V::load(p + i);
+      typename V::reg gj = V::load(g + i);
+      if (coupled_wd) gj = V::add(gj, V::mul(wd, pv));
+      const typename V::reg mv =
+          V::add(V::mul(b1, V::load(m + i)), V::mul(ob1, gj));
+      const typename V::reg vv = V::add(V::mul(b2, V::load(v + i)),
+                                        V::mul(ob2, V::mul(gj, gj)));
+      V::store(m + i, mv);
+      V::store(v + i, vv);
+      const typename V::reg m_hat = V::div(mv, bc1);
+      const typename V::reg v_hat = V::div(vv, bc2);
+      typename V::reg update =
+          V::div(m_hat, V::add(V::sqrt(v_hat), eps));
+      if (decoupled_wd) update = V::add(update, V::mul(wd, pv));
+      V::store(p + i, V::sub(pv, V::mul(lr, update)));
+    }
+  }
+  for (; i < n; ++i) {
+    double gj = g[i];
+    if (coupled_wd) gj = gj + cfg.weight_decay * p[i];
+    m[i] = cfg.beta1 * m[i] + (1.0 - cfg.beta1) * gj;
+    v[i] = cfg.beta2 * v[i] + (1.0 - cfg.beta2) * (gj * gj);
+    const double m_hat = m[i] / cfg.bias_corr1;
+    const double v_hat = v[i] / cfg.bias_corr2;
+    double update = m_hat / (std::sqrt(v_hat) + cfg.eps);
+    if (decoupled_wd) update = update + cfg.weight_decay * p[i];
+    p[i] = p[i] - cfg.lr * update;
+  }
+}
+
+// ---- matmul micro-kernels ------------------------------------------------
+//
+// Register-tiled accumulator blocks of V::kMmRowTile output rows by 8
+// output columns (8 / kWidth vector registers per row). Each loaded
+// element feeds several FMAs; remainder fringes run plain scalar loops.
+// No operand value is ever skipped (0 * NaN stays NaN).
+
+inline constexpr std::int64_t kMmColTile = 8;
+
+template <class V>
+void mm_rows(const double* pa, const double* pb, double* po, std::int64_t i0,
+             std::int64_t i1, std::int64_t k, std::int64_t m) {
+  constexpr std::int64_t rt = V::kMmRowTile;
+  constexpr std::int64_t cv =
+      kMmColTile / static_cast<std::int64_t>(V::kWidth);
+  constexpr std::size_t w = V::kWidth;
+  for (std::int64_t i = i0; i < i1; i += rt) {
+    const std::int64_t ib = std::min(rt, i1 - i);
+    for (std::int64_t j = 0; j < m; j += kMmColTile) {
+      const std::int64_t jb = std::min(kMmColTile, m - j);
+      if (ib == rt && jb == kMmColTile) {
+        typename V::reg acc[rt][cv];
+        for (std::int64_t r = 0; r < rt; ++r) {
+          for (std::int64_t c = 0; c < cv; ++c) acc[r][c] = V::zero();
+        }
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          const double* b_row = pb + kk * m + j;
+          typename V::reg bv[cv];
+          for (std::int64_t c = 0; c < cv; ++c) {
+            bv[c] = V::load(b_row + static_cast<std::size_t>(c) * w);
+          }
+          for (std::int64_t r = 0; r < rt; ++r) {
+            const typename V::reg a_rk = V::set1(pa[(i + r) * k + kk]);
+            for (std::int64_t c = 0; c < cv; ++c) {
+              acc[r][c] = V::fma(a_rk, bv[c], acc[r][c]);
+            }
+          }
+        }
+        for (std::int64_t r = 0; r < rt; ++r) {
+          double* out_row = po + (i + r) * m + j;
+          for (std::int64_t c = 0; c < cv; ++c) {
+            V::store(out_row + static_cast<std::size_t>(c) * w, acc[r][c]);
+          }
+        }
+      } else {
+        for (std::int64_t r = 0; r < ib; ++r) {
+          double* out_row = po + (i + r) * m + j;
+          const double* a_row = pa + (i + r) * k;
+          for (std::int64_t kk = 0; kk < k; ++kk) {
+            const double a_rk = a_row[kk];
+            const double* b_row = pb + kk * m + j;
+            for (std::int64_t c = 0; c < jb; ++c) {
+              out_row[c] += a_rk * b_row[c];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+template <class V>
+void mm_tn_rows(const double* pa, const double* pb, double* po,
+                std::int64_t i0, std::int64_t i1, std::int64_t k,
+                std::int64_t n, std::int64_t m) {
+  constexpr std::int64_t rt = V::kMmRowTile;
+  constexpr std::int64_t cv =
+      kMmColTile / static_cast<std::int64_t>(V::kWidth);
+  constexpr std::size_t w = V::kWidth;
+  for (std::int64_t i = i0; i < i1; i += rt) {
+    const std::int64_t ib = std::min(rt, i1 - i);
+    for (std::int64_t j = 0; j < m; j += kMmColTile) {
+      const std::int64_t jb = std::min(kMmColTile, m - j);
+      if (ib == rt && jb == kMmColTile) {
+        typename V::reg acc[rt][cv];
+        for (std::int64_t r = 0; r < rt; ++r) {
+          for (std::int64_t c = 0; c < cv; ++c) acc[r][c] = V::zero();
+        }
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          const double* a_col = pa + kk * n + i;
+          const double* b_row = pb + kk * m + j;
+          typename V::reg bv[cv];
+          for (std::int64_t c = 0; c < cv; ++c) {
+            bv[c] = V::load(b_row + static_cast<std::size_t>(c) * w);
+          }
+          for (std::int64_t r = 0; r < rt; ++r) {
+            const typename V::reg a_rk = V::set1(a_col[r]);
+            for (std::int64_t c = 0; c < cv; ++c) {
+              acc[r][c] = V::fma(a_rk, bv[c], acc[r][c]);
+            }
+          }
+        }
+        for (std::int64_t r = 0; r < rt; ++r) {
+          double* out_row = po + (i + r) * m + j;
+          for (std::int64_t c = 0; c < cv; ++c) {
+            V::store(out_row + static_cast<std::size_t>(c) * w, acc[r][c]);
+          }
+        }
+      } else {
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          const double* a_col = pa + kk * n + i;
+          const double* b_row = pb + kk * m + j;
+          for (std::int64_t r = 0; r < ib; ++r) {
+            double* out_row = po + (i + r) * m + j;
+            const double a_rk = a_col[r];
+            for (std::int64_t c = 0; c < jb; ++c) {
+              out_row[c] += a_rk * b_row[c];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// a[n,k] * b[m,k]^T: both operands stream along k, so the tile is 2 a-rows
+// by 4 b-rows of vector dot products, horizontally summed once per tile.
+template <class V>
+void mm_nt_rows(const double* pa, const double* pb, double* po,
+                std::int64_t i0, std::int64_t i1, std::int64_t k,
+                std::int64_t m) {
+  constexpr std::int64_t rt = 2;
+  constexpr std::int64_t ct = 4;
+  constexpr std::size_t w = V::kWidth;
+  for (std::int64_t i = i0; i < i1; i += rt) {
+    const std::int64_t ib = std::min(rt, i1 - i);
+    for (std::int64_t j = 0; j < m; j += ct) {
+      const std::int64_t jb = std::min(ct, m - j);
+      if (ib == rt && jb == ct && static_cast<std::size_t>(k) >= w) {
+        typename V::reg acc[rt][ct];
+        for (std::int64_t r = 0; r < rt; ++r) {
+          for (std::int64_t c = 0; c < ct; ++c) acc[r][c] = V::zero();
+        }
+        std::size_t kk = 0;
+        const std::size_t kw = static_cast<std::size_t>(k);
+        for (; kk + w <= kw; kk += w) {
+          typename V::reg av[rt];
+          for (std::int64_t r = 0; r < rt; ++r) {
+            av[r] = V::load(pa + (i + r) * k + static_cast<std::int64_t>(kk));
+          }
+          for (std::int64_t c = 0; c < ct; ++c) {
+            const typename V::reg bv =
+                V::load(pb + (j + c) * k + static_cast<std::int64_t>(kk));
+            for (std::int64_t r = 0; r < rt; ++r) {
+              acc[r][c] = V::fma(av[r], bv, acc[r][c]);
+            }
+          }
+        }
+        for (std::int64_t r = 0; r < rt; ++r) {
+          for (std::int64_t c = 0; c < ct; ++c) {
+            double total = V::hsum(acc[r][c]);
+            const double* a_row = pa + (i + r) * k;
+            const double* b_row = pb + (j + c) * k;
+            for (std::size_t kt = kk; kt < kw; ++kt) {
+              total += a_row[kt] * b_row[kt];
+            }
+            po[(i + r) * m + j + c] = total;
+          }
+        }
+      } else {
+        for (std::int64_t r = 0; r < ib; ++r) {
+          const double* a_row = pa + (i + r) * k;
+          double* out_row = po + (i + r) * m + j;
+          for (std::int64_t c = 0; c < jb; ++c) {
+            const double* b_row = pb + (j + c) * k;
+            double acc = 0.0;
+            for (std::int64_t kk = 0; kk < k; ++kk) {
+              acc += a_row[kk] * b_row[kk];
+            }
+            out_row[c] = acc;
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Builds the full table for one vector wrapper. Instantiated once per
+/// per-ISA translation unit (see simd_scalar.cpp and friends).
+template <class V>
+KernelTable make_table(Isa isa, const char* name) {
+  KernelTable t;
+  t.isa = isa;
+  t.name = name;
+  t.width = V::kWidth;
+  t.bin_same[kAdd] = &ew_bin<V, OpAdd>;
+  t.bin_same[kSub] = &ew_bin<V, OpSub>;
+  t.bin_same[kMul] = &ew_bin<V, OpMul>;
+  t.bin_same[kDiv] = &ew_bin<V, OpDiv>;
+  t.bin_row[kAdd] = &ew_bin_row<V, OpAdd>;
+  t.bin_row[kSub] = &ew_bin_row<V, OpSub>;
+  t.bin_row[kMul] = &ew_bin_row<V, OpMul>;
+  t.bin_row[kDiv] = &ew_bin_row<V, OpDiv>;
+  t.neg = &ew_neg<V>;
+  t.scale = &ew_scale<V>;
+  t.add_scalar = &ew_add_scalar<V>;
+  t.square = &ew_square<V>;
+  t.reciprocal = &ew_reciprocal<V>;
+  t.sqrt = &ew_sqrt<V>;
+  t.abs = &ew_abs<V>;
+  t.relu = &ew_relu<V>;
+  t.step = &ew_step<V>;
+  t.sign = &ew_sign<V>;
+  t.dot = &red_dot<V>;
+  t.sum = &red_sum<V>;
+  t.square_sum = &red_square_sum<V>;
+  t.weighted_square_sum = &red_weighted_square_sum<V>;
+  t.axpy = &ip_axpy<V>;
+  t.scale_inplace = &ip_scale<V>;
+  t.axpby = &ip_axpby<V>;
+  t.acc_add = &ip_acc_add<V>;
+  t.adam = &adam_sweep<V>;
+  t.matmul_rows = &mm_rows<V>;
+  t.matmul_tn_rows = &mm_tn_rows<V>;
+  t.matmul_nt_rows = &mm_nt_rows<V>;
+  return t;
+}
+
+}  // namespace detail
+
+}  // namespace qpinn::simd

@@ -1,0 +1,17 @@
+// NEON instantiation of the SIMD kernel templates (128-bit, 2 doubles).
+// Advanced SIMD is architecturally mandatory on AArch64, so no runtime
+// probe is needed; this TU is only added to the build on aarch64.
+#include "tensor/simd.hpp"
+
+#if defined(QPINN_SIMD_NEON)
+
+namespace qpinn::simd::detail {
+
+const KernelTable* neon_table() {
+  static const KernelTable table = make_table<VecNeon>(Isa::kNeon, "neon");
+  return &table;
+}
+
+}  // namespace qpinn::simd::detail
+
+#endif  // QPINN_SIMD_NEON

@@ -1,0 +1,17 @@
+// Scalar instantiation of the SIMD kernel templates (VecScalar has
+// width 1, so every loop body is exactly the fringe expression). This is
+// the portable fallback and the reference the equivalence tests compare
+// the vector variants against. Compiled with -ffp-contract=off like the
+// other variant TUs so no target sneaks an FMA into the arithmetic
+// kernels.
+#include "tensor/simd.hpp"
+
+namespace qpinn::simd::detail {
+
+const KernelTable* scalar_table() {
+  static const KernelTable table =
+      make_table<VecScalar>(Isa::kScalar, "scalar");
+  return &table;
+}
+
+}  // namespace qpinn::simd::detail

@@ -21,6 +21,15 @@ Tensor::Tensor(Shape shape) {
 
 Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
 
+Tensor Tensor::uninitialized(Shape shape) {
+  check_shape_valid(shape);
+  const std::int64_t n = qpinn::numel(shape);
+  return Tensor(
+      StoragePool::instance().acquire(static_cast<std::size_t>(n),
+                                      /*zero=*/false),
+      std::move(shape));
+}
+
 Tensor Tensor::ones(Shape shape) { return full(std::move(shape), 1.0); }
 
 Tensor Tensor::full(Shape shape, double value) {

@@ -30,6 +30,11 @@ class Tensor {
 
   // ---- factories -------------------------------------------------------
   static Tensor zeros(Shape shape);
+  /// Unspecified contents — the caller must overwrite every element before
+  /// any read. For kernels whose output is fully written (elementwise,
+  /// broadcast, transpose); skips the zero-fill write pass, which is half
+  /// the memory traffic of a memory-bound elementwise op.
+  static Tensor uninitialized(Shape shape);
   static Tensor ones(Shape shape);
   static Tensor full(Shape shape, double value);
   static Tensor scalar(double value);

@@ -25,4 +25,10 @@ long long env_int(const std::string& name, long long fallback) {
   return v;
 }
 
+std::string env_string(const std::string& name, const std::string& fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return std::string(raw);
+}
+
 }  // namespace qpinn

@@ -12,6 +12,11 @@ bool env_flag(const std::string& name);
 /// Integer value of an environment variable, or `fallback` when unset/bad.
 long long env_int(const std::string& name, long long fallback);
 
+/// Raw string value of an environment variable, or `fallback` when unset.
+/// An empty value counts as unset.
+std::string env_string(const std::string& name,
+                       const std::string& fallback = "");
+
 /// Experiment binaries run a fast smoke configuration by default; setting
 /// QPINN_FULL=1 switches them to the full-size runs recorded in
 /// EXPERIMENTS.md.

@@ -16,10 +16,13 @@
 #include "autodiff/gradcheck.hpp"
 #include "autodiff/grad.hpp"
 #include "autodiff/ops.hpp"
+#include "tensor/simd.hpp"
 #include "util/rng.hpp"
 
 namespace qpinn::autodiff {
 namespace {
+
+namespace simd = qpinn::simd;
 
 struct OpCase {
   std::string name;
@@ -173,6 +176,36 @@ std::vector<OpCase> make_cases() {
                    [](const std::vector<Variable>& in) {
                      return mse(in[0]);
                    }});
+  cases.push_back({"bias_tanh",
+                   {bounded(rng, mat, -2.0, 2.0),
+                    bounded(rng, {1, 2}, -1.0, 1.0)},
+                   [](const std::vector<Variable>& in) {
+                     return to_scalar(bias_tanh(in[0], in[1]));
+                   }});
+  cases.push_back({"bias_sin",
+                   {bounded(rng, mat, -2.0, 2.0),
+                    bounded(rng, {1, 2}, -1.0, 1.0)},
+                   [](const std::vector<Variable>& in) {
+                     return to_scalar(bias_sin(in[0], in[1]));
+                   }});
+  cases.push_back({"square_sum",
+                   {bounded(rng, mat, -2.0, 2.0)},
+                   [](const std::vector<Variable>& in) {
+                     return square_sum(in[0]);
+                   }});
+  // Both weight layouts: same-shape and the trainer's (N,1) column vector.
+  cases.push_back({"weighted_square_sum",
+                   {bounded(rng, mat, 0.5, 2.0),
+                    bounded(rng, mat, -2.0, 2.0)},
+                   [](const std::vector<Variable>& in) {
+                     return weighted_square_sum(in[0], in[1]);
+                   }});
+  cases.push_back({"weighted_square_sum",
+                   {bounded(rng, {3, 1}, 0.5, 2.0),
+                    bounded(rng, mat, -2.0, 2.0)},
+                   [](const std::vector<Variable>& in) {
+                     return weighted_square_sum(in[0], in[1]);
+                   }});
   cases.push_back({"column",
                    {bounded(rng, {3, 3}, -2.0, 2.0)},
                    [](const std::vector<Variable>& in) {
@@ -191,7 +224,8 @@ const std::set<std::string> kExpectedOps = {
     "sigmoid",    "softplus",   "pow_scalar",   "relu",       "abs",
     "matmul",     "transpose",  "sum_all",      "mean_all",   "sum_to",
     "broadcast_to", "reshape",  "slice_cols",   "concat_cols",
-    "slice_rows", "concat_rows", "mse",         "column",
+    "slice_rows", "concat_rows", "mse",         "column",     "bias_tanh",
+    "bias_sin",   "square_sum", "weighted_square_sum",
 };
 
 TEST(GradcheckSweep, TableCoversEveryDeclaredOp) {
@@ -212,6 +246,23 @@ TEST(GradcheckSweep, FirstDerivatives) {
     EXPECT_TRUE(report.ok) << c.name << ": " << report.detail
                            << " (max abs err " << report.max_abs_err << ")";
   }
+}
+
+// The sweep again under every selectable SIMD variant: the finite-difference
+// reference and the analytic gradient both run on the forced table, so any
+// variant whose kernels drift from the scalar contract fails here.
+TEST(GradcheckSweep, FirstDerivativesUnderEverySimdVariant) {
+  const simd::Isa original = simd::active_isa();
+  for (const simd::Isa isa : simd::available_isas()) {
+    ASSERT_TRUE(simd::force_isa(isa));
+    for (const OpCase& c : make_cases()) {
+      const GradcheckReport report = check_gradients(c.fn, c.inputs);
+      EXPECT_TRUE(report.ok)
+          << c.name << " under " << simd::isa_name(isa) << ": "
+          << report.detail << " (max abs err " << report.max_abs_err << ")";
+    }
+  }
+  ASSERT_TRUE(simd::force_isa(original));
 }
 
 TEST(GradcheckSweep, SecondDerivatives) {

@@ -8,9 +8,13 @@
 
 #include <vector>
 
+#include "autodiff/grad.hpp"
+#include "autodiff/ops.hpp"
+#include "optim/adam.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tensor/storage_pool.hpp"
 #include "tensor/tensor.hpp"
+#include "util/rng.hpp"
 
 namespace qpinn {
 namespace {
@@ -155,6 +159,43 @@ TEST(StoragePool, ConcurrentAllocFreeIsRaceFree) {
       }
     }
   });
+}
+
+TEST(StoragePool, TrainStepLoopHasZeroSteadyStateAllocations) {
+  // The full hot path — forward, backward, fused Adam — must run entirely
+  // out of the free lists once warm. One warmup step primes them (the
+  // optimizer state is already eager); after that, ANY heap allocation per
+  // step is a regression, so the assertion is exact zero, not a budget.
+  StoragePool& pool = StoragePool::instance();
+  EnabledGuard guard;
+  pool.set_enabled(true);
+
+  namespace ad = autodiff;
+  Rng rng(42);
+  ad::Variable w1 = ad::Variable::leaf(Tensor::randn({2, 16}, rng, 0.0, 0.3));
+  ad::Variable b1 = ad::Variable::leaf(Tensor::zeros({1, 16}));
+  ad::Variable w2 = ad::Variable::leaf(Tensor::randn({16, 1}, rng, 0.0, 0.3));
+  ad::Variable x = ad::Variable::constant(Tensor::rand({32, 2}, rng, -1, 1));
+  std::vector<ad::Variable> params{w1, b1, w2};
+  optim::Adam adam(params, {});
+
+  auto train_step = [&] {
+    const ad::Variable h = ad::bias_tanh(ad::matmul(x, w1), b1);
+    const ad::Variable loss = ad::square_sum(ad::matmul(h, w2));
+    const std::vector<ad::Variable> grads = ad::grad(loss, params);
+    std::vector<Tensor> g;
+    g.reserve(grads.size());
+    for (const ad::Variable& gv : grads) g.push_back(gv.value());
+    adam.step(g);
+  };
+
+  train_step();  // warmup: fills the free lists
+  const auto before = pool.stats();
+  for (int i = 0; i < 5; ++i) train_step();
+  const auto after = pool.stats();
+  EXPECT_EQ(after.heap_allocations, before.heap_allocations)
+      << "train step allocated from the heap in steady state";
+  EXPECT_GT(after.pool_reuses, before.pool_reuses);
 }
 
 TEST(StoragePool, StatsResetKeepsFreeListGauges) {

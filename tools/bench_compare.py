@@ -7,8 +7,15 @@ so ns/op regressions only WARN by default; allocation counts are exact
 (the pool counts them deterministically from the tape), so an allocs/op
 increase is the signal to look at first.
 
-Exit code is 0 unless --strict is passed AND a finding exists, so the CI
-job stays warn-only until the trajectory stabilizes enough to gate on.
+The per-op timing threshold defaults to +/-25% and is overridable with
+``--threshold`` (a fraction: 0.25 means a 1.25x slowdown warns). The last
+line is a machine-readable verdict, e.g.::
+
+    bench_compare: verdict=ok regressions=0 new=5 missing=0 threshold=0.25
+
+Exit code is 0 unless ``--fail-on-regress`` (regressions only) or
+``--strict`` (any finding) is passed, so the CI job stays warn-only until
+the trajectory stabilizes enough to gate on.
 
 Usage: tools/bench_compare.py --baseline BENCH_qpinn.json --current new.json
 """
@@ -19,7 +26,6 @@ import argparse
 import json
 import sys
 
-TIME_WARN_RATIO = 1.30   # ns/op regression threshold (noisy metric)
 ALLOC_WARN_DELTA = 0.5   # allocs/op increase threshold (exact metric)
 
 
@@ -39,32 +45,43 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True)
     parser.add_argument("--current", required=True)
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="per-op ns/op regression fraction before a "
+                             "warning fires (default 0.25 = 1.25x)")
+    parser.add_argument("--fail-on-regress", action="store_true",
+                        help="exit 1 when any regression is found")
     parser.add_argument("--strict", action="store_true",
-                        help="exit 1 on any finding (default: warn only)")
+                        help="exit 1 on any finding, including new/missing "
+                             "entries (default: warn only)")
     args = parser.parse_args()
+    warn_ratio = 1.0 + args.threshold
 
     baseline, current = load(args.baseline), load(args.current)
     base_idx, cur_idx = index(baseline), index(current)
 
+    regressions: list[str] = []
     findings: list[str] = []
+    new_entries = 0
     for key, cur in sorted(cur_idx.items()):
         base = base_idx.get(key)
         name = "/".join(key)
         if base is None:
+            new_entries += 1
             print(f"bench_compare: NEW {name} "
                   f"(ns/op {cur['ns_per_op']:.0f}, no baseline entry)")
             continue
         if base["ns_per_op"] > 0:
             ratio = cur["ns_per_op"] / base["ns_per_op"]
-            if ratio > TIME_WARN_RATIO:
-                findings.append(
+            if ratio > warn_ratio:
+                regressions.append(
                     f"{name}: ns/op {base['ns_per_op']:.0f} -> "
                     f"{cur['ns_per_op']:.0f} ({ratio:.2f}x)")
         if cur["allocs_per_op"] > base["allocs_per_op"] + ALLOC_WARN_DELTA:
-            findings.append(
+            regressions.append(
                 f"{name}: allocs/op {base['allocs_per_op']:.1f} -> "
                 f"{cur['allocs_per_op']:.1f} (exact metric; real regression)")
-    for key in sorted(base_idx.keys() - cur_idx.keys()):
+    missing = sorted(base_idx.keys() - cur_idx.keys())
+    for key in missing:
         findings.append(f"{'/'.join(key)}: present in baseline, missing now")
 
     base_red = baseline.get("summary", {}).get("alloc_reduction_x")
@@ -73,15 +90,21 @@ def main() -> int:
         print(f"bench_compare: alloc_reduction_x baseline={base_red} "
               f"current={cur_red}")
         if cur_red < 5.0:
-            findings.append(
+            regressions.append(
                 f"alloc_reduction_x {cur_red:.1f} below the 5x budget")
 
+    findings = regressions + findings
     for finding in findings:
         print(f"bench_compare: WARN {finding}")
-    status = "FAIL" if (findings and args.strict) else "OK"
+    fail = bool((regressions and args.fail_on_regress)
+                or (findings and args.strict))
     print(f"bench_compare: {len(cur_idx)} entries, {len(findings)} "
-          f"warning(s) [{status}]")
-    return 1 if (findings and args.strict) else 0
+          f"warning(s) [{'FAIL' if fail else 'OK'}]")
+    verdict = "regress" if regressions else "ok"
+    print(f"bench_compare: verdict={verdict} regressions={len(regressions)} "
+          f"new={new_entries} missing={len(missing)} "
+          f"threshold={args.threshold}")
+    return 1 if fail else 0
 
 
 if __name__ == "__main__":

@@ -21,6 +21,12 @@ Rules (each finding prints ``path:line: [rule] message``; exit 1 if any):
                   src/tensor/storage_pool.cpp — tensor buffers must come
                   from the pool so recycling and the allocation counters
                   stay accurate (QPINN_NO_POOL flows through the pool too).
+  banned-intrinsics
+                  no raw SIMD intrinsics (immintrin.h / arm_neon.h,
+                  ``_mm*``/``__m*`` / ``v*q_f64`` identifiers) outside
+                  src/tensor/simd.hpp — all vector code goes through the
+                  dispatch tables there, so every kernel exists in every
+                  variant and the QPINN_SIMD override stays meaningful.
 
 Comments and string literals are stripped before token rules run, so prose
 mentioning ``new`` or ``rand()`` never trips the gate.
@@ -138,6 +144,20 @@ def token_rules(path: pathlib.Path, findings: list[Finding]) -> None:
             re.compile(r"make_shared\s*<\s*std::vector\s*<\s*double\b"),
             "raw tensor-buffer allocation is banned; acquire storage via "
             "tensor/storage_pool.hpp so pooling and counters stay accurate"))
+    # The SIMD abstraction is the one place allowed to spell intrinsics;
+    # everywhere else goes through its dispatch tables so each kernel exists
+    # in every variant (including the scalar QPINN_SIMD=off fallback).
+    if path.as_posix().rsplit("src/", 1)[-1] != "tensor/simd.hpp":
+        message = ("raw SIMD intrinsics are banned outside tensor/simd.hpp; "
+                   "use the simd::active() kernel tables")
+        rules.extend([
+            ("banned-intrinsics",
+             re.compile(r"#include\s*<(?:immintrin|arm_neon)\.h>"), message),
+            ("banned-intrinsics", re.compile(r"\b_mm\d*_\w+"), message),
+            ("banned-intrinsics", re.compile(r"\b__m\d+[di]?\b"), message),
+            ("banned-intrinsics",
+             re.compile(r"\bfloat64x\d+_t\b|\bv\w+q_f64\b"), message),
+        ])
     for lineno, code in enumerate(code_lines, start=1):
         for rule, pattern, message in rules:
             if pattern.search(code) and not allowed(raw_lines[lineno - 1], rule):
