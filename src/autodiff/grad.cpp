@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "autodiff/ops.hpp"
+#include "autodiff/plan.hpp"
 #include "tensor/kernels.hpp"
 #include "util/error.hpp"
 #include "util/invariant.hpp"
@@ -147,12 +148,25 @@ std::vector<Variable> grad(const Variable& output,
         // allocating another tensor per accumulation edge.
         kernels::axpy_inplace(existing->second.mutable_value(), 1.0,
                               pg.value());
+        if (plan::capturing()) {
+          plan::record_inplace(
+              [dst = existing->second.value(), src = pg.value()]() mutable {
+                kernels::axpy_inplace(dst, 1.0, src);
+              });
+        }
       } else {
         // First collision for this node: materialize a private buffer
         // (the stored gradient may alias the seed or a tape value, which
         // must stay untouched) and accumulate into it from now on.
         Tensor acc = existing->second.value().clone();
         kernels::axpy_inplace(acc, 1.0, pg.value());
+        if (plan::capturing()) {
+          plan::record(acc, [dst = acc, first = existing->second.value(),
+                             src = pg.value()]() mutable {
+            kernels::copy_into(dst, first);
+            kernels::axpy_inplace(dst, 1.0, src);
+          });
+        }
         existing->second = Variable::constant(std::move(acc));
         owned_accum.insert(parent.node());
       }
@@ -180,7 +194,15 @@ std::vector<Variable> grad(const Variable& output,
             "grad(): an input is not reachable from the output "
             "(allow_unused=false)");
       }
-      results.push_back(zeros_like(input));
+      Variable zero = zeros_like(input);
+      if (plan::capturing()) {
+        // Callers (trainer shard reduction) may axpy into result buffers in
+        // place; the plan must restore this one to zero on every replay.
+        plan::record(zero.value(), [o = zero.value()]() mutable {
+          kernels::fill_zero(o);
+        });
+      }
+      results.push_back(zero);
       continue;
     }
     Variable g = found->second;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "autodiff/plan.hpp"
 #include "tensor/kernels.hpp"
 #include "util/error.hpp"
 
@@ -21,6 +22,39 @@ const Variable& parent(const Variable& self, std::size_t i) {
 /// True when parent i needs a gradient (used to skip dead computations).
 bool needs(const Variable& self, std::size_t i) {
   return self.node()->parents[i].requires_grad();
+}
+
+// Capture-aware kernel launchers: compute the value eagerly and, while an
+// execution plan is recording, append a thunk that re-runs the SAME kernel
+// into the SAME buffer (the `_into` variants in tensor/kernels.hpp), so
+// replay is bit-identical to the captured eager step.
+Tensor run1(Tensor (*f)(const Tensor&), void (*fi)(Tensor&, const Tensor&),
+            const Tensor& a) {
+  Tensor out = f(a);
+  if (plan::capturing()) {
+    plan::record(out, [fi, o = out, a]() mutable { fi(o, a); });
+  }
+  return out;
+}
+
+Tensor run1s(Tensor (*f)(const Tensor&, double),
+             void (*fi)(Tensor&, const Tensor&, double), const Tensor& a,
+             double s) {
+  Tensor out = f(a, s);
+  if (plan::capturing()) {
+    plan::record(out, [fi, o = out, a, s]() mutable { fi(o, a, s); });
+  }
+  return out;
+}
+
+Tensor run2(Tensor (*f)(const Tensor&, const Tensor&),
+            void (*fi)(Tensor&, const Tensor&, const Tensor&), const Tensor& a,
+            const Tensor& b) {
+  Tensor out = f(a, b);
+  if (plan::capturing()) {
+    plan::record(out, [fi, o = out, a, b]() mutable { fi(o, a, b); });
+  }
+  return out;
 }
 
 }  // namespace
@@ -50,7 +84,7 @@ Variable op(const char* name, Tensor value, std::vector<Variable> parents,
 // ---- binary ----------------------------------------------------------------
 
 Variable add(const Variable& a, const Variable& b) {
-  return op("add", k::add(a.value(), b.value()), {a, b},
+  return op("add", run2(&k::add, &k::add_into, a.value(), b.value()), {a, b},
             [](const Variable& g, const Variable& self) {
               std::vector<Variable> grads(2);
               if (needs(self, 0))
@@ -62,7 +96,7 @@ Variable add(const Variable& a, const Variable& b) {
 }
 
 Variable sub(const Variable& a, const Variable& b) {
-  return op("sub", k::sub(a.value(), b.value()), {a, b},
+  return op("sub", run2(&k::sub, &k::sub_into, a.value(), b.value()), {a, b},
             [](const Variable& g, const Variable& self) {
               std::vector<Variable> grads(2);
               if (needs(self, 0))
@@ -74,7 +108,7 @@ Variable sub(const Variable& a, const Variable& b) {
 }
 
 Variable mul(const Variable& a, const Variable& b) {
-  return op("mul", k::mul(a.value(), b.value()), {a, b},
+  return op("mul", run2(&k::mul, &k::mul_into, a.value(), b.value()), {a, b},
             [](const Variable& g, const Variable& self) {
               std::vector<Variable> grads(2);
               if (needs(self, 0))
@@ -88,7 +122,7 @@ Variable mul(const Variable& a, const Variable& b) {
 }
 
 Variable div(const Variable& a, const Variable& b) {
-  return op("div", k::div(a.value(), b.value()), {a, b},
+  return op("div", run2(&k::div, &k::div_into, a.value(), b.value()), {a, b},
             [](const Variable& g, const Variable& self) {
               const Variable& a_ = parent(self, 0);
               const Variable& b_ = parent(self, 1);
@@ -102,45 +136,46 @@ Variable div(const Variable& a, const Variable& b) {
             });
 }
 
-// ---- unary -------------------------------------------------------------------
+// ---- unary ------------------------------------------------------------------
 
 Variable neg(const Variable& a) {
-  return op("neg", k::neg(a.value()), {a},
+  return op("neg", run1(&k::neg, &k::neg_into, a.value()), {a},
             [](const Variable& g, const Variable&) {
               return std::vector<Variable>{neg(g)};
             });
 }
 
 Variable scale(const Variable& a, double s) {
-  return op("scale", k::scale(a.value(), s), {a},
+  return op("scale", run1s(&k::scale, &k::scale_into, a.value(), s), {a},
             [s](const Variable& g, const Variable&) {
               return std::vector<Variable>{scale(g, s)};
             });
 }
 
 Variable add_scalar(const Variable& a, double s) {
-  return op("add_scalar", k::add_scalar(a.value(), s), {a},
+  return op("add_scalar",
+            run1s(&k::add_scalar, &k::add_scalar_into, a.value(), s), {a},
             [](const Variable& g, const Variable&) {
               return std::vector<Variable>{g};
             });
 }
 
 Variable exp(const Variable& a) {
-  return op("exp", k::exp(a.value()), {a},
+  return op("exp", run1(&k::exp, &k::exp_into, a.value()), {a},
             [](const Variable& g, const Variable& self) {
               return std::vector<Variable>{mul(g, self)};
             });
 }
 
 Variable log(const Variable& a) {
-  return op("log", k::log(a.value()), {a},
+  return op("log", run1(&k::log, &k::log_into, a.value()), {a},
             [](const Variable& g, const Variable& self) {
               return std::vector<Variable>{div(g, parent(self, 0))};
             });
 }
 
 Variable tanh(const Variable& a) {
-  return op("tanh", k::tanh(a.value()), {a},
+  return op("tanh", run1(&k::tanh, &k::tanh_into, a.value()), {a},
             [](const Variable& g, const Variable& self) {
               // d tanh = 1 - tanh^2; reuse the forward value through `self`
               // so the second derivative flows through tanh's own graph.
@@ -150,35 +185,36 @@ Variable tanh(const Variable& a) {
 }
 
 Variable sin(const Variable& a) {
-  return op("sin", k::sin(a.value()), {a},
+  return op("sin", run1(&k::sin, &k::sin_into, a.value()), {a},
             [](const Variable& g, const Variable& self) {
               return std::vector<Variable>{mul(g, cos(parent(self, 0)))};
             });
 }
 
 Variable cos(const Variable& a) {
-  return op("cos", k::cos(a.value()), {a},
+  return op("cos", run1(&k::cos, &k::cos_into, a.value()), {a},
             [](const Variable& g, const Variable& self) {
               return std::vector<Variable>{neg(mul(g, sin(parent(self, 0))))};
             });
 }
 
 Variable sqrt(const Variable& a) {
-  return op("sqrt", k::sqrt(a.value()), {a},
+  return op("sqrt", run1(&k::sqrt, &k::sqrt_into, a.value()), {a},
             [](const Variable& g, const Variable& self) {
               return std::vector<Variable>{scale(div(g, self), 0.5)};
             });
 }
 
 Variable reciprocal(const Variable& a) {
-  return op("reciprocal", k::reciprocal(a.value()), {a},
+  return op("reciprocal", run1(&k::reciprocal, &k::reciprocal_into, a.value()),
+            {a},
             [](const Variable& g, const Variable& self) {
               return std::vector<Variable>{neg(mul(g, square(self)))};
             });
 }
 
 Variable square(const Variable& a) {
-  return op("square", k::square(a.value()), {a},
+  return op("square", run1(&k::square, &k::square_into, a.value()), {a},
             [](const Variable& g, const Variable& self) {
               return std::vector<Variable>{
                   scale(mul(g, parent(self, 0)), 2.0)};
@@ -186,7 +222,7 @@ Variable square(const Variable& a) {
 }
 
 Variable sigmoid(const Variable& a) {
-  return op("sigmoid", k::sigmoid(a.value()), {a},
+  return op("sigmoid", run1(&k::sigmoid, &k::sigmoid_into, a.value()), {a},
             [](const Variable& g, const Variable& self) {
               return std::vector<Variable>{
                   mul(g, mul(self, add_scalar(neg(self), 1.0)))};
@@ -194,14 +230,15 @@ Variable sigmoid(const Variable& a) {
 }
 
 Variable softplus(const Variable& a) {
-  return op("softplus", k::softplus(a.value()), {a},
+  return op("softplus", run1(&k::softplus, &k::softplus_into, a.value()), {a},
             [](const Variable& g, const Variable& self) {
               return std::vector<Variable>{mul(g, sigmoid(parent(self, 0)))};
             });
 }
 
 Variable pow_scalar(const Variable& a, double p) {
-  return op("pow_scalar", k::pow_scalar(a.value(), p), {a},
+  return op("pow_scalar",
+            run1s(&k::pow_scalar, &k::pow_scalar_into, a.value(), p), {a},
             [p](const Variable& g, const Variable& self) {
               return std::vector<Variable>{
                   scale(mul(g, pow_scalar(parent(self, 0), p - 1.0)), p)};
@@ -209,29 +246,30 @@ Variable pow_scalar(const Variable& a, double p) {
 }
 
 Variable relu(const Variable& a) {
-  return op("relu", k::relu(a.value()), {a},
+  return op("relu", run1(&k::relu, &k::relu_into, a.value()), {a},
             [](const Variable& g, const Variable& self) {
               // Step factor is locally constant: correct a.e., and its
               // second derivative is identically zero.
-              const Variable mask =
-                  Variable::constant(k::step(parent(self, 0).value()));
+              const Variable mask = Variable::constant(
+                  run1(&k::step, &k::step_into, parent(self, 0).value()));
               return std::vector<Variable>{mul(g, mask)};
             });
 }
 
 Variable abs(const Variable& a) {
-  return op("abs", k::abs(a.value()), {a},
+  return op("abs", run1(&k::abs, &k::abs_into, a.value()), {a},
             [](const Variable& g, const Variable& self) {
-              const Variable sgn =
-                  Variable::constant(k::sign(parent(self, 0).value()));
+              const Variable sgn = Variable::constant(
+                  run1(&k::sign, &k::sign_into, parent(self, 0).value()));
               return std::vector<Variable>{mul(g, sgn)};
             });
 }
 
-// ---- linear algebra ------------------------------------------------------------
+// ---- linear algebra ---------------------------------------------------------
 
 Variable matmul(const Variable& a, const Variable& b) {
-  return op("matmul", k::matmul(a.value(), b.value()), {a, b},
+  return op("matmul", run2(&k::matmul, &k::matmul_into, a.value(), b.value()),
+            {a, b},
             [](const Variable& g, const Variable& self) {
               std::vector<Variable> grads(2);
               if (needs(self, 0))
@@ -243,16 +281,17 @@ Variable matmul(const Variable& a, const Variable& b) {
 }
 
 Variable transpose(const Variable& a) {
-  return op("transpose", k::transpose(a.value()), {a},
+  return op("transpose", run1(&k::transpose, &k::transpose_into, a.value()),
+            {a},
             [](const Variable& g, const Variable&) {
               return std::vector<Variable>{transpose(g)};
             });
 }
 
-// ---- reductions -------------------------------------------------------------------
+// ---- reductions -------------------------------------------------------------
 
 Variable sum_all(const Variable& a) {
-  return op("sum_all", k::sum_all(a.value()), {a},
+  return op("sum_all", run1(&k::sum_all, &k::sum_all_into, a.value()), {a},
             [](const Variable& g, const Variable& self) {
               return std::vector<Variable>{
                   broadcast_to(g, parent(self, 0).shape())};
@@ -266,7 +305,13 @@ Variable mean_all(const Variable& a) {
 
 Variable sum_to(const Variable& a, const Shape& target) {
   if (a.shape() == target) return a;
-  return op("sum_to", k::sum_to(a.value(), target), {a},
+  Tensor value = k::sum_to(a.value(), target);
+  if (plan::capturing()) {
+    plan::record(value, [o = value, src = a.value()]() mutable {
+      k::sum_to_into(o, src);
+    });
+  }
+  return op("sum_to", std::move(value), {a},
             [](const Variable& g, const Variable& self) {
               return std::vector<Variable>{
                   broadcast_to(g, parent(self, 0).shape())};
@@ -275,17 +320,25 @@ Variable sum_to(const Variable& a, const Shape& target) {
 
 Variable broadcast_to(const Variable& a, const Shape& target) {
   if (a.shape() == target) return a;
-  return op("broadcast_to", k::broadcast_to(a.value(), target), {a},
+  Tensor value = k::broadcast_to(a.value(), target);
+  if (plan::capturing()) {
+    plan::record(value, [o = value, src = a.value()]() mutable {
+      k::broadcast_to_into(o, src);
+    });
+  }
+  return op("broadcast_to", std::move(value), {a},
             [](const Variable& g, const Variable& self) {
               return std::vector<Variable>{
                   sum_to(g, parent(self, 0).shape())};
             });
 }
 
-// ---- fused ----------------------------------------------------------------------
+// ---- fused ------------------------------------------------------------------
 
 Variable bias_tanh(const Variable& a, const Variable& bias) {
-  return op("bias_tanh", k::bias_tanh(a.value(), bias.value()), {a, bias},
+  return op("bias_tanh",
+            run2(&k::bias_tanh, &k::bias_tanh_into, a.value(), bias.value()),
+            {a, bias},
             [](const Variable& g, const Variable& self) {
               // d tanh(x + b) = 1 - tanh^2(x + b); reuse the forward value
               // through `self` like tanh does.
@@ -300,7 +353,9 @@ Variable bias_tanh(const Variable& a, const Variable& bias) {
 }
 
 Variable bias_sin(const Variable& a, const Variable& bias) {
-  return op("bias_sin", k::bias_sin(a.value(), bias.value()), {a, bias},
+  return op("bias_sin",
+            run2(&k::bias_sin, &k::bias_sin_into, a.value(), bias.value()),
+            {a, bias},
             [](const Variable& g, const Variable& self) {
               const Variable dx =
                   mul(g, cos(add(parent(self, 0), parent(self, 1))));
@@ -313,7 +368,8 @@ Variable bias_sin(const Variable& a, const Variable& bias) {
 }
 
 Variable square_sum(const Variable& a) {
-  return op("square_sum", k::square_sum_all(a.value()), {a},
+  return op("square_sum",
+            run1(&k::square_sum_all, &k::square_sum_all_into, a.value()), {a},
             [](const Variable& g, const Variable& self) {
               return std::vector<Variable>{
                   scale(mul(g, parent(self, 0)), 2.0)};
@@ -322,7 +378,9 @@ Variable square_sum(const Variable& a) {
 
 Variable weighted_square_sum(const Variable& w, const Variable& a) {
   return op("weighted_square_sum",
-            k::weighted_square_sum_all(w.value(), a.value()), {w, a},
+            run2(&k::weighted_square_sum_all, &k::weighted_square_sum_all_into,
+                 w.value(), a.value()),
+            {w, a},
             [](const Variable& g, const Variable& self) {
               const Variable& w_ = parent(self, 0);
               const Variable& a_ = parent(self, 1);
@@ -335,9 +393,10 @@ Variable weighted_square_sum(const Variable& w, const Variable& a) {
             });
 }
 
-// ---- structural --------------------------------------------------------------------
+// ---- structural -------------------------------------------------------------
 
 Variable reshape(const Variable& a, const Shape& shape) {
+  // Shares the parent's storage — nothing to record for replay.
   if (a.shape() == shape) return a;
   return op("reshape", a.value().reshape(shape), {a},
             [](const Variable& g, const Variable& self) {
@@ -347,23 +406,44 @@ Variable reshape(const Variable& a, const Shape& shape) {
 }
 
 namespace {
-// Embeds `g` into a zero matrix of `cols` columns at column offset c0.
-Tensor pad_cols_tensor(const Tensor& g, std::int64_t c0, std::int64_t cols) {
-  Tensor out(Shape{g.rows(), cols});
-  const std::int64_t w = g.cols();
+// Embeds `g` into a zero matrix at column offset c0 (out carries the target
+// column count); full overwrite, so safe as a replay thunk.
+void pad_cols_tensor_into(Tensor& out, const Tensor& g, std::int64_t c0) {
+  std::fill(out.data(), out.data() + out.numel(), 0.0);
+  const std::int64_t w = g.cols(), cols = out.cols();
   double* po = out.data();
   const double* pg = g.data();
   for (std::int64_t r = 0; r < g.rows(); ++r) {
     std::copy(pg + r * w, pg + (r + 1) * w, po + r * cols + c0);
+  }
+}
+
+Tensor pad_cols_tensor(const Tensor& g, std::int64_t c0, std::int64_t cols) {
+  Tensor out = Tensor::uninitialized(Shape{g.rows(), cols});
+  pad_cols_tensor_into(out, g, c0);
+  if (plan::capturing()) {
+    plan::record(out, [o = out, g, c0]() mutable {
+      pad_cols_tensor_into(o, g, c0);
+    });
   }
   return out;
 }
 
 Variable pad_cols(const Variable& g, std::int64_t c0, std::int64_t cols);
 
-Tensor pad_rows_tensor(const Tensor& g, std::int64_t r0, std::int64_t rows) {
-  Tensor out(Shape{rows, g.cols()});
+void pad_rows_tensor_into(Tensor& out, const Tensor& g, std::int64_t r0) {
+  std::fill(out.data(), out.data() + out.numel(), 0.0);
   std::copy(g.data(), g.data() + g.numel(), out.data() + r0 * g.cols());
+}
+
+Tensor pad_rows_tensor(const Tensor& g, std::int64_t r0, std::int64_t rows) {
+  Tensor out = Tensor::uninitialized(Shape{rows, g.cols()});
+  pad_rows_tensor_into(out, g, r0);
+  if (plan::capturing()) {
+    plan::record(out, [o = out, g, r0]() mutable {
+      pad_rows_tensor_into(o, g, r0);
+    });
+  }
   return out;
 }
 
@@ -371,7 +451,13 @@ Variable pad_rows(const Variable& g, std::int64_t r0, std::int64_t rows);
 }  // namespace
 
 Variable slice_cols(const Variable& a, std::int64_t c0, std::int64_t c1) {
-  return op("slice_cols", k::slice_cols(a.value(), c0, c1), {a},
+  Tensor value = k::slice_cols(a.value(), c0, c1);
+  if (plan::capturing()) {
+    plan::record(value, [o = value, src = a.value(), c0, c1]() mutable {
+      k::slice_cols_into(o, src, c0, c1);
+    });
+  }
+  return op("slice_cols", std::move(value), {a},
             [c0](const Variable& g, const Variable& self) {
               return std::vector<Variable>{
                   pad_cols(g, c0, parent(self, 0).value().cols())};
@@ -402,7 +488,13 @@ Variable concat_cols(const std::vector<Variable>& parts) {
   std::vector<Tensor> values;
   values.reserve(parts.size());
   for (const Variable& p : parts) values.push_back(p.value());
-  return op("concat_cols", k::concat_cols(values), parts,
+  Tensor value = k::concat_cols(values);
+  if (plan::capturing()) {
+    plan::record(value, [o = value, values]() mutable {
+      k::concat_cols_into(o, values);
+    });
+  }
+  return op("concat_cols", std::move(value), parts,
             [](const Variable& g, const Variable& self) {
               std::vector<Variable> grads;
               grads.reserve(self.node()->parents.size());
@@ -420,7 +512,13 @@ Variable concat_cols(const std::vector<Variable>& parts) {
 }
 
 Variable slice_rows(const Variable& a, std::int64_t r0, std::int64_t r1) {
-  return op("slice_rows", k::slice_rows(a.value(), r0, r1), {a},
+  Tensor value = k::slice_rows(a.value(), r0, r1);
+  if (plan::capturing()) {
+    plan::record(value, [o = value, src = a.value(), r0, r1]() mutable {
+      k::slice_rows_into(o, src, r0, r1);
+    });
+  }
+  return op("slice_rows", std::move(value), {a},
             [r0](const Variable& g, const Variable& self) {
               return std::vector<Variable>{
                   pad_rows(g, r0, parent(self, 0).value().rows())};
@@ -433,7 +531,13 @@ Variable concat_rows(const std::vector<Variable>& parts) {
   std::vector<Tensor> values;
   values.reserve(parts.size());
   for (const Variable& p : parts) values.push_back(p.value());
-  return op("concat_rows", k::concat_rows(values), parts,
+  Tensor value = k::concat_rows(values);
+  if (plan::capturing()) {
+    plan::record(value, [o = value, values]() mutable {
+      k::concat_rows_into(o, values);
+    });
+  }
+  return op("concat_rows", std::move(value), parts,
             [](const Variable& g, const Variable& self) {
               std::vector<Variable> grads;
               grads.reserve(self.node()->parents.size());
@@ -450,7 +554,7 @@ Variable concat_rows(const std::vector<Variable>& parts) {
             });
 }
 
-// ---- composite ------------------------------------------------------------------------
+// ---- composite --------------------------------------------------------------
 
 Variable mse(const Variable& a) {
   // Fused sum-of-squares reduction; same math as mean_all(square(a)) with

@@ -1,0 +1,94 @@
+#include "autodiff/plan.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <string>
+#include <utility>
+
+#include "util/env.hpp"
+#include "util/error.hpp"
+
+namespace qpinn::autodiff::plan {
+
+namespace {
+
+thread_local ExecutionPlan* g_recorder = nullptr;
+
+std::atomic<std::uint64_t> g_captured{0};
+std::atomic<std::uint64_t> g_replays{0};
+std::atomic<std::uint64_t> g_fallbacks{0};
+
+}  // namespace
+
+void ExecutionPlan::replay() const {
+  for (const auto& step : steps_) step();
+  g_replays.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ExecutionPlan::clear() {
+  steps_.clear();
+  seen_buffers_.clear();
+  arena_buffers_ = 0;
+  arena_bytes_ = 0;
+}
+
+CaptureScope::CaptureScope(ExecutionPlan& plan) : prev_(g_recorder) {
+  g_recorder = &plan;
+}
+
+CaptureScope::~CaptureScope() {
+  g_recorder = prev_;
+  g_captured.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool capturing() { return g_recorder != nullptr; }
+
+void record(const Tensor& out, std::function<void()> step) {
+  ExecutionPlan* p = g_recorder;
+  if (p == nullptr) return;
+  if (p->seen_buffers_.insert(out.data()).second) {
+    p->arena_buffers_ += 1;
+    p->arena_bytes_ += static_cast<std::size_t>(out.numel()) * sizeof(double);
+  }
+  p->steps_.push_back(std::move(step));
+}
+
+void record_inplace(std::function<void()> step) {
+  ExecutionPlan* p = g_recorder;
+  if (p == nullptr) return;
+  p->steps_.push_back(std::move(step));
+}
+
+PlanStats plan_stats() {
+  PlanStats s;
+  s.plans_captured = g_captured.load(std::memory_order_relaxed);
+  s.replays = g_replays.load(std::memory_order_relaxed);
+  s.fallbacks = g_fallbacks.load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_plan_stats() {
+  g_captured.store(0, std::memory_order_relaxed);
+  g_replays.store(0, std::memory_order_relaxed);
+  g_fallbacks.store(0, std::memory_order_relaxed);
+}
+
+void count_fallback() { g_fallbacks.fetch_add(1, std::memory_order_relaxed); }
+
+bool graph_env_enabled() {
+  std::string raw = env_string("QPINN_GRAPH");
+  std::transform(raw.begin(), raw.end(), raw.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (raw.empty() || raw == "on" || raw == "1" || raw == "true" ||
+      raw == "yes") {
+    return true;
+  }
+  if (raw == "off" || raw == "0" || raw == "false" || raw == "no") {
+    return false;
+  }
+  throw ConfigError("QPINN_GRAPH must be on/off (got \"" + raw + "\")");
+}
+
+}  // namespace qpinn::autodiff::plan

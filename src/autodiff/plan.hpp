@@ -1,0 +1,118 @@
+// Graph capture & replay: a compiled execution plan for the training step.
+//
+// PINN training re-runs a structurally identical graph every step. The eager
+// tape rebuilds that graph from scratch each time — Node allocations,
+// shared_ptr refcount traffic, and pool round-trips on every intermediate.
+// This module records the step ONCE and replays a flat, topologically-ordered
+// array of kernel thunks against buffers pinned at capture time, so
+// steady-state replay performs zero Node allocations, zero refcount traffic,
+// and zero pool lookups.
+//
+// Capture model: a thread-local recorder is armed by CaptureScope. While it
+// is armed, every tape op (autodiff/ops.cpp) and every gradient-accumulation
+// kernel (autodiff/grad.cpp) appends a thunk that re-executes the SAME kernel
+// function into the SAME output buffer. The recorded tensors share storage
+// with the live graph, which pins those buffers for the plan's lifetime (the
+// "arena": buffers are not round-tripped through the pool between replays).
+//
+// Bit-identity contract: replay calls the identical kernel entry points with
+// the identical operand buffers in the identical order as the eager step that
+// was captured, and all kernels are deterministic for a fixed thread count
+// and SIMD variant. Replayed losses/gradients are therefore bit-identical to
+// eager execution, checkpoints resume exactly across modes, and
+// QPINN_GRAPH=off is a pure escape hatch. Anything that breaks the premise —
+// batch shape, thread count, ISA, or buffer identity changes — must
+// invalidate the plan (the trainer keys plans on exactly those inputs and
+// re-captures with a logged fallback).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace qpinn::autodiff::plan {
+
+/// An immutable recorded schedule: a flat array of kernel invocations whose
+/// operand/output buffers were resolved at capture time. Move-only — the
+/// thunks close over pinned storage that must not be double-owned.
+class ExecutionPlan {
+ public:
+  ExecutionPlan() = default;
+  ExecutionPlan(const ExecutionPlan&) = delete;
+  ExecutionPlan& operator=(const ExecutionPlan&) = delete;
+  ExecutionPlan(ExecutionPlan&&) = default;
+  ExecutionPlan& operator=(ExecutionPlan&&) = default;
+
+  /// Re-executes every recorded kernel in capture order.
+  void replay() const;
+
+  /// Number of recorded kernel invocations.
+  std::size_t size() const { return steps_.size(); }
+  bool empty() const { return steps_.empty(); }
+
+  /// Number of distinct output buffers pinned by this plan and their total
+  /// payload in bytes (the plan's arena footprint).
+  std::size_t arena_buffers() const { return arena_buffers_; }
+  std::size_t arena_bytes() const { return arena_bytes_; }
+
+  void clear();
+
+ private:
+  friend void record(const Tensor& out, std::function<void()> step);
+  friend void record_inplace(std::function<void()> step);
+
+  std::vector<std::function<void()>> steps_;
+  std::unordered_set<const void*> seen_buffers_;
+  std::size_t arena_buffers_ = 0;
+  std::size_t arena_bytes_ = 0;
+};
+
+/// Arms the thread-local recorder for the enclosed eager step. Non-reentrant
+/// nesting is allowed (the previous recorder is restored on destruction);
+/// capture is per-thread, so data-parallel shards record concurrently into
+/// their own plans.
+class CaptureScope {
+ public:
+  explicit CaptureScope(ExecutionPlan& plan);
+  CaptureScope(const CaptureScope&) = delete;
+  CaptureScope& operator=(const CaptureScope&) = delete;
+  ~CaptureScope();
+
+ private:
+  ExecutionPlan* prev_ = nullptr;
+};
+
+/// True while a CaptureScope is armed on this thread.
+bool capturing();
+
+/// Appends a thunk producing `out`; `out`'s storage is noted in the arena.
+/// No-op unless capturing.
+void record(const Tensor& out, std::function<void()> step);
+
+/// Appends a thunk that mutates an already-recorded buffer in place
+/// (gradient accumulation). No-op unless capturing.
+void record_inplace(std::function<void()> step);
+
+/// Process-wide capture/replay counters (monotonic until reset), reported
+/// alongside the storage-pool counters.
+struct PlanStats {
+  std::uint64_t plans_captured = 0;
+  std::uint64_t replays = 0;
+  std::uint64_t fallbacks = 0;
+};
+PlanStats plan_stats();
+void reset_plan_stats();
+/// Called by plan owners when an armed plan is discarded for re-capture
+/// (shape/thread/ISA change).
+void count_fallback();
+
+/// Parses QPINN_GRAPH: unset/empty/"on"/"1"/"true"/"yes" -> true (replay is
+/// the default), "off"/"0"/"false"/"no" -> false; anything else throws
+/// ConfigError.
+bool graph_env_enabled();
+
+}  // namespace qpinn::autodiff::plan

@@ -98,13 +98,16 @@ Trainer::Trainer(std::shared_ptr<Problem> problem,
   } else {
     schedule_ = std::make_unique<optim::ConstantLr>();
   }
+  graph_enabled_ =
+      config_.graph == GraphMode::kOn ||
+      (config_.graph == GraphMode::kEnv && plan::graph_env_enabled());
 }
 
 Variable Trainer::shard_loss(
     const Tensor& shard_points, const Tensor& shard_weights,
     std::int64_t total_rows, bool include_aux,
     std::vector<std::pair<std::string, double>>* aux_out,
-    double* aux_weighted_sum) {
+    double* aux_weighted_sum, std::vector<AuxBinding>* aux_bindings) {
   const Variable X = Variable::leaf(shard_points, /*requires_grad=*/true);
   const Variable residual = problem_->residual(*model_, X);
   QPINN_CHECK_SHAPE(residual.value().rows() == shard_points.rows(),
@@ -128,6 +131,9 @@ Variable Trainer::shard_loss(
       if (aux_out != nullptr) aux_out->emplace_back(term.name, value);
       if (aux_weighted_sum != nullptr) {
         *aux_weighted_sum += term.weight * value;
+      }
+      if (aux_bindings != nullptr) {
+        aux_bindings->push_back({term.name, term.weight, term.value.value()});
       }
       loss = add(loss, scale(term.value, term.weight));
     }
@@ -219,9 +225,223 @@ Trainer::LossAndGrads Trainer::compute_parallel(std::int64_t epoch) {
   return result;
 }
 
+Trainer::PlanKey Trainer::current_plan_key() const {
+  PlanKey key;
+  key.interior_data = points_.interior.data();
+  key.interior_shape = points_.interior.shape();
+  key.pool_threads = global_pool().size();
+  key.isa = simd::active_isa();
+  key.curriculum = config_.curriculum.has_value();
+  return key;
+}
+
+// ---- graph capture & replay (autodiff/plan.hpp) ---------------------------
+//
+// Capture runs the ordinary eager step with the thread-local recorder armed,
+// so the captured epoch IS an eager epoch; replay re-executes the recorded
+// kernel sequence against the pinned buffers and re-reads loss/grad/aux
+// buffers on the host side, in the same order as the eager reduction —
+// every replayed epoch is bit-identical to what eager would have computed.
+
+Trainer::LossAndGrads Trainer::capture_serial(std::int64_t epoch) {
+  plans_.clear();
+  plans_.resize(1);
+  ShardPlan& sp = plans_[0];
+  Tensor weights;
+  if (config_.curriculum) {
+    weights = per_point_weights(*config_.curriculum, problem_->domain(),
+                                points_.interior, epoch);
+  }
+  LossAndGrads result;
+  double aux_weighted_sum = 0.0;
+  {
+    plan::CaptureScope scope(sp.plan);
+    const Variable loss =
+        shard_loss(points_.interior, weights, points_.interior.rows(),
+                   /*include_aux=*/true, &result.aux, &aux_weighted_sum,
+                   &sp.aux);
+    result.total = loss.item();
+    result.pde = result.total - aux_weighted_sum;
+    const std::vector<Variable> grads = grad(loss, params_);
+    result.grads.reserve(grads.size());
+    for (const Variable& g : grads) result.grads.push_back(g.value());
+    sp.loss = loss.value();
+    sp.grads = result.grads;
+  }
+  sp.weights = weights;
+  sp.r0 = 0;
+  sp.r1 = points_.interior.rows();
+  return result;
+}
+
+Trainer::LossAndGrads Trainer::replay_serial(std::int64_t epoch) {
+  ShardPlan& sp = plans_[0];
+  if (config_.curriculum) {
+    const Tensor w = per_point_weights(*config_.curriculum, problem_->domain(),
+                                       points_.interior, epoch);
+    kernels::copy_into(sp.weights, w);
+  }
+  sp.plan.replay();
+  LossAndGrads result;
+  result.total = sp.loss.item();
+  double aux_weighted_sum = 0.0;
+  for (const AuxBinding& b : sp.aux) {
+    const double value = b.value.item();
+    result.aux.emplace_back(b.name, value);
+    aux_weighted_sum += b.weight * value;
+  }
+  result.pde = result.total - aux_weighted_sum;
+  result.grads = sp.grads;
+  return result;
+}
+
+Trainer::LossAndGrads Trainer::capture_parallel(std::int64_t epoch) {
+  const std::int64_t total_rows = points_.interior.rows();
+  const std::size_t shards =
+      std::min<std::size_t>(config_.threads,
+                            static_cast<std::size_t>(total_rows));
+
+  Tensor weights;
+  if (config_.curriculum) {
+    weights = per_point_weights(*config_.curriculum, problem_->domain(),
+                                points_.interior, epoch);
+  }
+
+  struct ShardOutput {
+    double loss = 0.0;
+    double aux_weighted_sum = 0.0;
+    std::vector<std::pair<std::string, double>> aux;
+    std::vector<Tensor> grads;
+  };
+  std::vector<ShardOutput> outputs(shards);
+  plans_.clear();
+  plans_.resize(shards);
+
+  const std::int64_t base = total_rows / static_cast<std::int64_t>(shards);
+  const std::int64_t extra = total_rows % static_cast<std::int64_t>(shards);
+  std::vector<std::pair<std::int64_t, std::int64_t>> ranges(shards);
+  std::int64_t begin = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::int64_t len =
+        base + (static_cast<std::int64_t>(s) < extra ? 1 : 0);
+    ranges[s] = {begin, begin + len};
+    begin += len;
+  }
+
+  global_pool().for_each_index(shards, [&](std::size_t s) {
+    const auto [r0, r1] = ranges[s];
+    const Tensor shard_points = kernels::slice_rows(points_.interior, r0, r1);
+    Tensor shard_weights;
+    if (weights.rank() == 2) {
+      shard_weights = kernels::slice_rows(weights, r0, r1);
+    }
+    ShardOutput& out = outputs[s];
+    ShardPlan& sp = plans_[s];
+    {
+      plan::CaptureScope scope(sp.plan);
+      const Variable loss = shard_loss(
+          shard_points, shard_weights, total_rows,
+          /*include_aux=*/s == 0, s == 0 ? &out.aux : nullptr,
+          s == 0 ? &out.aux_weighted_sum : nullptr,
+          s == 0 ? &sp.aux : nullptr);
+      out.loss = loss.item();
+      const std::vector<Variable> grads = grad(loss, params_);
+      out.grads.reserve(grads.size());
+      for (const Variable& g : grads) out.grads.push_back(g.value());
+      sp.loss = loss.value();
+      sp.grads = out.grads;
+    }
+    sp.points = shard_points;
+    sp.weights = shard_weights;
+    sp.r0 = r0;
+    sp.r1 = r1;
+  });
+
+  // Deterministic shard-order reduction.
+  LossAndGrads result;
+  result.aux = std::move(outputs[0].aux);
+  result.grads = std::move(outputs[0].grads);
+  result.total = outputs[0].loss;
+  for (std::size_t s = 1; s < shards; ++s) {
+    result.total += outputs[s].loss;
+    for (std::size_t p = 0; p < result.grads.size(); ++p) {
+      kernels::axpy_inplace(result.grads[p], 1.0, outputs[s].grads[p]);
+    }
+  }
+  result.pde = result.total - outputs[0].aux_weighted_sum;
+  return result;
+}
+
+Trainer::LossAndGrads Trainer::replay_parallel(std::int64_t epoch) {
+  const std::size_t shards = plans_.size();
+  // The shard point slices were materialized at capture; refresh them from
+  // the interior set so an in-place resample (which keeps the tensor's
+  // identity, and therefore the plan) is seen by every shard's thunks.
+  for (ShardPlan& sp : plans_) {
+    kernels::slice_rows_into(sp.points, points_.interior, sp.r0, sp.r1);
+  }
+  if (config_.curriculum) {
+    const Tensor w = per_point_weights(*config_.curriculum, problem_->domain(),
+                                       points_.interior, epoch);
+    for (ShardPlan& sp : plans_) {
+      if (sp.weights.rank() == 2) {
+        kernels::slice_rows_into(sp.weights, w, sp.r0, sp.r1);
+      }
+    }
+  }
+  global_pool().for_each_index(shards,
+                               [&](std::size_t s) { plans_[s].plan.replay(); });
+
+  // Same shard-order reduction (and buffers) as the captured eager step.
+  LossAndGrads result;
+  result.grads = plans_[0].grads;
+  result.total = plans_[0].loss.item();
+  for (std::size_t s = 1; s < shards; ++s) {
+    result.total += plans_[s].loss.item();
+    for (std::size_t p = 0; p < result.grads.size(); ++p) {
+      kernels::axpy_inplace(result.grads[p], 1.0, plans_[s].grads[p]);
+    }
+  }
+  double aux_weighted_sum = 0.0;
+  for (const AuxBinding& b : plans_[0].aux) {
+    const double value = b.value.item();
+    result.aux.emplace_back(b.name, value);
+    aux_weighted_sum += b.weight * value;
+  }
+  result.pde = result.total - aux_weighted_sum;
+  return result;
+}
+
 Trainer::LossAndGrads Trainer::compute(std::int64_t epoch) {
-  return (config_.threads > 1) ? compute_parallel(epoch)
-                               : compute_serial(epoch);
+  if (!graph_enabled_) {
+    return (config_.threads > 1) ? compute_parallel(epoch)
+                                 : compute_serial(epoch);
+  }
+  const PlanKey key = current_plan_key();
+  if (plans_ready_ && !(key == plan_key_)) {
+    plans_.clear();
+    plans_ready_ = false;
+    plan::count_fallback();
+    log::info() << problem_->name()
+                << " execution plan invalidated (batch-shape/thread/ISA "
+                   "change); re-capturing";
+  }
+  if (!plans_ready_) {
+    LossAndGrads result;
+    try {
+      result = (config_.threads > 1) ? capture_parallel(epoch)
+                                     : capture_serial(epoch);
+    } catch (...) {
+      // A failed capture (e.g. non-finite loss mid-step) leaves a partial
+      // plan behind; discard it so the next step re-captures cleanly.
+      plans_.clear();
+      throw;
+    }
+    plan_key_ = key;
+    plans_ready_ = true;
+    return result;
+  }
+  return (config_.threads > 1) ? replay_parallel(epoch) : replay_serial(epoch);
 }
 
 EpochRecord Trainer::step(std::int64_t epoch) {
@@ -232,10 +452,19 @@ EpochRecord Trainer::step(std::int64_t epoch) {
       epoch % config_.resample_every == 0) {
     const std::int64_t n =
         config_.sampling.n_interior_x * config_.sampling.n_interior_t;
-    points_.interior =
+    Tensor fresh =
         (config_.sampling.kind == SamplerKind::kLatinHypercube)
             ? latin_hypercube_points(problem_->domain(), n, resample_rng_)
             : uniform_points(problem_->domain(), n, resample_rng_);
+    // Refreshing the pinned buffer in place keeps the tensor's identity, so
+    // a captured plan survives per-epoch resampling (replay re-reads the
+    // storage). A shape change still swaps the tensor and the new pointer
+    // invalidates the plan.
+    if (graph_enabled_ && points_.interior.shape() == fresh.shape()) {
+      kernels::copy_into(points_.interior, fresh);
+    } else {
+      points_.interior = std::move(fresh);
+    }
   }
 
   LossAndGrads lg = compute(epoch);

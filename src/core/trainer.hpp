@@ -21,14 +21,21 @@
 #include <string>
 #include <vector>
 
+#include "autodiff/plan.hpp"
 #include "core/checkpoint.hpp"
 #include "core/curriculum.hpp"
 #include "core/metrics.hpp"
 #include "core/problem.hpp"
 #include "optim/adam.hpp"
 #include "optim/scheduler.hpp"
+#include "tensor/simd.hpp"
 
 namespace qpinn::core {
+
+/// Graph capture & replay policy for the training step. kEnv (default)
+/// follows QPINN_GRAPH (replay is on unless QPINN_GRAPH=off); kOn/kOff
+/// override the environment.
+enum class GraphMode { kEnv, kOn, kOff };
 
 /// Divergence-recovery policy. When a step's loss or gradients go
 /// non-finite — or the loss exceeds `explosion_factor` times the minimum of
@@ -91,6 +98,10 @@ struct TrainConfig {
   /// Optional external stop flag (e.g. set from a SIGINT handler); polled
   /// after every epoch, same semantics as Trainer::request_stop().
   const std::atomic<bool>* stop_flag = nullptr;
+  /// Capture the training step into an execution plan on the first epoch
+  /// and replay it afterwards (autodiff/plan.hpp). Replay is bit-identical
+  /// to eager execution, so this is purely a performance choice.
+  GraphMode graph = GraphMode::kEnv;
 
   void validate() const;
 };
@@ -151,6 +162,16 @@ class Trainer {
   const CollocationSet& collocation() const { return points_; }
   FieldModel& model() { return *model_; }
 
+  /// True when this trainer captures/replays execution plans.
+  bool graph_enabled() const { return graph_enabled_; }
+
+  /// Replaces the interior collocation set (e.g. to change the batch size
+  /// between fit() calls). Any captured execution plan is invalidated on
+  /// the next step, exactly like a resample.
+  void replace_interior(Tensor interior) {
+    points_.interior = std::move(interior);
+  }
+
  private:
   /// Loss + parameter gradients for the current epoch.
   struct LossAndGrads {
@@ -163,17 +184,58 @@ class Trainer {
   LossAndGrads compute_serial(std::int64_t epoch);
   LossAndGrads compute_parallel(std::int64_t epoch);
 
+  /// An auxiliary loss term pinned by a captured plan: replay recomputes
+  /// `value` in place, and the host loop re-reads it per epoch.
+  struct AuxBinding {
+    std::string name;
+    double weight = 0.0;
+    Tensor value;
+  };
+
   /// Shard-local weighted residual sum: sum(w * r^2) / (N_total * R),
   /// plus (on shard 0) the auxiliary losses. When aux terms are included,
   /// `aux_out` receives their unweighted values and `aux_weighted_sum`
   /// their weighted total (so the PDE component can be recovered without
-  /// re-evaluating the losses).
+  /// re-evaluating the losses); `aux_bindings` (when non-null) receives the
+  /// scalar tensors themselves for plan replay.
   autodiff::Variable shard_loss(const Tensor& shard_points,
                                 const Tensor& shard_weights,
                                 std::int64_t total_rows, bool include_aux,
                                 std::vector<std::pair<std::string, double>>*
                                     aux_out,
-                                double* aux_weighted_sum);
+                                double* aux_weighted_sum,
+                                std::vector<AuxBinding>* aux_bindings =
+                                    nullptr);
+
+  /// One shard's captured step: the plan plus the buffers the host loop
+  /// reads (loss, grads, aux) or refreshes (curriculum weights) per replay.
+  struct ShardPlan {
+    autodiff::plan::ExecutionPlan plan;
+    Tensor loss;
+    std::vector<Tensor> grads;
+    Tensor points;   ///< pinned shard slice of the interior set (parallel)
+    Tensor weights;  ///< pinned shard weights (undefined without curriculum)
+    std::int64_t r0 = 0, r1 = 0;  ///< interior row range of this shard
+    std::vector<AuxBinding> aux;  ///< shard 0 only
+  };
+
+  /// Everything a captured plan depends on besides buffer contents; any
+  /// change means the recorded kernel sequence (or its chunking) would
+  /// diverge from eager, so the plan must be re-captured.
+  struct PlanKey {
+    const void* interior_data = nullptr;
+    Shape interior_shape;
+    std::size_t pool_threads = 0;
+    simd::Isa isa = simd::Isa::kScalar;
+    bool curriculum = false;
+    bool operator==(const PlanKey&) const = default;
+  };
+  PlanKey current_plan_key() const;
+
+  LossAndGrads capture_serial(std::int64_t epoch);
+  LossAndGrads capture_parallel(std::int64_t epoch);
+  LossAndGrads replay_serial(std::int64_t epoch);
+  LossAndGrads replay_parallel(std::int64_t epoch);
 
   /// In-memory rollback point for divergence recovery.
   struct Snapshot {
@@ -198,6 +260,10 @@ class Trainer {
   std::vector<autodiff::Variable> params_;
   std::unique_ptr<optim::Adam> optimizer_;
   std::unique_ptr<optim::LrSchedule> schedule_;
+  bool graph_enabled_ = false;
+  bool plans_ready_ = false;
+  PlanKey plan_key_;
+  std::vector<ShardPlan> plans_;
   double lr_scale_ = 1.0;  ///< divergence-recovery LR backoff multiplier
   std::int64_t recoveries_ = 0;
   double best_loss_ = std::numeric_limits<double>::infinity();

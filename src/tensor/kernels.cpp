@@ -26,44 +26,66 @@ namespace {
 
 // Elementwise unary application, parallelized for large tensors.
 template <typename F>
-Tensor unary_apply(const Tensor& a, F f) {
+void unary_apply_into(Tensor& out, const Tensor& a, F f) {
   QPINN_KERNEL_VALIDATE(a, "kernels.unary");
-  Tensor out = Tensor::uninitialized(a.shape());
+  QPINN_KERNEL_VALIDATE(out, "kernels.unary");
+  QPINN_CHECK_SHAPE(out.same_shape(a), "unary output shape mismatch");
   const double* in = a.data();
   double* o = out.data();
   const std::size_t n = static_cast<std::size_t>(a.numel());
   parallel_for(n, [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) o[i] = f(in[i]);
   });
+}
+
+template <typename F>
+Tensor unary_apply(const Tensor& a, F f) {
+  Tensor out = Tensor::uninitialized(a.shape());
+  unary_apply_into(out, a, f);
   return out;
 }
 
 // Unary application through a SIMD-table kernel (one contiguous sweep per
 // parallel chunk).
-Tensor unary_simd(const Tensor& a,
-                  void (*fn)(const double*, double*, std::size_t)) {
+void unary_simd_into(Tensor& out, const Tensor& a,
+                     void (*fn)(const double*, double*, std::size_t)) {
   QPINN_KERNEL_VALIDATE(a, "kernels.unary");
-  Tensor out = Tensor::uninitialized(a.shape());
+  QPINN_KERNEL_VALIDATE(out, "kernels.unary");
+  QPINN_CHECK_SHAPE(out.same_shape(a), "unary output shape mismatch");
   const double* in = a.data();
   double* o = out.data();
   const std::size_t n = static_cast<std::size_t>(a.numel());
   parallel_for(n, [&](std::size_t begin, std::size_t end) {
     fn(in + begin, o + begin, end - begin);
   });
+}
+
+Tensor unary_simd(const Tensor& a,
+                  void (*fn)(const double*, double*, std::size_t)) {
+  Tensor out = Tensor::uninitialized(a.shape());
+  unary_simd_into(out, a, fn);
   return out;
 }
 
 // Same, for kernels parameterized by one scalar.
-Tensor unary_simd_s(const Tensor& a, double s,
-                    void (*fn)(const double*, double, double*, std::size_t)) {
+void unary_simd_s_into(
+    Tensor& out, const Tensor& a, double s,
+    void (*fn)(const double*, double, double*, std::size_t)) {
   QPINN_KERNEL_VALIDATE(a, "kernels.unary");
-  Tensor out = Tensor::uninitialized(a.shape());
+  QPINN_KERNEL_VALIDATE(out, "kernels.unary");
+  QPINN_CHECK_SHAPE(out.same_shape(a), "unary output shape mismatch");
   const double* in = a.data();
   double* o = out.data();
   const std::size_t n = static_cast<std::size_t>(a.numel());
   parallel_for(n, [&](std::size_t begin, std::size_t end) {
     fn(in + begin, s, o + begin, end - begin);
   });
+}
+
+Tensor unary_simd_s(const Tensor& a, double s,
+                    void (*fn)(const double*, double, double*, std::size_t)) {
+  Tensor out = Tensor::uninitialized(a.shape());
+  unary_simd_s_into(out, a, s, fn);
   return out;
 }
 
@@ -83,12 +105,14 @@ std::vector<std::int64_t> broadcast_strides(const Shape& shape,
 // contiguous kernels; the scalar functor `f` stays authoritative for the
 // broadcast paths the table does not cover.
 template <typename F>
-Tensor binary_apply(const Tensor& a, const Tensor& b, simd::BinOp bop, F f) {
+void binary_apply_into(Tensor& out, const Tensor& a, const Tensor& b,
+                       simd::BinOp bop, F f) {
   QPINN_KERNEL_VALIDATE(a, "kernels.binary");
   QPINN_KERNEL_VALIDATE(b, "kernels.binary");
+  QPINN_KERNEL_VALIDATE(out, "kernels.binary");
   // Fast path: identical shapes — one contiguous SIMD sweep per chunk.
   if (a.same_shape(b)) {
-    Tensor out = Tensor::uninitialized(a.shape());
+    QPINN_CHECK_SHAPE(out.same_shape(a), "binary output shape mismatch");
     const double* pa = a.data();
     const double* pb = b.data();
     double* o = out.data();
@@ -97,21 +121,24 @@ Tensor binary_apply(const Tensor& a, const Tensor& b, simd::BinOp bop, F f) {
     parallel_for(n, [&](std::size_t begin, std::size_t end) {
       fn(pa + begin, pb + begin, o + begin, end - begin);
     });
-    return out;
+    return;
   }
   const Shape out_shape = broadcast_shapes(a.shape(), b.shape());
+  QPINN_CHECK_SHAPE(out.shape() == out_shape,
+                    "binary output shape mismatch");
   // Fast path: one side is a one-element tensor AND the result keeps the
   // other side's exact shape (a rank-0 scalar against {1,1} must still
   // produce {1,1}, so the shape condition matters).
   if (b.numel() == 1 && out_shape == a.shape()) {
     const double s = b.data()[0];
-    return unary_apply(a, [f, s](double x) { return f(x, s); });
+    unary_apply_into(out, a, [f, s](double x) { return f(x, s); });
+    return;
   }
   if (a.numel() == 1 && out_shape == b.shape()) {
     const double s = a.data()[0];
-    return unary_apply(b, [f, s](double x) { return f(s, x); });
+    unary_apply_into(out, b, [f, s](double x) { return f(s, x); });
+    return;
   }
-  Tensor out = Tensor::uninitialized(out_shape);
   const std::size_t rank = out_shape.size();
   const auto sa = broadcast_strides(a.shape(), rank);
   const auto sb = broadcast_strides(b.shape(), rank);
@@ -130,7 +157,7 @@ Tensor binary_apply(const Tensor& a, const Tensor& b, simd::BinOp bop, F f) {
     parallel_for(rows, [&](std::size_t begin, std::size_t end) {
       fn(pa + begin * cols, pb, o + begin * cols, end - begin, cols);
     }, /*grain=*/64);
-    return out;
+    return;
   }
 
   parallel_for(n, [&](std::size_t begin, std::size_t end) {
@@ -146,6 +173,13 @@ Tensor binary_apply(const Tensor& a, const Tensor& b, simd::BinOp bop, F f) {
       o[i] = f(pa[ia], pb[ib]);
     }
   });
+}
+
+template <typename F>
+Tensor binary_apply(const Tensor& a, const Tensor& b, simd::BinOp bop, F f) {
+  Tensor out =
+      Tensor::uninitialized(broadcast_shapes(a.shape(), b.shape()));
+  binary_apply_into(out, a, b, bop, f);
   return out;
 }
 
@@ -181,9 +215,7 @@ Tensor exp(const Tensor& a) {
 Tensor log(const Tensor& a) {
   return unary_apply(a, [](double x) { return std::log(x); });
 }
-Tensor tanh(const Tensor& a) {
-  return unary_apply(a, [](double x) { return std::tanh(x); });
-}
+Tensor tanh(const Tensor& a) { return unary_simd(a, simd::active().tanh); }
 Tensor sin(const Tensor& a) {
   return unary_apply(a, [](double x) { return std::sin(x); });
 }
@@ -214,14 +246,89 @@ Tensor relu(const Tensor& a) { return unary_simd(a, simd::active().relu); }
 Tensor abs(const Tensor& a) { return unary_simd(a, simd::active().abs); }
 Tensor sign(const Tensor& a) { return unary_simd(a, simd::active().sign); }
 
+void add_into(Tensor& out, const Tensor& a, const Tensor& b) {
+  binary_apply_into(out, a, b, simd::kAdd,
+                    [](double x, double y) { return x + y; });
+}
+void sub_into(Tensor& out, const Tensor& a, const Tensor& b) {
+  binary_apply_into(out, a, b, simd::kSub,
+                    [](double x, double y) { return x - y; });
+}
+void mul_into(Tensor& out, const Tensor& a, const Tensor& b) {
+  binary_apply_into(out, a, b, simd::kMul,
+                    [](double x, double y) { return x * y; });
+}
+void div_into(Tensor& out, const Tensor& a, const Tensor& b) {
+  binary_apply_into(out, a, b, simd::kDiv,
+                    [](double x, double y) { return x / y; });
+}
+void neg_into(Tensor& out, const Tensor& a) {
+  unary_simd_into(out, a, simd::active().neg);
+}
+void scale_into(Tensor& out, const Tensor& a, double s) {
+  unary_simd_s_into(out, a, s, simd::active().scale);
+}
+void add_scalar_into(Tensor& out, const Tensor& a, double s) {
+  unary_simd_s_into(out, a, s, simd::active().add_scalar);
+}
+void exp_into(Tensor& out, const Tensor& a) {
+  unary_apply_into(out, a, [](double x) { return std::exp(x); });
+}
+void log_into(Tensor& out, const Tensor& a) {
+  unary_apply_into(out, a, [](double x) { return std::log(x); });
+}
+void tanh_into(Tensor& out, const Tensor& a) {
+  unary_simd_into(out, a, simd::active().tanh);
+}
+void sin_into(Tensor& out, const Tensor& a) {
+  unary_apply_into(out, a, [](double x) { return std::sin(x); });
+}
+void cos_into(Tensor& out, const Tensor& a) {
+  unary_apply_into(out, a, [](double x) { return std::cos(x); });
+}
+void sqrt_into(Tensor& out, const Tensor& a) {
+  unary_simd_into(out, a, simd::active().sqrt);
+}
+void reciprocal_into(Tensor& out, const Tensor& a) {
+  unary_simd_into(out, a, simd::active().reciprocal);
+}
+void square_into(Tensor& out, const Tensor& a) {
+  unary_simd_into(out, a, simd::active().square);
+}
+void sigmoid_into(Tensor& out, const Tensor& a) {
+  unary_apply_into(out, a,
+                   [](double x) { return 1.0 / (1.0 + std::exp(-x)); });
+}
+void softplus_into(Tensor& out, const Tensor& a) {
+  unary_apply_into(out, a, [](double x) {
+    return x > 0.0 ? x + std::log1p(std::exp(-x)) : std::log1p(std::exp(x));
+  });
+}
+void pow_scalar_into(Tensor& out, const Tensor& a, double p) {
+  unary_apply_into(out, a, [p](double x) { return std::pow(x, p); });
+}
+void step_into(Tensor& out, const Tensor& a) {
+  unary_simd_into(out, a, simd::active().step);
+}
+void relu_into(Tensor& out, const Tensor& a) {
+  unary_simd_into(out, a, simd::active().relu);
+}
+void abs_into(Tensor& out, const Tensor& a) {
+  unary_simd_into(out, a, simd::active().abs);
+}
+void sign_into(Tensor& out, const Tensor& a) {
+  unary_simd_into(out, a, simd::active().sign);
+}
+
+void fill_zero(Tensor& out) {
+  QPINN_KERNEL_VALIDATE(out, "kernels.fill_zero");
+  std::fill(out.data(), out.data() + out.numel(), 0.0);
+}
+
 namespace {
 
-// Shared shape check + sweep for the fused bias+activation kernels. The
-// transcendental dominates, so the sweep itself is scalar; the win is one
-// pass (and one tape node) instead of broadcast-add followed by a unary.
-template <typename F>
-Tensor bias_activation(const Tensor& a, const Tensor& bias, const char* name,
-                       F f) {
+// Shared shape check for the fused bias+activation kernels.
+void check_bias_shape(const Tensor& a, const Tensor& bias, const char* name) {
   QPINN_KERNEL_VALIDATE(a, "kernels.bias_activation");
   QPINN_KERNEL_VALIDATE(bias, "kernels.bias_activation");
   QPINN_CHECK_SHAPE(a.rank() == 2, std::string(name) +
@@ -234,7 +341,18 @@ Tensor bias_activation(const Tensor& a, const Tensor& bias, const char* name,
                                     shape_to_string(bias.shape()) +
                                     " does not match columns of " +
                                     shape_to_string(a.shape()));
-  Tensor out(a.shape());
+}
+
+// Scalar sweep for fused bias+activation kernels whose transcendental has
+// no vectorized table entry (bias_sin); the win is one pass (and one tape
+// node) instead of broadcast-add followed by a unary.
+template <typename F>
+void bias_activation_into(Tensor& out, const Tensor& a, const Tensor& bias,
+                          const char* name, F f) {
+  check_bias_shape(a, bias, name);
+  QPINN_KERNEL_VALIDATE(out, "kernels.bias_activation");
+  QPINN_CHECK_SHAPE(out.same_shape(a),
+                    std::string(name) + " output shape mismatch");
   const double* pa = a.data();
   const double* pb = bias.data();
   double* po = out.data();
@@ -252,36 +370,61 @@ Tensor bias_activation(const Tensor& a, const Tensor& bias, const char* name,
         }
       },
       /*grain=*/16);
-  return out;
 }
 
 }  // namespace
 
+void bias_tanh_into(Tensor& out, const Tensor& a, const Tensor& bias) {
+  check_bias_shape(a, bias, "bias_tanh");
+  QPINN_KERNEL_VALIDATE(out, "kernels.bias_activation");
+  QPINN_CHECK_SHAPE(out.same_shape(a), "bias_tanh output shape mismatch");
+  const double* pa = a.data();
+  const double* pb = bias.data();
+  double* po = out.data();
+  const std::size_t rows = static_cast<std::size_t>(a.rows());
+  const std::size_t cols = static_cast<std::size_t>(a.cols());
+  auto* fn = simd::active().bias_tanh;
+  parallel_for(
+      rows,
+      [&](std::size_t begin, std::size_t end) {
+        fn(pa + begin * cols, pb, po + begin * cols, end - begin, cols);
+      },
+      /*grain=*/16);
+}
+
 Tensor bias_tanh(const Tensor& a, const Tensor& bias) {
-  return bias_activation(a, bias, "bias_tanh",
-                         [](double x) { return std::tanh(x); });
+  Tensor out = Tensor::uninitialized(a.shape());
+  bias_tanh_into(out, a, bias);
+  return out;
+}
+
+void bias_sin_into(Tensor& out, const Tensor& a, const Tensor& bias) {
+  bias_activation_into(out, a, bias, "bias_sin",
+                       [](double x) { return std::sin(x); });
 }
 
 Tensor bias_sin(const Tensor& a, const Tensor& bias) {
-  return bias_activation(a, bias, "bias_sin",
-                         [](double x) { return std::sin(x); });
+  Tensor out = Tensor::uninitialized(a.shape());
+  bias_sin_into(out, a, bias);
+  return out;
 }
 
-Tensor square_sum_all(const Tensor& a) {
+namespace {
+
+double square_sum_total(const Tensor& a) {
   QPINN_KERNEL_VALIDATE(a, "kernels.square_sum_all");
   const double* p = a.data();
   const std::size_t n = static_cast<std::size_t>(a.numel());
   auto* fn = simd::active().square_sum;
-  const double total = parallel_reduce<double>(
+  return parallel_reduce<double>(
       n, 0.0,
       [&](std::size_t begin, std::size_t end, double acc) {
         return acc + fn(p + begin, end - begin);
       },
       [](double x, double y) { return x + y; });
-  return Tensor::scalar(total);
 }
 
-Tensor weighted_square_sum_all(const Tensor& w, const Tensor& a) {
+double weighted_square_sum_total(const Tensor& w, const Tensor& a) {
   QPINN_KERNEL_VALIDATE(w, "kernels.weighted_square_sum_all");
   QPINN_KERNEL_VALIDATE(a, "kernels.weighted_square_sum_all");
   const double* pw = w.data();
@@ -289,13 +432,12 @@ Tensor weighted_square_sum_all(const Tensor& w, const Tensor& a) {
   if (w.same_shape(a)) {
     const std::size_t n = static_cast<std::size_t>(a.numel());
     auto* fn = simd::active().weighted_square_sum;
-    const double total = parallel_reduce<double>(
+    return parallel_reduce<double>(
         n, 0.0,
         [&](std::size_t begin, std::size_t end, double acc) {
           return acc + fn(pw + begin, pa + begin, end - begin);
         },
         [](double x, double y) { return x + y; });
-    return Tensor::scalar(total);
   }
   // Per-row weights against a rank-2 residual: w broadcast along columns.
   const bool col_vector =
@@ -309,7 +451,7 @@ Tensor weighted_square_sum_all(const Tensor& w, const Tensor& a) {
   const std::size_t rows = static_cast<std::size_t>(a.rows());
   const std::size_t cols = static_cast<std::size_t>(a.cols());
   auto* fn = simd::active().square_sum;
-  const double total = parallel_reduce<double>(
+  return parallel_reduce<double>(
       rows, 0.0,
       [&](std::size_t begin, std::size_t end, double acc) {
         for (std::size_t r = begin; r < end; ++r) {
@@ -319,7 +461,30 @@ Tensor weighted_square_sum_all(const Tensor& w, const Tensor& a) {
       },
       [](double x, double y) { return x + y; },
       /*grain=*/16);
-  return Tensor::scalar(total);
+}
+
+}  // namespace
+
+Tensor square_sum_all(const Tensor& a) {
+  return Tensor::scalar(square_sum_total(a));
+}
+
+void square_sum_all_into(Tensor& out, const Tensor& a) {
+  QPINN_KERNEL_VALIDATE(out, "kernels.square_sum_all");
+  QPINN_CHECK_SHAPE(out.numel() == 1, "square_sum_all output must be scalar");
+  out.data()[0] = square_sum_total(a);
+}
+
+Tensor weighted_square_sum_all(const Tensor& w, const Tensor& a) {
+  return Tensor::scalar(weighted_square_sum_total(w, a));
+}
+
+void weighted_square_sum_all_into(Tensor& out, const Tensor& w,
+                                  const Tensor& a) {
+  QPINN_KERNEL_VALIDATE(out, "kernels.weighted_square_sum_all");
+  QPINN_CHECK_SHAPE(out.numel() == 1,
+                    "weighted_square_sum_all output must be scalar");
+  out.data()[0] = weighted_square_sum_total(w, a);
 }
 
 namespace {
@@ -347,9 +512,10 @@ std::size_t matmul_grain(std::int64_t flops_per_row) {
 
 }  // namespace
 
-Tensor matmul(const Tensor& a, const Tensor& b) {
+void matmul_into(Tensor& out, const Tensor& a, const Tensor& b) {
   QPINN_KERNEL_VALIDATE(a, "kernels.matmul");
   QPINN_KERNEL_VALIDATE(b, "kernels.matmul");
+  QPINN_KERNEL_VALIDATE(out, "kernels.matmul");
   QPINN_CHECK_SHAPE(a.rank() == 2 && b.rank() == 2,
                     "matmul requires rank-2 operands, got " +
                         shape_to_string(a.shape()) + " x " +
@@ -359,10 +525,13 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
                         shape_to_string(a.shape()) + " x " +
                         shape_to_string(b.shape()));
   const std::int64_t n = a.rows(), k = a.cols(), m = b.cols();
-  Tensor out(Shape{n, m});
+  QPINN_CHECK_SHAPE(out.rank() == 2 && out.rows() == n && out.cols() == m,
+                    "matmul output shape mismatch");
   const double* pa = a.data();
   const double* pb = b.data();
   double* po = out.data();
+  // The micro-kernel fringe paths accumulate into pre-zeroed output rows.
+  std::fill(po, po + n * m, 0.0);
   auto* fn = simd::active().matmul_rows;
   parallel_for(
       static_cast<std::size_t>(n),
@@ -371,12 +540,22 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
            static_cast<std::int64_t>(end), k, m);
       },
       matmul_grain(k * m));
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  QPINN_CHECK_SHAPE(a.rank() == 2 && b.rank() == 2,
+                    "matmul requires rank-2 operands, got " +
+                        shape_to_string(a.shape()) + " x " +
+                        shape_to_string(b.shape()));
+  Tensor out = Tensor::uninitialized(Shape{a.rows(), b.cols()});
+  matmul_into(out, a, b);
   return out;
 }
 
-Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+void matmul_tn_into(Tensor& out, const Tensor& a, const Tensor& b) {
   QPINN_KERNEL_VALIDATE(a, "kernels.matmul_tn");
   QPINN_KERNEL_VALIDATE(b, "kernels.matmul_tn");
+  QPINN_KERNEL_VALIDATE(out, "kernels.matmul_tn");
   QPINN_CHECK_SHAPE(a.rank() == 2 && b.rank() == 2,
                     "matmul_tn requires rank-2 operands");
   QPINN_CHECK_SHAPE(a.rows() == b.rows(),
@@ -384,10 +563,12 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
                         shape_to_string(a.shape()) + "^T x " +
                         shape_to_string(b.shape()));
   const std::int64_t k = a.rows(), n = a.cols(), m = b.cols();
-  Tensor out(Shape{n, m});
+  QPINN_CHECK_SHAPE(out.rank() == 2 && out.rows() == n && out.cols() == m,
+                    "matmul_tn output shape mismatch");
   const double* pa = a.data();
   const double* pb = b.data();
   double* po = out.data();
+  std::fill(po, po + n * m, 0.0);
   // out[i][j] = sum_kk a[kk][i] * b[kk][j]; parallelized over output rows i.
   auto* fn = simd::active().matmul_tn_rows;
   parallel_for(
@@ -397,12 +578,20 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
            static_cast<std::int64_t>(end), k, n, m);
       },
       matmul_grain(k * m));
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  QPINN_CHECK_SHAPE(a.rank() == 2 && b.rank() == 2,
+                    "matmul_tn requires rank-2 operands");
+  Tensor out = Tensor::uninitialized(Shape{a.cols(), b.cols()});
+  matmul_tn_into(out, a, b);
   return out;
 }
 
-Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+void matmul_nt_into(Tensor& out, const Tensor& a, const Tensor& b) {
   QPINN_KERNEL_VALIDATE(a, "kernels.matmul_nt");
   QPINN_KERNEL_VALIDATE(b, "kernels.matmul_nt");
+  QPINN_KERNEL_VALIDATE(out, "kernels.matmul_nt");
   QPINN_CHECK_SHAPE(a.rank() == 2 && b.rank() == 2,
                     "matmul_nt requires rank-2 operands");
   QPINN_CHECK_SHAPE(a.cols() == b.cols(),
@@ -410,10 +599,12 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
                         shape_to_string(a.shape()) + " x " +
                         shape_to_string(b.shape()) + "^T");
   const std::int64_t n = a.rows(), k = a.cols(), m = b.rows();
-  Tensor out(Shape{n, m});
+  QPINN_CHECK_SHAPE(out.rank() == 2 && out.rows() == n && out.cols() == m,
+                    "matmul_nt output shape mismatch");
   const double* pa = a.data();
   const double* pb = b.data();
   double* po = out.data();
+  std::fill(po, po + n * m, 0.0);
   auto* fn = simd::active().matmul_nt_rows;
   parallel_for(
       static_cast<std::size_t>(n),
@@ -422,38 +613,71 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
            static_cast<std::int64_t>(end), k, m);
       },
       matmul_grain(k * m));
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  QPINN_CHECK_SHAPE(a.rank() == 2 && b.rank() == 2,
+                    "matmul_nt requires rank-2 operands");
+  Tensor out = Tensor::uninitialized(Shape{a.rows(), b.rows()});
+  matmul_nt_into(out, a, b);
   return out;
 }
 
-Tensor transpose(const Tensor& a) {
+void transpose_into(Tensor& out, const Tensor& a) {
   QPINN_KERNEL_VALIDATE(a, "kernels.transpose");
+  QPINN_KERNEL_VALIDATE(out, "kernels.transpose");
   QPINN_CHECK_SHAPE(a.rank() == 2, "transpose requires a rank-2 tensor");
   const std::int64_t n = a.rows(), m = a.cols();
-  Tensor out(Shape{m, n});
+  QPINN_CHECK_SHAPE(out.rank() == 2 && out.rows() == m && out.cols() == n,
+                    "transpose output shape mismatch");
   const double* pa = a.data();
   double* po = out.data();
   for (std::int64_t i = 0; i < n; ++i) {
     for (std::int64_t j = 0; j < m; ++j) po[j * n + i] = pa[i * m + j];
   }
+}
+
+Tensor transpose(const Tensor& a) {
+  QPINN_CHECK_SHAPE(a.rank() == 2, "transpose requires a rank-2 tensor");
+  Tensor out = Tensor::uninitialized(Shape{a.cols(), a.rows()});
+  transpose_into(out, a);
   return out;
 }
 
-Tensor sum_all(const Tensor& a) {
+namespace {
+
+double sum_total(const Tensor& a) {
   QPINN_KERNEL_VALIDATE(a, "kernels.sum_all");
   const double* p = a.data();
   const std::size_t n = static_cast<std::size_t>(a.numel());
   auto* fn = simd::active().sum;
-  const double total = parallel_reduce<double>(
+  return parallel_reduce<double>(
       n, 0.0,
       [&](std::size_t begin, std::size_t end, double acc) {
         return acc + fn(p + begin, end - begin);
       },
       [](double x, double y) { return x + y; });
-  return Tensor::scalar(total);
+}
+
+}  // namespace
+
+Tensor sum_all(const Tensor& a) { return Tensor::scalar(sum_total(a)); }
+
+void sum_all_into(Tensor& out, const Tensor& a) {
+  QPINN_KERNEL_VALIDATE(out, "kernels.sum_all");
+  QPINN_CHECK_SHAPE(out.numel() == 1, "sum_all output must be scalar");
+  out.data()[0] = sum_total(a);
 }
 
 Tensor mean_all(const Tensor& a) {
   return scale(sum_all(a), 1.0 / static_cast<double>(a.numel()));
+}
+
+void mean_all_into(Tensor& out, const Tensor& a) {
+  QPINN_KERNEL_VALIDATE(out, "kernels.mean_all");
+  QPINN_CHECK_SHAPE(out.numel() == 1, "mean_all output must be scalar");
+  // Same expression order as mean_all (scale computes s * total).
+  out.data()[0] = (1.0 / static_cast<double>(a.numel())) * sum_total(a);
 }
 
 Tensor sum_to(const Tensor& a, const Shape& target) {
@@ -464,11 +688,23 @@ Tensor sum_to(const Tensor& a, const Shape& target) {
   // backward pass accumulating gradients) would silently corrupt the
   // source tensor.
   if (a.shape() == target) return a.clone();
+  Tensor out(target);
+  sum_to_into(out, a);
+  return out;
+}
+
+void sum_to_into(Tensor& out, const Tensor& a) {
+  QPINN_KERNEL_VALIDATE(a, "kernels.sum_to");
+  QPINN_KERNEL_VALIDATE(out, "kernels.sum_to");
+  const Shape& target = out.shape();
+  if (a.shape() == target) {
+    copy_into(out, a);
+    return;
+  }
   QPINN_CHECK_SHAPE(broadcastable_to(target, a.shape()),
                     "sum_to target " + shape_to_string(target) +
                         " is not broadcast-compatible with " +
                         shape_to_string(a.shape()));
-  Tensor out(target);
   const std::size_t rank = a.shape().size();
   const auto sa = row_major_strides(a.shape());
   const auto st = broadcast_strides(target, rank);
@@ -502,11 +738,12 @@ Tensor sum_to(const Tensor& a, const Shape& target) {
         },
         /*grain=*/64);
     std::copy(total.begin(), total.end(), po);
-    return out;
+    return;
   }
 
   // General case: serial accumulation — outputs may collide across input
-  // elements.
+  // elements, so the (possibly dirty) output is zeroed first.
+  std::fill(po, po + out.numel(), 0.0);
   for (std::int64_t i = 0; i < n; ++i) {
     std::int64_t rem = i;
     std::int64_t it = 0;
@@ -517,17 +754,28 @@ Tensor sum_to(const Tensor& a, const Shape& target) {
     }
     po[it] += pa[i];
   }
-  return out;
 }
 
 Tensor broadcast_to(const Tensor& a, const Shape& target) {
   QPINN_KERNEL_VALIDATE(a, "kernels.broadcast_to");
   // Fresh storage on the shapes-equal path too; see sum_to.
   if (a.shape() == target) return a.clone();
+  Tensor out = Tensor::uninitialized(target);
+  broadcast_to_into(out, a);
+  return out;
+}
+
+void broadcast_to_into(Tensor& out, const Tensor& a) {
+  QPINN_KERNEL_VALIDATE(a, "kernels.broadcast_to");
+  QPINN_KERNEL_VALIDATE(out, "kernels.broadcast_to");
+  const Shape& target = out.shape();
+  if (a.shape() == target) {
+    copy_into(out, a);
+    return;
+  }
   QPINN_CHECK_SHAPE(broadcastable_to(a.shape(), target),
                     "cannot broadcast " + shape_to_string(a.shape()) + " to " +
                         shape_to_string(target));
-  Tensor out(target);
   const std::size_t rank = target.size();
   const auto sa = broadcast_strides(a.shape(), rank);
   const auto so = row_major_strides(target);
@@ -546,11 +794,11 @@ Tensor broadcast_to(const Tensor& a, const Shape& target) {
       po[i] = pa[ia];
     }
   });
-  return out;
 }
 
-Tensor concat_cols(const std::vector<Tensor>& parts) {
+void concat_cols_into(Tensor& out, const std::vector<Tensor>& parts) {
   QPINN_CHECK(!parts.empty(), "concat_cols needs at least one tensor");
+  QPINN_KERNEL_VALIDATE(out, "kernels.concat_cols");
   const std::int64_t rows = parts.front().rows();
   std::int64_t total_cols = 0;
   for (const Tensor& p : parts) {
@@ -558,7 +806,9 @@ Tensor concat_cols(const std::vector<Tensor>& parts) {
                       "concat_cols requires rank-2 tensors with equal rows");
     total_cols += p.cols();
   }
-  Tensor out(Shape{rows, total_cols});
+  QPINN_CHECK_SHAPE(out.rank() == 2 && out.rows() == rows &&
+                        out.cols() == total_cols,
+                    "concat_cols output shape mismatch");
   double* po = out.data();
   std::int64_t col_offset = 0;
   for (const Tensor& p : parts) {
@@ -570,6 +820,14 @@ Tensor concat_cols(const std::vector<Tensor>& parts) {
     }
     col_offset += pc;
   }
+}
+
+Tensor concat_cols(const std::vector<Tensor>& parts) {
+  QPINN_CHECK(!parts.empty(), "concat_cols needs at least one tensor");
+  std::int64_t total_cols = 0;
+  for (const Tensor& p : parts) total_cols += p.cols();
+  Tensor out = Tensor::uninitialized(Shape{parts.front().rows(), total_cols});
+  concat_cols_into(out, parts);
   return out;
 }
 
@@ -580,14 +838,27 @@ Tensor slice_cols(const Tensor& a, std::int64_t c0, std::int64_t c1) {
                     "slice_cols range [" + std::to_string(c0) + ", " +
                         std::to_string(c1) + ") invalid for " +
                         shape_to_string(a.shape()));
+  Tensor out = Tensor::uninitialized(Shape{a.rows(), c1 - c0});
+  slice_cols_into(out, a, c0, c1);
+  return out;
+}
+
+void slice_cols_into(Tensor& out, const Tensor& a, std::int64_t c0,
+                     std::int64_t c1) {
+  QPINN_KERNEL_VALIDATE(a, "kernels.slice_cols");
+  QPINN_KERNEL_VALIDATE(out, "kernels.slice_cols");
+  QPINN_CHECK_SHAPE(a.rank() == 2, "slice_cols requires a rank-2 tensor");
+  QPINN_CHECK_SHAPE(0 <= c0 && c0 < c1 && c1 <= a.cols(),
+                    "slice_cols range invalid");
   const std::int64_t rows = a.rows(), cols = a.cols(), width = c1 - c0;
-  Tensor out(Shape{rows, width});
+  QPINN_CHECK_SHAPE(out.rank() == 2 && out.rows() == rows &&
+                        out.cols() == width,
+                    "slice_cols output shape mismatch");
   const double* pa = a.data();
   double* po = out.data();
   for (std::int64_t r = 0; r < rows; ++r) {
     std::copy(pa + r * cols + c0, pa + r * cols + c1, po + r * width);
   }
-  return out;
 }
 
 Tensor slice_rows(const Tensor& a, std::int64_t r0, std::int64_t r1) {
@@ -597,14 +868,28 @@ Tensor slice_rows(const Tensor& a, std::int64_t r0, std::int64_t r1) {
                     "slice_rows range [" + std::to_string(r0) + ", " +
                         std::to_string(r1) + ") invalid for " +
                         shape_to_string(a.shape()));
-  const std::int64_t cols = a.cols();
-  Tensor out(Shape{r1 - r0, cols});
-  std::copy(a.data() + r0 * cols, a.data() + r1 * cols, out.data());
+  Tensor out = Tensor::uninitialized(Shape{r1 - r0, a.cols()});
+  slice_rows_into(out, a, r0, r1);
   return out;
 }
 
-Tensor concat_rows(const std::vector<Tensor>& parts) {
+void slice_rows_into(Tensor& out, const Tensor& a, std::int64_t r0,
+                     std::int64_t r1) {
+  QPINN_KERNEL_VALIDATE(a, "kernels.slice_rows");
+  QPINN_KERNEL_VALIDATE(out, "kernels.slice_rows");
+  QPINN_CHECK_SHAPE(a.rank() == 2, "slice_rows requires a rank-2 tensor");
+  QPINN_CHECK_SHAPE(0 <= r0 && r0 < r1 && r1 <= a.rows(),
+                    "slice_rows range invalid");
+  const std::int64_t cols = a.cols();
+  QPINN_CHECK_SHAPE(out.rank() == 2 && out.rows() == r1 - r0 &&
+                        out.cols() == cols,
+                    "slice_rows output shape mismatch");
+  std::copy(a.data() + r0 * cols, a.data() + r1 * cols, out.data());
+}
+
+void concat_rows_into(Tensor& out, const std::vector<Tensor>& parts) {
   QPINN_CHECK(!parts.empty(), "concat_rows needs at least one tensor");
+  QPINN_KERNEL_VALIDATE(out, "kernels.concat_rows");
   const std::int64_t cols = parts.front().cols();
   std::int64_t total_rows = 0;
   for (const Tensor& p : parts) {
@@ -612,12 +897,22 @@ Tensor concat_rows(const std::vector<Tensor>& parts) {
                       "concat_rows requires rank-2 tensors with equal cols");
     total_rows += p.rows();
   }
-  Tensor out(Shape{total_rows, cols});
+  QPINN_CHECK_SHAPE(out.rank() == 2 && out.rows() == total_rows &&
+                        out.cols() == cols,
+                    "concat_rows output shape mismatch");
   double* po = out.data();
   for (const Tensor& p : parts) {
     std::copy(p.data(), p.data() + p.numel(), po);
     po += p.numel();
   }
+}
+
+Tensor concat_rows(const std::vector<Tensor>& parts) {
+  QPINN_CHECK(!parts.empty(), "concat_rows needs at least one tensor");
+  std::int64_t total_rows = 0;
+  for (const Tensor& p : parts) total_rows += p.rows();
+  Tensor out = Tensor::uninitialized(Shape{total_rows, parts.front().cols()});
+  concat_rows_into(out, parts);
   return out;
 }
 

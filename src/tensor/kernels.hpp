@@ -95,6 +95,56 @@ Tensor square_sum_all(const Tensor& a);
 /// per-row column vector ({N} or {N,1}) against rank-2 `a`.
 Tensor weighted_square_sum_all(const Tensor& w, const Tensor& a);
 
+// ---- preallocated-output variants (graph capture & replay) ----------------
+// Each X_into(out, ...) computes exactly what X(...) returns, written into a
+// caller-provided tensor whose shape must already match the result (checked).
+// The autodiff execution plan (autodiff/plan.hpp) records these against the
+// buffers pinned at capture so steady-state replay performs zero
+// allocations; results are bit-identical to the value-returning versions.
+void add_into(Tensor& out, const Tensor& a, const Tensor& b);
+void sub_into(Tensor& out, const Tensor& a, const Tensor& b);
+void mul_into(Tensor& out, const Tensor& a, const Tensor& b);
+void div_into(Tensor& out, const Tensor& a, const Tensor& b);
+void neg_into(Tensor& out, const Tensor& a);
+void scale_into(Tensor& out, const Tensor& a, double s);
+void add_scalar_into(Tensor& out, const Tensor& a, double s);
+void exp_into(Tensor& out, const Tensor& a);
+void log_into(Tensor& out, const Tensor& a);
+void tanh_into(Tensor& out, const Tensor& a);
+void sin_into(Tensor& out, const Tensor& a);
+void cos_into(Tensor& out, const Tensor& a);
+void sqrt_into(Tensor& out, const Tensor& a);
+void reciprocal_into(Tensor& out, const Tensor& a);
+void square_into(Tensor& out, const Tensor& a);
+void sigmoid_into(Tensor& out, const Tensor& a);
+void softplus_into(Tensor& out, const Tensor& a);
+void pow_scalar_into(Tensor& out, const Tensor& a, double p);
+void step_into(Tensor& out, const Tensor& a);
+void relu_into(Tensor& out, const Tensor& a);
+void abs_into(Tensor& out, const Tensor& a);
+void sign_into(Tensor& out, const Tensor& a);
+void matmul_into(Tensor& out, const Tensor& a, const Tensor& b);
+void matmul_tn_into(Tensor& out, const Tensor& a, const Tensor& b);
+void matmul_nt_into(Tensor& out, const Tensor& a, const Tensor& b);
+void transpose_into(Tensor& out, const Tensor& a);
+void sum_all_into(Tensor& out, const Tensor& a);
+void mean_all_into(Tensor& out, const Tensor& a);
+void sum_to_into(Tensor& out, const Tensor& a);
+void broadcast_to_into(Tensor& out, const Tensor& a);
+void concat_cols_into(Tensor& out, const std::vector<Tensor>& parts);
+void concat_rows_into(Tensor& out, const std::vector<Tensor>& parts);
+void slice_cols_into(Tensor& out, const Tensor& a, std::int64_t c0,
+                     std::int64_t c1);
+void slice_rows_into(Tensor& out, const Tensor& a, std::int64_t r0,
+                     std::int64_t r1);
+void bias_tanh_into(Tensor& out, const Tensor& a, const Tensor& bias);
+void bias_sin_into(Tensor& out, const Tensor& a, const Tensor& bias);
+void square_sum_all_into(Tensor& out, const Tensor& a);
+void weighted_square_sum_all_into(Tensor& out, const Tensor& w,
+                                  const Tensor& a);
+/// Zero-fills `out` (plan thunk for constant-zero gradient buffers).
+void fill_zero(Tensor& out);
+
 // ---- in-place helpers (used by optimizers; bypass autodiff) ---------------
 /// dst += s * src (same shape required).
 void axpy_inplace(Tensor& dst, double s, const Tensor& src);

@@ -25,20 +25,25 @@
 //
 // Bit-identity contract: for the elementwise arithmetic kernels
 // (bin_same/bin_row, neg, scale, add_scalar, square, reciprocal, sqrt,
-// abs, relu, step, sign, axpy, scale_inplace, axpby, acc_add, adam) the
-// vector body performs exactly the lane-wise IEEE operation sequence of
-// the scalar code and fringe elements run the identical scalar
-// expressions, so results are bit-identical across every dispatch
-// variant (the per-ISA TUs are compiled with -ffp-contract=off so the
-// compiler cannot fuse a*b+c differently per target). Reductions (dot,
-// sum, square_sum, weighted_square_sum) and the matmul micro-kernels
-// reassociate and may use FMA, so they agree across variants only to
-// rounding; they stay deterministic for a fixed variant. IEEE semantics
-// are preserved everywhere: no operand value is skipped (0 * NaN stays
-// NaN) and comparisons are ordered/non-signaling, so NaN takes the
-// "else" branch exactly like the scalar ternaries.
+// abs, relu, step, sign, tanh, bias_tanh, axpy, scale_inplace, axpby,
+// acc_add, adam) the vector body performs exactly the lane-wise IEEE
+// operation sequence of the scalar code and fringe elements run the
+// identical scalar expressions, so results are bit-identical across
+// every dispatch variant (the per-ISA TUs are compiled with
+// -ffp-contract=off so the compiler cannot fuse a*b+c differently per
+// target). tanh is a branchless polynomial implementation (tanh_lanes
+// below) accurate to a few ulp of std::tanh but NOT bit-equal to it —
+// the scalar fringe runs the same lane algorithm, never libm, so every
+// variant (and every thread-count chunking) produces identical bits.
+// Reductions (dot, sum, square_sum, weighted_square_sum) and the matmul
+// micro-kernels reassociate and may use FMA, so they agree across
+// variants only to rounding; they stay deterministic for a fixed
+// variant. IEEE semantics are preserved everywhere: no operand value is
+// skipped (0 * NaN stays NaN) and comparisons are ordered/non-signaling,
+// so NaN takes the "else" branch exactly like the scalar ternaries.
 #pragma once
 
+#include <bit>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
@@ -99,6 +104,11 @@ struct KernelTable {
   void (*relu)(const double* a, double* o, std::size_t n);
   void (*step)(const double* a, double* o, std::size_t n);
   void (*sign)(const double* a, double* o, std::size_t n);
+  void (*tanh)(const double* a, double* o, std::size_t n);
+  /// Fused bias + tanh: o[r][c] = tanh(a[r][c] + b[c]); bit-identical to
+  /// composing bin_row[kAdd] with tanh.
+  void (*bias_tanh)(const double* a, const double* b, double* o,
+                    std::size_t rows, std::size_t cols);
 
   double (*dot)(const double* a, const double* b, std::size_t n);
   double (*sum)(const double* a, std::size_t n);
@@ -162,14 +172,29 @@ Isa parse_isa(const std::string& name);
 //   reg, kWidth, kMmRowTile, load/store/set1/zero,
 //   add/sub/mul/div/sqrt/fma/neg/abs, gt_and(a,b,c) = (a>b) ? c : 0.0
 //   (lane-wise, NaN -> 0 like the scalar ternary), hsum (deterministic
-//   low-to-high lane order).
+//   low-to-high lane order), plus the bitwise toolkit used by the
+//   polynomial tanh: cmp_gt (all-ones/all-zeros mask), band/bor/andnot
+//   (andnot(a, b) = (~a) & b, matching _mm_andnot_pd), and pow2n, which
+//   maps a register of small *integral* doubles n to 2^n via the
+//   round-to-int magic-number trick and exponent-field arithmetic —
+//   defined behavior (unspecified value) for non-integral/NaN lanes, so
+//   discarded select branches can feed it garbage safely.
+//
+// Variants with kHasStream expose stream(p, v), an ALIGNED non-temporal
+// store (p must be kWidth*8-aligned), and fence(), which orders the
+// write-combining buffers before any cross-thread publication. The value
+// stored is identical to store() — only the cache behavior differs — so
+// streaming never affects bit-identity.
 
 struct VecScalar {
   using reg = double;
   static constexpr std::size_t kWidth = 1;
   static constexpr std::int64_t kMmRowTile = 4;
+  static constexpr bool kHasStream = false;
   static reg load(const double* p) { return *p; }
   static void store(double* p, reg v) { *p = v; }
+  static void stream(double* p, reg v) { *p = v; }
+  static void fence() {}
   static reg set1(double s) { return s; }
   static reg zero() { return 0.0; }
   static reg add(reg a, reg b) { return a + b; }
@@ -181,6 +206,26 @@ struct VecScalar {
   static reg neg(reg a) { return -a; }
   static reg abs(reg a) { return std::abs(a); }
   static reg gt_and(reg a, reg b, reg c) { return a > b ? c : 0.0; }
+  static reg cmp_gt(reg a, reg b) {
+    return a > b ? std::bit_cast<double>(~std::uint64_t{0}) : 0.0;
+  }
+  static reg band(reg a, reg b) {
+    return std::bit_cast<double>(std::bit_cast<std::uint64_t>(a) &
+                                 std::bit_cast<std::uint64_t>(b));
+  }
+  static reg bor(reg a, reg b) {
+    return std::bit_cast<double>(std::bit_cast<std::uint64_t>(a) |
+                                 std::bit_cast<std::uint64_t>(b));
+  }
+  static reg andnot(reg a, reg b) {
+    return std::bit_cast<double>(~std::bit_cast<std::uint64_t>(a) &
+                                 std::bit_cast<std::uint64_t>(b));
+  }
+  static reg pow2n(reg nd) {
+    const std::uint64_t u =
+        std::bit_cast<std::uint64_t>(nd + 6755399441055744.0);
+    return std::bit_cast<double>((u + 1023u) << 52);
+  }
   static double hsum(reg a) { return a; }
 };
 
@@ -189,8 +234,11 @@ struct VecSse2 {
   using reg = __m128d;
   static constexpr std::size_t kWidth = 2;
   static constexpr std::int64_t kMmRowTile = 2;
+  static constexpr bool kHasStream = true;
   static reg load(const double* p) { return _mm_loadu_pd(p); }
   static void store(double* p, reg v) { _mm_storeu_pd(p, v); }
+  static void stream(double* p, reg v) { _mm_stream_pd(p, v); }
+  static void fence() { _mm_sfence(); }
   static reg set1(double s) { return _mm_set1_pd(s); }
   static reg zero() { return _mm_setzero_pd(); }
   static reg add(reg a, reg b) { return _mm_add_pd(a, b); }
@@ -206,6 +254,16 @@ struct VecSse2 {
   static reg gt_and(reg a, reg b, reg c) {
     return _mm_and_pd(_mm_cmpgt_pd(a, b), c);
   }
+  static reg cmp_gt(reg a, reg b) { return _mm_cmpgt_pd(a, b); }
+  static reg band(reg a, reg b) { return _mm_and_pd(a, b); }
+  static reg bor(reg a, reg b) { return _mm_or_pd(a, b); }
+  static reg andnot(reg a, reg b) { return _mm_andnot_pd(a, b); }
+  static reg pow2n(reg nd) {
+    const __m128i u = _mm_castpd_si128(
+        _mm_add_pd(nd, _mm_set1_pd(6755399441055744.0)));
+    return _mm_castsi128_pd(
+        _mm_slli_epi64(_mm_add_epi64(u, _mm_set1_epi64x(1023)), 52));
+  }
   static double hsum(reg a) {
     return _mm_cvtsd_f64(a) + _mm_cvtsd_f64(_mm_unpackhi_pd(a, a));
   }
@@ -217,8 +275,11 @@ struct VecAvx2 {
   using reg = __m256d;
   static constexpr std::size_t kWidth = 4;
   static constexpr std::int64_t kMmRowTile = 4;
+  static constexpr bool kHasStream = true;
   static reg load(const double* p) { return _mm256_loadu_pd(p); }
   static void store(double* p, reg v) { _mm256_storeu_pd(p, v); }
+  static void stream(double* p, reg v) { _mm256_stream_pd(p, v); }
+  static void fence() { _mm_sfence(); }
   static reg set1(double s) { return _mm256_set1_pd(s); }
   static reg zero() { return _mm256_setzero_pd(); }
   static reg add(reg a, reg b) { return _mm256_add_pd(a, b); }
@@ -234,6 +295,18 @@ struct VecAvx2 {
   static reg gt_and(reg a, reg b, reg c) {
     return _mm256_and_pd(_mm256_cmp_pd(a, b, _CMP_GT_OQ), c);
   }
+  static reg cmp_gt(reg a, reg b) {
+    return _mm256_cmp_pd(a, b, _CMP_GT_OQ);
+  }
+  static reg band(reg a, reg b) { return _mm256_and_pd(a, b); }
+  static reg bor(reg a, reg b) { return _mm256_or_pd(a, b); }
+  static reg andnot(reg a, reg b) { return _mm256_andnot_pd(a, b); }
+  static reg pow2n(reg nd) {
+    const __m256i u = _mm256_castpd_si256(
+        _mm256_add_pd(nd, _mm256_set1_pd(6755399441055744.0)));
+    return _mm256_castsi256_pd(
+        _mm256_slli_epi64(_mm256_add_epi64(u, _mm256_set1_epi64x(1023)), 52));
+  }
   static double hsum(reg a) {
     const __m128d lo = _mm256_castpd256_pd128(a);
     const __m128d hi = _mm256_extractf128_pd(a, 1);
@@ -248,8 +321,11 @@ struct VecNeon {
   using reg = float64x2_t;
   static constexpr std::size_t kWidth = 2;
   static constexpr std::int64_t kMmRowTile = 2;
+  static constexpr bool kHasStream = false;
   static reg load(const double* p) { return vld1q_f64(p); }
   static void store(double* p, reg v) { vst1q_f64(p, v); }
+  static void stream(double* p, reg v) { vst1q_f64(p, v); }
+  static void fence() {}
   static reg set1(double s) { return vdupq_n_f64(s); }
   static reg zero() { return vdupq_n_f64(0.0); }
   static reg add(reg a, reg b) { return vaddq_f64(a, b); }
@@ -263,6 +339,27 @@ struct VecNeon {
   static reg gt_and(reg a, reg b, reg c) {
     return vreinterpretq_f64_u64(
         vandq_u64(vcgtq_f64(a, b), vreinterpretq_u64_f64(c)));
+  }
+  static reg cmp_gt(reg a, reg b) {
+    return vreinterpretq_f64_u64(vcgtq_f64(a, b));
+  }
+  static reg band(reg a, reg b) {
+    return vreinterpretq_f64_u64(
+        vandq_u64(vreinterpretq_u64_f64(a), vreinterpretq_u64_f64(b)));
+  }
+  static reg bor(reg a, reg b) {
+    return vreinterpretq_f64_u64(
+        vorrq_u64(vreinterpretq_u64_f64(a), vreinterpretq_u64_f64(b)));
+  }
+  static reg andnot(reg a, reg b) {
+    return vreinterpretq_f64_u64(
+        vbicq_u64(vreinterpretq_u64_f64(b), vreinterpretq_u64_f64(a)));
+  }
+  static reg pow2n(reg nd) {
+    const uint64x2_t u = vreinterpretq_u64_f64(
+        vaddq_f64(nd, vdupq_n_f64(6755399441055744.0)));
+    return vreinterpretq_f64_u64(
+        vshlq_n_u64(vaddq_u64(u, vdupq_n_u64(1023)), 52));
   }
   static double hsum(reg a) {
     return vgetq_lane_f64(a, 0) + vgetq_lane_f64(a, 1);
@@ -305,11 +402,43 @@ struct OpDiv {
   }
 };
 
+/// Sweeps writing at least this many output elements (4 MiB) bypass the
+/// cache with non-temporal stores. The destination is write-only in
+/// ew_bin, so beyond last-level-cache size regular stores just burn
+/// read-for-ownership bandwidth on the 3-stream (a, b, o) memory-bound
+/// loop — NT stores cut the traffic from 4 streams to 3. Below this size
+/// the working set is cache-resident and evicting the output would LOSE
+/// bandwidth (measured ~2x slower at 256x256), hence the high threshold.
+/// The check is per parallel_for chunk, so each chunk decides
+/// independently; either path stores identical values.
+inline constexpr std::size_t kStreamMinElems = std::size_t{1} << 19;
+
 template <class V, class Op>
 void ew_bin(const double* a, const double* b, double* o, std::size_t n) {
   constexpr std::size_t w = V::kWidth;
   std::size_t i = 0;
   if constexpr (w > 1) {
+    if constexpr (V::kHasStream) {
+      if (n >= kStreamMinElems) {
+        // Peel scalar iterations until o hits the register alignment the
+        // non-temporal store requires (double arrays are always 8-aligned).
+        const auto addr = reinterpret_cast<std::uintptr_t>(o);
+        const std::size_t misalign = addr % (w * sizeof(double));
+        const std::size_t peel = misalign == 0
+                                     ? 0
+                                     : (w * sizeof(double) - misalign) /
+                                           sizeof(double);
+        for (; i < peel; ++i) o[i] = Op::s(a[i], b[i]);
+        for (; i + w <= n; i += w) {
+          V::stream(o + i, Op::template v<V>(V::load(a + i), V::load(b + i)));
+        }
+        // Drain the write-combining buffers before the parallel_for join
+        // publishes this chunk to other threads.
+        V::fence();
+        for (; i < n; ++i) o[i] = Op::s(a[i], b[i]);
+        return;
+      }
+    }
     for (; i + w <= n; i += w) {
       V::store(o + i, Op::template v<V>(V::load(a + i), V::load(b + i)));
     }
@@ -445,6 +574,93 @@ void ew_sign(const double* a, double* o, std::size_t n) {
   }
   for (; i < n; ++i) {
     o[i] = (a[i] > 0.0) ? 1.0 : (a[i] < 0.0 ? -1.0 : 0.0);
+  }
+}
+
+/// Lane-wise select: m ? a : b for full-width masks from cmp_gt.
+template <class V>
+inline typename V::reg vsel(typename V::reg m, typename V::reg a,
+                            typename V::reg b) {
+  return V::bor(V::band(m, a), V::andnot(m, b));
+}
+
+// Branchless polynomial tanh, identical lane algorithm on every variant
+// (add/sub/mul/div + bitwise ops only — no FMA, no libm, no
+// float->int conversion), so results are bit-identical across ISAs and
+// chunk boundaries. tanh(x) = sign(x) * em1 / (em1 + 2) with
+// em1 = expm1(2|x|); expm1 by Cody-Waite range reduction
+// (y = n*ln2 + r, |r| <= ln2/2) and a degree-13 Taylor polynomial
+// (truncation ~1e-17 relative). |x| > 19.0625 returns +-1 exactly
+// (true tanh rounds to 1 there); those lanes still run the arithmetic
+// on a clamped y so pow2n stays in range. NaN propagates through the
+// computed branch; +-0 keeps its sign via the final bitwise-or.
+template <class V>
+inline typename V::reg tanh_lanes(typename V::reg x) {
+  using R = typename V::reg;
+  const R magic = V::set1(6755399441055744.0);  // 1.5 * 2^52
+  const R s = V::band(x, V::set1(-0.0));
+  const R a = V::abs(x);
+  const R big = V::cmp_gt(a, V::set1(19.0625));
+  const R y = vsel<V>(big, V::set1(38.125), V::add(a, a));
+  // n = round(y * log2(e)) via the magic-number trick (round-to-nearest).
+  const R nd = V::sub(
+      V::add(V::mul(y, V::set1(1.4426950408889634074)), magic), magic);
+  // r = y - n*ln2, split high/low so n*ln2hi is exact for n < 2^20.
+  const R r =
+      V::sub(V::sub(y, V::mul(nd, V::set1(6.93147180369123816490e-01))),
+             V::mul(nd, V::set1(1.90821492927058770002e-10)));
+  // q = 1/2! + r/3! + ... + r^11/13!  (Horner, high to low).
+  R q = V::set1(1.0 / 6227020800.0);
+  q = V::add(V::mul(q, r), V::set1(1.0 / 479001600.0));
+  q = V::add(V::mul(q, r), V::set1(1.0 / 39916800.0));
+  q = V::add(V::mul(q, r), V::set1(1.0 / 3628800.0));
+  q = V::add(V::mul(q, r), V::set1(1.0 / 362880.0));
+  q = V::add(V::mul(q, r), V::set1(1.0 / 40320.0));
+  q = V::add(V::mul(q, r), V::set1(1.0 / 5040.0));
+  q = V::add(V::mul(q, r), V::set1(1.0 / 720.0));
+  q = V::add(V::mul(q, r), V::set1(1.0 / 120.0));
+  q = V::add(V::mul(q, r), V::set1(1.0 / 24.0));
+  q = V::add(V::mul(q, r), V::set1(1.0 / 6.0));
+  q = V::add(V::mul(q, r), V::set1(0.5));
+  const R p = V::add(V::mul(V::mul(q, r), r), r);  // expm1(r)
+  // expm1(y) = 2^n * (expm1(r) + 1) - 1; for n == 0 that difference
+  // cancels the low bits of a tiny p, so keep p directly (nd >= 0 here).
+  const R one = V::set1(1.0);
+  const R sc = V::pow2n(nd);
+  const R em1b = V::sub(V::mul(sc, V::add(p, one)), one);
+  const R em1 = vsel<V>(V::cmp_gt(V::set1(0.5), nd), p, em1b);
+  R t = V::div(em1, V::add(em1, V::set1(2.0)));
+  t = vsel<V>(big, one, t);
+  return V::bor(s, t);
+}
+
+template <class V>
+void ew_tanh(const double* a, double* o, std::size_t n) {
+  constexpr std::size_t w = V::kWidth;
+  std::size_t i = 0;
+  if constexpr (w > 1) {
+    for (; i + w <= n; i += w) {
+      V::store(o + i, tanh_lanes<V>(V::load(a + i)));
+    }
+  }
+  for (; i < n; ++i) o[i] = tanh_lanes<VecScalar>(a[i]);
+}
+
+template <class V>
+void ew_bias_tanh(const double* a, const double* b, double* o,
+                  std::size_t rows, std::size_t cols) {
+  constexpr std::size_t w = V::kWidth;
+  for (std::size_t row = 0; row < rows; ++row) {
+    const double* ar = a + row * cols;
+    double* orow = o + row * cols;
+    std::size_t i = 0;
+    if constexpr (w > 1) {
+      for (; i + w <= cols; i += w) {
+        V::store(orow + i,
+                 tanh_lanes<V>(V::add(V::load(ar + i), V::load(b + i))));
+      }
+    }
+    for (; i < cols; ++i) orow[i] = tanh_lanes<VecScalar>(ar[i] + b[i]);
   }
 }
 
@@ -852,6 +1068,8 @@ KernelTable make_table(Isa isa, const char* name) {
   t.relu = &ew_relu<V>;
   t.step = &ew_step<V>;
   t.sign = &ew_sign<V>;
+  t.tanh = &ew_tanh<V>;
+  t.bias_tanh = &ew_bias_tanh<V>;
   t.dot = &red_dot<V>;
   t.sum = &red_sum<V>;
   t.square_sum = &red_square_sum<V>;

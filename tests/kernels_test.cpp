@@ -82,7 +82,9 @@ TEST(Kernels, UnaryMatchStd) {
     EXPECT_DOUBLE_EQ(lx[i], std::log(x[i]));
     EXPECT_DOUBLE_EQ(sx[i], std::sin(x[i]));
     EXPECT_DOUBLE_EQ(cx[i], std::cos(x[i]));
-    EXPECT_DOUBLE_EQ(tx[i], std::tanh(x[i]));
+    // tanh dispatches to the vectorized polynomial kernel: a few ulp from
+    // libm (and bit-identical across SIMD variants), not bit-equal to it.
+    EXPECT_NEAR(tx[i], std::tanh(x[i]), 5e-15);
     EXPECT_DOUBLE_EQ(qx[i], std::sqrt(x[i]));
     EXPECT_DOUBLE_EQ(rx[i], 1.0 / x[i]);
   }

@@ -1,0 +1,476 @@
+// Tests for graph capture & replay (autodiff/plan.hpp).
+//
+// The contract under test: replay executes the identical kernels against the
+// identical buffers in the identical order as the eager step it captured, so
+// QPINN_GRAPH is purely a performance switch — losses, gradients, and
+// checkpoints agree bit-for-bit across modes, under every SIMD variant, and
+// the steady-state replay does zero storage-pool work. Anything that breaks
+// the premise (batch shape, thread count) must invalidate the plan.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autodiff/grad.hpp"
+#include "autodiff/ops.hpp"
+#include "autodiff/plan.hpp"
+#include "core/benchmarks.hpp"
+#include "core/trainer.hpp"
+#include "optim/adam.hpp"
+#include "parallel/thread_pool.hpp"
+#include "tensor/kernels.hpp"
+#include "tensor/simd.hpp"
+#include "tensor/storage_pool.hpp"
+#include "util/error.hpp"
+
+namespace qpinn::core {
+namespace {
+
+namespace ad = qpinn::autodiff;
+namespace plan = qpinn::autodiff::plan;
+
+/// Small, fast configuration with a FIXED collocation set; the dedicated
+/// resample test turns resampling back on (points are refreshed into the
+/// pinned interior buffer in place, so the plan survives).
+TrainConfig plan_config(std::int64_t epochs) {
+  TrainConfig config = default_train_config(epochs, /*seed=*/7);
+  config.resample_every = 0;
+  config.sampling.n_interior_x = 8;
+  config.sampling.n_interior_t = 8;
+  config.sampling.n_initial = 16;
+  config.sampling.n_boundary = 8;
+  config.metric_nx = 16;
+  config.metric_nt = 8;
+  return config;
+}
+
+std::shared_ptr<FieldModel> tiny_model(const SchrodingerProblem& problem,
+                                       std::uint64_t seed) {
+  FieldModelConfig config = default_model_config(problem, seed);
+  config.hidden = {12, 12};
+  config.fourier = nn::FourierConfig{6, 1.0};
+  config.hard_ic = HardIc{problem.config().initial, problem.domain().t_lo};
+  return make_field_model(config);
+}
+
+/// Per-step total losses of `steps` optimization steps under `mode`, from a
+/// freshly seeded model (identical initial weights for identical seeds).
+std::vector<double> run_steps(
+    const std::shared_ptr<SchrodingerProblem>& problem,
+    const TrainConfig& base, GraphMode mode, std::int64_t steps,
+    std::uint64_t seed) {
+  TrainConfig config = base;
+  config.graph = mode;
+  auto model = tiny_model(*problem, seed);
+  Trainer trainer(problem, model, config);
+  std::vector<double> losses;
+  losses.reserve(static_cast<std::size_t>(steps));
+  for (std::int64_t e = 0; e < steps; ++e) {
+    losses.push_back(trainer.step(e).total_loss);
+  }
+  return losses;
+}
+
+void expect_bit_identical(const std::vector<double>& eager,
+                          const std::vector<double>& replay) {
+  ASSERT_EQ(eager.size(), replay.size());
+  for (std::size_t i = 0; i < eager.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(eager[i]));
+    EXPECT_EQ(eager[i], replay[i]) << "diverged at step " << i;
+  }
+}
+
+/// Restores the active SIMD variant on scope exit.
+class IsaGuard {
+ public:
+  IsaGuard() : saved_(simd::active_isa()) {}
+  ~IsaGuard() { simd::force_isa(saved_); }
+
+ private:
+  simd::Isa saved_;
+};
+
+/// Restores (or clears) QPINN_GRAPH on scope exit.
+class GraphEnvGuard {
+ public:
+  GraphEnvGuard() {
+    if (const char* value = std::getenv("QPINN_GRAPH")) {
+      saved_ = value;
+      had_value_ = true;
+    }
+  }
+  ~GraphEnvGuard() {
+    if (had_value_) {
+      ::setenv("QPINN_GRAPH", saved_.c_str(), 1);
+    } else {
+      ::unsetenv("QPINN_GRAPH");
+    }
+  }
+
+ private:
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+// --- bit-identity: replay vs eager -----------------------------------------
+
+TEST(PlanTrainer, ReplayBitIdenticalOnTdseEveryIsa) {
+  IsaGuard guard;
+  auto problem = make_free_packet_problem();
+  const TrainConfig base = plan_config(1);
+  for (simd::Isa isa : simd::available_isas()) {
+    SCOPED_TRACE(simd::isa_name(isa));
+    ASSERT_TRUE(simd::force_isa(isa));
+    plan::reset_plan_stats();
+    const auto eager = run_steps(problem, base, GraphMode::kOff, 100, 3);
+    const auto replay = run_steps(problem, base, GraphMode::kOn, 100, 3);
+    expect_bit_identical(eager, replay);
+    // The replay run must actually have replayed: one capture, then 99
+    // steady-state replays, no fallbacks (the eager run records nothing).
+    const plan::PlanStats stats = plan::plan_stats();
+    EXPECT_EQ(stats.plans_captured, 1u);
+    EXPECT_EQ(stats.replays, 99u);
+    EXPECT_EQ(stats.fallbacks, 0u);
+  }
+}
+
+TEST(PlanTrainer, ReplayBitIdenticalOnNlsEveryIsa) {
+  IsaGuard guard;
+  auto problem = make_nls_soliton_problem();
+  const TrainConfig base = plan_config(1);
+  for (simd::Isa isa : simd::available_isas()) {
+    SCOPED_TRACE(simd::isa_name(isa));
+    ASSERT_TRUE(simd::force_isa(isa));
+    const auto eager = run_steps(problem, base, GraphMode::kOff, 100, 11);
+    const auto replay = run_steps(problem, base, GraphMode::kOn, 100, 11);
+    expect_bit_identical(eager, replay);
+  }
+}
+
+// A plain MLP regression loop at the autodiff layer: capture one training
+// step (forward + backward), then drive Adam from the pinned gradient
+// buffers for 100 replays and compare against an eagerly re-taped twin.
+TEST(PlanCore, MlpTrainingLoopBitIdenticalEveryIsa) {
+  IsaGuard guard;
+  for (simd::Isa isa : simd::available_isas()) {
+    SCOPED_TRACE(simd::isa_name(isa));
+    ASSERT_TRUE(simd::force_isa(isa));
+
+    Rng rng(17);
+    const Tensor x = Tensor::randn({32, 2}, rng);
+    const Tensor y = Tensor::randn({32, 1}, rng);
+    const Tensor w1_init = Tensor::randn({2, 16}, rng, 0.0, 0.5);
+    const Tensor b1_init = Tensor::zeros({1, 16});
+    const Tensor w2_init = Tensor::randn({16, 1}, rng, 0.0, 0.5);
+    const Tensor b2_init = Tensor::zeros({1, 1});
+
+    auto make_params = [&] {
+      return std::vector<ad::Variable>{
+          ad::Variable::leaf(kernels::scale(w1_init, 1.0)),
+          ad::Variable::leaf(kernels::scale(b1_init, 1.0)),
+          ad::Variable::leaf(kernels::scale(w2_init, 1.0)),
+          ad::Variable::leaf(kernels::scale(b2_init, 1.0))};
+    };
+    auto loss_of = [&](const std::vector<ad::Variable>& p) {
+      const ad::Variable xv = ad::Variable::constant(x);
+      const ad::Variable yv = ad::Variable::constant(y);
+      const ad::Variable h = ad::bias_tanh(ad::matmul(xv, p[0]), p[1]);
+      const ad::Variable out = ad::add(ad::matmul(h, p[2]),
+                                       ad::broadcast_to(p[3], {32, 1}));
+      return ad::mse(ad::sub(out, yv));
+    };
+
+    const optim::AdamConfig adam_config;
+
+    // Eager twin: fresh tape every step.
+    std::vector<ad::Variable> eager_params = make_params();
+    optim::Adam eager_adam(eager_params, adam_config);
+    std::vector<double> eager_losses;
+    for (int s = 0; s < 100; ++s) {
+      const ad::Variable loss = loss_of(eager_params);
+      eager_losses.push_back(loss.value().item());
+      std::vector<ad::Variable> grads = ad::grad(loss, eager_params);
+      std::vector<Tensor> grad_values;
+      for (const ad::Variable& g : grads) grad_values.push_back(g.value());
+      eager_adam.step(grad_values);
+    }
+
+    // Replay twin: the step is taped once, then replayed from the plan.
+    std::vector<ad::Variable> replay_params = make_params();
+    optim::Adam replay_adam(replay_params, adam_config);
+    plan::ExecutionPlan step_plan;
+    Tensor loss_value;
+    std::vector<Tensor> grad_values;
+    {
+      plan::CaptureScope scope(step_plan);
+      const ad::Variable loss = loss_of(replay_params);
+      loss_value = loss.value();
+      for (const ad::Variable& g : ad::grad(loss, replay_params)) {
+        grad_values.push_back(g.value());
+      }
+    }
+    EXPECT_GT(step_plan.size(), 0u);
+    EXPECT_GT(step_plan.arena_buffers(), 0u);
+    EXPECT_GT(step_plan.arena_bytes(), 0u);
+    std::vector<double> replay_losses;
+    replay_losses.push_back(loss_value.item());
+    replay_adam.step(grad_values);
+    for (int s = 1; s < 100; ++s) {
+      step_plan.replay();
+      replay_losses.push_back(loss_value.item());
+      replay_adam.step(grad_values);
+    }
+
+    expect_bit_identical(eager_losses, replay_losses);
+    // And the final weights must match bit-for-bit, not just the losses.
+    for (std::size_t p = 0; p < eager_params.size(); ++p) {
+      const Tensor& a = eager_params[p].value();
+      const Tensor& b = replay_params[p].value();
+      ASSERT_EQ(a.numel(), b.numel());
+      for (std::int64_t i = 0; i < a.numel(); ++i) {
+        EXPECT_EQ(a[i], b[i]) << "param " << p << " element " << i;
+      }
+    }
+  }
+}
+
+TEST(PlanTrainer, ParallelShardsWithCurriculumBitIdentical) {
+  set_global_threads(4);
+  auto problem = make_free_packet_problem();
+  TrainConfig base = plan_config(1);
+  base.threads = 4;
+  base.curriculum = CurriculumConfig{};
+  base.curriculum->bins = 4;
+  base.curriculum->warmup_epochs = 30;
+  plan::reset_plan_stats();
+  const auto eager = run_steps(problem, base, GraphMode::kOff, 40, 5);
+  const auto replay = run_steps(problem, base, GraphMode::kOn, 40, 5);
+  expect_bit_identical(eager, replay);
+  // One plan per shard; every later epoch replays all four even though the
+  // curriculum weights change per epoch (they are refreshed in place).
+  const plan::PlanStats stats = plan::plan_stats();
+  EXPECT_EQ(stats.plans_captured, 4u);
+  EXPECT_EQ(stats.replays, 4u * 39u);
+  EXPECT_EQ(stats.fallbacks, 0u);
+  set_global_threads(default_num_threads());
+}
+
+// Per-epoch resampling refreshes the pinned interior buffer in place, so a
+// captured plan survives it: one capture per shard, then steady-state
+// replays on fresh collocation points every epoch.
+TEST(PlanTrainer, ResampleEveryEpochKeepsPlanBitIdentical) {
+  auto problem = make_free_packet_problem();
+  TrainConfig base = plan_config(1);
+  base.resample_every = 1;
+  {
+    SCOPED_TRACE("serial");
+    plan::reset_plan_stats();
+    const auto eager = run_steps(problem, base, GraphMode::kOff, 30, 13);
+    const auto replay = run_steps(problem, base, GraphMode::kOn, 30, 13);
+    expect_bit_identical(eager, replay);
+    const plan::PlanStats stats = plan::plan_stats();
+    EXPECT_EQ(stats.plans_captured, 1u);
+    EXPECT_EQ(stats.replays, 29u);
+    EXPECT_EQ(stats.fallbacks, 0u);
+  }
+  {
+    SCOPED_TRACE("parallel");
+    set_global_threads(4);
+    TrainConfig parallel = base;
+    parallel.threads = 4;
+    plan::reset_plan_stats();
+    const auto eager = run_steps(problem, parallel, GraphMode::kOff, 30, 13);
+    const auto replay = run_steps(problem, parallel, GraphMode::kOn, 30, 13);
+    expect_bit_identical(eager, replay);
+    const plan::PlanStats stats = plan::plan_stats();
+    EXPECT_EQ(stats.plans_captured, 4u);
+    EXPECT_EQ(stats.replays, 4u * 29u);
+    EXPECT_EQ(stats.fallbacks, 0u);
+    set_global_threads(default_num_threads());
+  }
+}
+
+// --- checkpoint interop ----------------------------------------------------
+
+TEST(PlanTrainer, CheckpointResumeAcrossModesBitForBit) {
+  auto problem = make_free_packet_problem();
+  for (GraphMode first : {GraphMode::kOff, GraphMode::kOn}) {
+    const bool first_is_eager = first == GraphMode::kOff;
+    SCOPED_TRACE(first_is_eager ? "save eager, resume replay"
+                                : "save replay, resume eager");
+    // Phase 1: train under `first` and write a final checkpoint.
+    TrainConfig save_config = plan_config(6);
+    save_config.graph = first;
+    save_config.checkpoint = CheckpointConfig{};
+    save_config.checkpoint->dir = ::testing::TempDir() + "qpinn_plan_ckpt_" +
+                                  (first_is_eager ? "eager" : "replay");
+    auto save_model = tiny_model(*problem, 5);
+    Trainer save_trainer(problem, save_model, save_config);
+    save_trainer.fit();
+    const std::string last = Checkpointer(*save_config.checkpoint).last_path();
+
+    // Phase 2: resume the same checkpoint under both modes; the histories
+    // and final weights must agree bit-for-bit.
+    auto resume = [&](GraphMode mode) {
+      TrainConfig config = plan_config(12);
+      config.graph = mode;
+      config.resume_from = last;
+      auto model = tiny_model(*problem, 5);
+      Trainer trainer(problem, model, config);
+      return std::make_pair(trainer.fit(), model);
+    };
+    auto [eager_result, eager_model] = resume(GraphMode::kOff);
+    auto [replay_result, replay_model] = resume(GraphMode::kOn);
+
+    ASSERT_EQ(eager_result.start_epoch, 6);
+    ASSERT_EQ(eager_result.history.size(), replay_result.history.size());
+    for (std::size_t i = 0; i < eager_result.history.size(); ++i) {
+      EXPECT_EQ(eager_result.history[i].total_loss,
+                replay_result.history[i].total_loss)
+          << "diverged at resumed epoch " << i;
+    }
+    const auto eager_params = eager_model->named_parameters();
+    const auto replay_params = replay_model->named_parameters();
+    ASSERT_EQ(eager_params.size(), replay_params.size());
+    for (std::size_t p = 0; p < eager_params.size(); ++p) {
+      const Tensor& a = eager_params[p].second.value();
+      const Tensor& b = replay_params[p].second.value();
+      ASSERT_EQ(a.numel(), b.numel());
+      for (std::int64_t i = 0; i < a.numel(); ++i) {
+        EXPECT_EQ(a[i], b[i]) << eager_params[p].first << " element " << i;
+      }
+    }
+  }
+}
+
+// --- invalidation ----------------------------------------------------------
+
+TEST(PlanTrainer, InvalidatesOnBatchShapeChange) {
+  auto problem = make_free_packet_problem();
+  TrainConfig config = plan_config(1);
+  config.graph = GraphMode::kOn;
+  auto model = tiny_model(*problem, 9);
+  Trainer trainer(problem, model, config);
+  ASSERT_TRUE(trainer.graph_enabled());
+
+  plan::reset_plan_stats();
+  trainer.step(0);
+  trainer.step(1);
+  plan::PlanStats stats = plan::plan_stats();
+  EXPECT_EQ(stats.plans_captured, 1u);
+  EXPECT_EQ(stats.replays, 1u);
+  EXPECT_EQ(stats.fallbacks, 0u);
+
+  // Shrink the interior batch: the plan was compiled for the old shape, so
+  // the next step must fall back to a fresh capture (and still be finite).
+  const Tensor& interior = trainer.collocation().interior;
+  trainer.replace_interior(
+      kernels::slice_rows(interior, 0, interior.shape()[0] / 2));
+  const EpochRecord record = trainer.step(2);
+  EXPECT_TRUE(std::isfinite(record.total_loss));
+  stats = plan::plan_stats();
+  EXPECT_EQ(stats.fallbacks, 1u);
+  EXPECT_EQ(stats.plans_captured, 2u);
+
+  trainer.step(3);
+  EXPECT_EQ(plan::plan_stats().replays, 2u);
+}
+
+TEST(PlanTrainer, InvalidatesOnThreadCountChange) {
+  set_global_threads(2);
+  auto problem = make_free_packet_problem();
+  TrainConfig config = plan_config(1);
+  config.graph = GraphMode::kOn;
+  auto model = tiny_model(*problem, 13);
+  Trainer trainer(problem, model, config);
+
+  plan::reset_plan_stats();
+  trainer.step(0);
+  trainer.step(1);
+  ASSERT_EQ(plan::plan_stats().fallbacks, 0u);
+
+  // Even a serial trainer keys its plan on the pool size: kernels dispatch
+  // work across the global pool, so a resize changes the execution.
+  set_global_threads(3);
+  const EpochRecord record = trainer.step(2);
+  EXPECT_TRUE(std::isfinite(record.total_loss));
+  const plan::PlanStats stats = plan::plan_stats();
+  EXPECT_EQ(stats.fallbacks, 1u);
+  EXPECT_EQ(stats.plans_captured, 2u);
+  set_global_threads(default_num_threads());
+}
+
+// --- steady-state cost -----------------------------------------------------
+
+TEST(PlanTrainer, SteadyStateReplayDoesZeroPoolWork) {
+  auto problem = make_free_packet_problem();
+  TrainConfig config = plan_config(1);
+  config.graph = GraphMode::kOn;
+  auto model = tiny_model(*problem, 21);
+  Trainer trainer(problem, model, config);
+  trainer.step(0);  // capture
+  trainer.step(1);  // first replay (Adam state is warm from construction)
+
+  const StoragePoolStats before = StoragePool::instance().stats();
+  for (std::int64_t e = 2; e < 8; ++e) trainer.step(e);
+  const StoragePoolStats after = StoragePool::instance().stats();
+  // Replay runs kernels into pinned buffers: no fresh heap storage and no
+  // pool round-trips, i.e. zero allocations of either kind per step.
+  EXPECT_EQ(after.heap_allocations, before.heap_allocations);
+  EXPECT_EQ(after.pool_reuses, before.pool_reuses);
+}
+
+// --- configuration ---------------------------------------------------------
+
+TEST(PlanEnv, GraphEnvParsing) {
+  GraphEnvGuard guard;
+  ::unsetenv("QPINN_GRAPH");
+  EXPECT_TRUE(plan::graph_env_enabled());  // replay is the default
+  ::setenv("QPINN_GRAPH", "on", 1);
+  EXPECT_TRUE(plan::graph_env_enabled());
+  ::setenv("QPINN_GRAPH", "1", 1);
+  EXPECT_TRUE(plan::graph_env_enabled());
+  ::setenv("QPINN_GRAPH", "off", 1);
+  EXPECT_FALSE(plan::graph_env_enabled());
+  ::setenv("QPINN_GRAPH", "0", 1);
+  EXPECT_FALSE(plan::graph_env_enabled());
+  ::setenv("QPINN_GRAPH", "sideways", 1);
+  EXPECT_THROW(plan::graph_env_enabled(), ConfigError);
+}
+
+TEST(PlanEnv, GraphModeOverridesEnvironment) {
+  GraphEnvGuard guard;
+  auto problem = make_free_packet_problem();
+  auto trainer_with = [&](GraphMode mode) {
+    TrainConfig config = plan_config(1);
+    config.graph = mode;
+    auto model = tiny_model(*problem, 2);
+    return std::make_unique<Trainer>(problem, model, config);
+  };
+  ::setenv("QPINN_GRAPH", "off", 1);
+  EXPECT_FALSE(trainer_with(GraphMode::kEnv)->graph_enabled());
+  EXPECT_TRUE(trainer_with(GraphMode::kOn)->graph_enabled());
+  ::unsetenv("QPINN_GRAPH");
+  EXPECT_TRUE(trainer_with(GraphMode::kEnv)->graph_enabled());
+  EXPECT_FALSE(trainer_with(GraphMode::kOff)->graph_enabled());
+}
+
+TEST(PlanEnv, EagerModeCapturesNothing) {
+  auto problem = make_free_packet_problem();
+  TrainConfig config = plan_config(1);
+  config.graph = GraphMode::kOff;
+  auto model = tiny_model(*problem, 6);
+  Trainer trainer(problem, model, config);
+  plan::reset_plan_stats();
+  for (std::int64_t e = 0; e < 3; ++e) trainer.step(e);
+  const plan::PlanStats stats = plan::plan_stats();
+  EXPECT_EQ(stats.plans_captured, 0u);
+  EXPECT_EQ(stats.replays, 0u);
+}
+
+}  // namespace
+}  // namespace qpinn::core

@@ -152,6 +152,25 @@ TEST_P(SimdVariantP, ElementwiseKernelsAreBitIdenticalToScalar) {
   }
 }
 
+TEST_P(SimdVariantP, StreamingStoreSweepIsBitIdenticalToScalar) {
+  // Sweeps above detail::kStreamMinElems take the non-temporal store path
+  // (scalar peel to the store alignment, NT body, scalar fringe). The odd
+  // length plus the +1 pointer offset exercises both edges; the values
+  // must be bit-identical to the plain path regardless.
+  const std::size_t n = detail::kStreamMinElems + 7;
+  const std::vector<double> a = filled(n, 101, -2.0, 2.0);
+  const std::vector<double> b = filled(n, 103, 0.5, 2.5);
+  std::vector<double> got(n + 1), want(n + 1);
+  for (int op = 0; op < kNumBinOps; ++op) {
+    variant().bin_same[op](a.data() + 1, b.data() + 1, got.data() + 1, n);
+    scalar().bin_same[op](a.data() + 1, b.data() + 1, want.data() + 1, n);
+    for (std::size_t i = 1; i <= n; ++i) {
+      ASSERT_TRUE(bit_equal(got[i], want[i])) << "bin op " << op << " lane "
+                                              << i;
+    }
+  }
+}
+
 TEST_P(SimdVariantP, RowBroadcastMatchesScalar) {
   const KernelTable& var = variant();
   for (std::size_t cols : test_lengths(var.width)) {
@@ -318,6 +337,48 @@ TEST_P(SimdVariantP, NanAndInfPropagateLikeScalar) {
   EXPECT_EQ(got[2], -kInf);
 }
 
+TEST_P(SimdVariantP, TanhIsBitIdenticalToScalarAndNearLibm) {
+  const KernelTable& var = variant();
+  // Dense sweep across the interesting ranges: around zero, the Taylor
+  // cutoff at |2x| = 0.5, the saturation threshold 19.0625, and beyond.
+  std::vector<double> xs;
+  for (int i = -400; i <= 400; ++i) xs.push_back(0.05 * i);
+  for (double x : {1e-320, 1e-30, 0.2499, 0.25, 0.2501, 19.0624, 19.0625,
+                   19.0626, 700.0}) {
+    xs.push_back(x);
+    xs.push_back(-x);
+  }
+  xs.insert(xs.end(), {0.0, -0.0, kNan, kInf, -kInf});
+  const std::size_t n = xs.size();
+  std::vector<double> got(n), want(n);
+  var.tanh(xs.data(), got.data(), n);
+  scalar().tanh(xs.data(), want.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(bit_equal(got[i], want[i]))
+        << "tanh(" << xs[i] << ") differs from the scalar variant";
+    if (std::isfinite(xs[i])) {
+      // Accuracy: a few ulp of libm everywhere (|tanh| <= 1, so absolute
+      // tolerance is also relative tolerance).
+      EXPECT_NEAR(got[i], std::tanh(xs[i]), 5e-15) << "x = " << xs[i];
+    }
+  }
+  // Edge semantics: NaN propagates; +-inf and saturated inputs hit +-1
+  // exactly; signed zero and tiny inputs come back unchanged.
+  const auto at = [&](double x) {
+    double out;
+    var.tanh(&x, &out, 1);
+    return out;
+  };
+  EXPECT_TRUE(std::isnan(at(kNan)));
+  EXPECT_EQ(at(kInf), 1.0);
+  EXPECT_EQ(at(-kInf), -1.0);
+  EXPECT_EQ(at(20.0), 1.0);
+  EXPECT_EQ(at(-20.0), -1.0);
+  EXPECT_TRUE(bit_equal(at(0.0), 0.0));
+  EXPECT_TRUE(bit_equal(at(-0.0), -0.0));
+  EXPECT_EQ(at(1e-320), 1e-320);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllVariants, SimdVariantP,
                          ::testing::ValuesIn(available_isas()),
                          [](const ::testing::TestParamInfo<Isa>& info) {
@@ -338,8 +399,13 @@ TEST(SimdKernels, FusedKernelsMatchTheirCompositionUnderEveryVariant) {
     const Tensor bt = kernels::bias_tanh(a, bias);
     const Tensor bs = kernels::bias_sin(a, bias);
     const Tensor plain = kernels::add(a, bias);
+    // bias_tanh must agree bitwise with the unfused tanh(add(..)) chain
+    // (both use the same polynomial kernel) and stay within a few ulp of
+    // libm; bias_sin still goes through std::sin exactly.
+    const Tensor tanh_chain = kernels::tanh(plain);
     for (std::int64_t i = 0; i < a.numel(); ++i) {
-      EXPECT_DOUBLE_EQ(bt[i], std::tanh(plain[i])) << isa_name(isa);
+      EXPECT_EQ(bt[i], tanh_chain[i]) << isa_name(isa);
+      EXPECT_NEAR(bt[i], std::tanh(plain[i]), 5e-15) << isa_name(isa);
       EXPECT_DOUBLE_EQ(bs[i], std::sin(plain[i])) << isa_name(isa);
     }
     EXPECT_NEAR(kernels::square_sum_all(a)[0],

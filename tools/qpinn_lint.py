@@ -27,6 +27,12 @@ Rules (each finding prints ``path:line: [rule] message``; exit 1 if any):
                   src/tensor/simd.hpp — all vector code goes through the
                   dispatch tables there, so every kernel exists in every
                   variant and the QPINN_SIMD override stays meaningful.
+  banned-node-construction
+                  no direct tape-``Node`` construction (``make_shared<Node>``
+                  or ``new Node``) outside src/autodiff/ — graph capture &
+                  replay (autodiff/plan.hpp) records every op launched
+                  through the autodiff layer; a Node built elsewhere would
+                  run eagerly but silently drop out of captured plans.
 
 Comments and string literals are stripped before token rules run, so prose
 mentioning ``new`` or ``rand()`` never trips the gate.
@@ -144,6 +150,16 @@ def token_rules(path: pathlib.Path, findings: list[Finding]) -> None:
             re.compile(r"make_shared\s*<\s*std::vector\s*<\s*double\b"),
             "raw tensor-buffer allocation is banned; acquire storage via "
             "tensor/storage_pool.hpp so pooling and counters stay accurate"))
+    # The autodiff layer owns the tape: every Node must be built by its op
+    # launchers so graph capture (autodiff/plan.hpp) sees it. A Node built
+    # anywhere else would execute eagerly but never be recorded, silently
+    # breaking replay bit-identity.
+    if not path.as_posix().rsplit("src/", 1)[-1].startswith("autodiff/"):
+        rules.append((
+            "banned-node-construction",
+            re.compile(r"(?:make_shared\s*<|new\s+)\s*(?:\w+\s*::\s*)*Node\b"),
+            "direct tape-Node construction is banned outside src/autodiff/; "
+            "go through the autodiff ops so plan capture records the op"))
     # The SIMD abstraction is the one place allowed to spell intrinsics;
     # everywhere else goes through its dispatch tables so each kernel exists
     # in every variant (including the scalar QPINN_SIMD=off fallback).
