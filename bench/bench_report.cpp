@@ -19,13 +19,16 @@
 #include <fstream>
 #include <limits>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "autodiff/grad.hpp"
 #include "autodiff/ops.hpp"
 #include "autodiff/plan.hpp"
+#include "dist/communicator.hpp"
 #include "optim/adam.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tensor/kernels.hpp"
@@ -56,6 +59,11 @@ struct Result {
   double gflops = 0.0;  // 0 when the op has no meaningful flop count
 };
 
+// Best-of-passes count, shared with the dist rows: the worker-rank threads
+// must issue exactly the 1 + kPasses*reps collective calls the timed body
+// makes, or the loopback ranks deadlock.
+constexpr int kPasses = 3;
+
 template <typename F>
 Result time_op(const std::string& suite, const std::string& op,
                const std::string& shape, int reps, F body,
@@ -65,7 +73,6 @@ Result time_op(const std::string& suite, const std::string& op,
   const auto s0 = pool.stats();
   // Best-of-passes: interference spikes (shared runners, frequency ramps)
   // only ever make a pass slower, so the minimum is the robust estimate.
-  constexpr int kPasses = 3;
   double ns = std::numeric_limits<double>::infinity();
   for (int p = 0; p < kPasses; ++p) {
     Stopwatch sw;
@@ -96,20 +103,21 @@ std::string fmt(double v) {
 }
 
 /// Six-parameter tanh MLP (2 -> 64 -> 64 -> 1) on a 256-point batch — the
-/// same network scale the PINN examples train.
+/// same network scale the PINN examples train. The dist rows shard the
+/// batch, so the row count is a parameter.
 struct BenchModel {
   ad::Variable w1, b1, w2, b2, w3, b3;
   ad::Variable x;
   std::vector<ad::Variable> params;
 
-  explicit BenchModel(Rng& rng)
+  explicit BenchModel(Rng& rng, std::int64_t rows = 256)
       : w1(ad::Variable::leaf(Tensor::randn({2, 64}, rng, 0.0, 0.3))),
         b1(ad::Variable::leaf(Tensor::zeros({1, 64}))),
         w2(ad::Variable::leaf(Tensor::randn({64, 64}, rng, 0.0, 0.3))),
         b2(ad::Variable::leaf(Tensor::zeros({1, 64}))),
         w3(ad::Variable::leaf(Tensor::randn({64, 1}, rng, 0.0, 0.3))),
         b3(ad::Variable::leaf(Tensor::zeros({1, 1}))),
-        x(ad::Variable::constant(Tensor::rand({256, 2}, rng, -1.0, 1.0))),
+        x(ad::Variable::constant(Tensor::rand({rows, 2}, rng, -1.0, 1.0))),
         params{w1, b1, w2, b2, w3, b3} {}
 
   ad::Variable loss() const {
@@ -290,6 +298,124 @@ int main(int argc, char** argv) {
   results.push_back(time_op("training", "train_step_replay", "mlp-2-64-64-1",
                             r_big, train_step_replay, train_step_flops));
 
+  // ---- dist suite --------------------------------------------------------
+  // Loopback communicators (dist/communicator.hpp): socketpair ranks on
+  // background threads, the same framing/retry/CRC code paths the
+  // multi-process transport runs minus the listener. The collectives keep
+  // every rank in lockstep with the timed root, so the worker threads
+  // issue exactly the 1 + kPasses*reps calls time_op's body makes. The
+  // allocs/reuses columns aggregate every rank — the pool is global —
+  // and pool hits race across rank threads, so they are
+  // interleaving-dependent here (bench_compare exempts this suite from
+  // its exact-alloc gate).
+  {
+    namespace dist = qpinn::dist;
+    dist::TransportOptions dopts;
+    // On a loaded single-core runner a preempted rank is slow, not lost;
+    // the fault paths are not what this suite measures.
+    dopts.message_timeout_ms = 10000;
+    dopts.heartbeat_timeout_ms = 60000;
+
+    // The Trainer's reduction buffer: [loss, aux, stop, grads...].
+    const std::int64_t n_doubles = static_cast<std::int64_t>(n_params) + 3;
+    for (const std::int64_t world : {2, 4}) {
+      auto comms = dist::Communicator::loopback(world, dopts);
+      const int calls = 1 + kPasses * r_mid;
+      std::vector<std::thread> workers;
+      for (std::int64_t r = 1; r < world; ++r) {
+        workers.emplace_back([&comms, r, n_doubles, calls] {
+          std::vector<double> buf(static_cast<std::size_t>(n_doubles));
+          for (int c = 0; c < calls; ++c) {
+            std::fill(buf.begin(), buf.end(), static_cast<double>(r));
+            comms[static_cast<std::size_t>(r)]->allreduce(buf, c);
+          }
+        });
+      }
+      std::vector<double> buf(static_cast<std::size_t>(n_doubles));
+      std::int64_t epoch = 0;
+      const std::string shape = std::to_string(world) + "ranks-" +
+                                std::to_string(n_doubles) + "dbl";
+      // Flop model: the root's rank-ordered gather sum, (world-1) adds
+      // per element; the broadcast moves bytes, not flops.
+      results.push_back(time_op(
+          "dist", "allreduce", shape, r_mid,
+          [&] {
+            std::fill(buf.begin(), buf.end(), 0.0);
+            comms[0]->allreduce(buf, epoch++);
+          },
+          static_cast<double>((world - 1) * n_doubles)));
+      for (auto& w : workers) w.join();
+    }
+
+    // N-rank data-parallel training step — the schedule Trainer::fit runs
+    // in dist mode: each rank takes the gradient of its 256/world-row
+    // shard, the flat buffer is all-reduced in rank order, and a per-rank
+    // Adam applies the averaged sum. gflops counts the aggregate useful
+    // math (the full-batch step) so the column stays comparable with the
+    // single-process train_step row; the gap to that row is the
+    // communication + redundant-optimizer overhead of going distributed.
+    struct RankState {
+      BenchModel model;
+      qpinn::optim::Adam adam;
+      std::vector<Tensor> summed;
+      std::vector<double> buf;
+      std::int64_t epoch = 0;
+      RankState(Rng& rank_rng, std::int64_t rows, std::int64_t n)
+          : model(rank_rng, rows), adam(model.params, {}),
+            buf(static_cast<std::size_t>(n)) {
+        summed.reserve(model.params.size());
+        for (const ad::Variable& p : model.params) {
+          summed.push_back(Tensor::zeros(p.shape()));
+        }
+      }
+    };
+    for (const std::int64_t world : {2, 4}) {
+      auto comms = dist::Communicator::loopback(world, dopts);
+      std::vector<std::unique_ptr<RankState>> ranks;
+      for (std::int64_t r = 0; r < world; ++r) {
+        Rng rank_rng(static_cast<std::uint64_t>(100 + r));
+        ranks.push_back(std::make_unique<RankState>(rank_rng, 256 / world,
+                                                    n_doubles));
+      }
+      auto rank_step = [&comms, &ranks, world](std::int64_t r) {
+        RankState& st = *ranks[static_cast<std::size_t>(r)];
+        auto grads = ad::grad(st.model.loss(), st.model.params);
+        st.buf[0] = st.buf[1] = st.buf[2] = 0.0;  // loss/aux/stop header
+        std::size_t off = 3;
+        for (const ad::Variable& gv : grads) {
+          const Tensor& t = gv.value();
+          std::copy(t.data(), t.data() + t.numel(),
+                    st.buf.begin() + static_cast<std::ptrdiff_t>(off));
+          off += static_cast<std::size_t>(t.numel());
+        }
+        comms[static_cast<std::size_t>(r)]->allreduce(st.buf, st.epoch++);
+        const double inv = 1.0 / static_cast<double>(world);
+        off = 3;
+        for (Tensor& t : st.summed) {
+          double* dst = t.data();
+          for (std::int64_t i = 0; i < t.numel(); ++i) {
+            dst[static_cast<std::size_t>(i)] =
+                st.buf[off + static_cast<std::size_t>(i)] * inv;
+          }
+          off += static_cast<std::size_t>(t.numel());
+        }
+        st.adam.step(st.summed);
+      };
+      const int calls = 1 + kPasses * r_big;
+      std::vector<std::thread> workers;
+      for (std::int64_t r = 1; r < world; ++r) {
+        workers.emplace_back([&rank_step, r, calls] {
+          for (int c = 0; c < calls; ++c) rank_step(r);
+        });
+      }
+      const std::string shape =
+          "mlp-2-64-64-1x" + std::to_string(world) + "ranks";
+      results.push_back(time_op("dist", "train_step", shape, r_big,
+                                [&] { rank_step(0); }, train_step_flops));
+      for (auto& w : workers) w.join();
+    }
+  }
+
   // SIMD win: re-time the key ops with the dispatch forced to the scalar
   // table, on the same buffers and repetition counts. The ratio is the
   // vectorization speedup on THIS machine (the scalar rows are not written
@@ -370,6 +496,14 @@ int main(int argc, char** argv) {
       replay_ns > 0.0 ? ns_of("train_step", "mlp-2-64-64-1") / replay_ns : 1.0;
   const plan::PlanStats pstats = plan::plan_stats();
 
+  // Cost of going distributed on a 2-rank loopback world relative to the
+  // same step single-process (>1 means dist is slower; the gap is the
+  // transport round-trip plus the per-rank optimizer duplication).
+  const double step_ns = ns_of("train_step", "mlp-2-64-64-1");
+  const double dist2_ns = ns_of("train_step", "mlp-2-64-64-1x2ranks");
+  const double dist_overhead =
+      step_ns > 0.0 ? dist2_ns / step_ns : 1.0;
+
   // ---- report ------------------------------------------------------------
   std::ostringstream json;
   json << "{\n";
@@ -399,6 +533,7 @@ int main(int argc, char** argv) {
   json << "    \"speedup_train_step_vs_scalar\": " << fmt(speedup_train)
        << ",\n";
   json << "    \"graph_overhead_x\": " << fmt(graph_overhead) << ",\n";
+  json << "    \"dist_overhead_2rank_x\": " << fmt(dist_overhead) << ",\n";
   json << "    \"plans_captured\": " << pstats.plans_captured << ",\n";
   json << "    \"plan_replays\": " << pstats.replays << ",\n";
   json << "    \"plan_fallbacks\": " << pstats.fallbacks << "\n";

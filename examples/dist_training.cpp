@@ -1,0 +1,183 @@
+// Elastic multi-process data-parallel training.
+//
+//   ./dist_training --world 4                   # 4 ranks on this machine
+//   ./dist_training --world 2 --degrade         # survivors reshard on loss
+//
+// Rank 0 runs here; the launcher fork+execs ranks 1..world-1 from this
+// same binary. Gradients are all-reduced in rank order over an AF_UNIX
+// transport, so an N-rank run is bit-identical to a single-process run
+// with threads = N.
+//
+// Watch the failure machinery work — kill rank 1 at epoch 50 and see it
+// restart, reload last.qckpt, re-sync over the transport, and finish with
+// the same parameters an uninterrupted run produces:
+//
+//   QPINN_FAULT_KILL_RANK=1 QPINN_FAULT_AT=50 ./dist_training --world 2
+//
+// Delay or drop frames instead (the retry/heartbeat paths):
+//
+//   QPINN_FAULT_DELAY_MS=50 QPINN_FAULT_RANK=1 ./dist_training --world 2
+//   QPINN_FAULT_DROP_MSG=10 QPINN_FAULT_COUNT=3 ./dist_training --world 2
+//
+// Ctrl-C requests a synchronized stop: the flag travels inside the
+// reduction, every rank leaves the loop at the same epoch, and rank 0
+// writes a final checkpoint. A second Ctrl-C kills the process group the
+// hard way.
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include "core/benchmarks.hpp"
+#include "core/checkpoint.hpp"
+#include "core/trainer.hpp"
+#include "dist/communicator.hpp"
+#include "dist/launcher.hpp"
+#include "util/cli.hpp"
+#include "util/env.hpp"
+
+namespace {
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int signum) {
+  if (g_stop.load(std::memory_order_relaxed)) {
+    std::signal(signum, SIG_DFL);
+    std::raise(signum);
+    return;
+  }
+  g_stop.store(true, std::memory_order_relaxed);
+}
+
+// Job shape shared with the worker ranks through their environment.
+constexpr char kEnvEpochs[] = "QPINN_DIST_EX_EPOCHS";
+constexpr char kEnvSeed[] = "QPINN_DIST_EX_SEED";
+constexpr char kEnvDir[] = "QPINN_DIST_EX_DIR";
+
+qpinn::core::TrainConfig job_config(std::int64_t epochs, std::int64_t seed) {
+  qpinn::core::TrainConfig config =
+      qpinn::core::default_train_config(epochs, static_cast<std::uint64_t>(seed));
+  return config;
+}
+
+int worker_main(const qpinn::dist::WorkerArgs& args) {
+  using namespace qpinn;
+  try {
+    const std::int64_t epochs = env_int(kEnvEpochs, 200);
+    const std::int64_t seed = env_int(kEnvSeed, 3);
+    auto problem = core::make_free_packet_problem();
+    auto model = core::make_model_for(*problem, static_cast<std::uint64_t>(seed));
+    core::TrainConfig config = job_config(epochs, seed);
+
+    dist::DistConfig dc;
+    dc.rank = args.rank;
+    dc.world = args.world;
+    dc.endpoint = args.endpoint;
+    dc.rejoin = args.rejoin;
+    dc.transport = dist::TransportOptions::from_env();
+    config.dist = dist::Communicator::create(dc);
+    if (args.rejoin) {
+      config.resume_from = env_string(kEnvDir, "dist_checkpoints") +
+                           "/last.qckpt";
+    }
+    core::Trainer trainer(problem, model, config);
+    trainer.fit();
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rank %lld: %s\n",
+                 static_cast<long long>(args.rank), e.what());
+    return 1;
+  }
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace qpinn;
+  using namespace qpinn::core;
+
+  const dist::WorkerArgs worker_args = dist::parse_worker_argv(argc, argv);
+  if (worker_args.is_worker) return worker_main(worker_args);
+
+  CliParser cli("dist_training",
+                "elastic multi-process data-parallel training");
+  cli.add_int("world", 2, "number of ranks (processes)");
+  cli.add_int("epochs", 200, "training epochs");
+  cli.add_int("seed", 3, "model / sampling seed");
+  cli.add_string("dir", "dist_checkpoints", "checkpoint directory");
+  cli.add_flag("degrade", "reshard onto the survivors instead of rejoining");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::printf("%s", cli.help_text().c_str());
+    return 0;
+  }
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  const std::int64_t world = cli.get_int("world");
+  const std::int64_t epochs = cli.get_int("epochs");
+  const std::int64_t seed = cli.get_int("seed");
+  const std::string dir = cli.get_string("dir");
+  const std::string endpoint =
+      "/tmp/qpinn_dist_" + std::to_string(::getpid()) + ".sock";
+
+  dist::LaunchConfig lc;
+  lc.world = world;
+  lc.endpoint = endpoint;
+  lc.extra_env = {std::string(kEnvEpochs) + "=" + std::to_string(epochs),
+                  std::string(kEnvSeed) + "=" + std::to_string(seed),
+                  std::string(kEnvDir) + "=" + dir};
+  dist::Launcher launcher(lc);
+  launcher.launch_all();
+
+  dist::DistConfig dc;
+  dc.rank = 0;
+  dc.world = world;
+  dc.endpoint = endpoint;
+  dc.policy = cli.get_flag("degrade") ? dist::FailurePolicy::kDegrade
+                                      : dist::FailurePolicy::kRejoin;
+  dc.restart_rank = [&launcher](std::int64_t lost) {
+    launcher.restart(lost, /*rejoin=*/true);
+  };
+  auto comm = dist::Communicator::create(dc);
+
+  auto problem = make_free_packet_problem();
+  auto model = make_model_for(*problem, static_cast<std::uint64_t>(seed));
+  TrainConfig config = job_config(epochs, seed);
+  config.log_every = std::max<std::int64_t>(1, epochs / 20);
+  CheckpointConfig checkpoint;
+  checkpoint.dir = dir;
+  checkpoint.every = 25;
+  config.checkpoint = checkpoint;
+  config.stop_flag = &g_stop;
+  config.dist = comm;
+
+  Trainer trainer(problem, model, config);
+  const TrainResult result = trainer.fit();
+  const std::int64_t straggling = launcher.wait_all(/*timeout_ms=*/30000);
+
+  std::printf(
+      "\n%lld ranks, epochs %lld..%lld in %.1fs\n"
+      "final loss        %.3e\n"
+      "relative L2 error %.4f\n"
+      "allreduces %lld  retransmits %lld  aborts %lld  recoveries %lld\n",
+      static_cast<long long>(comm->world()),
+      static_cast<long long>(result.start_epoch),
+      static_cast<long long>(result.start_epoch + result.epochs_run - 1),
+      result.seconds, result.final_loss, result.final_l2,
+      static_cast<long long>(comm->stats().allreduces),
+      static_cast<long long>(comm->stats().retransmits),
+      static_cast<long long>(comm->stats().aborts),
+      static_cast<long long>(comm->stats().recoveries));
+  if (result.rank_failures > 0) {
+    std::printf("survived %lld rank failure(s) via %s\n",
+                static_cast<long long>(result.rank_failures),
+                cli.get_flag("degrade") ? "graceful degrade"
+                                        : "elastic rejoin");
+  }
+  if (result.interrupted) {
+    std::printf("interrupted — all ranks stopped at the same epoch\n");
+  }
+  return straggling == 0 ? 0 : 1;
+}

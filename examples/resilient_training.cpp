@@ -33,7 +33,18 @@ namespace {
 // flag after every epoch (TrainConfig::stop_flag).
 std::atomic<bool> g_stop{false};
 
-void handle_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
+// First signal: request a cooperative stop (the epoch finishes and a final
+// checkpoint is written). Second signal: the user means it — restore the
+// default disposition and re-raise, so a wedged epoch cannot hold the
+// process hostage. Both steps are async-signal-safe.
+void handle_signal(int signum) {
+  if (g_stop.load(std::memory_order_relaxed)) {
+    std::signal(signum, SIG_DFL);
+    std::raise(signum);
+    return;
+  }
+  g_stop.store(true, std::memory_order_relaxed);
+}
 }  // namespace
 
 int main(int argc, char** argv) {

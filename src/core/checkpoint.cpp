@@ -1,5 +1,6 @@
 #include "core/checkpoint.hpp"
 
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <functional>
@@ -8,6 +9,7 @@
 
 #include "util/atomic_io.hpp"
 #include "util/binary_io.hpp"
+#include "util/crc32.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -23,6 +25,12 @@ constexpr char kSectionRng[] = "rng";
 constexpr char kSectionRecovery[] = "recovery";
 constexpr char kSectionColloc[] = "colloc";
 
+// Integrity trailer appended after the last section: a magic word and the
+// CRC-32 of every byte before the trailer. Readers treat the trailer as
+// optional so CRC-less files from older writers still load.
+constexpr std::uint32_t kCrcTrailerMagic = 0x43524351u;  // "QCRC"
+constexpr std::size_t kCrcTrailerBytes = 2 * sizeof(std::uint32_t);
+
 void write_section(std::ostream& out, const std::string& tag,
                    const std::string& payload) {
   write_string(out, tag);
@@ -33,14 +41,6 @@ std::string payload_of(const std::function<void(std::ostream&)>& writer) {
   std::ostringstream out(std::ios::binary);
   writer(out);
   return out.str();
-}
-
-std::uint64_t file_size(std::ifstream& in) {
-  const auto pos = in.tellg();
-  in.seekg(0, std::ios::end);
-  const auto end = in.tellg();
-  in.seekg(pos);
-  return end < 0 ? 0 : static_cast<std::uint64_t>(end);
 }
 
 }  // namespace
@@ -104,7 +104,9 @@ bool Checkpointer::save_with_retry(const std::string& path,
 void Checkpointer::save_state(const std::string& path,
                               const nn::NamedParams& params,
                               const TrainingState& state) {
-  write_file_atomic(path, [&](std::ostream& out) {
+  // Assemble the whole body in memory first so the trailing CRC-32 can
+  // cover it; checkpoints are small relative to training state in RAM.
+  const std::string body = payload_of([&](std::ostream& out) {
     nn::write_header(out);
     nn::write_param_block(out, params);
 
@@ -146,15 +148,44 @@ void Checkpointer::save_state(const std::string& path,
     for (const auto& [tag, payload] : sections) {
       write_section(out, tag, payload);
     }
+  });
+  write_file_atomic(path, [&](std::ostream& out) {
+    out.write(body.data(), static_cast<std::streamsize>(body.size()));
+    write_pod(out, kCrcTrailerMagic);
+    write_pod(out, crc32(body));
     if (!out) throw IoError("failed while writing checkpoint '" + path + "'");
   });
 }
 
 TrainingState Checkpointer::load_state(const std::string& path,
                                        const nn::NamedParams& params) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw IoError("cannot open checkpoint '" + path + "'");
-  const std::uint64_t size = file_size(in);
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw IoError("cannot open checkpoint '" + path + "'");
+  std::ostringstream raw(std::ios::binary);
+  raw << file.rdbuf();
+  std::string body = std::move(raw).str();
+
+  // Verify and strip the integrity trailer when present; files from
+  // writers that predate the trailer parse exactly as before.
+  if (body.size() >= kCrcTrailerBytes) {
+    std::uint32_t magic = 0;
+    std::memcpy(&magic, body.data() + body.size() - kCrcTrailerBytes,
+                sizeof(magic));
+    if (magic == kCrcTrailerMagic) {
+      std::uint32_t stored = 0;
+      std::memcpy(&stored, body.data() + body.size() - sizeof(stored),
+                  sizeof(stored));
+      body.resize(body.size() - kCrcTrailerBytes);
+      if (stored != crc32(body)) {
+        throw IoError("checkpoint '" + path +
+                      "' failed its CRC-32 integrity check (torn or "
+                      "corrupt file)");
+      }
+    }
+  }
+
+  std::istringstream in(body, std::ios::binary);
+  const std::uint64_t size = body.size();
 
   const std::uint32_t version = nn::read_header(in, path);
   if (version < nn::kCheckpointVersion) {

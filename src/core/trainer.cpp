@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <filesystem>
+#include <sstream>
 
 #include "autodiff/grad.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tensor/kernels.hpp"
+#include "util/binary_io.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
 #include "util/invariant.hpp"
@@ -57,6 +60,12 @@ void TrainConfig::validate() const {
   if (curriculum) curriculum->validate();
   if (recovery) recovery->validate();
   if (checkpoint) checkpoint->validate();
+  if (dist && dist->world() > 1 && threads > 1) {
+    throw ConfigError(
+        "TrainConfig: dist training shards the interior across ranks; "
+        "combine it with threads = 1 (per-rank thread sharding would "
+        "change the reduction partition)");
+  }
 }
 
 const EpochRecord& TrainResult::at_epoch(std::int64_t epoch) const {
@@ -101,6 +110,12 @@ Trainer::Trainer(std::shared_ptr<Problem> problem,
   graph_enabled_ =
       config_.graph == GraphMode::kOn ||
       (config_.graph == GraphMode::kEnv && plan::graph_env_enabled());
+  if (config_.dist && config_.dist->world() > 1) {
+    // Dist mode forces eager execution: a captured plan pins one epoch's
+    // sharding, but rank failure (degrade/rejoin) can reshape the step
+    // mid-run. Composing graph replay with dist is a tracked follow-up.
+    graph_enabled_ = false;
+  }
 }
 
 Variable Trainer::shard_loss(
@@ -222,6 +237,89 @@ Trainer::LossAndGrads Trainer::compute_parallel(std::int64_t epoch) {
     }
   }
   result.pde = result.total - outputs[0].aux_weighted_sum;
+  return result;
+}
+
+Trainer::LossAndGrads Trainer::compute_dist(std::int64_t epoch) {
+  dist::Communicator& comm = *config_.dist;
+  const std::int64_t rank = comm.rank();
+  const std::int64_t total_rows = points_.interior.rows();
+  const std::int64_t shards = std::min(comm.world(), total_rows);
+
+  Tensor weights;
+  if (config_.curriculum) {
+    weights = per_point_weights(*config_.curriculum, problem_->domain(),
+                                points_.interior, epoch);
+  }
+
+  // One contiguous shard per rank, with the same base + extra arithmetic
+  // as compute_parallel — this is what makes an N-rank step bit-identical
+  // to a single-process step with threads = N.
+  const std::int64_t base = total_rows / shards;
+  const std::int64_t extra = total_rows % shards;
+  std::int64_t r0 = 0;
+  std::int64_t r1 = 0;
+  if (rank < shards) {
+    r0 = rank * base + std::min(rank, extra);
+    r1 = r0 + base + (rank < extra ? 1 : 0);
+  }
+
+  LossAndGrads local;
+  double aux_weighted_sum = 0.0;
+  if (r1 > r0) {
+    const Tensor shard_points = kernels::slice_rows(points_.interior, r0, r1);
+    Tensor shard_weights;
+    if (weights.rank() == 2) {
+      shard_weights = kernels::slice_rows(weights, r0, r1);
+    }
+    const Variable loss = shard_loss(
+        shard_points, shard_weights, total_rows,
+        /*include_aux=*/rank == 0, rank == 0 ? &local.aux : nullptr,
+        rank == 0 ? &aux_weighted_sum : nullptr);
+    local.total = loss.item();
+    const std::vector<Variable> grads = grad(loss, params_);
+    local.grads.reserve(grads.size());
+    for (const Variable& g : grads) local.grads.push_back(g.value());
+  } else {
+    // More ranks than interior rows: contribute exact zeros.
+    local.grads.reserve(params_.size());
+    for (const Variable& p : params_) {
+      local.grads.push_back(Tensor::zeros(p.value().shape()));
+    }
+  }
+
+  // Reduction buffer: [loss, weighted aux sum, stop flag, grads...]. The
+  // stop flag rides the same all-reduce so every rank observes the same
+  // sum and stops at the same epoch.
+  std::size_t numel = 0;
+  for (const Tensor& g : local.grads) {
+    numel += static_cast<std::size_t>(g.numel());
+  }
+  std::vector<double> buffer;
+  buffer.reserve(3 + numel);
+  buffer.push_back(local.total);
+  buffer.push_back(aux_weighted_sum);
+  buffer.push_back(stop_requested() ? 1.0 : 0.0);
+  for (const Tensor& g : local.grads) {
+    buffer.insert(buffer.end(), g.data(), g.data() + g.numel());
+  }
+
+  comm.allreduce(buffer, epoch);
+
+  LossAndGrads result;
+  result.aux = std::move(local.aux);  // named aux values live on rank 0
+  result.total = buffer[0];
+  result.pde = buffer[0] - buffer[1];
+  dist_stop_sum_ = buffer[2];
+  result.grads = std::move(local.grads);
+  std::size_t offset = 3;
+  for (Tensor& g : result.grads) {
+    const std::size_t count = static_cast<std::size_t>(g.numel());
+    std::copy(buffer.begin() + static_cast<std::ptrdiff_t>(offset),
+              buffer.begin() + static_cast<std::ptrdiff_t>(offset + count),
+              g.data());
+    offset += count;
+  }
   return result;
 }
 
@@ -413,6 +511,7 @@ Trainer::LossAndGrads Trainer::replay_parallel(std::int64_t epoch) {
 }
 
 Trainer::LossAndGrads Trainer::compute(std::int64_t epoch) {
+  if (config_.dist && config_.dist->world() > 1) return compute_dist(epoch);
   if (!graph_enabled_) {
     return (config_.threads > 1) ? compute_parallel(epoch)
                                  : compute_serial(epoch);
@@ -445,6 +544,9 @@ Trainer::LossAndGrads Trainer::compute(std::int64_t epoch) {
 }
 
 EpochRecord Trainer::step(std::int64_t epoch) {
+  if (config_.dist) {
+    dist::maybe_fault_kill(config_.dist->rank(), epoch);
+  }
   const double lr = lr_scale_ * schedule_->lr_at(epoch, config_.adam.lr);
   optimizer_->set_lr(lr);
 
@@ -563,23 +665,83 @@ void Trainer::restore_state(const TrainingState& state) {
   }
 }
 
+std::string Trainer::make_dist_sync(std::int64_t epoch) const {
+  std::ostringstream out(std::ios::binary);
+  write_pod(out, epoch);
+  write_pod(out, lr_scale_);
+  write_pod(out, recoveries_);
+  write_pod(out, best_loss_);
+  const RngState rng = resample_rng_.state();
+  for (int i = 0; i < 4; ++i) write_pod(out, rng.s[i]);
+  write_pod(out, std::uint8_t{rng.has_cached_normal});
+  write_pod(out, rng.cached_normal);
+  return std::move(out).str();
+}
+
+std::int64_t Trainer::apply_dist_sync(const std::string& payload) {
+  std::istringstream in(payload, std::ios::binary);
+  const auto epoch = read_pod<std::int64_t>(in, "dist sync epoch");
+  lr_scale_ = read_pod<double>(in, "dist sync lr scale");
+  recoveries_ = read_pod<std::int64_t>(in, "dist sync recoveries");
+  best_loss_ = read_pod<double>(in, "dist sync best loss");
+  RngState rng;
+  for (int i = 0; i < 4; ++i) {
+    rng.s[i] = read_pod<std::uint64_t>(in, "dist sync rng");
+  }
+  rng.has_cached_normal = read_pod<std::uint8_t>(in, "dist sync rng flag") != 0;
+  rng.cached_normal = read_pod<double>(in, "dist sync rng cache");
+  resample_rng_.set_state(rng);
+  return epoch;
+}
+
 TrainResult Trainer::fit() {
   Stopwatch watch;
   TrainResult result;
+  const auto dist_active = [&]() {
+    return config_.dist && config_.dist->world() > 1;
+  };
 
   std::int64_t start_epoch = 0;
   if (!config_.resume_from.empty()) {
-    const TrainingState state = Checkpointer::load_state(
-        config_.resume_from, model_->named_parameters());
+    TrainingState state;
+    try {
+      state = Checkpointer::load_state(config_.resume_from,
+                                       model_->named_parameters());
+    } catch (const IoError& primary) {
+      // A torn last.qckpt must not kill the run when an intact best
+      // checkpoint sits next to it.
+      const std::filesystem::path requested(config_.resume_from);
+      if (requested.filename() != "last.qckpt") throw;
+      const std::string fallback =
+          (requested.parent_path() / "best.qckpt").string();
+      if (!std::filesystem::exists(fallback)) throw;
+      log::warn() << problem_->name() << " cannot resume from '"
+                  << config_.resume_from << "' (" << primary.what()
+                  << "); falling back to '" << fallback << "'";
+      state = Checkpointer::load_state(fallback, model_->named_parameters());
+    }
     restore_state(state);
     start_epoch = state.epoch + 1;
     log::info() << problem_->name() << " resuming from '"
                 << config_.resume_from << "' at epoch " << start_epoch;
+    if (config_.dist && config_.dist->rejoined()) {
+      // The root's kSync state is authoritative; the checkpoint this rank
+      // loaded must describe the same point in the run.
+      const std::int64_t sync_epoch =
+          apply_dist_sync(config_.dist->sync_payload());
+      if (sync_epoch != state.epoch) {
+        throw ConfigError(
+            "rejoin checkpoint is at epoch " + std::to_string(state.epoch) +
+            " but the root expected epoch " + std::to_string(sync_epoch));
+      }
+    }
   }
   result.start_epoch = start_epoch;
 
   std::unique_ptr<Checkpointer> checkpointer;
-  if (config_.checkpoint) {
+  if (config_.checkpoint && !(config_.dist && config_.dist->rank() != 0)) {
+    // In dist mode only rank 0 owns the checkpoint files; a worker
+    // writing the same paths would race the rotation.
     checkpointer = std::make_unique<Checkpointer>(*config_.checkpoint);
   }
   const auto last_completed = [&]() {
@@ -598,6 +760,19 @@ TrainResult Trainer::fit() {
           0, config_.epochs - start_epoch)));
   std::int64_t epoch = start_epoch;
   while (epoch < config_.epochs) {
+    // In dist mode the only state a resample mutates before the reduction
+    // is the RNG and the interior set; capturing them makes an aborted
+    // epoch exactly replayable after recovery.
+    RngState dist_pre_rng;
+    Tensor dist_pre_interior;
+    const bool dist_may_resample =
+        dist_active() && config_.resample_every > 0 && epoch > 0 &&
+        epoch % config_.resample_every == 0;
+    if (dist_may_resample) {
+      dist_pre_rng = resample_rng_.state();
+      dist_pre_interior = points_.interior.clone();
+    }
+
     EpochRecord record;
     std::string failure;
     try {
@@ -605,6 +780,30 @@ TrainResult Trainer::fit() {
     } catch (const NumericsError& e) {
       if (!recovery) throw;
       failure = e.what();
+    } catch (const dist::PeerLostError& e) {
+      // A rank died mid-epoch: the reduction never completed, so no
+      // optimizer step ran anywhere. Roll the epoch's resample back,
+      // checkpoint the consistent pre-epoch state (rank 0), run the
+      // recovery state machine, and retry the epoch.
+      if (dist_may_resample) {
+        resample_rng_.set_state(dist_pre_rng);
+        points_.interior = dist_pre_interior.clone();
+      }
+      ++result.rank_failures;
+      if (result.rank_failures > 8) throw;  // runaway failure loop
+      log::warn() << problem_->name() << " lost rank " << e.rank()
+                  << " at epoch " << epoch << " (failure "
+                  << result.rank_failures << "); recovering via "
+                  << (config_.dist->policy() ==
+                              dist::FailurePolicy::kRejoin
+                          ? "elastic rejoin"
+                          : "graceful degrade");
+      if (checkpointer) {
+        checkpointer->save_last(model_->named_parameters(),
+                                make_state(epoch - 1));
+      }
+      config_.dist->recover(make_dist_sync(epoch - 1));
+      continue;
     }
     if (failure.empty() && recovery && recovery->explosion_factor > 0.0 &&
         !window.empty()) {
@@ -685,7 +884,12 @@ TrainResult Trainer::fit() {
     }
 
     ++epoch;
-    if (stop_requested()) {
+    // Dist ranks stop on the all-reduced flag sum so every rank leaves
+    // the loop at the same epoch (a local flag alone would desynchronize
+    // the reduction).
+    const bool stop_now =
+        dist_active() ? dist_stop_sum_ > 0.0 : stop_requested();
+    if (stop_now) {
       result.interrupted = epoch < config_.epochs;
       break;
     }
@@ -696,6 +900,7 @@ TrainResult Trainer::fit() {
     checkpointer->save_last(model_->named_parameters(),
                             make_state(last_completed()));
   }
+  if (config_.dist) config_.dist->shutdown();
 
   result.recoveries = static_cast<std::int64_t>(result.recovery_events.size());
   result.epochs_run = static_cast<std::int64_t>(result.history.size());

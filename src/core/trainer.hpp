@@ -26,6 +26,7 @@
 #include "core/curriculum.hpp"
 #include "core/metrics.hpp"
 #include "core/problem.hpp"
+#include "dist/communicator.hpp"
 #include "optim/adam.hpp"
 #include "optim/scheduler.hpp"
 #include "tensor/simd.hpp"
@@ -102,6 +103,16 @@ struct TrainConfig {
   /// and replay it afterwards (autodiff/plan.hpp). Replay is bit-identical
   /// to eager execution, so this is purely a performance choice.
   GraphMode graph = GraphMode::kEnv;
+  /// Multi-process data-parallel training (dist/communicator.hpp): each
+  /// rank computes one contiguous interior shard — the same partition
+  /// arithmetic as `threads` sharding — and gradients are all-reduced in
+  /// rank order, so an N-rank run is bit-identical to a single-process
+  /// run with threads = N. Dist mode forces eager execution (a captured
+  /// plan would pin a sharding that rank failure can reshape mid-run) and
+  /// is mutually exclusive with threads > 1. Only rank 0 writes
+  /// checkpoints; `resume_from` plus Communicator::rejoined() drives the
+  /// elastic-rejoin path. Null: single-process training.
+  std::shared_ptr<dist::Communicator> dist;
 
   void validate() const;
 };
@@ -131,6 +142,9 @@ struct TrainResult {
   bool diverged = false;
   /// Stopped cooperatively before the configured epoch count.
   bool interrupted = false;
+  /// Rank losses survived via the distributed recovery state machine
+  /// (checkpoint + rejoin/degrade + epoch retry).
+  std::int64_t rank_failures = 0;
 
   /// First epoch record at-or-after `epoch` (for convergence plots).
   const EpochRecord& at_epoch(std::int64_t epoch) const;
@@ -183,6 +197,7 @@ class Trainer {
   LossAndGrads compute(std::int64_t epoch);
   LossAndGrads compute_serial(std::int64_t epoch);
   LossAndGrads compute_parallel(std::int64_t epoch);
+  LossAndGrads compute_dist(std::int64_t epoch);
 
   /// An auxiliary loss term pinned by a captured plan: replay recomputes
   /// `value` in place, and the host loop re-reads it per epoch.
@@ -252,6 +267,13 @@ class Trainer {
   TrainingState make_state(std::int64_t epoch) const;
   void restore_state(const TrainingState& state);
 
+  /// Opaque trainer state a rejoining rank receives over the transport
+  /// (kSync): last completed epoch, LR scale, recoveries, best loss, and
+  /// the resample RNG. apply returns the payload's epoch so fit() can
+  /// verify it against the rejoiner's checkpoint.
+  std::string make_dist_sync(std::int64_t epoch) const;
+  std::int64_t apply_dist_sync(const std::string& payload);
+
   std::shared_ptr<Problem> problem_;
   std::shared_ptr<FieldModel> model_;
   TrainConfig config_;
@@ -268,6 +290,10 @@ class Trainer {
   std::int64_t recoveries_ = 0;
   double best_loss_ = std::numeric_limits<double>::infinity();
   std::atomic<bool> stop_requested_{false};
+  /// All-reduced sum of the ranks' stop flags from the latest dist step,
+  /// so every rank stops at the same epoch (synchronized cooperative
+  /// stop).
+  double dist_stop_sum_ = 0.0;
 };
 
 }  // namespace qpinn::core

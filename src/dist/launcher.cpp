@@ -1,0 +1,203 @@
+#include "dist/launcher.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <string_view>
+#include <thread>
+
+#include "dist/transport.hpp"
+#include "util/error.hpp"
+
+extern char** environ;
+
+namespace qpinn::dist {
+
+namespace {
+
+std::int64_t parse_int_flag(const char* value, const char* flag) {
+  try {
+    return std::stoll(value);
+  } catch (const std::exception&) {
+    throw ConfigError(std::string("bad value for ") + flag + ": " + value);
+  }
+}
+
+std::string_view key_of(std::string_view entry) {
+  return entry.substr(0, entry.find('='));
+}
+
+/// Builds the child environment: the parent's, minus keys overridden by
+/// `overrides` ("KEY=VALUE" entries, later wins). Duplicate override keys
+/// are collapsed to the last occurrence — getenv returns the *first*
+/// match, so leaving both would silently resurrect the earlier value.
+std::vector<std::string> build_env(const std::vector<std::string>& overrides) {
+  std::vector<std::string> effective;
+  for (const std::string& override_entry : overrides) {
+    const std::string_view key = key_of(override_entry);
+    bool replaced = false;
+    for (std::string& existing : effective) {
+      if (key_of(existing) == key) {
+        existing = override_entry;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) effective.push_back(override_entry);
+  }
+
+  std::vector<std::string> env;
+  for (char** entry = environ; *entry != nullptr; ++entry) {
+    const std::string_view var(*entry);
+    const std::string_view key = key_of(var);
+    bool overridden = false;
+    for (const std::string& override_entry : effective) {
+      if (key_of(override_entry) == key) {
+        overridden = true;
+        break;
+      }
+    }
+    if (!overridden) env.emplace_back(var);
+  }
+  env.insert(env.end(), effective.begin(), effective.end());
+  return env;
+}
+
+}  // namespace
+
+WorkerArgs parse_worker_argv(int argc, const char* const* argv) {
+  WorkerArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    const bool has_value = i + 1 < argc;
+    if (arg == "--qpinn-dist-worker") {
+      args.is_worker = true;
+    } else if (arg == "--qpinn-dist-rejoin") {
+      args.rejoin = true;
+    } else if (arg == "--qpinn-dist-rank" && has_value) {
+      args.rank = parse_int_flag(argv[++i], "--qpinn-dist-rank");
+    } else if (arg == "--qpinn-dist-world" && has_value) {
+      args.world = parse_int_flag(argv[++i], "--qpinn-dist-world");
+    } else if (arg == "--qpinn-dist-endpoint" && has_value) {
+      args.endpoint = argv[++i];
+    }
+  }
+  return args;
+}
+
+Launcher::Launcher(LaunchConfig config) : config_(std::move(config)) {
+  if (config_.world < 1) throw ConfigError("launcher world must be >= 1");
+  if (config_.endpoint.empty()) {
+    throw ConfigError("launcher endpoint must be non-empty");
+  }
+}
+
+Launcher::~Launcher() { kill_all(); }
+
+void Launcher::launch_all() {
+  for (std::int64_t rank = 1; rank < config_.world; ++rank) {
+    spawn(rank, /*rejoin=*/false);
+  }
+}
+
+void Launcher::restart(std::int64_t rank, bool rejoin) {
+  const auto it = children_.find(rank);
+  if (it != children_.end()) {
+    // The child is expected dead; reap it (blocking: a zombie reaps
+    // immediately, and if it is somehow alive we must not fork a second
+    // copy of the rank).
+    int status = 0;
+    ::waitpid(it->second, &status, 0);
+    children_.erase(it);
+  }
+  spawn(rank, rejoin);
+}
+
+void Launcher::spawn(std::int64_t rank, bool rejoin) {
+  std::vector<std::string> argv_store;
+  argv_store.emplace_back("/proc/self/exe");
+  argv_store.emplace_back("--qpinn-dist-worker");
+  argv_store.emplace_back("--qpinn-dist-rank");
+  argv_store.emplace_back(std::to_string(rank));
+  argv_store.emplace_back("--qpinn-dist-world");
+  argv_store.emplace_back(std::to_string(config_.world));
+  argv_store.emplace_back("--qpinn-dist-endpoint");
+  argv_store.emplace_back(config_.endpoint);
+  if (rejoin) argv_store.emplace_back("--qpinn-dist-rejoin");
+  argv_store.insert(argv_store.end(), config_.extra_args.begin(),
+                    config_.extra_args.end());
+
+  std::vector<std::string> env_overrides = config_.extra_env;
+  if (rejoin) {
+    // The injected rank-kill already fired in the child being replaced;
+    // disarm it so the replacement survives.
+    env_overrides.emplace_back("QPINN_FAULT_KILL_RANK=-1");
+  }
+  std::vector<std::string> env_store = build_env(env_overrides);
+
+  std::vector<char*> argv;
+  argv.reserve(argv_store.size() + 1);
+  for (std::string& arg : argv_store) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+  std::vector<char*> envp;
+  envp.reserve(env_store.size() + 1);
+  for (std::string& entry : env_store) envp.push_back(entry.data());
+  envp.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw Error(std::string("fork failed: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    ::execve(argv[0], argv.data(), envp.data());
+    // Reached only when exec fails; die loudly without running atexit
+    // handlers that belong to the parent image.
+    ::_exit(127);
+  }
+  children_[rank] = pid;
+}
+
+std::int64_t Launcher::wait_all(std::int64_t timeout_ms) {
+  const std::int64_t deadline = steady_now_ms() + timeout_ms;
+  std::int64_t failures = 0;
+  while (!children_.empty()) {
+    bool reaped = false;
+    for (auto it = children_.begin(); it != children_.end();) {
+      int status = 0;
+      const pid_t done = ::waitpid(it->second, &status, WNOHANG);
+      if (done == it->second) {
+        const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+        if (!clean) ++failures;
+        it = children_.erase(it);
+        reaped = true;
+      } else {
+        ++it;
+      }
+    }
+    if (children_.empty()) break;
+    if (steady_now_ms() >= deadline) {
+      failures += static_cast<std::int64_t>(children_.size());
+      kill_all();
+      break;
+    }
+    if (!reaped) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  return failures;
+}
+
+void Launcher::kill_all() {
+  for (auto& [rank, pid] : children_) {
+    (void)rank;
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+  children_.clear();
+}
+
+}  // namespace qpinn::dist

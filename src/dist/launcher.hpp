@@ -1,0 +1,85 @@
+// Elastic process launcher for multi-rank jobs.
+//
+// Rank 0 runs in the launching process itself; ranks 1..world-1 are
+// fork+exec'd re-invocations of the same binary (/proc/self/exe) carrying
+// their coordinates in argv:
+//   --qpinn-dist-worker --qpinn-dist-rank R --qpinn-dist-world N
+//   --qpinn-dist-endpoint PATH [--qpinn-dist-rejoin]
+// A worker binary calls parse_worker_argv() first thing in main() and, if
+// is_worker is set, runs the worker entry point instead of its normal
+// flow. fork alone would not do — the thread pool and any background
+// state do not survive a fork — so children always exec a fresh image.
+//
+// Elasticity: restart(rank) reaps the dead child and forks a replacement
+// with --qpinn-dist-rejoin; the replacement's environment also pins
+// QPINN_FAULT_KILL_RANK=-1 so an injected rank-kill fires exactly once
+// per run instead of re-killing every replacement. Wire restart() into
+// DistConfig::restart_rank and the root's recovery loop becomes elastic.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qpinn::dist {
+
+/// How to spawn the worker ranks.
+struct LaunchConfig {
+  std::int64_t world = 2;
+  std::string endpoint;
+  /// Extra argv entries appended to every worker command line.
+  std::vector<std::string> extra_args;
+  /// "KEY=VALUE" environment overrides applied to every worker.
+  std::vector<std::string> extra_env;
+};
+
+/// Worker coordinates recovered from argv by a re-exec'd child.
+struct WorkerArgs {
+  bool is_worker = false;
+  bool rejoin = false;
+  std::int64_t rank = 0;
+  std::int64_t world = 1;
+  std::string endpoint;
+};
+
+/// Scans argv for the --qpinn-dist-* flags; is_worker stays false when
+/// none are present (the normal, non-worker invocation).
+WorkerArgs parse_worker_argv(int argc, const char* const* argv);
+
+class Launcher {
+ public:
+  explicit Launcher(LaunchConfig config);
+  /// Reaps (SIGKILL) any children still running.
+  ~Launcher();
+  Launcher(const Launcher&) = delete;
+  Launcher& operator=(const Launcher&) = delete;
+
+  /// Forks ranks 1..world-1.
+  void launch_all();
+
+  /// Reaps the previous child for `rank` if any, then forks a
+  /// replacement; `rejoin` adds --qpinn-dist-rejoin and the kill-fault
+  /// override described above.
+  void restart(std::int64_t rank, bool rejoin = true);
+
+  /// Blocks until every child exits or `timeout_ms` elapses. Returns the
+  /// number of children that exited with a nonzero status (a timeout
+  /// counts each straggler, which is then SIGKILLed).
+  std::int64_t wait_all(std::int64_t timeout_ms);
+
+  /// SIGKILLs and reaps every remaining child (test cleanup).
+  void kill_all();
+
+  const std::map<std::int64_t, pid_t>& children() const { return children_; }
+
+ private:
+  void spawn(std::int64_t rank, bool rejoin);
+
+  LaunchConfig config_;
+  std::map<std::int64_t, pid_t> children_;
+};
+
+}  // namespace qpinn::dist

@@ -1,0 +1,369 @@
+#include "dist/transport.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "util/crc32.hpp"
+#include "util/env.hpp"
+#include "util/fault.hpp"
+
+namespace qpinn::dist {
+
+namespace {
+
+constexpr std::uint32_t kFrameMagic = 0x51444631u;  // "QDF1"
+constexpr std::uint64_t kMaxPayload = std::uint64_t{1} << 30;
+constexpr std::size_t kHeaderBytes = 32;
+
+std::int64_t now_ms() { return steady_now_ms(); }
+
+void append_pod(std::string& out, const void* data, std::size_t len) {
+  out.append(static_cast<const char*>(data), len);
+}
+
+template <typename T>
+T read_pod_at(const unsigned char* buf) {
+  T value;
+  std::memcpy(&value, buf, sizeof(T));
+  return value;
+}
+
+/// Writes the whole buffer, retrying on short writes and EINTR.
+/// MSG_NOSIGNAL turns a dead peer into EPIPE instead of SIGPIPE.
+void send_all(Socket& socket, const void* data, std::size_t len,
+              std::int64_t peer_rank) {
+  const char* cursor = static_cast<const char*>(data);
+  std::size_t remaining = len;
+  while (remaining > 0) {
+    const ssize_t sent =
+        ::send(socket.fd(), cursor, remaining, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) {
+        throw PeerLostError(peer_rank, "send: peer hung up");
+      }
+      throw TransportError("send", peer_rank, 1,
+                           std::string("send failed: ") +
+                               std::strerror(errno));
+    }
+    cursor += sent;
+    remaining -= static_cast<std::size_t>(sent);
+  }
+}
+
+/// Reads exactly `len` bytes before `deadline` (absolute, now_ms clock).
+/// Returns false on timeout with zero bytes consumed so far; once any byte
+/// of the frame has been read, a timeout mid-frame is a hard error.
+bool recv_exact(Socket& socket, void* data, std::size_t len,
+                std::int64_t deadline, std::int64_t peer_rank,
+                bool started) {
+  char* cursor = static_cast<char*>(data);
+  std::size_t remaining = len;
+  while (remaining > 0) {
+    const std::int64_t budget = deadline - now_ms();
+    if (budget <= 0) {
+      if (!started && remaining == len) return false;
+      throw TransportError("recv", peer_rank, 1,
+                           "frame truncated by receive deadline");
+    }
+    struct pollfd pfd {};
+    pfd.fd = socket.fd();
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, static_cast<int>(budget));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw TransportError("recv", peer_rank, 1,
+                           std::string("poll failed: ") +
+                               std::strerror(errno));
+    }
+    if (ready == 0) continue;  // re-check deadline at loop head
+    const ssize_t got = ::recv(socket.fd(), cursor, remaining, 0);
+    if (got < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      if (errno == ECONNRESET) {
+        throw PeerLostError(peer_rank, "recv: connection reset");
+      }
+      throw TransportError("recv", peer_rank, 1,
+                           std::string("recv failed: ") +
+                               std::strerror(errno));
+    }
+    if (got == 0) throw PeerLostError(peer_rank, "recv: peer closed stream");
+    cursor += got;
+    remaining -= static_cast<std::size_t>(got);
+    started = true;
+  }
+  return true;
+}
+
+sockaddr_un make_address(const std::string& endpoint) {
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  if (endpoint.size() >= sizeof(address.sun_path)) {
+    throw ConfigError("dist endpoint path too long: " + endpoint);
+  }
+  std::memcpy(address.sun_path, endpoint.c_str(), endpoint.size() + 1);
+  return address;
+}
+
+}  // namespace
+
+std::int64_t steady_now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+TransportOptions TransportOptions::from_env() {
+  TransportOptions opts;
+  opts.message_timeout_ms =
+      env_int("QPINN_DIST_MESSAGE_TIMEOUT_MS", opts.message_timeout_ms);
+  opts.heartbeat_timeout_ms =
+      env_int("QPINN_DIST_HEARTBEAT_TIMEOUT_MS", opts.heartbeat_timeout_ms);
+  opts.max_retries = env_int("QPINN_DIST_MAX_RETRIES", opts.max_retries);
+  opts.backoff_initial_ms =
+      env_int("QPINN_DIST_BACKOFF_MS", opts.backoff_initial_ms);
+  opts.rejoin_timeout_ms =
+      env_int("QPINN_DIST_REJOIN_TIMEOUT_MS", opts.rejoin_timeout_ms);
+  return opts;
+}
+
+TransportError::TransportError(const std::string& op, std::int64_t rank,
+                               std::int64_t attempts,
+                               const std::string& detail)
+    : Error("TransportError: op=" + op + " rank=" + std::to_string(rank) +
+            " attempts=" + std::to_string(attempts) + ": " + detail),
+      op_(op),
+      rank_(rank),
+      attempts_(attempts) {}
+
+PeerLostError::PeerLostError(std::int64_t rank, const std::string& detail)
+    : Error("PeerLostError: rank=" + std::to_string(rank) +
+            (detail.empty() ? "" : ": " + detail)),
+      rank_(rank) {}
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::make_pair(Socket& a, Socket& b) {
+  int fds[2] = {-1, -1};
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    throw TransportError("socketpair", -1, 1, std::strerror(errno));
+  }
+  a = Socket(fds[0]);
+  b = Socket(fds[1]);
+}
+
+Listener::Listener(const std::string& endpoint) : endpoint_(endpoint) {
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw TransportError("listen", -1, 1,
+                         std::string("socket failed: ") +
+                             std::strerror(errno));
+  }
+  const sockaddr_un address = make_address(endpoint_);
+  ::unlink(endpoint_.c_str());  // remove a stale socket file from a crash
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw TransportError("listen", -1, 1,
+                         "bind(" + endpoint_ + ") failed: " + detail);
+  }
+  if (::listen(fd_, SOMAXCONN) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw TransportError("listen", -1, 1, "listen failed: " + detail);
+  }
+}
+
+Listener::~Listener() {
+  if (fd_ >= 0) ::close(fd_);
+  if (!endpoint_.empty()) ::unlink(endpoint_.c_str());
+}
+
+std::optional<Socket> Listener::accept_peer(std::int64_t timeout_ms) {
+  const std::int64_t deadline = now_ms() + timeout_ms;
+  while (true) {
+    const std::int64_t budget = deadline - now_ms();
+    if (budget <= 0) return std::nullopt;
+    struct pollfd pfd {};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, static_cast<int>(budget));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw TransportError("accept", -1, 1,
+                           std::string("poll failed: ") +
+                               std::strerror(errno));
+    }
+    if (ready == 0) continue;
+    const int peer = ::accept(fd_, nullptr, nullptr);
+    if (peer < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+          errno == ECONNABORTED) {
+        continue;
+      }
+      throw TransportError("accept", -1, 1,
+                           std::string("accept failed: ") +
+                               std::strerror(errno));
+    }
+    return Socket(peer);
+  }
+}
+
+Socket connect_peer(const std::string& endpoint, const TransportOptions& opts,
+                    std::int64_t self_rank) {
+  const sockaddr_un address = make_address(endpoint);
+  std::int64_t backoff = opts.backoff_initial_ms;
+  const std::int64_t attempts_allowed = opts.max_retries + 1;
+  std::string last_error = "no attempt made";
+  for (std::int64_t attempt = 0; attempt < attempts_allowed; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      backoff = std::min(backoff * 2, opts.backoff_max_ms);
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      last_error = std::string("socket failed: ") + std::strerror(errno);
+      continue;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                  sizeof(address)) == 0) {
+      return Socket(fd);
+    }
+    last_error = std::strerror(errno);
+    ::close(fd);
+  }
+  throw TransportError("connect", self_rank, attempts_allowed,
+                       "connect(" + endpoint + ") failed: " + last_error);
+}
+
+void send_frame(Socket& socket, const Frame& frame, std::int64_t self_rank) {
+  auto& injector = FaultInjector::instance();
+  if (injector.rank_in_scope(self_rank)) {
+    const std::int64_t delay = injector.delay_ms();
+    if (delay > 0 && injector.should_fire(kFaultDistDelay)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+    if (injector.should_fire(kFaultDistDropMsg)) return;
+  }
+
+  std::string wire;
+  wire.reserve(kHeaderBytes + frame.payload.size() + sizeof(std::uint32_t));
+  const auto type = static_cast<std::uint32_t>(frame.type);
+  const auto payload_len = static_cast<std::uint64_t>(frame.payload.size());
+  append_pod(wire, &kFrameMagic, sizeof(kFrameMagic));
+  append_pod(wire, &type, sizeof(type));
+  append_pod(wire, &frame.epoch, sizeof(frame.epoch));
+  append_pod(wire, &frame.rank, sizeof(frame.rank));
+  append_pod(wire, &payload_len, sizeof(payload_len));
+  wire += frame.payload;
+  const std::uint32_t checksum = crc32(frame.payload);
+  append_pod(wire, &checksum, sizeof(checksum));
+  send_all(socket, wire.data(), wire.size(), frame.rank);
+}
+
+std::optional<Frame> recv_frame(Socket& socket, std::int64_t timeout_ms,
+                                std::int64_t peer_rank) {
+  const std::int64_t deadline = now_ms() + timeout_ms;
+  unsigned char header[kHeaderBytes];
+  if (!recv_exact(socket, header, sizeof(header), deadline, peer_rank,
+                  /*started=*/false)) {
+    return std::nullopt;
+  }
+  const auto magic = read_pod_at<std::uint32_t>(header);
+  if (magic != kFrameMagic) {
+    throw TransportError("recv", peer_rank, 1, "bad frame magic");
+  }
+  Frame frame;
+  frame.type = static_cast<MsgType>(read_pod_at<std::uint32_t>(header + 4));
+  frame.epoch = read_pod_at<std::int64_t>(header + 8);
+  frame.rank = read_pod_at<std::int64_t>(header + 16);
+  const auto payload_len = read_pod_at<std::uint64_t>(header + 24);
+  if (payload_len > kMaxPayload) {
+    throw TransportError("recv", peer_rank, 1, "oversized frame payload");
+  }
+  frame.payload.resize(static_cast<std::size_t>(payload_len));
+  if (payload_len > 0) {
+    recv_exact(socket, frame.payload.data(),
+               static_cast<std::size_t>(payload_len), deadline, peer_rank,
+               /*started=*/true);
+  }
+  std::uint32_t checksum = 0;
+  recv_exact(socket, &checksum, sizeof(checksum), deadline, peer_rank,
+             /*started=*/true);
+  if (checksum != crc32(frame.payload)) {
+    throw TransportError("recv", peer_rank, 1, "frame CRC mismatch");
+  }
+  return frame;
+}
+
+std::vector<std::size_t> wait_any_readable(
+    const std::vector<const Socket*>& sockets, std::int64_t timeout_ms) {
+  std::vector<struct pollfd> pfds(sockets.size());
+  for (std::size_t i = 0; i < sockets.size(); ++i) {
+    pfds[i].fd = sockets[i]->fd();
+    pfds[i].events = POLLIN;
+  }
+  std::vector<std::size_t> ready;
+  while (true) {
+    const int count = ::poll(pfds.data(), pfds.size(),
+                             static_cast<int>(timeout_ms));
+    if (count < 0) {
+      if (errno == EINTR) continue;
+      return ready;
+    }
+    if (count == 0) return ready;
+    for (std::size_t i = 0; i < pfds.size(); ++i) {
+      if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        ready.push_back(i);
+      }
+    }
+    return ready;
+  }
+}
+
+bool wait_readable(const Socket& socket, std::int64_t timeout_ms) {
+  struct pollfd pfd {};
+  pfd.fd = socket.fd();
+  pfd.events = POLLIN;
+  while (true) {
+    const int ready = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    return ready > 0;
+  }
+}
+
+}  // namespace qpinn::dist

@@ -1,0 +1,25 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Used as an end-to-end integrity check on checkpoint files (trailing
+// checksum over the whole body, see core/checkpoint.cpp) and on every
+// transport frame payload (src/dist/transport.cpp), so a torn write or a
+// corrupted message fails loudly with IoError/TransportError instead of
+// deserializing garbage. Table-driven, byte-at-a-time: integrity checking
+// is off every hot loop, so simplicity wins over slicing tricks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace qpinn {
+
+/// CRC-32 of `len` bytes at `data`. `seed` chains incremental computation:
+/// crc32(b, crc32(a)) == crc32(a + b). The empty buffer hashes to 0.
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed = 0);
+
+inline std::uint32_t crc32(std::string_view data, std::uint32_t seed = 0) {
+  return crc32(data.data(), data.size(), seed);
+}
+
+}  // namespace qpinn

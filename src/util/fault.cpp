@@ -1,6 +1,7 @@
 #include "util/fault.hpp"
 
 #include <cstdlib>
+#include <limits>
 
 #include "util/env.hpp"
 
@@ -26,6 +27,9 @@ void FaultInjector::clear() {
   MutexLock lock(mutex_);
   armed_.clear();
   hits_.clear();
+  delay_ms_ = 0;
+  kill_rank_ = -1;
+  fault_rank_ = -1;
 }
 
 bool FaultInjector::should_fire(const std::string& site) {
@@ -36,16 +40,86 @@ bool FaultInjector::should_fire(const std::string& site) {
   return hit >= it->second.at && hit < it->second.at + it->second.count;
 }
 
+bool FaultInjector::should_fire_at(const std::string& site,
+                                   std::int64_t index) {
+  MutexLock lock(mutex_);
+  hits_[site]++;
+  const auto it = armed_.find(site);
+  if (it == armed_.end()) return false;
+  return index >= it->second.at && index < it->second.at + it->second.count;
+}
+
 std::int64_t FaultInjector::hits(const std::string& site) const {
   MutexLock lock(mutex_);
   const auto it = hits_.find(site);
   return it == hits_.end() ? 0 : it->second;
 }
 
+void FaultInjector::set_delay_ms(std::int64_t ms) {
+  MutexLock lock(mutex_);
+  delay_ms_ = ms;
+}
+
+std::int64_t FaultInjector::delay_ms() const {
+  MutexLock lock(mutex_);
+  return delay_ms_;
+}
+
+void FaultInjector::set_kill_rank(std::int64_t rank) {
+  MutexLock lock(mutex_);
+  kill_rank_ = rank;
+}
+
+std::int64_t FaultInjector::kill_rank() const {
+  MutexLock lock(mutex_);
+  return kill_rank_;
+}
+
+void FaultInjector::set_fault_rank(std::int64_t rank) {
+  MutexLock lock(mutex_);
+  fault_rank_ = rank;
+}
+
+bool FaultInjector::rank_in_scope(std::int64_t rank) const {
+  MutexLock lock(mutex_);
+  return fault_rank_ < 0 || fault_rank_ == rank;
+}
+
 void FaultInjector::arm_from_env() {
+  const std::int64_t at = env_int("QPINN_FAULT_AT", 0);
+  const std::int64_t count = env_int("QPINN_FAULT_COUNT", 1);
   const char* site = std::getenv("QPINN_FAULT_SITE");
-  if (site == nullptr || site[0] == '\0') return;
-  arm(site, env_int("QPINN_FAULT_AT", 0), env_int("QPINN_FAULT_COUNT", 1));
+  if (site != nullptr && site[0] != '\0') arm(site, at, count);
+
+  // Transport knobs. Each arms its dedicated site so hits are observable
+  // and windows are honored; the parameter values live beside the windows.
+  const std::int64_t drop_at = env_int("QPINN_FAULT_DROP_MSG", -1);
+  if (drop_at >= 0) arm(kFaultDistDropMsg, drop_at, count);
+
+  const std::int64_t delay_ms = env_int("QPINN_FAULT_DELAY_MS", 0);
+  if (delay_ms > 0) {
+    set_delay_ms(delay_ms);
+    // Delay every send unless QPINN_FAULT_AT/COUNT narrow the window via
+    // the generic QPINN_FAULT_SITE form.
+    {
+      MutexLock lock(mutex_);
+      if (armed_.find(kFaultDistDelay) == armed_.end()) {
+        armed_[kFaultDistDelay] =
+            Window{0, std::numeric_limits<std::int64_t>::max()};
+      }
+    }
+  }
+
+  const std::int64_t kill_rank = env_int("QPINN_FAULT_KILL_RANK", -1);
+  if (kill_rank >= 0) {
+    set_kill_rank(kill_rank);
+    // Epoch-indexed window: fires when the training epoch reaches
+    // QPINN_FAULT_AT (default epoch 0).
+    arm(kFaultDistKill, at, count);
+  }
+
+  const std::int64_t fault_rank = env_int("QPINN_FAULT_RANK", -1);
+  if (fault_rank >= 0) set_fault_rank(fault_rank);
 }
 
 bool fault_fires(const std::string& site) {

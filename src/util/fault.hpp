@@ -9,6 +9,18 @@
 // loop. Tests arm sites programmatically; QPINN_FAULT_SITE /
 // QPINN_FAULT_AT / QPINN_FAULT_COUNT arm one site from the environment so
 // whole-process runs (examples, CI) can be faulted without recompiling.
+//
+// The distributed runtime (src/dist/) adds transport-level injection with
+// dedicated environment knobs, all deterministic:
+//   QPINN_FAULT_DROP_MSG=n   drop outbound frames n .. n+COUNT-1
+//                            (site "dist.drop_msg")
+//   QPINN_FAULT_DELAY_MS=ms  sleep `ms` before outbound frames in the
+//                            armed window of site "dist.delay" (armed for
+//                            every send when only the delay is given)
+//   QPINN_FAULT_KILL_RANK=r  rank r calls _exit at the epoch given by
+//                            QPINN_FAULT_AT (site "dist.kill")
+//   QPINN_FAULT_RANK=r       scope drop/delay faults to rank r
+//                            (default: every rank)
 #pragma once
 
 #include <cstdint>
@@ -23,6 +35,9 @@ namespace qpinn {
 inline constexpr char kFaultTrainerNanLoss[] = "trainer.nan_loss";
 inline constexpr char kFaultTrainerExplodeLoss[] = "trainer.explode_loss";
 inline constexpr char kFaultAtomicWriteCommit[] = "atomic_write.commit";
+inline constexpr char kFaultDistDropMsg[] = "dist.drop_msg";
+inline constexpr char kFaultDistDelay[] = "dist.delay";
+inline constexpr char kFaultDistKill[] = "dist.kill";
 
 class FaultInjector {
  public:
@@ -36,19 +51,44 @@ class FaultInjector {
   void arm(const std::string& site, std::int64_t at, std::int64_t count = 1);
   void disarm(const std::string& site);
 
-  /// Disarms every site and resets all hit counters.
+  /// Disarms every site, resets all hit counters, and clears the dist
+  /// fault parameters (delay, kill rank, rank scope).
   void clear();
 
   /// Called at a fault site: increments the site's hit counter and
   /// returns true when the armed window covers this hit.
   bool should_fire(const std::string& site);
 
+  /// Windowed check against an external index instead of the hit counter
+  /// (used for epoch-indexed faults like "dist.kill", where a restarted
+  /// process must agree with the original about *when* the fault fires).
+  /// Still counts the call in hits(site).
+  bool should_fire_at(const std::string& site, std::int64_t index);
+
   /// Total should_fire calls seen for `site` (for test assertions).
   std::int64_t hits(const std::string& site) const;
 
-  /// Arms one site from QPINN_FAULT_SITE / QPINN_FAULT_AT /
-  /// QPINN_FAULT_COUNT (no-op when QPINN_FAULT_SITE is unset). Called by
-  /// the constructor; exposed for tests.
+  // ---- dist fault parameters (values, not windows) -----------------------
+
+  /// Millisecond delay injected before transport sends while "dist.delay"
+  /// fires (0 = none).
+  void set_delay_ms(std::int64_t ms);
+  std::int64_t delay_ms() const;
+
+  /// Rank that "dist.kill" targets (-1 = disarmed).
+  void set_kill_rank(std::int64_t rank);
+  std::int64_t kill_rank() const;
+
+  /// Rank scope for drop/delay faults (-1 = every rank).
+  void set_fault_rank(std::int64_t rank);
+  /// True when dist faults apply to `rank` under the current scope.
+  bool rank_in_scope(std::int64_t rank) const;
+
+  /// Arms sites from the environment: QPINN_FAULT_SITE / QPINN_FAULT_AT /
+  /// QPINN_FAULT_COUNT for the generic single-site form, plus the
+  /// QPINN_FAULT_DROP_MSG / QPINN_FAULT_DELAY_MS / QPINN_FAULT_KILL_RANK /
+  /// QPINN_FAULT_RANK transport knobs. Called by the constructor; exposed
+  /// for tests.
   void arm_from_env();
 
  private:
@@ -61,6 +101,9 @@ class FaultInjector {
   mutable Mutex mutex_;
   std::map<std::string, Window> armed_ QPINN_GUARDED_BY(mutex_);
   std::map<std::string, std::int64_t> hits_ QPINN_GUARDED_BY(mutex_);
+  std::int64_t delay_ms_ QPINN_GUARDED_BY(mutex_) = 0;
+  std::int64_t kill_rank_ QPINN_GUARDED_BY(mutex_) = -1;
+  std::int64_t fault_rank_ QPINN_GUARDED_BY(mutex_) = -1;
 };
 
 /// Shorthand for FaultInjector::instance().should_fire(site).

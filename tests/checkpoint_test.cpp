@@ -9,6 +9,7 @@
 #include "nn/mlp.hpp"
 #include "optim/adam.hpp"
 #include "util/atomic_io.hpp"
+#include "util/crc32.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
 
@@ -229,6 +230,59 @@ TEST_F(CheckpointTest, CorruptFieldsRejectedWithoutHugeAllocations) {
   EXPECT_THROW(nn::load_parameters(path, net.named_parameters()), IoError);
   write_file(path, good.substr(0, 10));
   EXPECT_THROW(nn::load_parameters(path, net.named_parameters()), IoError);
+  std::remove(path.c_str());
+}
+
+// ---- integrity trailer -------------------------------------------------
+
+TEST_F(CheckpointTest, Crc32MatchesKnownAnswer) {
+  // The standard CRC-32 check value ("123456789" -> 0xCBF43926).
+  EXPECT_EQ(crc32(std::string_view("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(std::string_view("")), 0u);
+  // Seeded continuation equals the one-shot digest.
+  const std::string data = "split across two calls";
+  const std::uint32_t oneshot = crc32(std::string_view(data));
+  const std::uint32_t part = crc32(data.data(), 10);
+  EXPECT_EQ(crc32(data.data() + 10, data.size() - 10, part), oneshot);
+}
+
+TEST_F(CheckpointTest, CrcTrailerDetectsSilentCorruption) {
+  nn::Mlp net = small_net(43);
+  TrainingState state;
+  state.epoch = 12;
+  const std::string path = temp_path("crc_victim.qckpt");
+  Checkpointer::save_state(path, net.named_parameters(), state);
+
+  // A single flipped bit anywhere in the body must fail the load loudly
+  // instead of resuming from silently-corrupt state.
+  std::string bytes = read_file(path);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x10);
+  write_file(path, bytes);
+  try {
+    Checkpointer::load_state(path, net.named_parameters());
+    FAIL() << "corrupt checkpoint should not load";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC-32"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, TrailerlessFileFromOldWriterStillLoads) {
+  nn::Mlp net = small_net(44);
+  TrainingState state;
+  state.epoch = 23;
+  state.best_loss = 0.5;
+  const std::string path = temp_path("legacy_no_crc.qckpt");
+  Checkpointer::save_state(path, net.named_parameters(), state);
+
+  // Strip the 8-byte trailer: exactly what a pre-CRC writer produced.
+  const std::string bytes = read_file(path);
+  ASSERT_GT(bytes.size(), 8u);
+  write_file(path, bytes.substr(0, bytes.size() - 8));
+  const TrainingState loaded =
+      Checkpointer::load_state(path, net.named_parameters());
+  EXPECT_EQ(loaded.epoch, 23);
+  EXPECT_DOUBLE_EQ(loaded.best_loss, 0.5);
   std::remove(path.c_str());
 }
 

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 #include <filesystem>
+#include <fstream>
 
 #include "core/benchmarks.hpp"
 #include "core/checkpoint.hpp"
@@ -200,6 +201,52 @@ TEST_F(RecoveryTest, ResumeReproducesUninterruptedRunBitForBit) {
   expect_params_equal(*model_full, *model_resumed);
   EXPECT_EQ(full_result.final_loss, resumed_result.final_loss);
   EXPECT_EQ(full_result.final_l2, resumed_result.final_l2);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(RecoveryTest, ResumeFallsBackToBestWhenLastIsCorrupt) {
+  auto problem = make_free_packet_problem();
+  const std::string dir = temp_dir("fallback_ckpt");
+  auto model = tiny_model(*problem, 12);
+  TrainConfig config = tiny_config(8);
+  CheckpointConfig ckpt;
+  ckpt.dir = dir;
+  config.checkpoint = ckpt;
+  Trainer trainer(problem, model, config);
+  trainer.fit();
+  const std::string last = dir + "/last.qckpt";
+  const std::string best = dir + "/best.qckpt";
+  ASSERT_TRUE(std::filesystem::exists(last));
+  ASSERT_TRUE(std::filesystem::exists(best));
+
+  // Tear last.qckpt mid-file; the CRC trailer turns this into an IoError
+  // on load, and resume must fall back to the intact best.qckpt.
+  {
+    std::fstream file(last,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    file.seekg(64);
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5a);  // guaranteed different
+    file.seekp(64);
+    file.write(&byte, 1);
+  }
+  auto model_resumed = tiny_model(*problem, 12);
+  TrainConfig resumed_config = tiny_config(8);
+  resumed_config.epochs = 10;
+  resumed_config.resume_from = last;
+  Trainer resumed(problem, model_resumed, resumed_config);
+  const TrainResult result = resumed.fit();
+  EXPECT_GE(result.start_epoch, 1);
+  EXPECT_EQ(result.history.back().epoch, 9);
+
+  // With no intact sibling left, the original error must surface.
+  std::filesystem::remove(best);
+  auto model_stuck = tiny_model(*problem, 12);
+  TrainConfig stuck_config = tiny_config(8);
+  stuck_config.resume_from = last;
+  Trainer stuck(problem, model_stuck, stuck_config);
+  EXPECT_THROW(stuck.fit(), IoError);
   std::filesystem::remove_all(dir);
 }
 

@@ -76,7 +76,13 @@ def main() -> int:
                 regressions.append(
                     f"{name}: ns/op {base['ns_per_op']:.0f} -> "
                     f"{cur['ns_per_op']:.0f} ({ratio:.2f}x)")
-        if cur["allocs_per_op"] > base["allocs_per_op"] + ALLOC_WARN_DELTA:
+        # The alloc counters are exact for single-threaded suites (the
+        # pool counts deterministically from the tape). The dist rows run
+        # several rank threads against the shared pool, so hits/misses
+        # depend on thread interleaving — allocs/op there is noise on the
+        # order of 1, not a tape property; only the timing gate applies.
+        if key[0] != "dist" and (cur["allocs_per_op"]
+                                 > base["allocs_per_op"] + ALLOC_WARN_DELTA):
             regressions.append(
                 f"{name}: allocs/op {base['allocs_per_op']:.1f} -> "
                 f"{cur['allocs_per_op']:.1f} (exact metric; real regression)")

@@ -33,6 +33,12 @@ Rules (each finding prints ``path:line: [rule] message``; exit 1 if any):
                   replay (autodiff/plan.hpp) records every op launched
                   through the autodiff layer; a Node built elsewhere would
                   run eagerly but silently drop out of captured plans.
+  banned-raw-sockets
+                  no raw blocking socket calls (``recv``/``accept``/
+                  ``connect``) outside src/dist/transport.cpp — the
+                  transport wraps every one with a deadline, bounded
+                  retries, and framing CRC; a bare call elsewhere can hang
+                  a rank forever and bypass the failure detector.
 
 Comments and string literals are stripped before token rules run, so prose
 mentioning ``new`` or ``rand()`` never trips the gate.
@@ -160,6 +166,19 @@ def token_rules(path: pathlib.Path, findings: list[Finding]) -> None:
             re.compile(r"(?:make_shared\s*<|new\s+)\s*(?:\w+\s*::\s*)*Node\b"),
             "direct tape-Node construction is banned outside src/autodiff/; "
             "go through the autodiff ops so plan capture records the op"))
+    # The transport owns the sockets: every recv/accept/connect there runs
+    # under a deadline with bounded retries and CRC framing. A bare call
+    # anywhere else can block a rank forever — invisible to the heartbeat
+    # failure detector, which only watches transport traffic. The
+    # lookbehind skips member access (timer.connect, obj->accept) while
+    # still catching the global-namespace ::recv spelling.
+    if path.as_posix().rsplit("src/", 1)[-1] != "dist/transport.cpp":
+        rules.append((
+            "banned-raw-sockets",
+            re.compile(r"(?<![\w.>])(?:::\s*)?\b(?:recv|accept|connect)"
+                       r"\s*\("),
+            "raw socket calls are banned outside dist/transport.cpp; use "
+            "the Socket/Listener wrappers (deadlines, retries, framing)"))
     # The SIMD abstraction is the one place allowed to spell intrinsics;
     # everywhere else goes through its dispatch tables so each kernel exists
     # in every variant (including the scalar QPINN_SIMD=off fallback).
