@@ -1,0 +1,24 @@
+// Fuzzes the v2 training-checkpoint loader: header, parameter block,
+// section table, and the optional CRC-32 trailer. Checkpoints are parsed
+// from disk after crashes and from operator-supplied resume paths, so a
+// truncated, bit-rotted, or hostile file must yield a structured
+// qpinn::Error (CheckpointError / IoError / ShapeError / ValueError) —
+// never a crash or an allocation larger than the input itself implies.
+#include <cstdint>
+#include <string>
+
+#include "core/checkpoint.hpp"
+#include "harness_model.hpp"
+#include "util/error.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  try {
+    (void)qpinn::core::Checkpointer::load_state_from_bytes(
+        std::string(reinterpret_cast<const char*>(data), size),
+        qpinn::fuzz::harness_params(), "fuzz-input");
+  } catch (const qpinn::Error&) {
+    // Structured rejection is the expected outcome for malformed input.
+  }
+  return 0;
+}

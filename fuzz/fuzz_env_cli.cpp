@@ -1,0 +1,59 @@
+// Fuzzes the two remaining untrusted-text parsers: environment-variable
+// helpers (util/env) and the CLI argument parser (util/cli). The input is
+// split on newlines — the first token becomes the value of a scratch
+// environment variable read back through every env helper, the rest
+// become argv for a parser declaring one option of each kind. Bad input
+// must surface as ValueError (CLI) or fall back to defaults (env), never
+// crash.
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/env.hpp"
+#include "util/error.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::vector<std::string> tokens(1);
+  for (std::size_t i = 0; i < size; ++i) {
+    const char c = static_cast<char>(data[i]);
+    if (c == '\n') {
+      tokens.emplace_back();
+    } else {
+      tokens.back().push_back(c);
+    }
+  }
+
+  // setenv requires a NUL-free value; anything after an embedded NUL
+  // would be invisible to getenv anyway.
+  std::string env_value = tokens.front();
+  const auto nul = env_value.find('\0');
+  if (nul != std::string::npos) env_value.resize(nul);
+  ::setenv("QPINN_FUZZ_SCRATCH", env_value.c_str(), 1);
+  (void)qpinn::env_flag("QPINN_FUZZ_SCRATCH");
+  (void)qpinn::env_int("QPINN_FUZZ_SCRATCH", -1);
+  (void)qpinn::env_string("QPINN_FUZZ_SCRATCH", "fallback");
+
+  qpinn::CliParser parser("fuzz_env_cli", "cli fuzz harness");
+  parser.add_flag("verbose", "a flag");
+  parser.add_int("epochs", 10, "an integer");
+  parser.add_double("lr", 1e-3, "a double");
+  parser.add_string("dir", "ckpt", "a string");
+  std::vector<const char*> argv = {"fuzz_env_cli"};
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    argv.push_back(tokens[i].c_str());
+  }
+  try {
+    parser.parse(static_cast<int>(argv.size()), argv.data());
+    (void)parser.get_flag("verbose");
+    (void)parser.get_int("epochs");
+    (void)parser.get_double("lr");
+    (void)parser.get_string("dir");
+    (void)parser.help_text();
+  } catch (const qpinn::Error&) {
+    // Structured rejection is the expected outcome for malformed input.
+  }
+  return 0;
+}

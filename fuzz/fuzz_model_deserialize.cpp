@@ -1,0 +1,23 @@
+// Fuzzes the nn parameter deserializer (v1 and v2 files): the magic and
+// version words, the parameter count, and per-parameter name lengths,
+// tensor ranks, and extents. Every length field must be bounded before
+// allocation, so malformed input yields a structured qpinn::Error rather
+// than a crash or a multi-gigabyte resize.
+#include <cstdint>
+#include <string>
+
+#include "harness_model.hpp"
+#include "nn/serialize.hpp"
+#include "util/error.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  try {
+    qpinn::nn::load_parameters_from_bytes(
+        std::string(reinterpret_cast<const char*>(data), size),
+        qpinn::fuzz::harness_params(), "fuzz-input");
+  } catch (const qpinn::Error&) {
+    // Structured rejection is the expected outcome for malformed input.
+  }
+  return 0;
+}

@@ -1,0 +1,266 @@
+// Writes the committed seed corpora (fuzz/corpus/<target>/) and the
+// regression artifacts (fuzz/artifacts/<target>/) deterministically, using
+// the real encoders so every valid seed is bit-exact against the current
+// wire/file formats. Artifacts are the minimized adversarial inputs behind
+// past hardening fixes; they are replayed by fuzz-regress and by the
+// table-driven corrupted-input tests in checkpoint_test / dist_test, so a
+// regression surfaces even in builds that never run the fuzzer itself.
+//
+// Usage: fuzz_gen_seeds <fuzz-dir>   (defaults to the current directory)
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "dist/transport.hpp"
+#include "harness_model.hpp"
+#include "optim/adam.hpp"
+#include "util/binary_io.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using qpinn::Tensor;
+
+void write_bytes(const fs::path& path, const std::string& bytes) {
+  fs::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw qpinn::IoError("cannot write seed '" + path.string() + "'");
+}
+
+std::string read_bytes(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Overwrites `bytes` at `offset` with the raw representation of `value`.
+template <typename T>
+void patch_pod(std::string& bytes, std::size_t offset, T value) {
+  std::memcpy(bytes.data() + offset, &value, sizeof(T));
+}
+
+std::string capture(const std::function<void(std::ostream&)>& writer) {
+  std::ostringstream out(std::ios::binary);
+  writer(out);
+  return out.str();
+}
+
+// ---- frame_decode ------------------------------------------------------
+
+void gen_frame_decode(const fs::path& corpus, const fs::path& artifacts) {
+  qpinn::dist::Frame hello;
+  hello.type = qpinn::dist::MsgType::kHello;
+  hello.epoch = 1;
+  hello.rank = 1;
+  hello.payload = "rejoin";
+  const std::string hello_wire = qpinn::dist::encode_frame(hello);
+
+  qpinn::dist::Frame contrib;
+  contrib.type = qpinn::dist::MsgType::kGradContrib;
+  contrib.epoch = 7;
+  contrib.rank = 2;
+  contrib.payload = capture([](std::ostream& out) {
+    for (double v : {0.5, -1.25, 3.0}) qpinn::write_pod(out, v);
+  });
+
+  // An unknown message type must be rejected with a structured
+  // TransportError; committed as the corpus' first entry.
+  std::string unknown_type = hello_wire;
+  patch_pod(unknown_type, 4, std::uint32_t{99});
+
+  // A hostile length field must be rejected before any allocation.
+  std::string oversized_len = hello_wire;
+  patch_pod(oversized_len, 24, std::uint64_t{1} << 40);
+
+  std::string length_mismatch = hello_wire;
+  patch_pod(length_mismatch, 24,
+            static_cast<std::uint64_t>(hello.payload.size() + 1));
+
+  std::string bad_crc = hello_wire;
+  bad_crc.back() = static_cast<char>(bad_crc.back() ^ 0x01);
+
+  write_bytes(corpus / "00_unknown_type.bin", unknown_type);
+  write_bytes(corpus / "hello.bin", hello_wire);
+  write_bytes(corpus / "grad_contrib.bin",
+              qpinn::dist::encode_frame(contrib));
+  write_bytes(corpus / "bad_crc.bin", bad_crc);
+  write_bytes(corpus / "oversized_len.bin", oversized_len);
+  write_bytes(corpus / "truncated.bin", hello_wire.substr(0, 20));
+
+  write_bytes(artifacts / "unknown_type.bin", unknown_type);
+  write_bytes(artifacts / "oversized_len.bin", oversized_len);
+  write_bytes(artifacts / "length_mismatch.bin", length_mismatch);
+  write_bytes(artifacts / "bad_crc.bin", bad_crc);
+  write_bytes(artifacts / "short_buffer.bin", hello_wire.substr(0, 8));
+}
+
+// ---- checkpoint_load ---------------------------------------------------
+
+void gen_checkpoint_load(const fs::path& corpus, const fs::path& artifacts) {
+  fs::create_directories(corpus);
+  const qpinn::nn::NamedParams& params = qpinn::fuzz::harness_params();
+
+  qpinn::core::TrainingState state;
+  state.epoch = 3;
+  state.lr_scale = 0.5;
+  state.recoveries = 1;
+  state.best_loss = 2.5e-2;
+  std::vector<qpinn::autodiff::Variable> variables;
+  for (const auto& [name, variable] : params) variables.push_back(variable);
+  qpinn::optim::Adam adam(variables, qpinn::optim::AdamConfig{});
+  std::vector<Tensor> grads;
+  for (const auto& v : variables) {
+    grads.push_back(Tensor::ones(v.value().shape()));
+  }
+  adam.step(grads);
+  state.optimizer = adam.export_state();
+  qpinn::Rng rng(17);
+  state.resample_rng = rng.state();
+  state.interior = Tensor::from_vector({1, 2, 3, 4, 5, 6, 7, 8}, {4, 2});
+  state.has_interior = true;
+
+  const fs::path full = corpus / "full_state.qckpt";
+  qpinn::core::Checkpointer::save_state(full.string(), params, state);
+  const std::string full_bytes = read_bytes(full);
+
+  // Trailer stripped, then truncated mid-section: the input that must hit
+  // the remaining-bytes bound check, not a bad resize/read.
+  const std::string no_trailer =
+      full_bytes.substr(0, full_bytes.size() - 8);
+  const std::string truncated_no_trailer =
+      no_trailer.substr(0, (no_trailer.size() * 7) / 10);
+
+  std::string bitflip = full_bytes;
+  bitflip[bitflip.size() / 2] =
+      static_cast<char>(bitflip[bitflip.size() / 2] ^ 0x10);
+
+  // Valid prefix, then one section whose length field promises an
+  // exabyte: must be rejected against the bytes actually remaining.
+  const std::string huge_section_len = capture([&](std::ostream& out) {
+    qpinn::nn::write_header(out);
+    qpinn::nn::write_param_block(out, params);
+    qpinn::write_pod(out, std::uint32_t{1});
+    qpinn::write_string(out, "optim");
+    qpinn::write_pod(out, std::uint64_t{1} << 60);
+  });
+
+  // A parameter tensor claiming 2^40 x 2^40 extents.
+  const std::string huge_tensor_extent = capture([&](std::ostream& out) {
+    qpinn::nn::write_header(out);
+    qpinn::write_pod(out, std::uint64_t{1});
+    qpinn::write_string(out, params.front().first);
+    qpinn::write_pod(out, std::uint64_t{2});
+    qpinn::write_pod(out, std::uint64_t{1} << 40);
+    qpinn::write_pod(out, std::uint64_t{1} << 40);
+  });
+
+  const std::string huge_param_count = capture([](std::ostream& out) {
+    qpinn::nn::write_header(out);
+    qpinn::write_pod(out, std::uint64_t{1} << 50);
+  });
+
+  const std::string v1_reject = capture([&](std::ostream& out) {
+    qpinn::nn::write_header(out, qpinn::nn::kCheckpointVersionV1);
+    qpinn::nn::write_param_block(out, params);
+  });
+
+  write_bytes(corpus / "truncated_no_trailer.qckpt", truncated_no_trailer);
+  write_bytes(corpus / "bitflip.qckpt", bitflip);
+  write_bytes(corpus / "huge_section_len.qckpt", huge_section_len);
+
+  write_bytes(artifacts / "truncated_no_trailer.qckpt",
+              truncated_no_trailer);
+  write_bytes(artifacts / "bitflip.qckpt", bitflip);
+  write_bytes(artifacts / "huge_section_len.qckpt", huge_section_len);
+  write_bytes(artifacts / "huge_tensor_extent.qckpt", huge_tensor_extent);
+  write_bytes(artifacts / "huge_param_count.qckpt", huge_param_count);
+  write_bytes(artifacts / "v1_reject.qckpt", v1_reject);
+}
+
+// ---- model_deserialize -------------------------------------------------
+
+void gen_model_deserialize(const fs::path& corpus,
+                           const fs::path& artifacts) {
+  fs::create_directories(corpus);
+  const qpinn::nn::NamedParams& params = qpinn::fuzz::harness_params();
+
+  const fs::path v2 = corpus / "params_v2.qpnn";
+  qpinn::nn::save_parameters(v2.string(), params);
+  const std::string v2_bytes = read_bytes(v2);
+
+  const std::string v1_bytes = capture([&](std::ostream& out) {
+    qpinn::nn::write_header(out, qpinn::nn::kCheckpointVersionV1);
+    qpinn::nn::write_param_block(out, params);
+  });
+
+  std::string bad_magic = v2_bytes;
+  bad_magic[0] = 'X';
+
+  std::string wrong_version = v2_bytes;
+  patch_pod(wrong_version, 4, std::uint32_t{7});
+
+  const std::string huge_name_len = capture([](std::ostream& out) {
+    qpinn::nn::write_header(out);
+    qpinn::write_pod(out, std::uint64_t{1});
+    qpinn::write_pod(out, std::uint64_t{1} << 50);
+  });
+
+  const std::string huge_extent = capture([&](std::ostream& out) {
+    qpinn::nn::write_header(out);
+    qpinn::write_pod(out, std::uint64_t{1});
+    qpinn::write_string(out, params.front().first);
+    qpinn::write_pod(out, std::uint64_t{1});
+    qpinn::write_pod(out, std::uint64_t{1} << 55);
+  });
+
+  write_bytes(corpus / "params_v1.qpnn", v1_bytes);
+  write_bytes(corpus / "truncated.qpnn",
+              v2_bytes.substr(0, v2_bytes.size() / 2));
+  write_bytes(corpus / "bad_magic.qpnn", bad_magic);
+
+  write_bytes(artifacts / "huge_name_len.qpnn", huge_name_len);
+  write_bytes(artifacts / "huge_extent.qpnn", huge_extent);
+  write_bytes(artifacts / "wrong_version.qpnn", wrong_version);
+  write_bytes(artifacts / "truncated.qpnn",
+              v2_bytes.substr(0, v2_bytes.size() / 2));
+}
+
+// ---- env_cli -----------------------------------------------------------
+
+void gen_env_cli(const fs::path& corpus, const fs::path& artifacts) {
+  write_bytes(corpus / "00_valid.txt",
+              "1\n--verbose\n--epochs\n42\n--lr=0.5\n--dir\n/tmp/x");
+  write_bytes(corpus / "flags_off.txt", "off\n--help");
+  write_bytes(corpus / "bad_int.txt", "123abc\n--epochs=notanint");
+  write_bytes(corpus / "unknown_opt.txt", "no\n--unknown=1");
+  write_bytes(corpus / "missing_value.txt", "yes\n--epochs");
+  write_bytes(corpus / "positional.txt", "TRUE\nstray");
+
+  write_bytes(artifacts / "bad_int.txt", "123abc\n--epochs=notanint");
+  write_bytes(artifacts / "missing_value.txt", "yes\n--epochs");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const fs::path root = argc > 1 ? fs::path(argv[1]) : fs::path(".");
+  gen_frame_decode(root / "corpus" / "frame_decode",
+                   root / "artifacts" / "frame_decode");
+  gen_checkpoint_load(root / "corpus" / "checkpoint_load",
+                      root / "artifacts" / "checkpoint_load");
+  gen_model_deserialize(root / "corpus" / "model_deserialize",
+                        root / "artifacts" / "model_deserialize");
+  gen_env_cli(root / "corpus" / "env_cli", root / "artifacts" / "env_cli");
+  std::printf("fuzz_gen_seeds: corpora written under %s\n",
+              root.string().c_str());
+  return 0;
+}

@@ -1,0 +1,29 @@
+// The tiny fixed model shared by the checkpoint/model harnesses and the
+// seed generator. Seeds written by fuzz_gen_seeds must deserialize against
+// exactly these parameters, so there is one definition of the shape.
+#pragma once
+
+#include "nn/mlp.hpp"
+#include "nn/serialize.hpp"
+
+namespace qpinn::fuzz {
+
+inline nn::MlpConfig harness_mlp_config() {
+  nn::MlpConfig config;
+  config.in_dim = 2;
+  config.out_dim = 2;
+  config.hidden = {4};
+  config.seed = 1;
+  return config;
+}
+
+/// Parameters the harnesses deserialize into. One static instance per
+/// process: libFuzzer calls the harness millions of times and model
+/// construction must not dominate.
+inline nn::NamedParams& harness_params() {
+  static nn::Mlp net(harness_mlp_config());
+  static nn::NamedParams params = net.named_parameters();
+  return params;
+}
+
+}  // namespace qpinn::fuzz

@@ -1,5 +1,6 @@
 #include "core/checkpoint.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -41,6 +42,15 @@ std::string payload_of(const std::function<void(std::ostream&)>& writer) {
   std::ostringstream out(std::ios::binary);
   writer(out);
   return out.str();
+}
+
+/// Bytes of `total` not yet consumed from `in`; the upper bound for any
+/// length field read next, so a hostile length can never outrun the file.
+std::uint64_t remaining_bytes(std::istream& in, std::uint64_t total) {
+  const auto pos = in.tellg();
+  if (pos < 0) return 0;
+  const auto consumed = static_cast<std::uint64_t>(pos);
+  return consumed > total ? 0 : total - consumed;
 }
 
 }  // namespace
@@ -163,7 +173,13 @@ TrainingState Checkpointer::load_state(const std::string& path,
   if (!file) throw IoError("cannot open checkpoint '" + path + "'");
   std::ostringstream raw(std::ios::binary);
   raw << file.rdbuf();
-  std::string body = std::move(raw).str();
+  return load_state_from_bytes(std::move(raw).str(), params, path);
+}
+
+TrainingState Checkpointer::load_state_from_bytes(
+    std::string bytes, const nn::NamedParams& params,
+    const std::string& label) {
+  std::string body = std::move(bytes);
 
   // Verify and strip the integrity trailer when present; files from
   // writers that predate the trailer parse exactly as before.
@@ -177,9 +193,9 @@ TrainingState Checkpointer::load_state(const std::string& path,
                   sizeof(stored));
       body.resize(body.size() - kCrcTrailerBytes);
       if (stored != crc32(body)) {
-        throw IoError("checkpoint '" + path +
-                      "' failed its CRC-32 integrity check (torn or "
-                      "corrupt file)");
+        throw CheckpointError("checkpoint '" + label +
+                              "' failed its CRC-32 integrity check (torn "
+                              "or corrupt file)");
       }
     }
   }
@@ -187,25 +203,33 @@ TrainingState Checkpointer::load_state(const std::string& path,
   std::istringstream in(body, std::ios::binary);
   const std::uint64_t size = body.size();
 
-  const std::uint32_t version = nn::read_header(in, path);
+  const std::uint32_t version = nn::read_header(in, label);
   if (version < nn::kCheckpointVersion) {
-    throw IoError("'" + path +
-                  "' is a parameter-only (v1) checkpoint and holds no "
-                  "training state to resume from");
+    throw CheckpointError(
+        "'" + label +
+        "' is a parameter-only (v1) checkpoint and holds no "
+        "training state to resume from");
   }
   nn::read_param_block(in, params, size);
 
   const auto n_sections = read_pod<std::uint32_t>(in, "section count");
   if (n_sections > nn::kMaxSectionCount) {
-    throw IoError("section count " + std::to_string(n_sections) +
-                  " exceeds limit " + std::to_string(nn::kMaxSectionCount));
+    throw CheckpointError("section count " + std::to_string(n_sections) +
+                          " exceeds limit " +
+                          std::to_string(nn::kMaxSectionCount));
   }
 
   TrainingState state;
   for (std::uint32_t i = 0; i < n_sections; ++i) {
-    const std::string tag =
-        read_string(in, nn::kMaxSectionTagLen, "section tag");
-    const std::string payload = read_string(in, size, "section '" + tag + "'");
+    // Both length prefixes are bounded by the bytes actually left in the
+    // file, so a truncated section fails the bound check up front instead
+    // of allocating and then hitting a short read.
+    const std::string tag = read_string(
+        in, std::min<std::uint64_t>(nn::kMaxSectionTagLen,
+                                    remaining_bytes(in, size)),
+        "section tag");
+    const std::string payload = read_string(in, remaining_bytes(in, size),
+                                            "section '" + tag + "'");
     std::istringstream s(payload, std::ios::binary);
     if (tag == kSectionEpoch) {
       state.epoch = read_pod<std::int64_t>(s, "epoch");
@@ -215,8 +239,9 @@ TrainingState Checkpointer::load_state(const std::string& path,
       const auto n_scalars =
           read_pod<std::uint64_t>(s, "optimizer scalar count");
       if (n_scalars > payload.size() / sizeof(double)) {
-        throw IoError("optimizer scalar count " + std::to_string(n_scalars) +
-                      " exceeds the section payload");
+        throw CheckpointError("optimizer scalar count " +
+                              std::to_string(n_scalars) +
+                              " exceeds the section payload");
       }
       state.optimizer.scalars.reserve(n_scalars);
       for (std::uint64_t k = 0; k < n_scalars; ++k) {
@@ -225,8 +250,9 @@ TrainingState Checkpointer::load_state(const std::string& path,
       }
       const auto n_slots = read_pod<std::uint64_t>(s, "optimizer slot count");
       if (n_slots > payload.size() / sizeof(double)) {
-        throw IoError("optimizer slot count " + std::to_string(n_slots) +
-                      " exceeds the section payload");
+        throw CheckpointError("optimizer slot count " +
+                              std::to_string(n_slots) +
+                              " exceeds the section payload");
       }
       state.optimizer.slots.reserve(n_slots);
       for (std::uint64_t k = 0; k < n_slots; ++k) {

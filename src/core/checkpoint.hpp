@@ -17,9 +17,18 @@
 #include "nn/serialize.hpp"
 #include "optim/optimizer.hpp"
 #include "tensor/tensor.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace qpinn::core {
+
+/// A checkpoint file is malformed: truncated, bit-rotted, or hostile.
+/// Derives from IoError so existing last->best fallback paths (which catch
+/// IoError) treat a corrupt file exactly like an unreadable one.
+class CheckpointError : public IoError {
+ public:
+  explicit CheckpointError(const std::string& what) : IoError(what) {}
+};
 
 /// Everything beyond the model parameters that a resumed run needs.
 struct TrainingState {
@@ -72,6 +81,17 @@ class Checkpointer {
   /// (parameter-only) files — they carry no state to resume from.
   static TrainingState load_state(const std::string& path,
                                   const nn::NamedParams& params);
+
+  /// Byte-level counterpart of load_state: parses `bytes` as a whole v2
+  /// checkpoint file (CRC trailer included when present). Every section
+  /// header is bound-checked against the bytes actually remaining before
+  /// any allocation, so truncated or bit-rotted input yields a structured
+  /// CheckpointError instead of a bad resize/read. `label` names the
+  /// source in error messages. This is the entry point
+  /// fuzz/fuzz_checkpoint_load.cpp drives.
+  static TrainingState load_state_from_bytes(std::string bytes,
+                                             const nn::NamedParams& params,
+                                             const std::string& label);
 
  private:
   bool save_with_retry(const std::string& path, const nn::NamedParams& params,

@@ -20,10 +20,17 @@ namespace qpinn::dist {
 namespace {
 
 constexpr std::uint32_t kFrameMagic = 0x51444631u;  // "QDF1"
-constexpr std::uint64_t kMaxPayload = std::uint64_t{1} << 30;
-constexpr std::size_t kHeaderBytes = 32;
 
 std::int64_t now_ms() { return steady_now_ms(); }
+
+/// Header fields in decoded form; only produced by parse_frame_header,
+/// i.e. after every field has been validated.
+struct ParsedHeader {
+  MsgType type = MsgType::kHello;
+  std::int64_t epoch = 0;
+  std::int64_t rank = 0;
+  std::uint64_t payload_len = 0;
+};
 
 void append_pod(std::string& out, const void* data, std::size_t len) {
   out.append(static_cast<const char*>(data), len);
@@ -34,6 +41,35 @@ T read_pod_at(const unsigned char* buf) {
   T value;
   std::memcpy(&value, buf, sizeof(T));
   return value;
+}
+
+/// Validates and decodes the fixed 32-byte header. Rejects a bad magic
+/// word, an unknown message type, and a payload length above the hard cap
+/// — all before the caller allocates anything for the payload.
+ParsedHeader parse_frame_header(const unsigned char* header,
+                                std::int64_t peer_rank) {
+  const auto magic = read_pod_at<std::uint32_t>(header);
+  if (magic != kFrameMagic) {
+    throw TransportError("decode", peer_rank, 1, "bad frame magic");
+  }
+  const auto raw_type = read_pod_at<std::uint32_t>(header + 4);
+  if (raw_type < static_cast<std::uint32_t>(MsgType::kHello) ||
+      raw_type > static_cast<std::uint32_t>(MsgType::kShutdown)) {
+    throw TransportError("decode", peer_rank, 1,
+                         "unknown message type " + std::to_string(raw_type));
+  }
+  ParsedHeader parsed;
+  parsed.type = static_cast<MsgType>(raw_type);
+  parsed.epoch = read_pod_at<std::int64_t>(header + 8);
+  parsed.rank = read_pod_at<std::int64_t>(header + 16);
+  parsed.payload_len = read_pod_at<std::uint64_t>(header + 24);
+  if (parsed.payload_len > kMaxFramePayload) {
+    throw TransportError("decode", peer_rank, 1,
+                         "payload length " +
+                             std::to_string(parsed.payload_len) +
+                             " exceeds the frame cap");
+  }
+  return parsed;
 }
 
 /// Writes the whole buffer, retrying on short writes and EINTR.
@@ -118,8 +154,12 @@ sockaddr_un make_address(const std::string& endpoint) {
 }  // namespace
 
 std::int64_t steady_now_ms() {
+  // The transport's deadline clock: the one sanctioned monotonic source
+  // outside util/timer.hpp. Deadlines never feed numeric training state,
+  // so replay bit-identity is unaffected.
+  using clock = std::chrono::steady_clock;  // lint-allow: banned-wallclock
   return std::chrono::duration_cast<std::chrono::milliseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
+             clock::now().time_since_epoch())
       .count();
 }
 
@@ -267,18 +307,9 @@ Socket connect_peer(const std::string& endpoint, const TransportOptions& opts,
                        "connect(" + endpoint + ") failed: " + last_error);
 }
 
-void send_frame(Socket& socket, const Frame& frame, std::int64_t self_rank) {
-  auto& injector = FaultInjector::instance();
-  if (injector.rank_in_scope(self_rank)) {
-    const std::int64_t delay = injector.delay_ms();
-    if (delay > 0 && injector.should_fire(kFaultDistDelay)) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
-    }
-    if (injector.should_fire(kFaultDistDropMsg)) return;
-  }
-
+std::string encode_frame(const Frame& frame) {
   std::string wire;
-  wire.reserve(kHeaderBytes + frame.payload.size() + sizeof(std::uint32_t));
+  wire.reserve(kFrameHeaderBytes + frame.payload.size() + kFrameTrailerBytes);
   const auto type = static_cast<std::uint32_t>(frame.type);
   const auto payload_len = static_cast<std::uint64_t>(frame.payload.size());
   append_pod(wire, &kFrameMagic, sizeof(kFrameMagic));
@@ -289,40 +320,81 @@ void send_frame(Socket& socket, const Frame& frame, std::int64_t self_rank) {
   wire += frame.payload;
   const std::uint32_t checksum = crc32(frame.payload);
   append_pod(wire, &checksum, sizeof(checksum));
+  return wire;
+}
+
+Frame decode_frame(const void* data, std::size_t len,
+                   std::int64_t peer_rank) {
+  if (len < kFrameHeaderBytes + kFrameTrailerBytes) {
+    throw TransportError("decode", peer_rank, 1,
+                         "buffer shorter than frame header + CRC trailer");
+  }
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  const ParsedHeader parsed = parse_frame_header(bytes, peer_rank);
+  const std::uint64_t present = len - kFrameHeaderBytes - kFrameTrailerBytes;
+  if (parsed.payload_len != present) {
+    throw TransportError("decode", peer_rank, 1,
+                         "payload length field " +
+                             std::to_string(parsed.payload_len) +
+                             " disagrees with the " +
+                             std::to_string(present) + " bytes present");
+  }
+  Frame frame;
+  frame.type = parsed.type;
+  frame.epoch = parsed.epoch;
+  frame.rank = parsed.rank;
+  frame.payload.assign(
+      reinterpret_cast<const char*>(bytes + kFrameHeaderBytes),
+      static_cast<std::size_t>(parsed.payload_len));
+  const auto checksum = read_pod_at<std::uint32_t>(
+      bytes + kFrameHeaderBytes + parsed.payload_len);
+  if (checksum != crc32(frame.payload)) {
+    throw TransportError("decode", peer_rank, 1, "frame CRC mismatch");
+  }
+  return frame;
+}
+
+void send_frame(Socket& socket, const Frame& frame, std::int64_t self_rank) {
+  auto& injector = FaultInjector::instance();
+  if (injector.rank_in_scope(self_rank)) {
+    const std::int64_t delay = injector.delay_ms();
+    if (delay > 0 && injector.should_fire(kFaultDistDelay)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+    if (injector.should_fire(kFaultDistDropMsg)) return;
+  }
+  const std::string wire = encode_frame(frame);
   send_all(socket, wire.data(), wire.size(), frame.rank);
 }
 
 std::optional<Frame> recv_frame(Socket& socket, std::int64_t timeout_ms,
                                 std::int64_t peer_rank) {
   const std::int64_t deadline = now_ms() + timeout_ms;
-  unsigned char header[kHeaderBytes];
+  unsigned char header[kFrameHeaderBytes];
   if (!recv_exact(socket, header, sizeof(header), deadline, peer_rank,
                   /*started=*/false)) {
     return std::nullopt;
   }
-  const auto magic = read_pod_at<std::uint32_t>(header);
-  if (magic != kFrameMagic) {
-    throw TransportError("recv", peer_rank, 1, "bad frame magic");
-  }
+  // Magic, type, and length are all validated before the payload buffer is
+  // sized, so a corrupt header surfaces as a TransportError, never as an
+  // unbounded allocation.
+  const ParsedHeader parsed = parse_frame_header(header, peer_rank);
   Frame frame;
-  frame.type = static_cast<MsgType>(read_pod_at<std::uint32_t>(header + 4));
-  frame.epoch = read_pod_at<std::int64_t>(header + 8);
-  frame.rank = read_pod_at<std::int64_t>(header + 16);
-  const auto payload_len = read_pod_at<std::uint64_t>(header + 24);
-  if (payload_len > kMaxPayload) {
-    throw TransportError("recv", peer_rank, 1, "oversized frame payload");
-  }
-  frame.payload.resize(static_cast<std::size_t>(payload_len));
-  if (payload_len > 0) {
+  frame.type = parsed.type;
+  frame.epoch = parsed.epoch;
+  frame.rank = parsed.rank;
+  frame.payload.resize(static_cast<std::size_t>(parsed.payload_len));
+  if (parsed.payload_len > 0) {
     recv_exact(socket, frame.payload.data(),
-               static_cast<std::size_t>(payload_len), deadline, peer_rank,
+               static_cast<std::size_t>(parsed.payload_len), deadline,
+               peer_rank,
                /*started=*/true);
   }
   std::uint32_t checksum = 0;
   recv_exact(socket, &checksum, sizeof(checksum), deadline, peer_rank,
              /*started=*/true);
   if (checksum != crc32(frame.payload)) {
-    throw TransportError("recv", peer_rank, 1, "frame CRC mismatch");
+    throw TransportError("decode", peer_rank, 1, "frame CRC mismatch");
   }
   return frame;
 }

@@ -100,6 +100,28 @@ struct Frame {
   std::string payload;
 };
 
+/// Fixed wire-format geometry: a 32-byte header (magic, type, epoch, rank,
+/// payload length) followed by the payload and a CRC-32 of the payload.
+constexpr std::size_t kFrameHeaderBytes = 32;
+constexpr std::size_t kFrameTrailerBytes = sizeof(std::uint32_t);
+/// Hard cap on a payload length field, enforced before any allocation so a
+/// corrupt or hostile length can never drive a multi-gigabyte resize.
+constexpr std::uint64_t kMaxFramePayload = std::uint64_t{1} << 30;
+
+/// Serializes one frame into its wire form: header, payload, CRC trailer.
+std::string encode_frame(const Frame& frame);
+
+/// Decodes one complete frame from an untrusted byte buffer. Every header
+/// field is validated before the payload is touched: the magic word, the
+/// message type (must be a known MsgType), and the payload length (hard
+/// cap, and it must account for exactly the bytes present). The payload
+/// CRC-32 must match. Throws TransportError naming the defect; never
+/// crashes or allocates more than `len` bytes. recv_frame applies the same
+/// validation on the streaming path, and fuzz/fuzz_frame_decode.cpp drives
+/// this entry point directly.
+Frame decode_frame(const void* data, std::size_t len,
+                   std::int64_t peer_rank = -1);
+
 /// RAII file-descriptor wrapper for one connected stream socket.
 class Socket {
  public:

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <fstream>
 #include <map>
+#include <sstream>
 
 #include "util/atomic_io.hpp"
 #include "util/binary_io.hpp"
@@ -141,6 +142,14 @@ void load_parameters(const std::string& path, const NamedParams& params) {
   read_header(in, path);
   // v2 sections (if any) carry training state, not parameters — ignored.
   read_param_block(in, params, size);
+}
+
+void load_parameters_from_bytes(const std::string& bytes,
+                                const NamedParams& params,
+                                const std::string& label) {
+  std::istringstream in(bytes, std::ios::binary);
+  read_header(in, label);
+  read_param_block(in, params, bytes.size());
 }
 
 }  // namespace qpinn::nn

@@ -49,6 +49,14 @@ void save_parameters(const std::string& path, const NamedParams& params);
 /// corruption or mismatch. Sections of v2 files are ignored.
 void load_parameters(const std::string& path, const NamedParams& params);
 
+/// Byte-level counterpart of load_parameters, parsing `bytes` as a whole
+/// checkpoint file. `label` names the source in error messages. Untrusted
+/// input is safe: every length field is bounded before allocation. This is
+/// the entry point fuzz/fuzz_model_deserialize.cpp drives.
+void load_parameters_from_bytes(const std::string& bytes,
+                                const NamedParams& params,
+                                const std::string& label);
+
 // ---- stream-level building blocks (shared with core::Checkpointer) ------
 
 /// Writes the "QPNN" magic and a version word.

@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "core/checkpoint.hpp"
+#include "fuzz/harness_model.hpp"
 #include "nn/mlp.hpp"
 #include "optim/adam.hpp"
 #include "util/atomic_io.hpp"
@@ -284,6 +285,62 @@ TEST_F(CheckpointTest, TrailerlessFileFromOldWriterStillLoads) {
   EXPECT_EQ(loaded.epoch, 23);
   EXPECT_DOUBLE_EQ(loaded.best_loss, 0.5);
   std::remove(path.c_str());
+}
+
+// ---- committed fuzz corpus / artifact replay ---------------------------
+//
+// The inputs live in fuzz/corpus/checkpoint_load and
+// fuzz/artifacts/checkpoint_load (QPINN_FUZZ_DIR, regenerated by
+// fuzz_gen_seeds). Replaying them here keeps the hardening fixes covered
+// in every build configuration, not just fuzzing ones.
+
+std::string read_fuzz_input(const std::string& rel) {
+  const std::string bytes = read_file(std::string(QPINN_FUZZ_DIR) + "/" + rel);
+  EXPECT_FALSE(bytes.empty()) << "missing fuzz input " << rel;
+  return bytes;
+}
+
+TEST_F(CheckpointTest, FuzzCorpusSeedStateLoads) {
+  const std::string bytes =
+      read_fuzz_input("corpus/checkpoint_load/full_state.qckpt");
+  const TrainingState state = Checkpointer::load_state_from_bytes(
+      bytes, fuzz::harness_params(), "fuzz-seed");
+  EXPECT_EQ(state.epoch, 3);
+  EXPECT_DOUBLE_EQ(state.lr_scale, 0.5);
+  EXPECT_EQ(state.recoveries, 1);
+  EXPECT_DOUBLE_EQ(state.best_loss, 2.5e-2);
+  ASSERT_TRUE(state.has_interior);
+  EXPECT_EQ(state.interior.shape(), (Shape{4, 2}));
+}
+
+TEST_F(CheckpointTest, FuzzArtifactsRejectWithStructuredErrors) {
+  struct Case {
+    const char* rel;            // under fuzz/artifacts/checkpoint_load
+    bool checkpoint_error;      // CheckpointError, or base IoError from
+                                // the shared parameter-block reader
+  };
+  const Case cases[] = {
+      {"bitflip.qckpt", true},
+      {"v1_reject.qckpt", true},
+      {"truncated_no_trailer.qckpt", false},
+      {"huge_section_len.qckpt", false},
+      {"huge_tensor_extent.qckpt", false},
+      {"huge_param_count.qckpt", false},
+  };
+  for (const Case& test_case : cases) {
+    SCOPED_TRACE(test_case.rel);
+    const std::string bytes = read_fuzz_input(
+        std::string("artifacts/checkpoint_load/") + test_case.rel);
+    const auto load = [&] {
+      Checkpointer::load_state_from_bytes(bytes, fuzz::harness_params(),
+                                          test_case.rel);
+    };
+    if (test_case.checkpoint_error) {
+      EXPECT_THROW(load(), CheckpointError);
+    } else {
+      EXPECT_THROW(load(), IoError);
+    }
+  }
 }
 
 // ---- rotating saves with write faults ----------------------------------

@@ -13,6 +13,7 @@
 #include <cmath>
 #include <cstdio>
 #include <exception>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -221,6 +222,57 @@ TEST(DistTransport, GarbageBytesSurfaceStructuredError) {
             static_cast<ssize_t>(sizeof(junk)));
   EXPECT_THROW(dist::recv_frame(b, 1000, /*peer_rank=*/1),
                dist::TransportError);
+}
+
+// Committed fuzz inputs (fuzz/corpus|artifacts/frame_decode, regenerated
+// by fuzz_gen_seeds): valid seeds must round-trip through
+// decode_frame/encode_frame bit-exactly, and every minimized adversarial
+// artifact must be rejected with a structured TransportError before any
+// payload allocation happens.
+std::string read_fuzz_input(const std::string& rel) {
+  std::ifstream in(std::string(QPINN_FUZZ_DIR) + "/" + rel,
+                   std::ios::binary);
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  EXPECT_FALSE(bytes.empty()) << "missing fuzz input " << rel;
+  return bytes;
+}
+
+TEST(DistTransport, FuzzCorpusFramesRoundTripThroughDecode) {
+  for (const char* rel : {"corpus/frame_decode/hello.bin",
+                          "corpus/frame_decode/grad_contrib.bin"}) {
+    SCOPED_TRACE(rel);
+    const std::string bytes = read_fuzz_input(rel);
+    const dist::Frame frame = dist::decode_frame(bytes.data(), bytes.size());
+    EXPECT_EQ(dist::encode_frame(frame), bytes);
+  }
+}
+
+TEST(DistTransport, FuzzArtifactsRejectWithStructuredErrors) {
+  struct Case {
+    const char* rel;            // under fuzz/artifacts/frame_decode
+    const char* expect_substr;  // diagnostic the error must carry
+  };
+  const Case cases[] = {
+      {"unknown_type.bin", "unknown message type"},
+      {"oversized_len.bin", "exceeds the frame cap"},
+      {"length_mismatch.bin", "disagrees with"},
+      {"bad_crc.bin", "CRC mismatch"},
+      {"short_buffer.bin", "shorter than frame header"},
+  };
+  for (const Case& test_case : cases) {
+    SCOPED_TRACE(test_case.rel);
+    const std::string bytes = read_fuzz_input(
+        std::string("artifacts/frame_decode/") + test_case.rel);
+    try {
+      dist::decode_frame(bytes.data(), bytes.size());
+      ADD_FAILURE() << "expected TransportError";
+    } catch (const dist::TransportError& err) {
+      EXPECT_NE(std::string(err.what()).find(test_case.expect_substr),
+                std::string::npos)
+          << "got: " << err.what();
+    }
+  }
 }
 
 TEST(DistTransport, RecvTimesOutCleanlyAndEofThrowsPeerLost) {

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Replay the committed fuzz corpora and regression artifacts.
+
+For every harness target this feeds each file under
+``fuzz/corpus/<target>/`` and ``fuzz/artifacts/<target>/`` through the
+built binary and fails on any non-zero exit (crash, sanitizer report,
+round-trip trap). Both engine modes share the contract that file
+arguments are replayed once and the process exits 0:
+
+* libFuzzer binaries (clang): ``./fuzz_<target> file...``
+* standalone driver (gcc):     same invocation, driver main()
+
+Usage: tools/fuzz_regress.py --fuzz-dir FUZZ_DIR --bin-dir BIN_DIR
+       [--targets frame_decode,checkpoint_load,...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import subprocess
+import sys
+
+DEFAULT_TARGETS = (
+    "frame_decode",
+    "checkpoint_load",
+    "model_deserialize",
+    "env_cli",
+)
+
+
+def collect_inputs(fuzz_dir: pathlib.Path, target: str) -> list[pathlib.Path]:
+    inputs: list[pathlib.Path] = []
+    for kind in ("corpus", "artifacts"):
+        directory = fuzz_dir / kind / target
+        if directory.is_dir():
+            inputs.extend(sorted(p for p in directory.iterdir()
+                                 if p.is_file()))
+    return inputs
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fuzz-dir", required=True,
+                        help="repo fuzz/ directory (corpus + artifacts)")
+    parser.add_argument("--bin-dir", required=True,
+                        help="directory holding the fuzz_<target> binaries")
+    parser.add_argument("--targets", default=",".join(DEFAULT_TARGETS),
+                        help="comma-separated target list")
+    args = parser.parse_args()
+
+    fuzz_dir = pathlib.Path(args.fuzz_dir)
+    bin_dir = pathlib.Path(args.bin_dir)
+    failures = 0
+    replayed = 0
+    for target in [t for t in args.targets.split(",") if t]:
+        binary = bin_dir / f"fuzz_{target}"
+        if not binary.is_file():
+            print(f"fuzz_regress: missing binary {binary}", file=sys.stderr)
+            failures += 1
+            continue
+        inputs = collect_inputs(fuzz_dir, target)
+        if not inputs:
+            print(f"fuzz_regress: no committed inputs for {target}",
+                  file=sys.stderr)
+            failures += 1
+            continue
+        result = subprocess.run(
+            [str(binary)] + [str(p) for p in inputs],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        replayed += len(inputs)
+        if result.returncode != 0:
+            print(f"fuzz_regress: {target} FAILED "
+                  f"(exit {result.returncode})\n{result.stdout}",
+                  file=sys.stderr)
+            failures += 1
+        else:
+            print(f"fuzz_regress: {target}: {len(inputs)} input(s) ok")
+
+    status = "FAIL" if failures else "OK"
+    print(f"fuzz_regress: {replayed} input(s) replayed, "
+          f"{failures} failing target(s) [{status}]")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,21 @@
 #!/usr/bin/env python3
-"""Repo lint: mechanical rules the compiler does not enforce.
+"""Repo lint: mechanical determinism rules the compiler does not enforce.
 
-Rules (each finding prints ``path:line: [rule] message``; exit 1 if any):
+The analyzer runs in passes:
+
+  1. lex       — comments and string/char literals are blanked (positions
+                 preserved), so prose mentioning ``new`` or ``rand()``
+                 never trips a gate.
+  2. rules     — every rule walks the lexed files and emits findings.
+  3. suppress  — a finding on a line carrying a matching
+                 ``// lint-allow: <rule>`` tag is dropped and the tag is
+                 marked used; tags that suppress nothing become
+                 ``unused-suppression`` findings, so stale allows cannot
+                 accumulate.
+  4. report    — text (``path:line: [rule] message``) or ``--format=sarif``
+                 (SARIF 2.1.0, one run, one result per finding).
+
+Rules (exit 1 if any finding survives suppression):
 
   banned-random   no C ``rand()`` / ``srand()`` in src/ — use util/rng.hpp,
                   which is seeded, splittable, and deterministic across runs.
@@ -11,8 +25,7 @@ Rules (each finding prints ``path:line: [rule] message``; exit 1 if any):
   pragma-once     every header under src/ starts its include guard with
                   ``#pragma once``.
   naked-new       no ``new`` expressions — ownership goes through
-                  make_unique/make_shared/containers. Suppress a deliberate
-                  use with a trailing ``// lint-allow: naked-new``.
+                  make_unique/make_shared/containers.
   test-coverage   every src/<mod>/<name>.cpp with a sibling header is
                   directly included by at least one tests/*_test.cpp, so no
                   module silently drops out of the suite.
@@ -20,38 +33,62 @@ Rules (each finding prints ``path:line: [rule] message``; exit 1 if any):
                   no ``make_shared<std::vector<double>>`` outside
                   src/tensor/storage_pool.cpp — tensor buffers must come
                   from the pool so recycling and the allocation counters
-                  stay accurate (QPINN_NO_POOL flows through the pool too).
+                  stay accurate.
   banned-intrinsics
-                  no raw SIMD intrinsics (immintrin.h / arm_neon.h,
-                  ``_mm*``/``__m*`` / ``v*q_f64`` identifiers) outside
-                  src/tensor/simd.hpp — all vector code goes through the
-                  dispatch tables there, so every kernel exists in every
-                  variant and the QPINN_SIMD override stays meaningful.
+                  no raw SIMD intrinsics outside src/tensor/simd.hpp — all
+                  vector code goes through the dispatch tables there.
   banned-node-construction
-                  no direct tape-``Node`` construction (``make_shared<Node>``
-                  or ``new Node``) outside src/autodiff/ — graph capture &
-                  replay (autodiff/plan.hpp) records every op launched
-                  through the autodiff layer; a Node built elsewhere would
-                  run eagerly but silently drop out of captured plans.
+                  no direct tape-``Node`` construction outside
+                  src/autodiff/ — a Node built elsewhere would run eagerly
+                  but silently drop out of captured plans.
   banned-raw-sockets
-                  no raw blocking socket calls (``recv``/``accept``/
-                  ``connect``) outside src/dist/transport.cpp — the
-                  transport wraps every one with a deadline, bounded
-                  retries, and framing CRC; a bare call elsewhere can hang
-                  a rank forever and bypass the failure detector.
+                  no raw blocking socket calls outside
+                  src/dist/transport.cpp — the transport wraps every one
+                  with a deadline, bounded retries, and framing CRC.
+  banned-fma      no explicit fused multiply-add (``std::fma``,
+                  ``__builtin_fma*``, ``FP_CONTRACT ON``) outside
+                  src/tensor/simd.hpp — contraction changes rounding per
+                  target and breaks the cross-variant bit-identity contract;
+                  the simd kernel tables pin fma semantics per variant.
+  banned-wallclock
+                  no time sources (chrono clocks, ``time()``,
+                  ``gettimeofday``, ``clock_gettime``, ...) outside
+                  src/util/timer.hpp and src/util/logging.cpp — timing must
+                  flow through the Timer/logging layer so numerics never
+                  read the clock and replay stays deterministic.
+  banned-unordered-float-reduce
+                  no ``unordered_map``/``unordered_set`` whose element or
+                  mapped type is directly ``float``/``double`` — iteration
+                  is hash-order and reducing over it reorders the
+                  floating-point sum between runs.
+  catch-all-swallow
+                  every ``catch (...)`` must rethrow (``throw;``) or
+                  capture ``std::current_exception()`` — swallowing unknown
+                  exceptions hides rank failures from the training loop.
+                  Teardown paths in src/dist/launcher.cpp and
+                  src/dist/transport.cpp are exempt.
+  unused-suppression
+                  every ``// lint-allow: <rule>`` tag must suppress a real
+                  finding on its line; stale tags are findings themselves.
 
-Comments and string literals are stripped before token rules run, so prose
-mentioning ``new`` or ``rand()`` never trips the gate.
-
-Usage: tools/qpinn_lint.py [--root REPO_ROOT]
+Usage: tools/qpinn_lint.py [--root REPO_ROOT] [--format {text,sarif}]
+                           [--output FILE]
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import pathlib
 import re
 import sys
+from typing import Iterable, Iterator
+
+TOOL_NAME = "qpinn_lint"
+TOOL_VERSION = "2.0.0"
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
 
 HEADER_EXT = ".hpp"
 SOURCE_EXTS = (".hpp", ".cpp")
@@ -118,146 +155,399 @@ def strip_code(text: str) -> str:
     return "".join(out)
 
 
+@dataclasses.dataclass
 class Finding:
-    def __init__(self, path: pathlib.Path, line: int, rule: str, message: str):
-        self.path, self.line, self.rule, self.message = path, line, rule, message
+    rel: str
+    line: int
+    rule: str
+    message: str
 
     def __str__(self) -> str:
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+        return f"{self.rel}:{self.line}: [{self.rule}] {self.message}"
 
 
-def allowed(raw_line: str, rule: str) -> bool:
-    tag = raw_line.rsplit(ALLOW_TAG, 1)
-    return len(tag) == 2 and rule in tag[1]
+@dataclasses.dataclass
+class SourceFile:
+    """A lexed source file: raw lines for suppression tags, code lines
+    (comments/strings blanked) for the token rules."""
+    path: pathlib.Path
+    rel: str
+    raw_lines: list[str]
+    code_text: str
+    code_lines: list[str]
+
+    @staticmethod
+    def load(path: pathlib.Path, root: pathlib.Path) -> "SourceFile":
+        raw = path.read_text(encoding="utf-8")
+        code = strip_code(raw)
+        return SourceFile(path=path,
+                          rel=path.relative_to(root).as_posix(),
+                          raw_lines=raw.splitlines(),
+                          code_text=code,
+                          code_lines=code.splitlines())
 
 
-def token_rules(path: pathlib.Path, findings: list[Finding]) -> None:
-    raw = path.read_text(encoding="utf-8")
-    raw_lines = raw.splitlines()
-    code_lines = strip_code(raw).splitlines()
+class Rule:
+    """One named analysis pass over the lexed file set."""
 
-    rules = [
-        # C rand() takes no arguments; qpinn's Tensor::rand(shape, rng, ...)
-        # never matches the empty-parens form.
-        ("banned-random", re.compile(r"\b(?:std::)?rand\s*\(\s*\)"),
-         "C rand() is banned; use util/rng.hpp (seeded, deterministic)"),
-        ("banned-random", re.compile(r"\bsrand\s*\("),
-         "srand() is banned; use util/rng.hpp (seeded, deterministic)"),
-        ("banned-stdout", re.compile(r"\bstd::cout\b"),
-         "std::cout is banned in src/; use util/logging.hpp"),
-        ("naked-new", re.compile(r"\bnew\b"),
-         "naked new is banned; use make_unique/make_shared or a container"),
-    ]
-    # The pool implementation is the one place allowed to talk to the heap
-    # for tensor buffers; everything else must go through StoragePool.
-    if path.as_posix().rsplit("src/", 1)[-1] != "tensor/storage_pool.cpp":
-        rules.append((
+    name = ""
+    short = ""  # one-line description, exported to SARIF
+
+    def check(self, files: list[SourceFile]) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+class RegexRule(Rule):
+    """Line-oriented token rule: any pattern hit on a lexed line is a
+    finding, unless the file is exempt (exact rel path or rel prefix)."""
+
+    def __init__(self, name: str, short: str, message: str,
+                 patterns: Iterable[str], exempt: Iterable[str] = (),
+                 exempt_prefixes: Iterable[str] = ()):
+        self.name, self.short, self.message = name, short, message
+        self.patterns = [re.compile(p) for p in patterns]
+        self.exempt = frozenset(exempt)
+        self.exempt_prefixes = tuple(exempt_prefixes)
+
+    def applies_to(self, rel: str) -> bool:
+        return (rel not in self.exempt and
+                not rel.startswith(self.exempt_prefixes)
+                if self.exempt_prefixes else rel not in self.exempt)
+
+    def check(self, files: list[SourceFile]) -> Iterator[Finding]:
+        for f in files:
+            if not self.applies_to(f.rel):
+                continue
+            for lineno, code in enumerate(f.code_lines, start=1):
+                if any(p.search(code) for p in self.patterns):
+                    yield Finding(f.rel, lineno, self.name, self.message)
+
+
+class PragmaOnceRule(Rule):
+    name = "pragma-once"
+    short = "headers start with #pragma once"
+
+    def check(self, files: list[SourceFile]) -> Iterator[Finding]:
+        for f in files:
+            if f.path.suffix != HEADER_EXT:
+                continue
+            for raw in f.raw_lines:
+                stripped = raw.strip()
+                if stripped == "#pragma once":
+                    break
+                if stripped and not stripped.startswith("//"):
+                    yield Finding(f.rel, 1, self.name,
+                                  "header must start with #pragma once")
+                    break
+            else:
+                yield Finding(f.rel, 1, self.name,
+                              "header must start with #pragma once")
+
+
+class TestCoverageRule(Rule):
+    """Repo-level rule: every src/ translation unit with a sibling header
+    must have that header included by some tests/*_test.cpp."""
+
+    name = "test-coverage"
+    short = "every module header is included by a test suite"
+
+    def __init__(self, src: pathlib.Path, tests: pathlib.Path,
+                 root: pathlib.Path):
+        self.src, self.tests, self.root = src, tests, root
+
+    def check(self, files: list[SourceFile]) -> Iterator[Finding]:
+        included: set[str] = set()
+        include_re = re.compile(r'#include\s+"([^"]+)"')
+        for test in sorted(self.tests.glob("*_test.cpp")):
+            for match in include_re.finditer(
+                    test.read_text(encoding="utf-8")):
+                included.add(match.group(1))
+        for f in files:
+            if f.path.suffix != ".cpp":
+                continue
+            header = f.path.with_suffix(HEADER_EXT)
+            if not header.is_file():
+                continue
+            rel = header.relative_to(self.src).as_posix()
+            if rel not in included:
+                yield Finding(
+                    f.rel, 1, self.name,
+                    f'no tests/*_test.cpp includes "{rel}"; add a test or '
+                    f"an include to an existing suite")
+
+
+class CatchAllSwallowRule(Rule):
+    """Brace-matching rule: a ``catch (...)`` block must rethrow, capture
+    std::current_exception(), or deliberately terminate. Launcher and
+    transport teardown paths (best-effort cleanup of dead peers) are
+    exempt."""
+
+    name = "catch-all-swallow"
+    short = "catch (...) must rethrow or capture current_exception"
+    EXEMPT = frozenset({"src/dist/launcher.cpp", "src/dist/transport.cpp"})
+    CATCH = re.compile(r"\bcatch\s*\(\s*\.\.\.\s*\)")
+    HANDLED = re.compile(r"\bthrow\s*;|\bcurrent_exception\b|"
+                         r"\brethrow_exception\b|\bterminate\s*\(|"
+                         r"\babort\s*\(")
+
+    def check(self, files: list[SourceFile]) -> Iterator[Finding]:
+        for f in files:
+            if f.rel in self.EXEMPT:
+                continue
+            text = f.code_text
+            for match in self.CATCH.finditer(text):
+                brace = text.find("{", match.end())
+                if brace < 0:
+                    continue
+                depth, i = 0, brace
+                while i < len(text):
+                    if text[i] == "{":
+                        depth += 1
+                    elif text[i] == "}":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    i += 1
+                body = text[brace:i + 1]
+                if not self.HANDLED.search(body):
+                    line = text.count("\n", 0, match.start()) + 1
+                    yield Finding(
+                        f.rel, line, self.name,
+                        "catch (...) swallows the exception; rethrow "
+                        "(throw;) or capture std::current_exception() so "
+                        "failures reach the training loop")
+
+
+def build_rules(src: pathlib.Path, tests: pathlib.Path,
+                root: pathlib.Path) -> list[Rule]:
+    """The full rule registry, in reporting order."""
+    return [
+        RegexRule(
+            "banned-random", "no C rand()/srand(); use util/rng.hpp",
+            "C rand()/srand() is banned; use util/rng.hpp (seeded, "
+            "deterministic)",
+            # C rand() takes no arguments; qpinn's Tensor::rand(shape, ...)
+            # never matches the empty-parens form.
+            [r"\b(?:std::)?rand\s*\(\s*\)", r"\bsrand\s*\("]),
+        RegexRule(
+            "banned-stdout", "no std::cout in src/; use util/logging.hpp",
+            "std::cout is banned in src/; use util/logging.hpp",
+            [r"\bstd::cout\b"]),
+        RegexRule(
+            "naked-new", "no naked new expressions",
+            "naked new is banned; use make_unique/make_shared or a "
+            "container",
+            [r"\bnew\b"]),
+        RegexRule(
             "banned-raw-storage",
-            re.compile(r"make_shared\s*<\s*std::vector\s*<\s*double\b"),
+            "tensor buffers come from tensor/storage_pool.hpp",
             "raw tensor-buffer allocation is banned; acquire storage via "
-            "tensor/storage_pool.hpp so pooling and counters stay accurate"))
-    # The autodiff layer owns the tape: every Node must be built by its op
-    # launchers so graph capture (autodiff/plan.hpp) sees it. A Node built
-    # anywhere else would execute eagerly but never be recorded, silently
-    # breaking replay bit-identity.
-    if not path.as_posix().rsplit("src/", 1)[-1].startswith("autodiff/"):
-        rules.append((
+            "tensor/storage_pool.hpp so pooling and counters stay accurate",
+            [r"make_shared\s*<\s*std::vector\s*<\s*double\b"],
+            exempt=["src/tensor/storage_pool.cpp"]),
+        RegexRule(
+            "banned-intrinsics",
+            "raw SIMD intrinsics only inside tensor/simd.hpp",
+            "raw SIMD intrinsics are banned outside tensor/simd.hpp; use "
+            "the simd::active() kernel tables",
+            [r"#include\s*<(?:immintrin|arm_neon)\.h>",
+             r"\b_mm\d*_\w+", r"\b__m\d+[di]?\b",
+             r"\bfloat64x\d+_t\b|\bv\w+q_f64\b"],
+            exempt=["src/tensor/simd.hpp"]),
+        RegexRule(
             "banned-node-construction",
-            re.compile(r"(?:make_shared\s*<|new\s+)\s*(?:\w+\s*::\s*)*Node\b"),
+            "tape Nodes are built only inside src/autodiff/",
             "direct tape-Node construction is banned outside src/autodiff/; "
-            "go through the autodiff ops so plan capture records the op"))
-    # The transport owns the sockets: every recv/accept/connect there runs
-    # under a deadline with bounded retries and CRC framing. A bare call
-    # anywhere else can block a rank forever — invisible to the heartbeat
-    # failure detector, which only watches transport traffic. The
-    # lookbehind skips member access (timer.connect, obj->accept) while
-    # still catching the global-namespace ::recv spelling.
-    if path.as_posix().rsplit("src/", 1)[-1] != "dist/transport.cpp":
-        rules.append((
+            "go through the autodiff ops so plan capture records the op",
+            [r"(?:make_shared\s*<|new\s+)\s*(?:\w+\s*::\s*)*Node\b"],
+            exempt_prefixes=["src/autodiff/"]),
+        RegexRule(
             "banned-raw-sockets",
-            re.compile(r"(?<![\w.>])(?:::\s*)?\b(?:recv|accept|connect)"
-                       r"\s*\("),
+            "raw socket calls only inside dist/transport.cpp",
             "raw socket calls are banned outside dist/transport.cpp; use "
-            "the Socket/Listener wrappers (deadlines, retries, framing)"))
-    # The SIMD abstraction is the one place allowed to spell intrinsics;
-    # everywhere else goes through its dispatch tables so each kernel exists
-    # in every variant (including the scalar QPINN_SIMD=off fallback).
-    if path.as_posix().rsplit("src/", 1)[-1] != "tensor/simd.hpp":
-        message = ("raw SIMD intrinsics are banned outside tensor/simd.hpp; "
-                   "use the simd::active() kernel tables")
-        rules.extend([
-            ("banned-intrinsics",
-             re.compile(r"#include\s*<(?:immintrin|arm_neon)\.h>"), message),
-            ("banned-intrinsics", re.compile(r"\b_mm\d*_\w+"), message),
-            ("banned-intrinsics", re.compile(r"\b__m\d+[di]?\b"), message),
-            ("banned-intrinsics",
-             re.compile(r"\bfloat64x\d+_t\b|\bv\w+q_f64\b"), message),
-        ])
-    for lineno, code in enumerate(code_lines, start=1):
-        for rule, pattern, message in rules:
-            if pattern.search(code) and not allowed(raw_lines[lineno - 1], rule):
-                findings.append(Finding(path, lineno, rule, message))
+            "the Socket/Listener wrappers (deadlines, retries, framing)",
+            # The lookbehind skips member access (timer.connect,
+            # obj->accept) while catching the global ::recv spelling.
+            [r"(?<![\w.>])(?:::\s*)?\b(?:recv|accept|connect)\s*\("],
+            exempt=["src/dist/transport.cpp"]),
+        RegexRule(
+            "banned-fma",
+            "explicit FMA contraction only inside tensor/simd.hpp",
+            "explicit fused multiply-add is banned outside tensor/simd.hpp; "
+            "contraction changes rounding per target and breaks the "
+            "cross-variant bit-identity contract — use the simd kernel "
+            "tables",
+            [r"(?<![\w.>:])(?:std\s*::\s*)?fma[fl]?\s*\(",
+             r"\b__builtin_fma\w*\b",
+             r"#pragma\s+STDC\s+FP_CONTRACT\s+ON"],
+            exempt=["src/tensor/simd.hpp"]),
+        RegexRule(
+            "banned-wallclock",
+            "time sources only inside util/timer.hpp and util/logging.cpp",
+            "time sources are banned outside util/timer.hpp and "
+            "util/logging.cpp; route timing through util::Timer so numerics "
+            "never read the clock and replay stays deterministic",
+            [r"\b(?:system_clock|steady_clock|high_resolution_clock)\b",
+             r"\b(?:gettimeofday|clock_gettime|timespec_get|localtime"
+             r"|gmtime)\s*\(",
+             r"(?<![\w.>:])(?:std\s*::\s*)?time\s*\(",
+             r"(?<![\w.>:])(?:std\s*::\s*)?clock\s*\(\s*\)"],
+            exempt=["src/util/timer.hpp", "src/util/logging.cpp"]),
+        RegexRule(
+            "banned-unordered-float-reduce",
+            "no unordered containers of float/double elements",
+            "unordered containers iterate in hash order; a float/double "
+            "element or mapped type invites an order-nondeterministic "
+            "reduction — use std::map or sort the keys first",
+            # Direct element/mapped type only: [^<>] cannot cross a nested
+            # template argument, so vector<vector<double>> stays legal.
+            [r"\bunordered_(?:map|set)\s*<[^<>\n]*\b(?:float|double)\s*>"]),
+        PragmaOnceRule(),
+        CatchAllSwallowRule(),
+        TestCoverageRule(src, tests, root),
+    ]
 
 
-def pragma_once_rule(path: pathlib.Path, findings: list[Finding]) -> None:
-    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(),
-                                  start=1):
-        stripped = line.strip()
-        if stripped == "#pragma once":
-            return
-        if stripped and not stripped.startswith("//"):
-            break  # first non-comment line reached without the pragma
-    findings.append(Finding(path, 1, "pragma-once",
-                            "header must start with #pragma once"))
+class SuppressionIndex:
+    """Pass 3: ``// lint-allow: <rule>`` tags. A finding whose (file, line)
+    carries a tag naming its rule is suppressed and the tag counted used;
+    leftover tags become unused-suppression findings."""
+
+    def __init__(self, files: list[SourceFile]):
+        self.tags: dict[tuple[str, int], dict] = {}
+        for f in files:
+            for lineno, raw in enumerate(f.raw_lines, start=1):
+                if ALLOW_TAG not in raw:
+                    continue
+                tail = raw.rsplit(ALLOW_TAG, 1)[1].strip()
+                rule = tail.split()[0] if tail else ""
+                self.tags[(f.rel, lineno)] = {"rule": rule, "used": False}
+
+    def apply(self, findings: list[Finding]) -> list[Finding]:
+        kept = []
+        for finding in findings:
+            tag = self.tags.get((finding.rel, finding.line))
+            if tag is not None and tag["rule"] == finding.rule:
+                tag["used"] = True
+            else:
+                kept.append(finding)
+        return kept
+
+    def used_count(self) -> int:
+        return sum(1 for tag in self.tags.values() if tag["used"])
+
+    def unused(self) -> Iterator[Finding]:
+        for (rel, line), tag in sorted(self.tags.items()):
+            if not tag["used"]:
+                yield Finding(
+                    rel, line, "unused-suppression",
+                    f"'lint-allow: {tag['rule']}' suppresses nothing; "
+                    f"remove the tag or name the right rule")
 
 
-def test_coverage_rule(src: pathlib.Path, tests: pathlib.Path,
-                       findings: list[Finding]) -> None:
-    included: set[str] = set()
-    include_re = re.compile(r'#include\s+"([^"]+)"')
-    for test in sorted(tests.glob("*_test.cpp")):
-        for match in include_re.finditer(test.read_text(encoding="utf-8")):
-            included.add(match.group(1))
-    for cpp in sorted(src.rglob("*.cpp")):
-        header = cpp.with_suffix(HEADER_EXT)
-        if not header.is_file():
-            continue
-        rel = header.relative_to(src).as_posix()
-        if rel not in included:
-            findings.append(Finding(
-                cpp, 1, "test-coverage",
-                f'no tests/*_test.cpp includes "{rel}"; add a test or an '
-                f"include to an existing suite"))
+@dataclasses.dataclass
+class LintReport:
+    findings: list[Finding]
+    files_checked: int
+    suppressions_used: int
+    rules: list[Rule]
+
+
+def run_lint(root: pathlib.Path) -> LintReport:
+    src, tests = root / "src", root / "tests"
+    if not src.is_dir() or not tests.is_dir():
+        raise FileNotFoundError(f"{root} has no src/ and tests/")
+
+    files = [SourceFile.load(p, root) for p in sorted(src.rglob("*"))
+             if p.suffix in SOURCE_EXTS and p.is_file()]
+    rules = build_rules(src, tests, root)
+
+    findings: list[Finding] = []
+    for rule in rules:
+        findings.extend(rule.check(files))
+
+    suppressions = SuppressionIndex(files)
+    findings = suppressions.apply(findings)
+    findings.extend(suppressions.unused())
+    findings.sort(key=lambda f: (f.rel, f.line, f.rule))
+    return LintReport(findings=findings, files_checked=len(files),
+                      suppressions_used=suppressions.used_count(),
+                      rules=rules)
+
+
+def sarif_document(report: LintReport, root: pathlib.Path) -> dict:
+    """SARIF 2.1.0: one run, the rule registry as reportingDescriptors,
+    one result per finding with a SRCROOT-relative location."""
+    rule_meta = [{"id": rule.name,
+                  "shortDescription": {"text": rule.short}}
+                 for rule in report.rules]
+    rule_meta.append({"id": "unused-suppression",
+                      "shortDescription": {
+                          "text": "lint-allow tags must suppress a real "
+                                  "finding"}})
+    rule_index = {meta["id"]: i for i, meta in enumerate(rule_meta)}
+    results = [{
+        "ruleId": finding.rule,
+        "ruleIndex": rule_index[finding.rule],
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": finding.rel,
+                                     "uriBaseId": "SRCROOT"},
+                "region": {"startLine": finding.line},
+            },
+        }],
+    } for finding in report.findings]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {"name": TOOL_NAME,
+                                "version": TOOL_VERSION,
+                                "rules": rule_meta}},
+            "originalUriBaseIds": {
+                "SRCROOT": {"uri": root.resolve().as_uri() + "/"}},
+            "results": results,
+        }],
+    }
 
 
 def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("--root", default=None,
                         help="repository root (default: this script's ../)")
+    parser.add_argument("--format", choices=("text", "sarif"),
+                        default="text", help="report format")
+    parser.add_argument("--output", default=None,
+                        help="write the report here instead of stdout")
     args = parser.parse_args()
 
     root = (pathlib.Path(args.root).resolve() if args.root
             else pathlib.Path(__file__).resolve().parent.parent)
-    src, tests = root / "src", root / "tests"
-    if not src.is_dir() or not tests.is_dir():
-        print(f"qpinn_lint: {root} has no src/ and tests/", file=sys.stderr)
+    try:
+        report = run_lint(root)
+    except FileNotFoundError as err:
+        print(f"{TOOL_NAME}: {err}", file=sys.stderr)
         return 2
 
-    findings: list[Finding] = []
-    for path in sorted(src.rglob("*")):
-        if path.suffix not in SOURCE_EXTS or not path.is_file():
-            continue
-        token_rules(path, findings)
-        if path.suffix == HEADER_EXT:
-            pragma_once_rule(path, findings)
-    test_coverage_rule(src, tests, findings)
+    if args.format == "sarif":
+        text = json.dumps(sarif_document(report, root), indent=2)
+    else:
+        text = "\n".join(str(f) for f in report.findings)
+    if args.output:
+        pathlib.Path(args.output).write_text(text + "\n", encoding="utf-8")
+    elif text:
+        print(text)
 
-    for finding in findings:
-        print(finding)
-    checked = sum(1 for p in src.rglob("*") if p.suffix in SOURCE_EXTS)
-    status = "FAIL" if findings else "OK"
-    print(f"qpinn_lint: {checked} files, {len(findings)} finding(s) [{status}]")
-    return 1 if findings else 0
+    status = "FAIL" if report.findings else "OK"
+    summary = (f"{TOOL_NAME}: {report.files_checked} files, "
+               f"{len(report.findings)} finding(s), "
+               f"{report.suppressions_used} suppression(s) used [{status}]")
+    print(summary, file=sys.stderr if args.format == "sarif" else sys.stdout)
+    return 1 if report.findings else 0
 
 
 if __name__ == "__main__":

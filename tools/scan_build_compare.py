@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Gate scan-build (clang static analyzer) output against a baseline.
+
+scan-build -plist-html drops one .plist per translation unit under the
+results directory. This script collects every diagnostic as a
+(checker, file, description) triple — line numbers are deliberately left
+out of the key so unrelated edits above a finding don't churn the
+baseline — and compares the multiset against the committed baseline JSON:
+
+  * a triple not in the baseline is a NEW finding  -> exit 1
+  * a baseline triple that no longer appears is reported as resolved
+    (informational; run with --update to rewrite the baseline)
+
+Usage:
+  tools/scan_build_compare.py --results DIR --baseline FILE --root REPO
+                              [--update]
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import json
+import pathlib
+import plistlib
+import sys
+
+
+def collect_findings(results: pathlib.Path,
+                     root: pathlib.Path) -> collections.Counter:
+    findings: collections.Counter = collections.Counter()
+    for plist_path in sorted(results.rglob("*.plist")):
+        with open(plist_path, "rb") as handle:
+            try:
+                doc = plistlib.load(handle)
+            except plistlib.InvalidFileException:
+                continue
+        files = doc.get("files", [])
+        for diag in doc.get("diagnostics", []):
+            checker = diag.get("check_name", diag.get("category", "unknown"))
+            description = diag.get("description", "")
+            index = diag.get("location", {}).get("file", -1)
+            source = files[index] if 0 <= index < len(files) else "<unknown>"
+            try:
+                source = pathlib.Path(source).resolve().relative_to(
+                    root.resolve()).as_posix()
+            except ValueError:
+                pass  # outside the repo (system header): keep as-is
+            findings[(checker, source, description)] += 1
+    return findings
+
+
+def load_baseline(path: pathlib.Path) -> collections.Counter:
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    baseline: collections.Counter = collections.Counter()
+    for entry in doc.get("findings", []):
+        key = (entry["checker"], entry["file"], entry["description"])
+        baseline[key] += entry.get("count", 1)
+    return baseline
+
+
+def write_baseline(path: pathlib.Path,
+                   findings: collections.Counter) -> None:
+    doc = {"findings": [
+        {"checker": checker, "file": source, "description": description,
+         "count": count}
+        for (checker, source, description), count in sorted(findings.items())
+    ]}
+    path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--results", required=True,
+                        help="scan-build output directory (plist files)")
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline JSON")
+    parser.add_argument("--root", default=".",
+                        help="repo root for normalizing source paths")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from current results")
+    args = parser.parse_args()
+
+    results = pathlib.Path(args.results)
+    if not results.is_dir():
+        print(f"scan_build_compare: no results directory {results}",
+              file=sys.stderr)
+        return 2
+    current = collect_findings(results, pathlib.Path(args.root))
+    baseline_path = pathlib.Path(args.baseline)
+
+    if args.update:
+        write_baseline(baseline_path, current)
+        print(f"scan_build_compare: baseline rewritten with "
+              f"{sum(current.values())} finding(s)")
+        return 0
+
+    baseline = load_baseline(baseline_path)
+    new = current - baseline
+    resolved = baseline - current
+
+    for (checker, source, description), count in sorted(new.items()):
+        print(f"NEW: {source}: [{checker}] {description} (x{count})")
+    for (checker, source, description), count in sorted(resolved.items()):
+        print(f"resolved: {source}: [{checker}] {description} (x{count}) — "
+              f"run with --update to shrink the baseline")
+
+    status = "FAIL" if new else "OK"
+    print(f"scan_build_compare: {sum(current.values())} finding(s), "
+          f"{sum(new.values())} new, {sum(resolved.values())} resolved "
+          f"[{status}]")
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
