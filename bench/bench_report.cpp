@@ -28,7 +28,11 @@
 #include "autodiff/grad.hpp"
 #include "autodiff/ops.hpp"
 #include "autodiff/plan.hpp"
+#include "core/field_model.hpp"
 #include "dist/communicator.hpp"
+#include "serve/compiled_model.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/query_queue.hpp"
 #include "optim/adam.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tensor/kernels.hpp"
@@ -416,6 +420,108 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- serve suite -------------------------------------------------------
+  // Surrogate serving path (src/serve/): concurrent clients issue point
+  // queries, the queue coalesces them into batched forward-only replays.
+  // serve_qps carries the mean ns/query at full load (1e9 / qps, so the
+  // ratio gate points the usual way); serve_p50_us / serve_p99_us carry
+  // the end-to-end per-query latency percentiles in ns, queue wait and
+  // deadline flush included. allocs/query is exact and must stay 0: the
+  // plan replays into pinned buffers and worker scratch is reused, so a
+  // steady-state query touches the pool not at all.
+  double serve_qps = 0.0;
+  double serve_p50_us = 0.0;
+  double serve_p99_us = 0.0;
+  double serve_allocs_per_query = 0.0;
+  {
+    namespace serve = qpinn::serve;
+    qpinn::core::FieldModelConfig mconfig;
+    mconfig.hidden = {64, 64};
+    mconfig.fourier = qpinn::nn::FourierConfig{16, 1.0};
+    mconfig.normalization =
+        qpinn::core::InputNormalization::for_domain(-1.0, 1.0, 0.0, 1.0);
+    mconfig.seed = 7;
+    // Each client blocks on its own query, so the number of clients bounds
+    // the outstanding queries: batch_rows must not exceed it or every
+    // flush is a deadline-expired partial batch and the row measures the
+    // flush timer, not the serving path.
+    constexpr int kServeClients = 8;
+    auto registry = std::make_shared<serve::ModelRegistry>();
+    registry->publish(serve::CompiledModel::compile(
+        qpinn::core::make_field_model(mconfig), /*batch_rows=*/8));
+    serve::QueryQueueConfig qconfig;
+    qconfig.flush_us = 50;
+    serve::QueryQueue queue(registry, qconfig);
+    const std::int64_t per_client = quick ? 2000 : 20000;
+    // Warm-up primes the pinned replay buffers and the worker's scratch.
+    for (int i = 0; i < 256; ++i) {
+      (void)queue.query(0.005 * i - 0.64, 0.5);
+    }
+
+    std::vector<std::vector<double>> latencies_ns(kServeClients);
+    const auto sp0 = pool.stats();
+    Stopwatch wall;
+    std::vector<std::thread> clients;
+    clients.reserve(kServeClients);
+    for (int c = 0; c < kServeClients; ++c) {
+      clients.emplace_back([&queue, &latencies_ns, per_client, c] {
+        std::vector<double>& mine =
+            latencies_ns[static_cast<std::size_t>(c)];
+        mine.reserve(static_cast<std::size_t>(per_client));
+        for (std::int64_t q = 0; q < per_client; ++q) {
+          const double x =
+              -1.0 + 2.0 * static_cast<double>(q % 997) / 997.0;
+          const double t =
+              static_cast<double>((q * (c + 1)) % 101) / 101.0;
+          Stopwatch sw;
+          (void)queue.query(x, t);
+          mine.push_back(sw.seconds() * 1e9);
+        }
+      });
+    }
+    for (auto& client : clients) client.join();
+    const double wall_s = wall.seconds();
+    const auto sp1 = pool.stats();
+    queue.shutdown();
+
+    const double total_queries =
+        static_cast<double>(kServeClients) * static_cast<double>(per_client);
+    serve_qps = total_queries / wall_s;
+    serve_allocs_per_query =
+        static_cast<double>(sp1.heap_allocations - sp0.heap_allocations) /
+        total_queries;
+    const double serve_reuses_per_query =
+        static_cast<double>(sp1.pool_reuses - sp0.pool_reuses) /
+        total_queries;
+    std::vector<double> all_ns;
+    all_ns.reserve(static_cast<std::size_t>(total_queries));
+    for (const auto& mine : latencies_ns) {
+      all_ns.insert(all_ns.end(), mine.begin(), mine.end());
+    }
+    std::sort(all_ns.begin(), all_ns.end());
+    const double p50_ns = all_ns[all_ns.size() / 2];
+    const double p99_ns = all_ns[static_cast<std::size_t>(
+        0.99 * static_cast<double>(all_ns.size() - 1))];
+    serve_p50_us = p50_ns / 1e3;
+    serve_p99_us = p99_ns / 1e3;
+
+    const std::string serve_shape = "batch8x8clients";
+    Result row;
+    row.suite = "serve";
+    row.shape = serve_shape;
+    row.allocs_per_op = serve_allocs_per_query;
+    row.reuses_per_op = serve_reuses_per_query;
+    row.op = "serve_qps";
+    row.ns_per_op = 1e9 / serve_qps;
+    results.push_back(row);
+    row.op = "serve_p50_us";
+    row.ns_per_op = p50_ns;
+    results.push_back(row);
+    row.op = "serve_p99_us";
+    row.ns_per_op = p99_ns;
+    results.push_back(row);
+  }
+
   // SIMD win: re-time the key ops with the dispatch forced to the scalar
   // table, on the same buffers and repetition counts. The ratio is the
   // vectorization speedup on THIS machine (the scalar rows are not written
@@ -534,6 +640,11 @@ int main(int argc, char** argv) {
        << ",\n";
   json << "    \"graph_overhead_x\": " << fmt(graph_overhead) << ",\n";
   json << "    \"dist_overhead_2rank_x\": " << fmt(dist_overhead) << ",\n";
+  json << "    \"serve_qps\": " << fmt(serve_qps) << ",\n";
+  json << "    \"serve_p50_us\": " << fmt(serve_p50_us) << ",\n";
+  json << "    \"serve_p99_us\": " << fmt(serve_p99_us) << ",\n";
+  json << "    \"serve_allocs_per_query\": " << fmt(serve_allocs_per_query)
+       << ",\n";
   json << "    \"plans_captured\": " << pstats.plans_captured << ",\n";
   json << "    \"plan_replays\": " << pstats.replays << ",\n";
   json << "    \"plan_fallbacks\": " << pstats.fallbacks << "\n";
@@ -565,6 +676,10 @@ int main(int argc, char** argv) {
     std::cout << "WARNING: elementwise SIMD speedup below the 0.95 parity "
                  "gate (add "
               << fmt(speedup_add) << ", mul " << fmt(speedup_mul) << ")\n";
+  }
+  if (serve_allocs_per_query > 0.0) {
+    std::cout << "WARNING: serving did " << fmt(serve_allocs_per_query)
+              << " pool allocations per query; steady state must be 0\n";
   }
   return 0;
 }

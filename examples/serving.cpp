@@ -1,0 +1,124 @@
+// Serving: train a surrogate, promote its best checkpoint into an
+// immutable compiled model, and answer point queries through the batched
+// query queue — including a live hot-swap while clients keep querying.
+//
+//   ./serving                    # quick demo run
+//   ./serving --epochs 400      # better surrogate before serving
+//   ./serving --help
+//
+// Env knobs (see README "Serving"): QPINN_SERVE_BATCH,
+// QPINN_SERVE_QUEUE_CAP, QPINN_SERVE_FLUSH_US, QPINN_SERVE_WORKERS,
+// QPINN_SERVE_POLL_MS.
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/benchmarks.hpp"
+#include "core/trainer.hpp"
+#include "serve/promoter.hpp"
+#include "serve/query_queue.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qpinn;
+  using namespace qpinn::core;
+  using namespace qpinn::serve;
+
+  CliParser cli("serving", "serve a trained PINN surrogate");
+  cli.add_int("epochs", 150, "training epochs before the first promotion");
+  cli.add_int("extra-epochs", 150, "additional epochs for the hot-swap");
+  cli.add_int("clients", 4, "client threads issuing queries");
+  cli.add_int("queries", 2000, "queries per client thread");
+  cli.add_int("seed", 3, "model / sampling seed");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::printf("%s", cli.help_text().c_str());
+    return 0;
+  }
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  // 1. Train briefly with best-checkpoint rotation enabled.
+  auto problem = make_free_packet_problem();
+  auto model = make_model_for(*problem, seed);
+  TrainConfig config = default_train_config(cli.get_int("epochs"), seed);
+  config.log_every = 0;
+  config.eval_every = 0;
+  config.checkpoint = CheckpointConfig{};
+  config.checkpoint->dir = "serving_checkpoints";
+  config.checkpoint->every = 25;
+  Trainer trainer(problem, model, config);
+  TrainResult result = trainer.fit();
+  std::printf("trained %lld epochs, final loss %.3e\n",
+              static_cast<long long>(result.epochs_run), result.final_loss);
+
+  // 2. Promote best.qckpt into the registry: load into a fresh model,
+  //    capture a forward-only plan, publish.
+  auto registry = std::make_shared<ModelRegistry>();
+  CheckpointPromoter promoter(
+      registry, [&] { return make_model_for(*problem, seed); },
+      promoter_config_from_env("serving_checkpoints/best.qckpt"));
+  if (!promoter.poll_once()) {
+    std::printf("no checkpoint to promote; aborting\n");
+    return 1;
+  }
+  std::printf("serving epoch %lld (loss %.3e), plan of %zu kernels\n",
+              static_cast<long long>(registry->current()->info().epoch),
+              registry->current()->info().loss,
+              registry->current()->plan_size());
+
+  // 3. Serve: client threads issue point queries; the queue coalesces them
+  //    into batched plan replays. Half-way through, train some more and
+  //    hot-swap the improved checkpoint in — queries never stop.
+  QueryQueue queue(registry, query_queue_config_from_env());
+  const auto clients = static_cast<std::size_t>(cli.get_int("clients"));
+  const std::int64_t per_client = cli.get_int("queries");
+  Stopwatch watch;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const auto& domain = problem->domain();
+      for (std::int64_t q = 0; q < per_client; ++q) {
+        const double fx =
+            static_cast<double>(q * (c + 1) % 1000) / 1000.0;
+        const double x = domain.x_lo + fx * (domain.x_hi - domain.x_lo);
+        const double t =
+            domain.t_lo + 0.5 * static_cast<double>(q % 100) / 100.0 *
+                              (domain.t_hi - domain.t_lo);
+        (void)queue.query(x, t);
+      }
+    });
+  }
+
+  const std::int64_t extra = cli.get_int("extra-epochs");
+  if (extra > 0) {
+    TrainConfig more = config;
+    more.epochs = cli.get_int("epochs") + extra;
+    more.resume_from = "serving_checkpoints/last.qckpt";
+    Trainer continued(problem, make_model_for(*problem, seed), more);
+    continued.fit();
+    const std::uint64_t before = registry->version();
+    if (promoter.poll_once()) {
+      std::printf("hot-swapped to epoch %lld (registry version %llu -> %llu)\n",
+                  static_cast<long long>(promoter.promoted_epoch()),
+                  static_cast<unsigned long long>(before),
+                  static_cast<unsigned long long>(registry->version()));
+    }
+  }
+
+  for (auto& thread : threads) thread.join();
+  const double seconds = watch.seconds();
+  queue.shutdown();
+
+  const QueueStats stats = queue.stats();
+  std::printf(
+      "answered %llu queries in %.2fs (%.0f qps) across %llu batches "
+      "(%llu full, %llu partial)\n",
+      static_cast<unsigned long long>(stats.queries), seconds,
+      static_cast<double>(stats.queries) / seconds,
+      static_cast<unsigned long long>(stats.batches),
+      static_cast<unsigned long long>(stats.full_batches),
+      static_cast<unsigned long long>(stats.partial_batches));
+  return 0;
+}

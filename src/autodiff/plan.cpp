@@ -14,6 +14,7 @@ namespace qpinn::autodiff::plan {
 namespace {
 
 thread_local ExecutionPlan* g_recorder = nullptr;
+thread_local CaptureKind g_capture_kind = CaptureKind::kTraining;
 
 std::atomic<std::uint64_t> g_captured{0};
 std::atomic<std::uint64_t> g_replays{0};
@@ -33,16 +34,23 @@ void ExecutionPlan::clear() {
   arena_bytes_ = 0;
 }
 
-CaptureScope::CaptureScope(ExecutionPlan& plan) : prev_(g_recorder) {
+CaptureScope::CaptureScope(ExecutionPlan& plan, CaptureKind kind)
+    : prev_(g_recorder), prev_kind_(g_capture_kind) {
   g_recorder = &plan;
+  g_capture_kind = kind;
 }
 
 CaptureScope::~CaptureScope() {
   g_recorder = prev_;
+  g_capture_kind = prev_kind_;
   g_captured.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool capturing() { return g_recorder != nullptr; }
+
+bool capturing_forward_only() {
+  return g_recorder != nullptr && g_capture_kind == CaptureKind::kForwardOnly;
+}
 
 void record(const Tensor& out, std::function<void()> step) {
   ExecutionPlan* p = g_recorder;
@@ -57,6 +65,12 @@ void record(const Tensor& out, std::function<void()> step) {
 void record_inplace(std::function<void()> step) {
   ExecutionPlan* p = g_recorder;
   if (p == nullptr) return;
+  if (g_capture_kind == CaptureKind::kForwardOnly) {
+    throw ValueError(
+        "gradient-accumulation kernel recorded under a forward-only capture; "
+        "inference must not build a tape (wrap the forward pass in "
+        "NoGradGuard)");
+  }
   p->steps_.push_back(std::move(step));
 }
 

@@ -71,30 +71,43 @@ class ExecutionPlan {
   std::size_t arena_bytes_ = 0;
 };
 
+/// What a CaptureScope is allowed to record. kTraining captures the full
+/// step (forward kernels plus gradient accumulation); kForwardOnly is the
+/// serving mode — the plan must contain pure value-producing kernels, so a
+/// gradient-accumulation thunk reaching the recorder is a ValueError (it
+/// means a tape was built inside what should be inference).
+enum class CaptureKind { kTraining, kForwardOnly };
+
 /// Arms the thread-local recorder for the enclosed eager step. Non-reentrant
 /// nesting is allowed (the previous recorder is restored on destruction);
 /// capture is per-thread, so data-parallel shards record concurrently into
 /// their own plans.
 class CaptureScope {
  public:
-  explicit CaptureScope(ExecutionPlan& plan);
+  explicit CaptureScope(ExecutionPlan& plan,
+                        CaptureKind kind = CaptureKind::kTraining);
   CaptureScope(const CaptureScope&) = delete;
   CaptureScope& operator=(const CaptureScope&) = delete;
   ~CaptureScope();
 
  private:
   ExecutionPlan* prev_ = nullptr;
+  CaptureKind prev_kind_ = CaptureKind::kTraining;
 };
 
 /// True while a CaptureScope is armed on this thread.
 bool capturing();
+
+/// True while the armed CaptureScope (if any) is forward-only.
+bool capturing_forward_only();
 
 /// Appends a thunk producing `out`; `out`'s storage is noted in the arena.
 /// No-op unless capturing.
 void record(const Tensor& out, std::function<void()> step);
 
 /// Appends a thunk that mutates an already-recorded buffer in place
-/// (gradient accumulation). No-op unless capturing.
+/// (gradient accumulation). No-op unless capturing; throws ValueError under
+/// a forward-only capture (see CaptureKind).
 void record_inplace(std::function<void()> step);
 
 /// Process-wide capture/replay counters (monotonic until reset), reported

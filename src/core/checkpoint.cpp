@@ -167,18 +167,41 @@ void Checkpointer::save_state(const std::string& path,
   });
 }
 
-TrainingState Checkpointer::load_state(const std::string& path,
-                                       const nn::NamedParams& params) {
+namespace {
+
+std::string slurp_file(const std::string& path) {
   std::ifstream file(path, std::ios::binary);
   if (!file) throw IoError("cannot open checkpoint '" + path + "'");
   std::ostringstream raw(std::ios::binary);
   raw << file.rdbuf();
-  return load_state_from_bytes(std::move(raw).str(), params, path);
+  return std::move(raw).str();
+}
+
+}  // namespace
+
+TrainingState Checkpointer::load_state(const std::string& path,
+                                       const nn::NamedParams& params) {
+  return load_state_from_bytes(slurp_file(path), params, path);
 }
 
 TrainingState Checkpointer::load_state_from_bytes(
     std::string bytes, const nn::NamedParams& params,
     const std::string& label) {
+  return parse_state(std::move(bytes), &params, label);
+}
+
+TrainingState Checkpointer::peek_state(const std::string& path) {
+  return peek_state_from_bytes(slurp_file(path), path);
+}
+
+TrainingState Checkpointer::peek_state_from_bytes(std::string bytes,
+                                                  const std::string& label) {
+  return parse_state(std::move(bytes), nullptr, label);
+}
+
+TrainingState Checkpointer::parse_state(std::string bytes,
+                                        const nn::NamedParams* params,
+                                        const std::string& label) {
   std::string body = std::move(bytes);
 
   // Verify and strip the integrity trailer when present; files from
@@ -210,7 +233,11 @@ TrainingState Checkpointer::load_state_from_bytes(
         "' is a parameter-only (v1) checkpoint and holds no "
         "training state to resume from");
   }
-  nn::read_param_block(in, params, size);
+  if (params != nullptr) {
+    nn::read_param_block(in, *params, size);
+  } else {
+    nn::skip_param_block(in, size);
+  }
 
   const auto n_sections = read_pod<std::uint32_t>(in, "section count");
   if (n_sections > nn::kMaxSectionCount) {

@@ -93,7 +93,22 @@ class Checkpointer {
                                              const nn::NamedParams& params,
                                              const std::string& label);
 
+  /// Reads only the training-state sections of a v2 checkpoint: the
+  /// parameter block is bound-checked and skipped, never copied into a
+  /// module. Used by Trainer on resume to recover the best loss recorded in
+  /// best.qckpt (which last.qckpt may predate), and by the serving promoter
+  /// to poll best.qckpt for new epochs without paying a full load.
+  static TrainingState peek_state(const std::string& path);
+  static TrainingState peek_state_from_bytes(std::string bytes,
+                                             const std::string& label);
+
  private:
+  /// Shared parse behind load_state*/peek_state*: a null `params` skips the
+  /// parameter block instead of loading it.
+  static TrainingState parse_state(std::string bytes,
+                                   const nn::NamedParams* params,
+                                   const std::string& label);
+
   bool save_with_retry(const std::string& path, const nn::NamedParams& params,
                        const TrainingState& state);
 

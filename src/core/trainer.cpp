@@ -326,6 +326,7 @@ Trainer::LossAndGrads Trainer::compute_dist(std::int64_t epoch) {
 Trainer::PlanKey Trainer::current_plan_key() const {
   PlanKey key;
   key.interior_data = points_.interior.data();
+  key.interior_generation = interior_generation_;
   key.interior_shape = points_.interior.shape();
   key.pool_threads = global_pool().size();
   key.isa = simd::active_isa();
@@ -566,6 +567,7 @@ EpochRecord Trainer::step(std::int64_t epoch) {
       kernels::copy_into(points_.interior, fresh);
     } else {
       points_.interior = std::move(fresh);
+      ++interior_generation_;
     }
   }
 
@@ -635,6 +637,7 @@ void Trainer::restore_snapshot(const Snapshot& snapshot) {
   optimizer_->import_state(snapshot.optimizer);
   resample_rng_.set_state(snapshot.rng);
   points_.interior = snapshot.interior.clone();
+  ++interior_generation_;
 }
 
 TrainingState Trainer::make_state(std::int64_t epoch) const {
@@ -662,6 +665,7 @@ void Trainer::restore_state(const TrainingState& state) {
                           state.interior.cols() == points_.interior.cols(),
                       "resumed collocation set has the wrong shape");
     points_.interior = state.interior.clone();
+    ++interior_generation_;
   }
 }
 
@@ -721,6 +725,27 @@ TrainResult Trainer::fit() {
       state = Checkpointer::load_state(fallback, model_->named_parameters());
     }
     restore_state(state);
+    // last.qckpt is written on a cadence, so the best_loss it carries can
+    // predate the latest best.qckpt rotation. Resuming with that stale
+    // (higher) value would let the first improving-but-worse epoch clobber
+    // best.qckpt with a worse model, so fold in the loss best.qckpt itself
+    // recorded. A missing or torn best file simply cannot lower the bar.
+    {
+      const std::filesystem::path requested(config_.resume_from);
+      const std::string best_file =
+          config_.checkpoint
+              ? config_.checkpoint->dir + "/best.qckpt"
+              : (requested.parent_path() / "best.qckpt").string();
+      if (std::filesystem::exists(best_file)) {
+        try {
+          const TrainingState best = Checkpointer::peek_state(best_file);
+          best_loss_ = std::min(best_loss_, best.best_loss);
+        } catch (const IoError& e) {
+          log::warn() << problem_->name() << " could not read best loss from '"
+                      << best_file << "': " << e.what();
+        }
+      }
+    }
     start_epoch = state.epoch + 1;
     log::info() << problem_->name() << " resuming from '"
                 << config_.resume_from << "' at epoch " << start_epoch;

@@ -184,6 +184,7 @@ class Trainer {
   /// the next step, exactly like a resample.
   void replace_interior(Tensor interior) {
     points_.interior = std::move(interior);
+    ++interior_generation_;
   }
 
  private:
@@ -239,6 +240,12 @@ class Trainer {
   /// diverge from eager, so the plan must be re-captured.
   struct PlanKey {
     const void* interior_data = nullptr;
+    /// Monotonic count of interior-tensor *identity* changes (resample,
+    /// replace_interior, snapshot/checkpoint restore). The data pointer
+    /// alone is unsafe: the StoragePool can hand a freed buffer back at the
+    /// same address for a different point set (ABA), which would silently
+    /// replay a stale plan.
+    std::uint64_t interior_generation = 0;
     Shape interior_shape;
     std::size_t pool_threads = 0;
     simd::Isa isa = simd::Isa::kScalar;
@@ -284,6 +291,10 @@ class Trainer {
   std::unique_ptr<optim::LrSchedule> schedule_;
   bool graph_enabled_ = false;
   bool plans_ready_ = false;
+  /// Bumped whenever points_.interior is rebound to a different tensor
+  /// (see PlanKey::interior_generation). The in-place refresh path
+  /// (copy_into) deliberately does NOT bump — same buffer, plan stays hot.
+  std::uint64_t interior_generation_ = 0;
   PlanKey plan_key_;
   std::vector<ShardPlan> plans_;
   double lr_scale_ = 1.0;  ///< divergence-recovery LR backoff multiplier

@@ -126,6 +126,19 @@ void read_param_block(std::istream& in, const NamedParams& params,
   }
 }
 
+void skip_param_block(std::istream& in, std::uint64_t max_bytes) {
+  const auto count = read_pod<std::uint64_t>(in, "parameter count");
+  if (count > kMaxParamCount) {
+    throw IoError("parameter count " + std::to_string(count) +
+                  " exceeds limit " + std::to_string(kMaxParamCount));
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string name =
+        read_string(in, kMaxParamNameLen, "parameter name");
+    (void)read_tensor(in, max_bytes, "parameter '" + name + "'");
+  }
+}
+
 void save_parameters(const std::string& path, const NamedParams& params) {
   write_file_atomic(path, [&](std::ostream& out) {
     write_header(out);

@@ -78,5 +78,10 @@ void write_param_block(std::ostream& out, const NamedParams& params);
 /// read_tensor.
 void read_param_block(std::istream& in, const NamedParams& params,
                       std::uint64_t max_bytes);
+/// Consumes a param block without touching any module: names and tensors
+/// are parsed (with the same hardening bounds) and discarded. Lets callers
+/// peek at the sections that follow without owning a matching parameter
+/// set (core::Checkpointer::peek_state).
+void skip_param_block(std::istream& in, std::uint64_t max_bytes);
 
 }  // namespace qpinn::nn

@@ -1,0 +1,75 @@
+#include "serve/compiled_model.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "autodiff/ops.hpp"
+#include "autodiff/variable.hpp"
+#include "util/error.hpp"
+
+namespace qpinn::serve {
+
+CompiledModel::CompiledModel(std::shared_ptr<core::FieldModel> model,
+                             std::int64_t batch_rows, ModelInfo info)
+    : model_(std::move(model)), batch_rows_(batch_rows), info_(info) {
+  QPINN_CHECK(model_ != nullptr, "CompiledModel: model must not be null");
+  QPINN_CHECK(batch_rows_ > 0, "CompiledModel: batch_rows must be positive");
+  input_ = Tensor::zeros({batch_rows_, 2});
+  // The eager forward below IS the capture: NoGradGuard keeps every op a
+  // constant (no tape), the forward-only scope records each kernel thunk,
+  // and a stray gradient-accumulation record throws instead of poisoning
+  // the plan.
+  autodiff::NoGradGuard no_grad;
+  autodiff::plan::CaptureScope scope(plan_,
+                                     autodiff::plan::CaptureKind::kForwardOnly);
+  const autodiff::Variable out =
+      model_->forward(autodiff::Variable::constant(input_));
+  output_ = out.value();
+  QPINN_CHECK_SHAPE(output_.rank() == 2 && output_.rows() == batch_rows_ &&
+                        output_.cols() == 2,
+                    "CompiledModel: forward must produce (batch_rows, 2)");
+}
+
+std::shared_ptr<const CompiledModel> CompiledModel::compile(
+    std::shared_ptr<core::FieldModel> model, std::int64_t batch_rows,
+    ModelInfo info) {
+  // The constructor is private so every instance is born inside a
+  // shared_ptr<const>; make_shared cannot reach it, hence the raw new
+  // immediately owned by the returned pointer.
+  return std::shared_ptr<const CompiledModel>(
+      new CompiledModel(std::move(model), batch_rows, info));  // lint-allow: naked-new
+}
+
+void CompiledModel::evaluate_into(const double* xy, std::int64_t rows,
+                                  double* uv) const {
+  QPINN_CHECK(rows >= 0, "CompiledModel: rows must be >= 0");
+  if (rows == 0) return;
+  QPINN_CHECK(xy != nullptr && uv != nullptr,
+              "CompiledModel: xy/uv must not be null");
+  MutexLock lock(replay_mu_);
+  double* in = input_.data();
+  const double* out = output_.data();
+  std::int64_t done = 0;
+  while (done < rows) {
+    const std::int64_t n = std::min(batch_rows_, rows - done);
+    // Partial fringe: only the live rows are copied in; the pinned tail
+    // keeps whatever the previous batch held, and those rows are computed
+    // but never read. Row-value independence makes each live row
+    // bit-identical to the same row of an eager forward at the captured
+    // batch shape (see the contract note in the header).
+    std::copy(xy + done * 2, xy + (done + n) * 2, in);
+    plan_.replay();
+    std::copy(out, out + n * 2, uv + done * 2);
+    done += n;
+  }
+}
+
+Tensor CompiledModel::evaluate(const Tensor& xy) const {
+  QPINN_CHECK_SHAPE(xy.rank() == 2 && xy.cols() == 2,
+                    "CompiledModel: input must be (rows, 2)");
+  Tensor uv = Tensor::zeros({xy.rows(), 2});
+  evaluate_into(xy.data(), xy.rows(), uv.data());
+  return uv;
+}
+
+}  // namespace qpinn::serve

@@ -1,0 +1,87 @@
+// An immutable, replay-only surrogate: the forward pass of a trained
+// FieldModel captured once as a pure ExecutionPlan at a fixed batch shape.
+//
+// Compilation runs the ordinary eager forward under NoGradGuard with a
+// forward-only CaptureScope armed (autodiff/plan.hpp), so the recorded
+// schedule contains value-producing kernels only — no tape, no optimizer,
+// no gradient buffers. Every query batch afterwards is one replay against
+// buffers pinned at compile time: zero Node allocations, zero pool
+// traffic, zero refcount churn.
+//
+// Partial batches ride the same plan. All forward ops are row-independent
+// in *value* (matmul, bias/activation sweeps, column slices), so writing
+// n < batch rows into the pinned input and reading the first n output rows
+// after a full replay yields, per row, exactly what an eager forward at
+// the captured batch shape would: bit-identical to rows [0, n) of an eager
+// forward over a padded full batch. It is NOT bitwise the same as an
+// n-row eager forward — the matmul row-tile fringe uses an unfused kernel
+// path, so which rows get fused FMA arithmetic depends on the total row
+// count; the difference is confined to the last ulp. The stale tail rows
+// compute garbage that is never read.
+//
+// A CompiledModel is shared immutably (shared_ptr<const CompiledModel>,
+// published via ModelRegistry); the pinned input/output buffers are the
+// only mutable state and an internal mutex serializes replays, so
+// concurrent callers are safe and in-flight evaluations survive a registry
+// hot-swap (the shared_ptr keeps the retired model alive until its last
+// batch finishes).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+
+#include "autodiff/plan.hpp"
+#include "core/field_model.hpp"
+#include "tensor/tensor.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace qpinn::serve {
+
+/// Provenance of the weights a CompiledModel was captured from.
+struct ModelInfo {
+  std::int64_t epoch = -1;  ///< checkpoint epoch (-1: not from a checkpoint)
+  double loss = std::numeric_limits<double>::infinity();
+};
+
+class CompiledModel {
+ public:
+  /// Captures a forward-only plan for `model` at a fixed batch of
+  /// `batch_rows` (x, t) rows. The model's parameters are pinned by the
+  /// plan — mutating them afterwards (e.g. continuing training on the same
+  /// instance) would corrupt serving, so compile from a dedicated model
+  /// instance (the promoter loads checkpoints into fresh models).
+  static std::shared_ptr<const CompiledModel> compile(
+      std::shared_ptr<core::FieldModel> model, std::int64_t batch_rows,
+      ModelInfo info = {});
+
+  std::int64_t batch_rows() const { return batch_rows_; }
+  const ModelInfo& info() const { return info_; }
+  /// Recorded kernel count of the forward plan (observability).
+  std::size_t plan_size() const { return plan_.size(); }
+
+  /// Evaluates `rows` queries: xy holds rows*2 doubles (x, t pairs), uv
+  /// receives rows*2 doubles (u, v pairs). Chunks of batch_rows() replay
+  /// the captured plan; a trailing partial chunk replays the same plan
+  /// with only the live rows copied in and out. Thread-safe; zero
+  /// allocations.
+  void evaluate_into(const double* xy, std::int64_t rows, double* uv) const;
+
+  /// Convenience wrapper allocating the (rows, 2) output tensor.
+  Tensor evaluate(const Tensor& xy) const;
+
+ private:
+  CompiledModel(std::shared_ptr<core::FieldModel> model,
+                std::int64_t batch_rows, ModelInfo info);
+
+  std::shared_ptr<core::FieldModel> model_;  ///< pins the captured params
+  std::int64_t batch_rows_ = 0;
+  ModelInfo info_;
+  mutable Mutex replay_mu_;  ///< replays write the pinned buffers
+  mutable Tensor input_ QPINN_GUARDED_BY(replay_mu_);
+  mutable Tensor output_ QPINN_GUARDED_BY(replay_mu_);
+  autodiff::plan::ExecutionPlan plan_;
+};
+
+}  // namespace qpinn::serve

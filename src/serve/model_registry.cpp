@@ -1,0 +1,35 @@
+#include "serve/model_registry.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace qpinn::serve {
+
+std::uint64_t ModelRegistry::publish(
+    std::shared_ptr<const CompiledModel> model) {
+  QPINN_CHECK(model != nullptr, "ModelRegistry: cannot publish a null model");
+  std::shared_ptr<const CompiledModel> retired;
+  std::uint64_t version = 0;
+  {
+    MutexLock lock(mu_);
+    retired = std::move(model_);
+    model_ = std::move(model);
+    version = ++version_;
+  }
+  // `retired` drops outside the lock: if this was the last reference, the
+  // old model's plan/buffers tear down without blocking readers.
+  return version;
+}
+
+std::shared_ptr<const CompiledModel> ModelRegistry::current() const {
+  MutexLock lock(mu_);
+  return model_;
+}
+
+std::uint64_t ModelRegistry::version() const {
+  MutexLock lock(mu_);
+  return version_;
+}
+
+}  // namespace qpinn::serve

@@ -1,0 +1,39 @@
+// RCU-style publication point for the currently served model.
+//
+// publish() swaps in a new shared_ptr<const CompiledModel>; current()
+// hands out a snapshot. Readers hold their snapshot for the duration of a
+// batch, so a concurrent publish never pauses or invalidates in-flight
+// replays — the retired model is destroyed when its last reader drops the
+// reference. The short internal mutex guards only the pointer swap/copy
+// (no waiting under it), which keeps the registry TSan-clean without
+// relying on std::atomic<std::shared_ptr>.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "serve/compiled_model.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace qpinn::serve {
+
+class ModelRegistry {
+ public:
+  /// Swaps the served model; returns the new version (monotonic from 1).
+  std::uint64_t publish(std::shared_ptr<const CompiledModel> model);
+
+  /// Snapshot of the served model (null until the first publish). Hold the
+  /// returned pointer across a whole batch; do not re-fetch mid-batch.
+  std::shared_ptr<const CompiledModel> current() const;
+
+  /// Number of publishes so far (0: nothing served yet).
+  std::uint64_t version() const;
+
+ private:
+  mutable Mutex mu_;
+  std::shared_ptr<const CompiledModel> model_ QPINN_GUARDED_BY(mu_);
+  std::uint64_t version_ QPINN_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace qpinn::serve

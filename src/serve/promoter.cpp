@@ -1,0 +1,130 @@
+#include "serve/promoter.hpp"
+
+#include <chrono>
+#include <filesystem>
+#include <utility>
+
+#include "core/checkpoint.hpp"
+#include "util/env.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace qpinn::serve {
+
+void PromoterConfig::validate() const {
+  if (watch_path.empty()) {
+    throw ConfigError("PromoterConfig: watch_path must be set");
+  }
+  if (batch_rows <= 0) {
+    throw ConfigError("PromoterConfig: batch_rows must be positive");
+  }
+  if (poll_ms <= 0) {
+    throw ConfigError("PromoterConfig: poll_ms must be positive");
+  }
+}
+
+PromoterConfig promoter_config_from_env(std::string watch_path) {
+  PromoterConfig config;
+  config.watch_path = std::move(watch_path);
+  config.batch_rows = env_int("QPINN_SERVE_BATCH", config.batch_rows);
+  config.poll_ms = env_int("QPINN_SERVE_POLL_MS", config.poll_ms);
+  config.validate();
+  return config;
+}
+
+CheckpointPromoter::CheckpointPromoter(std::shared_ptr<ModelRegistry> registry,
+                                       ModelFactory factory,
+                                       PromoterConfig config)
+    : registry_(std::move(registry)),
+      factory_(std::move(factory)),
+      config_(std::move(config)) {
+  QPINN_CHECK(registry_ != nullptr,
+              "CheckpointPromoter: registry must not be null");
+  QPINN_CHECK(factory_ != nullptr,
+              "CheckpointPromoter: factory must not be null");
+  config_.validate();
+}
+
+CheckpointPromoter::~CheckpointPromoter() { stop(); }
+
+bool CheckpointPromoter::poll_once() {
+  MutexLock lock(mu_);
+  return poll_locked();
+}
+
+bool CheckpointPromoter::poll_locked() {
+  if (!std::filesystem::exists(config_.watch_path)) return false;
+  core::TrainingState peeked;
+  try {
+    peeked = core::Checkpointer::peek_state(config_.watch_path);
+  } catch (const IoError& e) {
+    // Checkpoint writes are atomic, so this is real corruption (or a
+    // foreign file), not a torn read; keep serving the current model.
+    log::warn() << "promoter: cannot peek '" << config_.watch_path
+                << "': " << e.what();
+    return false;
+  }
+  if (peeked.epoch == promoted_epoch_) return false;
+
+  std::shared_ptr<core::FieldModel> model = factory_();
+  core::TrainingState state;
+  try {
+    state = core::Checkpointer::load_state(config_.watch_path,
+                                           model->named_parameters());
+  } catch (const IoError& e) {
+    log::warn() << "promoter: cannot load '" << config_.watch_path
+                << "': " << e.what();
+    return false;
+  }
+  // best.qckpt is written at improving epochs, so its stored best_loss IS
+  // the loss of the parameters in the file.
+  const std::shared_ptr<const CompiledModel> compiled = CompiledModel::compile(
+      std::move(model), config_.batch_rows,
+      ModelInfo{state.epoch, state.best_loss});
+  const std::uint64_t version = registry_->publish(compiled);
+  promoted_epoch_ = state.epoch;
+  ++promotions_;
+  log::info() << "promoter: published epoch " << state.epoch << " (loss "
+              << state.best_loss << ") as version " << version;
+  return true;
+}
+
+void CheckpointPromoter::start() {
+  if (thread_.joinable()) return;
+  {
+    MutexLock lock(mu_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { poll_loop(); });
+}
+
+void CheckpointPromoter::poll_loop() {
+  MutexLock lock(mu_);
+  while (!stop_requested_) {
+    poll_locked();
+    if (stop_requested_) return;
+    stop_cv_.wait_for(mu_, std::chrono::milliseconds(config_.poll_ms));
+  }
+}
+
+void CheckpointPromoter::stop() {
+  {
+    MutexLock lock(mu_);
+    stop_requested_ = true;
+    stop_cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+  thread_ = std::thread();
+}
+
+std::int64_t CheckpointPromoter::promoted_epoch() const {
+  MutexLock lock(mu_);
+  return promoted_epoch_;
+}
+
+std::uint64_t CheckpointPromoter::promotions() const {
+  MutexLock lock(mu_);
+  return promotions_;
+}
+
+}  // namespace qpinn::serve

@@ -1,0 +1,93 @@
+// best.qckpt -> serving promotion.
+//
+// The CheckpointPromoter watches a checkpoint file (normally the trainer's
+// rotating best.qckpt) and republishes the registry whenever the file's
+// epoch changes: peek the training state cheaply (no parameter copy), load
+// the full checkpoint into a fresh model from the caller's factory,
+// compile a forward-only plan at the serving batch shape, publish. Because
+// checkpoint writes are atomic (tmp + fsync + rename) a poll never sees a
+// torn file; a checkpoint that fails its CRC or bounds checks is logged
+// and skipped — the previous model keeps serving, which is the failure
+// semantics of the whole layer: promotion can only ever move forward.
+//
+// poll_once() is the synchronous test hook; start()/stop() run the same
+// poll on a background thread with a condition-variable cadence.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "core/field_model.hpp"
+#include "serve/model_registry.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace qpinn::serve {
+
+struct PromoterConfig {
+  /// Checkpoint file to watch (e.g. "<dir>/best.qckpt").
+  std::string watch_path;
+  /// Batch shape the promoted model is compiled at.
+  std::int64_t batch_rows = 256;
+  /// Background polling cadence in milliseconds.
+  std::int64_t poll_ms = 200;
+
+  void validate() const;
+};
+
+/// Reads QPINN_SERVE_BATCH / QPINN_SERVE_POLL_MS on top of the defaults
+/// (watch_path stays as passed in).
+PromoterConfig promoter_config_from_env(std::string watch_path);
+
+class CheckpointPromoter {
+ public:
+  /// Builds the model instance a checkpoint is loaded into; called once
+  /// per promotion so a compiled plan never aliases live training state.
+  /// The factory must reproduce the training-time construction exactly —
+  /// same architecture AND same seed — because fixed buffers (the random
+  /// Fourier projection) are derived from the seed and are not part of
+  /// the checkpointed parameter block.
+  using ModelFactory = std::function<std::shared_ptr<core::FieldModel>()>;
+
+  CheckpointPromoter(std::shared_ptr<ModelRegistry> registry,
+                     ModelFactory factory, PromoterConfig config);
+  ~CheckpointPromoter();
+
+  CheckpointPromoter(const CheckpointPromoter&) = delete;
+  CheckpointPromoter& operator=(const CheckpointPromoter&) = delete;
+
+  /// One synchronous watch/promote cycle; true when a new model was
+  /// published. A missing or unreadable checkpoint is not an error — the
+  /// registry simply keeps its current model.
+  bool poll_once();
+
+  /// Starts/stops the background polling thread. Not thread-safe against
+  /// each other; call from the owning thread (the destructor stops).
+  void start();
+  void stop();
+
+  /// Epoch of the most recently promoted checkpoint (-1: none yet).
+  std::int64_t promoted_epoch() const;
+  std::uint64_t promotions() const;
+
+ private:
+  bool poll_locked() QPINN_REQUIRES(mu_);
+  void poll_loop();
+
+  std::shared_ptr<ModelRegistry> registry_;
+  ModelFactory factory_;
+  PromoterConfig config_;
+
+  mutable Mutex mu_;
+  CondVar stop_cv_;
+  bool stop_requested_ QPINN_GUARDED_BY(mu_) = false;
+  std::int64_t promoted_epoch_ QPINN_GUARDED_BY(mu_) = -1;
+  std::uint64_t promotions_ QPINN_GUARDED_BY(mu_) = 0;
+
+  std::thread thread_;
+};
+
+}  // namespace qpinn::serve

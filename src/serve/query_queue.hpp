@@ -1,0 +1,114 @@
+// Batched query coalescing for the serving layer.
+//
+// Point queries (x, t) are cheap individually but the replay substrate is
+// batch-shaped: one plan replay evaluates batch_rows() rows for nearly the
+// cost of one. The QueryQueue bridges the two — callers block on
+// query(x, t) while worker threads drain the bounded ring, coalescing up
+// to one model batch per flush. A flush fires as soon as a full batch is
+// available or when the oldest pending query has waited flush_us
+// microseconds (deadline-based, so a trickle of queries never stalls);
+// partial batches ride the CompiledModel fringe path.
+//
+// Hot-swap semantics: each flush snapshots registry->current() once, so an
+// in-flight batch always completes on the model it started with while the
+// next flush picks up a freshly promoted checkpoint. Shutdown drains every
+// enqueued query before the workers exit; query() after shutdown throws.
+//
+// Steady state performs zero heap allocations per query: the ring is
+// preallocated, per-worker batch scratch reaches its high-water mark after
+// the first few flushes, and replay runs entirely inside the plan arena.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "serve/model_registry.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace qpinn::serve {
+
+/// One answered query: the surrogate field at (x, t).
+struct QueryResult {
+  double u = 0.0;
+  double v = 0.0;
+};
+
+struct QueryQueueConfig {
+  /// Ring capacity; submitters block (backpressure) when it is full.
+  std::size_t capacity = 1024;
+  /// Coalescing deadline in microseconds: a partial batch flushes once the
+  /// oldest pending query has waited this long (0: flush immediately).
+  std::int64_t flush_us = 200;
+  /// Worker threads draining the ring.
+  std::size_t workers = 1;
+
+  void validate() const;
+};
+
+/// Reads QPINN_SERVE_QUEUE_CAP / QPINN_SERVE_FLUSH_US / QPINN_SERVE_WORKERS
+/// on top of the defaults above.
+QueryQueueConfig query_queue_config_from_env();
+
+struct QueueStats {
+  std::uint64_t queries = 0;
+  std::uint64_t batches = 0;          ///< flushes executed (one replay each)
+  std::uint64_t full_batches = 0;     ///< flushes at exactly batch_rows
+  std::uint64_t partial_batches = 0;  ///< fringe flushes below batch_rows
+};
+
+class QueryQueue {
+ public:
+  /// The registry must already have a published model before the first
+  /// query arrives (query() throws otherwise — never silently queues
+  /// against nothing).
+  QueryQueue(std::shared_ptr<ModelRegistry> registry,
+             QueryQueueConfig config = {});
+  ~QueryQueue();
+
+  QueryQueue(const QueryQueue&) = delete;
+  QueryQueue& operator=(const QueryQueue&) = delete;
+
+  /// Blocks until the batched replay containing this query completes.
+  /// Thread-safe; throws ValueError after shutdown() or when no model has
+  /// been published yet.
+  QueryResult query(double x, double t);
+
+  /// Drains every enqueued query, then stops the workers. Idempotent.
+  void shutdown();
+
+  QueueStats stats() const;
+
+ private:
+  /// A pending query parked in the ring: inputs by value, output and
+  /// completion flag pointing into the submitting caller's stack frame
+  /// (valid because the caller blocks until `*done`).
+  struct Slot {
+    double x = 0.0;
+    double t = 0.0;
+    QueryResult* out = nullptr;
+    bool* done = nullptr;
+  };
+
+  void worker_loop();
+
+  std::shared_ptr<ModelRegistry> registry_;
+  QueryQueueConfig config_;
+
+  mutable Mutex mu_;
+  CondVar not_empty_;  ///< workers wait for pending queries
+  CondVar not_full_;   ///< submitters wait for ring space
+  CondVar done_cv_;    ///< submitters wait for their result
+  std::vector<Slot> ring_ QPINN_GUARDED_BY(mu_);
+  std::size_t head_ QPINN_GUARDED_BY(mu_) = 0;
+  std::size_t count_ QPINN_GUARDED_BY(mu_) = 0;
+  bool stopping_ QPINN_GUARDED_BY(mu_) = false;
+  QueueStats stats_ QPINN_GUARDED_BY(mu_);
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace qpinn::serve

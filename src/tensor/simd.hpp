@@ -874,6 +874,12 @@ void adam_sweep(double* p, const double* g, double* m, double* v,
 
 inline constexpr std::int64_t kMmColTile = 8;
 
+/// Depth cap for the stack-packed panels of the transposed matmul variants
+/// (mm_tn_rows / mm_nt_rows). Panels are at most kMmPackK * 8 doubles
+/// (32 KiB) of stack — no heap traffic — and every layer in this codebase
+/// has k far below the cap; larger k falls back to the unpacked tile loop.
+inline constexpr std::int64_t kMmPackK = 512;
+
 template <class V>
 void mm_rows(const double* pa, const double* pb, double* po, std::int64_t i0,
              std::int64_t i1, std::int64_t k, std::int64_t m) {
@@ -926,6 +932,11 @@ void mm_rows(const double* pa, const double* pb, double* po, std::int64_t i0,
   }
 }
 
+// a[k,n]^T * b[k,m]: row r of the output tile reads COLUMN i+r of `a`, a
+// stride-n walk that touches a fresh cache line per k step. The packed path
+// copies the rt columns of the current row tile into a contiguous stack
+// panel once, then every column tile of `b` streams against it with the
+// exact FMA schedule of mm_rows.
 template <class V>
 void mm_tn_rows(const double* pa, const double* pb, double* po,
                 std::int64_t i0, std::int64_t i1, std::int64_t k,
@@ -934,8 +945,16 @@ void mm_tn_rows(const double* pa, const double* pb, double* po,
   constexpr std::int64_t cv =
       kMmColTile / static_cast<std::int64_t>(V::kWidth);
   constexpr std::size_t w = V::kWidth;
+  alignas(64) double apack[static_cast<std::size_t>(kMmPackK * rt)];
   for (std::int64_t i = i0; i < i1; i += rt) {
     const std::int64_t ib = std::min(rt, i1 - i);
+    const bool packed = ib == rt && k <= kMmPackK;
+    if (packed) {
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const double* a_col = pa + kk * n + i;
+        for (std::int64_t r = 0; r < rt; ++r) apack[kk * rt + r] = a_col[r];
+      }
+    }
     for (std::int64_t j = 0; j < m; j += kMmColTile) {
       const std::int64_t jb = std::min(kMmColTile, m - j);
       if (ib == rt && jb == kMmColTile) {
@@ -944,7 +963,7 @@ void mm_tn_rows(const double* pa, const double* pb, double* po,
           for (std::int64_t c = 0; c < cv; ++c) acc[r][c] = V::zero();
         }
         for (std::int64_t kk = 0; kk < k; ++kk) {
-          const double* a_col = pa + kk * n + i;
+          const double* a_col = packed ? apack + kk * rt : pa + kk * n + i;
           const double* b_row = pb + kk * m + j;
           typename V::reg bv[cv];
           for (std::int64_t c = 0; c < cv; ++c) {
@@ -980,61 +999,76 @@ void mm_tn_rows(const double* pa, const double* pb, double* po,
   }
 }
 
-// a[n,k] * b[m,k]^T: both operands stream along k, so the tile is 2 a-rows
-// by 4 b-rows of vector dot products, horizontally summed once per tile.
+// a[n,k] * b[m,k]^T: output column j+c reads ROW j+c of `b`, so the
+// broadcast-A tile of mm_rows needs b transposed. The packed path
+// transposes an 8-row panel of `b` into a contiguous stack buffer once per
+// column tile — amortized over every row tile of `a` — and then runs the
+// mm_rows schedule (broadcast a, vector b, one FMA per element) instead of
+// per-element dot products ending in a horizontal sum. Fringes and
+// deeper-than-cap k fall back to vector dots with a scalar tail.
 template <class V>
 void mm_nt_rows(const double* pa, const double* pb, double* po,
                 std::int64_t i0, std::int64_t i1, std::int64_t k,
                 std::int64_t m) {
-  constexpr std::int64_t rt = 2;
-  constexpr std::int64_t ct = 4;
+  constexpr std::int64_t rt = V::kMmRowTile;
+  constexpr std::int64_t cv =
+      kMmColTile / static_cast<std::int64_t>(V::kWidth);
   constexpr std::size_t w = V::kWidth;
-  for (std::int64_t i = i0; i < i1; i += rt) {
-    const std::int64_t ib = std::min(rt, i1 - i);
-    for (std::int64_t j = 0; j < m; j += ct) {
-      const std::int64_t jb = std::min(ct, m - j);
-      if (ib == rt && jb == ct && static_cast<std::size_t>(k) >= w) {
-        typename V::reg acc[rt][ct];
-        for (std::int64_t r = 0; r < rt; ++r) {
-          for (std::int64_t c = 0; c < ct; ++c) acc[r][c] = V::zero();
+  const std::size_t kw = static_cast<std::size_t>(k);
+  alignas(64) double bpack[static_cast<std::size_t>(kMmPackK * kMmColTile)];
+  for (std::int64_t j = 0; j < m; j += kMmColTile) {
+    const std::int64_t jb = std::min(kMmColTile, m - j);
+    const bool packed = jb == kMmColTile && k <= kMmPackK;
+    if (packed) {
+      for (std::int64_t c = 0; c < kMmColTile; ++c) {
+        const double* b_row = pb + (j + c) * k;
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          bpack[kk * kMmColTile + c] = b_row[kk];
         }
-        std::size_t kk = 0;
-        const std::size_t kw = static_cast<std::size_t>(k);
-        for (; kk + w <= kw; kk += w) {
-          typename V::reg av[rt];
+      }
+    }
+    for (std::int64_t i = i0; i < i1; i += rt) {
+      const std::int64_t ib = std::min(rt, i1 - i);
+      if (packed && ib == rt) {
+        typename V::reg acc[rt][cv];
+        for (std::int64_t r = 0; r < rt; ++r) {
+          for (std::int64_t c = 0; c < cv; ++c) acc[r][c] = V::zero();
+        }
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          const double* b_row = bpack + kk * kMmColTile;
+          typename V::reg bv[cv];
+          for (std::int64_t c = 0; c < cv; ++c) {
+            bv[c] = V::load(b_row + static_cast<std::size_t>(c) * w);
+          }
           for (std::int64_t r = 0; r < rt; ++r) {
-            av[r] = V::load(pa + (i + r) * k + static_cast<std::int64_t>(kk));
-          }
-          for (std::int64_t c = 0; c < ct; ++c) {
-            const typename V::reg bv =
-                V::load(pb + (j + c) * k + static_cast<std::int64_t>(kk));
-            for (std::int64_t r = 0; r < rt; ++r) {
-              acc[r][c] = V::fma(av[r], bv, acc[r][c]);
+            const typename V::reg a_rk = V::set1(pa[(i + r) * k + kk]);
+            for (std::int64_t c = 0; c < cv; ++c) {
+              acc[r][c] = V::fma(a_rk, bv[c], acc[r][c]);
             }
           }
         }
         for (std::int64_t r = 0; r < rt; ++r) {
-          for (std::int64_t c = 0; c < ct; ++c) {
-            double total = V::hsum(acc[r][c]);
-            const double* a_row = pa + (i + r) * k;
-            const double* b_row = pb + (j + c) * k;
-            for (std::size_t kt = kk; kt < kw; ++kt) {
-              total += a_row[kt] * b_row[kt];
-            }
-            po[(i + r) * m + j + c] = total;
+          double* out_row = po + (i + r) * m + j;
+          for (std::int64_t c = 0; c < cv; ++c) {
+            V::store(out_row + static_cast<std::size_t>(c) * w, acc[r][c]);
           }
         }
       } else {
+        // Fringe tile or k beyond the pack cap: per-element vector dot
+        // products with a scalar k-tail.
         for (std::int64_t r = 0; r < ib; ++r) {
           const double* a_row = pa + (i + r) * k;
           double* out_row = po + (i + r) * m + j;
           for (std::int64_t c = 0; c < jb; ++c) {
             const double* b_row = pb + (j + c) * k;
-            double acc = 0.0;
-            for (std::int64_t kk = 0; kk < k; ++kk) {
-              acc += a_row[kk] * b_row[kk];
+            typename V::reg acc = V::zero();
+            std::size_t kk = 0;
+            for (; kk + w <= kw; kk += w) {
+              acc = V::fma(V::load(a_row + kk), V::load(b_row + kk), acc);
             }
-            out_row[c] = acc;
+            double total = V::hsum(acc);
+            for (; kk < kw; ++kk) total += a_row[kk] * b_row[kk];
+            out_row[c] = total;
           }
         }
       }

@@ -5,7 +5,9 @@
 #include <filesystem>
 #include <fstream>
 
+#include "core/benchmarks.hpp"
 #include "core/checkpoint.hpp"
+#include "core/trainer.hpp"
 #include "fuzz/harness_model.hpp"
 #include "nn/mlp.hpp"
 #include "optim/adam.hpp"
@@ -341,6 +343,103 @@ TEST_F(CheckpointTest, FuzzArtifactsRejectWithStructuredErrors) {
       EXPECT_THROW(load(), IoError);
     }
   }
+}
+
+// ---- state peeking -----------------------------------------------------
+
+TEST_F(CheckpointTest, PeekStateMatchesLoadWithoutNeedingParams) {
+  nn::Mlp net = small_net(61);
+  auto params = net.parameters();
+  optim::Adam adam(params, optim::AdamConfig{});
+  std::vector<Tensor> grads;
+  for (const auto& p : params) grads.push_back(Tensor::ones(p.value().shape()));
+  adam.step(grads);
+
+  TrainingState state;
+  state.epoch = 9;
+  state.lr_scale = 0.5;
+  state.recoveries = 1;
+  state.best_loss = 0.125;
+  state.optimizer = adam.export_state();
+  const std::string path = temp_path("peek_state.qckpt");
+  Checkpointer::save_state(path, net.named_parameters(), state);
+
+  // No parameter set is supplied: the param block is skipped, every other
+  // section (and the CRC trailer) is still decoded and validated.
+  const TrainingState peeked = Checkpointer::peek_state(path);
+  EXPECT_EQ(peeked.epoch, 9);
+  EXPECT_DOUBLE_EQ(peeked.lr_scale, 0.5);
+  EXPECT_EQ(peeked.recoveries, 1);
+  EXPECT_DOUBLE_EQ(peeked.best_loss, 0.125);
+  EXPECT_EQ(peeked.optimizer.step_count, 1);
+
+  // Corruption is still caught even though the params are never read.
+  std::string bytes = read_file(path);
+  bytes[bytes.size() / 2] ^= 0x20;
+  const std::string corrupt = temp_path("peek_state_corrupt.qckpt");
+  write_file(corrupt, bytes);
+  EXPECT_THROW(Checkpointer::peek_state(corrupt), IoError);
+  std::remove(path.c_str());
+  std::remove(corrupt.c_str());
+}
+
+// ---- best_loss across resume -------------------------------------------
+
+// Regression for the resume-then-worse bug: best.qckpt can carry a better
+// best_loss than last.qckpt (best rotates whenever the loss improves,
+// last only every N epochs), so a trainer resumed from last.qckpt used to
+// believe a merely-okay epoch was a new best and overwrite the genuinely
+// best checkpoint. The fix peeks best.qckpt on resume and keeps the
+// smaller of the two.
+TEST_F(CheckpointTest, ResumeDoesNotLetWorseEpochOverwriteBest) {
+  const std::string dir = temp_path("resume_best_dir");
+  std::filesystem::remove_all(dir);
+
+  auto problem = make_free_packet_problem();
+  TrainConfig config = default_train_config(/*epochs=*/3, /*seed=*/5);
+  config.log_every = 0;
+  config.eval_every = 0;
+  config.sampling.n_interior_x = 8;
+  config.sampling.n_interior_t = 8;
+  config.sampling.n_initial = 16;
+  config.sampling.n_boundary = 8;
+  config.metric_nx = 16;
+  config.metric_nt = 8;
+  config.checkpoint = CheckpointConfig{};
+  config.checkpoint->dir = dir;
+  config.checkpoint->every = 1;
+  auto model = make_model_for(*problem, /*seed=*/5);
+  Trainer(problem, model, config).fit();
+
+  const std::string best_file = dir + "/best.qckpt";
+  const std::string last_file = dir + "/last.qckpt";
+  ASSERT_TRUE(std::filesystem::exists(best_file));
+  ASSERT_TRUE(std::filesystem::exists(last_file));
+
+  // Forge the crash scenario directly: best.qckpt records an unbeatable
+  // best_loss while last.qckpt's recovery section carries a stale, huge
+  // one (best rotated after last's write, then the run died).
+  TrainingState best_state =
+      Checkpointer::load_state(best_file, model->named_parameters());
+  best_state.best_loss = 1e-12;
+  Checkpointer::save_state(best_file, model->named_parameters(), best_state);
+  TrainingState last_state =
+      Checkpointer::load_state(last_file, model->named_parameters());
+  last_state.best_loss = 1e9;
+  Checkpointer::save_state(last_file, model->named_parameters(), last_state);
+  const std::string best_bytes = read_file(best_file);
+
+  // Resume from last.qckpt and train on. Every resumed epoch improves on
+  // the stale 1e9 but not on the real 1e-12 best, so best.qckpt must
+  // survive byte for byte.
+  TrainConfig more = config;
+  more.epochs = 6;
+  more.resume_from = last_file;
+  auto resumed = make_model_for(*problem, /*seed=*/5);
+  Trainer(problem, resumed, more).fit();
+  EXPECT_EQ(read_file(best_file), best_bytes)
+      << "a worse epoch overwrote best.qckpt after resume";
+  std::filesystem::remove_all(dir);
 }
 
 // ---- rotating saves with write faults ----------------------------------

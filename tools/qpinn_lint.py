@@ -56,6 +56,12 @@ Rules (exit 1 if any finding survives suppression):
                   src/util/timer.hpp and src/util/logging.cpp — timing must
                   flow through the Timer/logging layer so numerics never
                   read the clock and replay stays deterministic.
+  serve-forward-purity
+                  no tape construction inside src/serve/ — the serving
+                  layer is forward-only replay (NoGradGuard + a
+                  ``CaptureKind::kForwardOnly`` capture); building leaves,
+                  raw ops, or calling ``grad()`` there would silently grow
+                  a tape on the query path.
   banned-unordered-float-reduce
                   no ``unordered_map``/``unordered_set`` whose element or
                   mapped type is directly ``float``/``double`` — iteration
@@ -199,20 +205,27 @@ class Rule:
 
 class RegexRule(Rule):
     """Line-oriented token rule: any pattern hit on a lexed line is a
-    finding, unless the file is exempt (exact rel path or rel prefix)."""
+    finding, unless the file is exempt (exact rel path or rel prefix).
+    ``only_prefixes`` inverts the scoping: the rule applies exclusively to
+    files under the given rel prefixes (for per-subsystem bans)."""
 
     def __init__(self, name: str, short: str, message: str,
                  patterns: Iterable[str], exempt: Iterable[str] = (),
-                 exempt_prefixes: Iterable[str] = ()):
+                 exempt_prefixes: Iterable[str] = (),
+                 only_prefixes: Iterable[str] = ()):
         self.name, self.short, self.message = name, short, message
         self.patterns = [re.compile(p) for p in patterns]
         self.exempt = frozenset(exempt)
         self.exempt_prefixes = tuple(exempt_prefixes)
+        self.only_prefixes = tuple(only_prefixes)
 
     def applies_to(self, rel: str) -> bool:
-        return (rel not in self.exempt and
-                not rel.startswith(self.exempt_prefixes)
-                if self.exempt_prefixes else rel not in self.exempt)
+        if self.only_prefixes and not rel.startswith(self.only_prefixes):
+            return False
+        if rel in self.exempt:
+            return False
+        return not (self.exempt_prefixes
+                    and rel.startswith(self.exempt_prefixes))
 
     def check(self, files: list[SourceFile]) -> Iterator[Finding]:
         for f in files:
@@ -393,6 +406,18 @@ def build_rules(src: pathlib.Path, tests: pathlib.Path,
              r"(?<![\w.>:])(?:std\s*::\s*)?time\s*\(",
              r"(?<![\w.>:])(?:std\s*::\s*)?clock\s*\(\s*\)"],
             exempt=["src/util/timer.hpp", "src/util/logging.cpp"]),
+        RegexRule(
+            "serve-forward-purity",
+            "the serving layer never builds a tape",
+            "tape construction is banned in src/serve/; serving is "
+            "forward-only replay — capture under NoGradGuard with "
+            "CaptureKind::kForwardOnly instead of building leaves, ops, or "
+            "calling grad()",
+            [r"\bVariable\s*::\s*leaf\s*\(",
+             r"\bmake_op\s*\(",
+             r"(?<![\w.>:])(?:autodiff\s*::\s*|ad\s*::\s*)?grad\s*\(",
+             r"\bCaptureKind\s*::\s*kTraining\b"],
+            only_prefixes=["src/serve/"]),
         RegexRule(
             "banned-unordered-float-reduce",
             "no unordered containers of float/double elements",

@@ -117,6 +117,31 @@ class TokenRuleTest(unittest.TestCase):
         self.assertNotIn("banned-raw-sockets", rules_hit(exempt))
 
 
+class ServeForwardPurityTest(unittest.TestCase):
+    def test_fires_on_tape_construction_in_serve(self):
+        for snippet in ("auto v = Variable::leaf(t);\n",
+                        "auto v = make_op(fn, parents);\n",
+                        "auto gs = autodiff::grad(loss, params);\n",
+                        "CaptureScope s(plan_, CaptureKind::kTraining);\n"):
+            report = lint({"src/serve/compiled_model.cpp": snippet})
+            self.assertIn("serve-forward-purity", rules_hit(report),
+                          f"should fire on: {snippet!r}")
+
+    def test_scoped_to_serve_only(self):
+        report = lint(
+            {"src/core/trainer.cpp": "auto gs = autodiff::grad(l, ps);\n"})
+        self.assertNotIn("serve-forward-purity", rules_hit(report))
+
+    def test_forward_only_serving_code_is_clean(self):
+        snippet = ("autodiff::NoGradGuard no_grad;\n"
+                   "plan::CaptureScope scope(plan_, "
+                   "plan::CaptureKind::kForwardOnly);\n"
+                   "auto out = model_->forward(Variable::constant(input_));\n"
+                   "if (p.requires_grad()) {}\n")
+        report = lint({"src/serve/compiled_model.cpp": snippet})
+        self.assertNotIn("serve-forward-purity", rules_hit(report))
+
+
 class DeterminismRuleTest(unittest.TestCase):
     def test_banned_fma_fires_on_std_and_builtin(self):
         report = lint({"src/a.cpp": "double y = std::fma(a, b, c);\n"
