@@ -148,25 +148,14 @@ std::vector<Variable> grad(const Variable& output,
         // allocating another tensor per accumulation edge.
         kernels::axpy_inplace(existing->second.mutable_value(), 1.0,
                               pg.value());
-        if (plan::capturing()) {
-          plan::record_inplace(
-              [dst = existing->second.value(), src = pg.value()]() mutable {
-                kernels::axpy_inplace(dst, 1.0, src);
-              });
-        }
+        plan::record_axpy_acc(existing->second.value(), 1.0, pg.value());
       } else {
         // First collision for this node: materialize a private buffer
         // (the stored gradient may alias the seed or a tape value, which
         // must stay untouched) and accumulate into it from now on.
         Tensor acc = existing->second.value().clone();
         kernels::axpy_inplace(acc, 1.0, pg.value());
-        if (plan::capturing()) {
-          plan::record(acc, [dst = acc, first = existing->second.value(),
-                             src = pg.value()]() mutable {
-            kernels::copy_into(dst, first);
-            kernels::axpy_inplace(dst, 1.0, src);
-          });
-        }
+        plan::record_copy_axpy(acc, existing->second.value(), 1.0, pg.value());
         existing->second = Variable::constant(std::move(acc));
         owned_accum.insert(parent.node());
       }
@@ -195,13 +184,9 @@ std::vector<Variable> grad(const Variable& output,
             "(allow_unused=false)");
       }
       Variable zero = zeros_like(input);
-      if (plan::capturing()) {
-        // Callers (trainer shard reduction) may axpy into result buffers in
-        // place; the plan must restore this one to zero on every replay.
-        plan::record(zero.value(), [o = zero.value()]() mutable {
-          kernels::fill_zero(o);
-        });
-      }
+      // Callers (trainer shard reduction) may axpy into result buffers in
+      // place; the plan must restore this one to zero on every replay.
+      plan::record_zero(zero.value());
       results.push_back(zero);
       continue;
     }

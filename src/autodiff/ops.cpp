@@ -25,15 +25,14 @@ bool needs(const Variable& self, std::size_t i) {
 }
 
 // Capture-aware kernel launchers: compute the value eagerly and, while an
-// execution plan is recording, append a thunk that re-runs the SAME kernel
-// into the SAME buffer (the `_into` variants in tensor/kernels.hpp), so
-// replay is bit-identical to the captured eager step.
+// execution plan is recording, append a structured thunk that re-runs the
+// SAME kernel into the SAME buffer (the `_into` variants in
+// tensor/kernels.hpp), so replay is bit-identical to the captured eager
+// step and the optimizer passes can inspect the kernel identity.
 Tensor run1(Tensor (*f)(const Tensor&), void (*fi)(Tensor&, const Tensor&),
             const Tensor& a) {
   Tensor out = f(a);
-  if (plan::capturing()) {
-    plan::record(out, [fi, o = out, a]() mutable { fi(o, a); });
-  }
+  plan::record_unary(out, fi, a);
   return out;
 }
 
@@ -41,9 +40,7 @@ Tensor run1s(Tensor (*f)(const Tensor&, double),
              void (*fi)(Tensor&, const Tensor&, double), const Tensor& a,
              double s) {
   Tensor out = f(a, s);
-  if (plan::capturing()) {
-    plan::record(out, [fi, o = out, a, s]() mutable { fi(o, a, s); });
-  }
+  plan::record_unary_scalar(out, fi, a, s);
   return out;
 }
 
@@ -51,9 +48,7 @@ Tensor run2(Tensor (*f)(const Tensor&, const Tensor&),
             void (*fi)(Tensor&, const Tensor&, const Tensor&), const Tensor& a,
             const Tensor& b) {
   Tensor out = f(a, b);
-  if (plan::capturing()) {
-    plan::record(out, [fi, o = out, a, b]() mutable { fi(o, a, b); });
-  }
+  plan::record_binary(out, fi, a, b);
   return out;
 }
 
@@ -306,11 +301,7 @@ Variable mean_all(const Variable& a) {
 Variable sum_to(const Variable& a, const Shape& target) {
   if (a.shape() == target) return a;
   Tensor value = k::sum_to(a.value(), target);
-  if (plan::capturing()) {
-    plan::record(value, [o = value, src = a.value()]() mutable {
-      k::sum_to_into(o, src);
-    });
-  }
+  plan::record_unary(value, &k::sum_to_into, a.value());
   return op("sum_to", std::move(value), {a},
             [](const Variable& g, const Variable& self) {
               return std::vector<Variable>{
@@ -321,11 +312,7 @@ Variable sum_to(const Variable& a, const Shape& target) {
 Variable broadcast_to(const Variable& a, const Shape& target) {
   if (a.shape() == target) return a;
   Tensor value = k::broadcast_to(a.value(), target);
-  if (plan::capturing()) {
-    plan::record(value, [o = value, src = a.value()]() mutable {
-      k::broadcast_to_into(o, src);
-    });
-  }
+  plan::record_unary(value, &k::broadcast_to_into, a.value());
   return op("broadcast_to", std::move(value), {a},
             [](const Variable& g, const Variable& self) {
               return std::vector<Variable>{
@@ -421,11 +408,9 @@ void pad_cols_tensor_into(Tensor& out, const Tensor& g, std::int64_t c0) {
 Tensor pad_cols_tensor(const Tensor& g, std::int64_t c0, std::int64_t cols) {
   Tensor out = Tensor::uninitialized(Shape{g.rows(), cols});
   pad_cols_tensor_into(out, g, c0);
-  if (plan::capturing()) {
-    plan::record(out, [o = out, g, c0]() mutable {
-      pad_cols_tensor_into(o, g, c0);
-    });
-  }
+  plan::record_opaque(out, {g}, [o = out, g, c0]() mutable {
+    pad_cols_tensor_into(o, g, c0);
+  });
   return out;
 }
 
@@ -439,11 +424,9 @@ void pad_rows_tensor_into(Tensor& out, const Tensor& g, std::int64_t r0) {
 Tensor pad_rows_tensor(const Tensor& g, std::int64_t r0, std::int64_t rows) {
   Tensor out = Tensor::uninitialized(Shape{rows, g.cols()});
   pad_rows_tensor_into(out, g, r0);
-  if (plan::capturing()) {
-    plan::record(out, [o = out, g, r0]() mutable {
-      pad_rows_tensor_into(o, g, r0);
-    });
-  }
+  plan::record_opaque(out, {g}, [o = out, g, r0]() mutable {
+    pad_rows_tensor_into(o, g, r0);
+  });
   return out;
 }
 
@@ -452,11 +435,10 @@ Variable pad_rows(const Variable& g, std::int64_t r0, std::int64_t rows);
 
 Variable slice_cols(const Variable& a, std::int64_t c0, std::int64_t c1) {
   Tensor value = k::slice_cols(a.value(), c0, c1);
-  if (plan::capturing()) {
-    plan::record(value, [o = value, src = a.value(), c0, c1]() mutable {
-      k::slice_cols_into(o, src, c0, c1);
-    });
-  }
+  plan::record_opaque(value, {a.value()},
+                      [o = value, src = a.value(), c0, c1]() mutable {
+                        k::slice_cols_into(o, src, c0, c1);
+                      });
   return op("slice_cols", std::move(value), {a},
             [c0](const Variable& g, const Variable& self) {
               return std::vector<Variable>{
@@ -489,11 +471,9 @@ Variable concat_cols(const std::vector<Variable>& parts) {
   values.reserve(parts.size());
   for (const Variable& p : parts) values.push_back(p.value());
   Tensor value = k::concat_cols(values);
-  if (plan::capturing()) {
-    plan::record(value, [o = value, values]() mutable {
-      k::concat_cols_into(o, values);
-    });
-  }
+  plan::record_opaque(value, values, [o = value, values]() mutable {
+    k::concat_cols_into(o, values);
+  });
   return op("concat_cols", std::move(value), parts,
             [](const Variable& g, const Variable& self) {
               std::vector<Variable> grads;
@@ -513,11 +493,10 @@ Variable concat_cols(const std::vector<Variable>& parts) {
 
 Variable slice_rows(const Variable& a, std::int64_t r0, std::int64_t r1) {
   Tensor value = k::slice_rows(a.value(), r0, r1);
-  if (plan::capturing()) {
-    plan::record(value, [o = value, src = a.value(), r0, r1]() mutable {
-      k::slice_rows_into(o, src, r0, r1);
-    });
-  }
+  plan::record_opaque(value, {a.value()},
+                      [o = value, src = a.value(), r0, r1]() mutable {
+                        k::slice_rows_into(o, src, r0, r1);
+                      });
   return op("slice_rows", std::move(value), {a},
             [r0](const Variable& g, const Variable& self) {
               return std::vector<Variable>{
@@ -532,11 +511,9 @@ Variable concat_rows(const std::vector<Variable>& parts) {
   values.reserve(parts.size());
   for (const Variable& p : parts) values.push_back(p.value());
   Tensor value = k::concat_rows(values);
-  if (plan::capturing()) {
-    plan::record(value, [o = value, values]() mutable {
-      k::concat_rows_into(o, values);
-    });
-  }
+  plan::record_opaque(value, values, [o = value, values]() mutable {
+    k::concat_rows_into(o, values);
+  });
   return op("concat_rows", std::move(value), parts,
             [](const Variable& g, const Variable& self) {
               std::vector<Variable> grads;

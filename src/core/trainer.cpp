@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "autodiff/grad.hpp"
+#include "autodiff/plan_passes.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tensor/kernels.hpp"
 #include "util/binary_io.hpp"
@@ -110,6 +111,7 @@ Trainer::Trainer(std::shared_ptr<Problem> problem,
   graph_enabled_ =
       config_.graph == GraphMode::kOn ||
       (config_.graph == GraphMode::kEnv && plan::graph_env_enabled());
+  plan_opt_enabled_ = plan::plan_opt_env_enabled();
   if (config_.dist && config_.dist->world() > 1) {
     // Dist mode forces eager execution: a captured plan pins one epoch's
     // sharding, but rank failure (degrade/rejoin) can reshape the step
@@ -342,6 +344,28 @@ Trainer::PlanKey Trainer::current_plan_key() const {
 // buffers on the host side, in the same order as the eager reduction —
 // every replayed epoch is bit-identical to what eager would have computed.
 
+void Trainer::optimize_shard_plan(ShardPlan& sp) {
+  std::vector<Tensor> outputs;
+  outputs.reserve(sp.grads.size() + sp.aux.size() + 1);
+  outputs.push_back(sp.loss);
+  for (const Tensor& g : sp.grads) outputs.push_back(g);
+  for (const AuxBinding& b : sp.aux) outputs.push_back(b.value);
+  const plan::PassStats stats = plan::optimize_plan(sp.plan, outputs);
+  log::debug() << problem_->name() << " plan optimized: " << stats.thunks_before
+               << " -> " << stats.thunks_after << " thunks ("
+               << stats.dead_eliminated << " dead, " << stats.fused
+               << " fused), arena " << stats.arena_bytes_before << " -> "
+               << stats.arena_bytes_after << " bytes ("
+               << stats.buffers_rebound << " buffers re-bound)";
+}
+
+std::vector<plan::PassStats> Trainer::plan_pass_stats() const {
+  std::vector<plan::PassStats> stats;
+  stats.reserve(plans_.size());
+  for (const ShardPlan& sp : plans_) stats.push_back(sp.plan.pass_stats());
+  return stats;
+}
+
 Trainer::LossAndGrads Trainer::capture_serial(std::int64_t epoch) {
   plans_.clear();
   plans_.resize(1);
@@ -370,6 +394,7 @@ Trainer::LossAndGrads Trainer::capture_serial(std::int64_t epoch) {
   sp.weights = weights;
   sp.r0 = 0;
   sp.r1 = points_.interior.rows();
+  if (plan_opt_enabled_) optimize_shard_plan(sp);
   return result;
 }
 
@@ -454,6 +479,7 @@ Trainer::LossAndGrads Trainer::capture_parallel(std::int64_t epoch) {
     sp.weights = shard_weights;
     sp.r0 = r0;
     sp.r1 = r1;
+    if (plan_opt_enabled_) optimize_shard_plan(sp);
   });
 
   // Deterministic shard-order reduction.

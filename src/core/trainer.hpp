@@ -179,6 +179,12 @@ class Trainer {
   /// True when this trainer captures/replays execution plans.
   bool graph_enabled() const { return graph_enabled_; }
 
+  /// Optimizer-pass statistics for each captured shard plan (observability:
+  /// bench_report surfaces the thunk/arena reduction per training plan).
+  /// Empty until the first captured step; all-zero when QPINN_PLAN_OPT is
+  /// off.
+  std::vector<autodiff::plan::PassStats> plan_pass_stats() const;
+
   /// Replaces the interior collocation set (e.g. to change the batch size
   /// between fit() calls). Any captured execution plan is invalidated on
   /// the next step, exactly like a resample.
@@ -256,6 +262,11 @@ class Trainer {
 
   LossAndGrads capture_serial(std::int64_t epoch);
   LossAndGrads capture_parallel(std::int64_t epoch);
+  /// Runs the optimizer passes (autodiff/plan_passes.hpp) over one shard's
+  /// finalized capture, declaring the host-read buffers (loss, grads, aux)
+  /// as plan outputs. Called after the CaptureScope block, once the eager
+  /// Variable graph is destroyed; thread-safe (per-shard state only).
+  void optimize_shard_plan(ShardPlan& sp);
   LossAndGrads replay_serial(std::int64_t epoch);
   LossAndGrads replay_parallel(std::int64_t epoch);
 
@@ -290,6 +301,9 @@ class Trainer {
   std::unique_ptr<optim::Adam> optimizer_;
   std::unique_ptr<optim::LrSchedule> schedule_;
   bool graph_enabled_ = false;
+  /// QPINN_PLAN_OPT at construction: run the optimizer passes
+  /// (autodiff/plan_passes.hpp) over every finalized capture.
+  bool plan_opt_enabled_ = false;
   bool plans_ready_ = false;
   /// Bumped whenever points_.interior is rebound to a different tensor
   /// (see PlanKey::interior_generation). The in-place refresh path

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "autodiff/ops.hpp"
+#include "autodiff/plan_passes.hpp"
 #include "autodiff/variable.hpp"
 #include "util/error.hpp"
 
@@ -15,19 +16,26 @@ CompiledModel::CompiledModel(std::shared_ptr<core::FieldModel> model,
   QPINN_CHECK(model_ != nullptr, "CompiledModel: model must not be null");
   QPINN_CHECK(batch_rows_ > 0, "CompiledModel: batch_rows must be positive");
   input_ = Tensor::zeros({batch_rows_, 2});
-  // The eager forward below IS the capture: NoGradGuard keeps every op a
-  // constant (no tape), the forward-only scope records each kernel thunk,
-  // and a stray gradient-accumulation record throws instead of poisoning
-  // the plan.
-  autodiff::NoGradGuard no_grad;
-  autodiff::plan::CaptureScope scope(plan_,
-                                     autodiff::plan::CaptureKind::kForwardOnly);
-  const autodiff::Variable out =
-      model_->forward(autodiff::Variable::constant(input_));
-  output_ = out.value();
-  QPINN_CHECK_SHAPE(output_.rank() == 2 && output_.rows() == batch_rows_ &&
-                        output_.cols() == 2,
-                    "CompiledModel: forward must produce (batch_rows, 2)");
+  {
+    // The eager forward below IS the capture: NoGradGuard keeps every op a
+    // constant (no tape), the forward-only scope records each kernel thunk,
+    // and a stray gradient-accumulation record throws instead of poisoning
+    // the plan.
+    autodiff::NoGradGuard no_grad;
+    autodiff::plan::CaptureScope scope(
+        plan_, autodiff::plan::CaptureKind::kForwardOnly);
+    const autodiff::Variable out =
+        model_->forward(autodiff::Variable::constant(input_));
+    output_ = out.value();
+    QPINN_CHECK_SHAPE(output_.rank() == 2 && output_.rows() == batch_rows_ &&
+                          output_.cols() == 2,
+                      "CompiledModel: forward must produce (batch_rows, 2)");
+  }
+  // The forward graph is gone (constants only, destroyed with the block), so
+  // the pass pipeline sees plan-private intermediates; output_ stays pinned.
+  if (autodiff::plan::plan_opt_env_enabled()) {
+    autodiff::plan::optimize_plan(plan_, {output_});
+  }
 }
 
 std::shared_ptr<const CompiledModel> CompiledModel::compile(

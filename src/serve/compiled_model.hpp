@@ -60,6 +60,13 @@ class CompiledModel {
   const ModelInfo& info() const { return info_; }
   /// Recorded kernel count of the forward plan (observability).
   std::size_t plan_size() const { return plan_.size(); }
+  /// Pinned arena footprint of the forward plan in bytes (observability).
+  std::size_t arena_bytes() const { return plan_.arena_bytes(); }
+  /// Optimizer-pass statistics for the forward plan (all zero when
+  /// QPINN_PLAN_OPT is off).
+  const autodiff::plan::PassStats& pass_stats() const {
+    return plan_.pass_stats();
+  }
 
   /// Evaluates `rows` queries: xy holds rows*2 doubles (x, t pairs), uv
   /// receives rows*2 doubles (u, v pairs). Chunks of batch_rows() replay

@@ -409,6 +409,28 @@ Tensor bias_sin(const Tensor& a, const Tensor& bias) {
   return out;
 }
 
+void tanh_grad_into(Tensor& out, const Tensor& g, const Tensor& t) {
+  QPINN_KERNEL_VALIDATE(g, "kernels.tanh_grad");
+  QPINN_KERNEL_VALIDATE(t, "kernels.tanh_grad");
+  QPINN_KERNEL_VALIDATE(out, "kernels.tanh_grad");
+  QPINN_CHECK_SHAPE(g.same_shape(t), "tanh_grad operand shape mismatch");
+  QPINN_CHECK_SHAPE(out.same_shape(g), "tanh_grad output shape mismatch");
+  const double* pg = g.data();
+  const double* pt = t.data();
+  double* po = out.data();
+  const std::size_t n = static_cast<std::size_t>(g.numel());
+  auto* fn = simd::active().tanh_grad;
+  parallel_for(n, [&](std::size_t begin, std::size_t end) {
+    fn(pg + begin, pt + begin, po + begin, end - begin);
+  });
+}
+
+Tensor tanh_grad(const Tensor& g, const Tensor& t) {
+  Tensor out = Tensor::uninitialized(g.shape());
+  tanh_grad_into(out, g, t);
+  return out;
+}
+
 namespace {
 
 double square_sum_total(const Tensor& a) {

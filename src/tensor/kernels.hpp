@@ -89,6 +89,12 @@ Tensor concat_rows(const std::vector<Tensor>& parts);
 Tensor bias_tanh(const Tensor& a, const Tensor& bias);
 /// sin(a + bias); same contract as bias_tanh.
 Tensor bias_sin(const Tensor& a, const Tensor& bias);
+/// g * (1 - t^2) in one pass (the tanh backward chain), same shapes
+/// required. Performs the identical per-lane IEEE sequence as the
+/// mul(g, add_scalar(neg(square(t)), 1.0)) composition — square, negate,
+/// add 1.0, multiply, no FMA contraction — so it is bit-identical to the
+/// unfused chain (asserted in tests/simd_test.cpp).
+Tensor tanh_grad(const Tensor& g, const Tensor& t);
 /// sum_i a_i^2 as a scalar tensor, without materializing square(a).
 Tensor square_sum_all(const Tensor& a);
 /// sum_i w_i * a_i^2 as a scalar tensor; w is same-shape as `a` or a
@@ -139,6 +145,7 @@ void slice_rows_into(Tensor& out, const Tensor& a, std::int64_t r0,
                      std::int64_t r1);
 void bias_tanh_into(Tensor& out, const Tensor& a, const Tensor& bias);
 void bias_sin_into(Tensor& out, const Tensor& a, const Tensor& bias);
+void tanh_grad_into(Tensor& out, const Tensor& g, const Tensor& t);
 void square_sum_all_into(Tensor& out, const Tensor& a);
 void weighted_square_sum_all_into(Tensor& out, const Tensor& w,
                                   const Tensor& a);

@@ -109,6 +109,10 @@ struct KernelTable {
   /// composing bin_row[kAdd] with tanh.
   void (*bias_tanh)(const double* a, const double* b, double* o,
                     std::size_t rows, std::size_t cols);
+  /// Fused tanh backward: o[i] = g[i] * (1 - t[i]^2); bit-identical to the
+  /// square/neg/add_scalar/mul composition (see detail::OpTanhGrad).
+  void (*tanh_grad)(const double* g, const double* t, double* o,
+                    std::size_t n);
 
   double (*dot)(const double* a, const double* b, std::size_t n);
   double (*sum)(const double* a, std::size_t n);
@@ -399,6 +403,17 @@ struct OpDiv {
   template <class V>
   static typename V::reg v(typename V::reg a, typename V::reg b) {
     return V::div(a, b);
+  }
+};
+// tanh backward: a * (1 - b^2), written as the exact IEEE op sequence of
+// its composition square -> neg -> add_scalar(1.0) -> mul (negation is a
+// sign flip, exact; no FMA, no reassociation), so the fused kernel is
+// bit-identical to the four-kernel chain it replaces in optimized plans.
+struct OpTanhGrad {
+  static double s(double a, double b) { return a * ((-(b * b)) + 1.0); }
+  template <class V>
+  static typename V::reg v(typename V::reg a, typename V::reg b) {
+    return V::mul(a, V::add(V::neg(V::mul(b, b)), V::set1(1.0)));
   }
 };
 
@@ -1104,6 +1119,7 @@ KernelTable make_table(Isa isa, const char* name) {
   t.sign = &ew_sign<V>;
   t.tanh = &ew_tanh<V>;
   t.bias_tanh = &ew_bias_tanh<V>;
+  t.tanh_grad = &ew_bin<V, OpTanhGrad>;
   t.dot = &red_dot<V>;
   t.sum = &red_sum<V>;
   t.square_sum = &red_square_sum<V>;

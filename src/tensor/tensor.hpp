@@ -80,6 +80,11 @@ class Tensor {
   bool shares_storage(const Tensor& other) const {
     return storage_ == other.storage_;
   }
+  /// Number of owners of this tensor's storage (shared_ptr use count). The
+  /// plan optimizer (autodiff/plan_passes.cpp) compares it against the
+  /// plan-internal reference count to prove a buffer has no outside
+  /// observers before re-binding it onto a shared arena slot.
+  long storage_use_count() const { return storage_.use_count(); }
 
   // ---- diagnostics ------------------------------------------------------
   /// Storage/shape/stride agreement: storage present, every extent

@@ -116,14 +116,19 @@ TEST(ForwardOnlyCapture, RejectsGradientAccumulationThunks) {
   plan::CaptureScope scope(tape, plan::CaptureKind::kForwardOnly);
   EXPECT_TRUE(plan::capturing());
   EXPECT_TRUE(plan::capturing_forward_only());
-  EXPECT_THROW(plan::record_inplace([] {}), ValueError);
+  const Tensor dst = Tensor::zeros(Shape{4});
+  const Tensor src = Tensor::ones(Shape{4});
+  EXPECT_THROW(plan::record_axpy_acc(dst, 1.0, src), ValueError);
+  EXPECT_THROW(plan::record_copy_axpy(dst, src, 1.0, src), ValueError);
 }
 
 TEST(ForwardOnlyCapture, TrainingCaptureStillAcceptsThem) {
   plan::ExecutionPlan tape;
   plan::CaptureScope scope(tape);
   EXPECT_FALSE(plan::capturing_forward_only());
-  plan::record_inplace([] {});
+  const Tensor dst = Tensor::zeros(Shape{4});
+  const Tensor src = Tensor::ones(Shape{4});
+  plan::record_axpy_acc(dst, 1.0, src);
   EXPECT_EQ(tape.size(), 1u);
 }
 

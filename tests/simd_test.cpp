@@ -427,6 +427,18 @@ TEST(SimdKernels, FusedKernelsMatchTheirCompositionUnderEveryVariant) {
     for (std::int64_t i = 0; i < a.numel(); ++i) {
       EXPECT_DOUBLE_EQ(dst[i], 0.9 * a[i] + 0.1 * w_same[i]);
     }
+
+    // tanh_grad must agree bitwise with the composition it replaces in
+    // optimized plans: mul(g, add_scalar(neg(square(t)), 1.0)). The fused
+    // kernel performs the identical IEEE op sequence (no FMA), so this is
+    // EXPECT_EQ, not NEAR — the plan optimizer's bit-identity contract
+    // depends on it.
+    const Tensor tg = kernels::tanh_grad(w_same, a);
+    const Tensor tg_chain = kernels::mul(
+        w_same, kernels::add_scalar(kernels::neg(kernels::square(a)), 1.0));
+    for (std::int64_t i = 0; i < a.numel(); ++i) {
+      EXPECT_EQ(tg[i], tg_chain[i]) << isa_name(isa);
+    }
   }
 }
 

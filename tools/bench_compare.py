@@ -90,14 +90,49 @@ def main() -> int:
     for key in missing:
         findings.append(f"{'/'.join(key)}: present in baseline, missing now")
 
-    base_red = baseline.get("summary", {}).get("alloc_reduction_x")
-    cur_red = current.get("summary", {}).get("alloc_reduction_x")
+    base_sum = baseline.get("summary", {})
+    cur_sum = current.get("summary", {})
+    base_red = base_sum.get("alloc_reduction_x")
+    cur_red = cur_sum.get("alloc_reduction_x")
     if cur_red is not None:
         print(f"bench_compare: alloc_reduction_x baseline={base_red} "
               f"current={cur_red}")
         if cur_red < 5.0:
             regressions.append(
                 f"alloc_reduction_x {cur_red:.1f} below the 5x budget")
+
+    # Plan-optimizer gates. Thunk counts and arena bytes are exact metrics
+    # (deterministic properties of the captured tape, like the alloc
+    # counters), so these are real regressions, not noise: with the passes
+    # on, every tracked plan must shrink in both thunks and arena bytes,
+    # and the optimized sizes must not grow past the baseline's.
+    if cur_sum.get("plan_opt_enabled"):
+        for plan in ("fwd", "step", "tdse"):
+            thunks_b = cur_sum.get(f"{plan}_plan_thunks_before")
+            thunks_a = cur_sum.get(f"{plan}_plan_thunks_after")
+            arena_b = cur_sum.get(f"{plan}_plan_arena_bytes_before")
+            arena_a = cur_sum.get(f"{plan}_plan_arena_bytes_after")
+            if None in (thunks_b, thunks_a, arena_b, arena_a):
+                continue
+            print(f"bench_compare: {plan}_plan thunks {thunks_b}->{thunks_a}"
+                  f" arena_bytes {arena_b}->{arena_a}")
+            if thunks_a >= thunks_b:
+                regressions.append(
+                    f"{plan}_plan: optimizer eliminated no thunks "
+                    f"({thunks_b} -> {thunks_a})")
+            if arena_a >= arena_b:
+                regressions.append(
+                    f"{plan}_plan: optimizer saved no arena bytes "
+                    f"({arena_b} -> {arena_a})")
+            if base_sum.get("plan_opt_enabled"):
+                for field in (f"{plan}_plan_thunks_after",
+                              f"{plan}_plan_arena_bytes_after"):
+                    base_v = base_sum.get(field)
+                    cur_v = cur_sum.get(field)
+                    if base_v is not None and cur_v > base_v:
+                        regressions.append(
+                            f"{field} {base_v} -> {cur_v} "
+                            f"(exact metric; optimizer lost ground)")
 
     findings = regressions + findings
     for finding in findings:

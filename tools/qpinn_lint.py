@@ -62,6 +62,12 @@ Rules (exit 1 if any finding survives suppression):
                   ``CaptureKind::kForwardOnly`` capture); building leaves,
                   raw ops, or calling ``grad()`` there would silently grow
                   a tape on the query path.
+  plan-thunk-mutation
+                  no ``set_thunks(``/``take_thunks(`` outside
+                  src/autodiff/ — ExecutionPlan thunk arrays are rewritten
+                  only by the pass pipeline (plan_passes.hpp), which is
+                  what keeps replay bit-identical and the arena index
+                  consistent with the thunk list.
   banned-unordered-float-reduce
                   no ``unordered_map``/``unordered_set`` whose element or
                   mapped type is directly ``float``/``double`` — iteration
@@ -418,6 +424,16 @@ def build_rules(src: pathlib.Path, tests: pathlib.Path,
              r"(?<![\w.>:])(?:autodiff\s*::\s*|ad\s*::\s*)?grad\s*\(",
              r"\bCaptureKind\s*::\s*kTraining\b"],
             only_prefixes=["src/serve/"]),
+        RegexRule(
+            "plan-thunk-mutation",
+            "ExecutionPlan thunk arrays are rewritten only inside "
+            "src/autodiff/",
+            "direct ExecutionPlan thunk-array mutation is banned outside "
+            "src/autodiff/; rewrite plans through the pass pipeline "
+            "(plan_passes.hpp optimize_plan) so the bit-identity contract "
+            "and arena accounting stay intact",
+            [r"\b(?:set_thunks|take_thunks)\s*\("],
+            exempt_prefixes=["src/autodiff/"]),
         RegexRule(
             "banned-unordered-float-reduce",
             "no unordered containers of float/double elements",

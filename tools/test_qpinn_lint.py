@@ -142,6 +142,26 @@ class ServeForwardPurityTest(unittest.TestCase):
         self.assertNotIn("serve-forward-purity", rules_hit(report))
 
 
+class PlanThunkMutationTest(unittest.TestCase):
+    def test_fires_on_thunk_mutation_outside_autodiff(self):
+        for snippet in ("plan.set_thunks(std::move(ts));\n",
+                        "auto ts = plan.take_thunks();\n"):
+            report = lint({"src/core/trainer.cpp": snippet})
+            self.assertIn("plan-thunk-mutation", rules_hit(report),
+                          f"should fire on: {snippet!r}")
+
+    def test_exempts_autodiff_pass_pipeline(self):
+        snippet = ("auto ts = plan.take_thunks();\n"
+                   "plan.set_thunks(std::move(ts));\n")
+        report = lint({"src/autodiff/plan_passes.cpp": snippet})
+        self.assertNotIn("plan-thunk-mutation", rules_hit(report))
+
+    def test_reading_thunks_is_clean(self):
+        report = lint(
+            {"src/core/trainer.cpp": "const auto& ts = plan.thunks();\n"})
+        self.assertNotIn("plan-thunk-mutation", rules_hit(report))
+
+
 class DeterminismRuleTest(unittest.TestCase):
     def test_banned_fma_fires_on_std_and_builtin(self):
         report = lint({"src/a.cpp": "double y = std::fma(a, b, c);\n"
