@@ -29,6 +29,7 @@
 #include "autodiff/ops.hpp"
 #include "autodiff/plan.hpp"
 #include "autodiff/plan_passes.hpp"
+#include "autodiff/precision.hpp"
 #include "core/benchmarks.hpp"
 #include "core/field_model.hpp"
 #include "core/trainer.hpp"
@@ -40,6 +41,7 @@
 #include "optim/lbfgs.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tensor/kernels.hpp"
+#include "tensor/kernels_f32.hpp"
 #include "tensor/simd.hpp"
 #include "tensor/storage_pool.hpp"
 #include "util/cli.hpp"
@@ -227,6 +229,45 @@ int main(int argc, char** argv) {
         time_op("tensor", "adam_step", "65536", r_small,
                 [&] { k::adam_step_inplace(param, grad, m, v, adam_cfg); },
                 14.0 * n_vec));
+
+    // fp32 twins of the hottest sweeps — the kernels the mixed-precision
+    // replay path (QPINN_PRECISION=mixed) executes through the fp32 SIMD
+    // tables. Same shapes and chunking as the fp64 rows above, so the
+    // row-to-row ratio is the raw width win on this machine.
+    {
+      namespace f32 = qpinn::kernels_f32;
+      const std::size_t ne = static_cast<std::size_t>(n_elem);
+      std::vector<float> fa(ne), fb(ne), fo(ne), fbias(256);
+      f32::downcast(fa.data(), a.data(), ne);
+      f32::downcast(fb.data(), b.data(), ne);
+      f32::downcast(fbias.data(), bias_row.data(), 256);
+      results.push_back(time_op(
+          "tensor", "add_f32", "256x256", r_mid,
+          [&] {
+            f32::bin_same(qpinn::simd::kAdd, fa.data(), fb.data(), fo.data(),
+                          ne);
+          },
+          n_elem));
+      results.push_back(time_op(
+          "tensor", "mul_f32", "256x256", r_mid,
+          [&] {
+            f32::bin_same(qpinn::simd::kMul, fa.data(), fb.data(), fo.data(),
+                          ne);
+          },
+          n_elem));
+      results.push_back(
+          time_op("tensor", "bias_tanh_f32", "256x256", r_mid,
+                  [&] {
+                    f32::bias_tanh(fa.data(), fbias.data(), fo.data(), 256,
+                                   256);
+                  },
+                  2.0 * n_elem));
+      results.push_back(
+          time_op("tensor", "matmul_f32", "256x256x256", r_big,
+                  [&] { f32::matmul(fa.data(), fb.data(), fo.data(), 256, 256,
+                                    256); },
+                  2.0 * 256.0 * n_elem));
+    }
   }
 
   // Flop model for the 2-64-64-1 tanh MLP on the 256-row batch (one flop
@@ -317,6 +358,29 @@ int main(int argc, char** argv) {
   };
   results.push_back(time_op("training", "train_step_replay", "mlp-2-64-64-1",
                             r_big, train_step_replay, train_step_flops));
+
+  // Demoted twin of the replay row: an identically captured schedule run
+  // through autodiff::demote_plan, so the interior sweeps execute on the
+  // fp32 tables while Adam stays eager fp64 on the master weights (the
+  // downcast-on-publish thunks re-run inside every replay). The ratio to
+  // train_step_replay is the mixed-precision win the trainer sees.
+  plan::ExecutionPlan mixed_plan;
+  std::vector<Tensor> mixed_grads;
+  {
+    plan::CaptureScope scope(mixed_plan);
+    auto grads = ad::grad(model.loss(), model.params);
+    mixed_grads.reserve(grads.size());
+    for (auto& gv : grads) mixed_grads.push_back(gv.value());
+  }
+  if (plan_opt) plan::optimize_plan(mixed_plan, mixed_grads);
+  const ad::DemoteStats demote_stats =
+      ad::demote_plan(mixed_plan, mixed_grads);
+  auto train_step_mixed = [&] {
+    mixed_plan.replay();
+    adam.step(mixed_grads);
+  };
+  results.push_back(time_op("training", "train_step_mixed", "mlp-2-64-64-1",
+                            r_big, train_step_mixed, train_step_flops));
 
   // ---- dist suite --------------------------------------------------------
   // Loopback communicators (dist/communicator.hpp): socketpair ranks on
@@ -585,6 +649,8 @@ int main(int argc, char** argv) {
     tc.metric_nx = 32;
     tc.metric_nt = 16;
     tc.graph = core::GraphMode::kOn;
+    tc.second_stage.enabled = true;
+    tc.second_stage.lbfgs.max_iterations = 10;
     core::FieldModelConfig mc = core::default_model_config(*problem,
                                                            /*seed=*/7);
     mc.hidden = {16, 16};
@@ -613,35 +679,14 @@ int main(int argc, char** argv) {
     if (!shard_stats.empty()) tdse_pass = shard_stats[0];
 
     if (!target_reached) {
-      std::vector<ad::Variable> params = model->parameters();
-      const Tensor interior = trainer.collocation().interior;
-      const double denom = static_cast<double>(interior.rows()) *
-                           static_cast<double>(problem->residual_dim());
-      // Mirrors Trainer::shard_loss's serial objective: interior residual
-      // MSE plus the weighted auxiliary terms on the same collocation set.
-      const qpinn::optim::LossClosure closure = [&] {
-        const ad::Variable X =
-            ad::Variable::leaf(interior, /*requires_grad=*/true);
-        const ad::Variable r = problem->residual(*model, X);
-        ad::Variable loss =
-            ad::scale(ad::square_sum(r), tc.weight_pde / denom);
-        for (core::LossTerm& term :
-             problem->auxiliary_losses(*model, trainer.collocation())) {
-          if (term.weight == 0.0) continue;
-          loss = ad::add(loss, ad::scale(term.value, term.weight));
-        }
-        auto gs = ad::grad(loss, params);
-        std::vector<Tensor> g;
-        g.reserve(gs.size());
-        for (const auto& gv : gs) g.push_back(gv.value());
-        return std::make_pair(loss.item(), std::move(g));
-      };
-      qpinn::optim::LbfgsConfig lc;
-      lc.max_iterations = 10;
+      // L-BFGS refinement rounds through the Trainer's first-class second
+      // stage (SecondStageConfig, configured above): the exact objective
+      // Trainer::fit refines, interleaved here with metric evaluation so
+      // the clock stops at the first round that crosses the target.
       const std::int64_t rounds = quick ? 6 : 20;
       for (std::int64_t round = 0; round < rounds && !target_reached;
            ++round) {
-        qpinn::optim::lbfgs_minimize(params, closure, lc);
+        trainer.run_second_stage(adam_epochs);
         achieved_l2 = trainer.evaluate_l2();
         if (achieved_l2 <= target_l2) {
           target_reached = true;
@@ -741,6 +786,13 @@ int main(int argc, char** argv) {
       replay_ns > 0.0 ? ns_of("train_step", "mlp-2-64-64-1") / replay_ns : 1.0;
   const plan::PlanStats pstats = plan::plan_stats();
 
+  // Mixed-precision win on the replayed training step (>1 means the
+  // demoted fp32 schedule is faster than the fp64 one; bench_compare
+  // gates this at >= 1.3).
+  const double mixed_ns = ns_of("train_step_mixed", "mlp-2-64-64-1");
+  const double mixed_speedup =
+      mixed_ns > 0.0 ? replay_ns / mixed_ns : 1.0;
+
   // Cost of going distributed on a 2-rank loopback world relative to the
   // same step single-process (>1 means dist is slower; the gap is the
   // transport round-trip plus the per-rank optimizer duplication).
@@ -778,6 +830,14 @@ int main(int argc, char** argv) {
   json << "    \"speedup_train_step_vs_scalar\": " << fmt(speedup_train)
        << ",\n";
   json << "    \"graph_overhead_x\": " << fmt(graph_overhead) << ",\n";
+  json << "    \"mixed_speedup_x\": " << fmt(mixed_speedup) << ",\n";
+  json << "    \"mixed_demoted_thunks\": " << demote_stats.demoted << ",\n";
+  json << "    \"mixed_kept_fp64_thunks\": " << demote_stats.kept_fp64
+       << ",\n";
+  json << "    \"mixed_downcasts\": " << demote_stats.downcasts << ",\n";
+  json << "    \"mixed_upcasts\": " << demote_stats.upcasts << ",\n";
+  json << "    \"mixed_shadow_bytes\": " << demote_stats.shadow_bytes
+       << ",\n";
   json << "    \"dist_overhead_2rank_x\": " << fmt(dist_overhead) << ",\n";
   json << "    \"serve_qps\": " << fmt(serve_qps) << ",\n";
   json << "    \"serve_p50_us\": " << fmt(serve_p50_us) << ",\n";
@@ -853,6 +913,11 @@ int main(int argc, char** argv) {
     std::cout << "WARNING: elementwise SIMD speedup below the 0.95 parity "
                  "gate (add "
               << fmt(speedup_add) << ", mul " << fmt(speedup_mul) << ")\n";
+  }
+  if (mixed_speedup < 1.3) {
+    std::cout << "WARNING: mixed_speedup_x " << fmt(mixed_speedup)
+              << " is below the 1.3x gate (train_step_replay vs "
+                 "train_step_mixed)\n";
   }
   if (serve_allocs_per_query > 0.0) {
     std::cout << "WARNING: serving did " << fmt(serve_allocs_per_query)

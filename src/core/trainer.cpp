@@ -58,6 +58,12 @@ void TrainConfig::validate() const {
   if (metric_nx < 2 || metric_nt < 2) {
     throw ConfigError("TrainConfig: metric grid must be at least 2x2");
   }
+  if (second_stage.enabled &&
+      (second_stage.lbfgs.max_iterations < 1 || second_stage.lbfgs.history < 1)) {
+    throw ConfigError(
+        "TrainConfig: second_stage needs max_iterations >= 1 and "
+        "history >= 1");
+  }
   if (curriculum) curriculum->validate();
   if (recovery) recovery->validate();
   if (checkpoint) checkpoint->validate();
@@ -333,6 +339,7 @@ Trainer::PlanKey Trainer::current_plan_key() const {
   key.pool_threads = global_pool().size();
   key.isa = simd::active_isa();
   key.curriculum = config_.curriculum.has_value();
+  key.precision = precision_mode();
   return key;
 }
 
@@ -350,13 +357,26 @@ void Trainer::optimize_shard_plan(ShardPlan& sp) {
   outputs.push_back(sp.loss);
   for (const Tensor& g : sp.grads) outputs.push_back(g);
   for (const AuxBinding& b : sp.aux) outputs.push_back(b.value);
-  const plan::PassStats stats = plan::optimize_plan(sp.plan, outputs);
-  log::debug() << problem_->name() << " plan optimized: " << stats.thunks_before
-               << " -> " << stats.thunks_after << " thunks ("
-               << stats.dead_eliminated << " dead, " << stats.fused
-               << " fused), arena " << stats.arena_bytes_before << " -> "
-               << stats.arena_bytes_after << " bytes ("
-               << stats.buffers_rebound << " buffers re-bound)";
+  if (plan_opt_enabled_) {
+    const plan::PassStats stats = plan::optimize_plan(sp.plan, outputs);
+    log::debug() << problem_->name() << " plan optimized: "
+                 << stats.thunks_before << " -> " << stats.thunks_after
+                 << " thunks (" << stats.dead_eliminated << " dead, "
+                 << stats.fused << " fused), arena "
+                 << stats.arena_bytes_before << " -> "
+                 << stats.arena_bytes_after << " bytes ("
+                 << stats.buffers_rebound << " buffers re-bound)";
+  }
+  if (precision_mode() == Precision::kMixed) {
+    // Must run after the optimizer passes: demoted thunks are opaque
+    // closures the passes cannot analyze.
+    const DemoteStats d = demote_plan(sp.plan, outputs);
+    log::debug() << problem_->name() << " plan demoted to mixed precision: "
+                 << d.demoted << "/" << d.thunks_before
+                 << " thunks fp32 (" << d.kept_fp64 << " kept fp64, "
+                 << d.downcasts << " downcasts, " << d.upcasts
+                 << " upcasts, " << d.shadow_bytes << " shadow bytes)";
+  }
 }
 
 std::vector<plan::PassStats> Trainer::plan_pass_stats() const {
@@ -394,7 +414,7 @@ Trainer::LossAndGrads Trainer::capture_serial(std::int64_t epoch) {
   sp.weights = weights;
   sp.r0 = 0;
   sp.r1 = points_.interior.rows();
-  if (plan_opt_enabled_) optimize_shard_plan(sp);
+  optimize_shard_plan(sp);
   return result;
 }
 
@@ -479,7 +499,7 @@ Trainer::LossAndGrads Trainer::capture_parallel(std::int64_t epoch) {
     sp.weights = shard_weights;
     sp.r0 = r0;
     sp.r1 = r1;
-    if (plan_opt_enabled_) optimize_shard_plan(sp);
+    optimize_shard_plan(sp);
   });
 
   // Deterministic shard-order reduction.
@@ -946,6 +966,23 @@ TrainResult Trainer::fit() {
     }
   }
 
+  // Optional L-BFGS refinement (the classical Adam -> L-BFGS PINN
+  // two-stage recipe). Always eager fp64 full-batch: no plan capture and
+  // no mixed-precision demotion, so the curvature estimates see the fp64
+  // master weights directly. Skipped after divergence or a cooperative
+  // stop (both mean the Adam stage did not finish cleanly) and in dist
+  // mode (the ranks would each run an unsynchronized full-batch stage).
+  std::optional<double> second_stage_loss;
+  if (config_.second_stage.enabled && !result.diverged &&
+      !result.interrupted && !dist_active()) {
+    const optim::LbfgsResult refined = run_second_stage(last_completed());
+    second_stage_loss = refined.final_loss;
+    log::info() << problem_->name() << " L-BFGS second stage: loss "
+                << refined.final_loss << " after " << refined.iterations
+                << " iterations (grad norm " << refined.final_grad_norm
+                << (refined.converged ? ", converged)" : ")");
+  }
+
   if (checkpointer && last_completed() >= 0) {
     // Final checkpoint — also the graceful-shutdown write.
     checkpointer->save_last(model_->named_parameters(),
@@ -958,9 +995,31 @@ TrainResult Trainer::fit() {
   if (!result.history.empty()) {
     result.final_loss = result.history.back().total_loss;
   }
+  if (second_stage_loss) result.final_loss = *second_stage_loss;
   result.final_l2 = evaluate_l2();
   result.seconds = watch.seconds();
   return result;
+}
+
+optim::LbfgsResult Trainer::run_second_stage(std::int64_t epoch) {
+  Tensor weights;
+  if (config_.curriculum) {
+    weights = per_point_weights(*config_.curriculum, problem_->domain(),
+                                points_.interior, epoch);
+  }
+  const optim::LossClosure closure = [&]() {
+    std::vector<std::pair<std::string, double>> aux;
+    double aux_weighted_sum = 0.0;
+    const Variable loss =
+        shard_loss(points_.interior, weights, points_.interior.rows(),
+                   /*include_aux=*/true, &aux, &aux_weighted_sum);
+    const std::vector<Variable> grads = grad(loss, params_);
+    std::vector<Tensor> grad_values;
+    grad_values.reserve(grads.size());
+    for (const Variable& g : grads) grad_values.push_back(g.value());
+    return std::make_pair(loss.item(), std::move(grad_values));
+  };
+  return optim::lbfgs_minimize(params_, closure, config_.second_stage.lbfgs);
 }
 
 }  // namespace qpinn::core

@@ -22,12 +22,14 @@
 #include <vector>
 
 #include "autodiff/plan.hpp"
+#include "autodiff/precision.hpp"
 #include "core/checkpoint.hpp"
 #include "core/curriculum.hpp"
 #include "core/metrics.hpp"
 #include "core/problem.hpp"
 #include "dist/communicator.hpp"
 #include "optim/adam.hpp"
+#include "optim/lbfgs.hpp"
 #include "optim/scheduler.hpp"
 #include "tensor/simd.hpp"
 
@@ -63,6 +65,15 @@ struct RecoveryEvent {
   std::int64_t rollback_epoch = 0;  ///< last good epoch restored
   double lr_scale = 1.0;            ///< LR multiplier in effect afterwards
   std::string reason;
+};
+
+/// Optional L-BFGS refinement after the Adam epochs — the classical PINN
+/// two-stage recipe. The second stage runs eagerly in fp64 on the full
+/// interior set (no plan capture, no mixed-precision demotion) and is
+/// skipped when the Adam stage diverged or was interrupted.
+struct SecondStageConfig {
+  bool enabled = false;
+  optim::LbfgsConfig lbfgs{};
 };
 
 struct TrainConfig {
@@ -113,6 +124,8 @@ struct TrainConfig {
   /// checkpoints; `resume_from` plus Communicator::rejoined() drives the
   /// elastic-rejoin path. Null: single-process training.
   std::shared_ptr<dist::Communicator> dist;
+  /// L-BFGS refinement stage after the Adam epochs (see SecondStageConfig).
+  SecondStageConfig second_stage{};
 
   void validate() const;
 };
@@ -164,6 +177,18 @@ class Trainer {
 
   /// Relative L2 of the current model against the problem reference.
   double evaluate_l2();
+
+  /// One L-BFGS refinement pass over the current full-batch objective
+  /// (the second stage of the classical Adam -> L-BFGS PINN recipe),
+  /// using config.second_stage.lbfgs. Always eager fp64: no plan capture
+  /// and no mixed-precision demotion, so the curvature estimates see the
+  /// fp64 master weights directly. fit() invokes this automatically when
+  /// second_stage.enabled; it is public so benchmarks can interleave
+  /// refinement rounds with metric evaluation. `epoch` selects the
+  /// curriculum weighting epoch (fit passes the last completed epoch;
+  /// pass the Adam-stage epoch count when driving it manually — it is
+  /// ignored without a curriculum).
+  optim::LbfgsResult run_second_stage(std::int64_t epoch);
 
   /// Cooperative stop: the current epoch finishes, a final checkpoint is
   /// written (when checkpointing is configured), and fit() returns a
@@ -256,16 +281,23 @@ class Trainer {
     std::size_t pool_threads = 0;
     simd::Isa isa = simd::Isa::kScalar;
     bool curriculum = false;
+    /// Mixed-precision demotion changes the replayed kernel sequence, so
+    /// toggling QPINN_PRECISION between steps forces a re-capture.
+    autodiff::Precision precision = autodiff::Precision::kFp64;
     bool operator==(const PlanKey&) const = default;
   };
   PlanKey current_plan_key() const;
 
   LossAndGrads capture_serial(std::int64_t epoch);
   LossAndGrads capture_parallel(std::int64_t epoch);
-  /// Runs the optimizer passes (autodiff/plan_passes.hpp) over one shard's
-  /// finalized capture, declaring the host-read buffers (loss, grads, aux)
-  /// as plan outputs. Called after the CaptureScope block, once the eager
-  /// Variable graph is destroyed; thread-safe (per-shard state only).
+  /// Finalizes one shard's capture: runs the optimizer passes
+  /// (autodiff/plan_passes.hpp) when QPINN_PLAN_OPT is on, then the
+  /// mixed-precision demotion pass (autodiff/precision.hpp) when
+  /// QPINN_PRECISION=mixed — demotion must be last, a demoted plan is
+  /// terminal. The host-read buffers (loss, grads, aux) are declared as
+  /// plan outputs for both. Called after the CaptureScope block, once the
+  /// eager Variable graph is destroyed; thread-safe (per-shard state
+  /// only).
   void optimize_shard_plan(ShardPlan& sp);
   LossAndGrads replay_serial(std::int64_t epoch);
   LossAndGrads replay_parallel(std::int64_t epoch);

@@ -19,17 +19,34 @@
 // count; the difference is confined to the last ulp. The stale tail rows
 // compute garbage that is never read.
 //
+// Replay lanes: a plan replays against buffers pinned at capture time, so
+// one plan admits one replay at a time. Compiling a single plan would
+// serialize every QPINN_SERVE_WORKERS thread on one mutex — the workers
+// would scale queueing, not throughput. Instead compile() captures `lanes`
+// independent plans (same weights, each pinning its own input/output
+// arena) and evaluate_into() picks a lane by atomic round-robin, so up to
+// `lanes` replays proceed concurrently. Lanes share the immutable weight
+// tensors; only the per-lane activation arenas are duplicated.
+//
 // A CompiledModel is shared immutably (shared_ptr<const CompiledModel>,
-// published via ModelRegistry); the pinned input/output buffers are the
-// only mutable state and an internal mutex serializes replays, so
+// published via ModelRegistry); the pinned per-lane buffers are the only
+// mutable state and each lane's mutex serializes replays on that lane, so
 // concurrent callers are safe and in-flight evaluations survive a registry
 // hot-swap (the shared_ptr keeps the retired model alive until its last
 // batch finishes).
+//
+// Under QPINN_PRECISION=mixed each lane's forward plan is demoted to fp32
+// compute (autodiff/precision.hpp) at compile time: queries read and write
+// fp64 at the boundary while the interior sweeps run through the fp32
+// SIMD tables. fp64 mode keeps the bit-identity contract above; mixed is
+// tolerance-gated like training replay.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <vector>
 
 #include "autodiff/plan.hpp"
 #include "core/field_model.hpp"
@@ -47,48 +64,62 @@ struct ModelInfo {
 
 class CompiledModel {
  public:
-  /// Captures a forward-only plan for `model` at a fixed batch of
+  /// Captures forward-only plans for `model` at a fixed batch of
   /// `batch_rows` (x, t) rows. The model's parameters are pinned by the
-  /// plan — mutating them afterwards (e.g. continuing training on the same
-  /// instance) would corrupt serving, so compile from a dedicated model
-  /// instance (the promoter loads checkpoints into fresh models).
+  /// plans — mutating them afterwards (e.g. continuing training on the
+  /// same instance) would corrupt serving, so compile from a dedicated
+  /// model instance (the promoter loads checkpoints into fresh models).
+  /// `lanes` is the number of independent replay lanes; 0 (the default)
+  /// reads QPINN_SERVE_WORKERS so the lane count matches the worker pool.
   static std::shared_ptr<const CompiledModel> compile(
       std::shared_ptr<core::FieldModel> model, std::int64_t batch_rows,
-      ModelInfo info = {});
+      ModelInfo info = {}, std::size_t lanes = 0);
 
   std::int64_t batch_rows() const { return batch_rows_; }
   const ModelInfo& info() const { return info_; }
-  /// Recorded kernel count of the forward plan (observability).
-  std::size_t plan_size() const { return plan_.size(); }
-  /// Pinned arena footprint of the forward plan in bytes (observability).
-  std::size_t arena_bytes() const { return plan_.arena_bytes(); }
-  /// Optimizer-pass statistics for the forward plan (all zero when
-  /// QPINN_PLAN_OPT is off).
+  /// Number of independent replay lanes (concurrent replay capacity).
+  std::size_t lanes() const { return lanes_.size(); }
+  /// Recorded kernel count of one forward plan (observability; every lane
+  /// records the identical schedule).
+  std::size_t plan_size() const { return lanes_.front()->plan.size(); }
+  /// Pinned arena footprint across all lanes in bytes (observability).
+  std::size_t arena_bytes() const;
+  /// Optimizer-pass statistics for one forward plan (all zero when
+  /// QPINN_PLAN_OPT is off; identical across lanes).
   const autodiff::plan::PassStats& pass_stats() const {
-    return plan_.pass_stats();
+    return lanes_.front()->plan.pass_stats();
   }
 
   /// Evaluates `rows` queries: xy holds rows*2 doubles (x, t pairs), uv
   /// receives rows*2 doubles (u, v pairs). Chunks of batch_rows() replay
-  /// the captured plan; a trailing partial chunk replays the same plan
-  /// with only the live rows copied in and out. Thread-safe; zero
-  /// allocations.
+  /// a round-robin-selected lane's plan; a trailing partial chunk replays
+  /// the same plan with only the live rows copied in and out.
+  /// Thread-safe; zero allocations; up to lanes() calls replay
+  /// concurrently.
   void evaluate_into(const double* xy, std::int64_t rows, double* uv) const;
 
   /// Convenience wrapper allocating the (rows, 2) output tensor.
   Tensor evaluate(const Tensor& xy) const;
 
  private:
+  /// One independent replay context: a forward plan plus the input/output
+  /// buffers it pinned at capture. The mutex serializes replays on this
+  /// lane only.
+  struct Lane {
+    mutable Mutex mu;
+    Tensor input QPINN_GUARDED_BY(mu);
+    Tensor output QPINN_GUARDED_BY(mu);
+    autodiff::plan::ExecutionPlan plan;
+  };
+
   CompiledModel(std::shared_ptr<core::FieldModel> model,
-                std::int64_t batch_rows, ModelInfo info);
+                std::int64_t batch_rows, ModelInfo info, std::size_t lanes);
 
   std::shared_ptr<core::FieldModel> model_;  ///< pins the captured params
   std::int64_t batch_rows_ = 0;
   ModelInfo info_;
-  mutable Mutex replay_mu_;  ///< replays write the pinned buffers
-  mutable Tensor input_ QPINN_GUARDED_BY(replay_mu_);
-  mutable Tensor output_ QPINN_GUARDED_BY(replay_mu_);
-  autodiff::plan::ExecutionPlan plan_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  mutable std::atomic<std::size_t> next_lane_{0};
 };
 
 }  // namespace qpinn::serve

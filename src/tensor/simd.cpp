@@ -22,14 +22,18 @@ namespace detail {
 
 // Defined in the per-ISA translation units.
 const KernelTable* scalar_table();
+const KernelTableF* scalar_table_f32();
 #if defined(QPINN_SIMD_X86)
 const KernelTable* sse2_table();
+const KernelTableF* sse2_table_f32();
 #endif
 #if defined(QPINN_HAVE_AVX2_TU)
 const KernelTable* avx2_table();
+const KernelTableF* avx2_table_f32();
 #endif
 #if defined(QPINN_SIMD_NEON)
 const KernelTable* neon_table();
+const KernelTableF* neon_table_f32();
 #endif
 
 namespace {
@@ -91,6 +95,35 @@ const KernelTable* table_for(Isa isa) {
   return nullptr;
 }
 
+// The fp32 twin of table_for; same guards, so whenever table_for(isa)
+// returns non-null this does too.
+const KernelTableF* table_f32_for(Isa isa) {
+  if (!cpu_supports(isa)) return nullptr;
+  switch (isa) {
+    case Isa::kScalar:
+      return scalar_table_f32();
+    case Isa::kSse2:
+#if defined(QPINN_SIMD_X86)
+      return sse2_table_f32();
+#else
+      return nullptr;
+#endif
+    case Isa::kAvx2:
+#if defined(QPINN_HAVE_AVX2_TU)
+      return avx2_table_f32();
+#else
+      return nullptr;
+#endif
+    case Isa::kNeon:
+#if defined(QPINN_SIMD_NEON)
+      return neon_table_f32();
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
 const KernelTable* resolve_initial() {
   const std::string requested = env_string("QPINN_SIMD");
   if (!requested.empty()) {
@@ -123,6 +156,12 @@ const KernelTable& active() {
                            std::memory_order_release);
   });
   return *detail::g_active.load(std::memory_order_acquire);
+}
+
+const KernelTableF& active_f32() {
+  // Derived from the fp64 table so both widths always agree on the ISA
+  // (force_isa swaps them together; QPINN_SIMD picks both).
+  return *detail::table_f32_for(active().isa);
 }
 
 Isa active_isa() { return active().isa; }

@@ -1,53 +1,70 @@
-// SIMD layer: width-agnostic vector-of-double kernels with one-time
-// runtime dispatch.
+// SIMD layer: width-agnostic vector kernels with one-time runtime
+// dispatch, templated on element type (double and float).
 //
 // This header is the ONLY place in the repository allowed to touch raw
 // SIMD intrinsics (enforced by tools/qpinn_lint.py banned-intrinsics).
 // Everything above it programs against two things:
 //
-//   1. A `KernelTable` of C-style function pointers (one table per
-//      instruction-set variant) covering the hot kernels: contiguous
-//      elementwise arithmetic, row-broadcast binaries, reductions,
-//      in-place BLAS-1 style updates, the fused Adam sweep, and the
-//      matmul micro-kernels.
-//   2. `active()`, which returns the table selected once at first use by
-//      runtime CPU detection (cpuid-backed __builtin_cpu_supports on
-//      x86, compile-target NEON on aarch64), overridable with the
-//      QPINN_SIMD environment variable (off|scalar|sse2|avx2|neon) and,
-//      for tests, switchable at runtime with force_isa().
+//   1. A `KernelTableT<T>` of C-style function pointers (one table per
+//      instruction-set variant and element type) covering the hot
+//      kernels: contiguous elementwise arithmetic, row-broadcast
+//      binaries, reductions, in-place BLAS-1 style updates, the fused
+//      Adam sweep, and the matmul micro-kernels. `KernelTable` is the
+//      fp64 table (`KernelTableT<double>`), `KernelTableF` the fp32 one.
+//   2. `active()` / `active_f32()`, which return the tables selected
+//      once at first use by runtime CPU detection (cpuid-backed
+//      __builtin_cpu_supports on x86, compile-target NEON on aarch64),
+//      overridable with the QPINN_SIMD environment variable
+//      (off|scalar|sse2|avx2|neon) and, for tests, switchable at
+//      runtime with force_isa(). Both element widths always dispatch to
+//      the same ISA.
 //
-// Kernel implementations are written once as width-agnostic templates
-// over a small vector wrapper (VecScalar / VecSse2 / VecAvx2 / VecNeon);
-// per-ISA translation units (simd_scalar.cpp, simd_sse2.cpp, ...)
-// instantiate them with the matching target flags, so no TU ever executes
-// instructions its compile target does not guarantee without a prior
-// runtime check.
+// Kernel implementations are written once as width- and element-
+// agnostic templates over a small vector wrapper (VecScalar / VecSse2 /
+// VecAvx2 / VecNeon for double, VecScalarF / VecSse2F / VecAvx2F /
+// VecNeonF for float); per-ISA translation units (simd_scalar.cpp,
+// simd_sse2.cpp, ...) instantiate them with the matching target flags,
+// so no TU ever executes instructions its compile target does not
+// guarantee without a prior runtime check. Scalar immediates cross the
+// table ABI as double and are cast once at kernel entry (an identity
+// cast for the fp64 tables, so fp64 behavior is unchanged).
 //
-// Bit-identity contract: for the elementwise arithmetic kernels
-// (bin_same/bin_row, neg, scale, add_scalar, square, reciprocal, sqrt,
-// abs, relu, step, sign, tanh, bias_tanh, axpy, scale_inplace, axpby,
-// acc_add, adam) the vector body performs exactly the lane-wise IEEE
-// operation sequence of the scalar code and fringe elements run the
-// identical scalar expressions, so results are bit-identical across
-// every dispatch variant (the per-ISA TUs are compiled with
-// -ffp-contract=off so the compiler cannot fuse a*b+c differently per
-// target). tanh is a branchless polynomial implementation (tanh_lanes
-// below) accurate to a few ulp of std::tanh but NOT bit-equal to it —
-// the scalar fringe runs the same lane algorithm, never libm, so every
-// variant (and every thread-count chunking) produces identical bits.
-// Reductions (dot, sum, square_sum, weighted_square_sum) and the matmul
-// micro-kernels reassociate and may use FMA, so they agree across
-// variants only to rounding; they stay deterministic for a fixed
-// variant. IEEE semantics are preserved everywhere: no operand value is
-// skipped (0 * NaN stays NaN) and comparisons are ordered/non-signaling,
-// so NaN takes the "else" branch exactly like the scalar ternaries.
+// Bit-identity contract (fp64 tables): for the elementwise arithmetic
+// kernels (bin_same/bin_row, neg, scale, add_scalar, square,
+// reciprocal, sqrt, abs, relu, step, sign, tanh, bias_tanh, axpy,
+// scale_inplace, axpby, acc_add, adam) the vector body performs exactly
+// the lane-wise IEEE operation sequence of the scalar code and fringe
+// elements run the identical scalar expressions, so results are
+// bit-identical across every dispatch variant (the per-ISA TUs are
+// compiled with -ffp-contract=off so the compiler cannot fuse a*b+c
+// differently per target). tanh is a branchless polynomial
+// implementation (tanh_lanes below) accurate to a few ulp of std::tanh
+// but NOT bit-equal to it — the scalar fringe runs the same lane
+// algorithm, never libm, so every variant (and every thread-count
+// chunking) produces identical bits. Reductions (dot, sum, square_sum,
+// weighted_square_sum) and the matmul micro-kernels reassociate and may
+// use FMA, so they agree across variants only to rounding; they stay
+// deterministic for a fixed variant. IEEE semantics are preserved
+// everywhere: no operand value is skipped (0 * NaN stays NaN) and
+// comparisons are ordered/non-signaling, so NaN takes the "else" branch
+// exactly like the scalar ternaries.
+//
+// The fp32 tables keep the same per-variant bit-identity guarantees for
+// the elementwise kernels (scalar fringe == vector lane expression, no
+// FMA, same select semantics), but fp32 results are of course not
+// comparable bit-for-bit with fp64 — mixed-precision consumers gate on
+// tolerances instead (see src/autodiff/precision.hpp). The fp32
+// reductions accumulate in double and return double, so loss sums keep
+// fp64 accumulation even when the summed values are fp32.
 #pragma once
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
@@ -65,11 +82,13 @@ namespace qpinn::simd {
 
 enum class Isa : int { kScalar = 0, kSse2 = 1, kAvx2 = 2, kNeon = 3 };
 
-/// Index into KernelTable::bin_same / bin_row.
+/// Index into KernelTableT::bin_same / bin_row.
 enum BinOp : int { kAdd = 0, kSub = 1, kMul = 2, kDiv = 3, kNumBinOps = 4 };
 
 /// Per-step constants of the fused Adam update (bias corrections are
-/// precomputed by the caller: bias_corr1 = 1 - beta1^t, etc.).
+/// precomputed by the caller: bias_corr1 = 1 - beta1^t, etc.). Always
+/// fp64 — the optimizer state is master-precision regardless of what
+/// the forward sweeps run in.
 struct AdamParams {
   double lr = 0.0;
   double beta1 = 0.0;
@@ -81,83 +100,86 @@ struct AdamParams {
   bool decoupled = false;
 };
 
-/// One fully-populated kernel variant. All pointers are non-null.
-struct KernelTable {
+/// One fully-populated kernel variant over element type T. All pointers
+/// are non-null. Scalar immediates stay double in the ABI (cast once at
+/// kernel entry); reductions always accumulate to and return double.
+template <class T>
+struct KernelTableT {
   Isa isa = Isa::kScalar;
   const char* name = "scalar";
-  std::size_t width = 1;  ///< doubles per vector register
+  std::size_t width = 1;  ///< elements per vector register
 
   // Contiguous same-length elementwise: o[i] = a[i] op b[i].
-  void (*bin_same[kNumBinOps])(const double* a, const double* b, double* o,
-                               std::size_t n);
+  void (*bin_same[kNumBinOps])(const T* a, const T* b, T* o, std::size_t n);
   // Row broadcast: o[r][c] = a[r][c] op b[c] (the bias-add pattern).
-  void (*bin_row[kNumBinOps])(const double* a, const double* b, double* o,
-                              std::size_t rows, std::size_t cols);
+  void (*bin_row[kNumBinOps])(const T* a, const T* b, T* o, std::size_t rows,
+                              std::size_t cols);
 
-  void (*neg)(const double* a, double* o, std::size_t n);
-  void (*scale)(const double* a, double s, double* o, std::size_t n);
-  void (*add_scalar)(const double* a, double s, double* o, std::size_t n);
-  void (*square)(const double* a, double* o, std::size_t n);
-  void (*reciprocal)(const double* a, double* o, std::size_t n);
-  void (*sqrt)(const double* a, double* o, std::size_t n);
-  void (*abs)(const double* a, double* o, std::size_t n);
-  void (*relu)(const double* a, double* o, std::size_t n);
-  void (*step)(const double* a, double* o, std::size_t n);
-  void (*sign)(const double* a, double* o, std::size_t n);
-  void (*tanh)(const double* a, double* o, std::size_t n);
+  void (*neg)(const T* a, T* o, std::size_t n);
+  void (*scale)(const T* a, double s, T* o, std::size_t n);
+  void (*add_scalar)(const T* a, double s, T* o, std::size_t n);
+  void (*square)(const T* a, T* o, std::size_t n);
+  void (*reciprocal)(const T* a, T* o, std::size_t n);
+  void (*sqrt)(const T* a, T* o, std::size_t n);
+  void (*abs)(const T* a, T* o, std::size_t n);
+  void (*relu)(const T* a, T* o, std::size_t n);
+  void (*step)(const T* a, T* o, std::size_t n);
+  void (*sign)(const T* a, T* o, std::size_t n);
+  void (*tanh)(const T* a, T* o, std::size_t n);
   /// Fused bias + tanh: o[r][c] = tanh(a[r][c] + b[c]); bit-identical to
   /// composing bin_row[kAdd] with tanh.
-  void (*bias_tanh)(const double* a, const double* b, double* o,
-                    std::size_t rows, std::size_t cols);
+  void (*bias_tanh)(const T* a, const T* b, T* o, std::size_t rows,
+                    std::size_t cols);
   /// Fused tanh backward: o[i] = g[i] * (1 - t[i]^2); bit-identical to the
   /// square/neg/add_scalar/mul composition (see detail::OpTanhGrad).
-  void (*tanh_grad)(const double* g, const double* t, double* o,
-                    std::size_t n);
+  void (*tanh_grad)(const T* g, const T* t, T* o, std::size_t n);
 
-  double (*dot)(const double* a, const double* b, std::size_t n);
-  double (*sum)(const double* a, std::size_t n);
-  double (*square_sum)(const double* a, std::size_t n);
+  double (*dot)(const T* a, const T* b, std::size_t n);
+  double (*sum)(const T* a, std::size_t n);
+  double (*square_sum)(const T* a, std::size_t n);
   /// sum_i w[i] * a[i]^2 — the fused PINN loss reduction.
-  double (*weighted_square_sum)(const double* w, const double* a,
-                                std::size_t n);
+  double (*weighted_square_sum)(const T* w, const T* a, std::size_t n);
 
-  void (*axpy)(double* dst, double s, const double* src, std::size_t n);
-  void (*scale_inplace)(double* dst, double s, std::size_t n);
+  void (*axpy)(T* dst, double s, const T* src, std::size_t n);
+  void (*scale_inplace)(T* dst, double s, std::size_t n);
   /// dst = a*dst + b*src in one sweep.
-  void (*axpby)(double* dst, double a, double b, const double* src,
-                std::size_t n);
+  void (*axpby)(T* dst, double a, double b, const T* src, std::size_t n);
   /// dst += src (the sum_to row-collapse inner loop).
-  void (*acc_add)(double* dst, const double* src, std::size_t n);
+  void (*acc_add)(T* dst, const T* src, std::size_t n);
 
   /// Fused Adam: moments + bias correction + parameter write, one sweep.
-  void (*adam)(double* p, const double* g, double* m, double* v,
-               std::size_t n, const AdamParams& cfg);
+  void (*adam)(T* p, const T* g, T* m, T* v, std::size_t n,
+               const AdamParams& cfg);
 
   // Matmul micro-kernels over output rows [i0, i1); out rows pre-zeroed.
   // matmul_rows:    out[n,m] = a[n,k] * b[k,m]
   // matmul_tn_rows: out[n,m] = a[k,n]^T * b[k,m]
   // matmul_nt_rows: out[n,m] = a[n,k] * b[m,k]^T
-  void (*matmul_rows)(const double* a, const double* b, double* o,
-                      std::int64_t i0, std::int64_t i1, std::int64_t k,
-                      std::int64_t m);
-  void (*matmul_tn_rows)(const double* a, const double* b, double* o,
-                         std::int64_t i0, std::int64_t i1, std::int64_t k,
-                         std::int64_t n, std::int64_t m);
-  void (*matmul_nt_rows)(const double* a, const double* b, double* o,
-                         std::int64_t i0, std::int64_t i1, std::int64_t k,
+  void (*matmul_rows)(const T* a, const T* b, T* o, std::int64_t i0,
+                      std::int64_t i1, std::int64_t k, std::int64_t m);
+  void (*matmul_tn_rows)(const T* a, const T* b, T* o, std::int64_t i0,
+                         std::int64_t i1, std::int64_t k, std::int64_t n,
                          std::int64_t m);
+  void (*matmul_nt_rows)(const T* a, const T* b, T* o, std::int64_t i0,
+                         std::int64_t i1, std::int64_t k, std::int64_t m);
 };
 
-/// The active kernel table. First call resolves it from the CPU and the
-/// QPINN_SIMD override; later calls are one atomic load.
+using KernelTable = KernelTableT<double>;
+using KernelTableF = KernelTableT<float>;
+
+/// The active fp64 kernel table. First call resolves it from the CPU and
+/// the QPINN_SIMD override; later calls are one atomic load.
 const KernelTable& active();
+
+/// The active fp32 kernel table; always the same ISA as active().
+const KernelTableF& active_f32();
 
 /// Shorthand for active().isa.
 Isa active_isa();
 
-/// Switches the active table at runtime (tests, benchmarks). Returns
-/// false — leaving the current table in place — when the variant is not
-/// available on this build/CPU.
+/// Switches the active tables (both element widths) at runtime (tests,
+/// benchmarks). Returns false — leaving the current tables in place —
+/// when the variant is not available on this build/CPU.
 bool force_isa(Isa isa);
 
 /// Every variant selectable on this build + CPU, best first.
@@ -173,24 +195,26 @@ Isa parse_isa(const std::string& name);
 // ---- vector wrappers -----------------------------------------------------
 //
 // Each wrapper exposes the same static interface:
-//   reg, kWidth, kMmRowTile, load/store/set1/zero,
-//   add/sub/mul/div/sqrt/fma/neg/abs, gt_and(a,b,c) = (a>b) ? c : 0.0
+//   elem, reg, kWidth, kMmRowTile, load/store/set1/zero,
+//   add/sub/mul/div/sqrt/fma/neg/abs, gt_and(a,b,c) = (a>b) ? c : 0
 //   (lane-wise, NaN -> 0 like the scalar ternary), hsum (deterministic
-//   low-to-high lane order), plus the bitwise toolkit used by the
-//   polynomial tanh: cmp_gt (all-ones/all-zeros mask), band/bor/andnot
-//   (andnot(a, b) = (~a) & b, matching _mm_andnot_pd), and pow2n, which
-//   maps a register of small *integral* doubles n to 2^n via the
-//   round-to-int magic-number trick and exponent-field arithmetic —
-//   defined behavior (unspecified value) for non-integral/NaN lanes, so
-//   discarded select branches can feed it garbage safely.
+//   low-to-high lane order, returns elem), plus the bitwise toolkit used
+//   by the polynomial tanh: cmp_gt (all-ones/all-zeros mask),
+//   band/bor/andnot (andnot(a, b) = (~a) & b, matching _mm_andnot_pd),
+//   and pow2n, which maps a register of small *integral* values n to 2^n
+//   via the round-to-int magic-number trick and exponent-field
+//   arithmetic — defined behavior (unspecified value) for
+//   non-integral/NaN lanes, so discarded select branches can feed it
+//   garbage safely.
 //
 // Variants with kHasStream expose stream(p, v), an ALIGNED non-temporal
-// store (p must be kWidth*8-aligned), and fence(), which orders the
-// write-combining buffers before any cross-thread publication. The value
-// stored is identical to store() — only the cache behavior differs — so
-// streaming never affects bit-identity.
+// store (p must be kWidth*sizeof(elem)-aligned), and fence(), which
+// orders the write-combining buffers before any cross-thread
+// publication. The value stored is identical to store() — only the
+// cache behavior differs — so streaming never affects bit-identity.
 
 struct VecScalar {
+  using elem = double;
   using reg = double;
   static constexpr std::size_t kWidth = 1;
   static constexpr std::int64_t kMmRowTile = 4;
@@ -233,8 +257,55 @@ struct VecScalar {
   static double hsum(reg a) { return a; }
 };
 
+/// Scalar float lanes: same algorithmic skeleton as VecScalar with the
+/// 32-bit magic numbers (round-to-int magic 1.5*2^23, exponent bias 127,
+/// mantissa width 23).
+struct VecScalarF {
+  using elem = float;
+  using reg = float;
+  static constexpr std::size_t kWidth = 1;
+  static constexpr std::int64_t kMmRowTile = 4;
+  static constexpr bool kHasStream = false;
+  static reg load(const float* p) { return *p; }
+  static void store(float* p, reg v) { *p = v; }
+  static void stream(float* p, reg v) { *p = v; }
+  static void fence() {}
+  static reg set1(float s) { return s; }
+  static reg zero() { return 0.0F; }
+  static reg add(reg a, reg b) { return a + b; }
+  static reg sub(reg a, reg b) { return a - b; }
+  static reg mul(reg a, reg b) { return a * b; }
+  static reg div(reg a, reg b) { return a / b; }
+  static reg sqrt(reg a) { return std::sqrt(a); }
+  static reg fma(reg a, reg b, reg c) { return a * b + c; }
+  static reg neg(reg a) { return -a; }
+  static reg abs(reg a) { return std::abs(a); }
+  static reg gt_and(reg a, reg b, reg c) { return a > b ? c : 0.0F; }
+  static reg cmp_gt(reg a, reg b) {
+    return a > b ? std::bit_cast<float>(~std::uint32_t{0}) : 0.0F;
+  }
+  static reg band(reg a, reg b) {
+    return std::bit_cast<float>(std::bit_cast<std::uint32_t>(a) &
+                                std::bit_cast<std::uint32_t>(b));
+  }
+  static reg bor(reg a, reg b) {
+    return std::bit_cast<float>(std::bit_cast<std::uint32_t>(a) |
+                                std::bit_cast<std::uint32_t>(b));
+  }
+  static reg andnot(reg a, reg b) {
+    return std::bit_cast<float>(~std::bit_cast<std::uint32_t>(a) &
+                                std::bit_cast<std::uint32_t>(b));
+  }
+  static reg pow2n(reg nd) {
+    const std::uint32_t u = std::bit_cast<std::uint32_t>(nd + 12582912.0F);
+    return std::bit_cast<float>((u + 127U) << 23);
+  }
+  static float hsum(reg a) { return a; }
+};
+
 #if defined(QPINN_SIMD_X86) && defined(__SSE2__)
 struct VecSse2 {
+  using elem = double;
   using reg = __m128d;
   static constexpr std::size_t kWidth = 2;
   static constexpr std::int64_t kMmRowTile = 2;
@@ -272,10 +343,53 @@ struct VecSse2 {
     return _mm_cvtsd_f64(a) + _mm_cvtsd_f64(_mm_unpackhi_pd(a, a));
   }
 };
+
+struct VecSse2F {
+  using elem = float;
+  using reg = __m128;
+  static constexpr std::size_t kWidth = 4;
+  static constexpr std::int64_t kMmRowTile = 2;
+  static constexpr bool kHasStream = true;
+  static reg load(const float* p) { return _mm_loadu_ps(p); }
+  static void store(float* p, reg v) { _mm_storeu_ps(p, v); }
+  static void stream(float* p, reg v) { _mm_stream_ps(p, v); }
+  static void fence() { _mm_sfence(); }
+  static reg set1(float s) { return _mm_set1_ps(s); }
+  static reg zero() { return _mm_setzero_ps(); }
+  static reg add(reg a, reg b) { return _mm_add_ps(a, b); }
+  static reg sub(reg a, reg b) { return _mm_sub_ps(a, b); }
+  static reg mul(reg a, reg b) { return _mm_mul_ps(a, b); }
+  static reg div(reg a, reg b) { return _mm_div_ps(a, b); }
+  static reg sqrt(reg a) { return _mm_sqrt_ps(a); }
+  static reg fma(reg a, reg b, reg c) {
+    return _mm_add_ps(_mm_mul_ps(a, b), c);
+  }
+  static reg neg(reg a) { return _mm_xor_ps(a, _mm_set1_ps(-0.0F)); }
+  static reg abs(reg a) { return _mm_andnot_ps(_mm_set1_ps(-0.0F), a); }
+  static reg gt_and(reg a, reg b, reg c) {
+    return _mm_and_ps(_mm_cmpgt_ps(a, b), c);
+  }
+  static reg cmp_gt(reg a, reg b) { return _mm_cmpgt_ps(a, b); }
+  static reg band(reg a, reg b) { return _mm_and_ps(a, b); }
+  static reg bor(reg a, reg b) { return _mm_or_ps(a, b); }
+  static reg andnot(reg a, reg b) { return _mm_andnot_ps(a, b); }
+  static reg pow2n(reg nd) {
+    const __m128i u =
+        _mm_castps_si128(_mm_add_ps(nd, _mm_set1_ps(12582912.0F)));
+    return _mm_castsi128_ps(
+        _mm_slli_epi32(_mm_add_epi32(u, _mm_set1_epi32(127)), 23));
+  }
+  static float hsum(reg a) {
+    alignas(16) float t[4];
+    _mm_store_ps(t, a);
+    return ((t[0] + t[1]) + t[2]) + t[3];
+  }
+};
 #endif  // QPINN_SIMD_X86 && __SSE2__
 
 #if defined(QPINN_SIMD_X86) && defined(__AVX2__) && defined(__FMA__)
 struct VecAvx2 {
+  using elem = double;
   using reg = __m256d;
   static constexpr std::size_t kWidth = 4;
   static constexpr std::int64_t kMmRowTile = 4;
@@ -318,10 +432,57 @@ struct VecAvx2 {
     return _mm_cvtsd_f64(s) + _mm_cvtsd_f64(_mm_unpackhi_pd(s, s));
   }
 };
+
+struct VecAvx2F {
+  using elem = float;
+  using reg = __m256;
+  static constexpr std::size_t kWidth = 8;
+  static constexpr std::int64_t kMmRowTile = 4;
+  static constexpr bool kHasStream = true;
+  static reg load(const float* p) { return _mm256_loadu_ps(p); }
+  static void store(float* p, reg v) { _mm256_storeu_ps(p, v); }
+  static void stream(float* p, reg v) { _mm256_stream_ps(p, v); }
+  static void fence() { _mm_sfence(); }
+  static reg set1(float s) { return _mm256_set1_ps(s); }
+  static reg zero() { return _mm256_setzero_ps(); }
+  static reg add(reg a, reg b) { return _mm256_add_ps(a, b); }
+  static reg sub(reg a, reg b) { return _mm256_sub_ps(a, b); }
+  static reg mul(reg a, reg b) { return _mm256_mul_ps(a, b); }
+  static reg div(reg a, reg b) { return _mm256_div_ps(a, b); }
+  static reg sqrt(reg a) { return _mm256_sqrt_ps(a); }
+  static reg fma(reg a, reg b, reg c) { return _mm256_fmadd_ps(a, b, c); }
+  static reg neg(reg a) { return _mm256_xor_ps(a, _mm256_set1_ps(-0.0F)); }
+  static reg abs(reg a) {
+    return _mm256_andnot_ps(_mm256_set1_ps(-0.0F), a);
+  }
+  static reg gt_and(reg a, reg b, reg c) {
+    return _mm256_and_ps(_mm256_cmp_ps(a, b, _CMP_GT_OQ), c);
+  }
+  static reg cmp_gt(reg a, reg b) {
+    return _mm256_cmp_ps(a, b, _CMP_GT_OQ);
+  }
+  static reg band(reg a, reg b) { return _mm256_and_ps(a, b); }
+  static reg bor(reg a, reg b) { return _mm256_or_ps(a, b); }
+  static reg andnot(reg a, reg b) { return _mm256_andnot_ps(a, b); }
+  static reg pow2n(reg nd) {
+    const __m256i u = _mm256_castps_si256(
+        _mm256_add_ps(nd, _mm256_set1_ps(12582912.0F)));
+    return _mm256_castsi256_ps(
+        _mm256_slli_epi32(_mm256_add_epi32(u, _mm256_set1_epi32(127)), 23));
+  }
+  static float hsum(reg a) {
+    const __m128 lo = _mm256_castps256_ps128(a);
+    const __m128 hi = _mm256_extractf128_ps(a, 1);
+    alignas(16) float t[4];
+    _mm_store_ps(t, _mm_add_ps(lo, hi));
+    return ((t[0] + t[1]) + t[2]) + t[3];
+  }
+};
 #endif  // QPINN_SIMD_X86 && __AVX2__ && __FMA__
 
 #if defined(QPINN_SIMD_NEON)
 struct VecNeon {
+  using elem = double;
   using reg = float64x2_t;
   static constexpr std::size_t kWidth = 2;
   static constexpr std::int64_t kMmRowTile = 2;
@@ -369,37 +530,114 @@ struct VecNeon {
     return vgetq_lane_f64(a, 0) + vgetq_lane_f64(a, 1);
   }
 };
+
+struct VecNeonF {
+  using elem = float;
+  using reg = float32x4_t;
+  static constexpr std::size_t kWidth = 4;
+  static constexpr std::int64_t kMmRowTile = 2;
+  static constexpr bool kHasStream = false;
+  static reg load(const float* p) { return vld1q_f32(p); }
+  static void store(float* p, reg v) { vst1q_f32(p, v); }
+  static void stream(float* p, reg v) { vst1q_f32(p, v); }
+  static void fence() {}
+  static reg set1(float s) { return vdupq_n_f32(s); }
+  static reg zero() { return vdupq_n_f32(0.0F); }
+  static reg add(reg a, reg b) { return vaddq_f32(a, b); }
+  static reg sub(reg a, reg b) { return vsubq_f32(a, b); }
+  static reg mul(reg a, reg b) { return vmulq_f32(a, b); }
+  static reg div(reg a, reg b) { return vdivq_f32(a, b); }
+  static reg sqrt(reg a) { return vsqrtq_f32(a); }
+  static reg fma(reg a, reg b, reg c) { return vfmaq_f32(c, a, b); }
+  static reg neg(reg a) { return vnegq_f32(a); }
+  static reg abs(reg a) { return vabsq_f32(a); }
+  static reg gt_and(reg a, reg b, reg c) {
+    return vreinterpretq_f32_u32(
+        vandq_u32(vcgtq_f32(a, b), vreinterpretq_u32_f32(c)));
+  }
+  static reg cmp_gt(reg a, reg b) {
+    return vreinterpretq_f32_u32(vcgtq_f32(a, b));
+  }
+  static reg band(reg a, reg b) {
+    return vreinterpretq_f32_u32(
+        vandq_u32(vreinterpretq_u32_f32(a), vreinterpretq_u32_f32(b)));
+  }
+  static reg bor(reg a, reg b) {
+    return vreinterpretq_f32_u32(
+        vorrq_u32(vreinterpretq_u32_f32(a), vreinterpretq_u32_f32(b)));
+  }
+  static reg andnot(reg a, reg b) {
+    return vreinterpretq_f32_u32(
+        vbicq_u32(vreinterpretq_u32_f32(b), vreinterpretq_u32_f32(a)));
+  }
+  static reg pow2n(reg nd) {
+    const uint32x4_t u = vreinterpretq_u32_f32(
+        vaddq_f32(nd, vdupq_n_f32(12582912.0F)));
+    return vreinterpretq_f32_u32(
+        vshlq_n_u32(vaddq_u32(u, vdupq_n_u32(127)), 23));
+  }
+  static float hsum(reg a) {
+    return ((vgetq_lane_f32(a, 0) + vgetq_lane_f32(a, 1)) +
+            vgetq_lane_f32(a, 2)) +
+           vgetq_lane_f32(a, 3);
+  }
+};
 #endif  // QPINN_SIMD_NEON
 
 // ---- width-agnostic kernel templates -------------------------------------
 
 namespace detail {
 
+/// The width-1 wrapper of the same element type, used for kernel fringe
+/// elements so fringes run the identical lane algorithm.
+template <class T>
+struct ScalarVecFor;
+template <>
+struct ScalarVecFor<double> {
+  using type = VecScalar;
+};
+template <>
+struct ScalarVecFor<float> {
+  using type = VecScalarF;
+};
+
 // Binary op tags: `s` is the scalar expression (also used verbatim for
 // fringes), `v` the lane-wise vector equivalent.
 struct OpAdd {
-  static double s(double a, double b) { return a + b; }
+  template <class T>
+  static T s(T a, T b) {
+    return a + b;
+  }
   template <class V>
   static typename V::reg v(typename V::reg a, typename V::reg b) {
     return V::add(a, b);
   }
 };
 struct OpSub {
-  static double s(double a, double b) { return a - b; }
+  template <class T>
+  static T s(T a, T b) {
+    return a - b;
+  }
   template <class V>
   static typename V::reg v(typename V::reg a, typename V::reg b) {
     return V::sub(a, b);
   }
 };
 struct OpMul {
-  static double s(double a, double b) { return a * b; }
+  template <class T>
+  static T s(T a, T b) {
+    return a * b;
+  }
   template <class V>
   static typename V::reg v(typename V::reg a, typename V::reg b) {
     return V::mul(a, b);
   }
 };
 struct OpDiv {
-  static double s(double a, double b) { return a / b; }
+  template <class T>
+  static T s(T a, T b) {
+    return a / b;
+  }
   template <class V>
   static typename V::reg v(typename V::reg a, typename V::reg b) {
     return V::div(a, b);
@@ -410,47 +648,55 @@ struct OpDiv {
 // sign flip, exact; no FMA, no reassociation), so the fused kernel is
 // bit-identical to the four-kernel chain it replaces in optimized plans.
 struct OpTanhGrad {
-  static double s(double a, double b) { return a * ((-(b * b)) + 1.0); }
+  template <class T>
+  static T s(T a, T b) {
+    return a * ((-(b * b)) + T(1.0));
+  }
   template <class V>
   static typename V::reg v(typename V::reg a, typename V::reg b) {
-    return V::mul(a, V::add(V::neg(V::mul(b, b)), V::set1(1.0)));
+    return V::mul(a, V::add(V::neg(V::mul(b, b)),
+                            V::set1(typename V::elem(1.0))));
   }
 };
 
-/// Sweeps writing at least this many output elements (4 MiB) bypass the
-/// cache with non-temporal stores. The destination is write-only in
-/// ew_bin, so beyond last-level-cache size regular stores just burn
-/// read-for-ownership bandwidth on the 3-stream (a, b, o) memory-bound
-/// loop — NT stores cut the traffic from 4 streams to 3. Below this size
-/// the working set is cache-resident and evicting the output would LOSE
-/// bandwidth (measured ~2x slower at 256x256), hence the high threshold.
-/// The check is per parallel_for chunk, so each chunk decides
+/// Sweeps writing at least this many output elements bypass the cache
+/// with non-temporal stores (4 MiB of doubles; float sweeps stream from
+/// 2 MiB — still comfortably past last-level-cache residency, and one
+/// shared threshold keeps the chunking logic element-agnostic). The
+/// destination is write-only in ew_bin, so beyond last-level-cache size
+/// regular stores just burn read-for-ownership bandwidth on the
+/// 3-stream (a, b, o) memory-bound loop — NT stores cut the traffic
+/// from 4 streams to 3. Below this size the working set is
+/// cache-resident and evicting the output would LOSE bandwidth
+/// (measured ~2x slower at 256x256), hence the high threshold. The
+/// check is per parallel_for chunk, so each chunk decides
 /// independently; either path stores identical values.
 inline constexpr std::size_t kStreamMinElems = std::size_t{1} << 19;
 
 template <class V, class Op>
-void ew_bin(const double* a, const double* b, double* o, std::size_t n) {
+void ew_bin(const typename V::elem* a, const typename V::elem* b,
+            typename V::elem* o, std::size_t n) {
+  using T = typename V::elem;
   constexpr std::size_t w = V::kWidth;
   std::size_t i = 0;
   if constexpr (w > 1) {
     if constexpr (V::kHasStream) {
       if (n >= kStreamMinElems) {
         // Peel scalar iterations until o hits the register alignment the
-        // non-temporal store requires (double arrays are always 8-aligned).
+        // non-temporal store requires (element arrays are always
+        // sizeof(T)-aligned).
         const auto addr = reinterpret_cast<std::uintptr_t>(o);
-        const std::size_t misalign = addr % (w * sizeof(double));
-        const std::size_t peel = misalign == 0
-                                     ? 0
-                                     : (w * sizeof(double) - misalign) /
-                                           sizeof(double);
-        for (; i < peel; ++i) o[i] = Op::s(a[i], b[i]);
+        const std::size_t misalign = addr % (w * sizeof(T));
+        const std::size_t peel =
+            misalign == 0 ? 0 : (w * sizeof(T) - misalign) / sizeof(T);
+        for (; i < peel; ++i) o[i] = Op::template s<T>(a[i], b[i]);
         for (; i + w <= n; i += w) {
           V::stream(o + i, Op::template v<V>(V::load(a + i), V::load(b + i)));
         }
         // Drain the write-combining buffers before the parallel_for join
         // publishes this chunk to other threads.
         V::fence();
-        for (; i < n; ++i) o[i] = Op::s(a[i], b[i]);
+        for (; i < n; ++i) o[i] = Op::template s<T>(a[i], b[i]);
         return;
       }
     }
@@ -458,19 +704,19 @@ void ew_bin(const double* a, const double* b, double* o, std::size_t n) {
       V::store(o + i, Op::template v<V>(V::load(a + i), V::load(b + i)));
     }
   }
-  for (; i < n; ++i) o[i] = Op::s(a[i], b[i]);
+  for (; i < n; ++i) o[i] = Op::template s<T>(a[i], b[i]);
 }
 
 template <class V, class Op>
-void ew_bin_row(const double* a, const double* b, double* o,
-                std::size_t rows, std::size_t cols) {
+void ew_bin_row(const typename V::elem* a, const typename V::elem* b,
+                typename V::elem* o, std::size_t rows, std::size_t cols) {
   for (std::size_t r = 0; r < rows; ++r) {
     ew_bin<V, Op>(a + r * cols, b, o + r * cols, cols);
   }
 }
 
 template <class V>
-void ew_neg(const double* a, double* o, std::size_t n) {
+void ew_neg(const typename V::elem* a, typename V::elem* o, std::size_t n) {
   constexpr std::size_t w = V::kWidth;
   std::size_t i = 0;
   if constexpr (w > 1) {
@@ -480,29 +726,36 @@ void ew_neg(const double* a, double* o, std::size_t n) {
 }
 
 template <class V>
-void ew_scale(const double* a, double s, double* o, std::size_t n) {
+void ew_scale(const typename V::elem* a, double s, typename V::elem* o,
+              std::size_t n) {
+  using T = typename V::elem;
+  const T sv = static_cast<T>(s);
   constexpr std::size_t w = V::kWidth;
   std::size_t i = 0;
   if constexpr (w > 1) {
-    const typename V::reg vs = V::set1(s);
+    const typename V::reg vs = V::set1(sv);
     for (; i + w <= n; i += w) V::store(o + i, V::mul(vs, V::load(a + i)));
   }
-  for (; i < n; ++i) o[i] = s * a[i];
+  for (; i < n; ++i) o[i] = sv * a[i];
 }
 
 template <class V>
-void ew_add_scalar(const double* a, double s, double* o, std::size_t n) {
+void ew_add_scalar(const typename V::elem* a, double s, typename V::elem* o,
+                   std::size_t n) {
+  using T = typename V::elem;
+  const T sv = static_cast<T>(s);
   constexpr std::size_t w = V::kWidth;
   std::size_t i = 0;
   if constexpr (w > 1) {
-    const typename V::reg vs = V::set1(s);
+    const typename V::reg vs = V::set1(sv);
     for (; i + w <= n; i += w) V::store(o + i, V::add(V::load(a + i), vs));
   }
-  for (; i < n; ++i) o[i] = a[i] + s;
+  for (; i < n; ++i) o[i] = a[i] + sv;
 }
 
 template <class V>
-void ew_square(const double* a, double* o, std::size_t n) {
+void ew_square(const typename V::elem* a, typename V::elem* o,
+               std::size_t n) {
   constexpr std::size_t w = V::kWidth;
   std::size_t i = 0;
   if constexpr (w > 1) {
@@ -515,18 +768,20 @@ void ew_square(const double* a, double* o, std::size_t n) {
 }
 
 template <class V>
-void ew_reciprocal(const double* a, double* o, std::size_t n) {
+void ew_reciprocal(const typename V::elem* a, typename V::elem* o,
+                   std::size_t n) {
+  using T = typename V::elem;
   constexpr std::size_t w = V::kWidth;
   std::size_t i = 0;
   if constexpr (w > 1) {
-    const typename V::reg one = V::set1(1.0);
+    const typename V::reg one = V::set1(T(1.0));
     for (; i + w <= n; i += w) V::store(o + i, V::div(one, V::load(a + i)));
   }
-  for (; i < n; ++i) o[i] = 1.0 / a[i];
+  for (; i < n; ++i) o[i] = T(1.0) / a[i];
 }
 
 template <class V>
-void ew_sqrt(const double* a, double* o, std::size_t n) {
+void ew_sqrt(const typename V::elem* a, typename V::elem* o, std::size_t n) {
   constexpr std::size_t w = V::kWidth;
   std::size_t i = 0;
   if constexpr (w > 1) {
@@ -536,7 +791,7 @@ void ew_sqrt(const double* a, double* o, std::size_t n) {
 }
 
 template <class V>
-void ew_abs(const double* a, double* o, std::size_t n) {
+void ew_abs(const typename V::elem* a, typename V::elem* o, std::size_t n) {
   constexpr std::size_t w = V::kWidth;
   std::size_t i = 0;
   if constexpr (w > 1) {
@@ -546,7 +801,8 @@ void ew_abs(const double* a, double* o, std::size_t n) {
 }
 
 template <class V>
-void ew_relu(const double* a, double* o, std::size_t n) {
+void ew_relu(const typename V::elem* a, typename V::elem* o, std::size_t n) {
+  using T = typename V::elem;
   constexpr std::size_t w = V::kWidth;
   std::size_t i = 0;
   if constexpr (w > 1) {
@@ -556,31 +812,33 @@ void ew_relu(const double* a, double* o, std::size_t n) {
       V::store(o + i, V::gt_and(x, z, x));
     }
   }
-  for (; i < n; ++i) o[i] = a[i] > 0.0 ? a[i] : 0.0;
+  for (; i < n; ++i) o[i] = a[i] > T(0.0) ? a[i] : T(0.0);
 }
 
 template <class V>
-void ew_step(const double* a, double* o, std::size_t n) {
+void ew_step(const typename V::elem* a, typename V::elem* o, std::size_t n) {
+  using T = typename V::elem;
   constexpr std::size_t w = V::kWidth;
   std::size_t i = 0;
   if constexpr (w > 1) {
     const typename V::reg z = V::zero();
-    const typename V::reg one = V::set1(1.0);
+    const typename V::reg one = V::set1(T(1.0));
     for (; i + w <= n; i += w) {
       V::store(o + i, V::gt_and(V::load(a + i), z, one));
     }
   }
-  for (; i < n; ++i) o[i] = a[i] > 0.0 ? 1.0 : 0.0;
+  for (; i < n; ++i) o[i] = a[i] > T(0.0) ? T(1.0) : T(0.0);
 }
 
 template <class V>
-void ew_sign(const double* a, double* o, std::size_t n) {
+void ew_sign(const typename V::elem* a, typename V::elem* o, std::size_t n) {
+  using T = typename V::elem;
   constexpr std::size_t w = V::kWidth;
   std::size_t i = 0;
   if constexpr (w > 1) {
     const typename V::reg z = V::zero();
-    const typename V::reg one = V::set1(1.0);
-    const typename V::reg mone = V::set1(-1.0);
+    const typename V::reg one = V::set1(T(1.0));
+    const typename V::reg mone = V::set1(T(-1.0));
     for (; i + w <= n; i += w) {
       const typename V::reg x = V::load(a + i);
       // The masks are disjoint, so add == or.
@@ -588,7 +846,7 @@ void ew_sign(const double* a, double* o, std::size_t n) {
     }
   }
   for (; i < n; ++i) {
-    o[i] = (a[i] > 0.0) ? 1.0 : (a[i] < 0.0 ? -1.0 : 0.0);
+    o[i] = (a[i] > T(0.0)) ? T(1.0) : (a[i] < T(0.0) ? T(-1.0) : T(0.0));
   }
 }
 
@@ -599,58 +857,93 @@ inline typename V::reg vsel(typename V::reg m, typename V::reg a,
   return V::bor(V::band(m, a), V::andnot(m, b));
 }
 
+/// Per-element-type constants of the polynomial tanh. The double
+/// parameters are the original PR 5 values; the float ones follow the
+/// same construction with 32-bit magic numbers, the fdlibm single-
+/// precision Cody-Waite ln2 split (both halves positive, so the generic
+/// reduction expression is shared), a lower saturation threshold
+/// (tanhf rounds to 1 from ~8.7) and a Taylor polynomial truncated at
+/// r^7/7! (~1.4 float ulp, matching the fp64 chain's ~few-ulp budget).
+template <class T>
+struct TanhTraits;
+
+template <>
+struct TanhTraits<double> {
+  static constexpr double kMagic = 6755399441055744.0;  // 1.5 * 2^52
+  static constexpr double kBig = 19.0625;
+  static constexpr double kYClamp = 38.125;
+  static constexpr double kLog2e = 1.4426950408889634074;
+  static constexpr double kLn2Hi = 6.93147180369123816490e-01;
+  static constexpr double kLn2Lo = 1.90821492927058770002e-10;
+  // q = 1/2! + r/3! + ... + r^11/13!  (Horner, high to low).
+  static constexpr double kCoef[12] = {
+      1.0 / 6227020800.0, 1.0 / 479001600.0, 1.0 / 39916800.0,
+      1.0 / 3628800.0,    1.0 / 362880.0,    1.0 / 40320.0,
+      1.0 / 5040.0,       1.0 / 720.0,       1.0 / 120.0,
+      1.0 / 24.0,         1.0 / 6.0,         0.5};
+};
+
+template <>
+struct TanhTraits<float> {
+  static constexpr float kMagic = 12582912.0F;  // 1.5 * 2^23
+  static constexpr float kBig = 9.0625F;
+  static constexpr float kYClamp = 18.125F;
+  static constexpr float kLog2e = 1.44269504F;
+  static constexpr float kLn2Hi = 6.9313812256e-01F;
+  static constexpr float kLn2Lo = 9.0580006145e-06F;
+  // q = 1/2! + r/3! + ... + r^5/7!  (Horner, high to low).
+  static constexpr float kCoef[6] = {1.0F / 5040.0F, 1.0F / 720.0F,
+                                     1.0F / 120.0F,  1.0F / 24.0F,
+                                     1.0F / 6.0F,    0.5F};
+};
+
 // Branchless polynomial tanh, identical lane algorithm on every variant
-// (add/sub/mul/div + bitwise ops only — no FMA, no libm, no
-// float->int conversion), so results are bit-identical across ISAs and
-// chunk boundaries. tanh(x) = sign(x) * em1 / (em1 + 2) with
-// em1 = expm1(2|x|); expm1 by Cody-Waite range reduction
-// (y = n*ln2 + r, |r| <= ln2/2) and a degree-13 Taylor polynomial
-// (truncation ~1e-17 relative). |x| > 19.0625 returns +-1 exactly
-// (true tanh rounds to 1 there); those lanes still run the arithmetic
-// on a clamped y so pow2n stays in range. NaN propagates through the
-// computed branch; +-0 keeps its sign via the final bitwise-or.
+// of a given element type (add/sub/mul/div + bitwise ops only — no FMA,
+// no libm, no float->int conversion), so results are bit-identical
+// across ISAs and chunk boundaries. tanh(x) = sign(x) * em1 / (em1 + 2)
+// with em1 = expm1(2|x|); expm1 by Cody-Waite range reduction
+// (y = n*ln2 + r, |r| <= ln2/2) and a Taylor polynomial (degree 13 for
+// double, ~1e-17 relative truncation; degree 7 for float, ~1e-8).
+// |x| > kBig returns +-1 exactly (true tanh rounds to 1 there); those
+// lanes still run the arithmetic on a clamped y so pow2n stays in
+// range. NaN propagates through the computed branch; +-0 keeps its sign
+// via the final bitwise-or.
 template <class V>
 inline typename V::reg tanh_lanes(typename V::reg x) {
   using R = typename V::reg;
-  const R magic = V::set1(6755399441055744.0);  // 1.5 * 2^52
-  const R s = V::band(x, V::set1(-0.0));
+  using T = typename V::elem;
+  using Tr = TanhTraits<T>;
+  const R magic = V::set1(Tr::kMagic);
+  const R s = V::band(x, V::set1(T(-0.0)));
   const R a = V::abs(x);
-  const R big = V::cmp_gt(a, V::set1(19.0625));
-  const R y = vsel<V>(big, V::set1(38.125), V::add(a, a));
+  const R big = V::cmp_gt(a, V::set1(Tr::kBig));
+  const R y = vsel<V>(big, V::set1(Tr::kYClamp), V::add(a, a));
   // n = round(y * log2(e)) via the magic-number trick (round-to-nearest).
-  const R nd = V::sub(
-      V::add(V::mul(y, V::set1(1.4426950408889634074)), magic), magic);
-  // r = y - n*ln2, split high/low so n*ln2hi is exact for n < 2^20.
-  const R r =
-      V::sub(V::sub(y, V::mul(nd, V::set1(6.93147180369123816490e-01))),
-             V::mul(nd, V::set1(1.90821492927058770002e-10)));
-  // q = 1/2! + r/3! + ... + r^11/13!  (Horner, high to low).
-  R q = V::set1(1.0 / 6227020800.0);
-  q = V::add(V::mul(q, r), V::set1(1.0 / 479001600.0));
-  q = V::add(V::mul(q, r), V::set1(1.0 / 39916800.0));
-  q = V::add(V::mul(q, r), V::set1(1.0 / 3628800.0));
-  q = V::add(V::mul(q, r), V::set1(1.0 / 362880.0));
-  q = V::add(V::mul(q, r), V::set1(1.0 / 40320.0));
-  q = V::add(V::mul(q, r), V::set1(1.0 / 5040.0));
-  q = V::add(V::mul(q, r), V::set1(1.0 / 720.0));
-  q = V::add(V::mul(q, r), V::set1(1.0 / 120.0));
-  q = V::add(V::mul(q, r), V::set1(1.0 / 24.0));
-  q = V::add(V::mul(q, r), V::set1(1.0 / 6.0));
-  q = V::add(V::mul(q, r), V::set1(0.5));
+  const R nd = V::sub(V::add(V::mul(y, V::set1(Tr::kLog2e)), magic), magic);
+  // r = y - n*ln2, split high/low so n*ln2hi is exact for the reduced
+  // exponent range.
+  const R r = V::sub(V::sub(y, V::mul(nd, V::set1(Tr::kLn2Hi))),
+                     V::mul(nd, V::set1(Tr::kLn2Lo)));
+  constexpr std::size_t deg = sizeof(Tr::kCoef) / sizeof(Tr::kCoef[0]);
+  R q = V::set1(Tr::kCoef[0]);
+  for (std::size_t d = 1; d < deg; ++d) {
+    q = V::add(V::mul(q, r), V::set1(Tr::kCoef[d]));
+  }
   const R p = V::add(V::mul(V::mul(q, r), r), r);  // expm1(r)
   // expm1(y) = 2^n * (expm1(r) + 1) - 1; for n == 0 that difference
   // cancels the low bits of a tiny p, so keep p directly (nd >= 0 here).
-  const R one = V::set1(1.0);
+  const R one = V::set1(T(1.0));
   const R sc = V::pow2n(nd);
   const R em1b = V::sub(V::mul(sc, V::add(p, one)), one);
-  const R em1 = vsel<V>(V::cmp_gt(V::set1(0.5), nd), p, em1b);
-  R t = V::div(em1, V::add(em1, V::set1(2.0)));
+  const R em1 = vsel<V>(V::cmp_gt(V::set1(T(0.5)), nd), p, em1b);
+  R t = V::div(em1, V::add(em1, V::set1(T(2.0))));
   t = vsel<V>(big, one, t);
   return V::bor(s, t);
 }
 
 template <class V>
-void ew_tanh(const double* a, double* o, std::size_t n) {
+void ew_tanh(const typename V::elem* a, typename V::elem* o, std::size_t n) {
+  using S = typename ScalarVecFor<typename V::elem>::type;
   constexpr std::size_t w = V::kWidth;
   std::size_t i = 0;
   if constexpr (w > 1) {
@@ -658,16 +951,18 @@ void ew_tanh(const double* a, double* o, std::size_t n) {
       V::store(o + i, tanh_lanes<V>(V::load(a + i)));
     }
   }
-  for (; i < n; ++i) o[i] = tanh_lanes<VecScalar>(a[i]);
+  for (; i < n; ++i) o[i] = tanh_lanes<S>(a[i]);
 }
 
 template <class V>
-void ew_bias_tanh(const double* a, const double* b, double* o,
-                  std::size_t rows, std::size_t cols) {
+void ew_bias_tanh(const typename V::elem* a, const typename V::elem* b,
+                  typename V::elem* o, std::size_t rows, std::size_t cols) {
+  using T = typename V::elem;
+  using S = typename ScalarVecFor<T>::type;
   constexpr std::size_t w = V::kWidth;
   for (std::size_t row = 0; row < rows; ++row) {
-    const double* ar = a + row * cols;
-    double* orow = o + row * cols;
+    const T* ar = a + row * cols;
+    T* orow = o + row * cols;
     std::size_t i = 0;
     if constexpr (w > 1) {
       for (; i + w <= cols; i += w) {
@@ -675,149 +970,232 @@ void ew_bias_tanh(const double* a, const double* b, double* o,
                  tanh_lanes<V>(V::add(V::load(ar + i), V::load(b + i))));
       }
     }
-    for (; i < cols; ++i) orow[i] = tanh_lanes<VecScalar>(ar[i] + b[i]);
+    for (; i < cols; ++i) orow[i] = tanh_lanes<S>(ar[i] + b[i]);
   }
 }
 
-// Reductions use 4 independent accumulators to hide FMA/add latency; the
-// partials combine low-to-high, so results are deterministic per variant.
+// Reductions return double for every element type. The fp64 bodies use
+// 4 (or 2) independent vector accumulators with FMA to hide latency,
+// combining partials low-to-high — deterministic per variant. The fp32
+// bodies promote each element to double and accumulate in unrolled
+// double scalars instead: loads move half the bytes of the fp64 path,
+// so the memory-bound regime stays fast, and loss sums keep full fp64
+// accumulation (the mixed-precision contract).
 
 template <class V>
-double red_dot(const double* a, const double* b, std::size_t n) {
-  constexpr std::size_t w = V::kWidth;
-  std::size_t i = 0;
-  double total = 0.0;
-  if constexpr (w > 1) {
-    typename V::reg acc0 = V::zero(), acc1 = V::zero();
-    typename V::reg acc2 = V::zero(), acc3 = V::zero();
-    for (; i + 4 * w <= n; i += 4 * w) {
-      acc0 = V::fma(V::load(a + i), V::load(b + i), acc0);
-      acc1 = V::fma(V::load(a + i + w), V::load(b + i + w), acc1);
-      acc2 = V::fma(V::load(a + i + 2 * w), V::load(b + i + 2 * w), acc2);
-      acc3 = V::fma(V::load(a + i + 3 * w), V::load(b + i + 3 * w), acc3);
+double red_dot(const typename V::elem* a, const typename V::elem* b,
+               std::size_t n) {
+  using T = typename V::elem;
+  if constexpr (std::is_same_v<T, double>) {
+    constexpr std::size_t w = V::kWidth;
+    std::size_t i = 0;
+    double total = 0.0;
+    if constexpr (w > 1) {
+      typename V::reg acc0 = V::zero(), acc1 = V::zero();
+      typename V::reg acc2 = V::zero(), acc3 = V::zero();
+      for (; i + 4 * w <= n; i += 4 * w) {
+        acc0 = V::fma(V::load(a + i), V::load(b + i), acc0);
+        acc1 = V::fma(V::load(a + i + w), V::load(b + i + w), acc1);
+        acc2 = V::fma(V::load(a + i + 2 * w), V::load(b + i + 2 * w), acc2);
+        acc3 = V::fma(V::load(a + i + 3 * w), V::load(b + i + 3 * w), acc3);
+      }
+      for (; i + w <= n; i += w) {
+        acc0 = V::fma(V::load(a + i), V::load(b + i), acc0);
+      }
+      total = V::hsum(V::add(V::add(acc0, acc1), V::add(acc2, acc3)));
     }
-    for (; i + w <= n; i += w) {
-      acc0 = V::fma(V::load(a + i), V::load(b + i), acc0);
+    for (; i < n; ++i) total += a[i] * b[i];
+    return total;
+  } else {
+    std::size_t i = 0;
+    double t0 = 0.0, t1 = 0.0, t2 = 0.0, t3 = 0.0;
+    for (; i + 4 <= n; i += 4) {
+      t0 += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+      t1 += static_cast<double>(a[i + 1]) * static_cast<double>(b[i + 1]);
+      t2 += static_cast<double>(a[i + 2]) * static_cast<double>(b[i + 2]);
+      t3 += static_cast<double>(a[i + 3]) * static_cast<double>(b[i + 3]);
     }
-    total = V::hsum(V::add(V::add(acc0, acc1), V::add(acc2, acc3)));
+    double total = (t0 + t1) + (t2 + t3);
+    for (; i < n; ++i) {
+      total += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+    }
+    return total;
   }
-  for (; i < n; ++i) total += a[i] * b[i];
-  return total;
 }
 
 template <class V>
-double red_sum(const double* a, std::size_t n) {
-  constexpr std::size_t w = V::kWidth;
-  std::size_t i = 0;
-  double total = 0.0;
-  if constexpr (w > 1) {
-    typename V::reg acc0 = V::zero(), acc1 = V::zero();
-    typename V::reg acc2 = V::zero(), acc3 = V::zero();
-    for (; i + 4 * w <= n; i += 4 * w) {
-      acc0 = V::add(acc0, V::load(a + i));
-      acc1 = V::add(acc1, V::load(a + i + w));
-      acc2 = V::add(acc2, V::load(a + i + 2 * w));
-      acc3 = V::add(acc3, V::load(a + i + 3 * w));
+double red_sum(const typename V::elem* a, std::size_t n) {
+  using T = typename V::elem;
+  if constexpr (std::is_same_v<T, double>) {
+    constexpr std::size_t w = V::kWidth;
+    std::size_t i = 0;
+    double total = 0.0;
+    if constexpr (w > 1) {
+      typename V::reg acc0 = V::zero(), acc1 = V::zero();
+      typename V::reg acc2 = V::zero(), acc3 = V::zero();
+      for (; i + 4 * w <= n; i += 4 * w) {
+        acc0 = V::add(acc0, V::load(a + i));
+        acc1 = V::add(acc1, V::load(a + i + w));
+        acc2 = V::add(acc2, V::load(a + i + 2 * w));
+        acc3 = V::add(acc3, V::load(a + i + 3 * w));
+      }
+      for (; i + w <= n; i += w) acc0 = V::add(acc0, V::load(a + i));
+      total = V::hsum(V::add(V::add(acc0, acc1), V::add(acc2, acc3)));
     }
-    for (; i + w <= n; i += w) acc0 = V::add(acc0, V::load(a + i));
-    total = V::hsum(V::add(V::add(acc0, acc1), V::add(acc2, acc3)));
+    for (; i < n; ++i) total += a[i];
+    return total;
+  } else {
+    std::size_t i = 0;
+    double t0 = 0.0, t1 = 0.0, t2 = 0.0, t3 = 0.0;
+    for (; i + 4 <= n; i += 4) {
+      t0 += static_cast<double>(a[i]);
+      t1 += static_cast<double>(a[i + 1]);
+      t2 += static_cast<double>(a[i + 2]);
+      t3 += static_cast<double>(a[i + 3]);
+    }
+    double total = (t0 + t1) + (t2 + t3);
+    for (; i < n; ++i) total += static_cast<double>(a[i]);
+    return total;
   }
-  for (; i < n; ++i) total += a[i];
-  return total;
 }
 
 template <class V>
-double red_square_sum(const double* a, std::size_t n) {
-  constexpr std::size_t w = V::kWidth;
-  std::size_t i = 0;
-  double total = 0.0;
-  if constexpr (w > 1) {
-    typename V::reg acc0 = V::zero(), acc1 = V::zero();
-    for (; i + 2 * w <= n; i += 2 * w) {
-      const typename V::reg x0 = V::load(a + i);
-      const typename V::reg x1 = V::load(a + i + w);
-      acc0 = V::fma(x0, x0, acc0);
-      acc1 = V::fma(x1, x1, acc1);
+double red_square_sum(const typename V::elem* a, std::size_t n) {
+  using T = typename V::elem;
+  if constexpr (std::is_same_v<T, double>) {
+    constexpr std::size_t w = V::kWidth;
+    std::size_t i = 0;
+    double total = 0.0;
+    if constexpr (w > 1) {
+      typename V::reg acc0 = V::zero(), acc1 = V::zero();
+      for (; i + 2 * w <= n; i += 2 * w) {
+        const typename V::reg x0 = V::load(a + i);
+        const typename V::reg x1 = V::load(a + i + w);
+        acc0 = V::fma(x0, x0, acc0);
+        acc1 = V::fma(x1, x1, acc1);
+      }
+      for (; i + w <= n; i += w) {
+        const typename V::reg x = V::load(a + i);
+        acc0 = V::fma(x, x, acc0);
+      }
+      total = V::hsum(V::add(acc0, acc1));
     }
-    for (; i + w <= n; i += w) {
-      const typename V::reg x = V::load(a + i);
-      acc0 = V::fma(x, x, acc0);
+    for (; i < n; ++i) total += a[i] * a[i];
+    return total;
+  } else {
+    std::size_t i = 0;
+    double t0 = 0.0, t1 = 0.0;
+    for (; i + 2 <= n; i += 2) {
+      const double x0 = static_cast<double>(a[i]);
+      const double x1 = static_cast<double>(a[i + 1]);
+      t0 += x0 * x0;
+      t1 += x1 * x1;
     }
-    total = V::hsum(V::add(acc0, acc1));
+    double total = t0 + t1;
+    for (; i < n; ++i) {
+      const double x = static_cast<double>(a[i]);
+      total += x * x;
+    }
+    return total;
   }
-  for (; i < n; ++i) total += a[i] * a[i];
-  return total;
 }
 
 template <class V>
-double red_weighted_square_sum(const double* wgt, const double* a,
-                               std::size_t n) {
-  constexpr std::size_t w = V::kWidth;
-  std::size_t i = 0;
-  double total = 0.0;
-  if constexpr (w > 1) {
-    typename V::reg acc0 = V::zero(), acc1 = V::zero();
-    for (; i + 2 * w <= n; i += 2 * w) {
-      const typename V::reg x0 = V::load(a + i);
-      const typename V::reg x1 = V::load(a + i + w);
-      acc0 = V::fma(V::mul(V::load(wgt + i), x0), x0, acc0);
-      acc1 = V::fma(V::mul(V::load(wgt + i + w), x1), x1, acc1);
+double red_weighted_square_sum(const typename V::elem* wgt,
+                               const typename V::elem* a, std::size_t n) {
+  using T = typename V::elem;
+  if constexpr (std::is_same_v<T, double>) {
+    constexpr std::size_t w = V::kWidth;
+    std::size_t i = 0;
+    double total = 0.0;
+    if constexpr (w > 1) {
+      typename V::reg acc0 = V::zero(), acc1 = V::zero();
+      for (; i + 2 * w <= n; i += 2 * w) {
+        const typename V::reg x0 = V::load(a + i);
+        const typename V::reg x1 = V::load(a + i + w);
+        acc0 = V::fma(V::mul(V::load(wgt + i), x0), x0, acc0);
+        acc1 = V::fma(V::mul(V::load(wgt + i + w), x1), x1, acc1);
+      }
+      for (; i + w <= n; i += w) {
+        const typename V::reg x = V::load(a + i);
+        acc0 = V::fma(V::mul(V::load(wgt + i), x), x, acc0);
+      }
+      total = V::hsum(V::add(acc0, acc1));
     }
-    for (; i + w <= n; i += w) {
-      const typename V::reg x = V::load(a + i);
-      acc0 = V::fma(V::mul(V::load(wgt + i), x), x, acc0);
+    for (; i < n; ++i) total += wgt[i] * a[i] * a[i];
+    return total;
+  } else {
+    std::size_t i = 0;
+    double t0 = 0.0, t1 = 0.0;
+    for (; i + 2 <= n; i += 2) {
+      const double x0 = static_cast<double>(a[i]);
+      const double x1 = static_cast<double>(a[i + 1]);
+      t0 += static_cast<double>(wgt[i]) * x0 * x0;
+      t1 += static_cast<double>(wgt[i + 1]) * x1 * x1;
     }
-    total = V::hsum(V::add(acc0, acc1));
+    double total = t0 + t1;
+    for (; i < n; ++i) {
+      const double x = static_cast<double>(a[i]);
+      total += static_cast<double>(wgt[i]) * x * x;
+    }
+    return total;
   }
-  for (; i < n; ++i) total += wgt[i] * a[i] * a[i];
-  return total;
 }
 
 template <class V>
-void ip_axpy(double* dst, double s, const double* src, std::size_t n) {
+void ip_axpy(typename V::elem* dst, double s, const typename V::elem* src,
+             std::size_t n) {
+  using T = typename V::elem;
+  const T sv = static_cast<T>(s);
   constexpr std::size_t w = V::kWidth;
   std::size_t i = 0;
   if constexpr (w > 1) {
-    const typename V::reg vs = V::set1(s);
+    const typename V::reg vs = V::set1(sv);
     for (; i + w <= n; i += w) {
       V::store(dst + i,
                V::add(V::load(dst + i), V::mul(vs, V::load(src + i))));
     }
   }
-  for (; i < n; ++i) dst[i] += s * src[i];
+  for (; i < n; ++i) dst[i] += sv * src[i];
 }
 
 template <class V>
-void ip_scale(double* dst, double s, std::size_t n) {
+void ip_scale(typename V::elem* dst, double s, std::size_t n) {
+  using T = typename V::elem;
+  const T sv = static_cast<T>(s);
   constexpr std::size_t w = V::kWidth;
   std::size_t i = 0;
   if constexpr (w > 1) {
-    const typename V::reg vs = V::set1(s);
+    const typename V::reg vs = V::set1(sv);
     for (; i + w <= n; i += w) {
       V::store(dst + i, V::mul(V::load(dst + i), vs));
     }
   }
-  for (; i < n; ++i) dst[i] *= s;
+  for (; i < n; ++i) dst[i] *= sv;
 }
 
 template <class V>
-void ip_axpby(double* dst, double a, double b, const double* src,
-              std::size_t n) {
+void ip_axpby(typename V::elem* dst, double a, double b,
+              const typename V::elem* src, std::size_t n) {
+  using T = typename V::elem;
+  const T av = static_cast<T>(a);
+  const T bv = static_cast<T>(b);
   constexpr std::size_t w = V::kWidth;
   std::size_t i = 0;
   if constexpr (w > 1) {
-    const typename V::reg va = V::set1(a);
-    const typename V::reg vb = V::set1(b);
+    const typename V::reg va = V::set1(av);
+    const typename V::reg vb = V::set1(bv);
     for (; i + w <= n; i += w) {
       V::store(dst + i, V::add(V::mul(va, V::load(dst + i)),
                                V::mul(vb, V::load(src + i))));
     }
   }
-  for (; i < n; ++i) dst[i] = a * dst[i] + b * src[i];
+  for (; i < n; ++i) dst[i] = av * dst[i] + bv * src[i];
 }
 
 template <class V>
-void ip_acc_add(double* dst, const double* src, std::size_t n) {
+void ip_acc_add(typename V::elem* dst, const typename V::elem* src,
+                std::size_t n) {
   constexpr std::size_t w = V::kWidth;
   std::size_t i = 0;
   if constexpr (w > 1) {
@@ -831,52 +1209,66 @@ void ip_acc_add(double* dst, const double* src, std::size_t n) {
 // Fused Adam sweep. The vector body performs the exact lane-wise IEEE
 // operation sequence of the scalar fringe (mul/add/div/sqrt, never FMA),
 // so the update is bit-identical across dispatch variants — checkpoints
-// written under one variant resume bit-for-bit under another.
+// written under one variant resume bit-for-bit under another. The fp64
+// cfg fields are cast once at entry (identity for the fp64 table; the
+// mixed-precision Trainer never runs Adam in fp32 — master weights stay
+// double — but the instantiation exists for table completeness).
 template <class V>
-void adam_sweep(double* p, const double* g, double* m, double* v,
-                std::size_t n, const AdamParams& cfg) {
+void adam_sweep(typename V::elem* p, const typename V::elem* g,
+                typename V::elem* m, typename V::elem* v, std::size_t n,
+                const AdamParams& cfg) {
+  using T = typename V::elem;
   const bool coupled_wd = cfg.weight_decay > 0.0 && !cfg.decoupled;
   const bool decoupled_wd = cfg.weight_decay > 0.0 && cfg.decoupled;
+  const T lr = static_cast<T>(cfg.lr);
+  const T beta1 = static_cast<T>(cfg.beta1);
+  const T beta2 = static_cast<T>(cfg.beta2);
+  const T eps = static_cast<T>(cfg.eps);
+  const T wd = static_cast<T>(cfg.weight_decay);
+  const T bc1 = static_cast<T>(cfg.bias_corr1);
+  const T bc2 = static_cast<T>(cfg.bias_corr2);
+  const T ob1 = T(1.0) - beta1;
+  const T ob2 = T(1.0) - beta2;
   constexpr std::size_t w = V::kWidth;
   std::size_t i = 0;
   if constexpr (w > 1) {
-    const typename V::reg b1 = V::set1(cfg.beta1);
-    const typename V::reg ob1 = V::set1(1.0 - cfg.beta1);
-    const typename V::reg b2 = V::set1(cfg.beta2);
-    const typename V::reg ob2 = V::set1(1.0 - cfg.beta2);
-    const typename V::reg bc1 = V::set1(cfg.bias_corr1);
-    const typename V::reg bc2 = V::set1(cfg.bias_corr2);
-    const typename V::reg eps = V::set1(cfg.eps);
-    const typename V::reg lr = V::set1(cfg.lr);
-    const typename V::reg wd = V::set1(cfg.weight_decay);
+    const typename V::reg vb1 = V::set1(beta1);
+    const typename V::reg vob1 = V::set1(ob1);
+    const typename V::reg vb2 = V::set1(beta2);
+    const typename V::reg vob2 = V::set1(ob2);
+    const typename V::reg vbc1 = V::set1(bc1);
+    const typename V::reg vbc2 = V::set1(bc2);
+    const typename V::reg veps = V::set1(eps);
+    const typename V::reg vlr = V::set1(lr);
+    const typename V::reg vwd = V::set1(wd);
     for (; i + w <= n; i += w) {
       const typename V::reg pv = V::load(p + i);
       typename V::reg gj = V::load(g + i);
-      if (coupled_wd) gj = V::add(gj, V::mul(wd, pv));
+      if (coupled_wd) gj = V::add(gj, V::mul(vwd, pv));
       const typename V::reg mv =
-          V::add(V::mul(b1, V::load(m + i)), V::mul(ob1, gj));
-      const typename V::reg vv = V::add(V::mul(b2, V::load(v + i)),
-                                        V::mul(ob2, V::mul(gj, gj)));
+          V::add(V::mul(vb1, V::load(m + i)), V::mul(vob1, gj));
+      const typename V::reg vv = V::add(V::mul(vb2, V::load(v + i)),
+                                        V::mul(vob2, V::mul(gj, gj)));
       V::store(m + i, mv);
       V::store(v + i, vv);
-      const typename V::reg m_hat = V::div(mv, bc1);
-      const typename V::reg v_hat = V::div(vv, bc2);
+      const typename V::reg m_hat = V::div(mv, vbc1);
+      const typename V::reg v_hat = V::div(vv, vbc2);
       typename V::reg update =
-          V::div(m_hat, V::add(V::sqrt(v_hat), eps));
-      if (decoupled_wd) update = V::add(update, V::mul(wd, pv));
-      V::store(p + i, V::sub(pv, V::mul(lr, update)));
+          V::div(m_hat, V::add(V::sqrt(v_hat), veps));
+      if (decoupled_wd) update = V::add(update, V::mul(vwd, pv));
+      V::store(p + i, V::sub(pv, V::mul(vlr, update)));
     }
   }
   for (; i < n; ++i) {
-    double gj = g[i];
-    if (coupled_wd) gj = gj + cfg.weight_decay * p[i];
-    m[i] = cfg.beta1 * m[i] + (1.0 - cfg.beta1) * gj;
-    v[i] = cfg.beta2 * v[i] + (1.0 - cfg.beta2) * (gj * gj);
-    const double m_hat = m[i] / cfg.bias_corr1;
-    const double v_hat = v[i] / cfg.bias_corr2;
-    double update = m_hat / (std::sqrt(v_hat) + cfg.eps);
-    if (decoupled_wd) update = update + cfg.weight_decay * p[i];
-    p[i] = p[i] - cfg.lr * update;
+    T gj = g[i];
+    if (coupled_wd) gj = gj + wd * p[i];
+    m[i] = beta1 * m[i] + ob1 * gj;
+    v[i] = beta2 * v[i] + ob2 * (gj * gj);
+    const T m_hat = m[i] / bc1;
+    const T v_hat = v[i] / bc2;
+    T update = m_hat / (std::sqrt(v_hat) + eps);
+    if (decoupled_wd) update = update + wd * p[i];
+    p[i] = p[i] - lr * update;
   }
 }
 
@@ -890,14 +1282,17 @@ void adam_sweep(double* p, const double* g, double* m, double* v,
 inline constexpr std::int64_t kMmColTile = 8;
 
 /// Depth cap for the stack-packed panels of the transposed matmul variants
-/// (mm_tn_rows / mm_nt_rows). Panels are at most kMmPackK * 8 doubles
-/// (32 KiB) of stack — no heap traffic — and every layer in this codebase
-/// has k far below the cap; larger k falls back to the unpacked tile loop.
+/// (mm_tn_rows / mm_nt_rows). Panels are at most kMmPackK * 8 elements
+/// (32 KiB of doubles) of stack — no heap traffic — and every layer in
+/// this codebase has k far below the cap; larger k falls back to the
+/// unpacked tile loop.
 inline constexpr std::int64_t kMmPackK = 512;
 
 template <class V>
-void mm_rows(const double* pa, const double* pb, double* po, std::int64_t i0,
-             std::int64_t i1, std::int64_t k, std::int64_t m) {
+void mm_rows(const typename V::elem* pa, const typename V::elem* pb,
+             typename V::elem* po, std::int64_t i0, std::int64_t i1,
+             std::int64_t k, std::int64_t m) {
+  using T = typename V::elem;
   constexpr std::int64_t rt = V::kMmRowTile;
   constexpr std::int64_t cv =
       kMmColTile / static_cast<std::int64_t>(V::kWidth);
@@ -912,7 +1307,7 @@ void mm_rows(const double* pa, const double* pb, double* po, std::int64_t i0,
           for (std::int64_t c = 0; c < cv; ++c) acc[r][c] = V::zero();
         }
         for (std::int64_t kk = 0; kk < k; ++kk) {
-          const double* b_row = pb + kk * m + j;
+          const T* b_row = pb + kk * m + j;
           typename V::reg bv[cv];
           for (std::int64_t c = 0; c < cv; ++c) {
             bv[c] = V::load(b_row + static_cast<std::size_t>(c) * w);
@@ -925,18 +1320,18 @@ void mm_rows(const double* pa, const double* pb, double* po, std::int64_t i0,
           }
         }
         for (std::int64_t r = 0; r < rt; ++r) {
-          double* out_row = po + (i + r) * m + j;
+          T* out_row = po + (i + r) * m + j;
           for (std::int64_t c = 0; c < cv; ++c) {
             V::store(out_row + static_cast<std::size_t>(c) * w, acc[r][c]);
           }
         }
       } else {
         for (std::int64_t r = 0; r < ib; ++r) {
-          double* out_row = po + (i + r) * m + j;
-          const double* a_row = pa + (i + r) * k;
+          T* out_row = po + (i + r) * m + j;
+          const T* a_row = pa + (i + r) * k;
           for (std::int64_t kk = 0; kk < k; ++kk) {
-            const double a_rk = a_row[kk];
-            const double* b_row = pb + kk * m + j;
+            const T a_rk = a_row[kk];
+            const T* b_row = pb + kk * m + j;
             for (std::int64_t c = 0; c < jb; ++c) {
               out_row[c] += a_rk * b_row[c];
             }
@@ -953,20 +1348,21 @@ void mm_rows(const double* pa, const double* pb, double* po, std::int64_t i0,
 // panel once, then every column tile of `b` streams against it with the
 // exact FMA schedule of mm_rows.
 template <class V>
-void mm_tn_rows(const double* pa, const double* pb, double* po,
-                std::int64_t i0, std::int64_t i1, std::int64_t k,
-                std::int64_t n, std::int64_t m) {
+void mm_tn_rows(const typename V::elem* pa, const typename V::elem* pb,
+                typename V::elem* po, std::int64_t i0, std::int64_t i1,
+                std::int64_t k, std::int64_t n, std::int64_t m) {
+  using T = typename V::elem;
   constexpr std::int64_t rt = V::kMmRowTile;
   constexpr std::int64_t cv =
       kMmColTile / static_cast<std::int64_t>(V::kWidth);
   constexpr std::size_t w = V::kWidth;
-  alignas(64) double apack[static_cast<std::size_t>(kMmPackK * rt)];
+  alignas(64) T apack[static_cast<std::size_t>(kMmPackK * rt)];
   for (std::int64_t i = i0; i < i1; i += rt) {
     const std::int64_t ib = std::min(rt, i1 - i);
     const bool packed = ib == rt && k <= kMmPackK;
     if (packed) {
       for (std::int64_t kk = 0; kk < k; ++kk) {
-        const double* a_col = pa + kk * n + i;
+        const T* a_col = pa + kk * n + i;
         for (std::int64_t r = 0; r < rt; ++r) apack[kk * rt + r] = a_col[r];
       }
     }
@@ -978,8 +1374,8 @@ void mm_tn_rows(const double* pa, const double* pb, double* po,
           for (std::int64_t c = 0; c < cv; ++c) acc[r][c] = V::zero();
         }
         for (std::int64_t kk = 0; kk < k; ++kk) {
-          const double* a_col = packed ? apack + kk * rt : pa + kk * n + i;
-          const double* b_row = pb + kk * m + j;
+          const T* a_col = packed ? apack + kk * rt : pa + kk * n + i;
+          const T* b_row = pb + kk * m + j;
           typename V::reg bv[cv];
           for (std::int64_t c = 0; c < cv; ++c) {
             bv[c] = V::load(b_row + static_cast<std::size_t>(c) * w);
@@ -992,18 +1388,18 @@ void mm_tn_rows(const double* pa, const double* pb, double* po,
           }
         }
         for (std::int64_t r = 0; r < rt; ++r) {
-          double* out_row = po + (i + r) * m + j;
+          T* out_row = po + (i + r) * m + j;
           for (std::int64_t c = 0; c < cv; ++c) {
             V::store(out_row + static_cast<std::size_t>(c) * w, acc[r][c]);
           }
         }
       } else {
         for (std::int64_t kk = 0; kk < k; ++kk) {
-          const double* a_col = pa + kk * n + i;
-          const double* b_row = pb + kk * m + j;
+          const T* a_col = pa + kk * n + i;
+          const T* b_row = pb + kk * m + j;
           for (std::int64_t r = 0; r < ib; ++r) {
-            double* out_row = po + (i + r) * m + j;
-            const double a_rk = a_col[r];
+            T* out_row = po + (i + r) * m + j;
+            const T a_rk = a_col[r];
             for (std::int64_t c = 0; c < jb; ++c) {
               out_row[c] += a_rk * b_row[c];
             }
@@ -1022,21 +1418,22 @@ void mm_tn_rows(const double* pa, const double* pb, double* po,
 // per-element dot products ending in a horizontal sum. Fringes and
 // deeper-than-cap k fall back to vector dots with a scalar tail.
 template <class V>
-void mm_nt_rows(const double* pa, const double* pb, double* po,
-                std::int64_t i0, std::int64_t i1, std::int64_t k,
-                std::int64_t m) {
+void mm_nt_rows(const typename V::elem* pa, const typename V::elem* pb,
+                typename V::elem* po, std::int64_t i0, std::int64_t i1,
+                std::int64_t k, std::int64_t m) {
+  using T = typename V::elem;
   constexpr std::int64_t rt = V::kMmRowTile;
   constexpr std::int64_t cv =
       kMmColTile / static_cast<std::int64_t>(V::kWidth);
   constexpr std::size_t w = V::kWidth;
   const std::size_t kw = static_cast<std::size_t>(k);
-  alignas(64) double bpack[static_cast<std::size_t>(kMmPackK * kMmColTile)];
+  alignas(64) T bpack[static_cast<std::size_t>(kMmPackK * kMmColTile)];
   for (std::int64_t j = 0; j < m; j += kMmColTile) {
     const std::int64_t jb = std::min(kMmColTile, m - j);
     const bool packed = jb == kMmColTile && k <= kMmPackK;
     if (packed) {
       for (std::int64_t c = 0; c < kMmColTile; ++c) {
-        const double* b_row = pb + (j + c) * k;
+        const T* b_row = pb + (j + c) * k;
         for (std::int64_t kk = 0; kk < k; ++kk) {
           bpack[kk * kMmColTile + c] = b_row[kk];
         }
@@ -1050,7 +1447,7 @@ void mm_nt_rows(const double* pa, const double* pb, double* po,
           for (std::int64_t c = 0; c < cv; ++c) acc[r][c] = V::zero();
         }
         for (std::int64_t kk = 0; kk < k; ++kk) {
-          const double* b_row = bpack + kk * kMmColTile;
+          const T* b_row = bpack + kk * kMmColTile;
           typename V::reg bv[cv];
           for (std::int64_t c = 0; c < cv; ++c) {
             bv[c] = V::load(b_row + static_cast<std::size_t>(c) * w);
@@ -1063,7 +1460,7 @@ void mm_nt_rows(const double* pa, const double* pb, double* po,
           }
         }
         for (std::int64_t r = 0; r < rt; ++r) {
-          double* out_row = po + (i + r) * m + j;
+          T* out_row = po + (i + r) * m + j;
           for (std::int64_t c = 0; c < cv; ++c) {
             V::store(out_row + static_cast<std::size_t>(c) * w, acc[r][c]);
           }
@@ -1072,16 +1469,16 @@ void mm_nt_rows(const double* pa, const double* pb, double* po,
         // Fringe tile or k beyond the pack cap: per-element vector dot
         // products with a scalar k-tail.
         for (std::int64_t r = 0; r < ib; ++r) {
-          const double* a_row = pa + (i + r) * k;
-          double* out_row = po + (i + r) * m + j;
+          const T* a_row = pa + (i + r) * k;
+          T* out_row = po + (i + r) * m + j;
           for (std::int64_t c = 0; c < jb; ++c) {
-            const double* b_row = pb + (j + c) * k;
+            const T* b_row = pb + (j + c) * k;
             typename V::reg acc = V::zero();
             std::size_t kk = 0;
             for (; kk + w <= kw; kk += w) {
               acc = V::fma(V::load(a_row + kk), V::load(b_row + kk), acc);
             }
-            double total = V::hsum(acc);
+            T total = V::hsum(acc);
             for (; kk < kw; ++kk) total += a_row[kk] * b_row[kk];
             out_row[c] = total;
           }
@@ -1092,10 +1489,11 @@ void mm_nt_rows(const double* pa, const double* pb, double* po,
 }
 
 /// Builds the full table for one vector wrapper. Instantiated once per
-/// per-ISA translation unit (see simd_scalar.cpp and friends).
+/// element type per per-ISA translation unit (see simd_scalar.cpp and
+/// friends).
 template <class V>
-KernelTable make_table(Isa isa, const char* name) {
-  KernelTable t;
+KernelTableT<typename V::elem> make_table(Isa isa, const char* name) {
+  KernelTableT<typename V::elem> t;
   t.isa = isa;
   t.name = name;
   t.width = V::kWidth;

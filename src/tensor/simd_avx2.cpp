@@ -14,6 +14,11 @@ const KernelTable* avx2_table() {
   return &table;
 }
 
+const KernelTableF* avx2_table_f32() {
+  static const KernelTableF table = make_table<VecAvx2F>(Isa::kAvx2, "avx2");
+  return &table;
+}
+
 }  // namespace qpinn::simd::detail
 
 #endif  // QPINN_SIMD_X86 && __AVX2__ && __FMA__

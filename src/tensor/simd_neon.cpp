@@ -12,6 +12,11 @@ const KernelTable* neon_table() {
   return &table;
 }
 
+const KernelTableF* neon_table_f32() {
+  static const KernelTableF table = make_table<VecNeonF>(Isa::kNeon, "neon");
+  return &table;
+}
+
 }  // namespace qpinn::simd::detail
 
 #endif  // QPINN_SIMD_NEON

@@ -14,4 +14,10 @@ const KernelTable* scalar_table() {
   return &table;
 }
 
+const KernelTableF* scalar_table_f32() {
+  static const KernelTableF table =
+      make_table<VecScalarF>(Isa::kScalar, "scalar");
+  return &table;
+}
+
 }  // namespace qpinn::simd::detail

@@ -12,6 +12,11 @@ const KernelTable* sse2_table() {
   return &table;
 }
 
+const KernelTableF* sse2_table_f32() {
+  static const KernelTableF table = make_table<VecSse2F>(Isa::kSse2, "sse2");
+  return &table;
+}
+
 }  // namespace qpinn::simd::detail
 
 #endif  // QPINN_SIMD_X86 && __SSE2__

@@ -44,6 +44,8 @@ struct PoolCore {
   mutable Mutex mutex;
   std::unordered_map<std::size_t, std::vector<std::vector<double>>> buckets
       QPINN_GUARDED_BY(mutex);
+  std::unordered_map<std::size_t, std::vector<std::vector<float>>> buckets_f32
+      QPINN_GUARDED_BY(mutex);
   std::size_t free_buffers QPINN_GUARDED_BY(mutex) = 0;
   std::size_t free_bytes QPINN_GUARDED_BY(mutex) = 0;
   std::size_t max_free_bytes = 0;
@@ -88,6 +90,39 @@ struct PoolCore {
     }
     discards.fetch_add(1, std::memory_order_relaxed);
   }
+
+  /// fp32 twins of take/give over the separate float buckets; same class
+  /// scheme (class sizes are element counts, not bytes) and same caps.
+  bool take_f32(std::size_t cls, std::vector<float>& out) {
+    MutexLock lock(mutex);
+    auto it = buckets_f32.find(cls);
+    if (it == buckets_f32.end() || it->second.empty()) return false;
+    out = std::move(it->second.back());
+    it->second.pop_back();
+    --free_buffers;
+    free_bytes -= out.capacity() * sizeof(float);
+    return true;
+  }
+
+  void give_f32(std::vector<float>&& v) {
+    const std::size_t cls = class_floor(v.capacity());
+    const std::size_t bytes = v.capacity() * sizeof(float);
+    if (cls == 0 || !enabled.load(std::memory_order_relaxed)) {
+      discards.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    {
+      MutexLock lock(mutex);
+      if (free_bytes + bytes <= max_free_bytes) {
+        buckets_f32[cls].push_back(std::move(v));
+        ++free_buffers;
+        free_bytes += bytes;
+        returns.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+    discards.fetch_add(1, std::memory_order_relaxed);
+  }
 };
 
 namespace {
@@ -103,6 +138,19 @@ struct PooledHolder {
   PooledHolder& operator=(const PooledHolder&) = delete;
   ~PooledHolder() {
     if (core) core->give(std::move(v));
+  }
+};
+
+/// Float twin of PooledHolder.
+struct PooledHolderF {
+  std::shared_ptr<PoolCore> core;
+  std::vector<float> v;
+
+  PooledHolderF() = default;
+  PooledHolderF(const PooledHolderF&) = delete;
+  PooledHolderF& operator=(const PooledHolderF&) = delete;
+  ~PooledHolderF() {
+    if (core) core->give_f32(std::move(v));
   }
 };
 
@@ -144,6 +192,31 @@ std::shared_ptr<std::vector<double>> StoragePool::acquire(std::size_t n,
   }
   holder->core = core_;
   return std::shared_ptr<std::vector<double>>(holder, &holder->v);
+}
+
+std::shared_ptr<std::vector<float>> StoragePool::acquire_f32(std::size_t n,
+                                                             bool zero) {
+  detail::PoolCore& core = *core_;
+  if (!core.enabled.load(std::memory_order_relaxed)) {
+    core.heap_allocations.fetch_add(1, std::memory_order_relaxed);
+    return std::make_shared<std::vector<float>>(n, 0.0F);
+  }
+  auto holder = std::make_shared<detail::PooledHolderF>();
+  const std::size_t cls = class_ceil(std::max(n, std::size_t{1}));
+  if (core.take_f32(cls, holder->v)) {
+    core.pool_reuses.fetch_add(1, std::memory_order_relaxed);
+    if (zero) {
+      holder->v.assign(n, 0.0F);
+    } else {
+      holder->v.resize(n);
+    }
+  } else {
+    core.heap_allocations.fetch_add(1, std::memory_order_relaxed);
+    holder->v.reserve(cls);
+    holder->v.resize(n, 0.0F);
+  }
+  holder->core = core_;
+  return std::shared_ptr<std::vector<float>>(holder, &holder->v);
 }
 
 std::shared_ptr<std::vector<double>> StoragePool::adopt(
@@ -195,9 +268,11 @@ void StoragePool::trim() {
   detail::PoolCore& core = *core_;
   // Swap the buckets out so the (potentially large) frees happen unlocked.
   std::unordered_map<std::size_t, std::vector<std::vector<double>>> drained;
+  std::unordered_map<std::size_t, std::vector<std::vector<float>>> drained_f;
   {
     MutexLock lock(core.mutex);
     drained.swap(core.buckets);
+    drained_f.swap(core.buckets_f32);
     core.free_buffers = 0;
     core.free_bytes = 0;
   }

@@ -58,6 +58,13 @@ class StoragePool {
   std::shared_ptr<std::vector<double>> acquire(std::size_t n,
                                                bool zero = true);
 
+  /// Float twin of acquire(), backed by separate fp32 free lists — the
+  /// mixed-precision plan shadows (src/autodiff/precision.cpp) recycle
+  /// through here instead of the heap. Shares the enabled flag, byte cap,
+  /// and stats counters with the fp64 buckets.
+  std::shared_ptr<std::vector<float>> acquire_f32(std::size_t n,
+                                                  bool zero = true);
+
   /// Wraps a caller-constructed vector (Tensor::from_vector) so its buffer
   /// recycles through the pool on release like any acquired one.
   std::shared_ptr<std::vector<double>> adopt(std::vector<double> values);

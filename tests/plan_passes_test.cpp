@@ -19,6 +19,7 @@
 #include "autodiff/ops.hpp"
 #include "autodiff/plan.hpp"
 #include "autodiff/plan_passes.hpp"
+#include "autodiff/precision.hpp"
 #include "core/benchmarks.hpp"
 #include "core/trainer.hpp"
 #include "parallel/thread_pool.hpp"
@@ -80,6 +81,21 @@ void expect_bit_identical(const std::vector<double>& eager,
     EXPECT_EQ(eager[i], replay[i]) << "diverged at step " << i;
   }
 }
+
+/// Pins fp64 replay for the duration of a bit-identity test: under
+/// QPINN_PRECISION=mixed (the CI gcc-mixed leg) trainer and serve plans
+/// demote to fp32 and are tolerance-gated instead (precision_test.cpp),
+/// so replay==eager only holds with the demotion pass pinned off.
+class Fp64Guard {
+ public:
+  Fp64Guard() : saved_(ad::precision_mode()) {
+    ad::set_precision_mode(ad::Precision::kFp64);
+  }
+  ~Fp64Guard() { ad::set_precision_mode(saved_); }
+
+ private:
+  ad::Precision saved_;
+};
 
 /// Restores the active SIMD variant on scope exit.
 class IsaGuard {
@@ -279,6 +295,7 @@ TEST(PlanPassesUnit, ExternallyObservedBufferIsNeverRebound) {
 // --- trainer: bit-identity with passes on -----------------------------------
 
 TEST(PlanPassesTrainer, TdsePlanShrinksAndStaysBitIdenticalEveryIsa) {
+  Fp64Guard precision_guard;
   PlanOptEnvGuard env;
   ::setenv("QPINN_PLAN_OPT", "on", 1);
   IsaGuard guard;
@@ -302,6 +319,7 @@ TEST(PlanPassesTrainer, TdsePlanShrinksAndStaysBitIdenticalEveryIsa) {
 }
 
 TEST(PlanPassesTrainer, ParallelShardsWithCurriculumBitIdentical) {
+  Fp64Guard precision_guard;
   PlanOptEnvGuard env;
   ::setenv("QPINN_PLAN_OPT", "on", 1);
   set_global_threads(4);
@@ -324,6 +342,7 @@ TEST(PlanPassesTrainer, ParallelShardsWithCurriculumBitIdentical) {
 }
 
 TEST(PlanPassesTrainer, ResampleEveryEpochSurvivesPasses) {
+  Fp64Guard precision_guard;
   PlanOptEnvGuard env;
   ::setenv("QPINN_PLAN_OPT", "on", 1);
   auto problem = make_free_packet_problem();
@@ -374,6 +393,7 @@ TEST(PlanPassesTrainer, InvalidationRecaptureReoptimizes) {
 // all) and still agree bit-for-bit with the optimized mode — the passes are
 // purely a performance knob, exactly like QPINN_GRAPH.
 TEST(PlanPassesTrainer, OffRestoresVerbatimPlanBitIdentical) {
+  Fp64Guard precision_guard;
   PlanOptEnvGuard env;
   auto problem = make_free_packet_problem();
   const TrainConfig base = passes_config(1);
@@ -400,6 +420,7 @@ TEST(PlanPassesTrainer, OffRestoresVerbatimPlanBitIdentical) {
 // CompiledModel must evaluate bit-identically to the verbatim one, and its
 // arena must be no larger.
 TEST(PlanPassesServe, CompiledModelOptimizedBitIdenticalToVerbatim) {
+  Fp64Guard precision_guard;
   PlanOptEnvGuard env;
   auto problem = make_free_packet_problem();
   auto model = tiny_model(*problem, 31);

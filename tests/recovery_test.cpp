@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "autodiff/precision.hpp"
 #include "core/benchmarks.hpp"
 #include "core/checkpoint.hpp"
 #include "core/trainer.hpp"
@@ -159,6 +160,15 @@ TEST_F(RecoveryTest, WithoutRecoveryInjectedNanStillThrows) {
 }
 
 TEST_F(RecoveryTest, ResumeReproducesUninterruptedRunBitForBit) {
+  // This test asserts the fp64-mode contract (resume == uninterrupted
+  // bit-for-bit); pin fp64 so a QPINN_PRECISION=mixed CI leg still passes.
+  const autodiff::Precision saved_precision = autodiff::precision_mode();
+  autodiff::set_precision_mode(autodiff::Precision::kFp64);
+  struct Restore {
+    autodiff::Precision p;
+    ~Restore() { autodiff::set_precision_mode(p); }
+  } restore{saved_precision};
+
   auto problem = make_free_packet_problem();
   const std::string dir = temp_dir("resume_ckpt");
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "autodiff/plan.hpp"
+#include "autodiff/precision.hpp"
 #include "core/checkpoint.hpp"
 #include "core/field_model.hpp"
 #include "serve/compiled_model.hpp"
@@ -99,6 +100,23 @@ void expect_rows_bitwise_equal(const Tensor& got, const Tensor& want,
   }
 }
 
+/// Pins fp64 replay for bit-identity tests: they assert the fp64-mode
+/// contract (served rows == eager rows bit-for-bit), which
+/// QPINN_PRECISION=mixed intentionally trades for fp32 replay throughput.
+/// Restores the previous mode so a mixed CI leg still exercises demoted
+/// lanes in the tolerance-based tests.
+class PrecisionGuard {
+ public:
+  explicit PrecisionGuard(autodiff::Precision pin)
+      : saved_(autodiff::precision_mode()) {
+    autodiff::set_precision_mode(pin);
+  }
+  ~PrecisionGuard() { autodiff::set_precision_mode(saved_); }
+
+ private:
+  autodiff::Precision saved_;
+};
+
 /// Restores the active SIMD variant on scope exit.
 class IsaGuard {
  public:
@@ -135,6 +153,7 @@ TEST(ForwardOnlyCapture, TrainingCaptureStillAcceptsThem) {
 // --- CompiledModel ----------------------------------------------------------
 
 TEST(CompiledModel, FullBatchBitIdenticalToEagerAcrossIsas) {
+  PrecisionGuard precision_guard(autodiff::Precision::kFp64);
   IsaGuard guard;
   for (const simd::Isa isa : simd::available_isas()) {
     ASSERT_TRUE(simd::force_isa(isa));
@@ -150,6 +169,7 @@ TEST(CompiledModel, FullBatchBitIdenticalToEagerAcrossIsas) {
 }
 
 TEST(CompiledModel, PartialBatchFringeBitIdenticalToEager) {
+  PrecisionGuard precision_guard(autodiff::Precision::kFp64);
   auto model = tiny_model(12);
   const auto compiled = CompiledModel::compile(model, 32);
   // Dirty the pinned tail with a full batch first, so the fringe replay
@@ -173,12 +193,48 @@ TEST(CompiledModel, PartialBatchFringeBitIdenticalToEager) {
 }
 
 TEST(CompiledModel, ChunksInputsLargerThanTheBatch) {
+  PrecisionGuard precision_guard(autodiff::Precision::kFp64);
   auto model = tiny_model(13);
   const auto compiled = CompiledModel::compile(model, 8);
   const Tensor xy = query_points(8 * 3 + 5);
   const Tensor expected = eager_at_batch_shape(*model, xy, 8);
   const Tensor served = compiled->evaluate(xy);
   expect_rows_bitwise_equal(served, expected, xy.rows());
+}
+
+// Multiple replay lanes must be interchangeable: every lane captured the
+// same forward at the same shape, so round-robin across them changes which
+// mutex a caller queues on, never the answer.
+TEST(CompiledModel, ReplayLanesAgreeAndCountFromArgument) {
+  PrecisionGuard precision_guard(autodiff::Precision::kFp64);
+  auto model = tiny_model(21);
+  const auto compiled =
+      CompiledModel::compile(model, 8, ModelInfo{}, /*lanes=*/3);
+  EXPECT_EQ(compiled->lanes(), 3u);
+  const Tensor xy = query_points(8);
+  const Tensor expected = eager_at_batch_shape(*model, xy, 8);
+  // Four evaluations cycle the round-robin cursor through every lane.
+  for (int pass = 0; pass < 4; ++pass) {
+    expect_rows_bitwise_equal(compiled->evaluate(xy), expected, xy.rows());
+  }
+}
+
+// Demoted lanes (QPINN_PRECISION=mixed) trade the bitwise contract for
+// fp32 replay: served rows must track the eager fp64 forward within fp32
+// round-off of the network's O(1) outputs.
+TEST(CompiledModel, MixedPrecisionLanesMatchEagerWithinTolerance) {
+  PrecisionGuard precision_guard(autodiff::Precision::kMixed);
+  auto model = tiny_model(22);
+  const auto compiled =
+      CompiledModel::compile(model, 8, ModelInfo{}, /*lanes=*/2);
+  const Tensor xy = query_points(8 * 2 + 3);
+  const Tensor expected = eager_at_batch_shape(*model, xy, 8);
+  const Tensor served = compiled->evaluate(xy);
+  for (std::int64_t i = 0; i < xy.rows(); ++i) {
+    ASSERT_TRUE(std::isfinite(served.at(i, 0)));
+    EXPECT_NEAR(served.at(i, 0), expected.at(i, 0), 1e-4);
+    EXPECT_NEAR(served.at(i, 1), expected.at(i, 1), 1e-4);
+  }
 }
 
 TEST(CompiledModel, SteadyStateReplayDoesZeroPoolWork) {
@@ -251,6 +307,7 @@ std::shared_ptr<ModelRegistry> registry_with(std::uint64_t seed,
 }
 
 TEST(QueryQueue, AnswersMatchEagerUnderConcurrency) {
+  PrecisionGuard precision_guard(autodiff::Precision::kFp64);
   auto model = tiny_model(21);
   auto registry = std::make_shared<ModelRegistry>();
   registry->publish(CompiledModel::compile(model, 8));
@@ -335,6 +392,7 @@ TEST(QueryQueue, ConfigValidates) {
 // every query issued after the publish must see the new model; nothing may
 // block, drop, or mix rows. Runs under the TSan CI leg.
 TEST(QueryQueue, HotSwapUnderConcurrentQueries) {
+  PrecisionGuard precision_guard(autodiff::Precision::kFp64);
   auto model_a = tiny_model(31);
   auto model_b = tiny_model(32);
   auto registry = std::make_shared<ModelRegistry>();
@@ -420,6 +478,7 @@ std::string temp_checkpoint(const std::string& name) {
 }
 
 TEST(CheckpointPromoter, PromotesAndTracksEpochs) {
+  PrecisionGuard precision_guard(autodiff::Precision::kFp64);
   const std::string path = temp_checkpoint("serve_best.qckpt");
   auto trained = tiny_model(41);
   TrainingState state;

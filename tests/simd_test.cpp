@@ -337,6 +337,60 @@ TEST_P(SimdVariantP, NanAndInfPropagateLikeScalar) {
   EXPECT_EQ(got[2], -kInf);
 }
 
+TEST_P(SimdVariantP, F32NanAndInfPropagateLikeScalar) {
+  // The fp32 tables carry the same IEEE propagation contract as the fp64
+  // ones: mixed-precision replay must surface a NaN/Inf produced inside an
+  // fp32 sweep instead of laundering it — the trainer's divergence
+  // detection reads the upcast results.
+  constexpr float kNanF = std::numeric_limits<float>::quiet_NaN();
+  constexpr float kInfF = std::numeric_limits<float>::infinity();
+  force_isa(GetParam());
+  const KernelTableF& var = active_f32();
+  const std::size_t n = var.width * 2 + 1;
+  std::vector<float> a(n + 1, 1.0f), b(n + 1, 2.0f);
+  a[1] = kNanF;
+  a[2] = kInfF;
+  b[2] = -kInfF;
+  a[3] = 0.0f;
+  b[3] = kNanF;  // 0 * NaN must stay NaN — max-based tricks would lose it
+  std::vector<float> got(n + 1), want(n + 1);
+  force_isa(Isa::kScalar);
+  const KernelTableF& ref = active_f32();
+  force_isa(GetParam());
+  for (int op = 0; op < kNumBinOps; ++op) {
+    var.bin_same[op](a.data() + 1, b.data() + 1, got.data() + 1, n);
+    ref.bin_same[op](a.data() + 1, b.data() + 1, want.data() + 1, n);
+    for (std::size_t i = 1; i <= n; ++i) {
+      ASSERT_TRUE(std::memcmp(&got[i], &want[i], sizeof(float)) == 0)
+          << "f32 bin op " << op << " lane " << i;
+    }
+  }
+  EXPECT_TRUE(std::isnan(got[1]));  // NaN + finite
+  var.bin_same[kMul](a.data() + 1, b.data() + 1, got.data() + 1, n);
+  EXPECT_TRUE(std::isnan(got[3])) << "f32 0 * NaN was dropped";
+  var.bin_same[kAdd](a.data() + 1, b.data() + 1, got.data() + 1, n);
+  EXPECT_TRUE(std::isnan(got[2])) << "f32 inf + -inf must be NaN";
+
+  // Unary edge semantics mirror the fp64 table: comparisons with NaN are
+  // false, so relu/step/sign map NaN to 0; neg and tanh propagate.
+  using UnaryF = void (*)(const float*, float*, std::size_t);
+  for (UnaryF v_fn : {var.relu, var.step, var.sign}) {
+    v_fn(a.data() + 1, got.data() + 1, n);
+    EXPECT_EQ(got[1], 0.0f);
+  }
+  var.neg(a.data() + 1, got.data() + 1, n);
+  EXPECT_TRUE(std::isnan(got[1]));
+  EXPECT_EQ(got[2], -kInfF);
+  var.tanh(a.data() + 1, got.data() + 1, n);
+  EXPECT_TRUE(std::isnan(got[1]));
+  EXPECT_EQ(got[2], 1.0f);
+
+  // Reductions accumulate in double but must still propagate: a NaN lane
+  // poisons the fp64 accumulator exactly as in the fp64 tables.
+  EXPECT_TRUE(std::isnan(var.sum(a.data() + 1, n)));
+  EXPECT_TRUE(std::isnan(var.square_sum(b.data() + 1, n)));
+}
+
 TEST_P(SimdVariantP, TanhIsBitIdenticalToScalarAndNearLibm) {
   const KernelTable& var = variant();
   // Dense sweep across the interesting ranges: around zero, the Taylor

@@ -134,6 +134,20 @@ def main() -> int:
                             f"{field} {base_v} -> {cur_v} "
                             f"(exact metric; optimizer lost ground)")
 
+    # Mixed-precision gate: the demoted training-step replay must beat the
+    # fp64 replay by >= 1.3x. Both sides are timed back-to-back in the same
+    # bench_report run (same machine, same load), so unlike the raw ns/op
+    # rows this ratio is stable enough to gate on.
+    cur_mixed = cur_sum.get("mixed_speedup_x")
+    if cur_mixed is not None:
+        print(f"bench_compare: mixed_speedup_x "
+              f"baseline={base_sum.get('mixed_speedup_x')} "
+              f"current={cur_mixed}")
+        if cur_mixed < 1.3:
+            regressions.append(
+                f"mixed_speedup_x {cur_mixed:.2f} below the 1.3x gate "
+                f"(fp32 replay no longer pays for its conversions)")
+
     findings = regressions + findings
     for finding in findings:
         print(f"bench_compare: WARN {finding}")

@@ -73,6 +73,13 @@ Rules (exit 1 if any finding survives suppression):
                   mapped type is directly ``float``/``double`` — iteration
                   is hash-order and reducing over it reorders the
                   floating-point sum between runs.
+  banned-naked-float-cast
+                  no double<->float casts (``static_cast<float>``, C-style
+                  or functional ``float(...)``) outside src/tensor/ — the
+                  fp64/fp32 boundary is crossed only through
+                  ``kernels_f32::downcast``/``upcast`` so every precision
+                  demotion is a visible, auditable plan edit rather than an
+                  ad-hoc cast.
   catch-all-swallow
                   every ``catch (...)`` must rethrow (``throw;``) or
                   capture ``std::current_exception()`` — swallowing unknown
@@ -443,6 +450,20 @@ def build_rules(src: pathlib.Path, tests: pathlib.Path,
             # Direct element/mapped type only: [^<>] cannot cross a nested
             # template argument, so vector<vector<double>> stays legal.
             [r"\bunordered_(?:map|set)\s*<[^<>\n]*\b(?:float|double)\s*>"]),
+        RegexRule(
+            "banned-naked-float-cast",
+            "double<->float conversions only inside src/tensor/",
+            "double<->float casts are banned outside src/tensor/; cross "
+            "the precision boundary only through kernels_f32::downcast/"
+            "upcast so fp64 master-weight residency stays auditable",
+            # sizeof(float) is not a cast: the lookbehinds skip it, and a
+            # real cast is followed by an operand anyway. The functional
+            # form needs a non-identifier on the left so declarations like
+            # `float foo(` never match.
+            [r"\bstatic_cast\s*<\s*float\s*>",
+             r"(?<!sizeof)(?<!sizeof )\(\s*float\s*\)\s*[\w(]",
+             r"(?<![\w.:])float\s*\("],
+            exempt_prefixes=["src/tensor/"]),
         PragmaOnceRule(),
         CatchAllSwallowRule(),
         TestCoverageRule(src, tests, root),

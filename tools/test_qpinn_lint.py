@@ -237,6 +237,25 @@ class DeterminismRuleTest(unittest.TestCase):
                        "}\n"})
         self.assertNotIn("catch-all-swallow", rules_hit(report))
 
+    def test_naked_float_cast_fires_on_every_spelling(self):
+        for snippet in ("float y = static_cast<float>(x);\n",
+                        "float y = (float)x;\n",
+                        "float y = float(x);\n"):
+            report = lint({"src/core/trainer.cpp": snippet})
+            self.assertIn("banned-naked-float-cast", rules_hit(report),
+                          f"should fire on: {snippet!r}")
+
+    def test_naked_float_cast_exempts_tensor_layer(self):
+        report = lint({"src/tensor/kernels_f32.cpp":
+                       "out[i] = static_cast<float>(src[i]);\n"})
+        self.assertNotIn("banned-naked-float-cast", rules_hit(report))
+
+    def test_naked_float_cast_ignores_sizeof_and_params(self):
+        report = lint({"src/autodiff/precision.cpp":
+                       "bytes += n * sizeof(float);\n"
+                       "auto f = [](float v) { return v; };\n"})
+        self.assertNotIn("banned-naked-float-cast", rules_hit(report))
+
     def test_catch_all_exempts_teardown_paths(self):
         snippet = "void f() { try { g(); } catch (...) { } }\n"
         report = lint({"src/dist/launcher.cpp": snippet,
